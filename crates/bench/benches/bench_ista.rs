@@ -1,0 +1,103 @@
+//! Algorithm 1 performance and the ISTA-vs-FISTA ablation (DESIGN.md §4).
+
+use chronos_core::ista::{debias, solve, IstaConfig};
+use chronos_core::ndft::{Ndft, TauGrid};
+use chronos_math::Complex64;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::f64::consts::PI;
+
+fn freqs() -> Vec<f64> {
+    chronos_rf::bands::band_plan_5ghz().iter().map(|b| b.center_hz).collect()
+}
+
+fn measurement(freqs: &[f64]) -> Vec<Complex64> {
+    let paths = [(10.4, 1.0), (14.8, 0.7), (22.0, 0.4)];
+    freqs
+        .iter()
+        .map(|f| {
+            let mut h = Complex64::ZERO;
+            for (tau, a) in paths {
+                h += Complex64::from_polar(a, -2.0 * PI * f * tau * 1e-9);
+            }
+            h
+        })
+        .collect()
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let f = freqs();
+    let h = measurement(&f);
+    let mut group = c.benchmark_group("ista");
+
+    // Grid-size scaling.
+    for grid_points in [400usize, 800] {
+        let grid = TauGrid { start_ns: 0.0, step_ns: 200.0 / grid_points as f64, len: grid_points };
+        let ndft = Ndft::new(&f, grid);
+        group.bench_with_input(
+            BenchmarkId::new("solve_fista", grid_points),
+            &grid_points,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(solve(
+                        &ndft,
+                        &h,
+                        &IstaConfig { accelerated: true, ..Default::default() },
+                    ))
+                })
+            },
+        );
+    }
+
+    // Ablation: plain ISTA vs FISTA at the default grid.
+    let grid = TauGrid { start_ns: 0.0, step_ns: 0.25, len: 800 };
+    let ndft = Ndft::new(&f, grid);
+    group.bench_function("ablation_plain_ista", |b| {
+        b.iter(|| {
+            std::hint::black_box(solve(
+                &ndft,
+                &h,
+                &IstaConfig { accelerated: false, ..Default::default() },
+            ))
+        })
+    });
+    group.bench_function("ablation_fista", |b| {
+        b.iter(|| {
+            std::hint::black_box(solve(
+                &ndft,
+                &h,
+                &IstaConfig { accelerated: true, ..Default::default() },
+            ))
+        })
+    });
+
+    // Debias cost on top of a solve.
+    let sol = solve(&ndft, &h, &IstaConfig::default());
+    group.bench_function("debias", |b| {
+        b.iter(|| std::hint::black_box(debias(&ndft, &h, &sol.p, 12, 3)))
+    });
+
+    // Sparsity-weight ablation: heavier alpha converges faster.
+    for alpha in [0.05f64, 0.12, 0.3] {
+        group.bench_with_input(
+            BenchmarkId::new("ablation_alpha", format!("{alpha}")),
+            &alpha,
+            |b, alpha| {
+                b.iter(|| {
+                    std::hint::black_box(solve(
+                        &ndft,
+                        &h,
+                        &IstaConfig { alpha_rel: *alpha, ..Default::default() },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solver
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Trilateration solver cost (Gauss-Newton over antenna circles), and the
+//! antenna-separation ablation of paper §10.
+
+use chronos_core::localization::{locate, AntennaRange, LocalizerConfig};
+use chronos_rf::geometry::Point;
+use chronos_rf::hardware::AntennaArray;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ranges_for(tx: Point, array: &AntennaArray, noise: f64) -> Vec<AntennaRange> {
+    array
+        .positions()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| AntennaRange {
+            antenna: *a,
+            distance_m: a.dist(tx) + noise * if i % 2 == 0 { 1.0 } else { -1.0 },
+        })
+        .collect()
+}
+
+fn bench_localization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("localization");
+    let cfg = LocalizerConfig::default();
+    for (name, array) in
+        [("laptop_30cm", AntennaArray::laptop()), ("ap_100cm", AntennaArray::access_point())]
+    {
+        let ranges = ranges_for(Point::new(2.5, 4.0), &array, 0.05);
+        group.bench_with_input(BenchmarkId::new("locate", name), &ranges, |b, r| {
+            b.iter(|| std::hint::black_box(locate(r, &cfg)))
+        });
+    }
+
+    // Outlier-heavy case exercises the rejection path.
+    let mut dirty = ranges_for(Point::new(1.0, 6.0), &AntennaArray::access_point(), 0.02);
+    dirty[2].distance_m += 3.0;
+    group.bench_function("locate_with_outlier", |b| {
+        b.iter(|| std::hint::black_box(locate(&dirty, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_localization
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! NDFT performance: forward/adjoint application and spectral-norm
+//! estimation as the delay grid grows.
+
+use chronos_core::ndft::{Ndft, TauGrid};
+use chronos_math::Complex64;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::f64::consts::PI;
+
+fn freqs() -> Vec<f64> {
+    chronos_rf::bands::band_plan_5ghz().iter().map(|b| b.center_hz).collect()
+}
+
+fn measurement(freqs: &[f64]) -> Vec<Complex64> {
+    freqs
+        .iter()
+        .map(|f| Complex64::cis(-2.0 * PI * f * 12.3e-9) + Complex64::cis(-2.0 * PI * f * 31e-9))
+        .collect()
+}
+
+fn bench_ndft(c: &mut Criterion) {
+    let f = freqs();
+    let h = measurement(&f);
+    let mut group = c.benchmark_group("ndft");
+    for grid_points in [200usize, 400, 800, 1600] {
+        let grid = TauGrid { start_ns: 0.0, step_ns: 200.0 / grid_points as f64, len: grid_points };
+        let ndft = Ndft::new(&f, grid);
+        let p: Vec<Complex64> =
+            (0..grid_points).map(|k| Complex64::cis(0.01 * k as f64)).collect();
+        group.bench_with_input(BenchmarkId::new("forward", grid_points), &grid_points, |b, _| {
+            b.iter(|| std::hint::black_box(ndft.forward(&p)))
+        });
+        group.bench_with_input(BenchmarkId::new("adjoint", grid_points), &grid_points, |b, _| {
+            b.iter(|| std::hint::black_box(ndft.adjoint(&h)))
+        });
+        group.bench_with_input(BenchmarkId::new("op_norm", grid_points), &grid_points, |b, _| {
+            b.iter(|| std::hint::black_box(ndft.op_norm(20)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ndft
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Zero-subcarrier interpolation (spline vs linear ablation, paper fn. 3)
+//! and the phase-voting CRT resolver vs band count (bandwidth ablation).
+
+use chronos_core::crt::{tof_from_channels, CrtConfig};
+use chronos_core::phase::{interpolate_h0, Interpolation};
+use chronos_math::Complex64;
+use chronos_rf::csi::MeasurementContext;
+use chronos_rf::environment::Environment;
+use chronos_rf::geometry::Point;
+use chronos_rf::hardware::{ideal_device, AntennaArray};
+use chronos_rf::ofdm::SubcarrierLayout;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::PI;
+
+fn bench_spline(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let ctx = MeasurementContext::new(
+        Environment::free_space(),
+        ideal_device(AntennaArray::single()),
+        Point::new(0.0, 0.0),
+        ideal_device(AntennaArray::single()),
+        Point::new(4.0, 0.0),
+    );
+    let band = chronos_rf::bands::band_by_channel(44).unwrap();
+    let layout = SubcarrierLayout::intel5300();
+    let cap = ctx.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0).forward;
+
+    let mut group = c.benchmark_group("zero_subcarrier");
+    group.bench_function("cubic_spline", |b| {
+        b.iter(|| std::hint::black_box(interpolate_h0(&cap, Interpolation::CubicSpline, false)))
+    });
+    group.bench_function("linear", |b| {
+        b.iter(|| std::hint::black_box(interpolate_h0(&cap, Interpolation::Linear, false)))
+    });
+    group.finish();
+}
+
+fn bench_crt(c: &mut Criterion) {
+    let tau = 17.3;
+    let all: Vec<f64> = chronos_rf::bands::band_plan().iter().map(|b| b.center_hz).collect();
+    let mut group = c.benchmark_group("crt_voting");
+    for n in [5usize, 11, 24, 35] {
+        let freqs: Vec<f64> = all.iter().take(n).cloned().collect();
+        let hs: Vec<Complex64> = freqs
+            .iter()
+            .map(|f| Complex64::from_polar(1.0, -2.0 * PI * f * tau * 1e-9))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("bands", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(tof_from_channels(&freqs, &hs, 1.0, &CrtConfig::default()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spline, bench_crt
+}
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 3: multi-band phase alignment resolving a
+//! 2 ns time-of-flight (a source at 0.6 m).
+
+fn main() {
+    let dir = chronos_bench::report::data_dir();
+    for t in chronos_bench::figures::fig03() {
+        chronos_bench::report::write_csv(&t, &dir).expect("write csv");
+    }
+}

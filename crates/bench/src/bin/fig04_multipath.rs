@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 4: separating three propagation paths
+//! (5.2 / 10 / 16 ns) with the sparse inverse-NDFT.
+
+fn main() {
+    let dir = chronos_bench::report::data_dir();
+    for t in chronos_bench::figures::fig04() {
+        chronos_bench::report::write_csv(&t, &dir).expect("write csv");
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 7(b): multipath-profile sparsity (paper: mean 5.05
+//! dominant peaks, sd 1.95).
+
+fn main() {
+    let pairs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let trials = chronos_bench::figures::accuracy_trials(42, pairs);
+    let dir = chronos_bench::report::data_dir();
+    for t in chronos_bench::figures::fig07b(&trials) {
+        chronos_bench::report::write_csv(&t, &dir).expect("write csv");
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 8(b): localization error CDF with the 30 cm laptop
+//! array (paper medians: 58 cm LOS / 118 cm NLOS).
+
+use chronos_rf::hardware::AntennaArray;
+
+fn main() {
+    let pairs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(70);
+    let dir = chronos_bench::report::data_dir();
+    let tables = chronos_bench::figures::fig08_localization(
+        "fig08b_localization_client",
+        42,
+        pairs,
+        AntennaArray::laptop(),
+        "0.58",
+        "1.18",
+    );
+    for t in tables {
+        chronos_bench::report::write_csv(&t, &dir).expect("write csv");
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 8(c): localization error CDF with the 100 cm
+//! access-point array (paper medians: 35 cm LOS / 62 cm NLOS).
+
+use chronos_rf::hardware::AntennaArray;
+
+fn main() {
+    let pairs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(70);
+    let dir = chronos_bench::report::data_dir();
+    let tables = chronos_bench::figures::fig08_localization(
+        "fig08c_localization_ap",
+        43,
+        pairs,
+        AntennaArray::access_point(),
+        "0.35",
+        "0.62",
+    );
+    for t in tables {
+        chronos_bench::report::write_csv(&t, &dir).expect("write csv");
+    }
+}

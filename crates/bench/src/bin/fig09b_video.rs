@@ -1,0 +1,9 @@
+//! Regenerates Fig. 9(b): video streaming through a localization outage at
+//! t = 6 s (paper: no visible stall).
+
+fn main() {
+    let dir = chronos_bench::report::data_dir();
+    for t in chronos_bench::figures::fig09b(11) {
+        chronos_bench::report::write_csv(&t, &dir).expect("write csv");
+    }
+}

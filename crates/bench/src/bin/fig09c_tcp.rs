@@ -1,0 +1,9 @@
+//! Regenerates Fig. 9(c): TCP throughput around a localization at t = 6 s
+//! (paper: ~6.5% dip).
+
+fn main() {
+    let dir = chronos_bench::report::data_dir();
+    for t in chronos_bench::figures::fig09c(12) {
+        chronos_bench::report::write_csv(&t, &dir).expect("write csv");
+    }
+}

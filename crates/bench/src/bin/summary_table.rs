@@ -1,0 +1,102 @@
+//! The headline table: every Section 1 bullet of the paper, reproduced in
+//! one run. Slower than individual figures (it runs the accuracy sweep,
+//! both localization sweeps, the hop-time study and the drone loop).
+
+use chronos_bench::figures;
+use chronos_bench::report::{data_dir, write_csv, Table};
+use chronos_bench::scenarios::{run_drone, run_hop_times, split_errors, summarize};
+use chronos_rf::hardware::AntennaArray;
+
+fn main() {
+    let pairs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+
+    let mut t = Table::new(
+        "summary_table",
+        &["metric", "paper", "measured", "unit"],
+    );
+
+    // Time-of-flight accuracy (Fig. 7a) + distance (Sec. 1 bullets).
+    let trials = figures::accuracy_trials(42, pairs);
+    let (tof_los, tof_nlos) = split_errors(&trials, |tr| tr.tof_errors_ns.clone());
+    let (d_los, d_nlos) = split_errors(&trials, |tr| tr.distance_errors_m.clone());
+    t.row(&[
+        "median ToF error, LOS".into(),
+        "0.47".into(),
+        format!("{:.2}", summarize(&tof_los).median),
+        "ns".into(),
+    ]);
+    t.row(&[
+        "median ToF error, NLOS".into(),
+        "0.69".into(),
+        format!("{:.2}", summarize(&tof_nlos).median),
+        "ns".into(),
+    ]);
+    t.row(&[
+        "median distance error, LOS".into(),
+        "14.1".into(),
+        format!("{:.1}", summarize(&d_los).median * 100.0),
+        "cm".into(),
+    ]);
+    t.row(&[
+        "median distance error, NLOS".into(),
+        "20.7".into(),
+        format!("{:.1}", summarize(&d_nlos).median * 100.0),
+        "cm".into(),
+    ]);
+
+    // Localization (Figs. 8b, 8c).
+    for (label, seed, array, paper_los, paper_nlos) in [
+        ("client 30cm", 42u64, AntennaArray::laptop(), "58", "118"),
+        ("AP 100cm", 43u64, AntennaArray::access_point(), "35", "62"),
+    ] {
+        let cfg = chronos_bench::scenarios::AccuracyConfig {
+            seed,
+            max_pairs: pairs,
+            array,
+            ..Default::default()
+        };
+        let tr = chronos_bench::scenarios::run_accuracy(&cfg);
+        let (l, n) = split_errors(&tr, |x| x.localization_error_m.into_iter().collect());
+        t.row(&[
+            format!("median localization LOS, {label}"),
+            paper_los.into(),
+            format!("{:.0}", summarize(&l).median * 100.0),
+            "cm".into(),
+        ]);
+        t.row(&[
+            format!("median localization NLOS, {label}"),
+            paper_nlos.into(),
+            format!("{:.0}", summarize(&n).median * 100.0),
+            "cm".into(),
+        ]);
+    }
+
+    // Hop time (Fig. 9a).
+    let hops = run_hop_times(7, 100);
+    t.row(&[
+        "median band-sweep time".into(),
+        "84".into(),
+        format!("{:.0}", summarize(&hops).median),
+        "ms".into(),
+    ]);
+
+    // Drone (Fig. 10a).
+    let records = run_drone(21, 200);
+    let dev = chronos_drone::FollowSim::deviations(&records, 1.4, 30);
+    let dev_cm: Vec<f64> = dev.iter().map(|d| d * 100.0).collect();
+    t.row(&[
+        "drone distance RMSE".into(),
+        "4.2".into(),
+        format!("{:.1}", chronos_math::stats::rms(&dev_cm)),
+        "cm".into(),
+    ]);
+    t.row(&[
+        "drone median deviation".into(),
+        "4.17".into(),
+        format!("{:.1}", summarize(&dev_cm).median),
+        "cm".into(),
+    ]);
+
+    println!("{}", t.render());
+    write_csv(&t, &data_dir()).expect("write csv");
+}

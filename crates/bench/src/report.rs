@@ -1,0 +1,156 @@
+//! Console and CSV reporting for experiment output.
+//!
+//! Every experiment binary prints a table (the paper's "rows/series") and
+//! optionally writes it to `EXPERIMENTS-data/<name>.csv` so the results can
+//! be diffed across runs and quoted in EXPERIMENTS.md.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-oriented table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name (used as CSV file stem).
+    pub name: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: &str, headers: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of formatted cells.
+    ///
+    /// # Panics
+    /// Panics when the cell count does not match the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Appends a row of `f64` values, formatted with `precision` decimals.
+    pub fn row_f64(&mut self, values: &[f64], precision: usize) {
+        let cells: Vec<String> =
+            values.iter().map(|v| format!("{v:.precision$}")).collect();
+        self.row(&cells);
+    }
+
+    /// Renders the table for the console, aligned.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV serialization (headers + rows, comma separated, quoted when
+    /// needed).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes a table to `<dir>/<table.name>.csv`, creating the directory.
+pub fn write_csv(table: &Table, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.csv", table.name));
+    let mut f = fs::File::create(&path)?;
+    f.write_all(table.to_csv().as_bytes())?;
+    Ok(path)
+}
+
+/// The default output directory for experiment CSVs.
+pub fn data_dir() -> std::path::PathBuf {
+    std::env::var_os("CHRONOS_DATA_DIR")
+        .map(Into::into)
+        .unwrap_or_else(|| std::path::PathBuf::from("EXPERIMENTS-data"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_csv() {
+        let mut t = Table::new("demo", &["metric", "value"]);
+        t.row(&["median".into(), "0.47".into()]);
+        t.row_f64(&[95.0, 1.96], 2);
+        let rendered = t.render();
+        assert!(rendered.contains("median"));
+        assert!(rendered.contains("0.47"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("metric,value\n"));
+        assert!(csv.contains("95.00,1.96"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("esc", &["a", "b"]);
+        t.row(&["has,comma".into(), "has\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let mut t = Table::new("roundtrip_test", &["x"]);
+        t.row(&["1".into()]);
+        let dir = std::env::temp_dir().join("chronos_bench_test");
+        let path = write_csv(&t, &dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x\n1\n");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,121 @@
+//! Estimator configuration.
+
+/// How the estimator treats the Intel 5300's 2.4 GHz phase quirk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuirkMode {
+    /// No firmware quirk: all 35 bands feed one inversion on the squared
+    /// (reciprocity-product) channels. Used with idealized radios and in
+    /// ablations.
+    Ideal,
+    /// Intel 5300 behaviour: 2.4 GHz CSI phase arrives modulo pi/2. The
+    /// 5 GHz group (24 bands) runs on the reciprocity product (profile
+    /// peaks at 2x delay); the 2.4 GHz group runs on the product's fourth
+    /// power (peaks at 8x delay) and serves as a coarse cross-check.
+    Intel5300,
+}
+
+/// Configuration of the time-of-flight estimator.
+#[derive(Debug, Clone)]
+pub struct ChronosConfig {
+    /// Quirk handling mode.
+    pub mode: QuirkMode,
+    /// Inverse-NDFT grid step in the *profile* domain, nanoseconds.
+    /// The profile domain carries scaled delays (2x or 8x the ToF), so the
+    /// effective ToF resolution is finer by the group's delay scale.
+    pub grid_step_ns: f64,
+    /// Extent of the profile-domain grid, nanoseconds. 200 ns matches the
+    /// paper's unambiguous range over 5 MHz-rastered Wi-Fi centers.
+    pub grid_span_ns: f64,
+    /// Sparsity weight, relative to `max |F* h|` (the smallest weight that
+    /// zeroes everything). Typical: 0.05–0.3.
+    pub alpha_rel: f64,
+    /// Maximum proximal-gradient iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the iterate change (paper's epsilon).
+    pub epsilon: f64,
+    /// Use FISTA acceleration instead of plain ISTA (extension; the paper
+    /// uses plain proximal gradient).
+    pub accelerated: bool,
+    /// Refit support amplitudes by least squares after the sparse solve
+    /// (LASSO debiasing). Removes shrinkage bias so weak direct paths keep
+    /// their physical dominance in the profile.
+    pub debias: bool,
+    /// Peak dominance threshold: a profile peak counts as a path when it
+    /// reaches this fraction of the strongest peak.
+    pub peak_dominance: f64,
+    /// Sidelobe/ghost veto strength for the model-comparison test: a
+    /// candidate first peak that is not the strongest is accepted only if
+    /// the best alternative model (support without the candidate, plus a
+    /// single seeded ghost-source atom at one grating-lobe offset) leaves
+    /// at least `(1 + ratio)` times the baseline residual energy.
+    /// Higher = more aggressive vetoing.
+    pub sidelobe_veto_ratio: f64,
+    /// Statistical significance floor for profile atoms: a candidate peak
+    /// must exceed `atom_snr_min * residual / sqrt(n_bands)` (roughly that
+    /// many standard errors of the least-squares fit) to count as a path.
+    /// Suppresses the low-amplitude "garbage collector" atoms the sparse
+    /// solver places to absorb noise and unmodeled content.
+    pub atom_snr_min: f64,
+    /// Use the 2.4 GHz coarse profile to cross-check/disambiguate the
+    /// 5 GHz estimate (only meaningful in [`QuirkMode::Intel5300`]).
+    pub use_24ghz_check: bool,
+    /// Calibration constant subtracted from the raw (descaled) delay
+    /// estimate, nanoseconds. Captures hardware chain delays and the fixed
+    /// part of the protocol turnaround-CFO coupling (paper §7 obs. 2).
+    pub calibration_ns: f64,
+}
+
+impl Default for ChronosConfig {
+    fn default() -> Self {
+        ChronosConfig {
+            mode: QuirkMode::Intel5300,
+            grid_step_ns: 0.25,
+            grid_span_ns: 200.0,
+            alpha_rel: 0.12,
+            max_iters: 400,
+            epsilon: 1e-6,
+            accelerated: true,
+            debias: true,
+            peak_dominance: 0.15,
+            sidelobe_veto_ratio: 0.4,
+            atom_snr_min: 3.0,
+            use_24ghz_check: true,
+            calibration_ns: 0.0,
+        }
+    }
+}
+
+impl ChronosConfig {
+    /// An idealized configuration for unit tests and genie ablations.
+    pub fn ideal() -> Self {
+        ChronosConfig { mode: QuirkMode::Ideal, ..Default::default() }
+    }
+
+    /// Number of grid points of the profile-domain grid.
+    pub fn grid_len(&self) -> usize {
+        (self.grid_span_ns / self.grid_step_ns).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_intel_mode() {
+        let c = ChronosConfig::default();
+        assert_eq!(c.mode, QuirkMode::Intel5300);
+        assert!(c.alpha_rel > 0.0 && c.alpha_rel < 1.0);
+    }
+
+    #[test]
+    fn grid_len_consistent() {
+        let c = ChronosConfig { grid_step_ns: 0.5, grid_span_ns: 100.0, ..Default::default() };
+        assert_eq!(c.grid_len(), 200);
+    }
+
+    #[test]
+    fn ideal_constructor() {
+        assert_eq!(ChronosConfig::ideal().mode, QuirkMode::Ideal);
+    }
+}

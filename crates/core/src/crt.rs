@@ -1,0 +1,170 @@
+//! The Chinese-remainder view of multi-band time-of-flight (paper §4).
+//!
+//! For a *single-path* channel, the phase measured on band `i` pins the
+//! time-of-flight modulo `1/f_i` (paper Eq. 3). Sweeping many bands yields
+//! a congruence system whose solution is unique modulo the LCM of the
+//! moduli — about 200 ns (60 m) across the Wi-Fi plan. The paper's Fig. 3
+//! solves it by alignment: the candidate delay satisfied by the most bands
+//! wins. This module wraps the generic voting solver from `chronos-math`
+//! for channel phases.
+//!
+//! In the full pipeline this view is subsumed by the sparse inverse-NDFT
+//! (which handles multipath); it remains useful as a cheap single-path
+//! fast path, a cross-check, and the generator of the Fig. 3 reproduction.
+
+use chronos_math::crt::{solve_by_voting, Congruence, VoteSolution};
+use chronos_math::Complex64;
+use std::f64::consts::PI;
+
+/// Converts one band's channel phase into a time-of-flight congruence
+/// (paper Eq. 3): `tau = -angle(h) / (2 pi f)  mod  1/f`, in nanoseconds.
+///
+/// `delay_scale` accounts for squared/powered channels (phase of `h^s`
+/// advances `s` times faster): pass 1 for raw channels, 2 for reciprocity
+/// products.
+pub fn congruence_from_channel(freq_hz: f64, h: Complex64, delay_scale: f64) -> Congruence {
+    let modulus_ns = 1e9 / (freq_hz * delay_scale);
+    let tau_ns = -h.arg() / (2.0 * PI * freq_hz * delay_scale) * 1e9;
+    Congruence::new(tau_ns, modulus_ns)
+}
+
+/// Solver settings for the phase-voting ToF resolver.
+#[derive(Debug, Clone, Copy)]
+pub struct CrtConfig {
+    /// Search range for the time-of-flight, ns.
+    pub range_ns: f64,
+    /// Voting grid step, ns.
+    pub step_ns: f64,
+    /// Per-congruence alignment tolerance, ns.
+    pub tol_ns: f64,
+}
+
+impl Default for CrtConfig {
+    fn default() -> Self {
+        CrtConfig { range_ns: 200.0, step_ns: 0.005, tol_ns: 0.03 }
+    }
+}
+
+/// Resolves a single-path time-of-flight from per-band channel values by
+/// congruence voting. Returns `None` when fewer than two bands align.
+pub fn tof_from_channels(
+    freqs_hz: &[f64],
+    channels: &[Complex64],
+    delay_scale: f64,
+    cfg: &CrtConfig,
+) -> Option<VoteSolution> {
+    assert_eq!(freqs_hz.len(), channels.len(), "tof_from_channels: length mismatch");
+    let congruences: Vec<Congruence> = freqs_hz
+        .iter()
+        .zip(channels.iter())
+        .map(|(f, h)| congruence_from_channel(*f, *h, delay_scale))
+        .collect();
+    let sol = solve_by_voting(&congruences, cfg.range_ns, cfg.step_ns, cfg.tol_ns)?;
+    if freqs_hz.len() >= 3 && sol.votes < 3 {
+        return None; // too little alignment to trust
+    }
+    Some(sol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_rf::bands::{band_plan, band_plan_24ghz};
+
+    fn channels_for(tau_ns: f64, freqs: &[f64]) -> Vec<Complex64> {
+        freqs
+            .iter()
+            .map(|f| Complex64::from_polar(1.0, -2.0 * PI * f * tau_ns * 1e-9))
+            .collect()
+    }
+
+    #[test]
+    fn congruence_matches_eq3() {
+        let f = 2.4e9;
+        let tau = 2.0; // ns
+        let h = Complex64::from_polar(0.8, -2.0 * PI * f * tau * 1e-9);
+        let c = congruence_from_channel(f, h, 1.0);
+        // Modulus 1/f = 0.4166 ns; remainder = tau mod modulus.
+        assert!((c.modulus - 1e9 / f).abs() < 1e-12);
+        assert!(c.distance(tau) < 1e-9);
+    }
+
+    #[test]
+    fn fig3_scenario_five_bands() {
+        // Paper Fig. 3: source at 0.6 m (tau = 2 ns), five bands.
+        let freqs: Vec<f64> = [2.412e9, 2.462e9, 5.18e9, 5.3e9, 5.825e9].to_vec();
+        let tau = chronos_math::constants::m_to_ns(0.6);
+        let hs = channels_for(tau, &freqs);
+        let sol = tof_from_channels(&freqs, &hs, 1.0, &CrtConfig::default()).unwrap();
+        assert_eq!(sol.votes, 5);
+        assert!((sol.value - tau).abs() < 0.01, "{} vs {tau}", sol.value);
+    }
+
+    #[test]
+    fn full_plan_resolves_long_delays() {
+        // 35 bands resolve a 150 ns (45 m) delay unambiguously.
+        let freqs: Vec<f64> = band_plan().iter().map(|b| b.center_hz).collect();
+        let tau = 150.0;
+        let hs = channels_for(tau, &freqs);
+        let sol = tof_from_channels(&freqs, &hs, 1.0, &CrtConfig::default()).unwrap();
+        assert!(sol.votes >= 30, "votes {}", sol.votes);
+        assert!((sol.value - tau).abs() < 0.02, "{}", sol.value);
+    }
+
+    #[test]
+    fn paper_claim_24ghz_resolves_200ns() {
+        // §4: "Chronos can resolve time-of-flight uniquely modulo 200 ns
+        // using Wi-Fi frequency bands around 2.4 GHz".
+        let freqs: Vec<f64> = band_plan_24ghz().iter().map(|b| b.center_hz).collect();
+        for tau in [3.0, 57.0, 123.0, 190.0] {
+            let hs = channels_for(tau, &freqs);
+            let sol = tof_from_channels(&freqs, &hs, 1.0, &CrtConfig::default()).unwrap();
+            assert!((sol.value - tau).abs() < 0.05, "tau {tau} -> {}", sol.value);
+        }
+    }
+
+    #[test]
+    fn delay_scale_two_for_products() {
+        let freqs: Vec<f64> = [5.18e9, 5.32e9, 5.5e9, 5.7e9, 5.825e9].to_vec();
+        let tau = 7.3;
+        // Product channels: phase advances twice as fast.
+        let hs: Vec<Complex64> = freqs
+            .iter()
+            .map(|f| Complex64::from_polar(1.0, -2.0 * PI * f * 2.0 * tau * 1e-9))
+            .collect();
+        let sol = tof_from_channels(&freqs, &hs, 2.0, &CrtConfig::default()).unwrap();
+        assert!((sol.value - tau).abs() < 0.02, "{}", sol.value);
+    }
+
+    #[test]
+    fn noisy_phases_still_vote() {
+        let freqs: Vec<f64> = band_plan().iter().map(|b| b.center_hz).collect();
+        let tau = 21.7;
+        let hs: Vec<Complex64> = freqs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let noise = if i % 2 == 0 { 0.08 } else { -0.08 }; // radians
+                Complex64::from_polar(1.0, -2.0 * PI * f * tau * 1e-9 + noise)
+            })
+            .collect();
+        let sol = tof_from_channels(&freqs, &hs, 1.0, &CrtConfig::default()).unwrap();
+        assert!((sol.value - tau).abs() < 0.05, "{}", sol.value);
+    }
+
+    #[test]
+    fn too_few_aligned_returns_none() {
+        // Three bands with mutually inconsistent phases.
+        let freqs = [5.18e9, 5.5e9, 5.825e9];
+        let hs = [
+            Complex64::from_polar(1.0, 0.1),
+            Complex64::from_polar(1.0, 2.0),
+            Complex64::from_polar(1.0, -2.3),
+        ];
+        // With a tiny tolerance there should be no 3-vote alignment; the
+        // solver may still find accidental pairs, which we reject.
+        let cfg = CrtConfig { tol_ns: 0.0005, step_ns: 0.001, range_ns: 5.0 };
+        let sol = tof_from_channels(&freqs, &hs, 1.0, &cfg);
+        assert!(sol.is_none() || sol.unwrap().votes < 3);
+    }
+}

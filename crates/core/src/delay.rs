@@ -1,0 +1,179 @@
+//! Per-packet arrival-delay estimation from cross-subcarrier phase slope.
+//!
+//! The measured phase across a band's subcarriers is (paper Eq. 6)
+//!
+//! ```text
+//! angle(h~_{i,k}) = -2 pi f_{i,k} tau - 2 pi (f_{i,k} - f_{i,0}) delta_i
+//! ```
+//!
+//! so the *slope* of phase against baseband frequency encodes the packet's
+//! total arrival delay `tau + delta_i` (propagation plus detection). The
+//! paper uses exactly this to measure detection delay per packet for its
+//! Fig. 7(c): subtract the Chronos time-of-flight from the slope-derived
+//! arrival delay and what is left is the detection delay.
+
+use crate::error::ChronosError;
+use chronos_math::lstsq::linear_lstsq;
+use chronos_math::matrix::Mat;
+use chronos_math::unwrap::unwrap_in_place;
+use chronos_rf::csi::CsiCapture;
+
+/// Estimates the total arrival delay (`tau + delta + hardware`) of one
+/// capture in nanoseconds, from the unwrapped phase slope across
+/// subcarriers, via linear least squares.
+pub fn arrival_delay_ns(capture: &CsiCapture) -> Result<f64, ChronosError> {
+    let n = capture.csi.len();
+    if n != capture.layout.len() {
+        return Err(ChronosError::BadCapture("csi length != layout length"));
+    }
+    if n < 3 {
+        return Err(ChronosError::BadCapture("too few subcarriers"));
+    }
+    if capture.csi.iter().any(|z| !z.is_finite()) {
+        return Err(ChronosError::BadCapture("non-finite CSI values"));
+    }
+    let offsets = capture.layout.baseband_offsets();
+    let mut phases: Vec<f64> = capture.csi.iter().map(|z| z.arg()).collect();
+    unwrap_in_place(&mut phases);
+
+    // Fit phase = slope * f_offset + intercept.
+    let mut a = Mat::zeros(n, 2);
+    for (i, f) in offsets.iter().enumerate() {
+        a[(i, 0)] = *f;
+        a[(i, 1)] = 1.0;
+    }
+    let sol = linear_lstsq(&a, &phases)
+        .map_err(|_| ChronosError::BadCapture("degenerate phase fit"))?;
+    let slope = sol[0]; // radians per Hz
+    Ok(-slope / (2.0 * std::f64::consts::PI) * 1e9)
+}
+
+/// Estimates the detection delay of a capture given an independent
+/// time-of-flight estimate (e.g. from the full Chronos pipeline) and the
+/// calibrated hardware delay, in nanoseconds.
+pub fn detection_delay_ns(
+    capture: &CsiCapture,
+    tof_ns: f64,
+    hardware_ns: f64,
+) -> Result<f64, ChronosError> {
+    Ok(arrival_delay_ns(capture)? - tof_ns - hardware_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_rf::bands::band_by_channel;
+    use chronos_rf::csi::MeasurementContext;
+    use chronos_rf::environment::Environment;
+    use chronos_rf::geometry::Point;
+    use chronos_rf::hardware::{ideal_device, AntennaArray};
+    use chronos_rf::ofdm::SubcarrierLayout;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx(distance_m: f64, delay_ns: f64, delay_std: f64) -> MeasurementContext {
+        let mut di = ideal_device(AntennaArray::single());
+        let mut dr = ideal_device(AntennaArray::single());
+        di.detection_delay.median_ns = delay_ns;
+        di.detection_delay.std_ns = delay_std;
+        dr.detection_delay.median_ns = delay_ns;
+        dr.detection_delay.std_ns = delay_std;
+        let mut c = MeasurementContext::new(
+            Environment::free_space(),
+            di,
+            Point::new(0.0, 0.0),
+            dr,
+            Point::new(distance_m, 0.0),
+        );
+        c.snr.snr_at_1m_db = 300.0;
+        c
+    }
+
+    #[test]
+    fn arrival_delay_recovers_tof_plus_delta() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = 6.0;
+        let delta = 177.0;
+        let c = ctx(d, delta, 0.0);
+        let band = band_by_channel(52).unwrap();
+        let layout = SubcarrierLayout::intel5300();
+        let m = c.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0);
+        let est = arrival_delay_ns(&m.forward).unwrap();
+        let expected = m.truth_tof_ns + m.forward.truth_detection_delay_ns;
+        assert!((est - expected).abs() < 0.5, "est {est} expected {expected}");
+    }
+
+    #[test]
+    fn detection_delay_extraction() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = 4.0;
+        let c = ctx(d, 200.0, 20.0);
+        let band = band_by_channel(120).unwrap();
+        let layout = SubcarrierLayout::intel5300();
+        for i in 0..20 {
+            let m = c.measure_pair(&mut rng, &band, &layout, 0, 0, i as f64 * 1e-3);
+            let est = detection_delay_ns(&m.forward, m.truth_tof_ns, 0.0).unwrap();
+            assert!(
+                (est - m.forward.truth_detection_delay_ns).abs() < 0.5,
+                "est {est} truth {}",
+                m.forward.truth_detection_delay_ns
+            );
+        }
+    }
+
+    #[test]
+    fn delay_statistics_across_packets_match_model() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = ctx(5.0, 177.0, 24.76);
+        let band = band_by_channel(149).unwrap();
+        let layout = SubcarrierLayout::intel5300();
+        let mut estimates = Vec::new();
+        for i in 0..300 {
+            let m = c.measure_pair(&mut rng, &band, &layout, 0, 0, i as f64 * 1e-3);
+            estimates.push(detection_delay_ns(&m.forward, m.truth_tof_ns, 0.0).unwrap());
+        }
+        let median = chronos_math::stats::median(&estimates);
+        let std = chronos_math::stats::std_dev(&estimates);
+        assert!((median - 177.0).abs() < 5.0, "median {median}");
+        assert!((std - 24.76).abs() < 5.0, "std {std}");
+    }
+
+    #[test]
+    fn rejects_tiny_captures() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = ctx(3.0, 100.0, 0.0);
+        let band = band_by_channel(36).unwrap();
+        let layout = SubcarrierLayout::intel5300();
+        let mut cap = c.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0).forward;
+        cap.csi.truncate(2);
+        assert!(arrival_delay_ns(&cap).is_err());
+    }
+
+    #[test]
+    fn multipath_biases_but_does_not_break_slope() {
+        // With multipath the slope picks up a (bounded) bias toward the
+        // power-weighted mean delay; it must stay within the delay spread.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut env = Environment::free_space();
+        env.add_room(0.0, 0.0, 20.0, 20.0, chronos_rf::environment::Material::Concrete);
+        let mut di = ideal_device(AntennaArray::single());
+        let mut dr = ideal_device(AntennaArray::single());
+        di.detection_delay.median_ns = 150.0;
+        dr.detection_delay.median_ns = 150.0;
+        let mut c = MeasurementContext::new(
+            env,
+            di,
+            Point::new(4.0, 10.0),
+            dr,
+            Point::new(14.0, 10.0),
+        );
+        c.snr.snr_at_1m_db = 300.0;
+        let band = band_by_channel(100).unwrap();
+        let layout = SubcarrierLayout::intel5300();
+        let m = c.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0);
+        let est = arrival_delay_ns(&m.forward).unwrap();
+        let lo = m.truth_tof_ns + m.forward.truth_detection_delay_ns - 5.0;
+        let hi = m.truth_tof_ns + m.forward.truth_detection_delay_ns + 120.0;
+        assert!(est > lo && est < hi, "est {est} outside [{lo}, {hi}]");
+    }
+}

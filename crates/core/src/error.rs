@@ -1,0 +1,77 @@
+//! Error types of the estimation pipeline.
+
+use std::fmt;
+
+/// Errors the Chronos pipeline can report.
+///
+/// The estimator is deliberately conservative: rather than returning a
+/// garbage time-of-flight it reports *why* an estimate is unavailable, so
+/// callers (the localization layer, the drone controller) can skip the
+/// sample — the paper's systems do the same via outlier rejection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChronosError {
+    /// Not enough band measurements to invert the NDFT meaningfully.
+    TooFewBands {
+        /// Bands supplied.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// The sparse inversion produced no dominant peak (all-noise profile).
+    NoDominantPath,
+    /// A capture had malformed content (wrong subcarrier count, NaNs).
+    BadCapture(&'static str),
+    /// Localization could not find a consistent position.
+    NoConsistentPosition,
+    /// The band sweep failed (protocol fail-safe fired before coverage).
+    SweepIncomplete {
+        /// Bands actually measured.
+        measured: usize,
+        /// Bands planned.
+        planned: usize,
+    },
+}
+
+impl fmt::Display for ChronosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChronosError::TooFewBands { got, need } => {
+                write!(f, "too few band measurements: got {got}, need {need}")
+            }
+            ChronosError::NoDominantPath => {
+                write!(f, "no dominant path found in multipath profile")
+            }
+            ChronosError::BadCapture(why) => write!(f, "malformed CSI capture: {why}"),
+            ChronosError::NoConsistentPosition => {
+                write!(f, "distance set admits no consistent position")
+            }
+            ChronosError::SweepIncomplete { measured, planned } => {
+                write!(f, "band sweep incomplete: {measured}/{planned} bands measured")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChronosError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ChronosError::TooFewBands { got: 2, need: 5 }
+            .to_string()
+            .contains("got 2"));
+        assert!(ChronosError::NoDominantPath.to_string().contains("dominant"));
+        assert!(ChronosError::SweepIncomplete { measured: 10, planned: 35 }
+            .to_string()
+            .contains("10/35"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ChronosError::NoDominantPath);
+    }
+}

@@ -1,0 +1,459 @@
+//! Sparse inverse-NDFT by proximal gradient descent — the paper's
+//! Algorithm 1 (§6.2).
+//!
+//! The inversion problem is under-determined (tens of measurements, hundreds
+//! of grid delays), so Chronos regularizes it with an L1 penalty that favors
+//! profiles with few dominant paths:
+//!
+//! ```text
+//! minimize  || h - F p ||_2^2  +  alpha * || p ||_1
+//! ```
+//!
+//! The solver alternates a gradient step on the smooth term with a complex
+//! soft-threshold (the paper's SPARSIFY): magnitudes shrink by the
+//! threshold, phases are preserved, and anything below the threshold
+//! becomes exactly zero. We also provide FISTA acceleration (Nesterov
+//! momentum) as a documented extension — same fixed points, fewer
+//! iterations — selectable via [`IstaConfig::accelerated`].
+
+use crate::ndft::Ndft;
+use chronos_math::cmatrix::CMat;
+use chronos_math::cvec;
+use chronos_math::Complex64;
+
+/// Solver settings.
+#[derive(Debug, Clone, Copy)]
+pub struct IstaConfig {
+    /// Sparsity weight relative to `max |F* h|`. 0 disables shrinkage;
+    /// 1 zeroes every component on the first step.
+    pub alpha_rel: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Convergence threshold on `||p_{t+1} - p_t||_2` (the paper's
+    /// epsilon), relative to `||p_t||_2 + 1`.
+    pub epsilon: f64,
+    /// Enable FISTA momentum.
+    pub accelerated: bool,
+}
+
+impl Default for IstaConfig {
+    fn default() -> Self {
+        IstaConfig { alpha_rel: 0.12, max_iters: 400, epsilon: 1e-6, accelerated: true }
+    }
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone)]
+pub struct IstaSolution {
+    /// The sparse profile over the NDFT's delay grid.
+    pub p: Vec<Complex64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the epsilon criterion was met before the cap.
+    pub converged: bool,
+    /// Final data-fit residual `||h - F p||_2`.
+    pub residual: f64,
+}
+
+/// Complex soft-threshold: shrinks magnitude by `t`, zeroing anything
+/// smaller (the paper's SPARSIFY function, generalized to complex values).
+pub fn sparsify(p: &mut [Complex64], t: f64) {
+    if t <= 0.0 {
+        return;
+    }
+    for z in p.iter_mut() {
+        let mag = z.abs();
+        if mag <= t {
+            *z = Complex64::ZERO;
+        } else {
+            *z = z.scale((mag - t) / mag);
+        }
+    }
+}
+
+/// Runs the sparse inversion of `h` under the operator `ndft`.
+pub fn solve(ndft: &Ndft, h: &[Complex64], cfg: &IstaConfig) -> IstaSolution {
+    let m = ndft.n_taus();
+    assert_eq!(h.len(), ndft.n_freqs(), "solve: measurement length mismatch");
+
+    // Step size: 1 / L with L = 2 ||F||^2 (gradient of ||h - Fp||^2 is
+    // 2 F*(Fp - h)); power iteration gives ||F||.
+    let op_norm = ndft.op_norm(40).max(1e-12);
+    let gamma = 1.0 / (2.0 * op_norm * op_norm);
+
+    // Threshold from the adjoint image of the data: alpha_rel = 1 would
+    // zero the first iterate entirely.
+    let atb = ndft.adjoint(h);
+    let alpha = cfg.alpha_rel * cvec::norm_inf(&atb) * 2.0; // matches L scaling
+    let thresh = gamma * alpha;
+
+    let mut p = vec![Complex64::ZERO; m];
+    let mut y = p.clone(); // FISTA extrapolation point
+    let mut t_momentum = 1.0f64;
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for _ in 0..cfg.max_iters {
+        iterations += 1;
+        // Gradient step at y: y - gamma * 2 F*(F y - h).
+        let fy = ndft.forward(&y);
+        let mut resid = fy;
+        for (r, hi) in resid.iter_mut().zip(h.iter()) {
+            *r -= *hi;
+        }
+        let grad = ndft.adjoint(&resid);
+        let mut next: Vec<Complex64> = y
+            .iter()
+            .zip(grad.iter())
+            .map(|(yi, gi)| *yi - gi.scale(2.0 * gamma))
+            .collect();
+        sparsify(&mut next, thresh);
+
+        let delta = cvec::dist2(&next, &p);
+        let scale = cvec::norm2(&p) + 1.0;
+
+        if cfg.accelerated {
+            let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t_momentum * t_momentum).sqrt());
+            let beta = (t_momentum - 1.0) / t_next;
+            y = next
+                .iter()
+                .zip(p.iter())
+                .map(|(n, o)| *n + (*n - *o).scale(beta))
+                .collect();
+            t_momentum = t_next;
+        } else {
+            y = next.clone();
+        }
+        p = next;
+
+        if delta < cfg.epsilon * scale {
+            converged = true;
+            break;
+        }
+    }
+
+    let fit = ndft.forward(&p);
+    let mut resid = fit;
+    for (r, hi) in resid.iter_mut().zip(h.iter()) {
+        *r -= *hi;
+    }
+    let residual = cvec::norm2(&resid);
+
+    IstaSolution { p, iterations, converged, residual }
+}
+
+/// LASSO **debiasing**: refits the amplitudes of the detected support by
+/// unpenalized least squares, undoing the soft-threshold's shrinkage bias.
+///
+/// The L1 penalty that makes support detection work also shrinks every
+/// surviving amplitude by roughly the threshold — enough to push a weak
+/// direct path below the peak-dominance cut, and to leave spurious sidelobe
+/// atoms with inflated relative weight. The standard cure is a two-step
+/// estimator: keep ISTA's support, solve `min ||h - F_S w||_2` on it.
+///
+/// At most `max_atoms` strongest support atoms are refit (the system must
+/// stay overdetermined: `max_atoms <= n_freqs / 2` is sensible), separated
+/// by at least `min_sep` grid bins to avoid near-collinear columns. The
+/// returned vector is zero off the refit support.
+pub fn debias(
+    ndft: &Ndft,
+    h: &[Complex64],
+    p: &[Complex64],
+    max_atoms: usize,
+    min_sep: usize,
+) -> Vec<Complex64> {
+    assert_eq!(p.len(), ndft.n_taus(), "debias: profile length mismatch");
+    // Rank support by magnitude.
+    let mut idx: Vec<usize> = (0..p.len()).filter(|k| p[*k].abs() > 1e-12).collect();
+    idx.sort_by(|a, b| p[*b].abs().partial_cmp(&p[*a].abs()).unwrap());
+    let mut chosen: Vec<usize> = Vec::new();
+    for k in idx {
+        if chosen.len() >= max_atoms {
+            break;
+        }
+        if chosen.iter().all(|c| c.abs_diff(k) >= min_sep.max(1)) {
+            chosen.push(k);
+        }
+    }
+    if chosen.is_empty() {
+        return vec![Complex64::ZERO; p.len()];
+    }
+    chosen.sort_unstable();
+
+    // Build the atom matrix: columns are steering vectors at the chosen
+    // grid delays.
+    let grid = ndft.grid();
+    let cols: Vec<Vec<Complex64>> = chosen
+        .iter()
+        .map(|k| {
+            let tau_s = grid.tau_at(*k) * 1e-9;
+            ndft.freqs_hz()
+                .iter()
+                .map(|f| Complex64::cis(-2.0 * std::f64::consts::PI * f * tau_s))
+                .collect()
+        })
+        .collect();
+    let a = CMat::from_cols(&cols);
+    let mut out = vec![Complex64::ZERO; p.len()];
+    match a.lstsq(h) {
+        Ok(w) => {
+            for (k, wi) in chosen.iter().zip(w.iter()) {
+                out[*k] = *wi;
+            }
+            out
+        }
+        // Refit can fail for pathological supports; fall back to the
+        // biased estimate rather than nothing.
+        Err(_) => p.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndft::TauGrid;
+    use chronos_rf::bands::band_plan_5ghz;
+    use std::f64::consts::PI;
+
+    fn freqs() -> Vec<f64> {
+        band_plan_5ghz().iter().map(|b| b.center_hz).collect()
+    }
+
+    fn channel_for(paths: &[(f64, f64)], freqs: &[f64]) -> Vec<Complex64> {
+        freqs
+            .iter()
+            .map(|f| {
+                let mut h = Complex64::ZERO;
+                for (tau_ns, a) in paths {
+                    h += Complex64::from_polar(*a, -2.0 * PI * f * tau_ns * 1e-9);
+                }
+                h
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sparsify_behaviour() {
+        let mut p = vec![
+            Complex64::from_polar(1.0, 0.3),
+            Complex64::from_polar(0.05, -1.0),
+            Complex64::ZERO,
+        ];
+        sparsify(&mut p, 0.1);
+        assert!((p[0].abs() - 0.9).abs() < 1e-12);
+        assert!((p[0].arg() - 0.3).abs() < 1e-12, "phase must be preserved");
+        assert_eq!(p[1], Complex64::ZERO);
+        assert_eq!(p[2], Complex64::ZERO);
+        // Zero threshold is a no-op.
+        let mut q = vec![Complex64::from_polar(0.5, 1.0)];
+        sparsify(&mut q, 0.0);
+        assert!((q[0].abs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_single_path_on_grid() {
+        let f = freqs();
+        let grid = TauGrid::span(50.0, 0.5);
+        let ndft = Ndft::new(&f, grid);
+        let h = channel_for(&[(10.0, 1.0)], &f);
+        let sol = solve(&ndft, &h, &IstaConfig::default());
+        // The largest component must sit at tau = 10 ns (index 20).
+        let (idx, _) = sol
+            .p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap();
+        assert_eq!(idx, 20, "peak at {} ns", grid.tau_at(idx));
+        assert!(sol.residual < 0.3 * (f.len() as f64).sqrt());
+    }
+
+    #[test]
+    fn recovers_three_paths_fig4() {
+        // The paper's Fig. 4 scenario: 5.2, 10, 16 ns with falling power.
+        let f = freqs();
+        let grid = TauGrid::span(40.0, 0.2);
+        let ndft = Ndft::new(&f, grid);
+        let h = channel_for(&[(5.2, 1.0), (10.0, 0.7), (16.0, 0.4)], &f);
+        let sol = solve(&ndft, &h, &IstaConfig { alpha_rel: 0.08, ..Default::default() });
+        let mags: Vec<f64> = sol.p.iter().map(|z| z.abs()).collect();
+        let peaks = chronos_math::peaks::find_peaks(
+            &mags,
+            0.0,
+            0.2,
+            &chronos_math::peaks::PeakConfig { dominance: 0.2, min_separation: 4 },
+        );
+        assert!(peaks.len() >= 3, "found {} peaks", peaks.len());
+        assert!((peaks[0].x - 5.2).abs() < 0.4, "first peak {}", peaks[0].x);
+        // Find peaks near 10 and 16.
+        assert!(peaks.iter().any(|p| (p.x - 10.0).abs() < 0.5));
+        assert!(peaks.iter().any(|p| (p.x - 16.0).abs() < 0.6));
+    }
+
+    #[test]
+    fn solution_is_sparse() {
+        let f = freqs();
+        let grid = TauGrid::span(100.0, 0.5);
+        let ndft = Ndft::new(&f, grid);
+        let h = channel_for(&[(7.0, 1.0), (22.0, 0.5)], &f);
+        let sol = solve(&ndft, &h, &IstaConfig::default());
+        let nonzero = sol.p.iter().filter(|z| z.abs() > 1e-9).count();
+        // 200 grid points, but only a handful alive.
+        assert!(nonzero < 30, "nonzero {nonzero}");
+        assert!(nonzero >= 2);
+    }
+
+    #[test]
+    fn larger_alpha_is_sparser() {
+        let f = freqs();
+        let grid = TauGrid::span(60.0, 0.5);
+        let ndft = Ndft::new(&f, grid);
+        let h = channel_for(&[(5.0, 1.0), (9.0, 0.6), (14.0, 0.3), (20.0, 0.2)], &f);
+        let count = |alpha: f64| {
+            let sol = solve(&ndft, &h, &IstaConfig { alpha_rel: alpha, ..Default::default() });
+            sol.p.iter().filter(|z| z.abs() > 1e-9).count()
+        };
+        assert!(count(0.4) <= count(0.05), "{} > {}", count(0.4), count(0.05));
+    }
+
+    #[test]
+    fn ista_and_fista_agree() {
+        let f = freqs();
+        let grid = TauGrid::span(50.0, 0.5);
+        let ndft = Ndft::new(&f, grid);
+        let h = channel_for(&[(12.0, 1.0), (19.0, 0.5)], &f);
+        let plain = solve(
+            &ndft,
+            &h,
+            &IstaConfig { accelerated: false, max_iters: 4000, epsilon: 1e-9, ..Default::default() },
+        );
+        let fast = solve(
+            &ndft,
+            &h,
+            &IstaConfig { accelerated: true, max_iters: 4000, epsilon: 1e-9, ..Default::default() },
+        );
+        // Peak locations agree.
+        let argmax = |p: &[Complex64]| {
+            p.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+                .unwrap()
+                .0
+        };
+        assert_eq!(argmax(&plain.p), argmax(&fast.p));
+        // FISTA converges in fewer iterations.
+        assert!(fast.iterations <= plain.iterations, "{} vs {}", fast.iterations, plain.iterations);
+    }
+
+    #[test]
+    fn noise_does_not_create_spurious_dominant_peaks() {
+        let f = freqs();
+        let grid = TauGrid::span(60.0, 0.5);
+        let ndft = Ndft::new(&f, grid);
+        let mut h = channel_for(&[(8.0, 1.0)], &f);
+        // Deterministic pseudo-noise at ~5% amplitude.
+        for (i, z) in h.iter_mut().enumerate() {
+            *z += Complex64::from_polar(0.05, (i as f64 * 2.399) % (2.0 * PI));
+        }
+        let sol = solve(&ndft, &h, &IstaConfig::default());
+        let mags: Vec<f64> = sol.p.iter().map(|z| z.abs()).collect();
+        let peaks = chronos_math::peaks::find_peaks(
+            &mags,
+            0.0,
+            0.5,
+            &chronos_math::peaks::PeakConfig { dominance: 0.3, min_separation: 3 },
+        );
+        assert_eq!(peaks.len(), 1, "spurious peaks: {peaks:?}");
+        assert!((peaks[0].x - 8.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn empty_measurement_panics_cleanly() {
+        let ndft = Ndft::new(&[5e9], TauGrid::span(10.0, 1.0));
+        let sol = solve(&ndft, &[Complex64::ZERO], &IstaConfig::default());
+        // All-zero input: all-zero output, converged.
+        assert!(sol.p.iter().all(|z| *z == Complex64::ZERO));
+        assert!(sol.converged);
+    }
+
+    #[test]
+    fn debias_restores_shrunk_amplitudes() {
+        // ISTA shrinks every survivor by ~the threshold; the refit must
+        // recover the physical amplitudes.
+        let f = freqs();
+        let grid = TauGrid::span(60.0, 0.5);
+        let ndft = Ndft::new(&f, grid);
+        let true_amps = [(10.0, 1.0), (20.0, 0.4)];
+        let h = channel_for(&true_amps, &f);
+        let sol = solve(&ndft, &h, &IstaConfig { alpha_rel: 0.25, ..Default::default() });
+        let biased_max = sol.p.iter().map(|z| z.abs()).fold(0.0, f64::max);
+        assert!(biased_max < 1.0, "expected shrinkage, max {biased_max}");
+        let d = debias(&ndft, &h, &sol.p, 6, 3);
+        let at = |tau: f64| {
+            let idx = (tau / 0.5).round() as usize;
+            d[idx.saturating_sub(1)..=(idx + 1).min(d.len() - 1)]
+                .iter()
+                .map(|z| z.abs())
+                .fold(0.0, f64::max)
+        };
+        assert!((at(10.0) - 1.0).abs() < 0.1, "strong atom {}", at(10.0));
+        assert!((at(20.0) - 0.4).abs() < 0.1, "weak atom {}", at(20.0));
+    }
+
+    #[test]
+    fn debias_zero_off_support() {
+        let f = freqs();
+        let grid = TauGrid::span(40.0, 0.5);
+        let ndft = Ndft::new(&f, grid);
+        let h = channel_for(&[(12.0, 1.0)], &f);
+        let sol = solve(&ndft, &h, &IstaConfig::default());
+        let d = debias(&ndft, &h, &sol.p, 5, 3);
+        let nonzero = d.iter().filter(|z| z.abs() > 1e-12).count();
+        assert!(nonzero <= 5, "nonzero {nonzero}");
+    }
+
+    #[test]
+    fn debias_respects_max_atoms_and_separation() {
+        let f = freqs();
+        let grid = TauGrid::span(40.0, 0.5);
+        let ndft = Ndft::new(&f, grid);
+        let h = channel_for(&[(8.0, 1.0), (9.0, 0.9), (25.0, 0.5)], &f);
+        let sol = solve(&ndft, &h, &IstaConfig { alpha_rel: 0.05, ..Default::default() });
+        let d = debias(&ndft, &h, &sol.p, 2, 4);
+        let support: Vec<usize> =
+            (0..d.len()).filter(|k| d[*k].abs() > 1e-12).collect();
+        assert!(support.len() <= 2, "support {support:?}");
+        for w in support.windows(2) {
+            assert!(w[1] - w[0] >= 4, "separation violated: {support:?}");
+        }
+    }
+
+    #[test]
+    fn debias_on_empty_solution_is_zero() {
+        let ndft = Ndft::new(&freqs(), TauGrid::span(20.0, 1.0));
+        let p = vec![Complex64::ZERO; 20];
+        let h = vec![Complex64::ONE; ndft.n_freqs()];
+        let d = debias(&ndft, &h, &p, 5, 2);
+        assert!(d.iter().all(|z| *z == Complex64::ZERO));
+    }
+
+    #[test]
+    fn debias_improves_data_fit() {
+        let f = freqs();
+        let grid = TauGrid::span(60.0, 0.25);
+        let ndft = Ndft::new(&f, grid);
+        let h = channel_for(&[(7.3, 1.0), (15.1, 0.6)], &f);
+        let sol = solve(&ndft, &h, &IstaConfig { alpha_rel: 0.2, ..Default::default() });
+        let d = debias(&ndft, &h, &sol.p, 8, 3);
+        let resid = |p: &[Complex64]| {
+            let fit = ndft.forward(p);
+            fit.iter().zip(h.iter()).map(|(a, b)| (*a - *b).norm_sq()).sum::<f64>().sqrt()
+        };
+        assert!(
+            resid(&d) <= resid(&sol.p) + 1e-9,
+            "debias worsened fit: {} vs {}",
+            resid(&d),
+            resid(&sol.p)
+        );
+    }
+}

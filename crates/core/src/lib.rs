@@ -1,0 +1,53 @@
+//! # chronos-core
+//!
+//! The paper's contribution: sub-nanosecond time-of-flight on commodity
+//! Wi-Fi, rebuilt end to end.
+//!
+//! The pipeline, in the order measurements flow through it:
+//!
+//! 1. [`phase`] — clean each CSI capture and interpolate the channel at the
+//!    unmeasurable **zero-subcarrier**, the only point free of packet
+//!    detection delay (paper §5).
+//! 2. [`reciprocity`] — multiply forward and reverse zero-subcarrier
+//!    channels to cancel carrier frequency offset (paper §7, Eq. 11–13),
+//!    averaging across packet exchanges.
+//! 3. [`quirk`] — handle the Intel 5300's 2.4 GHz phase bug by raising the
+//!    2.4 GHz products to the fourth power and keeping band groups with
+//!    different delay scales apart (paper §11, footnote 5).
+//! 4. [`ndft`] + [`ista`] — pose multipath recovery as a sparse inversion
+//!    of the **non-uniform DFT** over the swept band centers and solve it
+//!    with the paper's proximal-gradient Algorithm 1 (§6).
+//! 5. [`profile`] — extract the multipath profile's first dominant peak:
+//!    the direct path's (scaled) propagation delay.
+//! 6. [`tof`] — fuse band groups, undo delay scaling, apply calibration:
+//!    the time-of-flight estimate.
+//! 7. [`ranging`] + [`localization`] — distances from ToF, positions from
+//!    intersecting per-antenna distance circles (§8).
+//! 8. [`session`] — the end-to-end loop: drive the link-layer band sweep,
+//!    synthesize CSI at the protocol's capture instants, estimate.
+//!
+//! [`crt`] implements the Chinese-remainder view of §4 (the Fig. 3
+//! construction) used for single-path fast paths, cross-checks and tests,
+//! and [`delay`] estimates per-packet detection delay for the Fig. 7(c)
+//! analysis.
+
+pub mod config;
+pub mod crt;
+pub mod delay;
+pub mod error;
+pub mod ista;
+pub mod localization;
+pub mod ndft;
+pub mod phase;
+pub mod profile;
+pub mod quirk;
+pub mod ranging;
+pub mod reciprocity;
+pub mod session;
+pub mod tof;
+
+pub use config::{ChronosConfig, QuirkMode};
+pub use error::ChronosError;
+pub use profile::MultipathProfile;
+pub use session::{ChronosSession, SweepOutput};
+pub use tof::{BandSample, TofEstimate, TofEstimator};

@@ -1,0 +1,358 @@
+//! Device-to-device localization from per-antenna distances (paper §8).
+//!
+//! A multi-antenna receiver measures the transmitter's time-of-flight to
+//! each of its antennas; multiplying by the speed of light gives one
+//! distance circle per antenna, and the transmitter sits at their
+//! intersection. With two antennas the intersection is ambiguous (two
+//! mirror points); a third, non-collinear antenna disambiguates, or — when
+//! the receiver can move — the mobility heuristic of §8 does.
+//!
+//! The solver is a damped Gauss–Newton least squares over candidate starts
+//! (both mirror seeds), preceded by triangle-inequality consistency
+//! filtering on the distance set (§12.2's "discard estimates that do not
+//! fit the geometry of the relative antenna placements").
+
+use crate::error::ChronosError;
+use chronos_math::lstsq::{GaussNewton, Residuals};
+use chronos_rf::geometry::Point;
+
+/// One antenna's distance observation.
+#[derive(Debug, Clone, Copy)]
+pub struct AntennaRange {
+    /// Antenna position in the receiver's local frame, meters.
+    pub antenna: Point,
+    /// Measured distance to the transmitter, meters.
+    pub distance_m: f64,
+}
+
+/// A located transmitter.
+#[derive(Debug, Clone, Copy)]
+pub struct Position {
+    /// Estimated transmitter position in the receiver's frame.
+    pub point: Point,
+    /// Root-mean-square circle residual at the solution, meters.
+    pub residual_m: f64,
+    /// How many antenna ranges the solution used (after outlier
+    /// rejection).
+    pub n_used: usize,
+}
+
+struct CircleResiduals<'a> {
+    ranges: &'a [AntennaRange],
+}
+
+impl Residuals for CircleResiduals<'_> {
+    fn len(&self) -> usize {
+        self.ranges.len()
+    }
+    fn eval(&self, p: &[f64], out: &mut [f64]) {
+        for (i, r) in self.ranges.iter().enumerate() {
+            let d = Point::new(p[0], p[1]).dist(r.antenna);
+            out[i] = d - r.distance_m;
+        }
+    }
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalizerConfig {
+    /// Slack for the geometric consistency test: ranges `i` and `j` are
+    /// mutually consistent when `|d_i - d_j| <= separation_ij + tol`
+    /// (the triangle inequality — the paper's "estimates that do not fit
+    /// the geometry of the relative antenna placements").
+    pub consistency_tol_m: f64,
+    /// Maximum acceptable RMS residual before declaring no consistent
+    /// position, meters.
+    pub max_residual_m: f64,
+}
+
+impl Default for LocalizerConfig {
+    fn default() -> Self {
+        LocalizerConfig { consistency_tol_m: 0.5, max_residual_m: 1.5 }
+    }
+}
+
+/// Intersects the two circles centered at `a` and `b`; returns 0, 1 or 2
+/// candidate points. Degenerate (concentric) inputs return an empty set.
+pub fn circle_intersection(a: Point, ra: f64, b: Point, rb: f64) -> Vec<Point> {
+    let d = a.dist(b);
+    if d < 1e-9 {
+        return Vec::new();
+    }
+    // No intersection: circles too far apart or nested. Fall back to the
+    // nearest-approach point (useful as a least-squares seed).
+    let x = (d * d - rb * rb + ra * ra) / (2.0 * d);
+    let h2 = ra * ra - x * x;
+    let ex = b.sub(a).scale(1.0 / d);
+    let base = a.add(ex.scale(x));
+    if h2 <= 0.0 {
+        return vec![base];
+    }
+    let h = h2.sqrt();
+    let ey = Point::new(-ex.y, ex.x);
+    vec![base.add(ey.scale(h)), base.sub(ey.scale(h))]
+}
+
+/// Locates the transmitter from per-antenna ranges.
+///
+/// Needs at least two usable ranges. With exactly two, returns the
+/// candidate on the positive-y side of the antenna baseline (callers
+/// resolve the ambiguity via a third antenna or mobility; see
+/// [`disambiguate_by_motion`]).
+pub fn locate(
+    ranges: &[AntennaRange],
+    cfg: &LocalizerConfig,
+) -> Result<Position, ChronosError> {
+    if ranges.len() < 2 {
+        return Err(ChronosError::NoConsistentPosition);
+    }
+    // Geometric outlier rejection: the triangle inequality bounds how much
+    // two antennas' distances to one transmitter may differ — by their own
+    // separation. A bad ToF violates that bound against the other
+    // antennas; iteratively drop the worst offender.
+    let mut usable: Vec<AntennaRange> = ranges.to_vec();
+    while usable.len() > 2 {
+        let violations: Vec<usize> = usable
+            .iter()
+            .map(|ri| {
+                usable
+                    .iter()
+                    .filter(|rj| {
+                        let sep = ri.antenna.dist(rj.antenna);
+                        (ri.distance_m - rj.distance_m).abs() > sep + cfg.consistency_tol_m
+                    })
+                    .count()
+            })
+            .collect();
+        let (worst_idx, worst) = violations
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, v)| (i, *v))
+            .unwrap_or((0, 0));
+        if worst == 0 {
+            break;
+        }
+        usable.remove(worst_idx);
+    }
+
+    // Seeds: both intersection candidates of the two widest-separated
+    // antennas.
+    let (i, j) = widest_pair(&usable);
+    let seeds = {
+        let mut s = circle_intersection(
+            usable[i].antenna,
+            usable[i].distance_m,
+            usable[j].antenna,
+            usable[j].distance_m,
+        );
+        if s.is_empty() {
+            s.push(Point::new(0.0, usable[0].distance_m));
+        }
+        s
+    };
+
+    let gn = GaussNewton { max_iters: 200, ..Default::default() };
+    let problem = CircleResiduals { ranges: &usable };
+    let mut best: Option<Position> = None;
+    for seed in seeds {
+        let fit = gn.minimize(&problem, &[seed.x, seed.y]);
+        let rms = (fit.cost / usable.len() as f64).sqrt();
+        let cand = Position {
+            point: Point::new(fit.params[0], fit.params[1]),
+            residual_m: rms,
+            n_used: usable.len(),
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => cand.residual_m < b.residual_m - 1e-12,
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    let best = best.ok_or(ChronosError::NoConsistentPosition)?;
+    if !best.point.x.is_finite() || !best.point.y.is_finite() || best.residual_m > cfg.max_residual_m
+    {
+        return Err(ChronosError::NoConsistentPosition);
+    }
+    Ok(best)
+}
+
+/// Picks the pair of ranges with the widest antenna separation (best
+/// geometry for seeding).
+fn widest_pair(ranges: &[AntennaRange]) -> (usize, usize) {
+    let mut best = (0, 1);
+    let mut best_d = -1.0;
+    for i in 0..ranges.len() {
+        for j in (i + 1)..ranges.len() {
+            let d = ranges[i].antenna.dist(ranges[j].antenna);
+            if d > best_d {
+                best_d = d;
+                best = (i, j);
+            }
+        }
+    }
+    best
+}
+
+/// The §8 mobility disambiguation: given the two mirror candidates and a
+/// second measurement taken after the receiver moved by `motion` (in its
+/// own frame), keep the candidate whose predicted distance change matches
+/// the observed one.
+pub fn disambiguate_by_motion(
+    candidates: (Point, Point),
+    motion: Point,
+    distance_before_m: f64,
+    distance_after_m: f64,
+) -> Point {
+    let predict = |c: Point| (c.sub(motion).norm() - c.norm()).abs();
+    let observed = (distance_after_m - distance_before_m).abs();
+    let e0 = (predict(candidates.0) - observed).abs();
+    let e1 = (predict(candidates.1) - observed).abs();
+    if e0 <= e1 {
+        candidates.0
+    } else {
+        candidates.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_rf::hardware::AntennaArray;
+
+    fn ranges_for(tx: Point, array: &AntennaArray, noise: &[f64]) -> Vec<AntennaRange> {
+        array
+            .positions()
+            .iter()
+            .enumerate()
+            .map(|(i, a)| AntennaRange {
+                antenna: *a,
+                distance_m: a.dist(tx) + noise.get(i).copied().unwrap_or(0.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_three_antenna_fix() {
+        let array = AntennaArray::laptop();
+        let tx = Point::new(2.5, 4.0);
+        let ranges = ranges_for(tx, &array, &[]);
+        let pos = locate(&ranges, &LocalizerConfig::default()).unwrap();
+        assert!(pos.point.dist(tx) < 1e-4, "err {}", pos.point.dist(tx));
+        assert!(pos.residual_m < 1e-6);
+        assert_eq!(pos.n_used, 3);
+    }
+
+    #[test]
+    fn noisy_three_antenna_fix_sub_meter() {
+        let array = AntennaArray::access_point();
+        let tx = Point::new(-3.0, 6.5);
+        let ranges = ranges_for(tx, &array, &[0.05, -0.04, 0.06]);
+        let pos = locate(&ranges, &LocalizerConfig::default()).unwrap();
+        assert!(pos.point.dist(tx) < 0.6, "err {}", pos.point.dist(tx));
+    }
+
+    #[test]
+    fn wider_array_is_more_accurate() {
+        // §10's antenna-separation trade-off, in its geometric essence:
+        // same range noise, larger baseline -> smaller position error.
+        let tx = Point::new(1.5, 5.0);
+        let noise = [0.08, -0.06, 0.07];
+        let small = locate(
+            &ranges_for(tx, &AntennaArray::laptop(), &noise),
+            &LocalizerConfig::default(),
+        )
+        .unwrap();
+        let large = locate(
+            &ranges_for(tx, &AntennaArray::access_point(), &noise),
+            &LocalizerConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            large.point.dist(tx) < small.point.dist(tx),
+            "large {} small {}",
+            large.point.dist(tx),
+            small.point.dist(tx)
+        );
+    }
+
+    #[test]
+    fn outlier_antenna_rejected() {
+        let array = AntennaArray::access_point();
+        let tx = Point::new(2.0, 3.0);
+        // Third antenna's range is wildly wrong (NLOS-style outlier).
+        let mut ranges = ranges_for(tx, &array, &[0.01, -0.01, 0.0]);
+        ranges[2].distance_m += 4.0;
+        let pos = locate(&ranges, &LocalizerConfig::default()).unwrap();
+        assert!(pos.point.dist(tx) < 0.5, "err {}", pos.point.dist(tx));
+        assert!(pos.n_used < 3, "outlier not dropped");
+    }
+
+    #[test]
+    fn two_antennas_give_mirror_candidate() {
+        let a = Point::new(-0.5, 0.0);
+        let b = Point::new(0.5, 0.0);
+        let tx = Point::new(0.3, 2.0);
+        let ranges = vec![
+            AntennaRange { antenna: a, distance_m: a.dist(tx) },
+            AntennaRange { antenna: b, distance_m: b.dist(tx) },
+        ];
+        let pos = locate(&ranges, &LocalizerConfig::default()).unwrap();
+        // Either tx or its mirror across the baseline.
+        let mirror = Point::new(tx.x, -tx.y);
+        assert!(pos.point.dist(tx) < 1e-3 || pos.point.dist(mirror) < 1e-3);
+    }
+
+    #[test]
+    fn circle_intersection_cases() {
+        // Two clean intersections.
+        let pts = circle_intersection(Point::new(0.0, 0.0), 5.0, Point::new(6.0, 0.0), 5.0);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!((p.dist(Point::new(0.0, 0.0)) - 5.0).abs() < 1e-9);
+            assert!((p.dist(Point::new(6.0, 0.0)) - 5.0).abs() < 1e-9);
+        }
+        // Tangent-ish / disjoint: nearest-approach fallback.
+        let pts = circle_intersection(Point::new(0.0, 0.0), 1.0, Point::new(10.0, 0.0), 1.0);
+        assert_eq!(pts.len(), 1);
+        // Concentric: empty.
+        assert!(circle_intersection(Point::new(0.0, 0.0), 1.0, Point::new(0.0, 0.0), 2.0)
+            .is_empty());
+    }
+
+    #[test]
+    fn motion_disambiguation_picks_correct_side() {
+        let truth = Point::new(1.0, 3.0);
+        let mirror = Point::new(1.0, -3.0);
+        // Receiver moves toward +y by 1 m: distance to truth shrinks,
+        // distance to mirror grows.
+        let motion = Point::new(0.0, 1.0);
+        let before = truth.norm();
+        let after = truth.sub(motion).norm();
+        let picked = disambiguate_by_motion((truth, mirror), motion, before, after);
+        assert!(picked.dist(truth) < 1e-9);
+        // Swapped candidate order gives the same answer.
+        let picked2 = disambiguate_by_motion((mirror, truth), motion, before, after);
+        assert!(picked2.dist(truth) < 1e-9);
+    }
+
+    #[test]
+    fn single_antenna_cannot_locate() {
+        let ranges = vec![AntennaRange { antenna: Point::new(0.0, 0.0), distance_m: 3.0 }];
+        assert!(locate(&ranges, &LocalizerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn absurd_residual_rejected() {
+        // Mutually impossible distances with a tight residual cap.
+        let ranges = vec![
+            AntennaRange { antenna: Point::new(-0.5, 0.0), distance_m: 1.0 },
+            AntennaRange { antenna: Point::new(0.5, 0.0), distance_m: 9.0 },
+            AntennaRange { antenna: Point::new(0.0, 0.4), distance_m: 4.0 },
+        ];
+        let cfg = LocalizerConfig { consistency_tol_m: 100.0, max_residual_m: 0.05 };
+        assert!(locate(&ranges, &cfg).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! The non-uniform discrete Fourier transform over Wi-Fi band centers
+//! (paper §6.1).
+//!
+//! Measurements live at the scattered band center frequencies
+//! `{f_1, ..., f_n}`; the multipath profile lives on a uniform delay grid
+//! `{tau_1, ..., tau_m}`. The forward operator is the `n x m` matrix
+//! `F[i][k] = e^{-j 2 pi f_i tau_k}` (the paper's Fourier matrix). This
+//! module materializes `F`, applies it and its adjoint, and estimates its
+//! spectral norm by power iteration — the step size the proximal-gradient
+//! solver needs.
+
+use chronos_math::cvec;
+use chronos_math::Complex64;
+use std::f64::consts::PI;
+
+/// A uniform delay grid in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TauGrid {
+    /// First grid point, ns.
+    pub start_ns: f64,
+    /// Grid step, ns.
+    pub step_ns: f64,
+    /// Number of points.
+    pub len: usize,
+}
+
+impl TauGrid {
+    /// Grid covering `[0, span)` with the given step.
+    pub fn span(span_ns: f64, step_ns: f64) -> Self {
+        assert!(span_ns > 0.0 && step_ns > 0.0, "grid must be positive");
+        TauGrid { start_ns: 0.0, step_ns, len: (span_ns / step_ns).ceil() as usize }
+    }
+
+    /// The delay at grid index `k`, ns.
+    #[inline]
+    pub fn tau_at(&self, k: usize) -> f64 {
+        self.start_ns + k as f64 * self.step_ns
+    }
+
+    /// All grid delays.
+    pub fn taus(&self) -> Vec<f64> {
+        (0..self.len).map(|k| self.tau_at(k)).collect()
+    }
+}
+
+/// The materialized NDFT operator.
+#[derive(Debug, Clone)]
+pub struct Ndft {
+    freqs_hz: Vec<f64>,
+    grid: TauGrid,
+    /// Row-major `n x m` matrix entries.
+    rows: Vec<Vec<Complex64>>,
+}
+
+impl Ndft {
+    /// Builds the operator for measurement frequencies `freqs_hz` and the
+    /// delay grid `grid`.
+    ///
+    /// # Panics
+    /// Panics if `freqs_hz` is empty or the grid has no points.
+    pub fn new(freqs_hz: &[f64], grid: TauGrid) -> Self {
+        assert!(!freqs_hz.is_empty(), "need at least one frequency");
+        assert!(grid.len > 0, "grid must be non-empty");
+        let rows = freqs_hz
+            .iter()
+            .map(|f| {
+                (0..grid.len)
+                    .map(|k| {
+                        let tau_s = grid.tau_at(k) * 1e-9;
+                        Complex64::cis(-2.0 * PI * f * tau_s)
+                    })
+                    .collect()
+            })
+            .collect();
+        Ndft { freqs_hz: freqs_hz.to_vec(), grid, rows }
+    }
+
+    /// Number of measurement frequencies (rows).
+    pub fn n_freqs(&self) -> usize {
+        self.freqs_hz.len()
+    }
+
+    /// Number of grid delays (columns).
+    pub fn n_taus(&self) -> usize {
+        self.grid.len
+    }
+
+    /// The delay grid.
+    pub fn grid(&self) -> TauGrid {
+        self.grid
+    }
+
+    /// The measurement frequencies.
+    pub fn freqs_hz(&self) -> &[f64] {
+        &self.freqs_hz
+    }
+
+    /// Forward transform: `h = F p` (profile -> measurements).
+    pub fn forward(&self, p: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(p.len(), self.grid.len, "forward: profile length mismatch");
+        self.rows
+            .iter()
+            .map(|row| {
+                let mut acc = Complex64::ZERO;
+                for (a, b) in row.iter().zip(p.iter()) {
+                    acc += *a * *b;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Adjoint transform: `p = F* h` (measurements -> profile domain).
+    pub fn adjoint(&self, h: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(h.len(), self.freqs_hz.len(), "adjoint: measurement length mismatch");
+        let mut out = vec![Complex64::ZERO; self.grid.len];
+        for (row, hi) in self.rows.iter().zip(h.iter()) {
+            for (k, a) in row.iter().enumerate() {
+                out[k] += a.conj() * *hi;
+            }
+        }
+        out
+    }
+
+    /// Matched-filter (Bartlett) response at an arbitrary, off-grid delay:
+    /// `|sum_i h_i e^{+j 2 pi f_i tau}|`. Used for sub-grid peak
+    /// refinement.
+    pub fn matched_filter(&self, h: &[Complex64], tau_ns: f64) -> f64 {
+        assert_eq!(h.len(), self.freqs_hz.len(), "matched_filter: length mismatch");
+        let tau_s = tau_ns * 1e-9;
+        let mut acc = Complex64::ZERO;
+        for (f, hi) in self.freqs_hz.iter().zip(h.iter()) {
+            acc += *hi * Complex64::cis(2.0 * PI * f * tau_s);
+        }
+        acc.abs()
+    }
+
+    /// Estimates the spectral norm `||F||_2` by power iteration on `F* F`.
+    pub fn op_norm(&self, iters: usize) -> f64 {
+        let m = self.grid.len;
+        // Deterministic start vector with mild structure.
+        let mut v: Vec<Complex64> = (0..m)
+            .map(|k| Complex64::cis(0.37 * k as f64) / (m as f64).sqrt())
+            .collect();
+        let mut norm = 1.0;
+        for _ in 0..iters.max(1) {
+            let fv = self.forward(&v);
+            let mut w = self.adjoint(&fv);
+            norm = cvec::norm2(&w);
+            if norm == 0.0 {
+                return 0.0;
+            }
+            cvec::scale_in_place(&mut w, 1.0 / norm);
+            v = w;
+        }
+        // norm approximates the largest eigenvalue of F*F = ||F||^2.
+        norm.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_rf::bands::band_plan_5ghz;
+
+    fn freqs() -> Vec<f64> {
+        band_plan_5ghz().iter().map(|b| b.center_hz).collect()
+    }
+
+    #[test]
+    fn grid_basics() {
+        let g = TauGrid::span(200.0, 0.25);
+        assert_eq!(g.len, 800);
+        assert_eq!(g.tau_at(0), 0.0);
+        assert!((g.tau_at(4) - 1.0).abs() < 1e-12);
+        assert_eq!(g.taus().len(), 800);
+    }
+
+    #[test]
+    fn forward_of_delta_is_steering_vector() {
+        let f = freqs();
+        let grid = TauGrid::span(50.0, 0.5);
+        let ndft = Ndft::new(&f, grid);
+        // A delta at grid index 20 (tau = 10 ns).
+        let mut p = vec![Complex64::ZERO; grid.len];
+        p[20] = Complex64::ONE;
+        let h = ndft.forward(&p);
+        for (hi, fi) in h.iter().zip(f.iter()) {
+            let expected = Complex64::cis(-2.0 * PI * fi * 10e-9);
+            assert!(hi.approx_eq(expected, 1e-12));
+        }
+    }
+
+    #[test]
+    fn adjoint_is_true_adjoint() {
+        // <F p, h> == <p, F* h> for random-ish vectors.
+        let f = vec![2.4e9, 5.18e9, 5.32e9, 5.825e9];
+        let grid = TauGrid::span(20.0, 1.0);
+        let ndft = Ndft::new(&f, grid);
+        let p: Vec<Complex64> =
+            (0..grid.len).map(|k| Complex64::from_polar(1.0 / (k + 1) as f64, k as f64)).collect();
+        let h: Vec<Complex64> =
+            (0..f.len()).map(|i| Complex64::from_polar(1.0, -0.4 * i as f64)).collect();
+        let lhs = cvec::dot(&ndft.forward(&p), &h);
+        let rhs = cvec::dot(&p, &ndft.adjoint(&h));
+        assert!(lhs.approx_eq(rhs, 1e-9), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn matched_filter_peaks_at_true_delay() {
+        let f = freqs();
+        let grid = TauGrid::span(50.0, 0.25);
+        let ndft = Ndft::new(&f, grid);
+        let tau_true = 13.37;
+        let h: Vec<Complex64> =
+            f.iter().map(|fi| Complex64::cis(-2.0 * PI * fi * tau_true * 1e-9)).collect();
+        let at_true = ndft.matched_filter(&h, tau_true);
+        assert!((at_true - f.len() as f64).abs() < 1e-9, "{at_true}");
+        // Strictly smaller a little away.
+        assert!(ndft.matched_filter(&h, tau_true + 0.3) < at_true);
+        assert!(ndft.matched_filter(&h, tau_true - 0.3) < at_true);
+    }
+
+    #[test]
+    fn op_norm_close_to_bruteforce_for_tiny_case() {
+        // For a single frequency, F is a row of unit-modulus entries:
+        // ||F||_2 = sqrt(m).
+        let grid = TauGrid::span(10.0, 1.0);
+        let ndft = Ndft::new(&[5e9], grid);
+        let n = ndft.op_norm(50);
+        assert!((n - (grid.len as f64).sqrt()).abs() < 1e-6, "{n}");
+    }
+
+    #[test]
+    fn op_norm_upper_bounds_gain() {
+        let f = freqs();
+        let grid = TauGrid::span(100.0, 0.5);
+        let ndft = Ndft::new(&f, grid);
+        let norm = ndft.op_norm(60);
+        // Gain on a specific vector never exceeds the norm.
+        let p: Vec<Complex64> =
+            (0..grid.len).map(|k| Complex64::cis(1.1 * k as f64)).collect();
+        let gain = cvec::norm2(&ndft.forward(&p)) / cvec::norm2(&p);
+        assert!(gain <= norm * (1.0 + 1e-6), "gain {gain} norm {norm}");
+        // And the norm is within the trivial bound sqrt(n * m).
+        assert!(norm <= ((f.len() * grid.len) as f64).sqrt() + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn forward_length_checked() {
+        let ndft = Ndft::new(&[5e9], TauGrid::span(10.0, 1.0));
+        let _ = ndft.forward(&[Complex64::ONE; 3]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Distances from time-of-flight, and the one-time constant calibration
+//! (paper §7 observation 2, §8).
+//!
+//! Multiplying a calibrated time-of-flight by the speed of light yields the
+//! device-to-device distance. The calibration removes the constant part of
+//! the estimate that is *not* propagation: hardware chain delays on both
+//! devices and the fixed component of the turnaround-CFO coupling. The
+//! paper performs it "a priori and only once by measuring time-of-flight
+//! to a device at a known distance" — [`calibrate_offset`] does exactly
+//! that from a batch of raw estimates at a known distance.
+
+use chronos_math::constants::{m_to_ns, ns_to_m};
+use chronos_math::stats::median;
+
+/// A point distance estimate with bookkeeping for outlier rejection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeEstimate {
+    /// Estimated distance, meters.
+    pub distance_m: f64,
+    /// The time-of-flight it came from, ns.
+    pub tof_ns: f64,
+}
+
+impl RangeEstimate {
+    /// Builds a range estimate from a calibrated ToF.
+    pub fn from_tof_ns(tof_ns: f64) -> Self {
+        RangeEstimate { distance_m: ns_to_m(tof_ns), tof_ns }
+    }
+}
+
+/// Computes the calibration constant (ns) from raw, *uncalibrated* ToF
+/// estimates taken at a known distance: the median of
+/// `raw_tof - true_tof`. The median makes the calibration robust to the
+/// occasional multipath outlier in the calibration batch itself.
+///
+/// Returns `NaN` when `raw_tofs_ns` is empty.
+pub fn calibrate_offset(raw_tofs_ns: &[f64], known_distance_m: f64) -> f64 {
+    let true_tof = m_to_ns(known_distance_m);
+    let residuals: Vec<f64> = raw_tofs_ns.iter().map(|t| t - true_tof).collect();
+    median(&residuals)
+}
+
+/// Median-absolute-deviation outlier filter over distance estimates.
+///
+/// Keeps estimates within `k` MADs of the median (k ~ 3 is standard).
+/// Always keeps at least one estimate (the median itself). Used by the
+/// localization layer (§12.2: "we perform outlier rejection on this set of
+/// distance estimates") and by the drone's averaging loop (§9).
+pub fn reject_outliers(estimates: &[RangeEstimate], k: f64) -> Vec<RangeEstimate> {
+    if estimates.len() <= 2 {
+        return estimates.to_vec();
+    }
+    let ds: Vec<f64> = estimates.iter().map(|e| e.distance_m).collect();
+    let med = median(&ds);
+    let abs_dev: Vec<f64> = ds.iter().map(|d| (d - med).abs()).collect();
+    let mad = median(&abs_dev).max(1e-6);
+    let kept: Vec<RangeEstimate> = estimates
+        .iter()
+        .filter(|e| (e.distance_m - med).abs() <= k * mad)
+        .cloned()
+        .collect();
+    if kept.is_empty() {
+        // Degenerate: keep the single median-closest estimate.
+        let best = estimates
+            .iter()
+            .min_by(|a, b| {
+                (a.distance_m - med)
+                    .abs()
+                    .partial_cmp(&(b.distance_m - med).abs())
+                    .unwrap()
+            })
+            .unwrap();
+        vec![*best]
+    } else {
+        kept
+    }
+}
+
+/// Robust combination of repeated distance estimates: outlier rejection
+/// followed by the mean of survivors. This is the drone controller's
+/// de-noising step (§9, §12.4).
+pub fn combine_ranges(estimates: &[RangeEstimate], k: f64) -> Option<f64> {
+    if estimates.is_empty() {
+        return None;
+    }
+    let kept = reject_outliers(estimates, k);
+    Some(kept.iter().map(|e| e.distance_m).sum::<f64>() / kept.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_from_tof() {
+        let r = RangeEstimate::from_tof_ns(10.0);
+        assert!((r.distance_m - 2.998).abs() < 0.01);
+    }
+
+    #[test]
+    fn calibration_recovers_known_offset() {
+        // Raw estimates = truth + 6.3 ns constant + small noise.
+        let true_d = 3.0;
+        let true_tof = m_to_ns(true_d);
+        let raws: Vec<f64> = [-0.1, 0.05, 0.0, 0.12, -0.03]
+            .iter()
+            .map(|n| true_tof + 6.3 + n)
+            .collect();
+        let off = calibrate_offset(&raws, true_d);
+        assert!((off - 6.3).abs() < 0.1, "offset {off}");
+    }
+
+    #[test]
+    fn calibration_robust_to_one_outlier() {
+        let true_d = 2.0;
+        let true_tof = m_to_ns(true_d);
+        let mut raws: Vec<f64> = (0..9).map(|i| true_tof + 5.0 + 0.01 * i as f64).collect();
+        raws.push(true_tof + 60.0); // gross outlier
+        let off = calibrate_offset(&raws, true_d);
+        assert!((off - 5.04).abs() < 0.1, "offset {off}");
+    }
+
+    #[test]
+    fn empty_calibration_is_nan() {
+        assert!(calibrate_offset(&[], 1.0).is_nan());
+    }
+
+    #[test]
+    fn outlier_rejection_drops_far_points() {
+        let mut ests: Vec<RangeEstimate> =
+            [3.0, 3.02, 2.98, 3.01, 2.99].iter().map(|d| RangeEstimate {
+                distance_m: *d,
+                tof_ns: m_to_ns(*d),
+            }).collect();
+        ests.push(RangeEstimate { distance_m: 7.5, tof_ns: m_to_ns(7.5) });
+        let kept = reject_outliers(&ests, 3.0);
+        assert_eq!(kept.len(), 5);
+        assert!(kept.iter().all(|e| e.distance_m < 4.0));
+    }
+
+    #[test]
+    fn small_sets_passed_through() {
+        let ests = vec![
+            RangeEstimate { distance_m: 1.0, tof_ns: 3.3 },
+            RangeEstimate { distance_m: 9.0, tof_ns: 30.0 },
+        ];
+        assert_eq!(reject_outliers(&ests, 3.0).len(), 2);
+    }
+
+    #[test]
+    fn combine_ranges_denoises() {
+        let ests: Vec<RangeEstimate> = [1.40, 1.41, 1.39, 1.40, 2.9]
+            .iter()
+            .map(|d| RangeEstimate { distance_m: *d, tof_ns: m_to_ns(*d) })
+            .collect();
+        let d = combine_ranges(&ests, 3.0).unwrap();
+        assert!((d - 1.40).abs() < 0.01, "combined {d}");
+        assert!(combine_ranges(&[], 3.0).is_none());
+    }
+
+    #[test]
+    fn identical_estimates_survive_mad() {
+        // MAD = 0 must not reject everything.
+        let ests = vec![RangeEstimate { distance_m: 2.0, tof_ns: 6.7 }; 5];
+        let kept = reject_outliers(&ests, 3.0);
+        assert_eq!(kept.len(), 5);
+    }
+}

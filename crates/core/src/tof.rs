@@ -1,0 +1,518 @@
+//! The end-to-end time-of-flight estimator (paper §4–§7 assembled).
+//!
+//! Input: per-band forward/reverse CSI measurement sets (one set per band,
+//! several packet exchanges each). Output: a [`TofEstimate`] carrying the
+//! descaled, calibrated time-of-flight and the multipath profiles that
+//! produced it.
+//!
+//! Steps:
+//! 1. combine each band's exchanges into a CFO-free [`BandProduct`]
+//!    ([`crate::reciprocity`]);
+//! 2. split products into delay-scale groups ([`crate::quirk`]);
+//! 3. per group: sparse inverse-NDFT ([`crate::ista`]), first-peak rule
+//!    with matched-filter refinement ([`crate::profile`]);
+//! 4. fuse group candidates: the widest (finest-resolution) group wins,
+//!    and the coarse 2.4 GHz group, when present and unaliased, must agree
+//!    within tolerance or the sample is flagged.
+
+use crate::config::ChronosConfig;
+use crate::error::ChronosError;
+use crate::ista::{solve, IstaConfig};
+use crate::ndft::{Ndft, TauGrid};
+use crate::phase::Interpolation;
+use crate::profile::MultipathProfile;
+use crate::quirk::group_by_scale;
+use crate::reciprocity::{combine_band, BandProduct};
+use chronos_math::Complex64;
+use chronos_rf::csi::Measurement;
+
+/// All measurements of one band (the exchanges of one dwell).
+#[derive(Debug, Clone)]
+pub struct BandSample {
+    /// The exchanges captured while dwelling on this band.
+    pub measurements: Vec<Measurement>,
+}
+
+/// One group's inversion output.
+#[derive(Debug, Clone)]
+pub struct GroupEstimate {
+    /// Delay scale of the group.
+    pub delay_scale: f64,
+    /// Bands in the group.
+    pub n_bands: usize,
+    /// The multipath profile (profile-domain delays).
+    pub profile: MultipathProfile,
+    /// Descaled first-peak delay, ns (before calibration).
+    pub raw_tof_ns: f64,
+}
+
+/// The estimator's result.
+#[derive(Debug, Clone)]
+pub struct TofEstimate {
+    /// Calibrated time-of-flight, ns.
+    pub tof_ns: f64,
+    /// Equivalent distance, meters.
+    pub distance_m: f64,
+    /// Per-group details (primary group first).
+    pub groups: Vec<GroupEstimate>,
+    /// Whether the coarse 2.4 GHz check (if run) agreed with the primary
+    /// estimate.
+    pub cross_check_ok: bool,
+}
+
+/// The configured estimator.
+#[derive(Debug, Clone)]
+pub struct TofEstimator {
+    /// Configuration.
+    pub config: ChronosConfig,
+    /// Interpolation backend for zero-subcarrier recovery.
+    pub interpolation: Interpolation,
+}
+
+impl TofEstimator {
+    /// Creates an estimator with the given configuration and the paper's
+    /// cubic-spline interpolation.
+    pub fn new(config: ChronosConfig) -> Self {
+        TofEstimator { config, interpolation: Interpolation::CubicSpline }
+    }
+
+    /// Combines raw band samples into CFO-free products.
+    pub fn products(&self, bands: &[BandSample]) -> Result<Vec<BandProduct>, ChronosError> {
+        bands
+            .iter()
+            .filter(|b| !b.measurements.is_empty())
+            .map(|b| combine_band(&b.measurements, self.interpolation, self.config.mode))
+            .collect()
+    }
+
+    /// Runs the full estimation pipeline.
+    pub fn estimate(&self, bands: &[BandSample]) -> Result<TofEstimate, ChronosError> {
+        let products = self.products(bands)?;
+        self.estimate_from_products(&products)
+    }
+
+    /// Estimation from precomputed products (used by ablations that
+    /// synthesize products directly).
+    pub fn estimate_from_products(
+        &self,
+        products: &[BandProduct],
+    ) -> Result<TofEstimate, ChronosError> {
+        let groups = group_by_scale(products);
+        // Primary group: the one with the most bands (ties: finest scale,
+        // which sorts first).
+        let primary_idx = groups
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, g)| g.len())
+            .map(|(i, _)| i)
+            .ok_or(ChronosError::TooFewBands { got: 0, need: 5 })?;
+        if groups[primary_idx].len() < 5 {
+            return Err(ChronosError::TooFewBands { got: groups[primary_idx].len(), need: 5 });
+        }
+
+        let primary_bands = groups[primary_idx].len();
+        let mut estimates: Vec<GroupEstimate> = Vec::new();
+        let mut primary_error: Option<ChronosError> = None;
+        for g in &groups {
+            if g.len() < 5 {
+                continue; // not enough bands to invert meaningfully
+            }
+            let grid = TauGrid::span(self.config.grid_span_ns, self.config.grid_step_ns);
+            let ndft = Ndft::new(&g.freqs_hz, grid);
+            let ista_cfg = IstaConfig {
+                alpha_rel: self.config.alpha_rel,
+                max_iters: self.config.max_iters,
+                epsilon: self.config.epsilon,
+                accelerated: self.config.accelerated,
+            };
+            let sol = solve(&ndft, &g.values, &ista_cfg);
+            let p_final = if self.config.debias {
+                // Overdetermined refit: at most half as many atoms as bands.
+                let max_atoms = (g.len() / 2).max(3);
+                crate::ista::debias(&ndft, &g.values, &sol.p, max_atoms, 3)
+            } else {
+                sol.p
+            };
+            let profile = MultipathProfile::from_solution(
+                &p_final,
+                grid.start_ns,
+                grid.step_ns,
+                g.delay_scale,
+            );
+            let res_ns = crate::profile::resolution_ns(&g.freqs_hz);
+            let veto_ns = crate::profile::cluster_resolution_ns(&g.freqs_hz, 150e6);
+            let min_sep = profile.min_sep_bins(res_ns);
+            // Physical prior: a genuine first peak cannot descale below the
+            // calibration constant — that would mean negative distance.
+            // (2 ns of margin tolerates calibration error.)
+            let min_profile_x = (self.config.calibration_ns - 2.0).max(0.0) * g.delay_scale;
+            // Grating-lobe offsets of this group's band plan: content at D
+            // leaks coherent ghosts to D - offset, which first-peak
+            // selection must suspect.
+            let lobes = crate::profile::strong_lobe_offsets(
+                &g.freqs_hz,
+                0.5,
+                self.config.grid_span_ns,
+            );
+            // A failure of a *secondary* group (e.g. the coarse 2.4 GHz
+            // check aliasing outside the grid) must not kill the estimate;
+            // only the primary group's failure is fatal.
+            let peak = match select_first_path(
+                &ndft,
+                &g.values,
+                &profile,
+                &p_final,
+                self.config.peak_dominance,
+                min_sep,
+                veto_ns,
+                self.config.sidelobe_veto_ratio,
+                min_profile_x,
+                self.config.atom_snr_min,
+                &lobes,
+            ) {
+                Ok(p) => p,
+                Err(e) => {
+                    if g.len() == primary_bands {
+                        primary_error = Some(e);
+                    }
+                    continue;
+                }
+            };
+            let refined = crate::profile::refine_first_peak_clean(
+                &ndft, &g.values, &p_final, &peak, min_sep, res_ns,
+            );
+            let raw_tof_ns = refined / g.delay_scale;
+            estimates.push(GroupEstimate {
+                delay_scale: g.delay_scale,
+                n_bands: g.len(),
+                profile,
+                raw_tof_ns,
+            });
+        }
+        if let Some(e) = primary_error {
+            return Err(e);
+        }
+        if estimates.is_empty() {
+            return Err(ChronosError::NoDominantPath);
+        }
+
+        // Primary: most bands.
+        estimates.sort_by(|a, b| b.n_bands.cmp(&a.n_bands));
+        let primary = &estimates[0];
+        let mut cross_check_ok = true;
+        if self.config.use_24ghz_check && estimates.len() > 1 {
+            // The coarse group agrees if some alias of its estimate is
+            // within tolerance of the primary.
+            let coarse = &estimates[1];
+            let alias_period = self.config.grid_span_ns / coarse.delay_scale;
+            let diff = (primary.raw_tof_ns - coarse.raw_tof_ns).rem_euclid(alias_period);
+            let dist = diff.min(alias_period - diff);
+            cross_check_ok = dist < 2.5;
+        }
+
+        let tof_ns = primary.raw_tof_ns - self.config.calibration_ns;
+        Ok(TofEstimate {
+            tof_ns,
+            distance_m: chronos_math::constants::ns_to_m(tof_ns),
+            groups: estimates,
+            cross_check_ok,
+        })
+    }
+}
+
+/// Chooses the first *physical path* peak, distinguishing a genuine weak
+/// direct path from a sidelobe artifact by **model comparison**.
+///
+/// The Wi-Fi band plan's clustered spectrum gives the NDFT a fringed point
+/// response, so the sparse solution sometimes carries a small artifact atom
+/// shortly before a strong peak. Magnitude ratios cannot tell that artifact
+/// apart from a genuinely attenuated direct path (the paper's NLOS regime),
+/// but a refit can: remove the candidate atom from the support, least-
+/// squares refit the rest, and compare residuals. A *real* path leaves
+/// `~n * |a|^2` of unexplained energy when dropped; an artifact's energy is
+/// re-absorbed by the neighboring atoms. `energy_factor` (0..1) scales the
+/// acceptance threshold — higher demands more unexplained energy, i.e.
+/// vetoes more aggressively.
+#[allow(clippy::too_many_arguments)]
+fn select_first_path(
+    ndft: &Ndft,
+    h: &[Complex64],
+    profile: &MultipathProfile,
+    p_final: &[Complex64],
+    dominance: f64,
+    min_sep: usize,
+    veto_window_ns: f64,
+    energy_factor: f64,
+    min_profile_x_ns: f64,
+    atom_snr_min: f64,
+    lobe_offsets_ns: &[f64],
+) -> Result<chronos_math::peaks::Peak, ChronosError> {
+    let resid_sq = |p: &[Complex64]| -> f64 {
+        let fit = ndft.forward(p);
+        fit.iter().zip(h.iter()).map(|(a, b)| (*a - *b).norm_sq()).sum::<f64>()
+    };
+    let r_with = resid_sq(p_final);
+
+    let peaks: Vec<chronos_math::peaks::Peak> = profile
+        .dominant_peaks(dominance, min_sep)
+        .into_iter()
+        .filter(|p| p.x >= min_profile_x_ns)
+        .collect();
+    if peaks.is_empty() {
+        return Err(ChronosError::NoDominantPath);
+    }
+
+    // CLEANed matched-filter response with the candidate's neighborhood
+    // removed from the model.
+    let cleaned_mf = |cand: &chronos_math::peaks::Peak| -> (Vec<Complex64>, f64) {
+        let mut p_others = p_final.to_vec();
+        let lo = cand.index.saturating_sub(min_sep);
+        let hi = (cand.index + min_sep).min(p_others.len().saturating_sub(1));
+        for z in p_others.iter_mut().take(hi + 1).skip(lo) {
+            *z = Complex64::ZERO;
+        }
+        let predicted = ndft.forward(&p_others);
+        let residual: Vec<Complex64> =
+            h.iter().zip(predicted.iter()).map(|(a, b)| *a - *b).collect();
+        let mf_at = ndft.matched_filter(&residual, cand.x);
+        (residual, mf_at)
+    };
+
+    'candidates: for (i, cand) in peaks.iter().enumerate() {
+        let (residual, mf_at) = cleaned_mf(cand);
+
+        // Quiet-zone significance test: every genuine squared-channel term
+        // lies at/after the direct term, so the profile *before* the first
+        // real path holds only noise, aliases and solver leakage. The
+        // candidate's cleaned matched-filter response must stand well above
+        // the median response of the region before it.
+        let zone_hi = cand.x - 2.0 * profile.step_ns * min_sep as f64;
+        if zone_hi > 4.0 * profile.step_ns {
+            let step = (zone_hi / 24.0).max(profile.step_ns);
+            let mut quiet: Vec<f64> = Vec::new();
+            let mut x = 0.0;
+            while x < zone_hi {
+                quiet.push(ndft.matched_filter(&residual, x));
+                x += step;
+            }
+            if quiet.len() >= 6 {
+                let floor = chronos_math::stats::median(&quiet);
+                if std::env::var_os("CHRONOS_DEBUG_PEAKS").is_some() {
+                    eprintln!(
+                        "[peaks] cand x={:.2} mag={:.4} mf={:.4} quiet_floor={:.4}",
+                        cand.x, cand.magnitude, mf_at, floor
+                    );
+                }
+                if mf_at < atom_snr_min * floor {
+                    continue 'candidates; // not significant above leakage
+                }
+            }
+        }
+
+        // Sidelobe/ghost model-comparison test: refit without the
+        // candidate; an artifact's (sidelobe fringe, grating ghost,
+        // garbage-collector atom) energy is re-absorbed by the remaining
+        // support, while a real path leaves ~n*|a|^2 unexplained. Run it
+        // for every candidate that is not the strongest peak — the
+        // strongest peak is always physical.
+        //
+        // A grating ghost's true source may be *absent* from the sparse
+        // support (the ghost atom stole its energy), so the refit is
+        // seeded with candidate-image atoms at every grating-lobe offset
+        // after the candidate: if one of those explains the data, the
+        // candidate was the ghost.
+        let _ = (veto_window_ns, r_with);
+        let suspicious = peaks.iter().skip(i + 1).any(|later| later.magnitude > cand.magnitude);
+        if suspicious {
+            // Ghost-source hypotheses: a grating ghost has exactly ONE
+            // source, one lobe offset away. Each hypothesis gets the
+            // existing support minus the candidate, plus a single seeded
+            // source atom; the baseline keeps the candidate (same refit
+            // budget everywhere, so the comparison is fair). Seeding all
+            // offsets at once would hand the alternative an overcomplete
+            // basis that can explain *any* atom — hence one at a time.
+            let grid = ndft.grid();
+            let r_a = resid_sq(&crate::ista::debias(ndft, h, p_final, 18, 3));
+
+            // Cluster lobe offsets within 4 ns (fringes of one envelope).
+            let mut clusters: Vec<f64> = Vec::new();
+            for d in lobe_offsets_ns {
+                if clusters.last().map(|c| (d - c).abs() > 4.0).unwrap_or(true) {
+                    clusters.push(*d);
+                }
+            }
+
+            let mut p_base = p_final.to_vec();
+            let lo = cand.index.saturating_sub(min_sep);
+            let hi = (cand.index + min_sep).min(p_base.len().saturating_sub(1));
+            for z in p_base.iter_mut().take(hi + 1).skip(lo) {
+                *z = Complex64::ZERO;
+            }
+
+            // Hypotheses: no alternative source, or one seed per cluster.
+            let mut r_b_best = resid_sq(&crate::ista::debias(ndft, h, &p_base, 18, 3));
+            for d in &clusters {
+                let x_img = cand.x + d;
+                let idx = ((x_img - grid.start_ns) / grid.step_ns).round() as isize;
+                if idx < 0 || (idx as usize) >= p_base.len() {
+                    continue;
+                }
+                let mut p_hyp = p_base.clone();
+                if p_hyp[idx as usize].abs() < 1e-12 {
+                    p_hyp[idx as usize] = Complex64::from_re(cand.magnitude);
+                }
+                let r = resid_sq(&crate::ista::debias(ndft, h, &p_hyp, 18, 3));
+                r_b_best = r_b_best.min(r);
+            }
+            // Accept only when removing the candidate hurts the fit in
+            // *relative* terms: the best alternative's residual energy must
+            // exceed the baseline's by the configured factor. Absolute
+            // (n*|a|^2-scaled) thresholds fail both ways — too strict in
+            // dense multipath where neighbors legitimately absorb part of
+            // any atom's footprint, too lax against noise atoms whose
+            // removal always costs their own (noise) energy.
+            let relative_ok = r_a > 0.0 && r_b_best >= (1.0 + energy_factor) * r_a;
+            if std::env::var_os("CHRONOS_DEBUG_PEAKS").is_some() {
+                eprintln!(
+                    "[veto] cand x={:.2} mag={:.4} r_a={:.4} r_b={:.4} rel={}",
+                    cand.x, cand.magnitude, r_a, r_b_best, relative_ok
+                );
+            }
+            if !relative_ok {
+                continue 'candidates; // artifact: an alternative explains it
+            }
+        }
+        return Ok(*cand);
+    }
+    // Every candidate vetoed: fall back to the strongest peak (a safe,
+    // always-physical choice).
+    peaks
+        .into_iter()
+        .max_by(|a, b| a.magnitude.partial_cmp(&b.magnitude).unwrap())
+        .ok_or(ChronosError::NoDominantPath)
+}
+
+/// Synthesizes a [`BandProduct`] directly from path delays — a test/ablation
+/// helper that bypasses CSI synthesis (genie products).
+pub fn genie_product(freq_hz: f64, paths: &[(f64, f64)], delay_scale: f64) -> BandProduct {
+    use std::f64::consts::PI;
+    let mut h = Complex64::ZERO;
+    for (tau_ns, a) in paths {
+        h += Complex64::from_polar(*a, -2.0 * PI * freq_hz * tau_ns * 1e-9);
+    }
+    let value = match delay_scale as u32 {
+        2 => h * h,
+        8 => (h * h).powi(4),
+        _ => h,
+    };
+    BandProduct { freq_hz, value, exchanges: 1, delay_scale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_rf::bands::{band_plan, band_plan_5ghz};
+
+    fn genie_products_5g(paths: &[(f64, f64)]) -> Vec<BandProduct> {
+        band_plan_5ghz()
+            .iter()
+            .map(|b| genie_product(b.center_hz, paths, 2.0))
+            .collect()
+    }
+
+    #[test]
+    fn single_path_estimate_subnanosecond() {
+        let est = TofEstimator::new(ChronosConfig::ideal());
+        let tau = 17.3;
+        let r = est.estimate_from_products(&genie_products_5g(&[(tau, 1.0)])).unwrap();
+        assert!((r.tof_ns - tau).abs() < 0.05, "tof {}", r.tof_ns);
+        assert!((r.distance_m - chronos_math::constants::ns_to_m(tau)).abs() < 0.02);
+    }
+
+    #[test]
+    fn multipath_first_peak_wins() {
+        let est = TofEstimator::new(ChronosConfig::ideal());
+        let paths = [(10.0, 0.8), (14.0, 1.0), (21.0, 0.6)];
+        let r = est.estimate_from_products(&genie_products_5g(&paths)).unwrap();
+        assert!((r.tof_ns - 10.0).abs() < 0.25, "tof {}", r.tof_ns);
+    }
+
+    #[test]
+    fn calibration_shifts_estimate() {
+        let mut cfg = ChronosConfig::ideal();
+        cfg.calibration_ns = 6.0;
+        let est = TofEstimator::new(cfg);
+        let r = est.estimate_from_products(&genie_products_5g(&[(16.0, 1.0)])).unwrap();
+        assert!((r.tof_ns - 10.0).abs() < 0.05, "tof {}", r.tof_ns);
+    }
+
+    #[test]
+    fn mixed_groups_fuse_with_cross_check() {
+        // 5 GHz at scale 2 plus 2.4 GHz at scale 8, consistent truth.
+        let tau = 9.4;
+        let mut products = genie_products_5g(&[(tau, 1.0)]);
+        for b in band_plan().iter().filter(|b| b.group.is_2g4()) {
+            products.push(genie_product(b.center_hz, &[(tau, 1.0)], 8.0));
+        }
+        let est = TofEstimator::new(ChronosConfig::default());
+        let r = est.estimate_from_products(&products).unwrap();
+        assert!((r.tof_ns - tau).abs() < 0.1, "tof {}", r.tof_ns);
+        assert!(r.cross_check_ok);
+        assert_eq!(r.groups.len(), 2);
+        assert_eq!(r.groups[0].n_bands, 24); // 5 GHz primary
+    }
+
+    #[test]
+    fn inconsistent_coarse_group_flags_cross_check() {
+        let mut products = genie_products_5g(&[(9.4, 1.0)]);
+        // Coarse group sees a *different* (inconsistent) delay.
+        for b in band_plan().iter().filter(|b| b.group.is_2g4()) {
+            products.push(genie_product(b.center_hz, &[(18.0, 1.0)], 8.0));
+        }
+        let est = TofEstimator::new(ChronosConfig::default());
+        let r = est.estimate_from_products(&products).unwrap();
+        assert!((r.tof_ns - 9.4).abs() < 0.2, "primary unaffected: {}", r.tof_ns);
+        assert!(!r.cross_check_ok, "cross-check should flag inconsistency");
+    }
+
+    #[test]
+    fn too_few_bands_rejected() {
+        let est = TofEstimator::new(ChronosConfig::ideal());
+        let products: Vec<BandProduct> = band_plan_5ghz()
+            .iter()
+            .take(3)
+            .map(|b| genie_product(b.center_hz, &[(5.0, 1.0)], 2.0))
+            .collect();
+        assert!(matches!(
+            est.estimate_from_products(&products),
+            Err(ChronosError::TooFewBands { got: 3, need: 5 })
+        ));
+    }
+
+    #[test]
+    fn profile_has_sparse_dominant_peaks() {
+        let est = TofEstimator::new(ChronosConfig::ideal());
+        let paths = [(8.0, 1.0), (12.5, 0.7), (18.0, 0.5), (26.0, 0.35)];
+        let r = est.estimate_from_products(&genie_products_5g(&paths)).unwrap();
+        let count = r.groups[0].profile.peak_count(0.15);
+        // 4 paths -> up to 10 squared-channel terms; a split atom may add
+        // one more. Must stay sparse regardless.
+        assert!((3..=12).contains(&count), "count {count}");
+    }
+
+    #[test]
+    fn close_range_accuracy_paper_example() {
+        // The paper's running example: 0.6 m, tau = 2 ns.
+        let est = TofEstimator::new(ChronosConfig::ideal());
+        let tau = chronos_math::constants::m_to_ns(0.6);
+        let r = est.estimate_from_products(&genie_products_5g(&[(tau, 1.0)])).unwrap();
+        assert!((r.tof_ns - tau).abs() < 0.05, "tof {}", r.tof_ns);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        let est = TofEstimator::new(ChronosConfig::ideal());
+        assert!(est.estimate_from_products(&[]).is_err());
+        assert!(est.estimate(&[]).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Planar quadrotor kinematics.
+//!
+//! Fig. 10 evaluates the *controller + estimator* loop, not aerodynamics,
+//! so the vehicle model is a velocity-limited kinematic point with
+//! actuation noise: commanded displacement per control tick, executed with
+//! a small multiplicative error and bounded by the platform's speed. This
+//! matches the fidelity at which the paper treats the AscTec Hummingbird
+//! (its §9 controller issues "discrete steps").
+
+use chronos_rf::geometry::Point;
+use rand::Rng;
+
+/// A kinematic quadrotor.
+#[derive(Debug, Clone)]
+pub struct Quadrotor {
+    /// Current position, meters (world frame).
+    pub position: Point,
+    /// Maximum speed, m/s.
+    pub max_speed: f64,
+    /// Multiplicative actuation noise (1-sigma fraction of each step).
+    pub actuation_noise: f64,
+}
+
+impl Quadrotor {
+    /// A hovering quadrotor at `position` with Hummingbird-like limits.
+    pub fn new(position: Point) -> Self {
+        Quadrotor { position, max_speed: 2.0, actuation_noise: 0.03 }
+    }
+
+    /// Executes a commanded displacement over `dt` seconds: the step is
+    /// clipped to `max_speed * dt` and perturbed by actuation noise.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, command: Point, dt: f64) {
+        let max_step = self.max_speed * dt.max(0.0);
+        let norm = command.norm();
+        let clipped = if norm > max_step && norm > 0.0 {
+            command.scale(max_step / norm)
+        } else {
+            command
+        };
+        let executed = if self.actuation_noise > 0.0 {
+            let g = |rng: &mut R| {
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen::<f64>();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            let n1 = 1.0 + self.actuation_noise * g(rng);
+            let n2 = self.actuation_noise * g(rng) * clipped.norm();
+            // Along-track multiplicative + small cross-track additive.
+            let along = clipped.scale(n1);
+            let cross = Point::new(-clipped.y, clipped.x).normalized().scale(n2);
+            along.add(cross)
+        } else {
+            clipped
+        };
+        self.position = self.position.add(executed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_step_moves_exactly() {
+        let mut q = Quadrotor::new(Point::new(0.0, 0.0));
+        q.actuation_noise = 0.0;
+        let mut rng = StdRng::seed_from_u64(1);
+        q.step(&mut rng, Point::new(0.1, -0.05), 1.0);
+        assert!((q.position.x - 0.1).abs() < 1e-12);
+        assert!((q.position.y + 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_limit_clips_steps() {
+        let mut q = Quadrotor::new(Point::new(0.0, 0.0));
+        q.actuation_noise = 0.0;
+        q.max_speed = 1.0;
+        let mut rng = StdRng::seed_from_u64(2);
+        // Commanded 10 m in 0.1 s: limited to 0.1 m.
+        q.step(&mut rng, Point::new(10.0, 0.0), 0.1);
+        assert!((q.position.x - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn actuation_noise_statistics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut errs = Vec::new();
+        for _ in 0..500 {
+            let mut q = Quadrotor::new(Point::new(0.0, 0.0));
+            q.actuation_noise = 0.05;
+            q.step(&mut rng, Point::new(0.2, 0.0), 1.0);
+            errs.push(q.position.dist(Point::new(0.2, 0.0)));
+        }
+        let mean_err = chronos_math::stats::mean(&errs);
+        // ~5% of a 0.2 m step, two components.
+        assert!(mean_err > 0.002 && mean_err < 0.03, "mean err {mean_err}");
+    }
+
+    #[test]
+    fn zero_command_stays_put_modulo_noise() {
+        let mut q = Quadrotor::new(Point::new(1.0, 1.0));
+        let mut rng = StdRng::seed_from_u64(4);
+        q.step(&mut rng, Point::new(0.0, 0.0), 0.1);
+        assert!(q.position.dist(Point::new(1.0, 1.0)) < 1e-9);
+    }
+
+    #[test]
+    fn negative_dt_is_noop() {
+        let mut q = Quadrotor::new(Point::new(0.0, 0.0));
+        q.actuation_noise = 0.0;
+        let mut rng = StdRng::seed_from_u64(5);
+        q.step(&mut rng, Point::new(1.0, 0.0), -1.0);
+        assert!(q.position.norm() < 1e-12);
+    }
+}

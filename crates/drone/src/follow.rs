@@ -1,0 +1,246 @@
+//! The closed follow loop (paper §12.4): Chronos sweep -> distance ->
+//! control step, with exact ground truth standing in for VICON.
+//!
+//! Every control tick (one band sweep, ~84 ms): the user walks, the drone
+//! runs a Chronos sweep against the user's device, feeds the resulting
+//! distance into the [`DistanceController`], and steps radially along the
+//! drone-user axis. Heading toward the user comes from the device
+//! compasses in the paper; here the true bearing plays that role (the
+//! paper's drones also know bearing independently of Chronos — Chronos
+//! supplies the *distance*).
+
+use crate::controller::{ControllerConfig, DistanceController};
+use crate::dynamics::Quadrotor;
+use crate::trajectory::WalkTrajectory;
+use chronos_core::config::ChronosConfig;
+use chronos_core::session::ChronosSession;
+use chronos_link::time::Instant;
+use chronos_rf::csi::MeasurementContext;
+use chronos_rf::environment::Environment;
+use chronos_rf::geometry::Point;
+use chronos_rf::hardware::{AntennaArray, Intel5300};
+use rand::Rng;
+
+/// Follow-simulation settings.
+#[derive(Debug, Clone)]
+pub struct FollowConfig {
+    /// Controller tuning.
+    pub controller: ControllerConfig,
+    /// Control/sweep period, seconds (84 ms per the paper).
+    pub tick_s: f64,
+    /// Number of control ticks to simulate.
+    pub ticks: usize,
+    /// Estimator configuration (defaults tuned for the close-range room).
+    pub chronos: ChronosConfig,
+    /// Number of calibration sweeps before the run.
+    pub calibration_sweeps: usize,
+}
+
+impl Default for FollowConfig {
+    fn default() -> Self {
+        let mut chronos = ChronosConfig::default();
+        // Close-range room: a shorter grid keeps per-tick cost low without
+        // touching accuracy (paths < 40 ns round the room).
+        chronos.grid_span_ns = 100.0;
+        FollowConfig {
+            controller: ControllerConfig::default(),
+            tick_s: 0.084,
+            ticks: 240,
+            chronos,
+            calibration_sweeps: 2,
+        }
+    }
+}
+
+/// One tick of recorded ground truth and estimates.
+#[derive(Debug, Clone, Copy)]
+pub struct FollowRecord {
+    /// Simulation time of the tick, seconds.
+    pub t_s: f64,
+    /// True user position (the "VICON" record).
+    pub user: Point,
+    /// True drone position.
+    pub drone: Point,
+    /// True drone-user distance, meters.
+    pub true_distance_m: f64,
+    /// Chronos raw distance for this tick, if the sweep succeeded.
+    pub measured_distance_m: Option<f64>,
+    /// The controller's smoothed distance after this tick.
+    pub smoothed_distance_m: Option<f64>,
+}
+
+/// The closed-loop simulation.
+#[derive(Debug)]
+pub struct FollowSim {
+    cfg: FollowConfig,
+    session: ChronosSession,
+    drone: Quadrotor,
+    user: WalkTrajectory,
+    controller: DistanceController,
+}
+
+impl FollowSim {
+    /// Builds the §12.4 scenario: a 6 m x 5 m room, an Intel 5300 netbook
+    /// on the user, a 3-antenna Intel 5300 on the drone.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, cfg: FollowConfig, seed: u64) -> Self {
+        let user = WalkTrajectory::new(seed);
+        let user_pos = user.position();
+        // Drone starts roughly at target distance from the user.
+        let drone_pos = Point::new(
+            (user_pos.x + cfg.controller.target_m).min(5.5),
+            user_pos.y.clamp(0.5, 4.5),
+        );
+        let mut ctx = MeasurementContext::new(
+            Environment::free_space(), // mocap rooms are kept clear
+            Intel5300::mobile(rng),
+            user_pos,
+            Intel5300::device(rng, AntennaArray::laptop()),
+            drone_pos,
+        );
+        ctx.snr.snr_at_1m_db = 42.0;
+        let mut session = ChronosSession::new(ctx, cfg.chronos.clone());
+        session.sweep_cfg.medium.loss_prob = 0.005;
+        let controller = DistanceController::new(cfg.controller);
+        FollowSim {
+            cfg,
+            session,
+            drone: Quadrotor::new(drone_pos),
+            user,
+            controller,
+        }
+    }
+
+    /// Runs calibration then the full follow loop, returning the per-tick
+    /// records.
+    pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<FollowRecord> {
+        // One-time constant calibration at the known starting geometry
+        // (paper §7 obs. 2).
+        if self.cfg.calibration_sweeps > 0 {
+            self.session.ctx.initiator_pos = self.user.position();
+            self.session.ctx.responder_pos = self.drone.position;
+            self.session.calibrate(rng, self.cfg.calibration_sweeps);
+        }
+
+        let mut records = Vec::with_capacity(self.cfg.ticks);
+        for tick in 0..self.cfg.ticks {
+            let t_s = tick as f64 * self.cfg.tick_s;
+            // User walks during the tick.
+            let user_pos = self.user.step(self.cfg.tick_s);
+
+            // Geometry update, then one Chronos sweep.
+            self.session.ctx.initiator_pos = user_pos;
+            self.session.ctx.responder_pos = self.drone.position;
+            let out = self.session.sweep(rng, Instant::from_secs_f64(t_s));
+            let measured = out.mean_distance_m();
+            if let Some(d) = measured {
+                self.controller.observe(d);
+            }
+
+            // Control step along the true bearing (compass stand-in).
+            let correction = self.controller.correction();
+            let bearing = self.drone.position.sub(user_pos).normalized();
+            let command = bearing.scale(correction);
+            self.drone.step(rng, command, self.cfg.tick_s);
+
+            records.push(FollowRecord {
+                t_s,
+                user: user_pos,
+                drone: self.drone.position,
+                true_distance_m: self.drone.position.dist(user_pos),
+                measured_distance_m: measured,
+                smoothed_distance_m: self.controller.smoothed_distance(),
+            });
+        }
+        records
+    }
+
+    /// Deviation-from-target samples (|true distance − target|), meters,
+    /// skipping the first `warmup` ticks — the Fig. 10(a) observable.
+    pub fn deviations(records: &[FollowRecord], target_m: f64, warmup: usize) -> Vec<f64> {
+        records
+            .iter()
+            .skip(warmup)
+            .map(|r| (r.true_distance_m - target_m).abs())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_cfg(ticks: usize) -> FollowConfig {
+        let mut cfg = FollowConfig::default();
+        cfg.ticks = ticks;
+        // Keep unit tests fast.
+        cfg.chronos.max_iters = 150;
+        cfg.chronos.grid_step_ns = 0.5;
+        cfg
+    }
+
+    #[test]
+    fn follow_loop_runs_and_records() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut sim = FollowSim::new(&mut rng, quick_cfg(20), 1);
+        let records = sim.run(&mut rng);
+        assert_eq!(records.len(), 20);
+        assert!(records.iter().all(|r| r.true_distance_m > 0.0));
+        // Most ticks produced a measurement.
+        let measured = records.iter().filter(|r| r.measured_distance_m.is_some()).count();
+        assert!(measured >= 15, "only {measured} measured ticks");
+    }
+
+    #[test]
+    fn drone_converges_toward_target_distance() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sim = FollowSim::new(&mut rng, quick_cfg(80), 2);
+        let records = sim.run(&mut rng);
+        let early: Vec<f64> = FollowSim::deviations(&records[..20], 1.4, 0);
+        let late: Vec<f64> = FollowSim::deviations(&records, 1.4, 50);
+        let early_med = chronos_math::stats::median(&early);
+        let late_med = chronos_math::stats::median(&late);
+        assert!(
+            late_med < early_med.max(0.12) + 0.05,
+            "no convergence: early {early_med}, late {late_med}"
+        );
+        // Steady state holds within tens of centimeters at worst.
+        assert!(late_med < 0.30, "late deviation {late_med}");
+    }
+
+    #[test]
+    fn records_have_consistent_truth() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut sim = FollowSim::new(&mut rng, quick_cfg(10), 3);
+        let records = sim.run(&mut rng);
+        for r in &records {
+            assert!((r.drone.dist(r.user) - r.true_distance_m).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deviations_helper_skips_warmup() {
+        let records = vec![
+            FollowRecord {
+                t_s: 0.0,
+                user: Point::new(0.0, 0.0),
+                drone: Point::new(3.0, 0.0),
+                true_distance_m: 3.0,
+                measured_distance_m: None,
+                smoothed_distance_m: None,
+            },
+            FollowRecord {
+                t_s: 0.1,
+                user: Point::new(0.0, 0.0),
+                drone: Point::new(1.5, 0.0),
+                true_distance_m: 1.5,
+                measured_distance_m: None,
+                smoothed_distance_m: None,
+            },
+        ];
+        let d = FollowSim::deviations(&records, 1.4, 1);
+        assert_eq!(d.len(), 1);
+        assert!((d[0] - 0.1).abs() < 1e-12);
+    }
+}

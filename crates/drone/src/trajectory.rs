@@ -1,0 +1,130 @@
+//! Walking-user trajectories in the motion-capture room (paper §12.4).
+//!
+//! "The user walks along a randomly chosen trajectory" inside a 6 m x 5 m
+//! room. We generate seeded waypoint paths: the user picks a random point
+//! in the room (with a wall margin), walks toward it at walking speed with
+//! mild speed jitter, then picks another.
+
+use chronos_rf::geometry::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random-waypoint walking trajectory.
+#[derive(Debug, Clone)]
+pub struct WalkTrajectory {
+    rng: StdRng,
+    /// Room width, meters.
+    pub room_w: f64,
+    /// Room height, meters.
+    pub room_h: f64,
+    /// Wall margin, meters.
+    pub margin: f64,
+    /// Nominal walking speed, m/s.
+    pub speed: f64,
+    position: Point,
+    target: Point,
+}
+
+impl WalkTrajectory {
+    /// Creates a trajectory in the paper's 6 m x 5 m room.
+    pub fn new(seed: u64) -> Self {
+        Self::in_room(seed, 6.0, 5.0)
+    }
+
+    /// Creates a trajectory in a custom room.
+    pub fn in_room(seed: u64, room_w: f64, room_h: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let margin = 0.5;
+        let position = Point::new(
+            rng.gen_range(margin..room_w - margin),
+            rng.gen_range(margin..room_h - margin),
+        );
+        let target = Point::new(
+            rng.gen_range(margin..room_w - margin),
+            rng.gen_range(margin..room_h - margin),
+        );
+        WalkTrajectory { rng, room_w, room_h, margin, speed: 0.7, position, target }
+    }
+
+    /// Current position.
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// Advances the walk by `dt` seconds and returns the new position.
+    pub fn step(&mut self, dt: f64) -> Point {
+        let mut remaining = self.speed * (1.0 + self.rng.gen_range(-0.2..0.2)) * dt.max(0.0);
+        while remaining > 0.0 {
+            let to_target = self.target.sub(self.position);
+            let d = to_target.norm();
+            if d <= remaining {
+                self.position = self.target;
+                remaining -= d;
+                self.target = Point::new(
+                    self.rng.gen_range(self.margin..self.room_w - self.margin),
+                    self.rng.gen_range(self.margin..self.room_h - self.margin),
+                );
+            } else {
+                self.position = self.position.add(to_target.scale(remaining / d));
+                remaining = 0.0;
+            }
+        }
+        self.position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_room() {
+        let mut w = WalkTrajectory::new(7);
+        for _ in 0..5000 {
+            let p = w.step(0.084);
+            assert!(p.x >= w.margin - 1e-9 && p.x <= w.room_w - w.margin + 1e-9);
+            assert!(p.y >= w.margin - 1e-9 && p.y <= w.room_h - w.margin + 1e-9);
+        }
+    }
+
+    #[test]
+    fn moves_at_walking_speed() {
+        let mut w = WalkTrajectory::new(8);
+        let mut total = 0.0;
+        let mut prev = w.position();
+        let dt = 0.084;
+        let steps = 2000;
+        for _ in 0..steps {
+            let p = w.step(dt);
+            total += prev.dist(p);
+            prev = p;
+        }
+        let avg_speed = total / (steps as f64 * dt);
+        assert!((avg_speed - 0.7).abs() < 0.15, "avg speed {avg_speed}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = WalkTrajectory::new(42);
+        let mut b = WalkTrajectory::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.step(0.1), b.step(0.1));
+        }
+        let mut c = WalkTrajectory::new(43);
+        let mut differs = false;
+        let mut a2 = WalkTrajectory::new(42);
+        for _ in 0..100 {
+            if a2.step(0.1).dist(c.step(0.1)) > 1e-9 {
+                differs = true;
+            }
+        }
+        assert!(differs);
+    }
+
+    #[test]
+    fn zero_dt_stays() {
+        let mut w = WalkTrajectory::new(1);
+        let p0 = w.position();
+        assert_eq!(w.step(0.0), p0);
+    }
+}

@@ -1,0 +1,163 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by firing time; ties break by insertion order, so two
+//! runs with identical inputs produce identical traces — a property every
+//! experiment in the harness depends on.
+
+use crate::time::Instant;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry: fire time, tie-break sequence, payload.
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A min-heap event queue over payload type `E`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    now: Instant,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Instant::ZERO }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to "now" — the event fires next.
+    pub fn schedule(&mut self, at: Instant, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Pops the earliest event, advancing the queue's clock to its fire
+    /// time. Returns `None` when empty.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The current simulation time (the fire time of the last popped
+    /// event).
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Fire time of the next event, if any.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_millis(3), "c");
+        q.schedule(Instant::from_millis(1), "a");
+        q.schedule(Instant::from_millis(2), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_micros(10);
+        for label in ["first", "second", "third"] {
+            q.schedule(t, label);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_millis(5), ());
+        assert_eq!(q.now(), Instant::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Instant::from_millis(5));
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_millis(10), "late");
+        q.pop();
+        // Now at t=10ms; scheduling at t=1ms must not rewind time.
+        q.schedule(Instant::from_millis(1), "past");
+        let (at, e) = q.pop().unwrap();
+        assert_eq!(e, "past");
+        assert_eq!(at, Instant::from_millis(10));
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Instant::from_millis(2), 2);
+        q.schedule(Instant::from_millis(1), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Instant::from_millis(1)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_millis(1), 1u32);
+        let (t1, _) = q.pop().unwrap();
+        // Schedule relative to popped time.
+        q.schedule(t1 + Duration::from_millis(1), 2u32);
+        q.schedule(t1 + Duration::from_micros(500), 3u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![3, 2]);
+    }
+}

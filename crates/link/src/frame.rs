@@ -1,0 +1,244 @@
+//! Wire formats for the hopping protocol's frames.
+//!
+//! The paper's driver patch uses packet injection to exchange three kinds of
+//! frames: a control packet advertising the next band to hop to, a custom
+//! acknowledgment (the CSI Tool does not report CSI for hardware link-layer
+//! ACKs, so Chronos injects its own), and measurement packets whose only job
+//! is to produce CSI at both ends. We give each a compact binary encoding
+//! with strict parsing — malformed bytes must never panic the stack.
+//!
+//! Layout (all multi-byte fields big-endian):
+//!
+//! ```text
+//! +------+------+----------------+
+//! | 0x43 | type | type payload   |    0x43 = 'C' magic
+//! +------+------+----------------+
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic byte opening every Chronos frame.
+pub const MAGIC: u8 = 0x43;
+
+/// Frame type tags.
+const T_ADVERT: u8 = 1;
+const T_ACK: u8 = 2;
+const T_MEASURE: u8 = 3;
+const T_DATA: u8 = 4;
+
+/// A protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Transmitter-driven band advertisement: "after this exchange, hop to
+    /// `next_channel`" (paper §4). `seq` matches the expected ACK.
+    HopAdvert {
+        /// Sequence number, echoed by the ACK.
+        seq: u16,
+        /// The 802.11 channel number to hop to next.
+        next_channel: u16,
+        /// How long the devices will dwell there, microseconds.
+        dwell_us: u32,
+    },
+    /// Acknowledgment injected from the driver (also signals the hop).
+    Ack {
+        /// Sequence of the frame being acknowledged.
+        seq: u16,
+    },
+    /// A measurement packet: produces CSI at the receiver; the receiver
+    /// answers with an [`Frame::Ack`] that produces CSI at the transmitter.
+    Measure {
+        /// Sequence number.
+        seq: u16,
+    },
+    /// Opaque foreground data (the §12.3 experiments' video/TCP payloads).
+    Data {
+        /// Payload length in bytes (payload itself is not simulated).
+        len: u16,
+    },
+}
+
+/// Errors from [`Frame::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the smallest valid frame.
+    Truncated,
+    /// First byte is not [`MAGIC`].
+    BadMagic,
+    /// Unknown frame type tag.
+    UnknownType(u8),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::BadMagic => write!(f, "bad magic byte"),
+            FrameError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl Frame {
+    /// Serializes the frame to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(12);
+        b.put_u8(MAGIC);
+        match self {
+            Frame::HopAdvert { seq, next_channel, dwell_us } => {
+                b.put_u8(T_ADVERT);
+                b.put_u16(*seq);
+                b.put_u16(*next_channel);
+                b.put_u32(*dwell_us);
+            }
+            Frame::Ack { seq } => {
+                b.put_u8(T_ACK);
+                b.put_u16(*seq);
+            }
+            Frame::Measure { seq } => {
+                b.put_u8(T_MEASURE);
+                b.put_u16(*seq);
+            }
+            Frame::Data { len } => {
+                b.put_u8(T_DATA);
+                b.put_u16(*len);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Parses a frame from bytes. Strict: trailing garbage is tolerated
+    /// (radios pad), but short or malformed headers are rejected.
+    pub fn parse(mut buf: &[u8]) -> Result<Frame, FrameError> {
+        if buf.len() < 2 {
+            return Err(FrameError::Truncated);
+        }
+        let magic = buf.get_u8();
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        let ty = buf.get_u8();
+        match ty {
+            T_ADVERT => {
+                if buf.remaining() < 8 {
+                    return Err(FrameError::Truncated);
+                }
+                let seq = buf.get_u16();
+                let next_channel = buf.get_u16();
+                let dwell_us = buf.get_u32();
+                Ok(Frame::HopAdvert { seq, next_channel, dwell_us })
+            }
+            T_ACK => {
+                if buf.remaining() < 2 {
+                    return Err(FrameError::Truncated);
+                }
+                Ok(Frame::Ack { seq: buf.get_u16() })
+            }
+            T_MEASURE => {
+                if buf.remaining() < 2 {
+                    return Err(FrameError::Truncated);
+                }
+                Ok(Frame::Measure { seq: buf.get_u16() })
+            }
+            T_DATA => {
+                if buf.remaining() < 2 {
+                    return Err(FrameError::Truncated);
+                }
+                Ok(Frame::Data { len: buf.get_u16() })
+            }
+            other => Err(FrameError::UnknownType(other)),
+        }
+    }
+
+    /// On-air size in bytes, including the 802.11 + radiotap overhead the
+    /// driver adds (a fixed 48-byte envelope in our model).
+    pub fn air_bytes(&self) -> usize {
+        let body = match self {
+            Frame::HopAdvert { .. } => 10,
+            Frame::Ack { .. } => 4,
+            Frame::Measure { .. } => 4,
+            Frame::Data { len } => 4 + *len as usize,
+        };
+        body + 48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_variants() {
+        let frames = [
+            Frame::HopAdvert { seq: 7, next_channel: 157, dwell_us: 2200 },
+            Frame::Ack { seq: 7 },
+            Frame::Measure { seq: 1234 },
+            Frame::Data { len: 1460 },
+        ];
+        for f in frames {
+            let enc = f.encode();
+            let dec = Frame::parse(&enc).unwrap();
+            assert_eq!(dec, f);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut enc = Frame::Ack { seq: 1 }.encode().to_vec();
+        enc[0] = 0xFF;
+        assert_eq!(Frame::parse(&enc), Err(FrameError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let enc = Frame::HopAdvert { seq: 9, next_channel: 36, dwell_us: 2500 }.encode();
+        for cut in 0..enc.len() {
+            let r = Frame::parse(&enc[..cut]);
+            assert!(r.is_err(), "accepted a {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let bytes = [MAGIC, 0x7E, 0, 0];
+        assert_eq!(Frame::parse(&bytes), Err(FrameError::UnknownType(0x7E)));
+    }
+
+    #[test]
+    fn tolerates_trailing_padding() {
+        let mut enc = Frame::Measure { seq: 3 }.encode().to_vec();
+        enc.extend_from_slice(&[0u8; 16]);
+        assert_eq!(Frame::parse(&enc).unwrap(), Frame::Measure { seq: 3 });
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(Frame::parse(&[]), Err(FrameError::Truncated));
+        assert_eq!(Frame::parse(&[MAGIC]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn air_bytes_ordering() {
+        // Data frames dominate; control frames are tiny.
+        let advert = Frame::HopAdvert { seq: 0, next_channel: 1, dwell_us: 0 };
+        let data = Frame::Data { len: 1460 };
+        assert!(advert.air_bytes() < data.air_bytes());
+        assert!(Frame::Ack { seq: 0 }.air_bytes() <= advert.air_bytes());
+    }
+
+    #[test]
+    fn fuzz_parse_never_panics() {
+        // Cheap deterministic fuzz: parse every 4-byte pattern of a few
+        // generators plus random-ish slices.
+        let mut seed = 0x12345678u32;
+        for _ in 0..5000 {
+            seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+            let len = (seed % 16) as usize;
+            let bytes: Vec<u8> = (0..len)
+                .map(|i| (seed.rotate_left(i as u32 * 3) & 0xFF) as u8)
+                .collect();
+            let _ = Frame::parse(&bytes); // must not panic
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! The transmitter-driven channel-hopping protocol (paper §4) as two
+//! explicit state machines.
+//!
+//! Protocol per band:
+//!
+//! 1. The **initiator** sends a few `Measure` frames, each answered by an
+//!    `Ack`. A completed measure/ack exchange produces CSI at both ends —
+//!    forward CSI at the responder, reverse CSI at the initiator — which is
+//!    what §7's reciprocity trick consumes. Multiple exchanges per band
+//!    enable the averaging of §7 (observation 1).
+//! 2. Before switching, the initiator sends a `HopAdvert` naming the next
+//!    channel. The responder acks and retunes; the initiator retunes when
+//!    the ack arrives.
+//! 3. Losses are handled by retransmission. If an advert goes unacked too
+//!    many times, the initiator *optimistically hops* (the responder may
+//!    have acked and moved on an ack that was then lost) and probes the new
+//!    band. As a last resort both sides independently **revert to the
+//!    default band** after a fail-safe timeout, exactly as §4 prescribes.
+//!
+//! The machines are pure: they consume events (`on_frame`, `on_timer`) and
+//! emit [`Action`]s; the driver in [`crate::sweep`] owns the event queue,
+//! the medium, and the loss process. This keeps every transition unit
+//! testable without any queue at all.
+
+use crate::frame::Frame;
+use crate::time::{Duration, Instant};
+
+/// What a state machine asks its driver to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Transmit a frame on the current band after `delay` (SIFS etc.).
+    Send {
+        /// Frame to transmit.
+        frame: Frame,
+        /// Gap before the transmission begins.
+        delay: Duration,
+    },
+    /// Retune the radio to the band at `band_index` in the sweep plan.
+    Retune {
+        /// Index into the sweep plan.
+        band_index: usize,
+    },
+    /// Arm (replace) the machine's single timer to fire at `at`.
+    ArmTimer {
+        /// Absolute fire time.
+        at: Instant,
+        /// Opaque token; stale timer fires are ignored by token mismatch.
+        token: u32,
+    },
+    /// A measure/ack exchange completed on `band_index`.
+    MeasurementDone {
+        /// Index into the sweep plan.
+        band_index: usize,
+        /// When the responder received the measure frame (forward CSI).
+        t_forward: Instant,
+        /// When the initiator received the ack (reverse CSI).
+        t_reverse: Instant,
+    },
+    /// The whole sweep finished successfully.
+    SweepComplete,
+    /// The machine gave up and reverted to the default band.
+    Failsafe,
+}
+
+/// Timing/robustness knobs of the protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolConfig {
+    /// Measure/ack exchanges per band (averaging depth).
+    pub measures_per_band: u16,
+    /// Gap between consecutive measure exchanges.
+    pub measure_gap: Duration,
+    /// Retransmission timeout for measure and advert frames.
+    pub rto: Duration,
+    /// Max retransmissions of one frame before escalating.
+    pub max_retries: u8,
+    /// Fail-safe: revert to the default band after this long without any
+    /// successful exchange.
+    pub failsafe: Duration,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            measures_per_band: 3,
+            measure_gap: Duration::from_micros(615),
+            rto: Duration::from_micros(400),
+            max_retries: 4,
+            failsafe: Duration::from_millis(30),
+        }
+    }
+}
+
+/// Initiator-side states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InitState {
+    /// Waiting for the ack of measure exchange number `.0`.
+    AwaitMeasureAck(u16),
+    /// Waiting for the ack of the hop advert.
+    AwaitAdvertAck,
+    /// Hopped optimistically; waiting for a probe ack on the new band.
+    Probing,
+    /// Sweep finished.
+    Done,
+    /// Reverted to default band.
+    Reverted,
+}
+
+/// The initiating (transmitter) device of the hop protocol.
+#[derive(Debug)]
+pub struct Initiator {
+    cfg: ProtocolConfig,
+    plan_len: usize,
+    band_index: usize,
+    state: InitState,
+    seq: u16,
+    retries: u8,
+    timer_token: u32,
+    /// Time the current measure frame was sent (for t_forward bookkeeping
+    /// the driver performs; kept here only for assertions).
+    last_measure_sent: Instant,
+    sweep_started: Instant,
+    last_progress: Instant,
+}
+
+impl Initiator {
+    /// Creates an initiator for a sweep plan of `plan_len` bands.
+    ///
+    /// # Panics
+    /// Panics if `plan_len == 0`.
+    pub fn new(cfg: ProtocolConfig, plan_len: usize) -> Self {
+        assert!(plan_len > 0, "sweep plan must be non-empty");
+        Initiator {
+            cfg,
+            plan_len,
+            band_index: 0,
+            state: InitState::AwaitMeasureAck(0),
+            seq: 0,
+            retries: 0,
+            timer_token: 0,
+            last_measure_sent: Instant::ZERO,
+            sweep_started: Instant::ZERO,
+            last_progress: Instant::ZERO,
+        }
+    }
+
+    /// Current band index in the plan.
+    pub fn band_index(&self) -> usize {
+        self.band_index
+    }
+
+    /// Whether the sweep completed.
+    pub fn is_done(&self) -> bool {
+        self.state == InitState::Done
+    }
+
+    /// Whether the machine hit the fail-safe.
+    pub fn is_reverted(&self) -> bool {
+        self.state == InitState::Reverted
+    }
+
+    fn next_token(&mut self) -> u32 {
+        self.timer_token += 1;
+        self.timer_token
+    }
+
+    /// Begins the sweep at `now`: sends the first measure frame.
+    pub fn start(&mut self, now: Instant) -> Vec<Action> {
+        self.sweep_started = now;
+        self.last_progress = now;
+        self.state = InitState::AwaitMeasureAck(0);
+        self.send_measure(now, Duration::ZERO)
+    }
+
+    fn send_measure(&mut self, now: Instant, delay: Duration) -> Vec<Action> {
+        self.seq = self.seq.wrapping_add(1);
+        self.last_measure_sent = now + delay;
+        let token = self.next_token();
+        vec![
+            Action::Send { frame: Frame::Measure { seq: self.seq }, delay },
+            Action::ArmTimer { at: now + delay + self.cfg.rto, token },
+        ]
+    }
+
+    fn send_advert(&mut self, now: Instant, delay: Duration, next_channel: u16) -> Vec<Action> {
+        self.seq = self.seq.wrapping_add(1);
+        let token = self.next_token();
+        vec![
+            Action::Send {
+                frame: Frame::HopAdvert {
+                    seq: self.seq,
+                    next_channel,
+                    dwell_us: self.cfg.measure_gap.as_micros() as u32
+                        * self.cfg.measures_per_band as u32,
+                },
+                delay,
+            },
+            Action::ArmTimer { at: now + delay + self.cfg.rto, token },
+        ]
+    }
+
+    /// Handles a received ack. `t_rx` is the arrival time of the ack (the
+    /// reverse-CSI timestamp); `t_measure_rx` is when the responder received
+    /// the corresponding frame (forward CSI) — the driver knows it because
+    /// it delivered the frame.
+    ///
+    /// `next_channel_of` maps a plan index to its channel number; the
+    /// machine needs it to fill adverts.
+    pub fn on_ack(
+        &mut self,
+        t_rx: Instant,
+        seq: u16,
+        t_measure_rx: Instant,
+        next_channel_of: &dyn Fn(usize) -> u16,
+    ) -> Vec<Action> {
+        if seq != self.seq {
+            return Vec::new(); // stale ack
+        }
+        self.retries = 0;
+        self.last_progress = t_rx;
+        match self.state {
+            InitState::AwaitMeasureAck(k) => {
+                let mut out = vec![Action::MeasurementDone {
+                    band_index: self.band_index,
+                    t_forward: t_measure_rx,
+                    t_reverse: t_rx,
+                }];
+                let next_k = k + 1;
+                if next_k < self.cfg.measures_per_band {
+                    self.state = InitState::AwaitMeasureAck(next_k);
+                    out.extend(self.send_measure(t_rx, self.cfg.measure_gap));
+                } else if self.band_index + 1 < self.plan_len {
+                    self.state = InitState::AwaitAdvertAck;
+                    let ch = next_channel_of(self.band_index + 1);
+                    out.extend(self.send_advert(t_rx, self.cfg.measure_gap, ch));
+                } else {
+                    self.state = InitState::Done;
+                    out.push(Action::SweepComplete);
+                }
+                out
+            }
+            InitState::AwaitAdvertAck | InitState::Probing => {
+                // Advert (or probe after optimistic hop) acked: move to the
+                // next band and resume measuring there.
+                if self.state == InitState::AwaitAdvertAck {
+                    self.band_index += 1;
+                }
+                self.state = InitState::AwaitMeasureAck(0);
+                let mut out = vec![Action::Retune { band_index: self.band_index }];
+                out.extend(self.send_measure(t_rx, Duration::from_micros(200)));
+                out
+            }
+            InitState::Done | InitState::Reverted => Vec::new(),
+        }
+    }
+
+    /// Handles a timer fire. Stale tokens are ignored.
+    pub fn on_timer(&mut self, now: Instant, token: u32) -> Vec<Action> {
+        if token != self.timer_token {
+            return Vec::new();
+        }
+        // Fail-safe first: too long without progress.
+        if now.saturating_since(self.last_progress) >= self.cfg.failsafe {
+            self.state = InitState::Reverted;
+            return vec![Action::Failsafe];
+        }
+        match self.state {
+            InitState::AwaitMeasureAck(_) | InitState::Probing => {
+                self.retries += 1;
+                if self.retries > self.cfg.max_retries {
+                    self.state = InitState::Reverted;
+                    return vec![Action::Failsafe];
+                }
+                // Retransmit the measure (new seq, same slot).
+                self.send_measure(now, Duration::ZERO)
+            }
+            InitState::AwaitAdvertAck => {
+                self.retries += 1;
+                if self.retries > self.cfg.max_retries {
+                    // Optimistic hop: the responder may have moved already.
+                    self.retries = 0;
+                    self.band_index += 1;
+                    if self.band_index >= self.plan_len {
+                        self.state = InitState::Reverted;
+                        return vec![Action::Failsafe];
+                    }
+                    self.state = InitState::Probing;
+                    let mut out = vec![Action::Retune { band_index: self.band_index }];
+                    out.extend(self.send_measure(now, Duration::from_micros(200)));
+                    out
+                } else {
+                    // We do not know the channel map here; the driver
+                    // re-requests it. Simplest correct move: retransmit via
+                    // a fresh advert with the same target, which the driver
+                    // fills in by calling `advert_retransmit`.
+                    self.advert_retransmit(now)
+                }
+            }
+            InitState::Done | InitState::Reverted => Vec::new(),
+        }
+    }
+
+    /// Builds the advert retransmission (used by `on_timer`). Exposed for
+    /// the driver, which owns the channel map.
+    fn advert_retransmit(&mut self, now: Instant) -> Vec<Action> {
+        // Advert carries the *next* band's channel; the driver rewrites the
+        // channel field on send (it owns the plan). We use 0 as a
+        // placeholder the driver must replace.
+        self.seq = self.seq.wrapping_add(1);
+        let token = self.next_token();
+        vec![
+            Action::Send {
+                frame: Frame::HopAdvert { seq: self.seq, next_channel: 0, dwell_us: 0 },
+                delay: Duration::ZERO,
+            },
+            Action::ArmTimer { at: now + self.cfg.rto, token },
+        ]
+    }
+
+    /// The plan index the advert currently in flight points at.
+    pub fn advert_target(&self) -> usize {
+        (self.band_index + 1).min(self.plan_len - 1)
+    }
+}
+
+/// Responder-side behaviour (stateless except for the fail-safe clock and
+/// current band): ack everything, follow adverts.
+#[derive(Debug)]
+pub struct Responder {
+    cfg: ProtocolConfig,
+    band_index: usize,
+    last_heard: Instant,
+    reverted: bool,
+}
+
+/// What the responder asks of the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponderAction {
+    /// Send an ack after SIFS.
+    SendAck {
+        /// Sequence being acked.
+        seq: u16,
+    },
+    /// Retune to the channel named in a hop advert, after the ack is out.
+    RetuneToChannel {
+        /// 802.11 channel number from the advert.
+        channel: u16,
+    },
+    /// Fail-safe: revert to the default band.
+    Failsafe,
+}
+
+impl Responder {
+    /// Creates a responder.
+    pub fn new(cfg: ProtocolConfig) -> Self {
+        Responder { cfg, band_index: 0, last_heard: Instant::ZERO, reverted: false }
+    }
+
+    /// Current band index (driver-maintained mirror; see
+    /// [`Responder::set_band_index`]).
+    pub fn band_index(&self) -> usize {
+        self.band_index
+    }
+
+    /// Driver callback after retuning the responder.
+    pub fn set_band_index(&mut self, idx: usize) {
+        self.band_index = idx;
+    }
+
+    /// Whether the fail-safe fired.
+    pub fn is_reverted(&self) -> bool {
+        self.reverted
+    }
+
+    /// Handles a received frame at `now`.
+    pub fn on_frame(&mut self, now: Instant, frame: &Frame) -> Vec<ResponderAction> {
+        self.last_heard = now;
+        match frame {
+            Frame::Measure { seq } => vec![ResponderAction::SendAck { seq: *seq }],
+            Frame::HopAdvert { seq, next_channel, .. } => vec![
+                ResponderAction::SendAck { seq: *seq },
+                ResponderAction::RetuneToChannel { channel: *next_channel },
+            ],
+            // Data and stray acks need no protocol response.
+            _ => Vec::new(),
+        }
+    }
+
+    /// Periodic fail-safe check; the driver calls this on a coarse timer.
+    pub fn on_failsafe_check(&mut self, now: Instant) -> Vec<ResponderAction> {
+        if !self.reverted && now.saturating_since(self.last_heard) >= self.cfg.failsafe {
+            self.reverted = true;
+            return vec![ResponderAction::Failsafe];
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan_of(_idx: usize) -> u16 {
+        36
+    }
+
+    #[test]
+    fn happy_path_single_band_completes() {
+        let cfg = ProtocolConfig { measures_per_band: 2, ..Default::default() };
+        let mut init = Initiator::new(cfg, 1);
+        let t0 = Instant::from_millis(1);
+        let a = init.start(t0);
+        assert!(matches!(a[0], Action::Send { frame: Frame::Measure { .. }, .. }));
+
+        // Ack exchange 0 -> expect MeasurementDone + next measure.
+        let a = init.on_ack(t0 + Duration::from_micros(100), 1, t0 + Duration::from_micros(50), &chan_of);
+        assert!(matches!(a[0], Action::MeasurementDone { band_index: 0, .. }));
+        assert!(matches!(a[1], Action::Send { frame: Frame::Measure { .. }, .. }));
+
+        // Ack exchange 1 -> last band, so SweepComplete.
+        let a = init.on_ack(t0 + Duration::from_micros(900), 2, t0 + Duration::from_micros(850), &chan_of);
+        assert!(matches!(a[0], Action::MeasurementDone { .. }));
+        assert!(a.contains(&Action::SweepComplete));
+        assert!(init.is_done());
+    }
+
+    #[test]
+    fn advert_sent_between_bands() {
+        let cfg = ProtocolConfig { measures_per_band: 1, ..Default::default() };
+        let mut init = Initiator::new(cfg, 2);
+        let t0 = Instant::ZERO;
+        init.start(t0);
+        let a = init.on_ack(t0 + Duration::from_micros(100), 1, t0 + Duration::from_micros(50), &chan_of);
+        // One measurement done, then the hop advert.
+        assert!(matches!(a[0], Action::MeasurementDone { .. }));
+        let has_advert = a.iter().any(|x| matches!(x, Action::Send { frame: Frame::HopAdvert { .. }, .. }));
+        assert!(has_advert, "{a:?}");
+        // Advert ack -> retune + first measure on the new band.
+        let a = init.on_ack(t0 + Duration::from_millis(1), 2, t0 + Duration::from_micros(950), &chan_of);
+        assert_eq!(a[0], Action::Retune { band_index: 1 });
+        assert_eq!(init.band_index(), 1);
+    }
+
+    #[test]
+    fn stale_ack_ignored() {
+        let mut init = Initiator::new(ProtocolConfig::default(), 1);
+        init.start(Instant::ZERO);
+        let a = init.on_ack(Instant::from_micros(10), 999, Instant::ZERO, &chan_of);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn measure_timeout_retransmits_then_failsafe() {
+        let cfg = ProtocolConfig { max_retries: 2, failsafe: Duration::from_millis(500), ..Default::default() };
+        let mut init = Initiator::new(cfg, 1);
+        let mut now = Instant::ZERO;
+        let a = init.start(now);
+        let mut token = match a[1] {
+            Action::ArmTimer { token, .. } => token,
+            _ => panic!("expected timer"),
+        };
+        // Two retransmissions allowed...
+        for _ in 0..2 {
+            now += cfg.rto;
+            let a = init.on_timer(now, token);
+            assert!(matches!(a[0], Action::Send { frame: Frame::Measure { .. }, .. }), "{a:?}");
+            token = match a[1] {
+                Action::ArmTimer { token, .. } => token,
+                _ => panic!("expected timer"),
+            };
+        }
+        // ...third timeout reverts.
+        now += cfg.rto;
+        let a = init.on_timer(now, token);
+        assert_eq!(a, vec![Action::Failsafe]);
+        assert!(init.is_reverted());
+    }
+
+    #[test]
+    fn stale_timer_token_ignored() {
+        let mut init = Initiator::new(ProtocolConfig::default(), 1);
+        init.start(Instant::ZERO);
+        assert!(init.on_timer(Instant::from_millis(1), 999).is_empty());
+    }
+
+    #[test]
+    fn advert_timeout_hops_optimistically() {
+        let cfg = ProtocolConfig { measures_per_band: 1, max_retries: 1, ..Default::default() };
+        let mut init = Initiator::new(cfg, 3);
+        let t0 = Instant::ZERO;
+        init.start(t0);
+        // Finish measuring band 0 -> advert in flight.
+        let a = init.on_ack(t0 + Duration::from_micros(100), 1, t0 + Duration::from_micros(50), &chan_of);
+        let token = a
+            .iter()
+            .find_map(|x| match x {
+                Action::ArmTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .unwrap();
+        // First timeout: retransmit advert.
+        let now = t0 + Duration::from_millis(1);
+        let a = init.on_timer(now, token);
+        assert!(a.iter().any(|x| matches!(x, Action::Send { frame: Frame::HopAdvert { .. }, .. })));
+        let token = a
+            .iter()
+            .find_map(|x| match x {
+                Action::ArmTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .unwrap();
+        // Second timeout: optimistic hop to band 1 + probe.
+        let a = init.on_timer(now + cfg.rto, token);
+        assert_eq!(a[0], Action::Retune { band_index: 1 });
+        assert!(matches!(a[1], Action::Send { frame: Frame::Measure { .. }, .. }));
+        assert_eq!(init.band_index(), 1);
+        assert!(!init.is_reverted());
+    }
+
+    #[test]
+    fn failsafe_on_long_silence() {
+        let cfg = ProtocolConfig { failsafe: Duration::from_millis(5), ..Default::default() };
+        let mut init = Initiator::new(cfg, 4);
+        init.start(Instant::ZERO);
+        let token = init.timer_token;
+        let a = init.on_timer(Instant::from_millis(10), token);
+        assert_eq!(a, vec![Action::Failsafe]);
+    }
+
+    #[test]
+    fn responder_acks_measure_and_follows_advert() {
+        let mut resp = Responder::new(ProtocolConfig::default());
+        let a = resp.on_frame(Instant::from_millis(1), &Frame::Measure { seq: 5 });
+        assert_eq!(a, vec![ResponderAction::SendAck { seq: 5 }]);
+        let a = resp.on_frame(
+            Instant::from_millis(2),
+            &Frame::HopAdvert { seq: 6, next_channel: 149, dwell_us: 2000 },
+        );
+        assert_eq!(
+            a,
+            vec![
+                ResponderAction::SendAck { seq: 6 },
+                ResponderAction::RetuneToChannel { channel: 149 }
+            ]
+        );
+    }
+
+    #[test]
+    fn responder_failsafe_after_silence() {
+        let cfg = ProtocolConfig { failsafe: Duration::from_millis(5), ..Default::default() };
+        let mut resp = Responder::new(cfg);
+        resp.on_frame(Instant::from_millis(1), &Frame::Measure { seq: 1 });
+        assert!(resp.on_failsafe_check(Instant::from_millis(3)).is_empty());
+        let a = resp.on_failsafe_check(Instant::from_millis(7));
+        assert_eq!(a, vec![ResponderAction::Failsafe]);
+        assert!(resp.is_reverted());
+        // Only fires once.
+        assert!(resp.on_failsafe_check(Instant::from_millis(9)).is_empty());
+    }
+
+    #[test]
+    fn responder_ignores_data_frames() {
+        let mut resp = Responder::new(ProtocolConfig::default());
+        assert!(resp.on_frame(Instant::ZERO, &Frame::Data { len: 100 }).is_empty());
+        assert!(resp.on_frame(Instant::ZERO, &Frame::Ack { seq: 0 }).is_empty());
+    }
+}

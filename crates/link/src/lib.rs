@@ -1,0 +1,33 @@
+//! # chronos-link
+//!
+//! The link-layer substrate: everything the paper implemented inside the
+//! `iwlwifi` driver patch, rebuilt as a deterministic discrete-event
+//! simulation (the smoltcp school: explicit time, poll-style state
+//! machines, no hidden threads).
+//!
+//! * [`time`] — nanosecond-resolution simulation [`time::Instant`] and
+//!   [`time::Duration`].
+//! * [`event`] — a deterministic event queue.
+//! * [`frame`] — wire formats for the hopping protocol's control frames
+//!   (band advertisements, ACKs, measurement frames) over [`bytes`].
+//! * [`medium`] — half-duplex medium: airtime, propagation, frame loss.
+//! * [`fsm`] — the transmitter-driven hop protocol of paper §4 as two
+//!   state machines (initiator / responder) with retransmissions and the
+//!   fail-safe revert to a default band.
+//! * [`sweep`] — drives a full 35-band sweep and reports its duration and
+//!   per-band measurement opportunities (Fig. 9a).
+//! * [`traffic`] — the §12.3 co-existence models: a buffered video client
+//!   and a Reno-style TCP flow sharing the access point with localization
+//!   sweeps (Fig. 9b, 9c).
+
+pub mod event;
+pub mod frame;
+pub mod fsm;
+pub mod medium;
+pub mod sweep;
+pub mod time;
+pub mod traffic;
+
+pub use frame::Frame;
+pub use sweep::{run_sweep, SweepConfig, SweepResult};
+pub use time::{Duration, Instant};

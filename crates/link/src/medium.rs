@@ -1,0 +1,97 @@
+//! The shared medium: airtime, turnaround gaps and frame loss.
+//!
+//! A deliberately simple half-duplex model: frames occupy the channel for
+//! `preamble + bytes / rate`, arrive after a propagation delay that is
+//! negligible at indoor scale, and are lost independently with a per-band
+//! probability derived from SNR. Loss is what spreads the sweep-time CDF of
+//! Fig. 9(a) to the right (retransmissions).
+
+use crate::frame::Frame;
+use crate::time::Duration;
+use rand::Rng;
+
+/// Medium parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MediumConfig {
+    /// PHY rate used for control/measurement traffic, bits per second.
+    /// Chronos injects at a basic rate for robustness.
+    pub phy_rate_bps: f64,
+    /// PHY preamble + PLCP header time.
+    pub preamble: Duration,
+    /// Short interframe space (gap before an ACK).
+    pub sifs: Duration,
+    /// Time to retune the radio to a different band (PLL settling).
+    pub channel_switch: Duration,
+    /// Independent per-frame loss probability.
+    pub loss_prob: f64,
+}
+
+impl Default for MediumConfig {
+    fn default() -> Self {
+        MediumConfig {
+            phy_rate_bps: 24e6,
+            preamble: Duration::from_micros(20),
+            sifs: Duration::from_micros(16),
+            channel_switch: Duration::from_micros(150),
+            loss_prob: 0.01,
+        }
+    }
+}
+
+impl MediumConfig {
+    /// Airtime of a frame at the configured rate.
+    pub fn airtime(&self, frame: &Frame) -> Duration {
+        let bits = frame.air_bytes() as f64 * 8.0;
+        self.preamble + Duration::from_secs_f64(bits / self.phy_rate_bps)
+    }
+
+    /// Draws whether a transmission is lost.
+    pub fn is_lost<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.loss_prob > 0.0 && rng.gen::<f64>() < self.loss_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn airtime_scales_with_size() {
+        let m = MediumConfig::default();
+        let small = m.airtime(&Frame::Ack { seq: 0 });
+        let big = m.airtime(&Frame::Data { len: 1460 });
+        assert!(big > small);
+        // 1512-byte data frame at 24 Mbps ~ 504 us + preamble.
+        let expected = 20e-6 + (1460 + 4 + 48) as f64 * 8.0 / 24e6;
+        assert!((big.as_secs_f64() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn control_exchange_fits_in_dwell() {
+        // advert + sifs + ack must take well under the 2-3 ms dwell.
+        let m = MediumConfig::default();
+        let advert = m.airtime(&Frame::HopAdvert { seq: 0, next_channel: 1, dwell_us: 0 });
+        let ack = m.airtime(&Frame::Ack { seq: 0 });
+        let total = advert + m.sifs + ack;
+        assert!(total < Duration::from_micros(200), "exchange {total}");
+    }
+
+    #[test]
+    fn loss_rate_respected() {
+        let m = MediumConfig { loss_prob: 0.2, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let lost = (0..n).filter(|_| m.is_lost(&mut rng)).count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let m = MediumConfig { loss_prob: 0.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(12);
+        assert!((0..1000).all(|_| !m.is_lost(&mut rng)));
+    }
+}

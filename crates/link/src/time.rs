@@ -1,0 +1,230 @@
+//! Simulation time: explicit, nanosecond-resolution instants and durations.
+//!
+//! Like smoltcp, the protocol code never consults a wall clock; every state
+//! machine takes `now: Instant` as an argument, which makes the whole stack
+//! deterministic and trivially testable.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in nanoseconds since simulation
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Instant {
+    /// Simulation start.
+    pub const ZERO: Instant = Instant(0);
+
+    /// Constructs from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Instant(ns)
+    }
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Instant(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Instant(ms * 1_000_000)
+    }
+
+    /// Constructs from (possibly fractional) seconds. Negative values clamp
+    /// to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        Instant((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as f64 (for physics handoff).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Milliseconds since simulation start, as f64.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Saturating difference: `self - earlier`, zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// Zero duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Constructs from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Constructs from (possibly fractional) seconds; clamps negatives to 0.
+    pub fn from_secs_f64(s: f64) -> Self {
+        Duration((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as f64.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Milliseconds as f64.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Scales a duration by a float factor (saturating at 0).
+    pub fn mul_f64(self, k: f64) -> Duration {
+        Duration((self.0 as f64 * k).max(0.0).round() as u64)
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    /// # Panics
+    /// Panics in debug builds when `rhs` is later than `self`; use
+    /// [`Instant::saturating_since`] when ordering is uncertain.
+    fn sub(self, rhs: Instant) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.as_micros())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(Instant::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(Instant::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(Duration::from_millis(84).as_millis_f64(), 84.0);
+        assert!((Instant::from_secs_f64(1.5).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(Instant::from_secs_f64(-1.0), Instant::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Instant::from_millis(10) + Duration::from_micros(500);
+        assert_eq!(t.as_nanos(), 10_500_000);
+        assert_eq!((t - Instant::from_millis(10)).as_micros(), 500);
+        let mut u = Instant::ZERO;
+        u += Duration::from_nanos(7);
+        assert_eq!(u.as_nanos(), 7);
+    }
+
+    #[test]
+    fn saturating_since() {
+        let early = Instant::from_millis(1);
+        let late = Instant::from_millis(3);
+        assert_eq!(late.saturating_since(early), Duration::from_millis(2));
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_sub_saturates() {
+        assert_eq!(
+            Duration::from_micros(1) - Duration::from_micros(5),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Instant::from_millis(1) < Instant::from_millis(2));
+        assert!(Duration::from_micros(999) < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn mul_f64() {
+        assert_eq!(Duration::from_millis(10).mul_f64(0.5), Duration::from_millis(5));
+        assert_eq!(Duration::from_millis(10).mul_f64(-1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Duration::from_micros(250)), "250us");
+        assert_eq!(format!("{}", Duration::from_millis(84)), "84.000ms");
+    }
+}

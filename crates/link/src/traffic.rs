@@ -1,0 +1,311 @@
+//! Traffic co-existence models (paper §12.3).
+//!
+//! When an access point runs a localization sweep it leaves its serving
+//! channel for ~84 ms. The paper measures what that outage does to a VLC
+//! video stream (Fig. 9b: nothing visible — the playback buffer absorbs it)
+//! and a long-lived TCP flow (Fig. 9c: a ~6.5% throughput dip in the
+//! affected second). These are queueing phenomena, reproduced here with a
+//! buffered-playback model and a Reno-style throughput model driven by the
+//! same outage windows the sweep simulator produces.
+
+use crate::time::{Duration, Instant};
+
+/// An interval during which the AP is away from its serving channel.
+#[derive(Debug, Clone, Copy)]
+pub struct Outage {
+    /// Outage start.
+    pub start: Instant,
+    /// Outage end.
+    pub end: Instant,
+}
+
+impl Outage {
+    /// Whether `t` falls inside the outage.
+    pub fn contains(&self, t: Instant) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// A sample of the video client's state.
+#[derive(Debug, Clone, Copy)]
+pub struct VideoSample {
+    /// Time of the sample.
+    pub t: Instant,
+    /// Cumulative bytes downloaded (kilobits in the paper's plot units).
+    pub downloaded_kb: f64,
+    /// Cumulative bytes played.
+    pub played_kb: f64,
+    /// Whether playback is stalled at this instant.
+    pub stalled: bool,
+}
+
+/// Buffered video playback over an AP link (the Fig. 9b model).
+#[derive(Debug, Clone)]
+pub struct VideoModel {
+    /// Stream bitrate (playback drain), kilobits per second.
+    pub bitrate_kbps: f64,
+    /// Download rate when the AP serves the client, kilobits per second.
+    /// Faster than the bitrate, so the buffer grows between outages.
+    pub download_kbps: f64,
+    /// Startup buffering: playback begins once this many kilobits are
+    /// buffered.
+    pub startup_buffer_kb: f64,
+}
+
+impl Default for VideoModel {
+    fn default() -> Self {
+        // A 2 Mbps VLC-over-RTP stream served at 2.5 Mbps: the buffer grows
+        // slowly, as in the paper's trace.
+        VideoModel { bitrate_kbps: 2_000.0, download_kbps: 2_500.0, startup_buffer_kb: 500.0 }
+    }
+}
+
+impl VideoModel {
+    /// Simulates playback over `[0, horizon]` with the given outages,
+    /// sampling every `step`. Outages must be time-ordered.
+    pub fn run(&self, horizon: Duration, step: Duration, outages: &[Outage]) -> Vec<VideoSample> {
+        let mut samples = Vec::new();
+        let mut downloaded = 0.0f64;
+        let mut played = 0.0f64;
+        let mut playing = false;
+        let dt = step.as_secs_f64();
+        let mut t = Instant::ZERO;
+        while t <= Instant::ZERO + horizon {
+            let in_outage = outages.iter().any(|o| o.contains(t));
+            if !in_outage {
+                downloaded += self.download_kbps * dt;
+            }
+            if !playing && downloaded - played >= self.startup_buffer_kb {
+                playing = true;
+            }
+            let mut stalled = false;
+            if playing {
+                let want = self.bitrate_kbps * dt;
+                let available = downloaded - played;
+                if available >= want {
+                    played += want;
+                } else {
+                    // Buffer underrun: play out what's left and stall.
+                    played += available.max(0.0);
+                    stalled = true;
+                }
+            }
+            samples.push(VideoSample { t, downloaded_kb: downloaded, played_kb: played, stalled });
+            t += step;
+        }
+        samples
+    }
+
+    /// Whether any sample in a run stalled after startup.
+    pub fn has_stall(samples: &[VideoSample]) -> bool {
+        samples.iter().any(|s| s.stalled)
+    }
+}
+
+/// A throughput sample of the TCP model.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpSample {
+    /// Time of the sample (end of the averaging window).
+    pub t: Instant,
+    /// Average throughput over the window, megabits per second.
+    pub throughput_mbps: f64,
+}
+
+/// Reno-style TCP throughput under AP outages (the Fig. 9c model).
+///
+/// Between outages the flow saturates the link. An outage stops delivery;
+/// when service resumes, the (simplified) congestion response costs a brief
+/// ramp back to line rate — enough to reproduce the paper's ~6.5% dip on
+/// one-second averages without simulating segments.
+#[derive(Debug, Clone)]
+pub struct TcpModel {
+    /// Link capacity, megabits per second (the paper's iperf trace runs
+    /// between 2.5 and 3 Mbps).
+    pub capacity_mbps: f64,
+    /// Time to ramp back to capacity after an outage (slow-start-ish).
+    pub recovery: Duration,
+}
+
+impl Default for TcpModel {
+    fn default() -> Self {
+        TcpModel { capacity_mbps: 2.8, recovery: Duration::from_millis(120) }
+    }
+}
+
+impl TcpModel {
+    /// Instantaneous delivery rate at `t` (Mbps).
+    fn rate_at(&self, t: Instant, outages: &[Outage]) -> f64 {
+        for o in outages {
+            if o.contains(t) {
+                return 0.0;
+            }
+        }
+        // In recovery after the most recent outage that ended before t?
+        let mut rate = self.capacity_mbps;
+        for o in outages {
+            if t >= o.end {
+                let since = t.saturating_since(o.end);
+                if since < self.recovery {
+                    // Linear ramp from half capacity back to full.
+                    let frac = since.as_secs_f64() / self.recovery.as_secs_f64();
+                    rate = rate.min(self.capacity_mbps * (0.5 + 0.5 * frac));
+                }
+            }
+        }
+        rate
+    }
+
+    /// Simulates the flow over `[0, horizon]`, reporting `window`-averaged
+    /// throughput samples (the paper plots one-second averages).
+    pub fn run(&self, horizon: Duration, window: Duration, outages: &[Outage]) -> Vec<TcpSample> {
+        let fine = Duration::from_millis(1);
+        let mut samples = Vec::new();
+        let mut t = Instant::ZERO;
+        let mut acc = 0.0f64;
+        let mut acc_time = Duration::ZERO;
+        let mut window_end = Instant::ZERO + window;
+        while t <= Instant::ZERO + horizon {
+            acc += self.rate_at(t, outages) * fine.as_secs_f64();
+            acc_time += fine;
+            if t + fine >= window_end {
+                samples.push(TcpSample {
+                    t: window_end,
+                    throughput_mbps: acc / acc_time.as_secs_f64(),
+                });
+                acc = 0.0;
+                acc_time = Duration::ZERO;
+                window_end += window;
+            }
+            t += fine;
+        }
+        samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_outage_at_6s() -> Vec<Outage> {
+        vec![Outage {
+            start: Instant::from_millis(6_000),
+            end: Instant::from_millis(6_084),
+        }]
+    }
+
+    #[test]
+    fn video_never_stalls_through_84ms_outage() {
+        // The Fig. 9b claim: the buffer absorbs a localization outage.
+        let model = VideoModel::default();
+        let samples = model.run(
+            Duration::from_millis(10_000),
+            Duration::from_millis(10),
+            &one_outage_at_6s(),
+        );
+        assert!(!VideoModel::has_stall(&samples));
+        // Download stops during the outage...
+        let before = samples.iter().find(|s| s.t == Instant::from_millis(5_990)).unwrap();
+        let during = samples.iter().find(|s| s.t == Instant::from_millis(6_080)).unwrap();
+        assert!((during.downloaded_kb - before.downloaded_kb) < 25.0 * 0.8);
+        // ...but playback keeps going (blue and red lines do not cross).
+        assert!(during.played_kb > before.played_kb);
+        for s in &samples {
+            assert!(s.downloaded_kb >= s.played_kb - 1e-9);
+        }
+    }
+
+    #[test]
+    fn video_stalls_under_sustained_outage() {
+        // Sanity check the stall machinery: a 3-second outage must stall a
+        // stream whose buffer holds < 3 s of content.
+        let model = VideoModel {
+            bitrate_kbps: 2_000.0,
+            download_kbps: 2_100.0,
+            startup_buffer_kb: 200.0,
+        };
+        let outage = vec![Outage {
+            start: Instant::from_millis(5_000),
+            end: Instant::from_millis(8_000),
+        }];
+        let samples =
+            model.run(Duration::from_millis(10_000), Duration::from_millis(10), &outage);
+        assert!(VideoModel::has_stall(&samples));
+    }
+
+    #[test]
+    fn video_startup_buffering_delays_playback() {
+        let model = VideoModel::default();
+        let samples = model.run(Duration::from_millis(2_000), Duration::from_millis(10), &[]);
+        let first_play = samples.iter().find(|s| s.played_kb > 0.0).unwrap();
+        // 500 kb at 2500 kbps = 200 ms of buffering.
+        assert!(first_play.t >= Instant::from_millis(190), "{}", first_play.t);
+    }
+
+    #[test]
+    fn tcp_dip_close_to_paper() {
+        // Fig. 9c: throughput dips ~6.5% in the second containing the sweep.
+        let model = TcpModel::default();
+        let samples = model.run(
+            Duration::from_millis(15_000),
+            Duration::from_millis(1_000),
+            &one_outage_at_6s(),
+        );
+        // Window ending at t=7s contains the outage (6.000–6.084 s).
+        let steady = samples[3].throughput_mbps;
+        let dip = samples
+            .iter()
+            .map(|s| (s.throughput_mbps, s.t))
+            .find(|(_, t)| *t == Instant::from_millis(7_000))
+            .unwrap()
+            .0;
+        let loss_frac = (steady - dip) / steady;
+        assert!(
+            (0.03..0.15).contains(&loss_frac),
+            "dip fraction {loss_frac} (steady {steady}, dip {dip})"
+        );
+    }
+
+    #[test]
+    fn tcp_recovers_after_outage() {
+        let model = TcpModel::default();
+        let samples = model.run(
+            Duration::from_millis(12_000),
+            Duration::from_millis(1_000),
+            &one_outage_at_6s(),
+        );
+        let last = samples.last().unwrap();
+        assert!((last.throughput_mbps - model.capacity_mbps).abs() < 0.05);
+    }
+
+    #[test]
+    fn tcp_zero_during_long_outage() {
+        let model = TcpModel::default();
+        let outage = vec![Outage {
+            start: Instant::from_millis(1_000),
+            end: Instant::from_millis(3_000),
+        }];
+        let samples =
+            model.run(Duration::from_millis(4_000), Duration::from_millis(1_000), &outage);
+        // The window ending at 3 s sits fully inside the outage.
+        let mid = samples.iter().find(|s| s.t == Instant::from_millis(3_000)).unwrap();
+        assert!(mid.throughput_mbps < 0.01, "{}", mid.throughput_mbps);
+    }
+
+    #[test]
+    fn no_outage_means_flat_capacity() {
+        let model = TcpModel::default();
+        let samples =
+            model.run(Duration::from_millis(5_000), Duration::from_millis(1_000), &[]);
+        for s in &samples {
+            assert!((s.throughput_mbps - model.capacity_mbps).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn outage_contains_boundaries() {
+        let o = Outage { start: Instant::from_millis(1), end: Instant::from_millis(2) };
+        assert!(o.contains(Instant::from_millis(1)));
+        assert!(!o.contains(Instant::from_millis(2)));
+        assert!(!o.contains(Instant::from_micros(999)));
+    }
+}

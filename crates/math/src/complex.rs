@@ -1,0 +1,378 @@
+//! Double-precision complex numbers.
+//!
+//! A minimal-but-complete complex type sufficient for the Chronos signal
+//! processing pipeline: channel models, NDFT matrices, and the proximal
+//! gradient solver. Operator overloads mirror `num-complex` so downstream
+//! code reads naturally.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates (magnitude, phase in
+    /// radians).
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{i theta}`: the unit phasor with phase `theta` (radians).
+    ///
+    /// This is the workhorse of every channel model in the repository:
+    /// `h = a * cis(-2 pi f tau)`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex64::new(theta.cos(), theta.sin())
+    }
+
+    /// Magnitude (absolute value).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude. Cheaper than [`abs`](Self::abs) when only ordering
+    /// matters.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in `(-pi, pi]` radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse. Returns non-finite components when `self` is
+    /// zero, mirroring IEEE division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sq();
+        Complex64::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+
+    /// Complex exponential `e^self`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Complex64::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Principal square root.
+    ///
+    /// The result lies in the right half plane (non-negative real part), with
+    /// the branch cut on the negative real axis.
+    pub fn sqrt(self) -> Self {
+        let (r, theta) = self.to_polar();
+        Complex64::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Integer power by repeated squaring.
+    pub fn powi(self, mut n: u32) -> Self {
+        let mut base = self;
+        let mut acc = Complex64::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// Converts to polar form `(magnitude, phase)`.
+    #[inline]
+    pub fn to_polar(self) -> (f64, f64) {
+        (self.abs(), self.arg())
+    }
+
+    /// `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality with absolute tolerance `tol` on both components.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::from_re(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Self {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn construction_and_identities() {
+        assert_eq!(Complex64::ZERO + Complex64::ONE, Complex64::ONE);
+        assert_eq!(Complex64::I * Complex64::I, -Complex64::ONE);
+        assert_eq!(Complex64::from(3.5), Complex64::new(3.5, 0.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::new(-1.25, 2.5);
+        let (r, t) = z.to_polar();
+        assert!(Complex64::from_polar(r, t).approx_eq(z, TOL));
+    }
+
+    #[test]
+    fn cis_matches_from_polar_unit() {
+        for k in 0..16 {
+            let theta = -PI + 2.0 * PI * (k as f64) / 16.0 + 1e-3;
+            assert!(Complex64::cis(theta).approx_eq(Complex64::from_polar(1.0, theta), TOL));
+        }
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        assert!((a + b).approx_eq(Complex64::new(-2.0, 2.5), TOL));
+        assert!((a - b).approx_eq(Complex64::new(4.0, 1.5), TOL));
+        assert!((a * b).approx_eq(Complex64::new(-4.0, -5.5), TOL));
+        let q = a / b;
+        assert!((q * b).approx_eq(a, 1e-10));
+    }
+
+    #[test]
+    fn conj_and_inv() {
+        let z = Complex64::new(0.3, -0.7);
+        assert_eq!(z.conj().im, 0.7);
+        assert!((z * z.inv()).approx_eq(Complex64::ONE, 1e-12));
+        // |z|^2 = z * conj(z)
+        let m = z * z.conj();
+        assert!((m.re - z.norm_sq()).abs() < TOL);
+        assert!(m.im.abs() < TOL);
+    }
+
+    #[test]
+    fn exp_euler_identity() {
+        // e^{i pi} = -1
+        let z = (Complex64::I * PI).exp();
+        assert!(z.approx_eq(-Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn sqrt_principal_branch() {
+        let z = Complex64::new(-4.0, 0.0);
+        let s = z.sqrt();
+        // sqrt(-4) = 2i under the principal branch.
+        assert!(s.approx_eq(Complex64::new(0.0, 2.0), 1e-10));
+        let w = Complex64::new(3.0, -4.0);
+        assert!((w.sqrt() * w.sqrt()).approx_eq(w, 1e-10));
+        assert!(w.sqrt().re >= 0.0);
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = Complex64::from_polar(1.1, 0.3);
+        let mut manual = Complex64::ONE;
+        for _ in 0..7 {
+            manual *= z;
+        }
+        assert!(z.powi(7).approx_eq(manual, 1e-10));
+        assert_eq!(z.powi(0), Complex64::ONE);
+    }
+
+    #[test]
+    fn phase_of_channel_model() {
+        // h = a e^{-j 2 pi f tau}: arg must be -2 pi f tau modulo 2 pi.
+        let f = 2.412e9;
+        let tau = 2e-9;
+        let h = Complex64::from_polar(0.8, -2.0 * PI * f * tau);
+        let expected = (-2.0 * PI * f * tau).rem_euclid(2.0 * PI);
+        let got = h.arg().rem_euclid(2.0 * PI);
+        assert!((expected - got).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let v = vec![Complex64::new(1.0, 1.0); 10];
+        let s: Complex64 = v.into_iter().sum();
+        assert!(s.approx_eq(Complex64::new(10.0, 10.0), TOL));
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex64::new(1.0, 1.0);
+        z += Complex64::ONE;
+        z -= Complex64::I;
+        z *= Complex64::new(0.0, 2.0);
+        z /= Complex64::new(0.0, 2.0);
+        assert!(z.approx_eq(Complex64::new(2.0, 0.0), TOL));
+    }
+}

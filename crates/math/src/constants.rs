@@ -1,0 +1,82 @@
+//! Physical constants and unit conversions used across the workspace.
+//!
+//! Chronos works in two natural unit systems: **nanoseconds** for propagation
+//! delays (the quantity the estimator recovers) and **meters** for distances
+//! (the quantity localization consumes). Conversions between them live here so
+//! the factor of `c` is written exactly once.
+
+/// Speed of light in vacuum, meters per second.
+pub const C_M_PER_S: f64 = 299_792_458.0;
+
+/// Speed of light, meters per nanosecond (~0.2998 m/ns).
+pub const C_M_PER_NS: f64 = C_M_PER_S * 1e-9;
+
+/// Alias: how many meters a signal travels in one nanosecond.
+pub const METERS_PER_NS: f64 = C_M_PER_NS;
+
+/// One nanosecond expressed in seconds.
+pub const NS: f64 = 1e-9;
+
+/// One gigahertz expressed in hertz.
+pub const GHZ: f64 = 1e9;
+
+/// One megahertz expressed in hertz.
+pub const MHZ: f64 = 1e6;
+
+/// Converts a time-of-flight in nanoseconds to a distance in meters.
+#[inline]
+pub fn ns_to_m(tau_ns: f64) -> f64 {
+    tau_ns * C_M_PER_NS
+}
+
+/// Converts a distance in meters to a time-of-flight in nanoseconds.
+#[inline]
+pub fn m_to_ns(d_m: f64) -> f64 {
+    d_m / C_M_PER_NS
+}
+
+/// Converts seconds to nanoseconds.
+#[inline]
+pub fn s_to_ns(s: f64) -> f64 {
+    s * 1e9
+}
+
+/// Converts nanoseconds to seconds.
+#[inline]
+pub fn ns_to_s(ns: f64) -> f64 {
+    ns * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_travels_about_30cm_per_ns() {
+        assert!((C_M_PER_NS - 0.299_792_458).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_m_ns() {
+        for d in [0.01, 0.6, 1.4, 15.0, 60.0] {
+            assert!((ns_to_m(m_to_ns(d)) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_example_two_ns_is_point_six_meters() {
+        // Paper §4: "a source at 0.6 m whose time-of-flight is 2 ns".
+        assert!((ns_to_m(2.0) - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_example_sixty_meters_is_two_hundred_ns() {
+        // Paper §4: 200 ns of unambiguous range ~ 60 m.
+        assert!((ns_to_m(200.0) - 60.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn seconds_round_trip() {
+        assert!((ns_to_s(s_to_ns(1.5)) - 1.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,284 @@
+//! Chinese-remainder-theorem style congruence solving.
+//!
+//! Paper §4 reduces single-path time-of-flight recovery to a system of
+//! congruences: each Wi-Fi band's channel phase pins `tau mod 1/f_i`. The
+//! solution is unique modulo the LCM of the moduli (~200 ns across the 2.4 GHz
+//! bands alone, i.e. 60 m of unambiguous range). Because measured phases are
+//! noisy, we solve the system the way the paper's Fig. 3 illustrates: lay out
+//! every candidate solution of every congruence on a fine grid and pick the
+//! value where the most candidates align — **grid voting** — rather than
+//! exact integer CRT (which is also provided, for tests and for intuition).
+
+/// Exact CRT over integers for pairwise-coprime moduli.
+///
+/// Returns `x` with `x ≡ r_i (mod m_i)` for all i, in `[0, prod m_i)`, or
+/// `None` if the system is inconsistent or moduli share factors in a way
+/// that contradicts the residues.
+pub fn integer_crt(residues: &[i128], moduli: &[i128]) -> Option<i128> {
+    assert_eq!(residues.len(), moduli.len(), "integer_crt: length mismatch");
+    let mut x: i128 = 0;
+    let mut m: i128 = 1;
+    for (&r, &mi) in residues.iter().zip(moduli.iter()) {
+        assert!(mi > 0, "integer_crt: moduli must be positive");
+        let (g, p, _q) = egcd(m, mi);
+        if (r - x).rem_euclid(g) != 0 {
+            return None;
+        }
+        let lcm = m / g * mi;
+        let diff = (r - x).div_euclid(g);
+        let step = (diff % (mi / g)) * p % (mi / g);
+        x = (x + m * step).rem_euclid(lcm);
+        m = lcm;
+    }
+    Some(x.rem_euclid(m))
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a x + b y = g = gcd(a, b)`.
+fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = egcd(b, a.rem_euclid(b));
+        (g, y, x - (a.div_euclid(b)) * y)
+    }
+}
+
+/// One congruence `x ≡ remainder (mod modulus)` over the reals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Congruence {
+    /// The remainder, in `[0, modulus)`.
+    pub remainder: f64,
+    /// The (positive) modulus.
+    pub modulus: f64,
+}
+
+impl Congruence {
+    /// Creates a congruence, normalizing the remainder into `[0, modulus)`.
+    pub fn new(remainder: f64, modulus: f64) -> Self {
+        assert!(modulus > 0.0, "Congruence: modulus must be positive");
+        Congruence { remainder: remainder.rem_euclid(modulus), modulus }
+    }
+
+    /// Distance from `x` to the nearest solution of this congruence.
+    pub fn distance(&self, x: f64) -> f64 {
+        let r = (x - self.remainder).rem_euclid(self.modulus);
+        r.min(self.modulus - r)
+    }
+}
+
+/// Result of the voting solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoteSolution {
+    /// The value with the most congruences aligned.
+    pub value: f64,
+    /// Number of congruences within tolerance at `value`.
+    pub votes: usize,
+    /// Mean absolute residual of the voting congruences at `value`.
+    pub mean_residual: f64,
+}
+
+/// Solves a noisy real-valued congruence system by grid voting.
+///
+/// Scans `[0, range)` in steps of `step`; each grid point is scored by how
+/// many congruences pass within `tol` of it (paper Fig. 3: "the solution that
+/// satisfies most equations"). Ties are broken by mean residual. The winner
+/// is then polished by averaging the nearest solution of every voting
+/// congruence.
+///
+/// Returns `None` when the inputs are empty or no grid point gathers at
+/// least two votes (a single vote carries no alignment information unless
+/// there is exactly one congruence).
+pub fn solve_by_voting(
+    congruences: &[Congruence],
+    range: f64,
+    step: f64,
+    tol: f64,
+) -> Option<VoteSolution> {
+    if congruences.is_empty() || range <= 0.0 || step <= 0.0 {
+        return None;
+    }
+    let n_steps = (range / step).ceil() as usize;
+    let mut best: Option<VoteSolution> = None;
+    for k in 0..n_steps {
+        let x = k as f64 * step;
+        let mut votes = 0usize;
+        let mut residual_sum = 0.0;
+        for c in congruences {
+            let d = c.distance(x);
+            if d <= tol {
+                votes += 1;
+                residual_sum += d;
+            }
+        }
+        if votes == 0 {
+            continue;
+        }
+        let mean_residual = residual_sum / votes as f64;
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                votes > b.votes || (votes == b.votes && mean_residual < b.mean_residual)
+            }
+        };
+        if better {
+            best = Some(VoteSolution { value: x, votes, mean_residual });
+        }
+    }
+    let mut sol = best?;
+    if congruences.len() > 1 && sol.votes < 2 {
+        return None;
+    }
+    // Polish: average the nearest solution of each congruence that voted.
+    let mut acc = 0.0;
+    let mut cnt = 0usize;
+    for c in congruences {
+        if c.distance(sol.value) <= tol {
+            // Nearest representative of c around sol.value.
+            let base = (sol.value - c.remainder) / c.modulus;
+            let nearest = c.remainder + base.round() * c.modulus;
+            acc += nearest;
+            cnt += 1;
+        }
+    }
+    if cnt > 0 {
+        sol.value = acc / cnt as f64;
+        sol.mean_residual =
+            congruences.iter().map(|c| c.distance(sol.value)).sum::<f64>()
+                / congruences.len() as f64;
+    }
+    Some(sol)
+}
+
+/// Least common multiple of real moduli, treated on a rational grid of
+/// `resolution` (e.g. 1e-3 ns). Useful to report the unambiguous range of a
+/// band combination. Saturates at `f64::INFINITY` if the LCM overflows.
+pub fn real_lcm(moduli: &[f64], resolution: f64) -> f64 {
+    let mut acc: i128 = 1;
+    for &m in moduli {
+        let q = (m / resolution).round() as i128;
+        if q <= 0 {
+            continue;
+        }
+        let g = gcd_i128(acc, q);
+        let next = (acc / g).checked_mul(q);
+        match next {
+            Some(v) => acc = v,
+            None => return f64::INFINITY,
+        }
+        if acc > (1i128 << 100) {
+            return f64::INFINITY;
+        }
+    }
+    acc as f64 * resolution
+}
+
+fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs().max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_crt_textbook() {
+        // x = 2 mod 3, x = 3 mod 5, x = 2 mod 7 -> 23 (Sun Tzu's classic).
+        let x = integer_crt(&[2, 3, 2], &[3, 5, 7]).unwrap();
+        assert_eq!(x, 23);
+    }
+
+    #[test]
+    fn integer_crt_non_coprime_consistent() {
+        // x = 2 mod 4, x = 4 mod 6 -> x = 10 mod 12.
+        let x = integer_crt(&[2, 4], &[4, 6]).unwrap();
+        assert_eq!(x, 10);
+    }
+
+    #[test]
+    fn integer_crt_inconsistent() {
+        // x = 1 mod 4 and x = 2 mod 6 conflict modulo 2.
+        assert_eq!(integer_crt(&[1, 2], &[4, 6]), None);
+    }
+
+    #[test]
+    fn congruence_distance() {
+        let c = Congruence::new(0.3, 1.0);
+        assert!((c.distance(0.3) - 0.0).abs() < 1e-12);
+        assert!((c.distance(1.3) - 0.0).abs() < 1e-12);
+        assert!((c.distance(0.8) - 0.5).abs() < 1e-12);
+        assert!((c.distance(0.9) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voting_recovers_single_path_tof() {
+        // The paper's Fig. 3 scenario: tau = 2 ns, five bands. Moduli are
+        // 1/f in ns; remainders are tau mod 1/f.
+        let tau = 2.0; // ns
+        let freqs_ghz = [2.412, 2.462, 5.18, 5.3, 5.825];
+        let congruences: Vec<Congruence> = freqs_ghz
+            .iter()
+            .map(|f| {
+                let modulus = 1.0 / f; // ns
+                Congruence::new(tau % modulus, modulus)
+            })
+            .collect();
+        let sol = solve_by_voting(&congruences, 10.0, 0.001, 0.02).unwrap();
+        assert_eq!(sol.votes, 5);
+        assert!((sol.value - tau).abs() < 0.01, "value {}", sol.value);
+    }
+
+    #[test]
+    fn voting_with_noise() {
+        // Perturb remainders by +-5 ps; alignment should still find tau.
+        let tau = 7.37;
+        let freqs_ghz = [2.412, 2.437, 2.462, 5.18, 5.24, 5.3, 5.5, 5.745, 5.825];
+        let mut congruences = Vec::new();
+        for (i, f) in freqs_ghz.iter().enumerate() {
+            let modulus = 1.0 / f;
+            let noise = if i % 2 == 0 { 0.005 } else { -0.005 };
+            congruences.push(Congruence::new((tau % modulus) + noise, modulus));
+        }
+        let sol = solve_by_voting(&congruences, 20.0, 0.001, 0.03).unwrap();
+        assert!(sol.votes >= 8, "votes {}", sol.votes);
+        assert!((sol.value - tau).abs() < 0.02, "value {}", sol.value);
+    }
+
+    #[test]
+    fn voting_rejects_empty() {
+        assert!(solve_by_voting(&[], 10.0, 0.01, 0.01).is_none());
+    }
+
+    #[test]
+    fn voting_single_congruence_is_ambiguous_but_reported() {
+        let c = [Congruence::new(0.1, 0.4)];
+        let sol = solve_by_voting(&c, 1.0, 0.001, 0.01).unwrap();
+        // With one congruence the first solution in range wins.
+        assert!((sol.value - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn real_lcm_of_wifi_moduli_exceeds_indoor_range() {
+        // 2.4 GHz band moduli (~0.406..0.415 ns): LCM >> 200 ns when mixed.
+        let moduli: Vec<f64> = [2.412f64, 2.437, 2.462].iter().map(|f| 1.0 / f).collect();
+        let lcm = real_lcm(&moduli, 1e-4);
+        assert!(lcm > 100.0, "lcm {lcm} ns");
+    }
+
+    #[test]
+    fn polishing_improves_grid_quantization() {
+        let tau = 2.3456789;
+        let freqs_ghz = [2.412, 5.18, 5.825];
+        let congruences: Vec<Congruence> = freqs_ghz
+            .iter()
+            .map(|f| Congruence::new(tau % (1.0 / f), 1.0 / f))
+            .collect();
+        // Coarse grid (10 ps) but polish should land within ~1 ps.
+        let sol = solve_by_voting(&congruences, 10.0, 0.01, 0.02).unwrap();
+        assert!((sol.value - tau).abs() < 0.002, "value {}", sol.value);
+    }
+}

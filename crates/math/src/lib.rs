@@ -1,0 +1,39 @@
+//! # chronos-math
+//!
+//! Numerics substrate for the Chronos reproduction.
+//!
+//! The offline dependency set deliberately excludes numerical crates
+//! (`num-complex`, `ndarray`, `nalgebra`, ...), so everything the signal
+//! processing pipeline needs is implemented here from scratch:
+//!
+//! * [`complex`] — double-precision complex arithmetic ([`Complex64`]).
+//! * [`cvec`] — operations on complex vectors (dot products, norms).
+//! * [`matrix`] — small dense real matrices with LU decomposition.
+//! * [`lstsq`] — linear and nonlinear (Gauss–Newton) least squares.
+//! * [`spline`] — natural cubic splines, used by Chronos to interpolate the
+//!   CSI phase at the unmeasurable zero-subcarrier (paper §5, footnote 3).
+//! * [`unwrap`] — 1-D phase unwrapping.
+//! * [`crt`] — Chinese-remainder-theorem style congruence solving by grid
+//!   voting (the construction behind the paper's Fig. 3).
+//! * [`stats`] — summary statistics, CDFs and histograms used everywhere in
+//!   the evaluation harness.
+//! * [`peaks`] — peak extraction on magnitude profiles (first-peak rule).
+//! * [`constants`] — physical constants and unit conversions.
+//!
+//! All routines are deterministic and panic-free for finite inputs unless the
+//! documentation explicitly states a precondition.
+
+pub mod cmatrix;
+pub mod complex;
+pub mod constants;
+pub mod crt;
+pub mod cvec;
+pub mod lstsq;
+pub mod matrix;
+pub mod peaks;
+pub mod spline;
+pub mod stats;
+pub mod unwrap;
+
+pub use complex::Complex64;
+pub use constants::{C_M_PER_NS, METERS_PER_NS, ns_to_m, m_to_ns};

@@ -1,0 +1,256 @@
+//! Linear and nonlinear least squares.
+//!
+//! * [`linear_lstsq`] solves over-determined `A x ~ b` via normal equations
+//!   with a Tikhonov fallback when the Gram matrix is ill-conditioned.
+//! * [`GaussNewton`] minimizes a sum of squared residuals for small nonlinear
+//!   problems — Chronos uses it to intersect ranging circles (paper §8).
+
+use crate::matrix::{Mat, MatError};
+
+/// Solves the over-determined linear least-squares problem `min ||A x - b||_2`.
+///
+/// Uses the normal equations `A^T A x = A^T b`. If the Gram matrix is singular
+/// the solve is retried with a small ridge term (`1e-9` on the diagonal),
+/// which is appropriate for the well-scaled geometry problems in this
+/// workspace.
+pub fn linear_lstsq(a: &Mat, b: &[f64]) -> Result<Vec<f64>, MatError> {
+    if b.len() != a.rows() {
+        return Err(MatError::DimensionMismatch);
+    }
+    let gram = a.gram();
+    let atb = a.mul_vec_t(b);
+    match gram.solve(&atb) {
+        Ok(x) => Ok(x),
+        Err(MatError::Singular) => {
+            let mut ridged = gram;
+            for i in 0..ridged.rows() {
+                ridged[(i, i)] += 1e-9;
+            }
+            ridged.solve(&atb)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// A residual function for [`GaussNewton`]: given parameters, fill the
+/// residual vector. The Jacobian is computed by forward finite differences.
+pub trait Residuals {
+    /// Number of residual terms.
+    fn len(&self) -> usize;
+    /// Whether there are no residuals.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Evaluates residuals at `params` into `out` (`out.len() == self.len()`).
+    fn eval(&self, params: &[f64], out: &mut [f64]);
+}
+
+/// Result of a Gauss–Newton run.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// Optimized parameters.
+    pub params: Vec<f64>,
+    /// Final sum of squared residuals.
+    pub cost: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the convergence tolerance was reached (vs. iteration cap).
+    pub converged: bool,
+}
+
+/// Dampened Gauss–Newton minimizer for small problems (2–4 parameters).
+///
+/// The damping (Levenberg-style additive lambda) makes the solver robust to
+/// the locally-flat cost surfaces that show up when ranging circles barely
+/// overlap.
+#[derive(Debug, Clone)]
+pub struct GaussNewton {
+    /// Maximum number of iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the parameter-step norm.
+    pub step_tol: f64,
+    /// Finite-difference step for the Jacobian.
+    pub fd_step: f64,
+    /// Initial damping factor.
+    pub lambda0: f64,
+}
+
+impl Default for GaussNewton {
+    fn default() -> Self {
+        GaussNewton { max_iters: 100, step_tol: 1e-10, fd_step: 1e-6, lambda0: 1e-3 }
+    }
+}
+
+impl GaussNewton {
+    /// Minimizes `||r(params)||^2` starting from `x0`.
+    pub fn minimize<R: Residuals>(&self, residuals: &R, x0: &[f64]) -> FitResult {
+        let n = x0.len();
+        let m = residuals.len();
+        let mut params = x0.to_vec();
+        let mut r = vec![0.0; m];
+        let mut r_trial = vec![0.0; m];
+        residuals.eval(&params, &mut r);
+        let mut cost: f64 = r.iter().map(|v| v * v).sum();
+        let mut lambda = self.lambda0;
+
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..self.max_iters {
+            iterations += 1;
+            // Finite-difference Jacobian, m x n.
+            let mut jac = Mat::zeros(m, n);
+            let mut perturbed = params.clone();
+            let mut r_pert = vec![0.0; m];
+            for j in 0..n {
+                let h = self.fd_step * params[j].abs().max(1.0);
+                perturbed[j] = params[j] + h;
+                residuals.eval(&perturbed, &mut r_pert);
+                for i in 0..m {
+                    jac[(i, j)] = (r_pert[i] - r[i]) / h;
+                }
+                perturbed[j] = params[j];
+            }
+
+            // Solve (J^T J + lambda I) dx = -J^T r.
+            let mut jtj = jac.gram();
+            let jtr = jac.mul_vec_t(&r);
+            let mut improved = false;
+            for _ in 0..8 {
+                let mut damped = jtj.clone();
+                for d in 0..n {
+                    damped[(d, d)] += lambda;
+                }
+                let rhs: Vec<f64> = jtr.iter().map(|v| -v).collect();
+                let Ok(dx) = damped.solve(&rhs) else {
+                    lambda *= 10.0;
+                    continue;
+                };
+                let trial: Vec<f64> =
+                    params.iter().zip(dx.iter()).map(|(p, d)| p + d).collect();
+                residuals.eval(&trial, &mut r_trial);
+                let trial_cost: f64 = r_trial.iter().map(|v| v * v).sum();
+                if trial_cost < cost {
+                    let step_norm = dx.iter().map(|v| v * v).sum::<f64>().sqrt();
+                    params = trial;
+                    std::mem::swap(&mut r, &mut r_trial);
+                    cost = trial_cost;
+                    lambda = (lambda * 0.5).max(1e-12);
+                    improved = true;
+                    if step_norm < self.step_tol {
+                        converged = true;
+                    }
+                    break;
+                }
+                lambda *= 10.0;
+            }
+            // Keep jtj alive for the borrow checker's sake; it is rebuilt next
+            // iteration.
+            jtj[(0, 0)] += 0.0;
+            if converged || !improved {
+                converged = converged || !improved && cost.is_finite();
+                break;
+            }
+        }
+
+        FitResult { params, cost, iterations, converged }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_line() {
+        // Fit y = 2x + 1 through exact points.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let mut a = Mat::zeros(4, 2);
+        for (i, x) in xs.iter().enumerate() {
+            a[(i, 0)] = *x;
+            a[(i, 1)] = 1.0;
+        }
+        let sol = linear_lstsq(&a, &ys).unwrap();
+        assert!((sol[0] - 2.0).abs() < 1e-10);
+        assert!((sol[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn linear_fit_overdetermined_noisy() {
+        // y = -0.5x + 4 with symmetric noise: LS recovers exact slope.
+        let pts = [(0.0, 4.1), (1.0, 3.4), (2.0, 3.1), (3.0, 2.4), (4.0, 2.1), (5.0, 1.4)];
+        let mut a = Mat::zeros(pts.len(), 2);
+        let mut b = vec![0.0; pts.len()];
+        for (i, (x, y)) in pts.iter().enumerate() {
+            a[(i, 0)] = *x;
+            a[(i, 1)] = 1.0;
+            b[i] = *y;
+        }
+        let sol = linear_lstsq(&a, &b).unwrap();
+        assert!((sol[0] + 0.5).abs() < 0.05, "slope {}", sol[0]);
+        assert!((sol[1] - 4.0).abs() < 0.12, "intercept {}", sol[1]);
+    }
+
+    struct CircleFit {
+        // Points on a circle; parameters are (cx, cy, r).
+        pts: Vec<(f64, f64)>,
+    }
+
+    impl Residuals for CircleFit {
+        fn len(&self) -> usize {
+            self.pts.len()
+        }
+        fn eval(&self, p: &[f64], out: &mut [f64]) {
+            for (i, (x, y)) in self.pts.iter().enumerate() {
+                out[i] = ((x - p[0]).powi(2) + (y - p[1]).powi(2)).sqrt() - p[2];
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_newton_circle() {
+        // Points on the circle centered (1, -2) radius 3.
+        let mut pts = Vec::new();
+        for k in 0..12 {
+            let t = 2.0 * std::f64::consts::PI * k as f64 / 12.0;
+            pts.push((1.0 + 3.0 * t.cos(), -2.0 + 3.0 * t.sin()));
+        }
+        let fit = GaussNewton::default().minimize(&CircleFit { pts }, &[0.0, 0.0, 1.0]);
+        assert!(fit.cost < 1e-12, "cost {}", fit.cost);
+        assert!((fit.params[0] - 1.0).abs() < 1e-5);
+        assert!((fit.params[1] + 2.0).abs() < 1e-5);
+        assert!((fit.params[2] - 3.0).abs() < 1e-5);
+    }
+
+    struct Rosenbrock;
+    impl Residuals for Rosenbrock {
+        fn len(&self) -> usize {
+            2
+        }
+        fn eval(&self, p: &[f64], out: &mut [f64]) {
+            out[0] = 10.0 * (p[1] - p[0] * p[0]);
+            out[1] = 1.0 - p[0];
+        }
+    }
+
+    #[test]
+    fn gauss_newton_rosenbrock() {
+        let fit = GaussNewton { max_iters: 500, ..Default::default() }
+            .minimize(&Rosenbrock, &[-1.2, 1.0]);
+        assert!((fit.params[0] - 1.0).abs() < 1e-4, "{:?}", fit.params);
+        assert!((fit.params[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gauss_newton_from_solution_stays() {
+        let mut pts = Vec::new();
+        for k in 0..8 {
+            let t = 2.0 * std::f64::consts::PI * k as f64 / 8.0;
+            pts.push((t.cos(), t.sin()));
+        }
+        let fit = GaussNewton::default().minimize(&CircleFit { pts }, &[0.0, 0.0, 1.0]);
+        assert!(fit.cost < 1e-18);
+        assert!(fit.iterations <= 3);
+    }
+}

@@ -1,0 +1,330 @@
+//! Small dense real matrices with LU-based solves.
+//!
+//! The localization pipeline only ever needs tiny systems (2x2 Jacobians for
+//! trilateration, a handful of normal equations for spline fits), so this is
+//! a straightforward row-major `Vec<f64>` matrix with partial-pivot LU.
+//! No attempt is made at cache blocking or SIMD; clarity and numerical
+//! robustness win.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `rows x cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Errors produced by matrix factorizations and solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatError {
+    /// The matrix is singular (or numerically so) and cannot be factored.
+    Singular,
+    /// Operand dimensions are incompatible.
+    DimensionMismatch,
+}
+
+impl fmt::Display for MatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatError::Singular => write!(f, "matrix is singular to working precision"),
+            MatError::DimensionMismatch => write!(f, "incompatible matrix dimensions"),
+        }
+    }
+}
+
+impl std::error::Error for MatError {}
+
+impl Mat {
+    /// Creates a zero-filled `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Mat { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Transposed matrix-vector product `A^T x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.rows()`.
+    pub fn mul_vec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "mul_vec_t: dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (j, a) in row.iter().enumerate() {
+                y[j] += a * x[i];
+            }
+        }
+        y
+    }
+
+    /// Matrix product `A B`.
+    pub fn mul(&self, other: &Mat) -> Result<Mat, MatError> {
+        if self.cols != other.rows {
+            return Err(MatError::DimensionMismatch);
+        }
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Gram matrix `A^T A` (used to form normal equations).
+    pub fn gram(&self) -> Mat {
+        let mut g = Mat::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..self.cols {
+                if row[j] == 0.0 {
+                    continue;
+                }
+                for k in j..self.cols {
+                    g[(j, k)] += row[j] * row[k];
+                }
+            }
+        }
+        for j in 0..self.cols {
+            for k in 0..j {
+                g[(j, k)] = g[(k, j)];
+            }
+        }
+        g
+    }
+
+    /// Solves `A x = b` by LU decomposition with partial pivoting.
+    ///
+    /// Requires a square matrix; returns [`MatError::Singular`] when a pivot
+    /// collapses below `1e-12` times the largest row scale.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MatError> {
+        if self.rows != self.cols {
+            return Err(MatError::DimensionMismatch);
+        }
+        if b.len() != self.rows {
+            return Err(MatError::DimensionMismatch);
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x: Vec<f64> = b.to_vec();
+
+        // Scale factor per row for pivot quality checks.
+        let mut scale = vec![0.0f64; n];
+        for i in 0..n {
+            let s = a[i * n..(i + 1) * n].iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            if s == 0.0 {
+                return Err(MatError::Singular);
+            }
+            scale[i] = s;
+        }
+
+        for col in 0..n {
+            // Partial pivot: pick the row with the largest scaled magnitude.
+            let mut pivot_row = col;
+            let mut best = 0.0;
+            for r in col..n {
+                let v = (a[r * n + col] / scale[r]).abs();
+                if v > best {
+                    best = v;
+                    pivot_row = r;
+                }
+            }
+            let pivot = a[pivot_row * n + col];
+            if pivot.abs() < 1e-12 * scale[pivot_row] {
+                return Err(MatError::Singular);
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+                scale.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= factor * a[col * n + j];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut sum = x[col];
+            for j in (col + 1)..n {
+                sum -= a[col * n + j] * x[j];
+            }
+            x[col] = sum / a[col * n + col];
+        }
+        Ok(x)
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Mat::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(a.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn solve_known_2x2() {
+        // [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4]
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(MatError::Singular));
+        let z = Mat::zeros(2, 2);
+        assert_eq!(z.solve(&[0.0, 0.0]), Err(MatError::Singular));
+    }
+
+    #[test]
+    fn mul_vec_and_transpose() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(a.transpose().mul_vec(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+        assert_eq!(a.mul_vec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gram_matches_at_a() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = a.gram();
+        let expected = a.transpose().mul(&a).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((g[(i, j)] - expected[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_dimension_mismatch() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        assert_eq!(a.mul(&b).unwrap_err(), MatError::DimensionMismatch);
+    }
+
+    #[test]
+    fn random_round_trip_solve() {
+        // Well-conditioned random-ish system: verify A * solve(A, b) == b.
+        let a = Mat::from_rows(&[
+            &[4.0, 1.0, 0.3, -0.2],
+            &[1.0, 5.0, 0.7, 0.1],
+            &[0.3, 0.7, 3.0, 0.9],
+            &[-0.2, 0.1, 0.9, 6.0],
+        ]);
+        let b = vec![1.0, 2.0, -3.0, 0.25];
+        let x = a.solve(&b).unwrap();
+        let back = a.mul_vec(&x);
+        for (u, v) in back.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Cubic spline and linear interpolation.
+//!
+//! Chronos cannot measure the wireless channel at the OFDM zero-subcarrier
+//! (it coincides with the DC offset of the radio hardware), yet §5 of the
+//! paper shows that only that subcarrier is free of packet-detection delay.
+//! The fix — paper footnote 3 — is to interpolate the measured phase across
+//! the 30 populated subcarriers with a **cubic spline** and read off the
+//! value at subcarrier zero. This module implements the natural cubic spline
+//! used there, plus plain linear interpolation as the ablation baseline.
+
+/// A natural cubic spline through `(x_i, y_i)` knots.
+///
+/// "Natural" boundary conditions (second derivative zero at both ends) match
+/// the behaviour of MATLAB's `spline` in the interior and are well-behaved
+/// for the mildly-curved phase profiles CSI produces.
+#[derive(Debug, Clone)]
+pub struct CubicSpline {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Second derivatives at the knots.
+    m: Vec<f64>,
+}
+
+/// Errors constructing an interpolant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplineError {
+    /// Fewer than two knots were provided.
+    TooFewKnots,
+    /// Knot abscissae are not strictly increasing.
+    NotStrictlyIncreasing,
+    /// Input lengths differ.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for SplineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplineError::TooFewKnots => write!(f, "need at least two knots"),
+            SplineError::NotStrictlyIncreasing => {
+                write!(f, "knot x-values must be strictly increasing")
+            }
+            SplineError::LengthMismatch => write!(f, "xs and ys lengths differ"),
+        }
+    }
+}
+
+impl std::error::Error for SplineError {}
+
+impl CubicSpline {
+    /// Fits a natural cubic spline through the given knots.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, SplineError> {
+        if xs.len() != ys.len() {
+            return Err(SplineError::LengthMismatch);
+        }
+        let n = xs.len();
+        if n < 2 {
+            return Err(SplineError::TooFewKnots);
+        }
+        for w in xs.windows(2) {
+            if w[1] <= w[0] {
+                return Err(SplineError::NotStrictlyIncreasing);
+            }
+        }
+        // Solve the tridiagonal system for second derivatives (Thomas
+        // algorithm). Natural BCs: m[0] = m[n-1] = 0.
+        let mut m = vec![0.0; n];
+        if n > 2 {
+            let k = n - 2; // interior unknowns
+            let mut diag = vec![0.0; k];
+            let mut upper = vec![0.0; k];
+            let mut lower = vec![0.0; k];
+            let mut rhs = vec![0.0; k];
+            for i in 1..=k {
+                let h0 = xs[i] - xs[i - 1];
+                let h1 = xs[i + 1] - xs[i];
+                diag[i - 1] = 2.0 * (h0 + h1);
+                lower[i - 1] = h0;
+                upper[i - 1] = h1;
+                rhs[i - 1] =
+                    6.0 * ((ys[i + 1] - ys[i]) / h1 - (ys[i] - ys[i - 1]) / h0);
+            }
+            // Forward sweep.
+            for i in 1..k {
+                let w = lower[i] / diag[i - 1];
+                diag[i] -= w * upper[i - 1];
+                rhs[i] -= w * rhs[i - 1];
+            }
+            // Back substitution.
+            let mut sol = vec![0.0; k];
+            sol[k - 1] = rhs[k - 1] / diag[k - 1];
+            for i in (0..k - 1).rev() {
+                sol[i] = (rhs[i] - upper[i] * sol[i + 1]) / diag[i];
+            }
+            m[1..=k].copy_from_slice(&sol);
+        }
+        Ok(CubicSpline { xs: xs.to_vec(), ys: ys.to_vec(), m })
+    }
+
+    /// Evaluates the spline at `x`.
+    ///
+    /// Outside the knot range the spline **extrapolates** with the boundary
+    /// cubic segment; Chronos relies on this only for the tiny extrapolation
+    /// from subcarrier ±1 to subcarrier 0, which is inside the knot hull
+    /// anyway for the Intel 5300 layout.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        // Locate segment by binary search; clamp to boundary segments.
+        let seg = match self.xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+            Ok(i) => i.min(n - 2),
+            Err(0) => 0,
+            Err(i) if i >= n => n - 2,
+            Err(i) => i - 1,
+        };
+        let (x0, x1) = (self.xs[seg], self.xs[seg + 1]);
+        let (y0, y1) = (self.ys[seg], self.ys[seg + 1]);
+        let (m0, m1) = (self.m[seg], self.m[seg + 1]);
+        let h = x1 - x0;
+        let a = (x1 - x) / h;
+        let b = (x - x0) / h;
+        a * y0
+            + b * y1
+            + ((a.powi(3) - a) * m0 + (b.powi(3) - b) * m1) * h * h / 6.0
+    }
+
+    /// Evaluates the first derivative at `x`.
+    pub fn eval_deriv(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        let seg = match self.xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+            Ok(i) => i.min(n - 2),
+            Err(0) => 0,
+            Err(i) if i >= n => n - 2,
+            Err(i) => i - 1,
+        };
+        let (x0, x1) = (self.xs[seg], self.xs[seg + 1]);
+        let (y0, y1) = (self.ys[seg], self.ys[seg + 1]);
+        let (m0, m1) = (self.m[seg], self.m[seg + 1]);
+        let h = x1 - x0;
+        let a = (x1 - x) / h;
+        let b = (x - x0) / h;
+        (y1 - y0) / h
+            + ((1.0 - 3.0 * a * a) * m0 + (3.0 * b * b - 1.0) * m1) * h / 6.0
+    }
+}
+
+/// Piecewise-linear interpolation at `x` over strictly-increasing knots.
+///
+/// Used as the ablation baseline against the cubic spline (DESIGN.md §4.3).
+/// Extrapolates linearly beyond the boundary knots.
+pub fn linear_interp(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "linear_interp: length mismatch");
+    assert!(xs.len() >= 2, "linear_interp: need two knots");
+    let n = xs.len();
+    let seg = match xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+        Ok(i) => return ys[i],
+        Err(0) => 0,
+        Err(i) if i >= n => n - 2,
+        Err(i) => i - 1,
+    };
+    let t = (x - xs[seg]) / (xs[seg + 1] - xs[seg]);
+    ys[seg] + t * (ys[seg + 1] - ys[seg])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spline_reproduces_knots() {
+        let xs = [-3.0, -1.0, 0.5, 2.0, 4.0];
+        let ys = [1.0, -2.0, 0.0, 3.0, 3.5];
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert!((s.eval(*x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spline_interpolates_line_exactly() {
+        // A line is a cubic spline with zero curvature everywhere.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 2.0).collect();
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        for k in 0..90 {
+            let x = k as f64 * 0.1;
+            assert!((s.eval(x) - (3.0 * x - 2.0)).abs() < 1e-10);
+            assert!((s.eval_deriv(x) - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spline_close_on_smooth_function() {
+        // Interpolating sin over a dense grid should be accurate mid-segment.
+        let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.25).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.sin()).collect();
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        for k in 1..100 {
+            let x = 0.05 + k as f64 * 0.07;
+            if x > 7.0 {
+                break;
+            }
+            assert!((s.eval(x) - x.sin()).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn zero_subcarrier_use_case() {
+        // The real use case: phase across subcarriers [-28..28] without 0,
+        // linear in subcarrier index; spline at 0 recovers the line value.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let slope = -0.043;
+        let intercept = 1.234;
+        for k in (-28i32..=28).filter(|k| *k != 0) {
+            xs.push(k as f64);
+            ys.push(slope * k as f64 + intercept);
+        }
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        assert!((s.eval(0.0) - intercept).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert_eq!(CubicSpline::fit(&[1.0], &[1.0]).unwrap_err(), SplineError::TooFewKnots);
+        assert_eq!(
+            CubicSpline::fit(&[1.0, 1.0], &[1.0, 2.0]).unwrap_err(),
+            SplineError::NotStrictlyIncreasing
+        );
+        assert_eq!(
+            CubicSpline::fit(&[1.0, 2.0], &[1.0]).unwrap_err(),
+            SplineError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn two_knot_spline_is_linear() {
+        let s = CubicSpline::fit(&[0.0, 2.0], &[1.0, 5.0]).unwrap();
+        assert!((s.eval(1.0) - 3.0).abs() < 1e-12);
+        assert!((s.eval_deriv(0.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_interp_basics() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 10.0, 0.0];
+        assert!((linear_interp(&xs, &ys, 0.5) - 5.0).abs() < 1e-12);
+        assert!((linear_interp(&xs, &ys, 1.0) - 10.0).abs() < 1e-12);
+        assert!((linear_interp(&xs, &ys, 1.75) - 2.5).abs() < 1e-12);
+        // Extrapolation continues the boundary segment.
+        assert!((linear_interp(&xs, &ys, -1.0) + 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deriv_matches_finite_difference() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (0.3 * x).cos() + 0.1 * x * x).collect();
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        for k in 1..40 {
+            let x = 0.3 + k as f64 * 0.2;
+            if x >= 9.0 {
+                break;
+            }
+            let h = 1e-6;
+            let fd = (s.eval(x + h) - s.eval(x - h)) / (2.0 * h);
+            assert!((s.eval_deriv(x) - fd).abs() < 1e-6, "x={x}");
+        }
+    }
+}

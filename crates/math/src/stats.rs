@@ -1,0 +1,330 @@
+//! Summary statistics, empirical CDFs and histograms.
+//!
+//! Every figure in the paper's evaluation is either a CDF, a histogram, or a
+//! bucketed error bar; this module provides those reductions for the
+//! benchmark harness.
+
+/// Arithmetic mean. Returns `NaN` for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation. Returns `NaN` for empty input.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Median (50th percentile). Returns `NaN` for empty input.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Root mean squared value (e.g. RMSE when `xs` are errors).
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Percentile in `[0, 100]` by linear interpolation between order statistics
+/// (the same convention as `numpy.percentile`). Returns `NaN` for empty
+/// input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let t = rank - lo as f64;
+        sorted[lo] * (1.0 - t) + sorted[hi] * t
+    }
+}
+
+/// An empirical cumulative distribution function.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    /// Sorted sample values.
+    pub values: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples (copied and sorted).
+    pub fn new(samples: &[f64]) -> Self {
+        let mut values = samples.to_vec();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { values }
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        let idx = self.values.partition_point(|v| *v <= x);
+        idx as f64 / self.values.len() as f64
+    }
+
+    /// Inverse CDF: the smallest sample with CDF >= `q` (`q` in `[0,1]`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.values.len() as f64).ceil() as usize).max(1) - 1;
+        self.values[idx.min(self.values.len() - 1)]
+    }
+
+    /// Emits `(x, F(x))` pairs at every sample point — the exact staircase.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.values.len() as f64;
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (*v, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the ECDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo` or at/above `hi`.
+    pub out_of_range: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram: need at least one bin");
+        assert!(hi > lo, "Histogram: hi must exceed lo");
+        Histogram { lo, hi, counts: vec![0; bins], out_of_range: 0, total: 0 }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if !x.is_finite() || x < self.lo || x >= self.hi {
+            self.out_of_range += 1;
+            return;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = ((x - self.lo) / w) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Adds every sample in a slice.
+    pub fn add_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// `(bin_center, fraction_of_all_samples)` rows — the paper's Fig. 7(c)
+    /// normalization ("fraction of packets").
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let total = self.total.max(1) as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (self.lo + w * (i as f64 + 0.5), *c as f64 / total))
+            .collect()
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples offered (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Bucketed statistics: groups `(key, value)` samples into contiguous key
+/// ranges and reports per-bucket mean/std — the reduction behind Fig. 8(a).
+#[derive(Debug, Clone)]
+pub struct Buckets {
+    edges: Vec<f64>,
+    samples: Vec<Vec<f64>>,
+}
+
+impl Buckets {
+    /// Creates buckets with the given edges; bucket `i` spans
+    /// `[edges[i], edges[i+1])`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two edges or edges are not increasing.
+    pub fn new(edges: &[f64]) -> Self {
+        assert!(edges.len() >= 2, "Buckets: need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[1] > w[0]),
+            "Buckets: edges must be strictly increasing"
+        );
+        Buckets { edges: edges.to_vec(), samples: vec![Vec::new(); edges.len() - 1] }
+    }
+
+    /// Adds a `(key, value)` sample; ignored when `key` is out of range.
+    pub fn add(&mut self, key: f64, value: f64) {
+        if key < self.edges[0] || key >= *self.edges.last().unwrap() {
+            return;
+        }
+        let idx = self.edges.partition_point(|e| *e <= key) - 1;
+        let idx = idx.min(self.samples.len() - 1);
+        self.samples[idx].push(value);
+    }
+
+    /// Per-bucket `(range_label, mean, std, count)` rows.
+    pub fn rows(&self) -> Vec<(String, f64, f64, usize)> {
+        self.samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let label = format!("{:.0}-{:.0}", self.edges[i], self.edges[i + 1]);
+                (label, mean(s), std_dev(s), s.len())
+            })
+            .collect()
+    }
+
+    /// Per-bucket medians.
+    pub fn medians(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| median(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_median_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert!((median(&xs) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(std_dev(&[]).is_nan());
+        assert!(median(&[]).is_nan());
+        assert!(rms(&[]).is_nan());
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        // Order independence.
+        let shuffled = [3.0, 1.0, 4.0, 2.0];
+        assert!((percentile(&shuffled, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_of_constant() {
+        assert!((rms(&[3.0, 3.0, -3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_staircase() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 5.0]);
+        assert!((e.eval(0.5) - 0.0).abs() < 1e-12);
+        assert!((e.eval(1.0) - 0.25).abs() < 1e-12);
+        assert!((e.eval(2.0) - 0.75).abs() < 1e-12);
+        assert!((e.eval(10.0) - 1.0).abs() < 1e-12);
+        assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn ecdf_quantile_is_order_statistic() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.quantile(0.5), 30.0);
+        assert_eq!(e.quantile(0.95), 50.0);
+        assert_eq!(e.quantile(0.0), 10.0);
+        // Median from ECDF matches `median` up to convention on even counts.
+        let samples = [0.4, 0.1, 0.9, 0.5, 0.3];
+        assert_eq!(Ecdf::new(&samples).quantile(0.5), 0.4);
+    }
+
+    #[test]
+    fn ecdf_points_monotone() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0]);
+        let pts = e.points();
+        assert_eq!(pts.len(), 3);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_and_normalization() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add_all(&[0.5, 1.5, 1.6, 9.9, 10.0, -1.0, f64::NAN]);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.out_of_range, 3);
+        let rows = h.normalized();
+        assert!((rows[1].1 - 2.0 / 7.0).abs() < 1e-12);
+        assert!((rows[0].0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buckets_rows() {
+        let mut b = Buckets::new(&[0.0, 2.0, 4.0, 6.0]);
+        b.add(1.0, 0.10);
+        b.add(1.5, 0.20);
+        b.add(3.0, 0.30);
+        b.add(5.9, 0.40);
+        b.add(6.0, 99.0); // out of range, dropped
+        let rows = b.rows();
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].1 - 0.15).abs() < 1e-12);
+        assert_eq!(rows[0].3, 2);
+        assert!((rows[2].1 - 0.40).abs() < 1e-12);
+        assert_eq!(rows[1].0, "2-4");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

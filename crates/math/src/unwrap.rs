@@ -1,0 +1,134 @@
+//! One-dimensional phase unwrapping.
+//!
+//! Measured channel phase lives in `(-pi, pi]`; the underlying physical phase
+//! `-2 pi f tau` is continuous in frequency. Before interpolating phase to
+//! the zero-subcarrier (paper §5) the per-subcarrier phases must be unwrapped
+//! so the spline sees a smooth curve rather than 2-pi jumps.
+
+use std::f64::consts::PI;
+
+/// Unwraps a phase sequence in place: whenever consecutive samples differ by
+/// more than `pi`, a multiple of `2 pi` is added to the later samples so the
+/// sequence becomes continuous.
+pub fn unwrap_in_place(phases: &mut [f64]) {
+    if phases.len() < 2 {
+        return;
+    }
+    let mut offset = 0.0;
+    let mut prev_raw = phases[0];
+    for p in phases.iter_mut().skip(1) {
+        let raw = *p;
+        let mut d = raw - prev_raw;
+        while d > PI {
+            d -= 2.0 * PI;
+            offset -= 2.0 * PI;
+        }
+        while d < -PI {
+            d += 2.0 * PI;
+            offset += 2.0 * PI;
+        }
+        prev_raw = raw;
+        *p = raw + offset;
+    }
+}
+
+/// Returns an unwrapped copy of `phases`.
+pub fn unwrapped(phases: &[f64]) -> Vec<f64> {
+    let mut out = phases.to_vec();
+    unwrap_in_place(&mut out);
+    out
+}
+
+/// Wraps a single phase into `(-pi, pi]`.
+#[inline]
+pub fn wrap_to_pi(phase: f64) -> f64 {
+    let mut p = (phase + PI).rem_euclid(2.0 * PI) - PI;
+    if p <= -PI {
+        p += 2.0 * PI;
+    }
+    p
+}
+
+/// Smallest absolute angular difference between two phases, in `[0, pi]`.
+#[inline]
+pub fn angular_distance(a: f64, b: f64) -> f64 {
+    wrap_to_pi(a - b).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_linear_ramp() {
+        // True phase: steep line wrapping several times.
+        let slope = 1.9; // rad per sample, just below pi
+        let true_phase: Vec<f64> = (0..40).map(|i| slope * i as f64).collect();
+        let wrapped: Vec<f64> = true_phase.iter().map(|p| wrap_to_pi(*p)).collect();
+        let un = unwrapped(&wrapped);
+        for (u, t) in un.iter().zip(true_phase.iter()) {
+            // Unwrapped differs from truth only by a constant multiple of 2pi
+            // (anchored at the first sample, which is 0 here).
+            assert!((u - t).abs() < 1e-9, "u={u} t={t}");
+        }
+    }
+
+    #[test]
+    fn unwrap_negative_ramp() {
+        let slope = -2.5;
+        let true_phase: Vec<f64> = (0..30).map(|i| 0.4 + slope * i as f64).collect();
+        let wrapped: Vec<f64> = true_phase.iter().map(|p| wrap_to_pi(*p)).collect();
+        let un = unwrapped(&wrapped);
+        let anchor = un[0] - true_phase[0];
+        for (u, t) in un.iter().zip(true_phase.iter()) {
+            assert!((u - t - anchor).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unwrap_noop_when_smooth() {
+        let smooth = [0.0, 0.1, 0.3, 0.2, -0.1];
+        assert_eq!(unwrapped(&smooth), smooth.to_vec());
+    }
+
+    #[test]
+    fn unwrap_short_inputs() {
+        let mut empty: [f64; 0] = [];
+        unwrap_in_place(&mut empty);
+        let mut one = [1.0];
+        unwrap_in_place(&mut one);
+        assert_eq!(one, [1.0]);
+    }
+
+    #[test]
+    fn wrap_to_pi_range() {
+        for k in -20..=20 {
+            let p = k as f64 * 0.7;
+            let w = wrap_to_pi(p);
+            assert!(w > -PI - 1e-12 && w <= PI + 1e-12, "w={w}");
+            // Wrapped value differs by a multiple of 2 pi.
+            let diff = (p - w) / (2.0 * PI);
+            assert!((diff - diff.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn angular_distance_symmetry() {
+        assert!((angular_distance(0.1, -0.1) - 0.2).abs() < 1e-12);
+        assert!((angular_distance(PI - 0.05, -PI + 0.05) - 0.1).abs() < 1e-9);
+        assert!(angular_distance(1.0, 1.0) < 1e-12);
+    }
+
+    #[test]
+    fn unwrap_channel_phase_use_case() {
+        // Phase across subcarriers of a 20 MHz band for tau = 40 ns: slope
+        // -2 pi * 312.5 kHz * 40 ns = -0.0785 rad per subcarrier; with a big
+        // detection delay of 300 ns the slope wraps: -0.668 rad/subcarrier.
+        let slope = -2.0 * PI * 312.5e3 * 340e-9;
+        let phases: Vec<f64> =
+            (0..57).map(|i| wrap_to_pi(slope * i as f64)).collect();
+        let un = unwrapped(&phases);
+        let est_slope = (un[56] - un[0]) / 56.0;
+        assert!((est_slope - slope).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,213 @@
+//! The U.S. Wi-Fi band plan swept by Chronos (paper Fig. 2).
+//!
+//! The paper counts **35 Wi-Fi bands with independent center frequencies**
+//! available to an 802.11h-capable 802.11n radio such as the Intel 5300:
+//!
+//! * 2.4 GHz ISM: channels 1–11, centers 2.412–2.462 GHz (5 MHz channel
+//!   raster, 20 MHz-wide signals).
+//! * 5 GHz U-NII-1: channels 36–48 (5.180–5.240 GHz).
+//! * 5 GHz U-NII-2: channels 52–64 (5.260–5.320 GHz), DFS.
+//! * 5 GHz U-NII-2e: channels 100–140 (5.500–5.700 GHz), DFS.
+//! * 5 GHz U-NII-3: channels 149–165 (5.745–5.825 GHz).
+//!
+//! The scattered, *unequally spaced* centers are exactly what makes the
+//! Chinese-remainder construction of §4 powerful, and what forces the
+//! inverse transform of §6 to be a **non-uniform** DFT.
+
+use chronos_math::constants::{GHZ, MHZ};
+
+/// Which regulatory chunk a band belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BandGroup {
+    /// 2.4 GHz ISM band (channels 1–11).
+    Ism24,
+    /// 5.15–5.25 GHz (channels 36–48).
+    Unii1,
+    /// 5.25–5.35 GHz (channels 52–64), DFS.
+    Unii2,
+    /// 5.47–5.725 GHz (channels 100–140), DFS.
+    Unii2e,
+    /// 5.725–5.85 GHz (channels 149–165).
+    Unii3,
+}
+
+impl BandGroup {
+    /// Whether channels in this group require DFS (radar detection).
+    pub fn is_dfs(self) -> bool {
+        matches!(self, BandGroup::Unii2 | BandGroup::Unii2e)
+    }
+
+    /// Whether this group sits in the 2.4 GHz ISM spectrum.
+    pub fn is_2g4(self) -> bool {
+        matches!(self, BandGroup::Ism24)
+    }
+}
+
+/// One 20 MHz Wi-Fi band (a "channel" in 802.11 terms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// 802.11 channel number (1–11, 36–165).
+    pub channel: u16,
+    /// Center frequency in Hz.
+    pub center_hz: f64,
+    /// Regulatory group.
+    pub group: BandGroup,
+}
+
+impl Band {
+    /// Center frequency in GHz (convenience for display/tests).
+    pub fn center_ghz(&self) -> f64 {
+        self.center_hz / GHZ
+    }
+
+    /// The signal bandwidth of the band (all Chronos traffic is 20 MHz).
+    pub const BANDWIDTH_HZ: f64 = 20.0 * MHZ;
+}
+
+/// 2.4 GHz channel number -> center frequency.
+fn center_24(channel: u16) -> f64 {
+    2.407 * GHZ + channel as f64 * 5.0 * MHZ
+}
+
+/// 5 GHz channel number -> center frequency.
+fn center_5(channel: u16) -> f64 {
+    5.000 * GHZ + channel as f64 * 5.0 * MHZ
+}
+
+/// The full 35-band U.S. plan in ascending frequency order.
+///
+/// This is the sweep list of the paper's §5: "a total of 35 Wi-Fi bands with
+/// independent center frequencies".
+pub fn band_plan() -> Vec<Band> {
+    let mut bands = Vec::with_capacity(35);
+    // 2.4 GHz: channels 1..=11.
+    for ch in 1..=11u16 {
+        bands.push(Band { channel: ch, center_hz: center_24(ch), group: BandGroup::Ism24 });
+    }
+    // U-NII-1: 36, 40, 44, 48.
+    for ch in [36u16, 40, 44, 48] {
+        bands.push(Band { channel: ch, center_hz: center_5(ch), group: BandGroup::Unii1 });
+    }
+    // U-NII-2: 52, 56, 60, 64 (DFS).
+    for ch in [52u16, 56, 60, 64] {
+        bands.push(Band { channel: ch, center_hz: center_5(ch), group: BandGroup::Unii2 });
+    }
+    // U-NII-2e: 100..=140 step 4 (DFS).
+    for ch in (100..=140u16).step_by(4) {
+        bands.push(Band { channel: ch, center_hz: center_5(ch), group: BandGroup::Unii2e });
+    }
+    // U-NII-3: 149, 153, 157, 161, 165.
+    for ch in [149u16, 153, 157, 161, 165] {
+        bands.push(Band { channel: ch, center_hz: center_5(ch), group: BandGroup::Unii3 });
+    }
+    bands
+}
+
+/// Only the 5 GHz members of the plan (24 bands).
+pub fn band_plan_5ghz() -> Vec<Band> {
+    band_plan().into_iter().filter(|b| !b.group.is_2g4()).collect()
+}
+
+/// Only the 2.4 GHz members of the plan (11 bands).
+pub fn band_plan_24ghz() -> Vec<Band> {
+    band_plan().into_iter().filter(|b| b.group.is_2g4()).collect()
+}
+
+/// Looks up a band by channel number in the standard plan.
+pub fn band_by_channel(channel: u16) -> Option<Band> {
+    band_plan().into_iter().find(|b| b.channel == channel)
+}
+
+/// The default band devices fall back to when the hopping protocol times out
+/// (paper §4: "transmitters and receivers revert to a default frequency
+/// band"). We use channel 1, the bottom of the plan.
+pub fn default_band() -> Band {
+    band_by_channel(1).expect("channel 1 always present")
+}
+
+/// Total frequency extent the sweep stitches together, in Hz
+/// (max center − min center). The paper calls this "almost one GHz".
+pub fn stitched_span_hz() -> f64 {
+    let plan = band_plan();
+    let lo = plan.first().expect("plan non-empty").center_hz;
+    let hi = plan.last().expect("plan non-empty").center_hz;
+    hi - lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_has_exactly_35_bands() {
+        assert_eq!(band_plan().len(), 35);
+    }
+
+    #[test]
+    fn split_counts() {
+        assert_eq!(band_plan_24ghz().len(), 11);
+        assert_eq!(band_plan_5ghz().len(), 24);
+    }
+
+    #[test]
+    fn paper_fig2_endpoints() {
+        // Fig. 2: 2.412–2.462 GHz, 5.18–..., 5.5–5.7, 5.745–5.825.
+        let plan = band_plan();
+        assert!((plan[0].center_ghz() - 2.412).abs() < 1e-9);
+        assert!((plan[10].center_ghz() - 2.462).abs() < 1e-9);
+        let ch36 = band_by_channel(36).unwrap();
+        assert!((ch36.center_ghz() - 5.180).abs() < 1e-9);
+        let ch100 = band_by_channel(100).unwrap();
+        assert!((ch100.center_ghz() - 5.500).abs() < 1e-9);
+        let ch140 = band_by_channel(140).unwrap();
+        assert!((ch140.center_ghz() - 5.700).abs() < 1e-9);
+        let ch165 = band_by_channel(165).unwrap();
+        assert!((ch165.center_ghz() - 5.825).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ascending_and_unique() {
+        let plan = band_plan();
+        for w in plan.windows(2) {
+            assert!(w[1].center_hz > w[0].center_hz);
+        }
+    }
+
+    #[test]
+    fn dfs_flags() {
+        assert!(band_by_channel(100).unwrap().group.is_dfs());
+        assert!(band_by_channel(52).unwrap().group.is_dfs());
+        assert!(!band_by_channel(36).unwrap().group.is_dfs());
+        assert!(!band_by_channel(149).unwrap().group.is_dfs());
+        assert!(!band_by_channel(6).unwrap().group.is_dfs());
+    }
+
+    #[test]
+    fn stitched_span_is_about_3_4_ghz() {
+        // 5.825 - 2.412 GHz: the "illusion of a wideband radio" extent.
+        let span = stitched_span_hz();
+        assert!((span / 1e9 - 3.413).abs() < 1e-6, "span {span}");
+    }
+
+    #[test]
+    fn default_band_is_channel_1() {
+        assert_eq!(default_band().channel, 1);
+    }
+
+    #[test]
+    fn unknown_channel_rejected() {
+        assert!(band_by_channel(14).is_none());
+        assert!(band_by_channel(0).is_none());
+        assert!(band_by_channel(200).is_none());
+    }
+
+    #[test]
+    fn unequal_spacing_within_5ghz() {
+        // The gap between 64 and 100 (180 MHz) differs from the in-group
+        // 20 MHz raster — the non-uniformity Chronos exploits.
+        let plan = band_plan_5ghz();
+        let mut gaps: Vec<f64> = plan.windows(2).map(|w| w[1].center_hz - w[0].center_hz).collect();
+        gaps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(gaps.first().unwrap() < gaps.last().unwrap());
+    }
+}

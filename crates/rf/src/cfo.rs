@@ -1,0 +1,152 @@
+//! Carrier-frequency-offset (CFO) modeling.
+//!
+//! Two radios never share an oscillator, so their carrier frequencies differ
+//! by a few parts per million. Any CSI measured across that offset rotates
+//! at the difference frequency, quickly swamping the time-of-flight phase
+//! (paper §7). The key physical fact Chronos exploits is **reciprocity of
+//! the offset sign**: the offset the receiver sees for the transmitter's
+//! packet is the exact negative of the offset the transmitter sees for the
+//! receiver's ACK. Multiplying the two CSIs cancels the rotation.
+//!
+//! This module models per-device oscillators and produces the phase
+//! rotation a measurement at a given timestamp suffers.
+
+use chronos_math::Complex64;
+
+/// One device's oscillator.
+#[derive(Debug, Clone, Copy)]
+pub struct Oscillator {
+    /// Fractional frequency error, in parts per million. Typical consumer
+    /// Wi-Fi silicon is within +-20 ppm (802.11 requires <= 25 ppm).
+    pub ppm: f64,
+}
+
+impl Oscillator {
+    /// Creates an oscillator with the given ppm error.
+    pub fn new(ppm: f64) -> Self {
+        Oscillator { ppm }
+    }
+
+    /// The actual frequency this oscillator produces when tuned to a
+    /// nominal `freq_hz`.
+    pub fn actual_freq(&self, freq_hz: f64) -> f64 {
+        freq_hz * (1.0 + self.ppm * 1e-6)
+    }
+}
+
+/// A transmitter/receiver oscillator pair tuned to a common nominal
+/// center frequency.
+#[derive(Debug, Clone, Copy)]
+pub struct CfoPair {
+    /// Transmitter-side oscillator.
+    pub tx: Oscillator,
+    /// Receiver-side oscillator.
+    pub rx: Oscillator,
+}
+
+impl CfoPair {
+    /// Creates the pair.
+    pub fn new(tx_ppm: f64, rx_ppm: f64) -> Self {
+        CfoPair { tx: Oscillator::new(tx_ppm), rx: Oscillator::new(rx_ppm) }
+    }
+
+    /// Carrier frequency offset *as observed at the receiver* for a packet
+    /// sent by the transmitter, in Hz: `f_tx - f_rx` (paper §7 notation).
+    pub fn offset_at_rx(&self, nominal_hz: f64) -> f64 {
+        self.tx.actual_freq(nominal_hz) - self.rx.actual_freq(nominal_hz)
+    }
+
+    /// Offset observed at the transmitter for the receiver's ACK: the exact
+    /// negative of [`offset_at_rx`](Self::offset_at_rx) — reciprocity.
+    pub fn offset_at_tx(&self, nominal_hz: f64) -> f64 {
+        -self.offset_at_rx(nominal_hz)
+    }
+
+    /// The multiplicative phase corruption on a CSI measured at the
+    /// *receiver* at absolute time `t_s` (seconds): `e^{j 2 pi (f_tx - f_rx) t}`
+    /// (paper Eq. 11 uses angular notation; the sign convention here matches
+    /// it).
+    pub fn rotation_at_rx(&self, nominal_hz: f64, t_s: f64) -> Complex64 {
+        Complex64::cis(2.0 * std::f64::consts::PI * self.offset_at_rx(nominal_hz) * t_s)
+    }
+
+    /// The corruption on the CSI measured at the *transmitter* for the ACK
+    /// at time `t_s`: `e^{j 2 pi (f_rx - f_tx) t}` (paper Eq. 12).
+    pub fn rotation_at_tx(&self, nominal_hz: f64, t_s: f64) -> Complex64 {
+        Complex64::cis(2.0 * std::f64::consts::PI * self.offset_at_tx(nominal_hz) * t_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actual_freq_scaling() {
+        let o = Oscillator::new(10.0); // +10 ppm
+        let f = o.actual_freq(2.4e9);
+        assert!((f - 2.4e9 * (1.0 + 1e-5)).abs() < 1e-3);
+        assert!((f - 2.4e9 - 24_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn reciprocity_of_offsets() {
+        let pair = CfoPair::new(7.3, -4.1);
+        let f = 5.5e9;
+        assert!((pair.offset_at_rx(f) + pair.offset_at_tx(f)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_magnitude_realistic() {
+        // ~11 ppm differential at 5.5 GHz ~ 63 kHz — enormous compared to
+        // the sub-Hz precision ToF needs, hence §7's machinery.
+        let pair = CfoPair::new(7.0, -4.0);
+        let off = pair.offset_at_rx(5.5e9).abs();
+        assert!(off > 50_000.0 && off < 70_000.0, "off {off}");
+    }
+
+    #[test]
+    fn rotations_cancel_when_multiplied_same_time() {
+        // The heart of paper Eq. 13: rx-rotation * tx-rotation = 1 at equal
+        // measurement times.
+        let pair = CfoPair::new(12.0, 3.0);
+        let f = 2.437e9;
+        let t = 1.234;
+        let prod = pair.rotation_at_rx(f, t) * pair.rotation_at_tx(f, t);
+        assert!(prod.approx_eq(Complex64::ONE, 1e-9));
+    }
+
+    #[test]
+    fn residual_error_from_turnaround_is_small() {
+        // Forward and reverse CSI are measured ~40 us apart. The residual
+        // rotation is 2 pi * offset * dt; with ~28 kHz offset and 40 us this
+        // is ~7 rad — large! The *product* taken at (t, t+dt) leaves a
+        // rotation of 2 pi * offset * dt relative to equal-time capture,
+        // which the pipeline suppresses by averaging over packets (§7 obs 1).
+        let pair = CfoPair::new(5.0, 0.0); // 5 ppm -> 12 kHz at 2.4 GHz
+        let f = 2.412e9;
+        let dt = 40e-6;
+        let prod = pair.rotation_at_rx(f, 0.0) * pair.rotation_at_tx(f, dt);
+        let residual_phase = prod.arg().abs();
+        let expected = 2.0 * std::f64::consts::PI * pair.offset_at_rx(f).abs() * dt;
+        let wrapped = chronos_math::unwrap::wrap_to_pi(expected).abs();
+        assert!((residual_phase - wrapped).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uncompensated_rotation_is_huge_over_milliseconds() {
+        // Motivates §7: after 10 ms, a 28 kHz offset has rotated ~280 full
+        // turns; raw CSI phase is useless for ToF.
+        let pair = CfoPair::new(7.0, -5.0);
+        let f = 2.412e9;
+        let turns = pair.offset_at_rx(f).abs() * 10e-3;
+        assert!(turns > 100.0, "turns {turns}");
+    }
+
+    #[test]
+    fn zero_ppm_pair_is_transparent() {
+        let pair = CfoPair::new(0.0, 0.0);
+        assert_eq!(pair.offset_at_rx(5e9), 0.0);
+        assert!(pair.rotation_at_rx(5e9, 123.0).approx_eq(Complex64::ONE, 1e-12));
+    }
+}

@@ -1,0 +1,517 @@
+//! The CSI measurement pipeline: from geometry and impairments to the
+//! channel-state-information a driver hands to user space.
+//!
+//! One [`CsiCapture`] is what the Intel 5300 CSI Tool reports for one
+//! received packet on one band and one antenna pair: 30 complex values,
+//! one per reported subcarrier. The synthesizer corrupts the true channel
+//! exactly the way §5–§7 of the paper describe:
+//!
+//! 1. true multipath channel per subcarrier frequency (Eq. 7);
+//! 2. packet-detection delay rotating *baseband* frequencies
+//!    (`e^{-j 2 pi (f_k - f_0) delta}`, Eq. 6) — zero at subcarrier 0;
+//! 3. carrier-frequency-offset rotation at the capture timestamp (Eq. 11/12);
+//! 4. device constant `kappa` and hardware group delay;
+//! 5. additive complex Gaussian noise at the receiver's noise floor;
+//! 6. the Intel 5300's 2.4 GHz phase quirk on the reported values.
+//!
+//! [`MeasurementContext::measure_pair`] produces the forward capture (at
+//! the receiver, for the transmitter's packet) and the reverse capture (at
+//! the transmitter, for the receiver's ACK) that Chronos's reciprocity
+//! trick (§7) needs.
+
+use crate::bands::Band;
+use crate::cfo::CfoPair;
+use crate::environment::{Environment, PathEnumConfig};
+use crate::geometry::Point;
+use crate::hardware::{apply_quirk, DeviceModel};
+use crate::noise::{complex_gaussian, SnrModel};
+use crate::ofdm::SubcarrierLayout;
+use crate::propagation::PathSet;
+use chronos_math::Complex64;
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// CSI for one packet on one band and one (tx antenna, rx antenna) pair.
+#[derive(Debug, Clone)]
+pub struct CsiCapture {
+    /// The band this capture was taken on.
+    pub band: Band,
+    /// Which subcarriers `csi` covers.
+    pub layout: SubcarrierLayout,
+    /// Reported complex channel per subcarrier, same order as
+    /// `layout.indices()`.
+    pub csi: Vec<Complex64>,
+    /// Capture timestamp in seconds (receiver clock).
+    pub timestamp_s: f64,
+    /// Ground truth, simulation-only: the detection delay this packet
+    /// suffered (ns). The estimator must *not* read this; the harness uses
+    /// it for Fig. 7(c).
+    pub truth_detection_delay_ns: f64,
+}
+
+/// A forward/reverse CSI pair for one band and antenna pair, plus ground
+/// truth for the harness.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Transmit antenna index on the initiating device.
+    pub tx_antenna: usize,
+    /// Receive antenna index on the responding device.
+    pub rx_antenna: usize,
+    /// CSI measured at the receiver for the transmitter's packet.
+    pub forward: CsiCapture,
+    /// CSI measured at the transmitter for the receiver's ACK.
+    pub reverse: CsiCapture,
+    /// Ground truth, simulation-only: true time-of-flight of the direct
+    /// path for this antenna pair, ns.
+    pub truth_tof_ns: f64,
+    /// Ground truth: whether the link is line-of-sight.
+    pub truth_los: bool,
+}
+
+/// Everything needed to synthesize measurements between two devices.
+#[derive(Debug, Clone)]
+pub struct MeasurementContext {
+    /// The propagation environment.
+    pub environment: Environment,
+    /// Path enumeration settings.
+    pub path_cfg: PathEnumConfig,
+    /// Receiver noise model (shared by both ends).
+    pub snr: SnrModel,
+    /// The device initiating measurement (sends data packets).
+    pub initiator: DeviceModel,
+    /// Position of the initiator's array origin.
+    pub initiator_pos: Point,
+    /// The responding device (sends ACKs).
+    pub responder: DeviceModel,
+    /// Position of the responder's array origin.
+    pub responder_pos: Point,
+    /// ACK turnaround time, seconds (paper: "tens of microseconds").
+    pub turnaround_s: f64,
+    /// Jitter on the turnaround, seconds (uniform +-).
+    pub turnaround_jitter_s: f64,
+}
+
+impl MeasurementContext {
+    /// A context with the paper's defaults: 40 us turnaround +-5 us jitter.
+    pub fn new(
+        environment: Environment,
+        initiator: DeviceModel,
+        initiator_pos: Point,
+        responder: DeviceModel,
+        responder_pos: Point,
+    ) -> Self {
+        MeasurementContext {
+            environment,
+            path_cfg: PathEnumConfig::default(),
+            snr: SnrModel::default(),
+            initiator,
+            initiator_pos,
+            responder,
+            responder_pos,
+            turnaround_s: 40e-6,
+            turnaround_jitter_s: 5e-6,
+        }
+    }
+
+    /// The CFO pair between initiator (as tx) and responder (as rx).
+    pub fn cfo(&self) -> CfoPair {
+        CfoPair::new(self.initiator.oscillator_ppm, self.responder.oscillator_ppm)
+    }
+
+    /// Propagation paths between a specific antenna pair.
+    pub fn paths_between(&self, tx_antenna: usize, rx_antenna: usize) -> PathSet {
+        let tx = self.initiator.antennas.world_positions(self.initiator_pos)[tx_antenna];
+        let rx = self.responder.antennas.world_positions(self.responder_pos)[rx_antenna];
+        self.environment.paths(tx, rx, &self.path_cfg)
+    }
+
+    /// Whether the direct path between array origins is unobstructed.
+    pub fn is_los(&self) -> bool {
+        self.environment.is_los(self.initiator_pos, self.responder_pos)
+    }
+
+    /// Synthesizes the forward/reverse CSI pair for one packet exchange on
+    /// `band` between the given antennas, at absolute time `t_s`. The
+    /// reverse capture happens one (jittered) turnaround later.
+    pub fn measure_pair<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        band: &Band,
+        layout: &SubcarrierLayout,
+        tx_antenna: usize,
+        rx_antenna: usize,
+        t_s: f64,
+    ) -> Measurement {
+        let jitter = if self.turnaround_jitter_s > 0.0 {
+            rng.gen_range(-self.turnaround_jitter_s..self.turnaround_jitter_s)
+        } else {
+            0.0
+        };
+        let t_rev = t_s + (self.turnaround_s + jitter).max(1e-9);
+        self.measure_pair_at(rng, band, layout, tx_antenna, rx_antenna, t_s, t_rev)
+    }
+
+    /// Like [`measure_pair`](Self::measure_pair) but with explicit capture
+    /// timestamps for the forward and reverse directions — used when the
+    /// link-layer simulation supplies the exact protocol timing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_pair_at<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        band: &Band,
+        layout: &SubcarrierLayout,
+        tx_antenna: usize,
+        rx_antenna: usize,
+        t_forward_s: f64,
+        t_reverse_s: f64,
+    ) -> Measurement {
+        let t_s = t_forward_s;
+        let paths = self.paths_between(tx_antenna, rx_antenna);
+        let truth_tof_ns = paths.true_tof_ns().unwrap_or(f64::NAN);
+        let cfo = self.cfo();
+
+        // Hardware group delay: both chains contribute on both directions.
+        let hw_delay_ns = self.initiator.hw_delay_ns + self.responder.hw_delay_ns;
+
+        // Forward capture: measured at the responder (acting as receiver).
+        let delta_fwd = self.responder.detection_delay.sample(rng);
+        let quirk_fwd = self.responder.quirk_for(band);
+        let kappa_fwd = self.responder.kappa;
+        let forward = synthesize_capture(
+            rng,
+            band,
+            layout,
+            &paths,
+            hw_delay_ns,
+            delta_fwd,
+            cfo.rotation_at_rx(band.center_hz, t_s),
+            kappa_fwd,
+            self.snr.floor_sigma(),
+            quirk_fwd,
+            t_s,
+        );
+
+        // Reverse capture: measured at the initiator for the ACK.
+        // Reciprocity: same path set.
+        let t_rev = t_reverse_s.max(t_s);
+        let delta_rev = self.initiator.detection_delay.sample(rng);
+        let quirk_rev = self.initiator.quirk_for(band);
+        let kappa_rev = self.initiator.kappa;
+        let reverse = synthesize_capture(
+            rng,
+            band,
+            layout,
+            &paths,
+            hw_delay_ns,
+            delta_rev,
+            cfo.rotation_at_tx(band.center_hz, t_rev),
+            kappa_rev,
+            self.snr.floor_sigma(),
+            quirk_rev,
+            t_rev,
+        );
+
+        Measurement {
+            tx_antenna,
+            rx_antenna,
+            forward,
+            reverse,
+            truth_tof_ns,
+            truth_los: self.is_los(),
+        }
+    }
+}
+
+/// Synthesizes one capture: true channel + detection delay + CFO + kappa +
+/// noise + quirk.
+#[allow(clippy::too_many_arguments)]
+fn synthesize_capture<R: Rng + ?Sized>(
+    rng: &mut R,
+    band: &Band,
+    layout: &SubcarrierLayout,
+    paths: &PathSet,
+    hw_delay_ns: f64,
+    detection_delay_ns: f64,
+    cfo_rotation: Complex64,
+    kappa: Complex64,
+    noise_sigma: f64,
+    quirk: crate::hardware::PhaseQuirk,
+    timestamp_s: f64,
+) -> CsiCapture {
+    let n = layout.len();
+    let mut csi = Vec::with_capacity(n);
+    let offsets = layout.baseband_offsets();
+    for (k_idx, &idx) in layout.indices().iter().enumerate() {
+        let f_k = layout.freq_of(band.center_hz, idx);
+        // True channel at the passband frequency, including the hardware
+        // group delay (which behaves exactly like extra distance).
+        let mut h = Complex64::ZERO;
+        for p in paths.paths() {
+            let tau_s = (p.delay_ns + hw_delay_ns) * 1e-9;
+            h += Complex64::from_polar(p.amplitude, -2.0 * PI * f_k * tau_s);
+        }
+        // Detection delay rotates baseband frequencies (paper Eq. 6): the
+        // term vanishes at subcarrier 0 by construction.
+        let delta_phase = -2.0 * PI * offsets[k_idx] * (detection_delay_ns * 1e-9);
+        let mut v = h * Complex64::cis(delta_phase);
+        // CFO rotation and device constant.
+        v = v * cfo_rotation * kappa;
+        // Receiver noise.
+        v += complex_gaussian(rng, noise_sigma);
+        // Firmware phase quirk on the reported value.
+        csi.push(apply_quirk(v, quirk));
+    }
+    CsiCapture {
+        band: *band,
+        layout: layout.clone(),
+        csi,
+        timestamp_s,
+        truth_detection_delay_ns: detection_delay_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bands::{band_by_channel, band_plan};
+    use crate::hardware::{ideal_device, AntennaArray, Intel5300};
+    use chronos_math::constants::m_to_ns;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ideal_ctx(d: f64) -> MeasurementContext {
+        let mut ctx = MeasurementContext::new(
+            Environment::free_space(),
+            ideal_device(AntennaArray::single()),
+            Point::new(0.0, 0.0),
+            ideal_device(AntennaArray::single()),
+            Point::new(d, 0.0),
+        );
+        // Noiseless for deterministic tests.
+        ctx.snr.snr_at_1m_db = 300.0;
+        ctx.turnaround_jitter_s = 0.0;
+        ctx
+    }
+
+    #[test]
+    fn ideal_single_path_phase_encodes_tof() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ctx = ideal_ctx(0.6);
+        let band = band_by_channel(36).unwrap();
+        let layout = SubcarrierLayout::intel5300();
+        let m = ctx.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0);
+        assert!((m.truth_tof_ns - m_to_ns(0.6)).abs() < 1e-9);
+        // With an ideal device at t=0, the subcarrier-0-adjacent phase
+        // should be close to -2 pi f tau (modulo 2 pi). Use subcarrier -1.
+        let k = m.forward.layout.indices().iter().position(|i| *i == -1).unwrap();
+        let f = layout.freq_of(band.center_hz, -1);
+        let expected = -2.0 * PI * f * (m.truth_tof_ns * 1e-9
+            + m.forward.truth_detection_delay_ns * 0.0);
+        let got = m.forward.csi[k].arg();
+        let want = chronos_math::unwrap::wrap_to_pi(expected
+            + 2.0 * PI * 312_500.0 * 0.0);
+        assert!(
+            chronos_math::unwrap::angular_distance(got, want) < 1e-6,
+            "got {got} want {want}"
+        );
+    }
+
+    #[test]
+    fn detection_delay_vanishes_at_zero_subcarrier_limit() {
+        // Compare captures with and without detection delay on symmetric
+        // subcarriers +-1: the *mean* phase equals the delay-free phase at
+        // subcarrier 0 to first order.
+        let mut rng = StdRng::seed_from_u64(2);
+        let ctx = ideal_ctx(3.0);
+        let band = band_by_channel(44).unwrap();
+        let layout = SubcarrierLayout::intel5300();
+        let paths = ctx.paths_between(0, 0);
+        let clean = synthesize_capture(
+            &mut rng, &band, &layout, &paths, 0.0, 0.0, Complex64::ONE, Complex64::ONE,
+            0.0, crate::hardware::PhaseQuirk::None, 0.0,
+        );
+        let delayed = synthesize_capture(
+            &mut rng, &band, &layout, &paths, 0.0, 200.0, Complex64::ONE, Complex64::ONE,
+            0.0, crate::hardware::PhaseQuirk::None, 0.0,
+        );
+        let i_m1 = layout.indices().iter().position(|i| *i == -1).unwrap();
+        let i_p1 = layout.indices().iter().position(|i| *i == 1).unwrap();
+        let mean_delayed = (delayed.csi[i_m1].arg() + delayed.csi[i_p1].arg()) / 2.0;
+        let mean_clean = (clean.csi[i_m1].arg() + clean.csi[i_p1].arg()) / 2.0;
+        assert!(
+            chronos_math::unwrap::angular_distance(mean_delayed, mean_clean) < 1e-6,
+            "delay leaked into the zero-subcarrier midpoint"
+        );
+        // And it must NOT vanish away from the center.
+        let i_edge = layout.indices().iter().position(|i| *i == 28).unwrap();
+        assert!(
+            chronos_math::unwrap::angular_distance(
+                delayed.csi[i_edge].arg(),
+                clean.csi[i_edge].arg()
+            ) > 0.1,
+            "delay had no effect at band edge"
+        );
+    }
+
+    #[test]
+    fn detection_delay_slope_matches_model() {
+        // Phase slope across baseband frequency = -2 pi * (tau + delta)...
+        // relative to the clean capture the extra slope is exactly delta.
+        let mut rng = StdRng::seed_from_u64(3);
+        let ctx = ideal_ctx(2.0);
+        let band = band_by_channel(100).unwrap();
+        let layout = SubcarrierLayout::full();
+        let paths = ctx.paths_between(0, 0);
+        let delta_ns = 150.0;
+        let clean = synthesize_capture(
+            &mut rng, &band, &layout, &paths, 0.0, 0.0, Complex64::ONE, Complex64::ONE,
+            0.0, crate::hardware::PhaseQuirk::None, 0.0,
+        );
+        let delayed = synthesize_capture(
+            &mut rng, &band, &layout, &paths, 0.0, delta_ns, Complex64::ONE, Complex64::ONE,
+            0.0, crate::hardware::PhaseQuirk::None, 0.0,
+        );
+        // Phase difference per subcarrier index step of 1:
+        let diffs: Vec<f64> = clean
+            .csi
+            .iter()
+            .zip(delayed.csi.iter())
+            .map(|(c, d)| (*d * c.conj()).arg())
+            .collect();
+        let mut un = diffs.clone();
+        chronos_math::unwrap::unwrap_in_place(&mut un);
+        let slope = (un.last().unwrap() - un.first().unwrap())
+            / (layout.indices().last().unwrap() - layout.indices().first().unwrap()) as f64;
+        let expected = -2.0 * PI * 312_500.0 * delta_ns * 1e-9;
+        assert!((slope - expected).abs() < 1e-6, "slope {slope} expected {expected}");
+    }
+
+    #[test]
+    fn reciprocity_product_cancels_cfo() {
+        // With zero turnaround, forward x reverse has no CFO rotation.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ctx = ideal_ctx(1.0);
+        ctx.initiator.oscillator_ppm = 9.0;
+        ctx.responder.oscillator_ppm = -3.0;
+        ctx.turnaround_s = 1e-9; // effectively simultaneous
+        let band = band_by_channel(40).unwrap();
+        let layout = SubcarrierLayout::intel5300();
+        // Large t so uncompensated CFO would be catastrophic.
+        let m = ctx.measure_pair(&mut rng, &band, &layout, 0, 0, 2.5);
+        let k = 14; // subcarrier -1
+        let product = m.forward.csi[k] * m.reverse.csi[k];
+        // Expected: (h_k)^2 — phase of product should match channel model.
+        let paths = ctx.paths_between(0, 0);
+        let f = layout.freq_of(band.center_hz, -1);
+        let h = paths.channel_at(f);
+        let expected = (h * h).arg();
+        assert!(
+            chronos_math::unwrap::angular_distance(product.arg(), expected) < 1e-3,
+            "product {} expected {}",
+            product.arg(),
+            expected
+        );
+    }
+
+    #[test]
+    fn quirk_applied_only_on_24ghz() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ctx = ideal_ctx(2.0);
+        ctx.initiator = Intel5300::mobile(&mut rng);
+        ctx.responder = Intel5300::laptop(&mut rng);
+        ctx.snr.snr_at_1m_db = 300.0;
+        let layout = SubcarrierLayout::intel5300();
+        let b24 = band_by_channel(6).unwrap();
+        let b5 = band_by_channel(64).unwrap();
+        let m24 = ctx.measure_pair(&mut rng, &b24, &layout, 0, 0, 0.0);
+        let m5 = ctx.measure_pair(&mut rng, &b5, &layout, 0, 0, 0.0);
+        // All reported 2.4 GHz phases land in [0, pi/2).
+        for z in &m24.forward.csi {
+            let a = z.arg();
+            assert!((0.0..std::f64::consts::FRAC_PI_2 + 1e-9).contains(&a), "phase {a}");
+        }
+        // 5 GHz phases span the full circle.
+        let any_negative = m5.forward.csi.iter().any(|z| z.arg() < 0.0);
+        assert!(any_negative, "5 GHz phases suspiciously confined");
+    }
+
+    #[test]
+    fn noise_scales_with_distance() {
+        // Variance of CSI across repeated packets grows with distance.
+        let spread = |d: f64| {
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut ctx = ideal_ctx(d);
+            ctx.snr = SnrModel::default();
+            let band = band_by_channel(36).unwrap();
+            let layout = SubcarrierLayout::intel5300();
+            let mut vals = Vec::new();
+            for i in 0..50 {
+                let m = ctx.measure_pair(&mut rng, &band, &layout, 0, 0, i as f64 * 1e-3);
+                vals.push(m.forward.csi[0]);
+            }
+            let mean = vals.iter().fold(Complex64::ZERO, |a, b| a + *b) / vals.len() as f64;
+            // Relative spread: absolute noise is constant, signal shrinks.
+            (vals.iter().map(|v| (*v - mean).norm_sq()).sum::<f64>() / vals.len() as f64)
+                .sqrt()
+                / mean.abs()
+        };
+        assert!(spread(12.0) > spread(1.0), "noise did not grow with distance");
+    }
+
+    #[test]
+    fn full_sweep_produces_35_measurements() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ctx = ideal_ctx(5.0);
+        let layout = SubcarrierLayout::intel5300();
+        let all: Vec<Measurement> = band_plan()
+            .iter()
+            .map(|b| ctx.measure_pair(&mut rng, b, &layout, 0, 0, 0.0))
+            .collect();
+        assert_eq!(all.len(), 35);
+        assert!(all.iter().all(|m| m.forward.csi.len() == 30));
+        assert!(all.iter().all(|m| m.truth_tof_ns > 0.0));
+    }
+
+    #[test]
+    fn nlos_flag_reflects_environment() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut env = Environment::free_space();
+        env.add_wall(
+            crate::geometry::Segment::new(Point::new(1.0, -2.0), Point::new(1.0, 2.0)),
+            crate::environment::Material::Concrete,
+        );
+        let ctx = MeasurementContext::new(
+            env,
+            ideal_device(AntennaArray::single()),
+            Point::new(0.0, 0.0),
+            ideal_device(AntennaArray::single()),
+            Point::new(2.0, 0.0),
+        );
+        let band = band_by_channel(36).unwrap();
+        let layout = SubcarrierLayout::intel5300();
+        let m = ctx.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0);
+        assert!(!m.truth_los);
+    }
+
+    #[test]
+    fn hw_delay_shifts_apparent_tof() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ctx = ideal_ctx(3.0);
+        ctx.initiator.hw_delay_ns = 4.0;
+        ctx.responder.hw_delay_ns = 2.0;
+        let band = band_by_channel(48).unwrap();
+        let layout = SubcarrierLayout::full();
+        let m = ctx.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0);
+        // Slope of forward phase across passband frequency encodes
+        // tau + hw_delay (6 ns extra).
+        let phases: Vec<f64> = m.forward.csi.iter().map(|z| z.arg()).collect();
+        let mut un = phases.clone();
+        chronos_math::unwrap::unwrap_in_place(&mut un);
+        let df = 312_500.0;
+        // Index span of the full layout is -28..28 = 56 subcarrier steps.
+        let slope = (un.last().unwrap() - un.first().unwrap()) / (56.0 * df);
+        let tau_apparent_ns = -slope / (2.0 * PI) * 1e9;
+        let expected = m.truth_tof_ns + 6.0;
+        assert!((tau_apparent_ns - expected).abs() < 0.2, "{tau_apparent_ns} vs {expected}");
+    }
+}

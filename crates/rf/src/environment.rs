@@ -1,0 +1,398 @@
+//! Indoor environments and image-method multipath enumeration.
+//!
+//! An [`Environment`] is a set of reflecting surfaces (walls, partitions,
+//! metal cabinets) plus optional attenuating obstructions. Given transmitter
+//! and receiver positions it enumerates propagation paths:
+//!
+//! * the direct (line-of-sight) path, attenuated if obstructed;
+//! * first-order specular reflections via the image method;
+//! * optional second-order reflections (image of an image).
+//!
+//! Each path carries a geometric length and a cumulative amplitude factor;
+//! [`crate::propagation`] turns them into delays and channel responses.
+
+use crate::geometry::{Point, Segment};
+use crate::propagation::{Path, PathSet};
+
+/// Reflectivity classes for surfaces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Material {
+    /// Drywall / office partition: moderate reflection, passes some energy.
+    Drywall,
+    /// Concrete / brick outer wall: strong reflector, heavy through-loss.
+    Concrete,
+    /// Metal (cabinets, whiteboards): near-perfect reflector, opaque.
+    Metal,
+    /// Glass: weak reflector, mostly transparent.
+    Glass,
+}
+
+impl Material {
+    /// Amplitude reflection coefficient (fraction of field that stays
+    /// *specular* on reflection). Values are at the conservative end of
+    /// indoor measurements: rough surfaces scatter a large share of the
+    /// incident energy diffusely, which never reaches the receiver as a
+    /// coherent ray.
+    pub fn reflectivity(self) -> f64 {
+        match self {
+            Material::Drywall => 0.4,
+            Material::Concrete => 0.5,
+            Material::Metal => 0.85,
+            Material::Glass => 0.25,
+        }
+    }
+
+    /// Amplitude transmission coefficient (fraction of field passing
+    /// through the surface) — used for obstruction of the direct path.
+    pub fn transmissivity(self) -> f64 {
+        match self {
+            Material::Drywall => 0.6,
+            Material::Concrete => 0.25,
+            Material::Metal => 0.05,
+            Material::Glass => 0.85,
+        }
+    }
+}
+
+/// A reflecting/attenuating surface in the environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wall {
+    /// The surface geometry.
+    pub segment: Segment,
+    /// The surface material.
+    pub material: Material,
+}
+
+/// A 2-D indoor environment.
+#[derive(Debug, Clone, Default)]
+pub struct Environment {
+    walls: Vec<Wall>,
+}
+
+/// Knobs for path enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct PathEnumConfig {
+    /// Include second-order (double-bounce) reflections.
+    pub second_order: bool,
+    /// Extra amplitude factor applied to second-order paths on top of the
+    /// two reflection coefficients: each extra bounce loses coherence to
+    /// diffuse scattering and beam spreading beyond the image-method
+    /// idealization. Keeps long double-bounce paths (which alias in the
+    /// 200 ns-periodic NDFT measurement) at physically plausible strength.
+    pub second_order_loss: f64,
+    /// Drop paths whose amplitude falls below this fraction of the direct
+    /// free-space amplitude at 1 m. Keeps path sets sparse, matching the
+    /// paper's observation that few paths dominate indoors (§6.2).
+    pub amplitude_floor: f64,
+    /// Maximum number of paths retained (strongest first, but the direct
+    /// path is always kept if it exists).
+    pub max_paths: usize,
+}
+
+impl Default for PathEnumConfig {
+    fn default() -> Self {
+        PathEnumConfig {
+            second_order: true,
+            second_order_loss: 0.35,
+            amplitude_floor: 1e-4,
+            max_paths: 12,
+        }
+    }
+}
+
+impl Environment {
+    /// An empty environment (free space): only the direct path exists.
+    pub fn free_space() -> Self {
+        Environment { walls: Vec::new() }
+    }
+
+    /// Creates an environment from walls.
+    pub fn new(walls: Vec<Wall>) -> Self {
+        Environment { walls }
+    }
+
+    /// Adds a wall.
+    pub fn add_wall(&mut self, segment: Segment, material: Material) {
+        self.walls.push(Wall { segment, material });
+    }
+
+    /// Adds the four walls of an axis-aligned rectangular room.
+    pub fn add_room(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, material: Material) {
+        let c = [
+            Point::new(x0, y0),
+            Point::new(x1, y0),
+            Point::new(x1, y1),
+            Point::new(x0, y1),
+        ];
+        for i in 0..4 {
+            self.add_wall(Segment::new(c[i], c[(i + 1) % 4]), material);
+        }
+    }
+
+    /// The walls of this environment.
+    pub fn walls(&self) -> &[Wall] {
+        &self.walls
+    }
+
+    /// Cumulative transmissivity of every wall crossing the open segment
+    /// `p -> q`. 1.0 when unobstructed.
+    pub fn through_loss(&self, p: Point, q: Point) -> f64 {
+        let mut t = 1.0;
+        for w in &self.walls {
+            if w.segment.blocks(p, q, 1e-9) {
+                t *= w.material.transmissivity();
+            }
+        }
+        t
+    }
+
+    /// Whether `p` and `q` are in line of sight (no wall crossing).
+    pub fn is_los(&self, p: Point, q: Point) -> bool {
+        self.walls.iter().all(|w| !w.segment.blocks(p, q, 1e-9))
+    }
+
+    /// Enumerates propagation paths from `tx` to `rx`.
+    ///
+    /// Amplitudes follow a free-space 1/d law scaled by reflection and
+    /// through-wall coefficients, normalized so a 1 m unobstructed path has
+    /// amplitude 1. Paths are returned sorted by ascending delay.
+    pub fn paths(&self, tx: Point, rx: Point, cfg: &PathEnumConfig) -> PathSet {
+        let mut paths: Vec<Path> = Vec::new();
+
+        // Direct path (always geometrically present; may be attenuated).
+        let d_direct = tx.dist(rx).max(1e-6);
+        let amp_direct = self.through_loss(tx, rx) / d_direct;
+        paths.push(Path::from_length(d_direct, amp_direct));
+
+        // First-order reflections.
+        for (wi, w) in self.walls.iter().enumerate() {
+            if let Some(p) = self.first_order_path(tx, rx, w) {
+                paths.push(p);
+            }
+            // Second-order: mirror tx across wall wi, then across wall wj.
+            if cfg.second_order {
+                for (wj, w2) in self.walls.iter().enumerate() {
+                    if wi == wj {
+                        continue;
+                    }
+                    if let Some(mut p) = self.second_order_path(tx, rx, w, w2) {
+                        p.amplitude *= cfg.second_order_loss;
+                        paths.push(p);
+                    }
+                }
+            }
+        }
+
+        // Cull: drop sub-floor paths, keep strongest `max_paths` (direct
+        // path always retained), then sort by delay.
+        let direct = paths[0];
+        let mut rest: Vec<Path> = paths
+            .into_iter()
+            .skip(1)
+            .filter(|p| p.amplitude >= cfg.amplitude_floor)
+            .collect();
+        rest.sort_by(|a, b| b.amplitude.partial_cmp(&a.amplitude).unwrap());
+        rest.truncate(cfg.max_paths.saturating_sub(1));
+        let mut all = Vec::with_capacity(rest.len() + 1);
+        if direct.amplitude >= cfg.amplitude_floor {
+            all.push(direct);
+        }
+        all.extend(rest);
+        all.sort_by(|a, b| a.delay_ns.partial_cmp(&b.delay_ns).unwrap());
+        PathSet::new(all)
+    }
+
+    /// Single-bounce path off wall `w`, if the reflection point lies on the
+    /// wall and both legs are clear of *other* walls (other walls attenuate
+    /// via through-loss rather than blocking entirely).
+    fn first_order_path(&self, tx: Point, rx: Point, w: &Wall) -> Option<Path> {
+        let img = w.segment.mirror(tx);
+        let hit = w.segment.intersect(&Segment::new(img, rx))?;
+        // Degenerate reflections at the endpoints of the wall are dropped.
+        if hit.dist(w.segment.a) < 1e-9 || hit.dist(w.segment.b) < 1e-9 {
+            return None;
+        }
+        let length = tx.dist(hit) + hit.dist(rx);
+        if length < 1e-6 {
+            return None;
+        }
+        let mut amp = w.material.reflectivity() / length;
+        amp *= self.through_loss_excluding(tx, hit, w);
+        amp *= self.through_loss_excluding(hit, rx, w);
+        Some(Path::from_length(length, amp))
+    }
+
+    /// Double-bounce path: tx -> w1 -> w2 -> rx via iterated images.
+    fn second_order_path(&self, tx: Point, rx: Point, w1: &Wall, w2: &Wall) -> Option<Path> {
+        let img1 = w1.segment.mirror(tx);
+        let img2 = w2.segment.mirror(img1);
+        let hit2 = w2.segment.intersect(&Segment::new(img2, rx))?;
+        if hit2.dist(w2.segment.a) < 1e-9 || hit2.dist(w2.segment.b) < 1e-9 {
+            return None;
+        }
+        let hit1 = w1.segment.intersect(&Segment::new(img1, hit2))?;
+        if hit1.dist(w1.segment.a) < 1e-9 || hit1.dist(w1.segment.b) < 1e-9 {
+            return None;
+        }
+        let length = tx.dist(hit1) + hit1.dist(hit2) + hit2.dist(rx);
+        if length < 1e-6 {
+            return None;
+        }
+        let mut amp = w1.material.reflectivity() * w2.material.reflectivity() / length;
+        amp *= self.through_loss_excluding(tx, hit1, w1);
+        amp *= self.through_loss_excluding2(hit1, hit2, w1, w2);
+        amp *= self.through_loss_excluding(hit2, rx, w2);
+        Some(Path::from_length(length, amp))
+    }
+
+    fn through_loss_excluding(&self, p: Point, q: Point, skip: &Wall) -> f64 {
+        let mut t = 1.0;
+        for w in &self.walls {
+            if std::ptr::eq(w, skip) || w == skip {
+                continue;
+            }
+            if w.segment.blocks(p, q, 1e-9) {
+                t *= w.material.transmissivity();
+            }
+        }
+        t
+    }
+
+    fn through_loss_excluding2(&self, p: Point, q: Point, s1: &Wall, s2: &Wall) -> f64 {
+        let mut t = 1.0;
+        for w in &self.walls {
+            if w == s1 || w == s2 {
+                continue;
+            }
+            if w.segment.blocks(p, q, 1e-9) {
+                t *= w.material.transmissivity();
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_math::constants::m_to_ns;
+
+    #[test]
+    fn free_space_single_path() {
+        let env = Environment::free_space();
+        let ps = env.paths(Point::new(0.0, 0.0), Point::new(0.6, 0.0), &PathEnumConfig::default());
+        assert_eq!(ps.paths().len(), 1);
+        let p = ps.paths()[0];
+        // 0.6 m ~ 2 ns, the paper's §4 example.
+        assert!((p.delay_ns - m_to_ns(0.6)).abs() < 1e-9);
+        assert!((p.delay_ns - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn one_wall_adds_one_reflection() {
+        let mut env = Environment::free_space();
+        env.add_wall(
+            Segment::new(Point::new(-10.0, 2.0), Point::new(10.0, 2.0)),
+            Material::Concrete,
+        );
+        let tx = Point::new(-1.0, 0.0);
+        let rx = Point::new(1.0, 0.0);
+        let ps = env.paths(tx, rx, &PathEnumConfig { second_order: false, ..Default::default() });
+        assert_eq!(ps.paths().len(), 2);
+        // Direct: 2 m. Reflected: via y=2 -> image at (-1,4), length sqrt(4+16).
+        let direct = ps.paths()[0];
+        let refl = ps.paths()[1];
+        assert!((direct.delay_ns - m_to_ns(2.0)).abs() < 1e-9);
+        let expect_len = ((2.0f64).powi(2) + (4.0f64).powi(2)).sqrt();
+        assert!((refl.delay_ns - m_to_ns(expect_len)).abs() < 1e-9);
+        assert!(refl.amplitude < direct.amplitude);
+    }
+
+    #[test]
+    fn direct_path_always_first() {
+        let mut env = Environment::free_space();
+        env.add_room(0.0, 0.0, 20.0, 20.0, Material::Concrete);
+        let ps = env.paths(Point::new(3.0, 3.0), Point::new(17.0, 12.0), &PathEnumConfig::default());
+        let delays: Vec<f64> = ps.paths().iter().map(|p| p.delay_ns).collect();
+        assert!(delays.windows(2).all(|w| w[0] <= w[1]));
+        assert!((delays[0] - m_to_ns(Point::new(3.0, 3.0).dist(Point::new(17.0, 12.0)))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn room_generates_rich_multipath() {
+        let mut env = Environment::free_space();
+        env.add_room(0.0, 0.0, 20.0, 20.0, Material::Concrete);
+        let cfg = PathEnumConfig::default();
+        let ps = env.paths(Point::new(5.0, 5.0), Point::new(15.0, 9.0), &cfg);
+        // 4 walls -> direct + 4 first-order (+ second-order culled to cap).
+        assert!(ps.paths().len() >= 5, "{}", ps.paths().len());
+        assert!(ps.paths().len() <= cfg.max_paths);
+    }
+
+    #[test]
+    fn obstruction_attenuates_but_keeps_direct_path() {
+        let mut env = Environment::free_space();
+        // A drywall partition between tx and rx.
+        env.add_wall(
+            Segment::new(Point::new(1.0, -1.0), Point::new(1.0, 1.0)),
+            Material::Drywall,
+        );
+        let tx = Point::new(0.0, 0.0);
+        let rx = Point::new(2.0, 0.0);
+        let ps = env.paths(tx, rx, &PathEnumConfig::default());
+        let direct = ps.paths()[0];
+        // Amplitude = transmissivity / distance.
+        assert!((direct.amplitude - Material::Drywall.transmissivity() / 2.0).abs() < 1e-9);
+        assert!(!env.is_los(tx, rx));
+    }
+
+    #[test]
+    fn metal_blocks_near_everything() {
+        let mut env = Environment::free_space();
+        env.add_wall(
+            Segment::new(Point::new(1.0, -5.0), Point::new(1.0, 5.0)),
+            Material::Metal,
+        );
+        let loss = env.through_loss(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        assert!((loss - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_order_paths_longer_than_first_order() {
+        let mut env = Environment::free_space();
+        env.add_room(0.0, 0.0, 10.0, 10.0, Material::Metal);
+        let tx = Point::new(2.0, 5.0);
+        let rx = Point::new(8.0, 5.0);
+        let first =
+            env.paths(tx, rx, &PathEnumConfig { second_order: false, max_paths: 32, ..Default::default() });
+        let second =
+            env.paths(tx, rx, &PathEnumConfig { second_order: true, max_paths: 32, ..Default::default() });
+        assert!(second.paths().len() > first.paths().len());
+        let max_first = first.paths().iter().map(|p| p.delay_ns).fold(0.0, f64::max);
+        let max_second = second.paths().iter().map(|p| p.delay_ns).fold(0.0, f64::max);
+        assert!(max_second > max_first);
+    }
+
+    #[test]
+    fn amplitude_floor_and_cap_respected() {
+        let mut env = Environment::free_space();
+        env.add_room(0.0, 0.0, 20.0, 20.0, Material::Concrete);
+        let cfg = PathEnumConfig { second_order: true, amplitude_floor: 1e-4, max_paths: 5, ..Default::default() };
+        let ps = env.paths(Point::new(1.0, 1.0), Point::new(19.0, 19.0), &cfg);
+        assert!(ps.paths().len() <= 5);
+        assert!(ps.paths().iter().all(|p| p.amplitude >= 1e-4));
+    }
+
+    #[test]
+    fn reflection_point_must_lie_on_wall() {
+        let mut env = Environment::free_space();
+        // Short wall segment far off to the side: mirror image exists but the
+        // reflection point misses the physical wall -> no reflected path.
+        env.add_wall(
+            Segment::new(Point::new(100.0, 2.0), Point::new(101.0, 2.0)),
+            Material::Metal,
+        );
+        let ps = env.paths(Point::new(0.0, 0.0), Point::new(1.0, 0.0), &PathEnumConfig::default());
+        assert_eq!(ps.paths().len(), 1);
+    }
+}

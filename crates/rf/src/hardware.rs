@@ -1,0 +1,363 @@
+//! Device hardware models — the Intel 5300 and an idealized radio.
+//!
+//! Everything the paper has to fight at the hardware level is injected
+//! here so the estimation pipeline genuinely earns its results:
+//!
+//! * **Packet detection delay** (§5): energy detection in baseband adds a
+//!   per-packet delay `delta_i`, orders of magnitude larger than the
+//!   time-of-flight (median ~177 ns, sd ~25 ns in the paper's Fig. 7c).
+//! * **Hardware constant `kappa`** (§7): transmit/receive chains contribute
+//!   a device-dependent, location-independent complex factor.
+//! * **The 2.4 GHz firmware quirk** (§11, footnote 5): the Intel 5300
+//!   reports 2.4 GHz channel phase modulo pi/2 instead of modulo 2 pi.
+//! * **Antenna arrays**: 3-antenna geometries at laptop (30 cm) and
+//!   access-point (100 cm) separations, used by localization (§8, §12.2).
+
+use crate::bands::Band;
+use crate::geometry::Point;
+use chronos_math::Complex64;
+use rand::Rng;
+
+/// Distribution of packet-detection delay.
+///
+/// Modeled as a Gaussian truncated at zero. Defaults reproduce the paper's
+/// Fig. 7(c): median 177 ns, standard deviation 24.76 ns.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectionDelayModel {
+    /// Median detection delay, nanoseconds.
+    pub median_ns: f64,
+    /// Standard deviation, nanoseconds.
+    pub std_ns: f64,
+}
+
+impl Default for DetectionDelayModel {
+    fn default() -> Self {
+        DetectionDelayModel { median_ns: 177.0, std_ns: 24.76 }
+    }
+}
+
+impl DetectionDelayModel {
+    /// Draws one per-packet detection delay in nanoseconds (never negative).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller normal draw.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.median_ns + self.std_ns * n).max(0.0)
+    }
+}
+
+/// How the device corrupts reported CSI phase per band group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseQuirk {
+    /// Phase reported faithfully modulo 2 pi.
+    None,
+    /// Phase reported modulo pi/2 — the Intel 5300's 2.4 GHz firmware bug.
+    /// Equivalent to multiplying the phase ambiguity group by 4; Chronos
+    /// works around it by feeding `h^4` to its algorithm at 2.4 GHz.
+    ModuloPiOver2,
+}
+
+/// Applies a phase quirk to a CSI value: magnitude is preserved, phase is
+/// reduced modulo the quirk's modulus.
+pub fn apply_quirk(h: Complex64, quirk: PhaseQuirk) -> Complex64 {
+    match quirk {
+        PhaseQuirk::None => h,
+        PhaseQuirk::ModuloPiOver2 => {
+            let (r, theta) = h.to_polar();
+            let reduced = theta.rem_euclid(std::f64::consts::FRAC_PI_2);
+            Complex64::from_polar(r, reduced)
+        }
+    }
+}
+
+/// A physical antenna array: positions of each antenna relative to the
+/// device origin, in meters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AntennaArray {
+    positions: Vec<Point>,
+}
+
+impl AntennaArray {
+    /// Single antenna at the device origin.
+    pub fn single() -> Self {
+        AntennaArray { positions: vec![Point::new(0.0, 0.0)] }
+    }
+
+    /// The 3-antenna laptop array used in §12.2's "small separation"
+    /// experiments: mean pairwise separation ~30 cm, deliberately
+    /// non-collinear (paper §8 requires non-collinearity to disambiguate).
+    pub fn laptop() -> Self {
+        AntennaArray {
+            positions: vec![
+                Point::new(-0.18, 0.0),
+                Point::new(0.18, 0.0),
+                Point::new(0.0, 0.24),
+            ],
+        }
+    }
+
+    /// The 3-antenna "access point" array with ~100 cm separation
+    /// (§12.2, Fig. 8c).
+    pub fn access_point() -> Self {
+        AntennaArray {
+            positions: vec![
+                Point::new(-0.6, 0.0),
+                Point::new(0.6, 0.0),
+                Point::new(0.0, 0.8),
+            ],
+        }
+    }
+
+    /// A custom array.
+    pub fn custom(positions: Vec<Point>) -> Self {
+        assert!(!positions.is_empty(), "array needs at least one antenna");
+        AntennaArray { positions }
+    }
+
+    /// Antenna offsets relative to the device origin.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Number of antennas.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the array is empty (never true via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Absolute antenna positions for a device centered at `origin`.
+    pub fn world_positions(&self, origin: Point) -> Vec<Point> {
+        self.positions.iter().map(|p| origin.add(*p)).collect()
+    }
+
+    /// Mean pairwise separation between antennas, meters.
+    pub fn mean_separation(&self) -> f64 {
+        let n = self.positions.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += self.positions[i].dist(self.positions[j]);
+                count += 1;
+            }
+        }
+        total / count as f64
+    }
+}
+
+/// A complete device model: what the paper's "commercial Wi-Fi card" is in
+/// this simulation.
+#[derive(Debug, Clone)]
+pub struct DeviceModel {
+    /// Human-readable name, for logs and experiment output.
+    pub name: &'static str,
+    /// Detection-delay distribution.
+    pub detection_delay: DetectionDelayModel,
+    /// Device hardware constant `kappa` (paper Eq. 12): a fixed complex
+    /// factor of the TX/RX chain, independent of location.
+    pub kappa: Complex64,
+    /// Constant group delay of the TX/RX chains (cables, filters), in ns.
+    /// Adds a location-independent offset to every measured delay; the paper
+    /// (§7, observation 2) removes it with a one-time calibration against a
+    /// device at known distance.
+    pub hw_delay_ns: f64,
+    /// Oscillator error in ppm.
+    pub oscillator_ppm: f64,
+    /// Antenna array geometry.
+    pub antennas: AntennaArray,
+    /// Whether the 2.4 GHz firmware phase quirk applies.
+    pub quirk_24ghz: bool,
+}
+
+impl DeviceModel {
+    /// The phase quirk in effect on `band` for this device.
+    pub fn quirk_for(&self, band: &Band) -> PhaseQuirk {
+        if self.quirk_24ghz && band.group.is_2g4() {
+            PhaseQuirk::ModuloPiOver2
+        } else {
+            PhaseQuirk::None
+        }
+    }
+}
+
+/// Factory for Intel 5300 device models with per-device randomized
+/// imperfections (kappa phase, oscillator ppm).
+#[derive(Debug, Clone, Copy)]
+pub struct Intel5300;
+
+impl Intel5300 {
+    /// A randomized Intel 5300 with the given antenna array.
+    pub fn device<R: Rng + ?Sized>(rng: &mut R, antennas: AntennaArray) -> DeviceModel {
+        DeviceModel {
+            name: "Intel 5300",
+            detection_delay: DetectionDelayModel::default(),
+            kappa: Complex64::from_polar(
+                rng.gen_range(0.8..1.2),
+                rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+            ),
+            hw_delay_ns: rng.gen_range(2.0..8.0),
+            oscillator_ppm: rng.gen_range(-15.0..15.0),
+            antennas,
+            quirk_24ghz: true,
+        }
+    }
+
+    /// A laptop (ThinkPad W530-style) Intel 5300 device.
+    pub fn laptop<R: Rng + ?Sized>(rng: &mut R) -> DeviceModel {
+        Self::device(rng, AntennaArray::laptop())
+    }
+
+    /// An access-point-style device with 100 cm antenna separation.
+    pub fn access_point<R: Rng + ?Sized>(rng: &mut R) -> DeviceModel {
+        Self::device(rng, AntennaArray::access_point())
+    }
+
+    /// A single-antenna mobile device (the tracked "user device").
+    pub fn mobile<R: Rng + ?Sized>(rng: &mut R) -> DeviceModel {
+        Self::device(rng, AntennaArray::single())
+    }
+}
+
+/// An idealized radio: no detection delay, unit kappa, perfect oscillator,
+/// no quirk. Used by unit tests and the "genie" ablations.
+pub fn ideal_device(antennas: AntennaArray) -> DeviceModel {
+    DeviceModel {
+        name: "ideal",
+        detection_delay: DetectionDelayModel { median_ns: 0.0, std_ns: 0.0 },
+        kappa: Complex64::ONE,
+        hw_delay_ns: 0.0,
+        oscillator_ppm: 0.0,
+        antennas,
+        quirk_24ghz: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bands::band_by_channel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn detection_delay_statistics_match_paper() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = DetectionDelayModel::default();
+        let samples: Vec<f64> = (0..20_000).map(|_| model.sample(&mut rng)).collect();
+        let median = chronos_math::stats::median(&samples);
+        let std = chronos_math::stats::std_dev(&samples);
+        assert!((median - 177.0).abs() < 2.0, "median {median}");
+        assert!((std - 24.76).abs() < 1.5, "std {std}");
+        assert!(samples.iter().all(|s| *s >= 0.0));
+    }
+
+    #[test]
+    fn detection_delay_dwarfs_tof() {
+        // §5's motivation: detection delay >> ToF for indoor links (~8x at
+        // the paper's testbed scale).
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = DetectionDelayModel::default();
+        let mean_delay: f64 =
+            (0..1000).map(|_| model.sample(&mut rng)).sum::<f64>() / 1000.0;
+        let typical_tof_ns = 22.0; // ~6.6 m link
+        assert!(mean_delay / typical_tof_ns > 6.0);
+    }
+
+    #[test]
+    fn quirk_reduces_phase_mod_pi_over_2() {
+        let h = Complex64::from_polar(2.0, 1.9);
+        let q = apply_quirk(h, PhaseQuirk::ModuloPiOver2);
+        assert!((q.abs() - 2.0).abs() < 1e-12);
+        let expected = 1.9f64.rem_euclid(std::f64::consts::FRAC_PI_2);
+        assert!((q.arg() - expected).abs() < 1e-12);
+        // Identity quirk unchanged.
+        assert_eq!(apply_quirk(h, PhaseQuirk::None), h);
+    }
+
+    #[test]
+    fn quirk_fourth_power_removes_ambiguity() {
+        // (h mod pi/2)^4 and h^4 share phase modulo 2 pi — the paper's fix.
+        for phase in [0.3, 1.2, 2.8, -2.0, -0.9] {
+            let h = Complex64::from_polar(1.0, phase);
+            let quirked = apply_quirk(h, PhaseQuirk::ModuloPiOver2);
+            let a = quirked.powi(4).arg();
+            let b = h.powi(4).arg();
+            assert!(
+                chronos_math::unwrap::angular_distance(a, b) < 1e-9,
+                "phase {phase}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn device_quirk_only_on_24ghz() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dev = Intel5300::laptop(&mut rng);
+        let b24 = band_by_channel(6).unwrap();
+        let b5 = band_by_channel(36).unwrap();
+        assert_eq!(dev.quirk_for(&b24), PhaseQuirk::ModuloPiOver2);
+        assert_eq!(dev.quirk_for(&b5), PhaseQuirk::None);
+    }
+
+    #[test]
+    fn arrays_have_expected_separations() {
+        let laptop = AntennaArray::laptop();
+        let ap = AntennaArray::access_point();
+        assert_eq!(laptop.len(), 3);
+        assert_eq!(ap.len(), 3);
+        // Paper: "mean antenna separation of 30 cm" and "100 cm".
+        assert!((laptop.mean_separation() - 0.30).abs() < 0.05, "{}", laptop.mean_separation());
+        assert!((ap.mean_separation() - 1.00).abs() < 0.25, "{}", ap.mean_separation());
+    }
+
+    #[test]
+    fn arrays_not_collinear() {
+        for arr in [AntennaArray::laptop(), AntennaArray::access_point()] {
+            let p = arr.positions();
+            let v1 = p[1].sub(p[0]);
+            let v2 = p[2].sub(p[0]);
+            assert!(v1.cross(v2).abs() > 1e-6, "collinear array");
+        }
+    }
+
+    #[test]
+    fn world_positions_translate() {
+        let arr = AntennaArray::laptop();
+        let w = arr.world_positions(Point::new(10.0, 5.0));
+        assert!((w[0].x - 9.82).abs() < 1e-12);
+        assert!((w[2].y - 5.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_device_is_transparent() {
+        let dev = ideal_device(AntennaArray::single());
+        assert_eq!(dev.kappa, Complex64::ONE);
+        assert_eq!(dev.oscillator_ppm, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(dev.detection_delay.sample(&mut rng), 0.0);
+        let b24 = band_by_channel(1).unwrap();
+        assert_eq!(dev.quirk_for(&b24), PhaseQuirk::None);
+    }
+
+    #[test]
+    fn distinct_devices_have_distinct_kappas() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Intel5300::laptop(&mut rng);
+        let b = Intel5300::laptop(&mut rng);
+        assert!(!a.kappa.approx_eq(b.kappa, 1e-6));
+        assert!(a.oscillator_ppm != b.oscillator_ppm);
+    }
+
+    #[test]
+    fn mean_separation_single_antenna_is_zero() {
+        assert_eq!(AntennaArray::single().mean_separation(), 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! The evaluation testbed: a 20 m x 20 m office floor (paper Fig. 6).
+//!
+//! The paper's experiments run on one floor of a large office building with
+//! "multiple offices, a lounge area, conference rooms, metal cabinets,
+//! computers and furniture", with devices placed at 30 candidate locations
+//! up to 15 m apart. This module generates a procedural equivalent:
+//! concrete outer walls, drywall partitions forming offices and a corridor,
+//! metal cabinets as strong reflectors, and 30 seeded candidate positions.
+
+use crate::environment::{Environment, Material};
+use crate::geometry::{Point, Segment};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The generated testbed.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// The environment (walls and reflectors).
+    pub environment: Environment,
+    /// The 30 candidate device locations (the blue dots of Fig. 6).
+    pub locations: Vec<Point>,
+    /// Floor extent, meters.
+    pub size: f64,
+}
+
+impl Testbed {
+    /// Generates the standard 20 m x 20 m office testbed from a seed.
+    ///
+    /// The same seed always yields the same floorplan and candidate
+    /// locations, so experiments are reproducible.
+    pub fn office(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let size = 20.0;
+        let mut env = Environment::free_space();
+
+        // Concrete outer shell.
+        env.add_room(0.0, 0.0, size, size, Material::Concrete);
+
+        // A corridor along y = 8..12: offices above and below.
+        // Lower office partitions (drywall), doors left open (gaps).
+        for i in 0..3 {
+            let x = 5.0 + 5.0 * i as f64;
+            env.add_wall(
+                Segment::new(Point::new(x, 0.0), Point::new(x, 6.5)),
+                Material::Drywall,
+            );
+        }
+        // Corridor walls with door gaps.
+        env.add_wall(
+            Segment::new(Point::new(0.0, 8.0), Point::new(8.0, 8.0)),
+            Material::Drywall,
+        );
+        env.add_wall(
+            Segment::new(Point::new(10.0, 8.0), Point::new(20.0, 8.0)),
+            Material::Drywall,
+        );
+        env.add_wall(
+            Segment::new(Point::new(0.0, 12.0), Point::new(6.0, 12.0)),
+            Material::Drywall,
+        );
+        env.add_wall(
+            Segment::new(Point::new(8.0, 12.0), Point::new(16.0, 12.0)),
+            Material::Drywall,
+        );
+        // Conference room glass front (upper-right).
+        env.add_wall(
+            Segment::new(Point::new(13.0, 12.0), Point::new(13.0, 20.0)),
+            Material::Glass,
+        );
+        // Lounge partition (upper-left).
+        env.add_wall(
+            Segment::new(Point::new(6.0, 14.5), Point::new(6.0, 20.0)),
+            Material::Drywall,
+        );
+
+        // Metal cabinets: short strong reflectors scattered around.
+        let cabinet_spots = [
+            (2.0, 7.2, 3.4, 7.2),
+            (11.5, 0.8, 12.7, 0.8),
+            (19.2, 9.5, 19.2, 10.7),
+            (7.5, 18.8, 8.7, 18.8),
+            (15.0, 15.5, 15.0, 16.7),
+        ];
+        for (x0, y0, x1, y1) in cabinet_spots {
+            env.add_wall(
+                Segment::new(Point::new(x0, y0), Point::new(x1, y1)),
+                Material::Metal,
+            );
+        }
+
+        // 30 candidate locations, margin 1 m from outer walls, not inside
+        // a cabinet (cabinets are segments so any point is fine), spread out
+        // by rejection sampling on minimum pairwise distance.
+        let mut locations: Vec<Point> = Vec::with_capacity(30);
+        let mut guard = 0;
+        while locations.len() < 30 && guard < 100_000 {
+            guard += 1;
+            let p = Point::new(rng.gen_range(1.0..size - 1.0), rng.gen_range(1.0..size - 1.0));
+            if locations.iter().all(|q| q.dist(p) > 2.2) {
+                locations.push(p);
+            }
+        }
+        assert_eq!(locations.len(), 30, "failed to place 30 candidate locations");
+
+        Testbed { environment: env, locations, size }
+    }
+
+    /// All location pairs with ground distance at most `max_dist` meters
+    /// (the paper evaluates "pairwise distance up to 15 m"), classified by
+    /// line-of-sight.
+    pub fn pairs_within(&self, max_dist: f64) -> Vec<TestbedPair> {
+        let mut pairs = Vec::new();
+        for i in 0..self.locations.len() {
+            for j in (i + 1)..self.locations.len() {
+                let a = self.locations[i];
+                let b = self.locations[j];
+                let d = a.dist(b);
+                if d <= max_dist {
+                    pairs.push(TestbedPair {
+                        a,
+                        b,
+                        distance_m: d,
+                        los: self.environment.is_los(a, b),
+                    });
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// One candidate device placement pair.
+#[derive(Debug, Clone, Copy)]
+pub struct TestbedPair {
+    /// First device position.
+    pub a: Point,
+    /// Second device position.
+    pub b: Point,
+    /// Ground-truth distance, meters.
+    pub distance_m: f64,
+    /// Whether the pair is in line of sight.
+    pub los: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::PathEnumConfig;
+
+    #[test]
+    fn office_is_deterministic_per_seed() {
+        let a = Testbed::office(42);
+        let b = Testbed::office(42);
+        assert_eq!(a.locations, b.locations);
+        let c = Testbed::office(43);
+        assert_ne!(a.locations, c.locations);
+    }
+
+    #[test]
+    fn thirty_locations_inside_floor() {
+        let t = Testbed::office(1);
+        assert_eq!(t.locations.len(), 30);
+        for p in &t.locations {
+            assert!(p.x >= 1.0 && p.x <= 19.0);
+            assert!(p.y >= 1.0 && p.y <= 19.0);
+        }
+    }
+
+    #[test]
+    fn locations_spread_apart() {
+        let t = Testbed::office(7);
+        for i in 0..30 {
+            for j in (i + 1)..30 {
+                assert!(t.locations[i].dist(t.locations[j]) > 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_of_los_and_nlos_pairs() {
+        let t = Testbed::office(42);
+        let pairs = t.pairs_within(15.0);
+        assert!(!pairs.is_empty());
+        let los = pairs.iter().filter(|p| p.los).count();
+        let nlos = pairs.len() - los;
+        assert!(los > 5, "los pairs: {los}");
+        assert!(nlos > 5, "nlos pairs: {nlos}");
+    }
+
+    #[test]
+    fn pairs_respect_distance_cap() {
+        let t = Testbed::office(42);
+        for p in t.pairs_within(10.0) {
+            assert!(p.distance_m <= 10.0);
+            assert!((p.a.dist(p.b) - p.distance_m).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn environment_generates_multipath_everywhere() {
+        let t = Testbed::office(42);
+        let cfg = PathEnumConfig::default();
+        let pairs = t.pairs_within(15.0);
+        for p in pairs.iter().take(10) {
+            let ps = t.environment.paths(p.a, p.b, &cfg);
+            assert!(ps.len() >= 2, "pair too clean: {} paths", ps.len());
+            // Direct path delay matches geometry.
+            assert!(
+                (ps.true_tof_ns().unwrap() - chronos_math::constants::m_to_ns(p.distance_m))
+                    .abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn nlos_pairs_have_attenuated_direct_path() {
+        let t = Testbed::office(42);
+        let cfg = PathEnumConfig::default();
+        let pairs = t.pairs_within(15.0);
+        let nlos = pairs.iter().find(|p| !p.los).expect("need an NLOS pair");
+        let los = pairs.iter().find(|p| p.los).expect("need a LOS pair");
+        let ps_nlos = t.environment.paths(nlos.a, nlos.b, &cfg);
+        let ps_los = t.environment.paths(los.a, los.b, &cfg);
+        // Amplitude * distance normalizes the 1/d factor: obstruction shows.
+        let a_nlos = ps_nlos.paths()[0].amplitude * nlos.distance_m;
+        let a_los = ps_los.paths()[0].amplitude * los.distance_m;
+        assert!(a_nlos < a_los, "NLOS direct path not attenuated");
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: measure the distance between two simulated Intel 5300
+//! devices with the full Chronos pipeline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use chronos_suite::core::config::ChronosConfig;
+use chronos_suite::core::session::ChronosSession;
+use chronos_suite::link::time::Instant;
+use chronos_suite::rf::csi::MeasurementContext;
+use chronos_suite::rf::environment::Environment;
+use chronos_suite::rf::geometry::Point;
+use chronos_suite::rf::hardware::Intel5300;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // Two commodity Wi-Fi devices, 4.2 m apart, free space.
+    let ctx = MeasurementContext::new(
+        Environment::free_space(),
+        Intel5300::mobile(&mut rng),   // single-antenna user device
+        Point::new(0.0, 0.0),
+        Intel5300::laptop(&mut rng),   // 3-antenna laptop (the locator)
+        Point::new(4.2, 0.0),
+    );
+    let mut session = ChronosSession::new(ctx, ChronosConfig::default());
+
+    // One-time calibration against a known geometry (paper §7, obs. 2):
+    // removes the constant hardware delays of both chains.
+    let offset = session.calibrate(&mut rng, 2);
+    println!("calibration constant: {offset:.2} ns");
+
+    // One 35-band sweep (~84 ms of simulated time).
+    let out = session.sweep(&mut rng, Instant::ZERO);
+    println!(
+        "sweep: {} bands measured in {:.1} ms ({} frames, {} lost)",
+        out.link.bands_measured(35),
+        out.link.duration().as_millis_f64(),
+        out.link.frames_sent,
+        out.link.frames_lost,
+    );
+
+    for (i, tof) in out.tofs.iter().enumerate() {
+        match tof {
+            Ok(t) => println!(
+                "antenna {i}: time-of-flight {:6.2} ns -> distance {:5.2} m \
+                 (2.4 GHz cross-check: {})",
+                t.tof_ns,
+                t.distance_m,
+                if t.cross_check_ok { "ok" } else { "FLAGGED" },
+            ),
+            Err(e) => println!("antenna {i}: no estimate ({e})"),
+        }
+    }
+
+    let d = out.mean_distance_m().expect("at least one antenna estimated");
+    println!("estimated distance: {d:.2} m (truth: 4.20 m)");
+
+    match out.position {
+        Ok(p) => println!(
+            "relative position of the user device: ({:.2}, {:.2}) m, residual {:.3} m",
+            p.point.x, p.point.y, p.residual_m
+        ),
+        Err(e) => println!("no position fix: {e}"),
+    }
+}

@@ -1,0 +1,190 @@
+//! Cross-crate integration tests: the full pipeline from physics to
+//! position, exercised through the facade crate exactly the way the
+//! examples use it.
+
+use chronos_suite::core::config::{ChronosConfig, QuirkMode};
+use chronos_suite::core::session::ChronosSession;
+use chronos_suite::link::time::Instant;
+use chronos_suite::rf::csi::MeasurementContext;
+use chronos_suite::rf::environment::Environment;
+use chronos_suite::rf::geometry::Point;
+use chronos_suite::rf::hardware::Intel5300;
+use chronos_suite::rf::testbed::Testbed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn intel_session(seed: u64, d: f64) -> ChronosSession {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ctx = MeasurementContext::new(
+        Environment::free_space(),
+        Intel5300::mobile(&mut rng),
+        Point::new(0.0, 0.0),
+        Intel5300::laptop(&mut rng),
+        Point::new(d, 0.0),
+    );
+    ctx.snr.snr_at_1m_db = 40.0;
+    ChronosSession::new(ctx, ChronosConfig::default())
+}
+
+#[test]
+fn free_space_ranging_sub_20cm_after_calibration() {
+    let mut session = intel_session(100, 6.0);
+    let mut rng = StdRng::seed_from_u64(200);
+    session.calibrate(&mut rng, 3);
+    let out = session.sweep(&mut rng, Instant::ZERO);
+    let d = out.mean_distance_m().expect("estimate");
+    assert!((d - 6.0).abs() < 0.2, "free-space distance {d}");
+}
+
+#[test]
+fn calibration_transfers_to_new_distances() {
+    // Calibrate at 2 m (the session's constructor geometry is overridden),
+    // then range correctly at other distances with the same constant.
+    let mut session = intel_session(101, 2.0);
+    let mut rng = StdRng::seed_from_u64(201);
+    session.calibrate(&mut rng, 3);
+    for (i, d) in [1.0, 4.0, 9.0].iter().enumerate() {
+        session.ctx.responder_pos = Point::new(*d, 0.0);
+        let out = session.sweep(&mut rng, Instant::from_millis(500 * i as u64));
+        let est = out.mean_distance_m().expect("estimate");
+        assert!((est - d).abs() < 0.3, "at {d} m estimated {est} m");
+    }
+}
+
+#[test]
+fn testbed_multipath_link_stays_sub_meter() {
+    let testbed = Testbed::office(42);
+    let pair = testbed
+        .pairs_within(10.0)
+        .into_iter()
+        .find(|p| p.los)
+        .expect("los pair");
+    let mut session = intel_session(102, 2.0);
+    let mut rng = StdRng::seed_from_u64(202);
+    session.calibrate(&mut rng, 2);
+    session.ctx.environment = testbed.environment.clone();
+    session.ctx.initiator_pos = pair.a;
+    session.ctx.responder_pos = pair.b;
+    let out = session.sweep(&mut rng, Instant::ZERO);
+    let d = out.mean_distance_m().expect("estimate");
+    assert!(
+        (d - pair.distance_m).abs() < 1.0,
+        "testbed distance {d} vs truth {}",
+        pair.distance_m
+    );
+}
+
+#[test]
+fn ideal_mode_uses_all_35_bands() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut ctx = MeasurementContext::new(
+        Environment::free_space(),
+        chronos_suite::rf::hardware::ideal_device(
+            chronos_suite::rf::hardware::AntennaArray::single(),
+        ),
+        Point::new(0.0, 0.0),
+        chronos_suite::rf::hardware::ideal_device(
+            chronos_suite::rf::hardware::AntennaArray::laptop(),
+        ),
+        Point::new(5.0, 0.0),
+    );
+    ctx.snr.snr_at_1m_db = 60.0;
+    let session = ChronosSession::new(ctx, ChronosConfig::ideal());
+    let out = session.sweep(&mut rng, Instant::ZERO);
+    let tof = out.tofs[0].as_ref().expect("estimate");
+    // In ideal mode all 35 bands share one group at delay scale 2.
+    assert_eq!(tof.groups.len(), 1);
+    assert_eq!(tof.groups[0].n_bands, 35);
+    assert_eq!(tof.groups[0].delay_scale, 2.0);
+}
+
+#[test]
+fn intel_mode_splits_band_groups() {
+    let mut session = intel_session(103, 3.0);
+    session.config.mode = QuirkMode::Intel5300;
+    let mut rng = StdRng::seed_from_u64(203);
+    session.calibrate(&mut rng, 2);
+    let out = session.sweep(&mut rng, Instant::ZERO);
+    let tof = out.tofs[0].as_ref().expect("estimate");
+    // 5 GHz primary group (24 bands, scale 2) always present; the 2.4 GHz
+    // coarse group (11 bands, scale 8) joins only when its 8x-scaled
+    // delays fit inside the unambiguous 200 ns profile range.
+    assert!(!tof.groups.is_empty());
+    assert_eq!(tof.groups[0].n_bands, 24);
+    assert_eq!(tof.groups[0].delay_scale, 2.0);
+    if let Some(coarse) = tof.groups.get(1) {
+        assert_eq!(coarse.n_bands, 11);
+        assert_eq!(coarse.delay_scale, 8.0);
+    }
+}
+
+#[test]
+fn localization_error_improves_with_ap_array() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let run = |array: chronos_suite::rf::hardware::AntennaArray,
+               rng: &mut StdRng|
+     -> f64 {
+        let mut ctx = MeasurementContext::new(
+            Environment::free_space(),
+            Intel5300::mobile(rng),
+            Point::new(0.0, 0.0),
+            Intel5300::device(rng, array),
+            Point::new(2.0, 0.0),
+        );
+        ctx.snr.snr_at_1m_db = 40.0;
+        let mut session = ChronosSession::new(ctx, ChronosConfig::default());
+        session.calibrate(rng, 2);
+        // Evaluate at a fresh geometry.
+        session.ctx.initiator_pos = Point::new(-1.0, 4.0);
+        let mut errs = Vec::new();
+        for i in 0..6 {
+            let out = session.sweep(rng, Instant::from_millis(100 * i));
+            if let Ok(p) = out.position {
+                let truth = session.ctx.initiator_pos.sub(session.ctx.responder_pos);
+                errs.push(p.point.dist(truth));
+            }
+        }
+        chronos_suite::math::stats::median(&errs)
+    };
+    let small = run(chronos_suite::rf::hardware::AntennaArray::laptop(), &mut rng);
+    let large = run(chronos_suite::rf::hardware::AntennaArray::access_point(), &mut rng);
+    // §10/§12.2: wider antenna separation -> better positioning. A single
+    // pair of medians is noisy, so allow a little slack in the comparison;
+    // the full Fig. 8b/8c experiment quantifies the gap properly.
+    assert!(
+        large < small + 0.15,
+        "AP array should not be (meaningfully) worse: {large} vs {small}"
+    );
+}
+
+#[test]
+fn sweep_is_deterministic_per_seed() {
+    let session = intel_session(104, 4.0);
+    let out1 = session.sweep(&mut StdRng::seed_from_u64(300), Instant::ZERO);
+    let out2 = session.sweep(&mut StdRng::seed_from_u64(300), Instant::ZERO);
+    assert_eq!(out1.mean_distance_m(), out2.mean_distance_m());
+    assert_eq!(out1.link.frames_sent, out2.link.frames_sent);
+}
+
+#[test]
+fn nlos_degrades_but_does_not_break() {
+    // Put a concrete wall across the direct path: error grows, estimate
+    // survives (the paper's NLOS story).
+    let mut session = intel_session(105, 6.0);
+    let mut rng = StdRng::seed_from_u64(205);
+    session.calibrate(&mut rng, 2);
+    let mut env = Environment::free_space();
+    env.add_wall(
+        chronos_suite::rf::geometry::Segment::new(Point::new(3.0, -4.0), Point::new(3.0, 4.0)),
+        chronos_suite::rf::environment::Material::Concrete,
+    );
+    // A couple of reflectors so NLOS has alternate paths.
+    env.add_wall(
+        chronos_suite::rf::geometry::Segment::new(Point::new(-2.0, 5.0), Point::new(8.0, 5.0)),
+        chronos_suite::rf::environment::Material::Concrete,
+    );
+    session.ctx.environment = env;
+    let out = session.sweep(&mut rng, Instant::ZERO);
+    let d = out.mean_distance_m().expect("NLOS estimate");
+    assert!((d - 6.0).abs() < 1.5, "NLOS distance {d}");
+}

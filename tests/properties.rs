@@ -1,0 +1,183 @@
+//! Workspace-level property-based tests (proptest) on the core invariants
+//! that hold across crates.
+
+use chronos_suite::core::crt::{tof_from_channels, CrtConfig};
+use chronos_suite::core::ista::{solve, sparsify, IstaConfig};
+use chronos_suite::core::localization::{locate, AntennaRange, LocalizerConfig};
+use chronos_suite::core::ndft::{Ndft, TauGrid};
+use chronos_suite::math::crt::Congruence;
+use chronos_suite::math::spline::CubicSpline;
+use chronos_suite::math::stats::{median, percentile};
+use chronos_suite::math::unwrap::{unwrapped, wrap_to_pi};
+use chronos_suite::math::Complex64;
+use chronos_suite::rf::geometry::Point;
+use chronos_suite::rf::propagation::PathSet;
+use proptest::prelude::*;
+use std::f64::consts::PI;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Channel phase always encodes -2 pi f tau modulo 2 pi (paper Eq. 2).
+    #[test]
+    fn channel_phase_matches_model(
+        tau_ns in 0.1f64..150.0,
+        f_ghz in 2.0f64..6.0,
+        amp in 0.05f64..2.0,
+    ) {
+        let ps = PathSet::single(tau_ns, amp);
+        let h = ps.channel_at(f_ghz * 1e9);
+        let expected = wrap_to_pi(-2.0 * PI * f_ghz * 1e9 * tau_ns * 1e-9);
+        prop_assert!(chronos_suite::math::unwrap::angular_distance(h.arg(), expected) < 1e-6);
+        prop_assert!((h.abs() - amp).abs() < 1e-9);
+    }
+
+    /// Unwrapping a wrapped smooth ramp recovers it up to an additive
+    /// 2-pi-multiple anchor.
+    #[test]
+    fn unwrap_recovers_ramps(slope in -3.0f64..3.0, n in 4usize..80) {
+        let truth: Vec<f64> = (0..n).map(|i| slope * i as f64 * 0.9).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|p| wrap_to_pi(*p)).collect();
+        let un = unwrapped(&wrapped);
+        let anchor = un[0] - truth[0];
+        let k = anchor / (2.0 * PI);
+        prop_assert!((k - k.round()).abs() < 1e-6);
+        for (u, t) in un.iter().zip(truth.iter()) {
+            prop_assert!((u - t - anchor).abs() < 1e-6);
+        }
+    }
+
+    /// A natural cubic spline interpolates its knots exactly.
+    #[test]
+    fn spline_hits_knots(ys in proptest::collection::vec(-10.0f64..10.0, 4..20)) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            prop_assert!((s.eval(*x) - y).abs() < 1e-9);
+        }
+    }
+
+    /// Soft-thresholding never increases any magnitude and zeroes exactly
+    /// the sub-threshold entries.
+    #[test]
+    fn sparsify_contracts(
+        mags in proptest::collection::vec(0.0f64..2.0, 1..50),
+        t in 0.0f64..1.0,
+    ) {
+        let mut v: Vec<Complex64> = mags
+            .iter()
+            .enumerate()
+            .map(|(i, m)| Complex64::from_polar(*m, i as f64))
+            .collect();
+        let before = v.clone();
+        sparsify(&mut v, t);
+        for (a, b) in v.iter().zip(before.iter()) {
+            prop_assert!(a.abs() <= b.abs() + 1e-12);
+            if b.abs() <= t {
+                prop_assert_eq!(*a, Complex64::ZERO);
+            } else {
+                // Phase preserved for survivors.
+                prop_assert!(
+                    chronos_suite::math::unwrap::angular_distance(a.arg(), b.arg()) < 1e-9
+                );
+            }
+        }
+    }
+
+    /// The CRT voting solver recovers any single-path delay in range from
+    /// noiseless phases over the 5 GHz plan.
+    #[test]
+    fn crt_voting_recovers_tau(tau in 0.5f64..95.0) {
+        let freqs: Vec<f64> = chronos_suite::rf::bands::band_plan_5ghz()
+            .iter()
+            .map(|b| b.center_hz)
+            .collect();
+        let hs: Vec<Complex64> = freqs
+            .iter()
+            .map(|f| Complex64::from_polar(1.0, -2.0 * PI * f * tau * 1e-9))
+            .collect();
+        let sol = tof_from_channels(&freqs, &hs, 1.0, &CrtConfig::default()).unwrap();
+        prop_assert!((sol.value - tau).abs() < 0.05, "tau {} -> {}", tau, sol.value);
+    }
+
+    /// A congruence's distance function is bounded by half its modulus and
+    /// zero at any representative.
+    #[test]
+    fn congruence_distance_bounds(r in 0.0f64..5.0, m in 0.01f64..5.0, k in -5i32..5) {
+        let c = Congruence::new(r, m);
+        prop_assert!(c.distance(r + k as f64 * m) < 1e-9);
+        for x in [0.0, 1.3, 7.7] {
+            prop_assert!(c.distance(x) <= m / 2.0 + 1e-12);
+        }
+    }
+
+    /// Sparse inversion of a noiseless on-grid single path puts its largest
+    /// atom on the true grid point.
+    #[test]
+    fn ista_finds_on_grid_path(idx in 5usize..90) {
+        let freqs: Vec<f64> = chronos_suite::rf::bands::band_plan_5ghz()
+            .iter()
+            .map(|b| b.center_hz)
+            .collect();
+        let grid = TauGrid::span(100.0, 1.0);
+        let ndft = Ndft::new(&freqs, grid);
+        let tau = grid.tau_at(idx);
+        let h: Vec<Complex64> = freqs
+            .iter()
+            .map(|f| Complex64::from_polar(1.0, -2.0 * PI * f * tau * 1e-9))
+            .collect();
+        let sol = solve(&ndft, &h, &IstaConfig::default());
+        let (best, _) = sol
+            .p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap();
+        prop_assert_eq!(best, idx);
+    }
+
+    /// Trilateration from exact distances recovers the transmitter for any
+    /// position meaningfully off the antenna plane's degenerate axis.
+    #[test]
+    fn trilateration_exact(x in -8.0f64..8.0, y in 0.5f64..8.0) {
+        let tx = Point::new(x, y);
+        let antennas = [Point::new(-0.6, 0.0), Point::new(0.6, 0.0), Point::new(0.0, 0.8)];
+        let ranges: Vec<AntennaRange> = antennas
+            .iter()
+            .map(|a| AntennaRange { antenna: *a, distance_m: a.dist(tx) })
+            .collect();
+        let pos = locate(&ranges, &LocalizerConfig::default()).unwrap();
+        prop_assert!(pos.point.dist(tx) < 1e-3, "err {}", pos.point.dist(tx));
+    }
+
+    /// Median and percentiles are order statistics: bounded by min/max and
+    /// monotone in the percentile argument.
+    #[test]
+    fn percentile_sane(xs in proptest::collection::vec(-100.0f64..100.0, 1..60)) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let med = median(&xs);
+        prop_assert!(med >= lo - 1e-12 && med <= hi + 1e-12);
+        let mut prev = lo;
+        for p in [10.0, 30.0, 50.0, 70.0, 90.0] {
+            let v = percentile(&xs, p);
+            prop_assert!(v + 1e-12 >= prev);
+            prev = v;
+        }
+    }
+
+    /// Frame round trip: any encodable frame parses back to itself.
+    #[test]
+    fn frame_round_trip(seq in 0u16..u16::MAX, ch in 1u16..200, dwell in 0u32..10_000) {
+        use chronos_suite::link::frame::Frame;
+        for f in [
+            Frame::HopAdvert { seq, next_channel: ch, dwell_us: dwell },
+            Frame::Ack { seq },
+            Frame::Measure { seq },
+            Frame::Data { len: (dwell % 1500) as u16 },
+        ] {
+            let enc = f.encode();
+            prop_assert_eq!(Frame::parse(&enc).unwrap(), f);
+        }
+    }
+}
