@@ -1,0 +1,113 @@
+//! Multi-client ranging service throughput: shared `PlanCache` + arbited
+//! medium versus N independent cold sessions.
+//!
+//! Reports, per client count N:
+//! * `cold_sessions/N` — N plain `ChronosSession`s swept sequentially,
+//!   each sweep rebuilding NDFT operators, operator norms, lobe tables
+//!   and spline factorizations from scratch (the pre-service design);
+//! * `service_shared/N` — the `RangingService` with one warmed
+//!   `PlanCache`, single worker thread (isolates the plan-reuse win);
+//! * `service_parallel/N` — the same service with one worker per core
+//!   (adds the scoped-thread inversion win).
+//!
+//! The same estimator arithmetic runs in all three; outputs are identical
+//! (see `tests/service.rs` for the equivalence assertions). Only the
+//! redundant per-sweep plan construction and the serialization of
+//! independent clients differ.
+
+use chronos_core::config::ChronosConfig;
+use chronos_core::service::{RangingService, ServiceConfig};
+use chronos_core::session::ChronosSession;
+use chronos_link::time::Instant;
+use chronos_rf::csi::MeasurementContext;
+use chronos_rf::environment::Environment;
+use chronos_rf::geometry::Point;
+use chronos_rf::hardware::{ideal_device, AntennaArray};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn client_ctx(i: usize) -> MeasurementContext {
+    let mut ctx = MeasurementContext::new(
+        Environment::free_space(),
+        ideal_device(AntennaArray::single()),
+        Point::new(0.0, 0.0),
+        ideal_device(AntennaArray::laptop()),
+        Point::new(2.0 + 0.7 * i as f64, 0.5 * i as f64),
+    );
+    ctx.snr.snr_at_1m_db = 55.0;
+    ctx
+}
+
+fn cold_sessions(n: usize) -> Vec<ChronosSession> {
+    (0..n)
+        .map(|i| {
+            let mut s = ChronosSession::new(client_ctx(i), ChronosConfig::ideal());
+            s.sweep_cfg.medium.loss_prob = 0.0;
+            s
+        })
+        .collect()
+}
+
+fn shared_service(n: usize, threads: usize) -> RangingService {
+    let mut cfg = ServiceConfig::default();
+    cfg.threads = threads;
+    let mut svc = RangingService::new(cfg);
+    for i in 0..n {
+        let id = svc.add_client(client_ctx(i), ChronosConfig::ideal());
+        svc.client_mut(id).sweep_cfg.medium.loss_prob = 0.0;
+    }
+    // Warm the cache once so steady-state throughput is measured (the
+    // first epoch pays the one-time plan construction).
+    svc.run_epoch(0xC0FFEE);
+    svc
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    for n in [1usize, 2, 4, 8] {
+        let sessions = cold_sessions(n);
+        group.bench_with_input(BenchmarkId::new("cold_sessions", n), &n, |b, _| {
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                let outs: Vec<f64> = sessions
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let mut rng = StdRng::seed_from_u64(round * 1000 + i as u64);
+                        s.sweep(&mut rng, Instant::from_millis(round * 200))
+                            .mean_distance_m()
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect();
+                std::hint::black_box(outs)
+            })
+        });
+
+        let mut svc1 = shared_service(n, 1);
+        group.bench_with_input(BenchmarkId::new("service_shared", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(svc1.run_epoch(42).completed()))
+        });
+
+        let mut svcp = shared_service(n, 0);
+        group.bench_with_input(BenchmarkId::new("service_parallel", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(svcp.run_epoch(42).completed()))
+        });
+
+        let stats = svcp.plans().stats();
+        println!(
+            "  [n={n}] plan cache: {} NDFT plans resident, hit rate {:.1}%",
+            stats.ndft_entries,
+            100.0 * stats.hit_rate()
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_service
+}
+criterion_main!(benches);

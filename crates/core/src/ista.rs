@@ -72,13 +72,35 @@ pub fn sparsify(p: &mut [Complex64], t: f64) {
 }
 
 /// Runs the sparse inversion of `h` under the operator `ndft`.
+///
+/// Computes the operator norm by power iteration on every call; when the
+/// same operator is inverted repeatedly (every sweep of every client),
+/// use [`solve_planned`] with a shared [`crate::plan::NdftPlan`] instead —
+/// it produces bit-identical solutions without the per-call norm.
 pub fn solve(ndft: &Ndft, h: &[Complex64], cfg: &IstaConfig) -> IstaSolution {
+    solve_with_norm(ndft, h, cfg, ndft.op_norm(crate::plan::OP_NORM_ITERS))
+}
+
+/// Sparse inversion reusing a precomputed plan (see
+/// [`crate::plan::PlanCache`]). Identical arithmetic to [`solve`]; the
+/// plan only supplies the already-computed spectral norm.
+pub fn solve_planned(
+    plan: &crate::plan::NdftPlan,
+    h: &[Complex64],
+    cfg: &IstaConfig,
+) -> IstaSolution {
+    solve_with_norm(&plan.ndft, h, cfg, plan.op_norm)
+}
+
+/// The shared solver body: proximal gradient with the step size derived
+/// from the supplied spectral norm.
+fn solve_with_norm(ndft: &Ndft, h: &[Complex64], cfg: &IstaConfig, op_norm: f64) -> IstaSolution {
     let m = ndft.n_taus();
     assert_eq!(h.len(), ndft.n_freqs(), "solve: measurement length mismatch");
 
     // Step size: 1 / L with L = 2 ||F||^2 (gradient of ||h - Fp||^2 is
     // 2 F*(Fp - h)); power iteration gives ||F||.
-    let op_norm = ndft.op_norm(40).max(1e-12);
+    let op_norm = op_norm.max(1e-12);
     let gamma = 1.0 / (2.0 * op_norm * op_norm);
 
     // Threshold from the adjoint image of the data: alpha_rel = 1 would
@@ -374,6 +396,23 @@ mod tests {
         // All-zero input: all-zero output, converged.
         assert!(sol.p.iter().all(|z| *z == Complex64::ZERO));
         assert!(sol.converged);
+    }
+
+    #[test]
+    fn planned_solve_is_bitwise_identical() {
+        let f = freqs();
+        let grid = TauGrid::span(60.0, 0.5);
+        let plan = crate::plan::NdftPlan::new(&f, grid, 60.0);
+        let h = channel_for(&[(9.0, 1.0), (14.0, 0.5)], &f);
+        let a = solve(&plan.ndft, &h, &IstaConfig::default());
+        let b = solve_planned(&plan, &h, &IstaConfig::default());
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.converged, b.converged);
+        assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+        for (x, y) in a.p.iter().zip(b.p.iter()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
     }
 
     #[test]

@@ -1,35 +1,73 @@
 //! # chronos-core
 //!
 //! The paper's contribution: sub-nanosecond time-of-flight on commodity
-//! Wi-Fi, rebuilt end to end.
+//! Wi-Fi, rebuilt end to end — plus the service layer that scales it
+//! from one device pair to a pool of concurrently ranged clients.
 //!
-//! The pipeline, in the order measurements flow through it:
+//! ## The pipeline, in measurement order
 //!
-//! 1. [`phase`] — clean each CSI capture and interpolate the channel at the
-//!    unmeasurable **zero-subcarrier**, the only point free of packet
-//!    detection delay (paper §5).
-//! 2. [`reciprocity`] — multiply forward and reverse zero-subcarrier
-//!    channels to cancel carrier frequency offset (paper §7, Eq. 11–13),
-//!    averaging across packet exchanges.
-//! 3. [`quirk`] — handle the Intel 5300's 2.4 GHz phase bug by raising the
-//!    2.4 GHz products to the fourth power and keeping band groups with
-//!    different delay scales apart (paper §11, footnote 5).
-//! 4. [`ndft`] + [`ista`] — pose multipath recovery as a sparse inversion
-//!    of the **non-uniform DFT** over the swept band centers and solve it
-//!    with the paper's proximal-gradient Algorithm 1 (§6).
-//! 5. [`profile`] — extract the multipath profile's first dominant peak:
-//!    the direct path's (scaled) propagation delay.
-//! 6. [`tof`] — fuse band groups, undo delay scaling, apply calibration:
-//!    the time-of-flight estimate.
-//! 7. [`ranging`] + [`localization`] — distances from ToF, positions from
-//!    intersecting per-antenna distance circles (§8).
-//! 8. [`session`] — the end-to-end loop: drive the link-layer band sweep,
-//!    synthesize CSI at the protocol's capture instants, estimate.
+//! [`phase`] cleans each CSI capture and interpolates the channel at the
+//! **zero-subcarrier** — the one OFDM frequency Wi-Fi never transmits,
+//! and the only one whose phase is untouched by packet-detection delay
+//! (paper §5, footnote 3). A natural cubic spline over the 30 measured
+//! subcarriers is read off at zero; the spline's factorization is
+//! reusable across captures via [`chronos_math::spline::SplinePlan`].
+//!
+//! [`reciprocity`] multiplies forward and reverse zero-subcarrier
+//! channels from one packet exchange. Carrier frequency offset rotates
+//! the two captures in *opposite* directions, so the product cancels it
+//! exactly (paper §7, Eq. 11–13), leaving the squared channel; exchanges
+//! within a band dwell are averaged.
+//!
+//! [`quirk`] absorbs the Intel 5300's 2.4 GHz firmware bug — phase
+//! reported modulo π/2 (paper §11, footnote 5) — by raising 2.4 GHz
+//! products to the fourth power, and keeps band groups whose delay
+//! scales now differ (2× vs 8×) apart for separate inversion.
+//!
+//! [`ndft`] + [`ista`] recover multipath: measurements at the scattered
+//! swept band centers are a **non-uniform DFT** of the delay-domain
+//! profile, inverted under an L1 sparsity prior with the paper's
+//! proximal-gradient Algorithm 1 (§6.2), plus FISTA acceleration and
+//! LASSO debiasing as documented extensions.
+//!
+//! [`profile`] extracts the time-of-flight from the recovered profile:
+//! the direct path is the **first dominant peak**, not the strongest
+//! (§6, observation 1), refined below the grid step by matched-filter
+//! maximization and defended against sidelobe/grating ghosts.
+//!
+//! [`tof`] fuses the per-group candidates (the widest aperture wins; the
+//! coarse 2.4 GHz group cross-checks), undoes delay scaling, and applies
+//! the one-time calibration constant (§7, observation 2).
+//!
+//! [`ranging`] + [`localization`] turn per-antenna ToFs into distances
+//! and intersect the per-antenna circles into a position (§8).
+//!
+//! [`session`] is the per-pair driver: one [`ChronosSession`] runs the
+//! link-layer band sweep, synthesizes CSI at the protocol's exact
+//! capture instants, and estimates per receive antenna (§4, §11).
+//!
+//! ## Scaling beyond the paper
+//!
+//! [`plan`] extracts everything an estimate computes that depends only
+//! on the band plan and grid — NDFT operators, spectral norms, lobe
+//! tables, spline factorizations — into immutable plans served by a
+//! thread-safe [`PlanCache`]. Cached and uncached estimation are
+//! bit-identical; only the redundant per-sweep construction disappears.
+//!
+//! [`service`] is the multi-client layer: a [`RangingService`] pools
+//! sessions over one shared `PlanCache`, admits their sweeps through the
+//! airtime arbiter in [`chronos_link::arbiter`] so N hoppers contend
+//! realistically, and runs per-client inversion on scoped worker
+//! threads with schedule-independent results.
+//!
+//! ## Support modules
 //!
 //! [`crt`] implements the Chinese-remainder view of §4 (the Fig. 3
-//! construction) used for single-path fast paths, cross-checks and tests,
-//! and [`delay`] estimates per-packet detection delay for the Fig. 7(c)
-//! analysis.
+//! construction) used for single-path fast paths, cross-checks and
+//! tests. [`delay`] estimates per-packet detection delay by the §5 slope
+//! method for the Fig. 7(c) analysis. [`config`] carries the estimator's
+//! knobs with paper-matched defaults, and [`error`] the pipeline's
+//! failure taxonomy.
 
 pub mod config;
 pub mod crt;
@@ -39,15 +77,19 @@ pub mod ista;
 pub mod localization;
 pub mod ndft;
 pub mod phase;
+pub mod plan;
 pub mod profile;
 pub mod quirk;
 pub mod ranging;
 pub mod reciprocity;
+pub mod service;
 pub mod session;
 pub mod tof;
 
 pub use config::{ChronosConfig, QuirkMode};
 pub use error::ChronosError;
+pub use plan::{CacheStats, NdftPlan, PlanCache};
 pub use profile::MultipathProfile;
+pub use service::{EpochReport, RangingService, ServiceConfig};
 pub use session::{ChronosSession, SweepOutput};
 pub use tof::{BandSample, TofEstimate, TofEstimator};

@@ -44,12 +44,18 @@ impl TauGrid {
 }
 
 /// The materialized NDFT operator.
+///
+/// The matrix is stored as one contiguous row-major buffer so the
+/// forward/adjoint loops — the innermost loops of the whole estimator —
+/// stream memory linearly. Construction (and the power iteration for the
+/// operator norm) is the expensive part; sessions that sweep the same band
+/// plan should build the operator once via a `PlanCache` and share it.
 #[derive(Debug, Clone)]
 pub struct Ndft {
     freqs_hz: Vec<f64>,
     grid: TauGrid,
-    /// Row-major `n x m` matrix entries.
-    rows: Vec<Vec<Complex64>>,
+    /// Row-major `n x m` matrix entries, row `i` = frequency `i`.
+    mat: Vec<Complex64>,
 }
 
 impl Ndft {
@@ -61,18 +67,14 @@ impl Ndft {
     pub fn new(freqs_hz: &[f64], grid: TauGrid) -> Self {
         assert!(!freqs_hz.is_empty(), "need at least one frequency");
         assert!(grid.len > 0, "grid must be non-empty");
-        let rows = freqs_hz
-            .iter()
-            .map(|f| {
-                (0..grid.len)
-                    .map(|k| {
-                        let tau_s = grid.tau_at(k) * 1e-9;
-                        Complex64::cis(-2.0 * PI * f * tau_s)
-                    })
-                    .collect()
-            })
-            .collect();
-        Ndft { freqs_hz: freqs_hz.to_vec(), grid, rows }
+        let mut mat = Vec::with_capacity(freqs_hz.len() * grid.len);
+        for f in freqs_hz {
+            for k in 0..grid.len {
+                let tau_s = grid.tau_at(k) * 1e-9;
+                mat.push(Complex64::cis(-2.0 * PI * f * tau_s));
+            }
+        }
+        Ndft { freqs_hz: freqs_hz.to_vec(), grid, mat }
     }
 
     /// Number of measurement frequencies (rows).
@@ -98,8 +100,8 @@ impl Ndft {
     /// Forward transform: `h = F p` (profile -> measurements).
     pub fn forward(&self, p: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(p.len(), self.grid.len, "forward: profile length mismatch");
-        self.rows
-            .iter()
+        self.mat
+            .chunks_exact(self.grid.len)
             .map(|row| {
                 let mut acc = Complex64::ZERO;
                 for (a, b) in row.iter().zip(p.iter()) {
@@ -114,9 +116,9 @@ impl Ndft {
     pub fn adjoint(&self, h: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(h.len(), self.freqs_hz.len(), "adjoint: measurement length mismatch");
         let mut out = vec![Complex64::ZERO; self.grid.len];
-        for (row, hi) in self.rows.iter().zip(h.iter()) {
-            for (k, a) in row.iter().enumerate() {
-                out[k] += a.conj() * *hi;
+        for (row, hi) in self.mat.chunks_exact(self.grid.len).zip(h.iter()) {
+            for (o, a) in out.iter_mut().zip(row.iter()) {
+                *o += a.conj() * *hi;
             }
         }
         out

@@ -20,7 +20,7 @@
 //! fourth power (see [`crate::quirk`]).
 
 use crate::error::ChronosError;
-use chronos_math::spline::{linear_interp, CubicSpline};
+use chronos_math::spline::{linear_interp, CubicSpline, SplinePlan};
 use chronos_math::unwrap::unwrap_in_place;
 use chronos_math::Complex64;
 use chronos_rf::csi::CsiCapture;
@@ -44,6 +44,22 @@ pub fn interpolate_h0(
     interpolation: Interpolation,
     quirk_aware: bool,
 ) -> Result<Complex64, ChronosError> {
+    interpolate_h0_planned(capture, interpolation, quirk_aware, None)
+}
+
+/// [`interpolate_h0`] with an optional precomputed spline factorization.
+///
+/// When `plan` is present and was built for exactly this capture's
+/// subcarrier abscissae, the per-capture tridiagonal refactorization is
+/// skipped; [`SplinePlan::fit`] is bitwise-identical to a fresh
+/// [`CubicSpline::fit`], so the result is unchanged. A plan for different
+/// knots is ignored (correctness over reuse).
+pub fn interpolate_h0_planned(
+    capture: &CsiCapture,
+    interpolation: Interpolation,
+    quirk_aware: bool,
+    plan: Option<&SplinePlan>,
+) -> Result<Complex64, ChronosError> {
     let n = capture.csi.len();
     if n != capture.layout.len() {
         return Err(ChronosError::BadCapture("csi length != layout length"));
@@ -56,6 +72,14 @@ pub fn interpolate_h0(
     }
 
     let xs: Vec<f64> = capture.layout.indices().iter().map(|k| *k as f64).collect();
+    let plan = plan.filter(|p| p.xs() == xs.as_slice());
+    let fit_spline = |ys: &[f64]| -> Result<CubicSpline, ChronosError> {
+        match plan {
+            Some(p) => p.fit(ys),
+            None => CubicSpline::fit(&xs, ys),
+        }
+        .map_err(|_| ChronosError::BadCapture("spline fit failed"))
+    };
 
     // Phase track: unwrap (possibly at 4x scale), then interpolate.
     let scale = if quirk_aware { 4.0 } else { 1.0 };
@@ -66,22 +90,14 @@ pub fn interpolate_h0(
         .collect();
     unwrap_in_place(&mut phases);
     let phase0 = match interpolation {
-        Interpolation::CubicSpline => {
-            let s = CubicSpline::fit(&xs, &phases)
-                .map_err(|_| ChronosError::BadCapture("spline fit failed"))?;
-            s.eval(0.0)
-        }
+        Interpolation::CubicSpline => fit_spline(&phases)?.eval(0.0),
         Interpolation::Linear => linear_interp(&xs, &phases, 0.0),
     } / scale;
 
     // Magnitude track.
     let mags: Vec<f64> = capture.csi.iter().map(|z| z.abs()).collect();
     let mag0 = match interpolation {
-        Interpolation::CubicSpline => {
-            let s = CubicSpline::fit(&xs, &mags)
-                .map_err(|_| ChronosError::BadCapture("spline fit failed"))?;
-            s.eval(0.0)
-        }
+        Interpolation::CubicSpline => fit_spline(&mags)?.eval(0.0),
         Interpolation::Linear => linear_interp(&xs, &mags, 0.0),
     }
     .max(0.0);
@@ -201,6 +217,25 @@ mod tests {
             cap.csi.iter().map(|z| z.abs()).sum::<f64>() / cap.csi.len() as f64;
         assert!(h0.abs() > 0.0);
         assert!((h0.abs() - mean_mag).abs() < 0.5 * mean_mag);
+    }
+
+    #[test]
+    fn planned_interpolation_is_bitwise_identical() {
+        let cap = capture_with(4.5, 120.0, 64, false);
+        let xs: Vec<f64> = cap.layout.indices().iter().map(|k| *k as f64).collect();
+        let plan = SplinePlan::new(&xs).unwrap();
+        let direct = interpolate_h0(&cap, Interpolation::CubicSpline, false).unwrap();
+        let planned =
+            interpolate_h0_planned(&cap, Interpolation::CubicSpline, false, Some(&plan))
+                .unwrap();
+        assert_eq!(direct.re.to_bits(), planned.re.to_bits());
+        assert_eq!(direct.im.to_bits(), planned.im.to_bits());
+        // A plan for the wrong knots is ignored, not misapplied.
+        let wrong = SplinePlan::new(&[0.0, 1.0, 2.0, 3.0]).unwrap();
+        let guarded =
+            interpolate_h0_planned(&cap, Interpolation::CubicSpline, false, Some(&wrong))
+                .unwrap();
+        assert_eq!(direct.re.to_bits(), guarded.re.to_bits());
     }
 
     #[test]

@@ -16,7 +16,8 @@
 
 use crate::config::QuirkMode;
 use crate::error::ChronosError;
-use crate::phase::{interpolate_h0, Interpolation};
+use crate::phase::{interpolate_h0_planned, Interpolation};
+use chronos_math::spline::SplinePlan;
 use chronos_math::Complex64;
 use chronos_rf::csi::Measurement;
 
@@ -49,6 +50,19 @@ pub fn combine_band(
     interpolation: Interpolation,
     mode: QuirkMode,
 ) -> Result<BandProduct, ChronosError> {
+    combine_band_planned(measurements, interpolation, mode, None)
+}
+
+/// [`combine_band`] with an optional shared spline factorization for the
+/// zero-subcarrier interpolation (see
+/// [`crate::phase::interpolate_h0_planned`]). Identical results; the plan
+/// only skips redundant per-capture refactorization.
+pub fn combine_band_planned(
+    measurements: &[Measurement],
+    interpolation: Interpolation,
+    mode: QuirkMode,
+    spline_plan: Option<&SplinePlan>,
+) -> Result<BandProduct, ChronosError> {
     let first = measurements.first().ok_or(ChronosError::TooFewBands { got: 0, need: 1 })?;
     let band = first.forward.band;
     let quirked = mode == QuirkMode::Intel5300 && band.group.is_2g4();
@@ -57,8 +71,8 @@ pub fn combine_band(
     let mut n = 0usize;
     for m in measurements {
         debug_assert_eq!(m.forward.band.channel, band.channel, "mixed bands");
-        let h_f = interpolate_h0(&m.forward, interpolation, quirked)?;
-        let h_r = interpolate_h0(&m.reverse, interpolation, quirked)?;
+        let h_f = interpolate_h0_planned(&m.forward, interpolation, quirked, spline_plan)?;
+        let h_r = interpolate_h0_planned(&m.reverse, interpolation, quirked, spline_plan)?;
         let p = h_f * h_r;
         let contribution = if quirked { p.powi(4) } else { p };
         acc += contribution;

@@ -1,0 +1,439 @@
+//! Multi-client ranging service: one access point localizing many
+//! clients concurrently, sharing the numeric hot path.
+//!
+//! The paper demonstrates one pair of devices. The service layer scales
+//! that design out the way a production deployment would:
+//!
+//! * **Shared plans.** Every client sweeps the same Wi-Fi band plan, so
+//!   the NDFT operators, operator norms, lobe tables and spline
+//!   factorizations are identical across clients. A single
+//!   [`PlanCache`] (built lazily on the first sweep) serves all of them;
+//!   per-client estimation borrows immutable `Arc`s instead of
+//!   rebuilding the machinery per sweep (see [`crate::plan`]).
+//! * **Airtime arbitration.** Sweeps go through a
+//!   [`MediumArbiter`], which staggers their starts, caps how many hop
+//!   concurrently, and charges each overlapping sweep a collision loss —
+//!   so N clients contend for the medium the way real hoppers would,
+//!   and reported throughput includes the protocol cost of contention.
+//! * **Parallel inversion.** Per-client profile inversion (the CPU-bound
+//!   part: ISTA over the shared NDFT plan) runs on scoped worker
+//!   threads; simulation determinism is preserved by giving every
+//!   (client, epoch) its own seeded generator, so results are
+//!   independent of the thread schedule.
+//!
+//! A [`RangingService::run_epoch`] call plays one round: every client is
+//! admitted, sweeps, and is estimated; the [`EpochReport`] carries
+//! per-client outcomes plus medium utilization and cache statistics.
+
+use crate::config::ChronosConfig;
+use crate::plan::{CacheStats, PlanCache};
+use crate::session::ChronosSession;
+use chronos_link::arbiter::{ArbiterConfig, MediumArbiter, SweepGrant};
+use chronos_link::sweep::SweepConfig;
+use chronos_link::time::{Duration, Instant};
+use chronos_rf::csi::MeasurementContext;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Service-level policy.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Airtime arbitration policy.
+    pub arbiter: ArbiterConfig,
+    /// Projected sweep duration used for admission (a standard 35-band
+    /// sweep takes ~84 ms; a little headroom absorbs retransmissions).
+    pub expected_sweep: Duration,
+    /// Worker threads for per-client estimation; 0 = one per available
+    /// core.
+    pub threads: usize,
+    /// Idle gap inserted between epochs.
+    pub epoch_gap: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            arbiter: ArbiterConfig::default(),
+            expected_sweep: Duration::from_millis(95),
+            threads: 0,
+            epoch_gap: Duration::from_millis(5),
+        }
+    }
+}
+
+/// One client's result within an epoch.
+#[derive(Debug, Clone)]
+pub struct ClientOutcome {
+    /// Client index within the service.
+    pub client: usize,
+    /// Admitted sweep start.
+    pub started: Instant,
+    /// Link-layer finish time.
+    pub finished: Instant,
+    /// Concurrent sweeps at admission.
+    pub concurrent: usize,
+    /// Contention loss the sweep ran with (added to the base medium
+    /// loss).
+    pub extra_loss: f64,
+    /// Whether the link-layer sweep covered the full plan.
+    pub link_complete: bool,
+    /// Mean estimated distance across successful antennas, meters.
+    pub distance_m: Option<f64>,
+    /// Ground-truth device distance, meters.
+    pub truth_m: f64,
+    /// Absolute ranging error, meters (when an estimate exists).
+    pub error_m: Option<f64>,
+}
+
+/// The result of one service round.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Epoch counter.
+    pub epoch: u64,
+    /// Epoch start on the simulated clock.
+    pub started: Instant,
+    /// Simulated span from epoch start to the last sweep's end.
+    pub airtime_span: Duration,
+    /// Fraction of the span with at least one sweep on the air.
+    pub utilization: f64,
+    /// Per-client outcomes, ordered by client index.
+    pub outcomes: Vec<ClientOutcome>,
+    /// Host wall-clock time spent producing the epoch (sweep simulation
+    /// plus estimation across all worker threads).
+    pub wall: std::time::Duration,
+    /// Plan-cache counters after the epoch.
+    pub cache: CacheStats,
+}
+
+impl EpochReport {
+    /// Clients whose sweep produced a distance estimate.
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.distance_m.is_some()).count()
+    }
+
+    /// Mean absolute ranging error over completed clients, meters.
+    pub fn mean_abs_error_m(&self) -> Option<f64> {
+        let errs: Vec<f64> = self.outcomes.iter().filter_map(|o| o.error_m).collect();
+        if errs.is_empty() {
+            None
+        } else {
+            Some(errs.iter().sum::<f64>() / errs.len() as f64)
+        }
+    }
+
+    /// Localization throughput over simulated airtime: completed sweeps
+    /// per second of medium time. This is the capacity figure an AP
+    /// operator cares about.
+    pub fn sweeps_per_sec_airtime(&self) -> f64 {
+        let span = self.airtime_span.as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.completed() as f64 / span
+        }
+    }
+}
+
+/// A pool of [`ChronosSession`]s sharing one [`PlanCache`] and one
+/// arbitrated medium.
+#[derive(Debug)]
+pub struct RangingService {
+    cfg: ServiceConfig,
+    plans: Arc<PlanCache>,
+    clients: Vec<ChronosSession>,
+    arbiter: MediumArbiter,
+    clock: Instant,
+    epoch: u64,
+}
+
+impl RangingService {
+    /// Creates an empty service with a fresh plan cache.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        Self::with_cache(cfg, Arc::new(PlanCache::new()))
+    }
+
+    /// Creates a service that shares an existing plan cache (e.g. one
+    /// warmed by another service instance or process stage).
+    pub fn with_cache(cfg: ServiceConfig, plans: Arc<PlanCache>) -> Self {
+        let arbiter = MediumArbiter::new(cfg.arbiter);
+        RangingService {
+            cfg,
+            plans,
+            clients: Vec::new(),
+            arbiter,
+            clock: Instant::ZERO,
+            epoch: 0,
+        }
+    }
+
+    /// The shared plan cache.
+    pub fn plans(&self) -> &Arc<PlanCache> {
+        &self.plans
+    }
+
+    /// Adds a client from its physical measurement context; returns its
+    /// index. The client's session borrows the service's plan cache.
+    pub fn add_client(&mut self, ctx: MeasurementContext, config: ChronosConfig) -> usize {
+        let session = ChronosSession::with_cache(ctx, config, Arc::clone(&self.plans));
+        self.clients.push(session);
+        self.clients.len() - 1
+    }
+
+    /// Adopts an existing session as a client (its plan cache is replaced
+    /// by the service's shared one).
+    pub fn add_session(&mut self, mut session: ChronosSession) -> usize {
+        session.plans = Some(Arc::clone(&self.plans));
+        self.clients.push(session);
+        self.clients.len() - 1
+    }
+
+    /// Number of clients.
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Immutable access to a client session.
+    pub fn client(&self, idx: usize) -> &ChronosSession {
+        &self.clients[idx]
+    }
+
+    /// Mutable access to a client session (geometry updates, config
+    /// tweaks between epochs).
+    pub fn client_mut(&mut self, idx: usize) -> &mut ChronosSession {
+        &mut self.clients[idx]
+    }
+
+    /// Calibrates every client at its current (known) geometry with `n`
+    /// sweeps each (paper §7 obs. 2). Sequential: calibration is a
+    /// one-time setup step.
+    pub fn calibrate_all(&mut self, seed: u64, n: usize) {
+        for (i, session) in self.clients.iter_mut().enumerate() {
+            let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0, i));
+            session.calibrate(&mut rng, n);
+        }
+    }
+
+    /// Worker-thread count for this run.
+    fn thread_count(&self) -> usize {
+        if self.cfg.threads > 0 {
+            self.cfg.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        }
+        .max(1)
+    }
+
+    /// Runs one epoch: admit every client through the arbiter, run the
+    /// granted sweeps (estimation parallelized across worker threads),
+    /// then advance the service clock past the epoch's horizon.
+    pub fn run_epoch(&mut self, seed: u64) -> EpochReport {
+        let epoch_start = self.clock;
+        let epoch = self.epoch;
+        self.epoch += 1;
+
+        // Admission (deterministic order = client order).
+        let grants: Vec<SweepGrant> = (0..self.clients.len())
+            .map(|_| self.arbiter.admit(epoch_start, self.cfg.expected_sweep))
+            .collect();
+
+        // Per-client contention-adjusted link configs.
+        struct Job {
+            client: usize,
+            grant: SweepGrant,
+            sweep_cfg: SweepConfig,
+            rng_seed: u64,
+        }
+        let jobs: Vec<Job> = grants
+            .iter()
+            .enumerate()
+            .map(|(i, grant)| {
+                let mut sweep_cfg = self.clients[i].sweep_cfg.clone();
+                sweep_cfg.medium.loss_prob =
+                    (sweep_cfg.medium.loss_prob + grant.extra_loss).min(0.9);
+                Job {
+                    client: i,
+                    grant: *grant,
+                    sweep_cfg,
+                    rng_seed: mix_seed(seed, epoch + 1, i),
+                }
+            })
+            .collect();
+
+        // Parallel sweep + estimation. Each job owns its RNG; the thread
+        // schedule cannot change any result.
+        let wall_start = std::time::Instant::now();
+        let n_threads = self.thread_count();
+        let chunk = jobs.len().div_ceil(n_threads).max(1);
+        let clients = &self.clients;
+        let mut results: Vec<(usize, SweepGrant, crate::session::SweepOutput)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            slice
+                                .iter()
+                                .map(|job| {
+                                    let mut rng = StdRng::seed_from_u64(job.rng_seed);
+                                    let out = clients[job.client].sweep_with(
+                                        &job.sweep_cfg,
+                                        &mut rng,
+                                        job.grant.start,
+                                    );
+                                    (job.client, job.grant, out)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("service worker panicked"))
+                    .collect()
+            });
+        let wall = wall_start.elapsed();
+        results.sort_by_key(|(client, _, _)| *client);
+
+        // Feed actual finish times back into the arbiter, then build the
+        // report.
+        let mut outcomes = Vec::with_capacity(results.len());
+        for (client, grant, out) in &results {
+            self.arbiter.complete(grant.token, out.link.finished);
+            let truth_m = self.clients[*client].truth_distance_m();
+            let distance_m = out.mean_distance_m();
+            outcomes.push(ClientOutcome {
+                client: *client,
+                started: out.link.started,
+                finished: out.link.finished,
+                concurrent: grant.concurrent,
+                extra_loss: grant.extra_loss,
+                link_complete: out.link.complete,
+                distance_m,
+                truth_m,
+                error_m: distance_m.map(|d| (d - truth_m).abs()),
+            });
+        }
+
+        let horizon = self.arbiter.horizon().max(epoch_start);
+        let airtime_span = horizon.saturating_since(epoch_start);
+        let utilization = self.arbiter.utilization(epoch_start, horizon);
+        self.clock = horizon + self.cfg.epoch_gap;
+        self.arbiter.release_before(self.clock);
+
+        EpochReport {
+            epoch,
+            started: epoch_start,
+            airtime_span,
+            utilization,
+            outcomes,
+            wall,
+            cache: self.plans.stats(),
+        }
+    }
+}
+
+/// Mixes (seed, epoch, client) into an independent RNG stream.
+fn mix_seed(seed: u64, epoch: u64, client: usize) -> u64 {
+    let mut x = seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= (client as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_rf::environment::Environment;
+    use chronos_rf::geometry::Point;
+    use chronos_rf::hardware::{ideal_device, AntennaArray};
+
+    fn ideal_ctx(d: f64) -> MeasurementContext {
+        let mut ctx = MeasurementContext::new(
+            Environment::free_space(),
+            ideal_device(AntennaArray::single()),
+            Point::new(0.0, 0.0),
+            ideal_device(AntennaArray::laptop()),
+            Point::new(d, 0.0),
+        );
+        ctx.snr.snr_at_1m_db = 60.0;
+        ctx
+    }
+
+    fn service_with(n: usize) -> RangingService {
+        let mut svc = RangingService::new(ServiceConfig::default());
+        for i in 0..n {
+            let id = svc.add_client(ideal_ctx(2.0 + i as f64), ChronosConfig::ideal());
+            svc.client_mut(id).sweep_cfg.medium.loss_prob = 0.0;
+        }
+        svc
+    }
+
+    #[test]
+    fn epoch_estimates_every_client() {
+        let mut svc = service_with(3);
+        let report = svc.run_epoch(7);
+        assert_eq!(report.outcomes.len(), 3);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.client, i);
+            let err = o.error_m.expect("estimate");
+            assert!(err < 0.3, "client {i} error {err}");
+        }
+        assert!(report.utilization > 0.0);
+        assert!(report.sweeps_per_sec_airtime() > 0.0);
+    }
+
+    #[test]
+    fn clients_share_one_plan_cache() {
+        let mut svc = service_with(4);
+        let report = svc.run_epoch(1);
+        // Ideal mode, identical grids: every client needs the same NDFT
+        // plan, so exactly one is ever built (plus one spline plan).
+        assert_eq!(report.cache.ndft_entries, 1);
+        assert_eq!(report.cache.spline_entries, 1);
+        assert!(report.cache.hits > report.cache.misses, "{:?}", report.cache);
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let run = |threads: usize| {
+            let mut svc = service_with(4);
+            let mut cfg = ServiceConfig::default();
+            cfg.threads = threads;
+            svc.cfg = cfg;
+            let r = svc.run_epoch(3);
+            r.outcomes.iter().map(|o| o.distance_m.unwrap().to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn epochs_advance_the_clock_and_stay_deterministic() {
+        let mut svc = service_with(2);
+        let a = svc.run_epoch(5);
+        let b = svc.run_epoch(5);
+        assert!(b.started > a.started);
+        assert_eq!(a.epoch, 0);
+        assert_eq!(b.epoch, 1);
+        // Same service construction, same seeds => same outcome stream.
+        let mut svc2 = service_with(2);
+        let a2 = svc2.run_epoch(5);
+        for (x, y) in a.outcomes.iter().zip(a2.outcomes.iter()) {
+            assert_eq!(
+                x.distance_m.map(f64::to_bits),
+                y.distance_m.map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn contention_reported_for_overlapping_sweeps() {
+        let mut svc = service_with(6);
+        let report = svc.run_epoch(11);
+        // With max_concurrent = 4 and six clients, some sweeps overlap
+        // and pay contention; the utilization must reflect real overlap.
+        assert!(report.outcomes.iter().any(|o| o.concurrent > 0));
+        assert!(report.outcomes.iter().any(|o| o.extra_loss > 0.0));
+        assert!(report.airtime_span > Duration::from_millis(80));
+    }
+}

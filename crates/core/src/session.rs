@@ -15,12 +15,14 @@
 use crate::config::ChronosConfig;
 use crate::error::ChronosError;
 use crate::localization::{locate, AntennaRange, LocalizerConfig, Position};
+use crate::plan::PlanCache;
 use crate::tof::{BandSample, TofEstimate, TofEstimator};
 use chronos_link::sweep::{run_sweep, SweepConfig, SweepResult};
 use chronos_link::time::Instant;
 use chronos_rf::csi::MeasurementContext;
 use chronos_rf::ofdm::SubcarrierLayout;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Output of one localization sweep.
 #[derive(Debug, Clone)]
@@ -65,6 +67,11 @@ pub struct ChronosSession {
     pub localizer: LocalizerConfig,
     /// Subcarrier layout reported by the hardware.
     pub layout: SubcarrierLayout,
+    /// Optional shared plan cache; when present the estimation hot path
+    /// (NDFT operators, operator norms, lobe tables, spline plans) is
+    /// borrowed from the cache instead of rebuilt per sweep. Many
+    /// sessions may share one cache — see [`crate::service`].
+    pub plans: Option<Arc<PlanCache>>,
 }
 
 impl ChronosSession {
@@ -76,14 +83,48 @@ impl ChronosSession {
             config,
             localizer: LocalizerConfig::default(),
             layout: SubcarrierLayout::intel5300(),
+            plans: None,
+        }
+    }
+
+    /// Creates a session whose estimator borrows precomputed plans from a
+    /// shared [`PlanCache`]. Estimates are identical to an uncached
+    /// session; only the redundant per-sweep plan construction goes away.
+    pub fn with_cache(
+        ctx: MeasurementContext,
+        config: ChronosConfig,
+        plans: Arc<PlanCache>,
+    ) -> Self {
+        let mut s = ChronosSession::new(ctx, config);
+        s.plans = Some(plans);
+        s
+    }
+
+    /// The estimator this session sweeps with (cache-aware).
+    fn estimator(&self) -> TofEstimator {
+        match &self.plans {
+            Some(cache) => TofEstimator::with_cache(self.config.clone(), Arc::clone(cache)),
+            None => TofEstimator::new(self.config.clone()),
         }
     }
 
     /// Runs one full localization sweep starting at `t`.
     pub fn sweep<R: Rng + ?Sized>(&self, rng: &mut R, t: Instant) -> SweepOutput {
-        let link = run_sweep(&self.sweep_cfg, t, rng);
+        self.sweep_with(&self.sweep_cfg, rng, t)
+    }
+
+    /// Runs one sweep under an explicit link configuration — used by the
+    /// multi-client service, whose airtime arbiter hands each client a
+    /// contention-adjusted copy of its sweep config.
+    pub fn sweep_with<R: Rng + ?Sized>(
+        &self,
+        sweep_cfg: &SweepConfig,
+        rng: &mut R,
+        t: Instant,
+    ) -> SweepOutput {
+        let link = run_sweep(sweep_cfg, t, rng);
         let n_rx = self.ctx.responder.antennas.len();
-        let plan = &self.sweep_cfg.plan;
+        let plan = &sweep_cfg.plan;
 
         // Collect per-antenna, per-band measurement sets. The ACK antenna
         // rotates per exchange within each band.
@@ -110,7 +151,7 @@ impl ChronosSession {
         }
 
         // Estimate per antenna.
-        let estimator = TofEstimator::new(self.config.clone());
+        let estimator = self.estimator();
         let tofs: Vec<Result<TofEstimate, ChronosError>> = per_antenna
             .iter()
             .map(|bands| {

@@ -17,14 +17,17 @@
 
 use crate::config::ChronosConfig;
 use crate::error::ChronosError;
-use crate::ista::{solve, IstaConfig};
+use crate::ista::{solve_planned, IstaConfig};
 use crate::ndft::{Ndft, TauGrid};
 use crate::phase::Interpolation;
+use crate::plan::{NdftPlan, PlanCache};
 use crate::profile::MultipathProfile;
 use crate::quirk::group_by_scale;
-use crate::reciprocity::{combine_band, BandProduct};
+use crate::reciprocity::{combine_band_planned, BandProduct};
+use chronos_math::spline::SplinePlan;
 use chronos_math::Complex64;
 use chronos_rf::csi::Measurement;
+use std::sync::Arc;
 
 /// All measurements of one band (the exchanges of one dwell).
 #[derive(Debug, Clone)]
@@ -67,21 +70,63 @@ pub struct TofEstimator {
     pub config: ChronosConfig,
     /// Interpolation backend for zero-subcarrier recovery.
     pub interpolation: Interpolation,
+    /// Optional shared plan cache. With a cache, NDFT operators, operator
+    /// norms, lobe tables and spline factorizations are built once and
+    /// reused across every call (and every other estimator holding the
+    /// same cache); without one they are rebuilt per estimate. Results
+    /// are identical either way.
+    pub plans: Option<Arc<PlanCache>>,
 }
 
 impl TofEstimator {
     /// Creates an estimator with the given configuration and the paper's
-    /// cubic-spline interpolation.
+    /// cubic-spline interpolation. Plans are rebuilt per call; use
+    /// [`TofEstimator::with_cache`] to share them.
     pub fn new(config: ChronosConfig) -> Self {
-        TofEstimator { config, interpolation: Interpolation::CubicSpline }
+        TofEstimator { config, interpolation: Interpolation::CubicSpline, plans: None }
+    }
+
+    /// Creates an estimator that reuses plans from a shared [`PlanCache`].
+    pub fn with_cache(config: ChronosConfig, plans: Arc<PlanCache>) -> Self {
+        TofEstimator { config, interpolation: Interpolation::CubicSpline, plans: Some(plans) }
+    }
+
+    /// The NDFT plan for one band group: from the shared cache when
+    /// present, built fresh otherwise. Both paths construct the plan with
+    /// identical arithmetic. The lobe scan uses the configured grid span
+    /// (not the grid's rounded-up extent), matching the pre-plan code.
+    fn plan_for(&self, freqs_hz: &[f64], grid: TauGrid) -> Arc<NdftPlan> {
+        let lobe_span_ns = self.config.grid_span_ns;
+        match &self.plans {
+            Some(cache) => cache.ndft_plan(freqs_hz, grid, lobe_span_ns),
+            None => Arc::new(NdftPlan::new(freqs_hz, grid, lobe_span_ns)),
+        }
+    }
+
+    /// The spline plan for the capture layout the band samples use, when a
+    /// cache is attached (per-call fitting stays exact without one).
+    fn spline_plan_for(&self, bands: &[BandSample]) -> Option<Arc<SplinePlan>> {
+        let cache = self.plans.as_ref()?;
+        let first = bands.iter().find_map(|b| b.measurements.first())?;
+        let xs: Vec<f64> =
+            first.forward.layout.indices().iter().map(|k| *k as f64).collect();
+        cache.spline_plan(&xs).ok()
     }
 
     /// Combines raw band samples into CFO-free products.
     pub fn products(&self, bands: &[BandSample]) -> Result<Vec<BandProduct>, ChronosError> {
+        let spline_plan = self.spline_plan_for(bands);
         bands
             .iter()
             .filter(|b| !b.measurements.is_empty())
-            .map(|b| combine_band(&b.measurements, self.interpolation, self.config.mode))
+            .map(|b| {
+                combine_band_planned(
+                    &b.measurements,
+                    self.interpolation,
+                    self.config.mode,
+                    spline_plan.as_deref(),
+                )
+            })
             .collect()
     }
 
@@ -118,18 +163,19 @@ impl TofEstimator {
                 continue; // not enough bands to invert meaningfully
             }
             let grid = TauGrid::span(self.config.grid_span_ns, self.config.grid_step_ns);
-            let ndft = Ndft::new(&g.freqs_hz, grid);
+            let plan = self.plan_for(&g.freqs_hz, grid);
+            let ndft = &plan.ndft;
             let ista_cfg = IstaConfig {
                 alpha_rel: self.config.alpha_rel,
                 max_iters: self.config.max_iters,
                 epsilon: self.config.epsilon,
                 accelerated: self.config.accelerated,
             };
-            let sol = solve(&ndft, &g.values, &ista_cfg);
+            let sol = solve_planned(&plan, &g.values, &ista_cfg);
             let p_final = if self.config.debias {
                 // Overdetermined refit: at most half as many atoms as bands.
                 let max_atoms = (g.len() / 2).max(3);
-                crate::ista::debias(&ndft, &g.values, &sol.p, max_atoms, 3)
+                crate::ista::debias(ndft, &g.values, &sol.p, max_atoms, 3)
             } else {
                 sol.p
             };
@@ -148,17 +194,13 @@ impl TofEstimator {
             let min_profile_x = (self.config.calibration_ns - 2.0).max(0.0) * g.delay_scale;
             // Grating-lobe offsets of this group's band plan: content at D
             // leaks coherent ghosts to D - offset, which first-peak
-            // selection must suspect.
-            let lobes = crate::profile::strong_lobe_offsets(
-                &g.freqs_hz,
-                0.5,
-                self.config.grid_span_ns,
-            );
+            // selection must suspect. Precomputed in the plan.
+            let lobes = &plan.lobe_offsets;
             // A failure of a *secondary* group (e.g. the coarse 2.4 GHz
             // check aliasing outside the grid) must not kill the estimate;
             // only the primary group's failure is fatal.
             let peak = match select_first_path(
-                &ndft,
+                ndft,
                 &g.values,
                 &profile,
                 &p_final,
@@ -168,7 +210,7 @@ impl TofEstimator {
                 self.config.sidelobe_veto_ratio,
                 min_profile_x,
                 self.config.atom_snr_min,
-                &lobes,
+                lobes,
             ) {
                 Ok(p) => p,
                 Err(e) => {
@@ -179,7 +221,7 @@ impl TofEstimator {
                 }
             };
             let refined = crate::profile::refine_first_peak_clean(
-                &ndft, &g.values, &p_final, &peak, min_sep, res_ns,
+                ndft, &g.values, &p_final, &peak, min_sep, res_ns,
             );
             let raw_tof_ns = refined / g.delay_scale;
             estimates.push(GroupEstimate {

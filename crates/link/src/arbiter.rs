@@ -1,0 +1,322 @@
+//! Airtime arbitration for many concurrent ranging clients.
+//!
+//! One Chronos pair owns the medium for ~84 ms per sweep (paper §4, Fig.
+//! 9a). A service localizing N clients cannot simply run N sweeps at once
+//! on one access point: sweeps that overlap in time contend for airtime.
+//! The saving grace is that a sweep *hops* — each pair dwells only 2–3 ms
+//! per band — so two overlapping sweeps usually occupy different bands
+//! and collide only when their dwells land on the same channel. The
+//! [`MediumArbiter`] models exactly that regime:
+//!
+//! * at most [`ArbiterConfig::max_concurrent`] sweeps may overlap; beyond
+//!   that, admission is deferred to the next free slot (clients queue,
+//!   which is what an enterprise AP scheduler would do);
+//! * admitted sweeps are staggered by a guard interval so their dwell
+//!   patterns interleave instead of starting phase-aligned (phase-aligned
+//!   hoppers would collide on *every* band);
+//! * each admitted sweep pays an extra per-frame loss probability of
+//!   [`ArbiterConfig::collision_loss_per_peer`] per concurrent peer —
+//!   the chance that a foreign dwell sits on the same band and a frame
+//!   collides. The sweep protocol's retransmissions then turn that loss
+//!   into the realistic throughput cost of contention (longer sweeps,
+//!   occasional fail-safes), the same mechanism the paper's §12.3
+//!   co-existence experiments exercise.
+//!
+//! The arbiter is deterministic and allocation-light: admission is a scan
+//! over the currently tracked windows, and completed sweeps report their
+//! actual finish so the projection stays honest.
+
+use crate::time::{Duration, Instant};
+
+/// Arbitration policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ArbiterConfig {
+    /// Maximum sweeps allowed to overlap in time. Hop-pattern interleaving
+    /// keeps a handful of concurrent hoppers efficient; beyond that the
+    /// collision cost outweighs the parallelism.
+    pub max_concurrent: usize,
+    /// Minimum spacing between the *starts* of overlapping sweeps, so
+    /// dwell patterns interleave.
+    pub guard: Duration,
+    /// Extra per-frame loss probability per concurrent peer (same-band
+    /// dwell collisions).
+    pub collision_loss_per_peer: f64,
+    /// Upper bound on the contention-induced loss increment.
+    pub max_extra_loss: f64,
+}
+
+impl Default for ArbiterConfig {
+    fn default() -> Self {
+        ArbiterConfig {
+            // A dwell is ~2.4 ms of a ~84 ms sweep: a foreign hopper sits
+            // on "our" band ~1/35 of the time, and only a fraction of a
+            // dwell is airtime. 1.5% per peer is the measured-order cost.
+            max_concurrent: 4,
+            guard: Duration::from_millis(3),
+            collision_loss_per_peer: 0.015,
+            max_extra_loss: 0.25,
+        }
+    }
+}
+
+/// What the arbiter granted one sweep request.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepGrant {
+    /// Token identifying the tracked window (for [`MediumArbiter::complete`]).
+    pub token: usize,
+    /// Admitted start time (>= the requested time).
+    pub start: Instant,
+    /// Projected end used for admission of later requests.
+    pub expected_end: Instant,
+    /// Number of already-admitted sweeps this one overlaps at its start.
+    pub concurrent: usize,
+    /// Additional per-frame loss probability this sweep must run with.
+    pub extra_loss: f64,
+}
+
+/// A tracked (projected or actual) sweep window.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    token: usize,
+    start: Instant,
+    end: Instant,
+}
+
+/// Deterministic airtime admission control for concurrent band sweeps.
+#[derive(Debug, Clone)]
+pub struct MediumArbiter {
+    cfg: ArbiterConfig,
+    windows: Vec<Window>,
+    next_token: usize,
+}
+
+impl MediumArbiter {
+    /// Creates an arbiter with the given policy.
+    pub fn new(cfg: ArbiterConfig) -> Self {
+        MediumArbiter { cfg, windows: Vec::new(), next_token: 0 }
+    }
+
+    /// Number of tracked windows overlapping the interval `[start, end)`.
+    fn overlaps(&self, start: Instant, end: Instant) -> usize {
+        self.windows.iter().filter(|w| w.start < end && start < w.end).count()
+    }
+
+    /// Whether `t` keeps the start-stagger guard against every tracked
+    /// window it would overlap; returns the earliest compliant time at or
+    /// after `t` otherwise.
+    fn respect_guard(&self, t: Instant, expected: Duration) -> Instant {
+        let end = t + expected;
+        let mut bumped = t;
+        for w in &self.windows {
+            if w.start < end && bumped < w.end {
+                let gap = if bumped >= w.start {
+                    bumped.saturating_since(w.start)
+                } else {
+                    w.start.saturating_since(bumped)
+                };
+                if gap < self.cfg.guard {
+                    bumped = bumped.max(w.start + self.cfg.guard);
+                }
+            }
+        }
+        bumped
+    }
+
+    /// Admits a sweep expected to take `expected`, starting no earlier
+    /// than `not_before`. Deterministically returns the earliest start
+    /// satisfying the concurrency cap and stagger guard, plus the
+    /// contention loss the sweep must simulate with.
+    pub fn admit(&mut self, not_before: Instant, expected: Duration) -> SweepGrant {
+        let mut t = not_before;
+        // Candidate starts are `not_before` bumped over guard conflicts,
+        // or just past the end of an existing window. Bounded scan: each
+        // iteration either admits or moves `t` strictly forward to one of
+        // finitely many window edges.
+        for _ in 0..=self.windows.len() * 2 + 2 {
+            t = self.respect_guard(t, expected);
+            let end = t + expected;
+            if self.overlaps(t, end) < self.cfg.max_concurrent.max(1) {
+                break;
+            }
+            // Defer to the earliest end among currently-overlapping
+            // windows (that's when a slot frees up).
+            let next_free = self
+                .windows
+                .iter()
+                .filter(|w| w.start < end && t < w.end)
+                .map(|w| w.end)
+                .min()
+                .unwrap_or(end);
+            t = next_free.max(t + Duration::from_nanos(1));
+        }
+        let end = t + expected;
+        let concurrent = self.overlaps(t, end);
+        let extra_loss = (self.cfg.collision_loss_per_peer * concurrent as f64)
+            .min(self.cfg.max_extra_loss);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.windows.push(Window { token, start: t, end });
+        SweepGrant { token, start: t, expected_end: end, concurrent, extra_loss }
+    }
+
+    /// Reports the actual finish time of a granted sweep so the
+    /// projection reflects reality for later admissions.
+    pub fn complete(&mut self, token: usize, actual_end: Instant) {
+        if let Some(w) = self.windows.iter_mut().find(|w| w.token == token) {
+            w.end = actual_end.max(w.start);
+        }
+    }
+
+    /// Forgets windows that ended at or before `horizon` (epoch cleanup).
+    pub fn release_before(&mut self, horizon: Instant) {
+        self.windows.retain(|w| w.end > horizon);
+    }
+
+    /// Number of windows overlapping instant `t`.
+    pub fn active_at(&self, t: Instant) -> usize {
+        self.windows.iter().filter(|w| w.start <= t && t < w.end).count()
+    }
+
+    /// Fraction of `[from, to)` covered by at least one tracked window.
+    pub fn utilization(&self, from: Instant, to: Instant) -> f64 {
+        let span = to.saturating_since(from).as_nanos();
+        if span == 0 {
+            return 0.0;
+        }
+        // Merge-sweep over window edges (windows are few per epoch).
+        let mut edges: Vec<(u64, i64)> = Vec::with_capacity(self.windows.len() * 2);
+        for w in &self.windows {
+            let s = w.start.as_nanos().clamp(from.as_nanos(), to.as_nanos());
+            let e = w.end.as_nanos().clamp(from.as_nanos(), to.as_nanos());
+            if e > s {
+                edges.push((s, 1));
+                edges.push((e, -1));
+            }
+        }
+        edges.sort_unstable();
+        let mut covered = 0u64;
+        let mut depth = 0i64;
+        let mut last = from.as_nanos();
+        for (at, delta) in edges {
+            if depth > 0 {
+                covered += at - last;
+            }
+            last = at;
+            depth += delta;
+        }
+        covered as f64 / span as f64
+    }
+
+    /// The latest projected end among tracked windows (epoch horizon).
+    pub fn horizon(&self) -> Instant {
+        self.windows.iter().map(|w| w.end).max().unwrap_or(Instant::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Instant {
+        Instant::from_millis(n)
+    }
+
+    #[test]
+    fn first_admission_is_immediate_and_free() {
+        let mut arb = MediumArbiter::new(ArbiterConfig::default());
+        let g = arb.admit(ms(5), Duration::from_millis(90));
+        assert_eq!(g.start, ms(5));
+        assert_eq!(g.concurrent, 0);
+        assert_eq!(g.extra_loss, 0.0);
+    }
+
+    #[test]
+    fn overlapping_admissions_stagger_and_pay_contention() {
+        let mut arb = MediumArbiter::new(ArbiterConfig::default());
+        let d = Duration::from_millis(90);
+        let a = arb.admit(ms(0), d);
+        let b = arb.admit(ms(0), d);
+        let c = arb.admit(ms(0), d);
+        // Starts are staggered by at least the guard.
+        assert!(b.start.saturating_since(a.start) >= Duration::from_millis(3));
+        assert!(c.start.saturating_since(b.start) >= Duration::from_millis(3));
+        // Later admissions see more contention.
+        assert_eq!(b.concurrent, 1);
+        assert_eq!(c.concurrent, 2);
+        assert!(b.extra_loss > 0.0 && c.extra_loss > b.extra_loss);
+    }
+
+    #[test]
+    fn concurrency_cap_defers_admission() {
+        let cfg = ArbiterConfig { max_concurrent: 2, ..Default::default() };
+        let mut arb = MediumArbiter::new(cfg);
+        let d = Duration::from_millis(80);
+        let a = arb.admit(ms(0), d);
+        let b = arb.admit(ms(0), d);
+        let c = arb.admit(ms(0), d);
+        // The third sweep cannot overlap the first two: it starts when
+        // one of them ends.
+        assert!(c.start >= a.expected_end.min(b.expected_end));
+        assert!(c.concurrent < 2);
+    }
+
+    #[test]
+    fn extra_loss_capped() {
+        let cfg = ArbiterConfig {
+            max_concurrent: 64,
+            collision_loss_per_peer: 0.2,
+            max_extra_loss: 0.25,
+            ..Default::default()
+        };
+        let mut arb = MediumArbiter::new(cfg);
+        let d = Duration::from_millis(50);
+        for _ in 0..5 {
+            arb.admit(ms(0), d);
+        }
+        let g = arb.admit(ms(0), d);
+        assert!(g.extra_loss <= 0.25 + 1e-12);
+    }
+
+    #[test]
+    fn completion_tightens_projection() {
+        let cfg = ArbiterConfig { max_concurrent: 1, ..Default::default() };
+        let mut arb = MediumArbiter::new(cfg);
+        let a = arb.admit(ms(0), Duration::from_millis(100));
+        // The sweep actually finished early; the next admission may start
+        // at the real end rather than the projection.
+        arb.complete(a.token, ms(40));
+        let b = arb.admit(ms(0), Duration::from_millis(100));
+        assert!(b.start < ms(100), "start {:?}", b.start);
+        assert!(b.start >= ms(40));
+    }
+
+    #[test]
+    fn utilization_and_active_counts() {
+        let mut arb = MediumArbiter::new(ArbiterConfig::default());
+        let a = arb.admit(ms(0), Duration::from_millis(50));
+        assert_eq!(arb.active_at(a.start + Duration::from_millis(1)), 1);
+        // One 50 ms window in a 100 ms span = 50% utilization.
+        let u = arb.utilization(a.start, a.start + Duration::from_millis(100));
+        assert!((u - 0.5).abs() < 0.02, "utilization {u}");
+    }
+
+    #[test]
+    fn release_before_forgets_old_windows() {
+        let mut arb = MediumArbiter::new(ArbiterConfig::default());
+        arb.admit(ms(0), Duration::from_millis(10));
+        arb.release_before(ms(20));
+        assert_eq!(arb.active_at(ms(5)), 0);
+        assert_eq!(arb.horizon(), Instant::ZERO);
+    }
+
+    #[test]
+    fn deterministic_admission() {
+        let run = || {
+            let mut arb = MediumArbiter::new(ArbiterConfig::default());
+            (0..6)
+                .map(|_| arb.admit(ms(0), Duration::from_millis(84)).start.as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,7 +1,8 @@
 //! Drives a full band sweep through the hop protocol.
 //!
-//! [`run_sweep`] wires an [`fsm::Initiator`] and [`fsm::Responder`] through
-//! the [`medium`] over a deterministic [`event`] queue, sampling frame loss
+//! [`run_sweep`] wires an [`crate::fsm::Initiator`] and
+//! [`crate::fsm::Responder`] through the [`crate::medium`] over a
+//! deterministic [`crate::event`] queue, sampling frame loss
 //! from a seeded RNG. The result records the sweep duration (the Fig. 9a
 //! observable), per-band measurement timestamps (consumed by
 //! `chronos-core` to synthesize CSI at the right instants), and the busy

@@ -48,52 +48,18 @@ impl std::error::Error for SplineError {}
 
 impl CubicSpline {
     /// Fits a natural cubic spline through the given knots.
+    ///
+    /// One-shot convenience over [`SplinePlan`]: factorizes the
+    /// knot-dependent tridiagonal system (Thomas algorithm, natural BCs
+    /// `m[0] = m[n-1] = 0`) and solves it in one call. Fitting many
+    /// value sets over the *same* knots? Build the [`SplinePlan`] once
+    /// and call [`SplinePlan::fit`] — identical results, no repeated
+    /// factorization.
     pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, SplineError> {
         if xs.len() != ys.len() {
             return Err(SplineError::LengthMismatch);
         }
-        let n = xs.len();
-        if n < 2 {
-            return Err(SplineError::TooFewKnots);
-        }
-        for w in xs.windows(2) {
-            if w[1] <= w[0] {
-                return Err(SplineError::NotStrictlyIncreasing);
-            }
-        }
-        // Solve the tridiagonal system for second derivatives (Thomas
-        // algorithm). Natural BCs: m[0] = m[n-1] = 0.
-        let mut m = vec![0.0; n];
-        if n > 2 {
-            let k = n - 2; // interior unknowns
-            let mut diag = vec![0.0; k];
-            let mut upper = vec![0.0; k];
-            let mut lower = vec![0.0; k];
-            let mut rhs = vec![0.0; k];
-            for i in 1..=k {
-                let h0 = xs[i] - xs[i - 1];
-                let h1 = xs[i + 1] - xs[i];
-                diag[i - 1] = 2.0 * (h0 + h1);
-                lower[i - 1] = h0;
-                upper[i - 1] = h1;
-                rhs[i - 1] =
-                    6.0 * ((ys[i + 1] - ys[i]) / h1 - (ys[i] - ys[i - 1]) / h0);
-            }
-            // Forward sweep.
-            for i in 1..k {
-                let w = lower[i] / diag[i - 1];
-                diag[i] -= w * upper[i - 1];
-                rhs[i] -= w * rhs[i - 1];
-            }
-            // Back substitution.
-            let mut sol = vec![0.0; k];
-            sol[k - 1] = rhs[k - 1] / diag[k - 1];
-            for i in (0..k - 1).rev() {
-                sol[i] = (rhs[i] - upper[i] * sol[i + 1]) / diag[i];
-            }
-            m[1..=k].copy_from_slice(&sol);
-        }
-        Ok(CubicSpline { xs: xs.to_vec(), ys: ys.to_vec(), m })
+        SplinePlan::new(xs)?.fit(ys)
     }
 
     /// Evaluates the spline at `x`.
@@ -139,6 +105,115 @@ impl CubicSpline {
         let b = (x - x0) / h;
         (y1 - y0) / h
             + ((1.0 - 3.0 * a * a) * m0 + (3.0 * b * b - 1.0) * m1) * h / 6.0
+    }
+}
+
+/// A reusable natural-cubic-spline **plan** for a fixed set of knot
+/// abscissae.
+///
+/// Fitting a spline solves a tridiagonal system whose matrix depends only
+/// on the knot positions `xs`, not on the values `ys`. Chronos fits two
+/// splines (phase and magnitude) over the *same* subcarrier grid for every
+/// capture of every band of every sweep of every client — always the same
+/// 30 abscissae — so the Thomas-algorithm factorization is precomputed
+/// here once and replayed per fit. [`CubicSpline::fit`] is the one-shot
+/// wrapper (`SplinePlan::new(xs)?.fit(ys)`), making plan-reuse
+/// **bitwise-identical** to a fresh fit by construction; the plan only
+/// removes the redundant refactorization.
+///
+/// This is one of the shared immutable plans a `PlanCache` (in
+/// `chronos-core`) hands out to concurrent ranging sessions.
+#[derive(Debug, Clone)]
+pub struct SplinePlan {
+    xs: Vec<f64>,
+    /// Interval widths `h[i] = xs[i+1] - xs[i]`.
+    h: Vec<f64>,
+    /// Superdiagonal of the interior system (length `n - 2`).
+    upper: Vec<f64>,
+    /// Forward-elimination multipliers `w[i] = lower[i] / diag'[i-1]`
+    /// (index 0 unused, kept for alignment with the textbook loop).
+    w: Vec<f64>,
+    /// Eliminated diagonal after the forward sweep.
+    diag: Vec<f64>,
+}
+
+impl SplinePlan {
+    /// Factorizes the spline system for the given knot abscissae.
+    pub fn new(xs: &[f64]) -> Result<Self, SplineError> {
+        let n = xs.len();
+        if n < 2 {
+            return Err(SplineError::TooFewKnots);
+        }
+        for win in xs.windows(2) {
+            if win[1] <= win[0] {
+                return Err(SplineError::NotStrictlyIncreasing);
+            }
+        }
+        let h: Vec<f64> = xs.windows(2).map(|win| win[1] - win[0]).collect();
+        let (mut diag, mut upper, mut w) = (Vec::new(), Vec::new(), Vec::new());
+        if n > 2 {
+            let k = n - 2;
+            diag = vec![0.0; k];
+            upper = vec![0.0; k];
+            let mut lower = vec![0.0; k];
+            w = vec![0.0; k];
+            for i in 1..=k {
+                diag[i - 1] = 2.0 * (h[i - 1] + h[i]);
+                lower[i - 1] = h[i - 1];
+                upper[i - 1] = h[i];
+            }
+            // Forward elimination of the matrix alone; the multipliers are
+            // saved so each fit can replay them on its right-hand side.
+            for i in 1..k {
+                w[i] = lower[i] / diag[i - 1];
+                diag[i] -= w[i] * upper[i - 1];
+            }
+        }
+        Ok(SplinePlan { xs: xs.to_vec(), h, upper, w, diag })
+    }
+
+    /// The knot abscissae this plan was built for.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Number of knots.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the plan is empty (never true for a constructed plan).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Fits a spline through `(xs, ys)` reusing the precomputed
+    /// factorization. Produces bitwise-identical results to
+    /// [`CubicSpline::fit`] on the same knots.
+    pub fn fit(&self, ys: &[f64]) -> Result<CubicSpline, SplineError> {
+        let n = self.xs.len();
+        if ys.len() != n {
+            return Err(SplineError::LengthMismatch);
+        }
+        let mut m = vec![0.0; n];
+        if n > 2 {
+            let k = n - 2;
+            let mut rhs = vec![0.0; k];
+            for i in 1..=k {
+                rhs[i - 1] =
+                    6.0 * ((ys[i + 1] - ys[i]) / self.h[i] - (ys[i] - ys[i - 1]) / self.h[i - 1]);
+            }
+            for i in 1..k {
+                rhs[i] -= self.w[i] * rhs[i - 1];
+            }
+            let mut sol = vec![0.0; k];
+            sol[k - 1] = rhs[k - 1] / self.diag[k - 1];
+            for i in (0..k - 1).rev() {
+                sol[i] = (rhs[i] - self.upper[i] * sol[i + 1]) / self.diag[i];
+            }
+            m[1..=k].copy_from_slice(&sol);
+        }
+        Ok(CubicSpline { xs: self.xs.clone(), ys: ys.to_vec(), m })
     }
 }
 
@@ -247,6 +322,49 @@ mod tests {
         assert!((linear_interp(&xs, &ys, 1.75) - 2.5).abs() < 1e-12);
         // Extrapolation continues the boundary segment.
         assert!((linear_interp(&xs, &ys, -1.0) + 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_fit_is_bitwise_identical_to_direct_fit() {
+        let xs: Vec<f64> = (-28i32..=28)
+            .filter(|k| *k != 0)
+            .map(|k| k as f64)
+            .collect();
+        let plan = SplinePlan::new(&xs).unwrap();
+        for trial in 0..5 {
+            let ys: Vec<f64> = xs
+                .iter()
+                .map(|x| (0.3 * x + trial as f64).sin() + 0.01 * x * x)
+                .collect();
+            let direct = CubicSpline::fit(&xs, &ys).unwrap();
+            let planned = plan.fit(&ys).unwrap();
+            for (a, b) in direct.m.iter().zip(planned.m.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "second derivatives differ");
+            }
+            for x in [-27.5, -3.2, 0.0, 1.7, 26.9] {
+                assert_eq!(direct.eval(x).to_bits(), planned.eval(x).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn plan_rejects_bad_inputs() {
+        assert_eq!(SplinePlan::new(&[1.0]).unwrap_err(), SplineError::TooFewKnots);
+        assert_eq!(
+            SplinePlan::new(&[1.0, 1.0]).unwrap_err(),
+            SplineError::NotStrictlyIncreasing
+        );
+        let plan = SplinePlan::new(&[0.0, 1.0, 2.0]).unwrap();
+        assert_eq!(plan.fit(&[1.0, 2.0]).unwrap_err(), SplineError::LengthMismatch);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn plan_two_knot_fit() {
+        let plan = SplinePlan::new(&[0.0, 2.0]).unwrap();
+        let s = plan.fit(&[1.0, 5.0]).unwrap();
+        assert!((s.eval(1.0) - 3.0).abs() < 1e-12);
     }
 
     #[test]

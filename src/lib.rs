@@ -6,9 +6,14 @@
 //!
 //! * [`math`] (`chronos-math`) — numerics substrate.
 //! * [`rf`] (`chronos-rf`) — Wi-Fi/RF substrate and the Intel 5300 model.
-//! * [`link`] (`chronos-link`) — hopping protocol and traffic models.
-//! * [`core`] (`chronos-core`) — the Chronos time-of-flight estimator.
+//! * [`link`] (`chronos-link`) — hopping protocol, airtime arbitration and
+//!   traffic models.
+//! * [`core`] (`chronos-core`) — the Chronos time-of-flight estimator,
+//!   shared plan cache, and the multi-client ranging service.
 //! * [`drone`] (`chronos-drone`) — the personal-drone application.
+//!
+//! For the design document (crate map, CSI→ToF data flow, the
+//! `PlanCache`/`RangingService` layer), see `docs/ARCHITECTURE.md`.
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,293 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! Implements the surface the workspace's benches use — `criterion_group!`
+//! / `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::bench_with_input`]
+//! and [`Bencher::iter`] — with a straightforward measurement loop:
+//! warm up briefly, then time `sample_size` samples and report
+//! min / median / max per-iteration latency plus derived throughput.
+//!
+//! No statistical regression analysis, HTML reports, or plotting; the
+//! output is one console line per benchmark, which is what CI and the
+//! PR-description numbers consume.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} \u{b5}s", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Identifies a benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Builds a bare parameterless id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Collected per-iteration times, nanoseconds.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, collecting `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until 3 iterations or 100 ms, whichever first, and
+        // estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3 && warm_start.elapsed() < Duration::from_millis(100) {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Per-sample iteration count so the whole measurement fits the
+        // time budget.
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let per_sample = ((budget_ns / self.sample_size as f64) / est_ns).floor() as u64;
+        let per_sample = per_sample.clamp(1, 1_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+    }
+
+    fn report(&self, full_id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{full_id:<50} (no samples)");
+            return;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = s[0];
+        let med = s[s.len() / 2];
+        let max = s[s.len() - 1];
+        println!(
+            "{full_id:<50} time: [{} {} {}]   ({:.2} iters/s)",
+            fmt_ns(min),
+            fmt_ns(med),
+            fmt_ns(max),
+            1e9 / med,
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the time budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Ends the group (separator line, mirroring upstream's summary).
+    pub fn finish(&mut self) {
+        let _ = self.criterion;
+        println!();
+    }
+}
+
+/// Top-level benchmark harness configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the per-benchmark time budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&id.id);
+        self
+    }
+
+    /// Upstream prints a final summary; the shim has nothing to add.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Re-export matching upstream's hint (benches may use either path).
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64usize, |b, n| {
+            b.iter(|| (0..*n).sum::<usize>())
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(30));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
