@@ -14,10 +14,19 @@
 //! (see `tests/service.rs` for the equivalence assertions). Only the
 //! redundant per-sweep plan construction and the serialization of
 //! independent clients differ.
+//!
+//! A fourth variant, `service_adaptive/N`, runs the adaptive scheduler
+//! (tracker-driven TRACK-mode subset sweeps) in steady state; besides
+//! the host-time numbers, the bench prints the **capacity table** —
+//! simulated sweeps per second of airtime, full-sweep vs adaptive — that
+//! README's "Adaptive tracking" section quotes. Airtime, not host CPU,
+//! is what caps clients-per-AP, so that table is the headline.
 
+use chronos_bench::tracking::capacity_table;
 use chronos_core::config::ChronosConfig;
 use chronos_core::service::{RangingService, ServiceConfig};
 use chronos_core::session::ChronosSession;
+use chronos_core::tracker::TrackerConfig;
 use chronos_link::time::Instant;
 use chronos_rf::csi::MeasurementContext;
 use chronos_rf::environment::Environment;
@@ -63,6 +72,20 @@ fn shared_service(n: usize, threads: usize) -> RangingService {
     svc
 }
 
+fn adaptive_service(n: usize) -> RangingService {
+    let mut svc = RangingService::new(ServiceConfig::adaptive(TrackerConfig::default()));
+    for i in 0..n {
+        let id = svc.add_client(client_ctx(i), ChronosConfig::ideal());
+        svc.client_mut(id).sweep_cfg.medium.loss_prob = 0.0;
+    }
+    // Warm the cache AND converge every tracker into TRACK mode so the
+    // bench measures adaptive steady state (subset sweeps).
+    for e in 0..3 {
+        svc.run_epoch(0xC0FFEE + e);
+    }
+    svc
+}
+
 fn bench_service(c: &mut Criterion) {
     let mut group = c.benchmark_group("service");
     for n in [1usize, 2, 4, 8] {
@@ -95,6 +118,11 @@ fn bench_service(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(svcp.run_epoch(42).completed()))
         });
 
+        let mut svca = adaptive_service(n);
+        group.bench_with_input(BenchmarkId::new("service_adaptive", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(svca.run_epoch(42).completed()))
+        });
+
         let stats = svcp.plans().stats();
         println!(
             "  [n={n}] plan cache: {} NDFT plans resident, hit rate {:.1}%",
@@ -103,6 +131,23 @@ fn bench_service(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // The capacity figure an AP operator cares about is simulated
+    // *airtime* throughput, not host time: print the full-vs-adaptive
+    // table (README quotes this).
+    println!("\n  capacity (simulated airtime): sweeps/s, full vs adaptive steady state");
+    println!("  {:>8} {:>10} {:>10} {:>8} {:>12} {:>12}", "clients", "full", "adaptive", "gain", "full MAE", "track MAE");
+    for row in capacity_table(&[1, 2, 4, 8], 10, 42) {
+        println!(
+            "  {:>8} {:>10.1} {:>10.1} {:>7.1}x {:>10.3} m {:>10.3} m",
+            row.n_clients,
+            row.full_sweeps_per_sec,
+            row.adaptive_sweeps_per_sec,
+            row.adaptive_sweeps_per_sec / row.full_sweeps_per_sec.max(1e-9),
+            row.full_mae_m,
+            row.adaptive_mae_m,
+        );
+    }
 }
 
 criterion_group! {

@@ -11,6 +11,7 @@
 pub mod figures;
 pub mod report;
 pub mod scenarios;
+pub mod tracking;
 
 pub use report::{write_csv, Table};
 pub use scenarios::*;

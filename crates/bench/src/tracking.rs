@@ -1,0 +1,276 @@
+//! Adaptive-tracking scenarios: full-sweep vs band-subset capacity and
+//! accuracy, on static and moving clients.
+//!
+//! The runners here back `tests/tracking.rs`'s ablation assertions, the
+//! `bench_service` capacity comparison and the numbers quoted in
+//! `docs/TRACKING.md`. Everything is deterministic given a seed.
+
+use chronos_core::config::ChronosConfig;
+use chronos_core::service::{EpochReport, RangingService, ServiceConfig};
+use chronos_core::tracker::{TrackMode, TrackerConfig};
+use chronos_rf::csi::MeasurementContext;
+use chronos_rf::environment::Environment;
+use chronos_rf::geometry::Point;
+use chronos_rf::hardware::{ideal_device, AntennaArray};
+
+/// Parameters of one tracking run.
+#[derive(Debug, Clone)]
+pub struct TrackingConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of clients.
+    pub n_clients: usize,
+    /// Epochs to simulate.
+    pub epochs: usize,
+    /// Radial velocity applied to every client, m/s (0 = static
+    /// scenario; positive = walking away from its locator).
+    pub velocity_mps: f64,
+    /// Adaptive scheduling: `Some` enables per-client trackers.
+    pub adaptive: Option<TrackerConfig>,
+}
+
+impl Default for TrackingConfig {
+    fn default() -> Self {
+        TrackingConfig {
+            seed: 42,
+            n_clients: 4,
+            epochs: 12,
+            velocity_mps: 0.0,
+            adaptive: Some(TrackerConfig::default()),
+        }
+    }
+}
+
+/// Aggregates of one tracking run.
+#[derive(Debug, Clone)]
+pub struct TrackingRun {
+    /// Per-epoch reports, in order.
+    pub reports: Vec<EpochReport>,
+}
+
+impl TrackingRun {
+    /// Epochs in which every scheduled client ran in TRACK mode — the
+    /// adaptive scheduler's steady state (empty for non-adaptive runs).
+    pub fn steady_state(&self) -> Vec<&EpochReport> {
+        self.reports
+            .iter()
+            .filter(|r| {
+                let occ = r.mode_occupancy();
+                occ.track > 0 && occ.acquire == 0
+            })
+            .collect()
+    }
+
+    /// Mean sweeps/s of simulated airtime over the given reports.
+    fn mean_throughput(reports: &[&EpochReport]) -> Option<f64> {
+        if reports.is_empty() {
+            return None;
+        }
+        Some(reports.iter().map(|r| r.sweeps_per_sec_airtime()).sum::<f64>() / reports.len() as f64)
+    }
+
+    /// Mean sweeps/s over steady-state (all-TRACK) epochs.
+    pub fn steady_throughput(&self) -> Option<f64> {
+        Self::mean_throughput(&self.steady_state())
+    }
+
+    /// Mean sweeps/s over all epochs (the figure for non-adaptive runs).
+    pub fn overall_throughput(&self) -> Option<f64> {
+        Self::mean_throughput(&self.reports.iter().collect::<Vec<_>>())
+    }
+
+    /// Mean absolute raw-fix error over epochs scheduled fully in TRACK
+    /// mode (or over all epochs when no TRACK epochs exist).
+    pub fn mean_abs_error_m(&self) -> Option<f64> {
+        let steady = self.steady_state();
+        let pool: Vec<&EpochReport> =
+            if steady.is_empty() { self.reports.iter().collect() } else { steady };
+        let errs: Vec<f64> = pool
+            .iter()
+            .flat_map(|r| r.outcomes.iter().filter_map(|o| o.error_m))
+            .collect();
+        if errs.is_empty() {
+            None
+        } else {
+            Some(errs.iter().sum::<f64>() / errs.len() as f64)
+        }
+    }
+
+    /// Worst per-epoch tracker RMSE across the run's adaptive epochs.
+    pub fn worst_track_rmse_m(&self) -> Option<f64> {
+        self.reports
+            .iter()
+            .filter_map(|r| r.track_rmse_m())
+            .max_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Fraction of (client, epoch) slots spent in TRACK mode.
+    pub fn track_occupancy(&self) -> f64 {
+        let (mut track, mut total) = (0usize, 0usize);
+        for r in &self.reports {
+            let occ = r.mode_occupancy();
+            track += occ.track;
+            total += occ.track + occ.acquire;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            track as f64 / total as f64
+        }
+    }
+}
+
+/// A high-SNR free-space client `d` meters from its locator.
+pub fn tracking_ctx(d: f64) -> MeasurementContext {
+    let mut ctx = MeasurementContext::new(
+        Environment::free_space(),
+        ideal_device(AntennaArray::single()),
+        Point::new(0.0, 0.0),
+        ideal_device(AntennaArray::laptop()),
+        Point::new(d, 0.0),
+    );
+    ctx.snr.snr_at_1m_db = 55.0;
+    ctx
+}
+
+/// Runs one tracking scenario: `n_clients` spread over 2–9 m, optionally
+/// all receding at `velocity_mps`, for `epochs` service rounds.
+pub fn run_tracking(cfg: &TrackingConfig) -> TrackingRun {
+    let service_cfg = match cfg.adaptive {
+        Some(t) => ServiceConfig::adaptive(t),
+        None => ServiceConfig::default(),
+    };
+    let mut svc = RangingService::new(service_cfg);
+    for i in 0..cfg.n_clients {
+        let d = 2.0 + 7.0 * i as f64 / cfg.n_clients.max(1) as f64;
+        let id = svc.add_client(tracking_ctx(d), ChronosConfig::ideal());
+        svc.client_mut(id).sweep_cfg.medium.loss_prob = 0.0;
+    }
+
+    let mut reports = Vec::with_capacity(cfg.epochs);
+    let mut prev_span_s: Option<f64> = None;
+    for e in 0..cfg.epochs {
+        if cfg.velocity_mps != 0.0 {
+            // Epoch k+1 starts one airtime span + epoch gap after epoch
+            // k; move each mobile endpoint away by v x that interval.
+            if let Some(span_s) = prev_span_s {
+                let step = cfg.velocity_mps * (span_s + 0.005);
+                for i in 0..cfg.n_clients {
+                    let x = svc.client(i).ctx.initiator_pos.x - step;
+                    svc.client_mut(i).ctx.initiator_pos = Point::new(x, 0.0);
+                }
+            }
+        }
+        let r = svc.run_epoch(cfg.seed.wrapping_mul(1000).wrapping_add(e as u64));
+        prev_span_s = Some(r.airtime_span.as_secs_f64());
+        reports.push(r);
+    }
+    TrackingRun { reports }
+}
+
+/// One row of the adaptive-vs-full capacity table (README, TRACKING.md).
+#[derive(Debug, Clone)]
+pub struct CapacityRow {
+    /// Client count.
+    pub n_clients: usize,
+    /// Full-sweep service throughput, sweeps/s of airtime.
+    pub full_sweeps_per_sec: f64,
+    /// Adaptive steady-state throughput, sweeps/s of airtime.
+    pub adaptive_sweeps_per_sec: f64,
+    /// Full-sweep mean absolute error, meters.
+    pub full_mae_m: f64,
+    /// Adaptive TRACK-mode mean absolute error, meters.
+    pub adaptive_mae_m: f64,
+}
+
+/// Runs the static-client capacity comparison for each client count.
+pub fn capacity_table(client_counts: &[usize], epochs: usize, seed: u64) -> Vec<CapacityRow> {
+    client_counts
+        .iter()
+        .map(|&n| {
+            let base = TrackingConfig {
+                seed,
+                n_clients: n,
+                epochs,
+                velocity_mps: 0.0,
+                adaptive: None,
+            };
+            let full = run_tracking(&base);
+            let adaptive =
+                run_tracking(&TrackingConfig { adaptive: Some(TrackerConfig::default()), ..base });
+            CapacityRow {
+                n_clients: n,
+                full_sweeps_per_sec: full.overall_throughput().unwrap_or(0.0),
+                adaptive_sweeps_per_sec: adaptive
+                    .steady_throughput()
+                    .or_else(|| adaptive.overall_throughput())
+                    .unwrap_or(0.0),
+                full_mae_m: full.mean_abs_error_m().unwrap_or(f64::NAN),
+                adaptive_mae_m: adaptive.mean_abs_error_m().unwrap_or(f64::NAN),
+            }
+        })
+        .collect()
+}
+
+/// Convenience: whether a run ever fell back to ACQUIRE after reaching
+/// TRACK (used to assert re-acquisition behavior).
+pub fn reacquired(run: &TrackingRun, client: usize) -> bool {
+    let mut seen_track = false;
+    for r in &run.reports {
+        if let Some(o) = r.outcomes.iter().find(|o| o.client == client) {
+            match o.mode {
+                TrackMode::Track => seen_track = true,
+                TrackMode::Acquire if seen_track => return true,
+                TrackMode::Acquire => {}
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_run_reaches_steady_state_and_saves_airtime() {
+        let run = run_tracking(&TrackingConfig::default());
+        let steady = run.steady_state();
+        assert!(steady.len() >= 8, "only {} steady epochs", steady.len());
+        for r in &steady {
+            assert!(r.airtime_saved() > 0.5, "saved {}", r.airtime_saved());
+        }
+        assert!(run.track_occupancy() > 0.7);
+        // Static, lossless clients give the gate no reason to fire.
+        for client in 0..TrackingConfig::default().n_clients {
+            assert!(!reacquired(&run, client), "client {client} spuriously re-acquired");
+        }
+    }
+
+    #[test]
+    fn capacity_table_shows_at_least_2x() {
+        let rows = capacity_table(&[2], 8, 7);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(
+            r.adaptive_sweeps_per_sec >= 2.0 * r.full_sweeps_per_sec,
+            "adaptive {} vs full {}",
+            r.adaptive_sweeps_per_sec,
+            r.full_sweeps_per_sec
+        );
+        assert!(r.adaptive_mae_m <= 2.0 * r.full_mae_m + 1e-3);
+    }
+
+    #[test]
+    fn moving_clients_stay_tracked() {
+        let run = run_tracking(&TrackingConfig {
+            velocity_mps: 1.2,
+            epochs: 14,
+            n_clients: 2,
+            ..Default::default()
+        });
+        assert!(run.track_occupancy() > 0.5, "occupancy {}", run.track_occupancy());
+        let rmse = run.worst_track_rmse_m().expect("adaptive epochs");
+        assert!(rmse < 0.5, "worst RMSE {rmse}");
+    }
+}

@@ -60,6 +60,14 @@
 //! realistically, and runs per-client inversion on scoped worker
 //! threads with schedule-independent results.
 //!
+//! [`tracker`] closes the loop *across* epochs: a per-client
+//! constant-velocity Kalman filter ([`tracker::DistanceFilter`]) fuses
+//! each fix, and a mode machine ([`tracker::ClientTracker`]) switches
+//! clients between full ACQUIRE sweeps and cheap TRACK-mode band-subset
+//! sweeps ([`chronos_rf::subset`]), re-acquiring on innovation spikes or
+//! repeated misses. The service schedules per-client plans from tracker
+//! state and reports the airtime saved (see `docs/TRACKING.md`).
+//!
 //! ## Support modules
 //!
 //! [`crt`] implements the Chinese-remainder view of §4 (the Fig. 3
@@ -85,6 +93,7 @@ pub mod reciprocity;
 pub mod service;
 pub mod session;
 pub mod tof;
+pub mod tracker;
 
 pub use config::{ChronosConfig, QuirkMode};
 pub use error::ChronosError;
@@ -93,3 +102,4 @@ pub use profile::MultipathProfile;
 pub use service::{EpochReport, RangingService, ServiceConfig};
 pub use session::{ChronosSession, SweepOutput};
 pub use tof::{BandSample, TofEstimate, TofEstimator};
+pub use tracker::{ClientTracker, DistanceFilter, TrackMode, TrackerConfig};

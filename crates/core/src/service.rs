@@ -28,37 +28,64 @@
 use crate::config::ChronosConfig;
 use crate::plan::{CacheStats, PlanCache};
 use crate::session::ChronosSession;
+use crate::tracker::{ClientTracker, TrackMode, TrackerConfig};
 use chronos_link::arbiter::{ArbiterConfig, MediumArbiter, SweepGrant};
 use chronos_link::sweep::SweepConfig;
 use chronos_link::time::{Duration, Instant};
+use chronos_rf::bands::Band;
 use chronos_rf::csi::MeasurementContext;
+use chronos_rf::subset::select_subset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Delay span scanned when scoring TRACK-subset grating ambiguity. Half
+/// the default 200 ns profile span: profiles carry *scaled* delays
+/// (scale ≥ 2), so 100 ns of physical delay covers the whole
+/// unambiguous range a subset must keep ghost-free.
+const SUBSET_AMBIGUITY_SPAN_NS: f64 = 100.0;
 
 /// Service-level policy.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Airtime arbitration policy.
     pub arbiter: ArbiterConfig,
-    /// Projected sweep duration used for admission (a standard 35-band
-    /// sweep takes ~84 ms; a little headroom absorbs retransmissions).
-    pub expected_sweep: Duration,
+    /// Multiplier on a plan's loss-free airtime
+    /// ([`SweepConfig::expected_duration`]) when projecting its admission
+    /// window — headroom for retransmissions. With variable-length plans
+    /// a fixed projection would overcharge subset sweeps, so admission
+    /// scales with each client's actual plan.
+    pub admission_headroom: f64,
     /// Worker threads for per-client estimation; 0 = one per available
     /// core.
     pub threads: usize,
     /// Idle gap inserted between epochs.
     pub epoch_gap: Duration,
+    /// Adaptive sweep scheduling: when set, every client gets a
+    /// [`ClientTracker`] and the service schedules full ACQUIRE sweeps or
+    /// TRACK-mode band subsets from its state. `None` preserves the
+    /// legacy behavior (full sweep, every client, every epoch).
+    pub adaptive: Option<TrackerConfig>,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             arbiter: ArbiterConfig::default(),
-            expected_sweep: Duration::from_millis(95),
+            // ~95 ms projected for the standard ~84 ms sweep.
+            admission_headroom: 1.13,
             threads: 0,
             epoch_gap: Duration::from_millis(5),
+            adaptive: None,
         }
+    }
+}
+
+impl ServiceConfig {
+    /// The default policy with adaptive tracking enabled.
+    pub fn adaptive(tracker: TrackerConfig) -> Self {
+        ServiceConfig { adaptive: Some(tracker), ..Default::default() }
     }
 }
 
@@ -84,6 +111,23 @@ pub struct ClientOutcome {
     pub truth_m: f64,
     /// Absolute ranging error, meters (when an estimate exists).
     pub error_m: Option<f64>,
+    /// Mode this client's sweep was scheduled under. Always
+    /// [`TrackMode::Acquire`] for a non-adaptive service.
+    pub mode: TrackMode,
+    /// Bands in the scheduled plan (35 for a full sweep, the subset size
+    /// in TRACK mode).
+    pub bands_planned: usize,
+    /// Tracker prediction for this epoch before the fix was fused,
+    /// meters (adaptive services, once the filter is seeded).
+    pub predicted_m: Option<f64>,
+    /// Tracker output after fusing this epoch's fix, meters — the
+    /// distance an adaptive deployment would report.
+    pub tracked_m: Option<f64>,
+    /// Absolute error of `tracked_m` against ground truth, meters.
+    pub tracked_error_m: Option<f64>,
+    /// Innovation of this epoch's fix in standard deviations (adaptive
+    /// services; `None` when no fix was fused).
+    pub innovation_sigmas: Option<f64>,
 }
 
 /// The result of one service round.
@@ -104,6 +148,20 @@ pub struct EpochReport {
     pub wall: std::time::Duration,
     /// Plan-cache counters after the epoch.
     pub cache: CacheStats,
+    /// Total bands scheduled across all clients this epoch.
+    pub bands_planned: usize,
+    /// Bands a non-adaptive service would have scheduled (clients × full
+    /// plan length) — the denominator of [`EpochReport::airtime_saved`].
+    pub bands_full_sweep: usize,
+}
+
+/// How many clients ran in each mode during one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModeOccupancy {
+    /// Clients swept under ACQUIRE (full plan).
+    pub acquire: usize,
+    /// Clients swept under TRACK (band subset).
+    pub track: usize,
 }
 
 impl EpochReport {
@@ -119,6 +177,44 @@ impl EpochReport {
             None
         } else {
             Some(errs.iter().sum::<f64>() / errs.len() as f64)
+        }
+    }
+
+    /// Fraction of per-fix airtime the adaptive scheduler saved this
+    /// epoch versus sweeping every client's full plan: `1 −
+    /// bands_planned / bands_full_sweep` (band count is an airtime proxy
+    /// — dwell cost per band is constant, see
+    /// [`SweepConfig::expected_duration`]). Zero for a non-adaptive
+    /// service.
+    pub fn airtime_saved(&self) -> f64 {
+        if self.bands_full_sweep == 0 {
+            0.0
+        } else {
+            1.0 - self.bands_planned as f64 / self.bands_full_sweep as f64
+        }
+    }
+
+    /// Clients per mode this epoch.
+    pub fn mode_occupancy(&self) -> ModeOccupancy {
+        let mut occ = ModeOccupancy::default();
+        for o in &self.outcomes {
+            match o.mode {
+                TrackMode::Acquire => occ.acquire += 1,
+                TrackMode::Track => occ.track += 1,
+            }
+        }
+        occ
+    }
+
+    /// Root-mean-square error of the tracker's fused outputs against
+    /// ground truth, meters. `None` for non-adaptive services or before
+    /// any filter is seeded.
+    pub fn track_rmse_m(&self) -> Option<f64> {
+        let errs: Vec<f64> = self.outcomes.iter().filter_map(|o| o.tracked_error_m).collect();
+        if errs.is_empty() {
+            None
+        } else {
+            Some((errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt())
         }
     }
 
@@ -142,6 +238,11 @@ pub struct RangingService {
     cfg: ServiceConfig,
     plans: Arc<PlanCache>,
     clients: Vec<ChronosSession>,
+    trackers: Vec<Option<ClientTracker>>,
+    /// TRACK subsets, memoized per (full-plan channels, subset size) —
+    /// [`select_subset`] is pure, so every client on the standard plan
+    /// shares one entry (and hence one cached NDFT plan downstream).
+    subsets: HashMap<(Vec<u16>, usize), Arc<Vec<Band>>>,
     arbiter: MediumArbiter,
     clock: Instant,
     epoch: u64,
@@ -161,6 +262,8 @@ impl RangingService {
             cfg,
             plans,
             clients: Vec::new(),
+            trackers: Vec::new(),
+            subsets: HashMap::new(),
             arbiter,
             clock: Instant::ZERO,
             epoch: 0,
@@ -176,8 +279,7 @@ impl RangingService {
     /// index. The client's session borrows the service's plan cache.
     pub fn add_client(&mut self, ctx: MeasurementContext, config: ChronosConfig) -> usize {
         let session = ChronosSession::with_cache(ctx, config, Arc::clone(&self.plans));
-        self.clients.push(session);
-        self.clients.len() - 1
+        self.add_session(session)
     }
 
     /// Adopts an existing session as a client (its plan cache is replaced
@@ -185,7 +287,13 @@ impl RangingService {
     pub fn add_session(&mut self, mut session: ChronosSession) -> usize {
         session.plans = Some(Arc::clone(&self.plans));
         self.clients.push(session);
+        self.trackers.push(self.cfg.adaptive.map(ClientTracker::new));
         self.clients.len() - 1
+    }
+
+    /// A client's tracker (adaptive services only).
+    pub fn tracker(&self, idx: usize) -> Option<&ClientTracker> {
+        self.trackers.get(idx).and_then(|t| t.as_ref())
     }
 
     /// Number of clients.
@@ -224,41 +332,72 @@ impl RangingService {
         .max(1)
     }
 
-    /// Runs one epoch: admit every client through the arbiter, run the
-    /// granted sweeps (estimation parallelized across worker threads),
-    /// then advance the service clock past the epoch's horizon.
+    /// The TRACK-mode subset for one client's full plan, memoized.
+    ///
+    /// Subsets are drawn from the plan's 5 GHz members: they share one
+    /// delay scale (so the estimator inverts a single coherent group)
+    /// and avoid the 2.4 ↔ 5 GHz gap, whose extreme spacing contributes
+    /// ambiguity rather than aperture. Plans without enough 5 GHz bands
+    /// fall back to selecting over the whole plan.
+    fn track_subset(&mut self, client: usize, k: usize) -> Arc<Vec<Band>> {
+        let full = &self.clients[client].sweep_cfg.plan;
+        let key: (Vec<u16>, usize) = (full.iter().map(|b| b.channel).collect(), k);
+        if let Some(s) = self.subsets.get(&key) {
+            return Arc::clone(s);
+        }
+        let pool: Vec<Band> = full.iter().filter(|b| !b.group.is_2g4()).cloned().collect();
+        let pool = if pool.len() >= k.max(5) { pool } else { full.clone() };
+        let sub = Arc::new(select_subset(&pool, k, SUBSET_AMBIGUITY_SPAN_NS));
+        self.subsets.insert(key, Arc::clone(&sub));
+        sub
+    }
+
+    /// Runs one epoch: schedule each client's plan from its tracker
+    /// state (full plan when non-adaptive or ACQUIREing, a band subset
+    /// in TRACK), admit the sweeps through the arbiter with
+    /// plan-proportional airtime projections, run them (estimation
+    /// parallelized across worker threads), fuse the fixes into the
+    /// trackers, then advance the service clock past the epoch horizon.
     pub fn run_epoch(&mut self, seed: u64) -> EpochReport {
         let epoch_start = self.clock;
         let epoch = self.epoch;
         self.epoch += 1;
 
-        // Admission (deterministic order = client order).
-        let grants: Vec<SweepGrant> = (0..self.clients.len())
-            .map(|_| self.arbiter.admit(epoch_start, self.cfg.expected_sweep))
-            .collect();
-
-        // Per-client contention-adjusted link configs.
+        // Scheduling + admission (deterministic order = client order).
         struct Job {
             client: usize,
             grant: SweepGrant,
             sweep_cfg: SweepConfig,
             rng_seed: u64,
+            mode: TrackMode,
         }
-        let jobs: Vec<Job> = grants
-            .iter()
-            .enumerate()
-            .map(|(i, grant)| {
-                let mut sweep_cfg = self.clients[i].sweep_cfg.clone();
-                sweep_cfg.medium.loss_prob =
-                    (sweep_cfg.medium.loss_prob + grant.extra_loss).min(0.9);
-                Job {
-                    client: i,
-                    grant: *grant,
-                    sweep_cfg,
-                    rng_seed: mix_seed(seed, epoch + 1, i),
-                }
-            })
-            .collect();
+        let mut jobs: Vec<Job> = Vec::with_capacity(self.clients.len());
+        let mut bands_planned = 0usize;
+        let mut bands_full_sweep = 0usize;
+        for i in 0..self.clients.len() {
+            let mut sweep_cfg = self.clients[i].sweep_cfg.clone();
+            bands_full_sweep += sweep_cfg.plan.len();
+            let (mode, requested) = match &self.trackers[i] {
+                Some(t) => (t.mode(), t.requested_bands()),
+                None => (TrackMode::Acquire, None),
+            };
+            if let Some(k) = requested {
+                sweep_cfg.plan = self.track_subset(i, k).as_ref().clone();
+            }
+            bands_planned += sweep_cfg.plan.len();
+            let expected =
+                sweep_cfg.expected_duration().mul_f64(self.cfg.admission_headroom.max(1.0));
+            let grant = self.arbiter.admit(epoch_start, expected);
+            sweep_cfg.medium.loss_prob =
+                (sweep_cfg.medium.loss_prob + grant.extra_loss).min(0.9);
+            jobs.push(Job {
+                client: i,
+                grant,
+                sweep_cfg,
+                rng_seed: mix_seed(seed, epoch + 1, i),
+                mode,
+            });
+        }
 
         // Parallel sweep + estimation. Each job owns its RNG; the thread
         // schedule cannot change any result.
@@ -295,13 +434,23 @@ impl RangingService {
         let wall = wall_start.elapsed();
         results.sort_by_key(|(client, _, _)| *client);
 
-        // Feed actual finish times back into the arbiter, then build the
-        // report.
+        // Feed actual finish times back into the arbiter, fuse fixes
+        // into the trackers (sequentially, in client order — tracker
+        // state stays schedule-independent), then build the report.
         let mut outcomes = Vec::with_capacity(results.len());
         for (client, grant, out) in &results {
             self.arbiter.complete(grant.token, out.link.finished);
             let truth_m = self.clients[*client].truth_distance_m();
             let distance_m = out.mean_distance_m();
+            let job = &jobs[*client];
+            let (predicted_m, tracked_m, innovation_sigmas) = match &mut self.trackers[*client]
+            {
+                Some(tracker) => {
+                    let upd = tracker.observe(out.link.started, distance_m, out.link.complete);
+                    (upd.predicted_m, upd.fused_m, upd.innovation.map(|i| i.sigmas()))
+                }
+                None => (None, None, None),
+            };
             outcomes.push(ClientOutcome {
                 client: *client,
                 started: out.link.started,
@@ -312,6 +461,12 @@ impl RangingService {
                 distance_m,
                 truth_m,
                 error_m: distance_m.map(|d| (d - truth_m).abs()),
+                mode: job.mode,
+                bands_planned: job.sweep_cfg.plan.len(),
+                predicted_m,
+                tracked_m,
+                tracked_error_m: tracked_m.map(|d| (d - truth_m).abs()),
+                innovation_sigmas,
             });
         }
 
@@ -329,6 +484,8 @@ impl RangingService {
             outcomes,
             wall,
             cache: self.plans.stats(),
+            bands_planned,
+            bands_full_sweep,
         }
     }
 }

@@ -1,0 +1,496 @@
+//! Online per-client distance tracking and the adaptive sweep mode
+//! machine.
+//!
+//! A full Chronos fix sweeps all 35 bands; at service scale that per-fix
+//! airtime — not compute — caps how many clients one access point can
+//! localize (the `EpochReport::sweeps_per_sec_airtime` ceiling). But a
+//! client being ranged every ~100 ms does not *need* a cold-start fix
+//! every epoch: its distance is a slowly varying physical quantity, and
+//! a constant-velocity filter carries an excellent prior between fixes.
+//! With that prior in hand, a **subset** of bands (chosen for low
+//! grating-lobe ambiguity, [`chronos_rf::subset`]) suffices to refine
+//! the estimate, and the innovation of each fix tells the scheduler when
+//! the prior has gone stale and a full re-acquisition is due.
+//!
+//! The module has two layers:
+//!
+//! * [`DistanceFilter`] — a 2-state (distance, radial velocity) Kalman
+//!   filter with a white-acceleration process model. It exposes the
+//!   predicted distance, the innovation of each measurement, and the
+//!   innovation variance, so callers can gate outliers in sigma units.
+//! * [`ClientTracker`] — the per-client mode machine driving the
+//!   scheduler: **ACQUIRE** (full sweep every epoch, converging the
+//!   filter) ⇄ **TRACK** (subset sweeps, filter-fused output), with
+//!   transitions on good-fix streaks, innovation spikes (client moved in
+//!   a way the model cannot explain — e.g. picked up and carried), and
+//!   repeated incomplete sweeps.
+//!
+//! Tuning guidance — what the knobs trade off and how to pick them —
+//! lives in `docs/TRACKING.md`.
+
+use chronos_link::time::Instant;
+
+/// Which sweep the scheduler should issue for a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrackMode {
+    /// Cold or invalidated prior: sweep the full band plan.
+    Acquire,
+    /// Converged prior: sweep a low-ambiguity band subset and fuse the
+    /// fix into the filter.
+    Track,
+}
+
+/// Tracker policy knobs. Defaults suit a walking-speed indoor client
+/// ranged every ~100 ms; `docs/TRACKING.md` documents the tuning story.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackerConfig {
+    /// White-acceleration process noise, m/s² (standard deviation). The
+    /// model's allowance for unmodeled motion: higher tracks maneuvers
+    /// faster but trusts single fixes more.
+    pub process_noise_mps2: f64,
+    /// Per-fix measurement noise, meters (standard deviation of one
+    /// sweep's distance estimate; the paper's LOS regime is ~0.1–0.15 m).
+    pub measurement_noise_m: f64,
+    /// Innovation gate in standard deviations: a fix whose innovation
+    /// exceeds `gate_sigma · √S` (S = innovation variance) is treated as
+    /// a track break — the filter re-seeds and the mode machine drops to
+    /// ACQUIRE.
+    pub gate_sigma: f64,
+    /// Consecutive successful full-sweep fixes required before leaving
+    /// ACQUIRE for TRACK.
+    pub acquire_fixes: usize,
+    /// Consecutive missed fixes (incomplete sweep or no estimate)
+    /// tolerated in TRACK before falling back to ACQUIRE.
+    pub max_missed: usize,
+    /// TRACK-mode subset size (bands per sweep). Sizes below ~8 trade
+    /// steeply rising grating-lobe ambiguity for little extra airtime —
+    /// see the subset-selection rationale in `docs/TRACKING.md`.
+    pub track_bands: usize,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            process_noise_mps2: 2.0,
+            measurement_noise_m: 0.15,
+            gate_sigma: 5.0,
+            acquire_fixes: 2,
+            max_missed: 2,
+            track_bands: 12,
+        }
+    }
+}
+
+/// A 2-state constant-velocity Kalman filter over distance.
+///
+/// State `x = [d, v]` (meters, meters/second), white-acceleration
+/// process noise of density `q²`, scalar distance measurements with
+/// noise `r²`. Uninitialized until the first measurement seeds it.
+///
+/// ```
+/// use chronos_core::tracker::DistanceFilter;
+///
+/// let mut f = DistanceFilter::new(2.0, 0.15);
+/// f.update(5.0);                      // seed at the first fix
+/// for _ in 0..20 {
+///     f.predict(0.1);                 // 100 ms between fixes...
+///     f.update(5.0 + 0.02);           // ...all near 5.02 m
+/// }
+/// let d = f.predicted_distance().unwrap();
+/// assert!((d - 5.02).abs() < 0.05, "converged to {d}");
+/// assert!(f.velocity().unwrap().abs() < 0.2, "static client");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DistanceFilter {
+    /// Process noise (acceleration std), m/s².
+    q: f64,
+    /// Measurement noise std, m.
+    r: f64,
+    /// State estimate, present after the first update.
+    state: Option<[f64; 2]>,
+    /// Covariance [[p00, p01], [p01, p11]].
+    p: [f64; 3],
+}
+
+/// One measurement's innovation statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Innovation {
+    /// Measurement minus predicted distance, meters.
+    pub nu_m: f64,
+    /// Innovation variance `S = P₀₀ + R`, meters².
+    pub s_m2: f64,
+}
+
+impl Innovation {
+    /// The innovation in standard deviations, `|ν| / √S`.
+    pub fn sigmas(&self) -> f64 {
+        self.nu_m.abs() / self.s_m2.sqrt().max(1e-12)
+    }
+}
+
+impl DistanceFilter {
+    /// Creates an empty filter with the given noise standard deviations.
+    pub fn new(process_noise_mps2: f64, measurement_noise_m: f64) -> Self {
+        DistanceFilter {
+            q: process_noise_mps2,
+            r: measurement_noise_m,
+            state: None,
+            p: [0.0; 3],
+        }
+    }
+
+    /// Whether the filter holds a state (a first fix has been fused).
+    pub fn is_initialized(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Propagates the state `dt_s` seconds forward under the constant-
+    /// velocity model, inflating covariance by the white-acceleration
+    /// process noise. No-op before initialization.
+    pub fn predict(&mut self, dt_s: f64) {
+        let Some(x) = self.state.as_mut() else { return };
+        let dt = dt_s.max(0.0);
+        x[0] += x[1] * dt;
+        let [p00, p01, p11] = self.p;
+        let q2 = self.q * self.q;
+        // P ← F P Fᵀ + Q, F = [[1, dt], [0, 1]],
+        // Q = q² [[dt⁴/4, dt³/2], [dt³/2, dt²]].
+        let n00 = p00 + 2.0 * dt * p01 + dt * dt * p11 + q2 * dt.powi(4) / 4.0;
+        let n01 = p01 + dt * p11 + q2 * dt.powi(3) / 2.0;
+        let n11 = p11 + q2 * dt * dt;
+        self.p = [n00, n01, n11];
+    }
+
+    /// The innovation a measurement `z_m` *would* produce right now,
+    /// without fusing it — the outlier gate reads this before deciding
+    /// whether to call [`DistanceFilter::update`].
+    pub fn innovation(&self, z_m: f64) -> Option<Innovation> {
+        let x = self.state.as_ref()?;
+        Some(Innovation { nu_m: z_m - x[0], s_m2: self.p[0] + self.r * self.r })
+    }
+
+    /// Fuses a distance measurement. The first call seeds the state at
+    /// the measurement with zero velocity and a large velocity variance;
+    /// later calls run the standard scalar Kalman update. Returns the
+    /// innovation (zero for the seeding fix).
+    pub fn update(&mut self, z_m: f64) -> Innovation {
+        match self.state.as_mut() {
+            None => {
+                self.state = Some([z_m, 0.0]);
+                // Confident in position (one fix), agnostic in velocity.
+                self.p = [self.r * self.r, 0.0, 4.0];
+                Innovation { nu_m: 0.0, s_m2: self.r * self.r }
+            }
+            Some(x) => {
+                let [p00, p01, p11] = self.p;
+                let s = p00 + self.r * self.r;
+                let nu = z_m - x[0];
+                let k0 = p00 / s;
+                let k1 = p01 / s;
+                x[0] += k0 * nu;
+                x[1] += k1 * nu;
+                // Joseph-free standard form: P ← (I − K H) P.
+                self.p = [(1.0 - k0) * p00, (1.0 - k0) * p01, p11 - k1 * p01];
+                Innovation { nu_m: nu, s_m2: s }
+            }
+        }
+    }
+
+    /// Current (post-predict) distance estimate, meters.
+    pub fn predicted_distance(&self) -> Option<f64> {
+        self.state.map(|x| x[0])
+    }
+
+    /// Current radial-velocity estimate, m/s (positive = receding).
+    pub fn velocity(&self) -> Option<f64> {
+        self.state.map(|x| x[1])
+    }
+
+    /// Distance-estimate standard deviation, meters.
+    pub fn sigma_m(&self) -> Option<f64> {
+        self.state.map(|_| self.p[0].max(0.0).sqrt())
+    }
+
+    /// Drops the state (track break): the next update re-seeds.
+    pub fn reset(&mut self) {
+        self.state = None;
+        self.p = [0.0; 3];
+    }
+}
+
+/// What one epoch's fix did to a client's track.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackUpdate {
+    /// Mode the sweep was issued under.
+    pub mode: TrackMode,
+    /// Mode for the *next* epoch, after this fix was absorbed.
+    pub next_mode: TrackMode,
+    /// Filter prediction for this epoch, before fusing the fix, meters.
+    pub predicted_m: Option<f64>,
+    /// Fused (post-update) distance, meters — the tracker's output.
+    pub fused_m: Option<f64>,
+    /// Innovation of the fix, when one was fused or gated.
+    pub innovation: Option<Innovation>,
+    /// Whether the fix was rejected by the innovation gate (track break).
+    pub gated: bool,
+}
+
+/// Per-client tracking state machine: a [`DistanceFilter`] plus the
+/// ACQUIRE ⇄ TRACK mode logic the adaptive scheduler consults.
+#[derive(Debug, Clone)]
+pub struct ClientTracker {
+    cfg: TrackerConfig,
+    filter: DistanceFilter,
+    mode: TrackMode,
+    /// Consecutive successful fixes in the current ACQUIRE stint.
+    good_streak: usize,
+    /// Consecutive missed fixes in the current TRACK stint.
+    missed: usize,
+    /// Simulated time of the last absorbed epoch.
+    last_t: Option<Instant>,
+}
+
+impl ClientTracker {
+    /// A fresh tracker in ACQUIRE mode.
+    pub fn new(cfg: TrackerConfig) -> Self {
+        ClientTracker {
+            filter: DistanceFilter::new(cfg.process_noise_mps2, cfg.measurement_noise_m),
+            cfg,
+            mode: TrackMode::Acquire,
+            good_streak: 0,
+            missed: 0,
+            last_t: None,
+        }
+    }
+
+    /// The mode the next sweep should be issued under.
+    pub fn mode(&self) -> TrackMode {
+        self.mode
+    }
+
+    /// Bands the next sweep should cover: `None` = the full plan
+    /// (ACQUIRE), `Some(k)` = a k-band subset (TRACK).
+    pub fn requested_bands(&self) -> Option<usize> {
+        match self.mode {
+            TrackMode::Acquire => None,
+            TrackMode::Track => Some(self.cfg.track_bands),
+        }
+    }
+
+    /// Read access to the underlying filter.
+    pub fn filter(&self) -> &DistanceFilter {
+        &self.filter
+    }
+
+    /// Absorbs one epoch's fix at simulated time `t`: advances the filter
+    /// by the elapsed time, applies the innovation gate, fuses or rejects
+    /// the measurement, and steps the mode machine.
+    ///
+    /// `fix_m` is the sweep's distance estimate (`None` when the sweep
+    /// produced no usable estimate); `link_complete` is whether the
+    /// link-layer sweep covered its whole plan.
+    pub fn observe(&mut self, t: Instant, fix_m: Option<f64>, link_complete: bool) -> TrackUpdate {
+        let mode = self.mode;
+        let dt_s = self
+            .last_t
+            .map(|prev| t.saturating_since(prev).as_secs_f64())
+            .unwrap_or(0.0);
+        self.last_t = Some(t);
+        self.filter.predict(dt_s);
+        let predicted_m = self.filter.predicted_distance();
+
+        let mut gated = false;
+        let mut innovation = None;
+        match fix_m {
+            Some(z) if link_complete => {
+                let pre = self.filter.innovation(z);
+                if let Some(inn) = pre {
+                    if inn.sigmas() > self.cfg.gate_sigma {
+                        // Track break: the world moved in a way the model
+                        // cannot explain. Re-seed at the new fix so the
+                        // next ACQUIRE stint converges there.
+                        gated = true;
+                        innovation = Some(inn);
+                        self.filter.reset();
+                        self.filter.update(z);
+                        self.good_streak = 0;
+                        self.missed = 0;
+                        self.mode = TrackMode::Acquire;
+                    }
+                }
+                if !gated {
+                    innovation = Some(self.filter.update(z));
+                    self.missed = 0;
+                    self.good_streak += 1;
+                    if self.mode == TrackMode::Acquire
+                        && self.good_streak >= self.cfg.acquire_fixes
+                    {
+                        self.mode = TrackMode::Track;
+                        self.missed = 0;
+                    }
+                }
+            }
+            _ => {
+                // No estimate, or an incomplete sweep: a miss. An
+                // incomplete subset sweep can still estimate from the
+                // bands that survived, but those degraded fixes carry
+                // elevated ghost-peak risk, so they are not fused —
+                // repeated incomplete sweeps re-ACQUIRE instead.
+                self.good_streak = 0;
+                self.missed += 1;
+                if self.mode == TrackMode::Track && self.missed >= self.cfg.max_missed {
+                    self.mode = TrackMode::Acquire;
+                    self.missed = 0;
+                }
+            }
+        }
+
+        TrackUpdate {
+            mode,
+            next_mode: self.mode,
+            predicted_m,
+            fused_m: self.filter.predicted_distance(),
+            innovation,
+            gated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_link::time::Duration;
+
+    fn at(epoch: u64) -> Instant {
+        Instant::ZERO + Duration::from_millis(100 * epoch)
+    }
+
+    #[test]
+    fn filter_converges_on_static_distance() {
+        let mut f = DistanceFilter::new(2.0, 0.15);
+        f.update(7.0);
+        for i in 0..30 {
+            f.predict(0.1);
+            // Deterministic ±5 cm dither around 7 m.
+            let z = 7.0 + if i % 2 == 0 { 0.05 } else { -0.05 };
+            f.update(z);
+        }
+        assert!((f.predicted_distance().unwrap() - 7.0).abs() < 0.05);
+        assert!(f.velocity().unwrap().abs() < 0.1);
+        assert!(f.sigma_m().unwrap() < 0.15);
+    }
+
+    #[test]
+    fn filter_learns_constant_velocity() {
+        let mut f = DistanceFilter::new(2.0, 0.1);
+        // Client receding at 1.5 m/s, fixed 100 ms cadence.
+        for i in 0..40 {
+            f.predict(if i == 0 { 0.0 } else { 0.1 });
+            f.update(3.0 + 1.5 * 0.1 * i as f64);
+        }
+        let v = f.velocity().unwrap();
+        assert!((v - 1.5).abs() < 0.2, "velocity {v}");
+        // Prediction leads the last fix by about one step's motion.
+        f.predict(0.1);
+        let d = f.predicted_distance().unwrap();
+        let expect = 3.0 + 1.5 * 0.1 * 40.0;
+        assert!((d - expect).abs() < 0.1, "predicted {d} expected {expect}");
+    }
+
+    #[test]
+    fn innovation_is_measured_in_sigmas() {
+        let mut f = DistanceFilter::new(1.0, 0.1);
+        f.update(5.0);
+        f.predict(0.1);
+        let small = f.innovation(5.02).unwrap();
+        let large = f.innovation(9.0).unwrap();
+        assert!(small.sigmas() < 1.0);
+        assert!(large.sigmas() > 10.0);
+        assert!(large.nu_m > 3.9);
+    }
+
+    #[test]
+    fn tracker_promotes_after_streak_and_requests_subset() {
+        let mut t = ClientTracker::new(TrackerConfig::default());
+        assert_eq!(t.mode(), TrackMode::Acquire);
+        assert_eq!(t.requested_bands(), None);
+        let u0 = t.observe(at(0), Some(4.0), true);
+        assert_eq!(u0.next_mode, TrackMode::Acquire, "one fix is not a streak");
+        let u1 = t.observe(at(1), Some(4.01), true);
+        assert_eq!(u1.next_mode, TrackMode::Track);
+        assert_eq!(t.requested_bands(), Some(TrackerConfig::default().track_bands));
+    }
+
+    #[test]
+    fn innovation_spike_forces_reacquire_and_reseeds() {
+        let mut t = ClientTracker::new(TrackerConfig::default());
+        for i in 0..4 {
+            t.observe(at(i), Some(4.0), true);
+        }
+        assert_eq!(t.mode(), TrackMode::Track);
+        // Teleport: 4 m → 12 m between epochs.
+        let u = t.observe(at(4), Some(12.0), true);
+        assert!(u.gated, "teleport must trip the gate");
+        assert_eq!(u.next_mode, TrackMode::Acquire);
+        // Filter re-seeded at the new location.
+        assert!((t.filter().predicted_distance().unwrap() - 12.0).abs() < 1e-9);
+        // Two good fixes at the new spot re-promote.
+        t.observe(at(5), Some(12.0), true);
+        let u = t.observe(at(6), Some(12.01), true);
+        assert_eq!(u.next_mode, TrackMode::Track);
+    }
+
+    #[test]
+    fn repeated_misses_force_reacquire() {
+        let cfg = TrackerConfig { max_missed: 2, ..Default::default() };
+        let mut t = ClientTracker::new(cfg);
+        t.observe(at(0), Some(6.0), true);
+        t.observe(at(1), Some(6.0), true);
+        assert_eq!(t.mode(), TrackMode::Track);
+        let u = t.observe(at(2), None, false);
+        assert_eq!(u.next_mode, TrackMode::Track, "one miss is tolerated");
+        let u = t.observe(at(3), None, false);
+        assert_eq!(u.next_mode, TrackMode::Acquire, "second miss demotes");
+    }
+
+    #[test]
+    fn incomplete_track_sweeps_are_misses_even_with_estimates() {
+        // A chronically lossy medium: subset sweeps keep producing
+        // estimates from partial band coverage. Those degraded fixes
+        // must not be fused, and repeated incomplete sweeps re-ACQUIRE.
+        let cfg = TrackerConfig { max_missed: 2, ..Default::default() };
+        let mut t = ClientTracker::new(cfg);
+        t.observe(at(0), Some(6.0), true);
+        t.observe(at(1), Some(6.0), true);
+        assert_eq!(t.mode(), TrackMode::Track);
+        let before = t.filter().predicted_distance().unwrap();
+        let u = t.observe(at(2), Some(6.4), false);
+        assert!(u.innovation.is_none(), "degraded fix must not be fused");
+        assert_eq!(t.filter().predicted_distance().unwrap().to_bits(), before.to_bits());
+        let u = t.observe(at(3), Some(6.4), false);
+        assert_eq!(u.next_mode, TrackMode::Acquire, "repeated incomplete sweeps re-acquire");
+    }
+
+    #[test]
+    fn incomplete_acquire_sweep_does_not_count_toward_streak() {
+        let mut t = ClientTracker::new(TrackerConfig::default());
+        t.observe(at(0), Some(5.0), true);
+        // Incomplete sweep in ACQUIRE: estimate (if any) is not trusted.
+        let u = t.observe(at(1), Some(5.0), false);
+        assert_eq!(u.next_mode, TrackMode::Acquire);
+        t.observe(at(2), Some(5.0), true);
+        let u = t.observe(at(3), Some(5.0), true);
+        assert_eq!(u.next_mode, TrackMode::Track);
+    }
+
+    #[test]
+    fn filter_reset_clears_state() {
+        let mut f = DistanceFilter::new(1.0, 0.1);
+        f.update(3.0);
+        assert!(f.is_initialized());
+        f.reset();
+        assert!(!f.is_initialized());
+        assert!(f.predicted_distance().is_none());
+        assert!(f.innovation(3.0).is_none());
+    }
+}

@@ -211,6 +211,21 @@ impl MediumArbiter {
     pub fn horizon(&self) -> Instant {
         self.windows.iter().map(|w| w.end).max().unwrap_or(Instant::ZERO)
     }
+
+    /// Total airtime currently charged across tracked windows — the sum
+    /// of per-window durations, counting each sweep exactly once.
+    ///
+    /// Variable-length plans make this the honest capacity denominator:
+    /// a TRACK-mode subset sweep must be charged its own (short) window,
+    /// not a full-sweep projection, and [`MediumArbiter::complete`]
+    /// *replaces* the projected end rather than appending a second
+    /// window, so no sweep is ever double-counted (asserted by tests and
+    /// `tests/tracking.rs`).
+    pub fn total_tracked_airtime(&self) -> Duration {
+        self.windows
+            .iter()
+            .fold(Duration::ZERO, |acc, w| acc + w.end.saturating_since(w.start))
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +322,27 @@ mod tests {
         arb.release_before(ms(20));
         assert_eq!(arb.active_at(ms(5)), 0);
         assert_eq!(arb.horizon(), Instant::ZERO);
+    }
+
+    #[test]
+    fn variable_length_windows_charge_airtime_exactly_once() {
+        let mut arb = MediumArbiter::new(ArbiterConfig::default());
+        // A full sweep and two subset sweeps of different lengths.
+        let a = arb.admit(ms(0), Duration::from_millis(84));
+        let b = arb.admit(ms(0), Duration::from_millis(29));
+        let c = arb.admit(ms(0), Duration::from_millis(12));
+        let projected = arb.total_tracked_airtime();
+        assert_eq!(projected, Duration::from_millis(84 + 29 + 12));
+
+        // Completion replaces the projection — it must never add a second
+        // window for the same sweep.
+        arb.complete(a.token, a.start + Duration::from_millis(90));
+        arb.complete(b.token, b.start + Duration::from_millis(25));
+        arb.complete(c.token, c.start + Duration::from_millis(12));
+        assert_eq!(arb.total_tracked_airtime(), Duration::from_millis(90 + 25 + 12));
+        // Completing twice is idempotent.
+        arb.complete(c.token, c.start + Duration::from_millis(12));
+        assert_eq!(arb.total_tracked_airtime(), Duration::from_millis(90 + 25 + 12));
     }
 
     #[test]

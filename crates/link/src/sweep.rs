@@ -31,11 +31,37 @@ pub struct SweepConfig {
 impl SweepConfig {
     /// The paper's standard sweep: all 35 U.S. bands with default timing.
     pub fn standard() -> Self {
-        SweepConfig {
-            plan: chronos_rf::bands::band_plan(),
-            protocol: ProtocolConfig::default(),
-            medium: MediumConfig::default(),
-        }
+        SweepConfig::with_plan(chronos_rf::bands::band_plan())
+    }
+
+    /// A sweep over an explicit band plan (any length ≥ 1) with default
+    /// timing — how the adaptive scheduler issues TRACK-mode subset
+    /// sweeps. The protocol machinery is plan-length agnostic; only the
+    /// airtime scales.
+    pub fn with_plan(plan: Vec<Band>) -> Self {
+        SweepConfig { plan, protocol: ProtocolConfig::default(), medium: MediumConfig::default() }
+    }
+
+    /// Loss-free airtime this plan needs, from the protocol and medium
+    /// timing model: per band, `measures_per_band` measure/ack exchanges
+    /// (each padded by the inter-measure gap), one hop-advert exchange,
+    /// and one channel switch. Multi-client admission scales this by a
+    /// headroom factor to absorb retransmissions — see
+    /// `chronos_core::service::ServiceConfig::admission_headroom`.
+    ///
+    /// For the standard 35-band plan this lands near the paper's 84 ms
+    /// median hop time (Fig. 9a); for a k-band subset it shrinks to
+    /// ~k/35 of that, which is exactly the airtime the adaptive tracker
+    /// saves per fix.
+    pub fn expected_duration(&self) -> Duration {
+        let measure = self.medium.airtime(&Frame::Measure { seq: 0 });
+        let ack = self.medium.airtime(&Frame::Ack { seq: 0 });
+        let advert =
+            self.medium.airtime(&Frame::HopAdvert { seq: 0, next_channel: 0, dwell_us: 0 });
+        let exchange = measure + self.medium.sifs + ack + self.protocol.measure_gap;
+        let hop = advert + self.medium.sifs + ack + self.medium.channel_switch;
+        let per_band = exchange.mul_f64(self.protocol.measures_per_band as f64) + hop;
+        per_band.mul_f64(self.plan.len() as f64)
     }
 }
 
@@ -426,6 +452,42 @@ mod tests {
         assert_eq!(r1.duration(), r2.duration());
         assert_eq!(r1.measurements.len(), r2.measurements.len());
         assert_eq!(r1.frames_lost, r2.frames_lost);
+    }
+
+    #[test]
+    fn expected_duration_matches_simulated_sweeps() {
+        // The analytic airtime model must land on the simulated lossless
+        // sweep duration (it is the same timing arithmetic).
+        let cfg = lossless_cfg();
+        let mut rng = StdRng::seed_from_u64(21);
+        let r = run_sweep(&cfg, Instant::ZERO, &mut rng);
+        let predicted = cfg.expected_duration().as_millis_f64();
+        let actual = r.duration().as_millis_f64();
+        assert!(
+            (predicted - actual).abs() / actual < 0.1,
+            "predicted {predicted} ms vs simulated {actual} ms"
+        );
+        // And near the paper's 84 ms figure for the standard plan.
+        assert!((75.0..95.0).contains(&predicted), "predicted {predicted} ms");
+    }
+
+    #[test]
+    fn subset_plan_sweeps_scale_airtime_with_band_count() {
+        let full = lossless_cfg();
+        let mut sub = lossless_cfg();
+        sub.plan.truncate(12);
+        let ratio = sub.expected_duration().as_secs_f64() / full.expected_duration().as_secs_f64();
+        assert!((ratio - 12.0 / 35.0).abs() < 1e-9, "ratio {ratio}");
+
+        // The simulator agrees: a 12-band sweep takes about a third of a
+        // 35-band sweep and still completes every band.
+        let mut rng = StdRng::seed_from_u64(22);
+        let r = run_sweep(&sub, Instant::ZERO, &mut rng);
+        assert!(r.complete);
+        assert_eq!(r.bands_measured(sub.plan.len()), 12);
+        let sim_ratio = r.duration().as_secs_f64()
+            / run_sweep(&full, Instant::ZERO, &mut rng).duration().as_secs_f64();
+        assert!((0.25..0.45).contains(&sim_ratio), "simulated ratio {sim_ratio}");
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! * [`csi`] — the measurement pipeline that turns geometry + impairments
 //!   into the `CsiCapture` a driver would hand to user space.
 //! * [`testbed`] — the 20 m x 20 m office testbed generator (Fig. 6).
+//! * [`subset`] — band-subset selection for adaptive TRACK-mode sweeps:
+//!   a grating-lobe ambiguity metric over candidate spacings, and a
+//!   deterministic greedy pick that keeps the full aperture while
+//!   minimizing alias risk (consumed by the `chronos-core` scheduler).
 
 pub mod bands;
 pub mod cfo;
@@ -29,6 +33,7 @@ pub mod hardware;
 pub mod noise;
 pub mod ofdm;
 pub mod propagation;
+pub mod subset;
 pub mod testbed;
 
 pub use bands::{band_plan, Band, BandGroup};

@@ -1,0 +1,223 @@
+//! Band-subset selection for adaptive sweeps.
+//!
+//! A full Chronos fix hops all 35 U.S. Wi-Fi bands (~84 ms of airtime,
+//! paper Fig. 9a). Once a client's distance is already approximately
+//! known — because an online tracker carries a prior across fixes — a
+//! *subset* of bands suffices: the sparse inversion only has to refine a
+//! delay near the prediction, not disambiguate the whole 200 ns range.
+//! What a subset must preserve is the **aperture** (the frequency span
+//! sets delay resolution) and a **low-ambiguity spacing**: band centers
+//! on a coarse common raster produce a quasi-periodic NDFT point
+//! response whose grating lobes alias energy to wrong delays, exactly
+//! the ghosts the estimator's first-peak veto fights.
+//!
+//! [`select_subset`] therefore picks subsets greedily by the
+//! [`ambiguity`] metric — the peak sidelobe level of the subset's own
+//! point response — which naturally prefers co-prime-looking spacings
+//! (the §4 Chinese-remainder intuition: pairwise spacings that share no
+//! large common divisor push grating lobes out of the scanned range).
+//! Selection is deterministic, so subsets are cacheable per
+//! `(plan, k)`; the ranging service memoizes them and the shared
+//! `PlanCache` in `chronos-core` then holds one NDFT plan per subset.
+
+use crate::bands::Band;
+use chronos_math::Complex64;
+
+/// Peak sidelobe level of the point response of `freqs_hz`, scanned over
+/// delay offsets `(2·resolution, max_offset_ns]` in coarse steps.
+///
+/// The point response at offset `τ` is `|Σ_f e^{j2πfτ}| / n`: 1.0 at the
+/// main lobe, and close to 1.0 again wherever the band spacings are
+/// commensurate (a grating lobe). Lower is better; an ideal co-prime
+/// spread stays near `1/√n`.
+///
+/// ```
+/// use chronos_rf::bands::band_plan_5ghz;
+/// use chronos_rf::subset::ambiguity;
+///
+/// let freqs: Vec<f64> = band_plan_5ghz().iter().map(|b| b.center_hz).collect();
+/// let a = ambiguity(&freqs, 100.0);
+/// assert!(a > 0.0 && a < 1.0);
+/// // A 20 MHz-rastered *regular* comb is maximally ambiguous: its point
+/// // response returns to 1.0 every 50 ns.
+/// let comb: Vec<f64> = (0..10).map(|i| 5.18e9 + i as f64 * 20e6).collect();
+/// assert!(ambiguity(&comb, 100.0) > 0.99);
+/// ```
+pub fn ambiguity(freqs_hz: &[f64], max_offset_ns: f64) -> f64 {
+    if freqs_hz.len() < 2 {
+        return 1.0;
+    }
+    let n = freqs_hz.len() as f64;
+    let lo = freqs_hz.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = freqs_hz.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    if span <= 0.0 {
+        return 1.0;
+    }
+    // Main-lobe exclusion: twice the Rayleigh resolution of the aperture.
+    let res_ns = 1e9 / span;
+    let start = 2.0 * res_ns;
+    if start >= max_offset_ns {
+        return 1.0;
+    }
+    let step = 0.05;
+    let mut worst = 0.0f64;
+    let mut x = start;
+    while x <= max_offset_ns {
+        let mut acc = Complex64::ZERO;
+        for f in freqs_hz {
+            acc += Complex64::cis(2.0 * std::f64::consts::PI * f * x * 1e-9);
+        }
+        worst = worst.max(acc.abs() / n);
+        x += step;
+    }
+    worst
+}
+
+/// Quality summary of a chosen subset (used by docs/benches to justify
+/// subset sizes; see `docs/TRACKING.md`).
+#[derive(Debug, Clone, Copy)]
+pub struct SubsetQuality {
+    /// Number of bands in the subset.
+    pub n_bands: usize,
+    /// Frequency aperture (max − min center), Hz.
+    pub span_hz: f64,
+    /// Peak sidelobe level of the subset's point response ([`ambiguity`]).
+    pub peak_sidelobe: f64,
+}
+
+/// Scores a subset: aperture plus ambiguity over `max_offset_ns`.
+pub fn subset_quality(bands: &[Band], max_offset_ns: f64) -> SubsetQuality {
+    let freqs: Vec<f64> = bands.iter().map(|b| b.center_hz).collect();
+    let lo = freqs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = freqs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    SubsetQuality {
+        n_bands: bands.len(),
+        span_hz: (hi - lo).max(0.0),
+        peak_sidelobe: ambiguity(&freqs, max_offset_ns),
+    }
+}
+
+/// Deterministically selects `k` bands of `plan` for a TRACK-mode sweep.
+///
+/// The endpoints of the plan are always kept (they fix the aperture and
+/// hence the delay resolution); the remaining `k - 2` members are added
+/// greedily, each step choosing the candidate that minimizes the
+/// [`ambiguity`] of the subset built so far. Ties break toward the
+/// lower-frequency candidate, so the result is a pure function of
+/// `(plan, k, max_offset_ns)` and safe to memoize.
+///
+/// Returns the subset in ascending plan order. When `k >= plan.len()`
+/// (or `k < 2`) the whole plan is returned unchanged.
+///
+/// ```
+/// use chronos_rf::bands::band_plan_5ghz;
+/// use chronos_rf::subset::{ambiguity, select_subset};
+///
+/// let plan = band_plan_5ghz();
+/// let sub = select_subset(&plan, 10, 100.0);
+/// assert_eq!(sub.len(), 10);
+/// // Aperture is preserved: first and last bands of the plan survive.
+/// assert_eq!(sub.first().unwrap().channel, plan.first().unwrap().channel);
+/// assert_eq!(sub.last().unwrap().channel, plan.last().unwrap().channel);
+/// // The greedy pick is far less ambiguous than a naive regular stride.
+/// let freqs: Vec<f64> = sub.iter().map(|b| b.center_hz).collect();
+/// let stride: Vec<f64> = plan.iter().step_by(2).take(10).map(|b| b.center_hz).collect();
+/// assert!(ambiguity(&freqs, 100.0) < ambiguity(&stride, 100.0));
+/// ```
+pub fn select_subset(plan: &[Band], k: usize, max_offset_ns: f64) -> Vec<Band> {
+    if k >= plan.len() || k < 2 || plan.len() < 2 {
+        return plan.to_vec();
+    }
+    let mut chosen: Vec<usize> = vec![0, plan.len() - 1];
+    let mut remaining: Vec<usize> = (1..plan.len() - 1).collect();
+    while chosen.len() < k {
+        let mut best: Option<(usize, f64)> = None; // (position in remaining, score)
+        for (pos, &cand) in remaining.iter().enumerate() {
+            let mut freqs: Vec<f64> = chosen.iter().map(|&i| plan[i].center_hz).collect();
+            freqs.push(plan[cand].center_hz);
+            let score = ambiguity(&freqs, max_offset_ns);
+            // Strict `<` keeps the earliest (lowest-frequency) candidate
+            // on ties, making the pick deterministic.
+            if best.map(|(_, s)| score < s).unwrap_or(true) {
+                best = Some((pos, score));
+            }
+        }
+        let (pos, _) = best.expect("remaining candidates exist");
+        chosen.push(remaining.remove(pos));
+    }
+    chosen.sort_unstable();
+    chosen.into_iter().map(|i| plan[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bands::{band_plan, band_plan_5ghz};
+
+    #[test]
+    fn regular_comb_is_ambiguous_scattered_plan_is_not() {
+        let comb: Vec<f64> = (0..12).map(|i| 5.5e9 + i as f64 * 20e6).collect();
+        let plan: Vec<f64> = band_plan_5ghz().iter().map(|b| b.center_hz).collect();
+        assert!(ambiguity(&comb, 120.0) > 0.99);
+        assert!(ambiguity(&plan, 120.0) < 0.9);
+    }
+
+    #[test]
+    fn degenerate_inputs_score_worst() {
+        assert_eq!(ambiguity(&[], 100.0), 1.0);
+        assert_eq!(ambiguity(&[5.2e9], 100.0), 1.0);
+        assert_eq!(ambiguity(&[5.2e9, 5.2e9], 100.0), 1.0);
+    }
+
+    #[test]
+    fn select_keeps_endpoints_and_size() {
+        let plan = band_plan_5ghz();
+        for k in [5usize, 8, 12, 16] {
+            let sub = select_subset(&plan, k, 100.0);
+            assert_eq!(sub.len(), k);
+            assert_eq!(sub.first().unwrap().channel, plan.first().unwrap().channel);
+            assert_eq!(sub.last().unwrap().channel, plan.last().unwrap().channel);
+            // Ascending plan order preserved.
+            for w in sub.windows(2) {
+                assert!(w[1].center_hz > w[0].center_hz);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_or_tiny_requests_return_whole_plan() {
+        let plan = band_plan_5ghz();
+        assert_eq!(select_subset(&plan, 24, 100.0).len(), 24);
+        assert_eq!(select_subset(&plan, 99, 100.0).len(), 24);
+        assert_eq!(select_subset(&plan, 1, 100.0).len(), 24);
+        assert_eq!(select_subset(&plan, 0, 100.0).len(), 24);
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let plan = band_plan();
+        let a = select_subset(&plan, 12, 100.0);
+        let b = select_subset(&plan, 12, 100.0);
+        let ca: Vec<u16> = a.iter().map(|x| x.channel).collect();
+        let cb: Vec<u16> = b.iter().map(|x| x.channel).collect();
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn greedy_subset_beats_regular_stride() {
+        let plan = band_plan_5ghz();
+        let k = 10;
+        let greedy = subset_quality(&select_subset(&plan, k, 100.0), 100.0);
+        let stride: Vec<Band> = plan.iter().step_by(plan.len() / k).cloned().take(k).collect();
+        let strided = subset_quality(&stride, 100.0);
+        assert!(
+            greedy.peak_sidelobe < strided.peak_sidelobe,
+            "greedy {} vs stride {}",
+            greedy.peak_sidelobe,
+            strided.peak_sidelobe
+        );
+        // Resolution is not sacrificed: full 5 GHz aperture retained.
+        assert!(greedy.span_hz > 0.6e9);
+    }
+}
