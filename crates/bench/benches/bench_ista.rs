@@ -7,7 +7,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::f64::consts::PI;
 
 fn freqs() -> Vec<f64> {
-    chronos_rf::bands::band_plan_5ghz().iter().map(|b| b.center_hz).collect()
+    chronos_rf::bands::band_plan_5ghz()
+        .iter()
+        .map(|b| b.center_hz)
+        .collect()
 }
 
 fn measurement(freqs: &[f64]) -> Vec<Complex64> {
@@ -31,7 +34,11 @@ fn bench_solver(c: &mut Criterion) {
 
     // Grid-size scaling.
     for grid_points in [400usize, 800] {
-        let grid = TauGrid { start_ns: 0.0, step_ns: 200.0 / grid_points as f64, len: grid_points };
+        let grid = TauGrid {
+            start_ns: 0.0,
+            step_ns: 200.0 / grid_points as f64,
+            len: grid_points,
+        };
         let ndft = Ndft::new(&f, grid);
         group.bench_with_input(
             BenchmarkId::new("solve_fista", grid_points),
@@ -41,7 +48,10 @@ fn bench_solver(c: &mut Criterion) {
                     std::hint::black_box(solve(
                         &ndft,
                         &h,
-                        &IstaConfig { accelerated: true, ..Default::default() },
+                        &IstaConfig {
+                            accelerated: true,
+                            ..Default::default()
+                        },
                     ))
                 })
             },
@@ -49,14 +59,21 @@ fn bench_solver(c: &mut Criterion) {
     }
 
     // Ablation: plain ISTA vs FISTA at the default grid.
-    let grid = TauGrid { start_ns: 0.0, step_ns: 0.25, len: 800 };
+    let grid = TauGrid {
+        start_ns: 0.0,
+        step_ns: 0.25,
+        len: 800,
+    };
     let ndft = Ndft::new(&f, grid);
     group.bench_function("ablation_plain_ista", |b| {
         b.iter(|| {
             std::hint::black_box(solve(
                 &ndft,
                 &h,
-                &IstaConfig { accelerated: false, ..Default::default() },
+                &IstaConfig {
+                    accelerated: false,
+                    ..Default::default()
+                },
             ))
         })
     });
@@ -65,7 +82,10 @@ fn bench_solver(c: &mut Criterion) {
             std::hint::black_box(solve(
                 &ndft,
                 &h,
-                &IstaConfig { accelerated: true, ..Default::default() },
+                &IstaConfig {
+                    accelerated: true,
+                    ..Default::default()
+                },
             ))
         })
     });
@@ -86,7 +106,10 @@ fn bench_solver(c: &mut Criterion) {
                     std::hint::black_box(solve(
                         &ndft,
                         &h,
-                        &IstaConfig { alpha_rel: *alpha, ..Default::default() },
+                        &IstaConfig {
+                            alpha_rel: *alpha,
+                            ..Default::default()
+                        },
                     ))
                 })
             },

@@ -21,9 +21,10 @@ fn ranges_for(tx: Point, array: &AntennaArray, noise: f64) -> Vec<AntennaRange> 
 fn bench_localization(c: &mut Criterion) {
     let mut group = c.benchmark_group("localization");
     let cfg = LocalizerConfig::default();
-    for (name, array) in
-        [("laptop_30cm", AntennaArray::laptop()), ("ap_100cm", AntennaArray::access_point())]
-    {
+    for (name, array) in [
+        ("laptop_30cm", AntennaArray::laptop()),
+        ("ap_100cm", AntennaArray::access_point()),
+    ] {
         let ranges = ranges_for(Point::new(2.5, 4.0), &array, 0.05);
         group.bench_with_input(BenchmarkId::new("locate", name), &ranges, |b, r| {
             b.iter(|| std::hint::black_box(locate(r, &cfg)))

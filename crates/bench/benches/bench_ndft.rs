@@ -7,7 +7,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::f64::consts::PI;
 
 fn freqs() -> Vec<f64> {
-    chronos_rf::bands::band_plan_5ghz().iter().map(|b| b.center_hz).collect()
+    chronos_rf::bands::band_plan_5ghz()
+        .iter()
+        .map(|b| b.center_hz)
+        .collect()
 }
 
 fn measurement(freqs: &[f64]) -> Vec<Complex64> {
@@ -22,19 +25,30 @@ fn bench_ndft(c: &mut Criterion) {
     let h = measurement(&f);
     let mut group = c.benchmark_group("ndft");
     for grid_points in [200usize, 400, 800, 1600] {
-        let grid = TauGrid { start_ns: 0.0, step_ns: 200.0 / grid_points as f64, len: grid_points };
+        let grid = TauGrid {
+            start_ns: 0.0,
+            step_ns: 200.0 / grid_points as f64,
+            len: grid_points,
+        };
         let ndft = Ndft::new(&f, grid);
-        let p: Vec<Complex64> =
-            (0..grid_points).map(|k| Complex64::cis(0.01 * k as f64)).collect();
-        group.bench_with_input(BenchmarkId::new("forward", grid_points), &grid_points, |b, _| {
-            b.iter(|| std::hint::black_box(ndft.forward(&p)))
-        });
-        group.bench_with_input(BenchmarkId::new("adjoint", grid_points), &grid_points, |b, _| {
-            b.iter(|| std::hint::black_box(ndft.adjoint(&h)))
-        });
-        group.bench_with_input(BenchmarkId::new("op_norm", grid_points), &grid_points, |b, _| {
-            b.iter(|| std::hint::black_box(ndft.op_norm(20)))
-        });
+        let p: Vec<Complex64> = (0..grid_points)
+            .map(|k| Complex64::cis(0.01 * k as f64))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("forward", grid_points),
+            &grid_points,
+            |b, _| b.iter(|| std::hint::black_box(ndft.forward(&p))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("adjoint", grid_points),
+            &grid_points,
+            |b, _| b.iter(|| std::hint::black_box(ndft.adjoint(&h))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("op_norm", grid_points),
+            &grid_points,
+            |b, _| b.iter(|| std::hint::black_box(ndft.op_norm(20))),
+        );
     }
     group.finish();
 }

@@ -59,8 +59,10 @@ fn cold_sessions(n: usize) -> Vec<ChronosSession> {
 }
 
 fn shared_service(n: usize, threads: usize) -> RangingService {
-    let mut cfg = ServiceConfig::default();
-    cfg.threads = threads;
+    let cfg = ServiceConfig {
+        threads,
+        ..Default::default()
+    };
     let mut svc = RangingService::new(cfg);
     for i in 0..n {
         let id = svc.add_client(client_ctx(i), ChronosConfig::ideal());
@@ -136,7 +138,10 @@ fn bench_service(c: &mut Criterion) {
     // *airtime* throughput, not host time: print the full-vs-adaptive
     // table (README quotes this).
     println!("\n  capacity (simulated airtime): sweeps/s, full vs adaptive steady state");
-    println!("  {:>8} {:>10} {:>10} {:>8} {:>12} {:>12}", "clients", "full", "adaptive", "gain", "full MAE", "track MAE");
+    println!(
+        "  {:>8} {:>10} {:>10} {:>8} {:>12} {:>12}",
+        "clients", "full", "adaptive", "gain", "full MAE", "track MAE"
+    );
     for row in capacity_table(&[1, 2, 4, 8], 10, 42) {
         println!(
             "  {:>8} {:>10.1} {:>10.1} {:>7.1}x {:>10.3} m {:>10.3} m",

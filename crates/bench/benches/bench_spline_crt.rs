@@ -25,7 +25,9 @@ fn bench_spline(c: &mut Criterion) {
     );
     let band = chronos_rf::bands::band_by_channel(44).unwrap();
     let layout = SubcarrierLayout::intel5300();
-    let cap = ctx.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0).forward;
+    let cap = ctx
+        .measure_pair(&mut rng, &band, &layout, 0, 0, 0.0)
+        .forward;
 
     let mut group = c.benchmark_group("zero_subcarrier");
     group.bench_function("cubic_spline", |b| {
@@ -39,7 +41,10 @@ fn bench_spline(c: &mut Criterion) {
 
 fn bench_crt(c: &mut Criterion) {
     let tau = 17.3;
-    let all: Vec<f64> = chronos_rf::bands::band_plan().iter().map(|b| b.center_hz).collect();
+    let all: Vec<f64> = chronos_rf::bands::band_plan()
+        .iter()
+        .map(|b| b.center_hz)
+        .collect();
     let mut group = c.benchmark_group("crt_voting");
     for n in [5usize, 11, 24, 35] {
         let freqs: Vec<f64> = all.iter().take(n).cloned().collect();

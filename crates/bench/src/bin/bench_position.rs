@@ -1,0 +1,95 @@
+//! The position-tracking benchmark and its CI regression gate.
+//!
+//! ```sh
+//! # Regenerate the checked-in baseline (CI gates a --quick run, so the
+//! # baseline must be a --quick run too — epoch-count mismatches fail
+//! # the gate explicitly):
+//! cargo run --release -p chronos-bench --bin bench_position -- --quick
+//!
+//! # Gate mode (what scripts/check-bench-regression.sh runs in CI):
+//! cargo run --release -p chronos-bench --bin bench_position -- \
+//!     --quick --check BENCH_position.json --tolerance 0.20
+//! ```
+//!
+//! Flags: `--quick` (fewer epochs — the CI setting), `--out <path>`
+//! (where to write the JSON; default `BENCH_position.json` in the
+//! current directory), `--check <baseline>` (compare against a
+//! checked-in baseline instead of overwriting it; exits 1 on any metric
+//! regressed past the tolerance), `--tolerance <frac>` (default 0.20).
+//!
+//! The run is fully deterministic, so the comparison gates on real
+//! algorithmic drift, not noise.
+
+use chronos_bench::position::{check_regression, position_table};
+use chronos_bench::report::{write_json, Table};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const SEED: u64 = 61;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_position.json");
+    let mut check: Option<PathBuf> = None;
+    let mut tolerance = 0.20;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            "--check" => check = Some(PathBuf::from(args.next().expect("--check needs a path"))),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance needs a fraction, e.g. 0.20")
+            }
+            other => {
+                eprintln!("unknown flag {other}; see the crate docs");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let epochs = if quick { 10 } else { 24 };
+    let table = position_table(SEED, epochs);
+    println!("{}", table.render());
+
+    match check {
+        None => {
+            write_json(&table, &out).expect("write BENCH_position.json");
+            println!("wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Some(baseline_path) => {
+            let baseline_src = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+                panic!("cannot read baseline {}: {e}", baseline_path.display())
+            });
+            let baseline = Table::from_json(&baseline_src)
+                .unwrap_or_else(|e| panic!("malformed baseline: {e}"));
+            match check_regression(&table, &baseline, tolerance) {
+                Ok(()) => {
+                    println!(
+                        "bench-regression gate: OK (within {:.0}% of {})",
+                        tolerance * 100.0,
+                        baseline_path.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(failures) => {
+                    eprintln!("bench-regression gate: FAILED");
+                    for f in &failures {
+                        eprintln!("  {f}");
+                    }
+                    eprintln!(
+                        "(baseline {}; intentional changes: re-run without --check and \
+                         commit the new baseline)",
+                        baseline_path.display()
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}

@@ -2,7 +2,10 @@
 //! across the office testbed (paper medians: 0.47 ns / 0.69 ns).
 
 fn main() {
-    let pairs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(80);
+    let pairs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
     let trials = chronos_bench::figures::accuracy_trials(42, pairs);
     let dir = chronos_bench::report::data_dir();
     for t in chronos_bench::figures::fig07a(&trials) {

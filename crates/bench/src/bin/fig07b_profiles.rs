@@ -2,7 +2,10 @@
 //! dominant peaks, sd 1.95).
 
 fn main() {
-    let pairs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let pairs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
     let trials = chronos_bench::figures::accuracy_trials(42, pairs);
     let dir = chronos_bench::report::data_dir();
     for t in chronos_bench::figures::fig07b(&trials) {

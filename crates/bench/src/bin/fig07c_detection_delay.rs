@@ -2,7 +2,10 @@
 //! histograms (paper: median 177 ns, sd 24.76 ns, ~8x larger than ToF).
 
 fn main() {
-    let pairs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let pairs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
     let trials = chronos_bench::figures::accuracy_trials(42, pairs);
     let dir = chronos_bench::report::data_dir();
     for t in chronos_bench::figures::fig07c(&trials) {

@@ -2,7 +2,10 @@
 //! (paper: ~10 cm near, up to ~25.6 cm at 12-15 m).
 
 fn main() {
-    let pairs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(80);
+    let pairs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
     let trials = chronos_bench::figures::accuracy_trials(42, pairs);
     let dir = chronos_bench::report::data_dir();
     for t in chronos_bench::figures::fig08a(&trials) {

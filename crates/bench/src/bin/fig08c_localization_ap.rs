@@ -4,7 +4,10 @@
 use chronos_rf::hardware::AntennaArray;
 
 fn main() {
-    let pairs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(70);
+    let pairs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(70);
     let dir = chronos_bench::report::data_dir();
     let tables = chronos_bench::figures::fig08_localization(
         "fig08c_localization_ap",

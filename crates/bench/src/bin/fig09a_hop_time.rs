@@ -2,7 +2,10 @@
 //! (paper median: 84 ms).
 
 fn main() {
-    let n = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
     let dir = chronos_bench::report::data_dir();
     for t in chronos_bench::figures::fig09a(7, n) {
         chronos_bench::report::write_csv(&t, &dir).expect("write csv");

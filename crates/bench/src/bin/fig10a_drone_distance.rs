@@ -2,7 +2,10 @@
 //! target distance (paper: median 4.17 cm, RMSE ~4.2 cm).
 
 fn main() {
-    let ticks = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(240);
+    let ticks = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(240);
     let dir = chronos_bench::report::data_dir();
     for t in chronos_bench::figures::fig10a(21, ticks) {
         chronos_bench::report::write_csv(&t, &dir).expect("write csv");

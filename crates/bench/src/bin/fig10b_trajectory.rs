@@ -1,7 +1,10 @@
 //! Regenerates Fig. 10(b): the drone-follows-user trajectory.
 
 fn main() {
-    let ticks = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(240);
+    let ticks = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(240);
     let dir = chronos_bench::report::data_dir();
     for t in chronos_bench::figures::fig10b(22, ticks) {
         chronos_bench::report::write_csv(&t, &dir).expect("write csv");

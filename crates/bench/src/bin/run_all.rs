@@ -18,7 +18,10 @@ fn persist(tables: Vec<Table>) {
 }
 
 fn main() {
-    let pairs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let pairs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
 
     println!("== Fig. 3: CRT phase alignment ==");
     persist(figures::fig03());

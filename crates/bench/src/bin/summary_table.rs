@@ -8,12 +8,12 @@ use chronos_bench::scenarios::{run_drone, run_hop_times, split_errors, summarize
 use chronos_rf::hardware::AntennaArray;
 
 fn main() {
-    let pairs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let pairs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
 
-    let mut t = Table::new(
-        "summary_table",
-        &["metric", "paper", "measured", "unit"],
-    );
+    let mut t = Table::new("summary_table", &["metric", "paper", "measured", "unit"]);
 
     // Time-of-flight accuracy (Fig. 7a) + distance (Sec. 1 bullets).
     let trials = figures::accuracy_trials(42, pairs);

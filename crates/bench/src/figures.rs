@@ -15,8 +15,9 @@ use chronos_rf::hardware::AntennaArray;
 use std::f64::consts::PI;
 
 /// Quantiles sampled when a figure dumps a CDF.
-const CDF_POINTS: [f64; 13] =
-    [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0];
+const CDF_POINTS: [f64; 13] = [
+    0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0,
+];
 
 fn cdf_table(name: &str, series: &[(&str, &[f64])]) -> Table {
     let mut headers = vec!["quantile".to_string()];
@@ -61,8 +62,15 @@ pub fn fig03() -> Vec<Table> {
     }
     let sol =
         chronos_math::crt::solve_by_voting(&congruences, 10.0, 0.001, 0.02).expect("solution");
-    let mut s = Table::new("fig03_solution", &["true_tau_ns", "resolved_tau_ns", "votes"]);
-    s.row(&[format!("{tau:.3}"), format!("{:.3}", sol.value), format!("{}", sol.votes)]);
+    let mut s = Table::new(
+        "fig03_solution",
+        &["true_tau_ns", "resolved_tau_ns", "votes"],
+    );
+    s.row(&[
+        format!("{tau:.3}"),
+        format!("{:.3}", sol.value),
+        format!("{}", sol.votes),
+    ]);
     println!("{}", t.render());
     println!("{}", s.render());
     vec![t, s]
@@ -85,19 +93,33 @@ pub fn fig04() -> Vec<Table> {
 /// Shared accuracy sweep used by Figs. 7a/7b/7c/8a/8b. Heavier than the
 /// rest; `pairs` scales effort.
 pub fn accuracy_trials(seed: u64, pairs: usize) -> Vec<crate::scenarios::LinkTrial> {
-    let cfg = AccuracyConfig { seed, max_pairs: pairs, ..Default::default() };
+    let cfg = AccuracyConfig {
+        seed,
+        max_pairs: pairs,
+        ..Default::default()
+    };
     run_accuracy(&cfg)
 }
 
 /// Fig. 7(a): CDF of time-of-flight error, LOS vs NLOS.
 pub fn fig07a(trials: &[crate::scenarios::LinkTrial]) -> Vec<Table> {
     let (los, nlos) = split_errors(trials, |t| t.tof_errors_ns.clone());
-    let t = cdf_table("fig07a_tof_error_cdf", &[("los_ns", &los), ("nlos_ns", &nlos)]);
+    let t = cdf_table(
+        "fig07a_tof_error_cdf",
+        &[("los_ns", &los), ("nlos_ns", &nlos)],
+    );
     let sl = summarize(&los);
     let sn = summarize(&nlos);
     let mut s = Table::new(
         "fig07a_summary",
-        &["setting", "median_ns", "p95_ns", "paper_median_ns", "paper_p95_ns", "n"],
+        &[
+            "setting",
+            "median_ns",
+            "p95_ns",
+            "paper_median_ns",
+            "paper_p95_ns",
+            "n",
+        ],
     );
     s.row(&[
         "LOS".into(),
@@ -143,8 +165,10 @@ pub fn fig07b(trials: &[crate::scenarios::LinkTrial]) -> Vec<Table> {
 
 /// Fig. 7(c): histograms of propagation delay vs packet detection delay.
 pub fn fig07c(trials: &[crate::scenarios::LinkTrial]) -> Vec<Table> {
-    let delays: Vec<f64> =
-        trials.iter().flat_map(|t| t.detection_delays_ns.clone()).collect();
+    let delays: Vec<f64> = trials
+        .iter()
+        .flat_map(|t| t.detection_delays_ns.clone())
+        .collect();
     let tofs: Vec<f64> = trials.iter().map(|t| t.true_tof_ns).collect();
     let mut hist_d = Histogram::new(0.0, 300.0, 60);
     hist_d.add_all(&delays);
@@ -152,7 +176,11 @@ pub fn fig07c(trials: &[crate::scenarios::LinkTrial]) -> Vec<Table> {
     hist_t.add_all(&tofs);
     let mut t = Table::new(
         "fig07c_delay_histogram",
-        &["bin_center_ns", "frac_detection_delay", "frac_propagation_delay"],
+        &[
+            "bin_center_ns",
+            "frac_detection_delay",
+            "frac_propagation_delay",
+        ],
     );
     for ((center, fd), (_, ft)) in hist_d.normalized().iter().zip(hist_t.normalized()) {
         if *fd > 0.0 || ft > 0.0 {
@@ -163,7 +191,13 @@ pub fn fig07c(trials: &[crate::scenarios::LinkTrial]) -> Vec<Table> {
     let ratio = s.median / chronos_math::stats::median(&tofs);
     let mut sm = Table::new(
         "fig07c_summary",
-        &["median_detection_ns", "std_ns", "paper_median_ns", "paper_std_ns", "ratio_to_tof"],
+        &[
+            "median_detection_ns",
+            "std_ns",
+            "paper_median_ns",
+            "paper_std_ns",
+            "ratio_to_tof",
+        ],
     );
     sm.row(&[
         format!("{:.1}", s.median),
@@ -192,7 +226,15 @@ pub fn fig08a(trials: &[crate::scenarios::LinkTrial]) -> Vec<Table> {
     }
     let mut t = Table::new(
         "fig08a_distance_error",
-        &["bucket_m", "los_mean_m", "los_std_m", "los_n", "nlos_mean_m", "nlos_std_m", "nlos_n"],
+        &[
+            "bucket_m",
+            "los_mean_m",
+            "los_std_m",
+            "los_n",
+            "nlos_mean_m",
+            "nlos_std_m",
+            "nlos_n",
+        ],
     );
     for (l, n) in los_b.rows().iter().zip(nlos_b.rows()) {
         t.row(&[
@@ -226,8 +268,7 @@ pub fn fig08_localization(
         ..Default::default()
     };
     let trials = run_accuracy(&cfg);
-    let (los, nlos) =
-        split_errors(&trials, |t| t.localization_error_m.into_iter().collect());
+    let (los, nlos) = split_errors(&trials, |t| t.localization_error_m.into_iter().collect());
     let t = cdf_table(
         &format!("{name}_cdf"),
         &[("los_m", &los), ("nlos_m", &nlos)],
@@ -238,8 +279,18 @@ pub fn fig08_localization(
         &format!("{name}_summary"),
         &["setting", "median_m", "paper_median_m", "n"],
     );
-    s.row(&["LOS".into(), format!("{:.3}", sl.median), paper_los.into(), format!("{}", sl.n)]);
-    s.row(&["NLOS".into(), format!("{:.3}", sn.median), paper_nlos.into(), format!("{}", sn.n)]);
+    s.row(&[
+        "LOS".into(),
+        format!("{:.3}", sl.median),
+        paper_los.into(),
+        format!("{}", sl.n),
+    ]);
+    s.row(&[
+        "NLOS".into(),
+        format!("{:.3}", sn.median),
+        paper_nlos.into(),
+        format!("{}", sn.n),
+    ]);
     println!("{}", s.render());
     vec![t, s]
 }
@@ -282,7 +333,10 @@ pub fn fig09c(seed: u64) -> Vec<Table> {
     let samples = run_tcp_trace(seed);
     let mut t = Table::new("fig09c_tcp_trace", &["t_s", "throughput_mbps"]);
     for s in &samples {
-        t.row(&[format!("{:.0}", s.t.as_secs_f64()), format!("{:.3}", s.throughput_mbps)]);
+        t.row(&[
+            format!("{:.0}", s.t.as_secs_f64()),
+            format!("{:.3}", s.throughput_mbps),
+        ]);
     }
     // Dip at the 7 s window (contains the t=6 s outage).
     let steady = samples
@@ -313,7 +367,13 @@ pub fn fig10a(seed: u64, ticks: usize) -> Vec<Table> {
     let rmse = chronos_math::stats::rms(&dev_cm);
     let mut sm = Table::new(
         "fig10a_summary",
-        &["median_cm", "rmse_cm", "paper_median_cm", "paper_rmse_cm", "n"],
+        &[
+            "median_cm",
+            "rmse_cm",
+            "paper_median_cm",
+            "paper_rmse_cm",
+            "n",
+        ],
     );
     sm.row(&[
         format!("{:.2}", s.median),
@@ -331,11 +391,25 @@ pub fn fig10b(seed: u64, ticks: usize) -> Vec<Table> {
     let records = run_drone(seed, ticks);
     let mut t = Table::new(
         "fig10b_trajectory",
-        &["t_s", "user_x", "user_y", "drone_x", "drone_y", "distance_m"],
+        &[
+            "t_s",
+            "user_x",
+            "user_y",
+            "drone_x",
+            "drone_y",
+            "distance_m",
+        ],
     );
     for r in records.iter().step_by(4) {
         t.row_f64(
-            &[r.t_s, r.user.x, r.user.y, r.drone.x, r.drone.y, r.true_distance_m],
+            &[
+                r.t_s,
+                r.user.x,
+                r.user.y,
+                r.drone.x,
+                r.drone.y,
+                r.true_distance_m,
+            ],
             3,
         );
     }

@@ -9,9 +9,10 @@
 //! in `benches/`.
 
 pub mod figures;
+pub mod position;
 pub mod report;
 pub mod scenarios;
 pub mod tracking;
 
-pub use report::{write_csv, Table};
+pub use report::{write_csv, write_json, Table};
 pub use scenarios::*;

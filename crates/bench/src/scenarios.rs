@@ -65,7 +65,9 @@ impl Default for AccuracyConfig {
             max_pairs: 80,
             array: AntennaArray::laptop(),
             chronos: ChronosConfig::default(),
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
         }
     }
 }
@@ -133,8 +135,7 @@ fn run_link_trial(
     }
 
     let truth_rel = pair.a.sub(pair.b);
-    let localization_error_m =
-        out.position.as_ref().ok().map(|p| p.point.dist(truth_rel));
+    let localization_error_m = out.position.as_ref().ok().map(|p| p.point.dist(truth_rel));
 
     // Detection delays measured per packet via the §5 slope method, on a
     // handful of fresh captures at this placement.
@@ -197,7 +198,10 @@ pub fn run_accuracy(cfg: &AccuracyConfig) -> Vec<LinkTrial> {
                     .collect::<Vec<_>>()
             }));
         }
-        handles.into_iter().flat_map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker"))
+            .collect()
     });
     results
 }
@@ -242,7 +246,10 @@ pub fn sweep_outage(seed: u64, at_ms: u64) -> Outage {
     let cfg = SweepConfig::standard();
     let mut rng = StdRng::seed_from_u64(seed);
     let r = run_sweep(&cfg, Instant::from_millis(at_ms), &mut rng);
-    Outage { start: r.started, end: r.finished }
+    Outage {
+        start: r.started,
+        end: r.finished,
+    }
 }
 
 /// Fig. 9(b): the video trace around a localization request at t = 6 s.
@@ -268,8 +275,10 @@ pub fn run_tcp_trace(seed: u64) -> Vec<TcpSample> {
 /// Fig. 10: the drone follow experiment. Returns per-tick records.
 pub fn run_drone(seed: u64, ticks: usize) -> Vec<chronos_drone::FollowRecord> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut cfg = chronos_drone::FollowConfig::default();
-    cfg.ticks = ticks;
+    let cfg = chronos_drone::FollowConfig {
+        ticks,
+        ..Default::default()
+    };
     let mut sim = chronos_drone::FollowSim::new(&mut rng, cfg, seed);
     sim.run(&mut rng)
 }
@@ -287,7 +296,9 @@ pub fn run_fig4_profile() -> (Vec<(f64, f64)>, f64) {
     cfg.grid_span_ns = 50.0;
     cfg.grid_step_ns = 0.1;
     let est = TofEstimator::new(cfg);
-    let r = est.estimate_from_products(&products).expect("fig4 estimate");
+    let r = est
+        .estimate_from_products(&products)
+        .expect("fig4 estimate");
     let prof = &r.groups[0].profile;
     let rows: Vec<(f64, f64)> = prof
         .magnitudes
@@ -329,10 +340,11 @@ mod tests {
     use super::*;
 
     fn quick_chronos() -> ChronosConfig {
-        let mut c = ChronosConfig::default();
-        c.max_iters = 120;
-        c.grid_step_ns = 0.5;
-        c
+        ChronosConfig {
+            max_iters: 120,
+            grid_step_ns: 0.5,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -348,7 +360,10 @@ mod tests {
         assert_eq!(trials.len(), 6);
         // The quick config (coarse grid, few iterations) is deliberately
         // degraded; far NLOS placements may fail, as in the full runs.
-        let with_tof = trials.iter().filter(|t| !t.tof_errors_ns.is_empty()).count();
+        let with_tof = trials
+            .iter()
+            .filter(|t| !t.tof_errors_ns.is_empty())
+            .count();
         assert!(with_tof >= 3, "only {with_tof} trials produced estimates");
         for t in &trials {
             for e in &t.tof_errors_ns {
@@ -419,7 +434,10 @@ mod tests {
             &mags,
             0.0,
             0.1,
-            &chronos_math::peaks::PeakConfig { dominance: 0.2, min_separation: 5 },
+            &chronos_math::peaks::PeakConfig {
+                dominance: 0.2,
+                min_separation: 5,
+            },
         );
         assert!(peaks.len() >= 3, "{} peaks", peaks.len());
     }

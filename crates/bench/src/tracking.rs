@@ -66,7 +66,13 @@ impl TrackingRun {
         if reports.is_empty() {
             return None;
         }
-        Some(reports.iter().map(|r| r.sweeps_per_sec_airtime()).sum::<f64>() / reports.len() as f64)
+        Some(
+            reports
+                .iter()
+                .map(|r| r.sweeps_per_sec_airtime())
+                .sum::<f64>()
+                / reports.len() as f64,
+        )
     }
 
     /// Mean sweeps/s over steady-state (all-TRACK) epochs.
@@ -83,8 +89,11 @@ impl TrackingRun {
     /// mode (or over all epochs when no TRACK epochs exist).
     pub fn mean_abs_error_m(&self) -> Option<f64> {
         let steady = self.steady_state();
-        let pool: Vec<&EpochReport> =
-            if steady.is_empty() { self.reports.iter().collect() } else { steady };
+        let pool: Vec<&EpochReport> = if steady.is_empty() {
+            self.reports.iter().collect()
+        } else {
+            steady
+        };
         let errs: Vec<f64> = pool
             .iter()
             .flat_map(|r| r.outcomes.iter().filter_map(|o| o.error_m))
@@ -196,8 +205,10 @@ pub fn capacity_table(client_counts: &[usize], epochs: usize, seed: u64) -> Vec<
                 adaptive: None,
             };
             let full = run_tracking(&base);
-            let adaptive =
-                run_tracking(&TrackingConfig { adaptive: Some(TrackerConfig::default()), ..base });
+            let adaptive = run_tracking(&TrackingConfig {
+                adaptive: Some(TrackerConfig::default()),
+                ..base
+            });
             CapacityRow {
                 n_clients: n,
                 full_sweeps_per_sec: full.overall_throughput().unwrap_or(0.0),
@@ -243,7 +254,10 @@ mod tests {
         assert!(run.track_occupancy() > 0.7);
         // Static, lossless clients give the gate no reason to fire.
         for client in 0..TrackingConfig::default().n_clients {
-            assert!(!reacquired(&run, client), "client {client} spuriously re-acquired");
+            assert!(
+                !reacquired(&run, client),
+                "client {client} spuriously re-acquired"
+            );
         }
     }
 
@@ -269,7 +283,11 @@ mod tests {
             n_clients: 2,
             ..Default::default()
         });
-        assert!(run.track_occupancy() > 0.5, "occupancy {}", run.track_occupancy());
+        assert!(
+            run.track_occupancy() > 0.5,
+            "occupancy {}",
+            run.track_occupancy()
+        );
         let rmse = run.worst_track_rmse_m().expect("adaptive epochs");
         assert!(rmse < 0.5, "worst RMSE {rmse}");
     }

@@ -88,7 +88,10 @@ impl Default for ChronosConfig {
 impl ChronosConfig {
     /// An idealized configuration for unit tests and genie ablations.
     pub fn ideal() -> Self {
-        ChronosConfig { mode: QuirkMode::Ideal, ..Default::default() }
+        ChronosConfig {
+            mode: QuirkMode::Ideal,
+            ..Default::default()
+        }
     }
 
     /// Number of grid points of the profile-domain grid.
@@ -110,7 +113,11 @@ mod tests {
 
     #[test]
     fn grid_len_consistent() {
-        let c = ChronosConfig { grid_step_ns: 0.5, grid_span_ns: 100.0, ..Default::default() };
+        let c = ChronosConfig {
+            grid_step_ns: 0.5,
+            grid_span_ns: 100.0,
+            ..Default::default()
+        };
         assert_eq!(c.grid_len(), 200);
     }
 

@@ -41,7 +41,11 @@ pub struct CrtConfig {
 
 impl Default for CrtConfig {
     fn default() -> Self {
-        CrtConfig { range_ns: 200.0, step_ns: 0.005, tol_ns: 0.03 }
+        CrtConfig {
+            range_ns: 200.0,
+            step_ns: 0.005,
+            tol_ns: 0.03,
+        }
     }
 }
 
@@ -53,7 +57,11 @@ pub fn tof_from_channels(
     delay_scale: f64,
     cfg: &CrtConfig,
 ) -> Option<VoteSolution> {
-    assert_eq!(freqs_hz.len(), channels.len(), "tof_from_channels: length mismatch");
+    assert_eq!(
+        freqs_hz.len(),
+        channels.len(),
+        "tof_from_channels: length mismatch"
+    );
     let congruences: Vec<Congruence> = freqs_hz
         .iter()
         .zip(channels.iter())
@@ -163,7 +171,11 @@ mod tests {
         ];
         // With a tiny tolerance there should be no 3-vote alignment; the
         // solver may still find accidental pairs, which we reject.
-        let cfg = CrtConfig { tol_ns: 0.0005, step_ns: 0.001, range_ns: 5.0 };
+        let cfg = CrtConfig {
+            tol_ns: 0.0005,
+            step_ns: 0.001,
+            range_ns: 5.0,
+        };
         let sol = tof_from_channels(&freqs, &hs, 1.0, &cfg);
         assert!(sol.is_none() || sol.unwrap().votes < 3);
     }

@@ -42,8 +42,8 @@ pub fn arrival_delay_ns(capture: &CsiCapture) -> Result<f64, ChronosError> {
         a[(i, 0)] = *f;
         a[(i, 1)] = 1.0;
     }
-    let sol = linear_lstsq(&a, &phases)
-        .map_err(|_| ChronosError::BadCapture("degenerate phase fit"))?;
+    let sol =
+        linear_lstsq(&a, &phases).map_err(|_| ChronosError::BadCapture("degenerate phase fit"))?;
     let slope = sol[0]; // radians per Hz
     Ok(-slope / (2.0 * std::f64::consts::PI) * 1e9)
 }
@@ -100,7 +100,10 @@ mod tests {
         let m = c.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0);
         let est = arrival_delay_ns(&m.forward).unwrap();
         let expected = m.truth_tof_ns + m.forward.truth_detection_delay_ns;
-        assert!((est - expected).abs() < 0.5, "est {est} expected {expected}");
+        assert!(
+            (est - expected).abs() < 0.5,
+            "est {est} expected {expected}"
+        );
     }
 
     #[test]
@@ -155,18 +158,19 @@ mod tests {
         // power-weighted mean delay; it must stay within the delay spread.
         let mut rng = StdRng::seed_from_u64(5);
         let mut env = Environment::free_space();
-        env.add_room(0.0, 0.0, 20.0, 20.0, chronos_rf::environment::Material::Concrete);
+        env.add_room(
+            0.0,
+            0.0,
+            20.0,
+            20.0,
+            chronos_rf::environment::Material::Concrete,
+        );
         let mut di = ideal_device(AntennaArray::single());
         let mut dr = ideal_device(AntennaArray::single());
         di.detection_delay.median_ns = 150.0;
         dr.detection_delay.median_ns = 150.0;
-        let mut c = MeasurementContext::new(
-            env,
-            di,
-            Point::new(4.0, 10.0),
-            dr,
-            Point::new(14.0, 10.0),
-        );
+        let mut c =
+            MeasurementContext::new(env, di, Point::new(4.0, 10.0), dr, Point::new(14.0, 10.0));
         c.snr.snr_at_1m_db = 300.0;
         let band = band_by_channel(100).unwrap();
         let layout = SubcarrierLayout::intel5300();

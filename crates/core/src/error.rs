@@ -46,7 +46,10 @@ impl fmt::Display for ChronosError {
                 write!(f, "distance set admits no consistent position")
             }
             ChronosError::SweepIncomplete { measured, planned } => {
-                write!(f, "band sweep incomplete: {measured}/{planned} bands measured")
+                write!(
+                    f,
+                    "band sweep incomplete: {measured}/{planned} bands measured"
+                )
             }
         }
     }
@@ -63,10 +66,15 @@ mod tests {
         assert!(ChronosError::TooFewBands { got: 2, need: 5 }
             .to_string()
             .contains("got 2"));
-        assert!(ChronosError::NoDominantPath.to_string().contains("dominant"));
-        assert!(ChronosError::SweepIncomplete { measured: 10, planned: 35 }
+        assert!(ChronosError::NoDominantPath
             .to_string()
-            .contains("10/35"));
+            .contains("dominant"));
+        assert!(ChronosError::SweepIncomplete {
+            measured: 10,
+            planned: 35
+        }
+        .to_string()
+        .contains("10/35"));
     }
 
     #[test]

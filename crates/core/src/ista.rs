@@ -38,7 +38,12 @@ pub struct IstaConfig {
 
 impl Default for IstaConfig {
     fn default() -> Self {
-        IstaConfig { alpha_rel: 0.12, max_iters: 400, epsilon: 1e-6, accelerated: true }
+        IstaConfig {
+            alpha_rel: 0.12,
+            max_iters: 400,
+            epsilon: 1e-6,
+            accelerated: true,
+        }
     }
 }
 
@@ -96,7 +101,11 @@ pub fn solve_planned(
 /// from the supplied spectral norm.
 fn solve_with_norm(ndft: &Ndft, h: &[Complex64], cfg: &IstaConfig, op_norm: f64) -> IstaSolution {
     let m = ndft.n_taus();
-    assert_eq!(h.len(), ndft.n_freqs(), "solve: measurement length mismatch");
+    assert_eq!(
+        h.len(),
+        ndft.n_freqs(),
+        "solve: measurement length mismatch"
+    );
 
     // Step size: 1 / L with L = 2 ||F||^2 (gradient of ||h - Fp||^2 is
     // 2 F*(Fp - h)); power iteration gives ||F||.
@@ -161,7 +170,12 @@ fn solve_with_norm(ndft: &Ndft, h: &[Complex64], cfg: &IstaConfig, op_norm: f64)
     }
     let residual = cvec::norm2(&resid);
 
-    IstaSolution { p, iterations, converged, residual }
+    IstaSolution {
+        p,
+        iterations,
+        converged,
+        residual,
+    }
 }
 
 /// LASSO **debiasing**: refits the amplitudes of the detected support by
@@ -297,13 +311,23 @@ mod tests {
         let grid = TauGrid::span(40.0, 0.2);
         let ndft = Ndft::new(&f, grid);
         let h = channel_for(&[(5.2, 1.0), (10.0, 0.7), (16.0, 0.4)], &f);
-        let sol = solve(&ndft, &h, &IstaConfig { alpha_rel: 0.08, ..Default::default() });
+        let sol = solve(
+            &ndft,
+            &h,
+            &IstaConfig {
+                alpha_rel: 0.08,
+                ..Default::default()
+            },
+        );
         let mags: Vec<f64> = sol.p.iter().map(|z| z.abs()).collect();
         let peaks = chronos_math::peaks::find_peaks(
             &mags,
             0.0,
             0.2,
-            &chronos_math::peaks::PeakConfig { dominance: 0.2, min_separation: 4 },
+            &chronos_math::peaks::PeakConfig {
+                dominance: 0.2,
+                min_separation: 4,
+            },
         );
         assert!(peaks.len() >= 3, "found {} peaks", peaks.len());
         assert!((peaks[0].x - 5.2).abs() < 0.4, "first peak {}", peaks[0].x);
@@ -332,10 +356,22 @@ mod tests {
         let ndft = Ndft::new(&f, grid);
         let h = channel_for(&[(5.0, 1.0), (9.0, 0.6), (14.0, 0.3), (20.0, 0.2)], &f);
         let count = |alpha: f64| {
-            let sol = solve(&ndft, &h, &IstaConfig { alpha_rel: alpha, ..Default::default() });
+            let sol = solve(
+                &ndft,
+                &h,
+                &IstaConfig {
+                    alpha_rel: alpha,
+                    ..Default::default()
+                },
+            );
             sol.p.iter().filter(|z| z.abs() > 1e-9).count()
         };
-        assert!(count(0.4) <= count(0.05), "{} > {}", count(0.4), count(0.05));
+        assert!(
+            count(0.4) <= count(0.05),
+            "{} > {}",
+            count(0.4),
+            count(0.05)
+        );
     }
 
     #[test]
@@ -347,12 +383,22 @@ mod tests {
         let plain = solve(
             &ndft,
             &h,
-            &IstaConfig { accelerated: false, max_iters: 4000, epsilon: 1e-9, ..Default::default() },
+            &IstaConfig {
+                accelerated: false,
+                max_iters: 4000,
+                epsilon: 1e-9,
+                ..Default::default()
+            },
         );
         let fast = solve(
             &ndft,
             &h,
-            &IstaConfig { accelerated: true, max_iters: 4000, epsilon: 1e-9, ..Default::default() },
+            &IstaConfig {
+                accelerated: true,
+                max_iters: 4000,
+                epsilon: 1e-9,
+                ..Default::default()
+            },
         );
         // Peak locations agree.
         let argmax = |p: &[Complex64]| {
@@ -364,7 +410,12 @@ mod tests {
         };
         assert_eq!(argmax(&plain.p), argmax(&fast.p));
         // FISTA converges in fewer iterations.
-        assert!(fast.iterations <= plain.iterations, "{} vs {}", fast.iterations, plain.iterations);
+        assert!(
+            fast.iterations <= plain.iterations,
+            "{} vs {}",
+            fast.iterations,
+            plain.iterations
+        );
     }
 
     #[test]
@@ -383,7 +434,10 @@ mod tests {
             &mags,
             0.0,
             0.5,
-            &chronos_math::peaks::PeakConfig { dominance: 0.3, min_separation: 3 },
+            &chronos_math::peaks::PeakConfig {
+                dominance: 0.3,
+                min_separation: 3,
+            },
         );
         assert_eq!(peaks.len(), 1, "spurious peaks: {peaks:?}");
         assert!((peaks[0].x - 8.0).abs() < 0.5);
@@ -424,7 +478,14 @@ mod tests {
         let ndft = Ndft::new(&f, grid);
         let true_amps = [(10.0, 1.0), (20.0, 0.4)];
         let h = channel_for(&true_amps, &f);
-        let sol = solve(&ndft, &h, &IstaConfig { alpha_rel: 0.25, ..Default::default() });
+        let sol = solve(
+            &ndft,
+            &h,
+            &IstaConfig {
+                alpha_rel: 0.25,
+                ..Default::default()
+            },
+        );
         let biased_max = sol.p.iter().map(|z| z.abs()).fold(0.0, f64::max);
         assert!(biased_max < 1.0, "expected shrinkage, max {biased_max}");
         let d = debias(&ndft, &h, &sol.p, 6, 3);
@@ -457,10 +518,16 @@ mod tests {
         let grid = TauGrid::span(40.0, 0.5);
         let ndft = Ndft::new(&f, grid);
         let h = channel_for(&[(8.0, 1.0), (9.0, 0.9), (25.0, 0.5)], &f);
-        let sol = solve(&ndft, &h, &IstaConfig { alpha_rel: 0.05, ..Default::default() });
+        let sol = solve(
+            &ndft,
+            &h,
+            &IstaConfig {
+                alpha_rel: 0.05,
+                ..Default::default()
+            },
+        );
         let d = debias(&ndft, &h, &sol.p, 2, 4);
-        let support: Vec<usize> =
-            (0..d.len()).filter(|k| d[*k].abs() > 1e-12).collect();
+        let support: Vec<usize> = (0..d.len()).filter(|k| d[*k].abs() > 1e-12).collect();
         assert!(support.len() <= 2, "support {support:?}");
         for w in support.windows(2) {
             assert!(w[1] - w[0] >= 4, "separation violated: {support:?}");
@@ -482,11 +549,22 @@ mod tests {
         let grid = TauGrid::span(60.0, 0.25);
         let ndft = Ndft::new(&f, grid);
         let h = channel_for(&[(7.3, 1.0), (15.1, 0.6)], &f);
-        let sol = solve(&ndft, &h, &IstaConfig { alpha_rel: 0.2, ..Default::default() });
+        let sol = solve(
+            &ndft,
+            &h,
+            &IstaConfig {
+                alpha_rel: 0.2,
+                ..Default::default()
+            },
+        );
         let d = debias(&ndft, &h, &sol.p, 8, 3);
         let resid = |p: &[Complex64]| {
             let fit = ndft.forward(p);
-            fit.iter().zip(h.iter()).map(|(a, b)| (*a - *b).norm_sq()).sum::<f64>().sqrt()
+            fit.iter()
+                .zip(h.iter())
+                .map(|(a, b)| (*a - *b).norm_sq())
+                .sum::<f64>()
+                .sqrt()
         };
         assert!(
             resid(&d) <= resid(&sol.p) + 1e-9,

@@ -68,7 +68,10 @@ pub struct LocalizerConfig {
 
 impl Default for LocalizerConfig {
     fn default() -> Self {
-        LocalizerConfig { consistency_tol_m: 0.5, max_residual_m: 1.5 }
+        LocalizerConfig {
+            consistency_tol_m: 0.5,
+            max_residual_m: 1.5,
+        }
     }
 }
 
@@ -98,18 +101,15 @@ pub fn circle_intersection(a: Point, ra: f64, b: Point, rb: f64) -> Vec<Point> {
 /// Needs at least two usable ranges. With exactly two, returns the
 /// candidate on the positive-y side of the antenna baseline (callers
 /// resolve the ambiguity via a third antenna or mobility; see
-/// [`disambiguate_by_motion`]).
-pub fn locate(
-    ranges: &[AntennaRange],
-    cfg: &LocalizerConfig,
-) -> Result<Position, ChronosError> {
-    if ranges.len() < 2 {
-        return Err(ChronosError::NoConsistentPosition);
-    }
-    // Geometric outlier rejection: the triangle inequality bounds how much
-    // two antennas' distances to one transmitter may differ — by their own
-    // separation. A bad ToF violates that bound against the other
-    // antennas; iteratively drop the worst offender.
+/// [`disambiguate_by_motion`] and [`locate_all`]).
+pub fn locate(ranges: &[AntennaRange], cfg: &LocalizerConfig) -> Result<Position, ChronosError> {
+    locate_all(ranges, cfg).map(|mut c| c.remove(0))
+}
+
+/// Drops ranges that violate the triangle inequality against the rest of
+/// the set (a bad ToF differs from another antenna's by more than their
+/// separation allows), iteratively removing the worst offender.
+fn triangle_filter(ranges: &[AntennaRange], cfg: &LocalizerConfig) -> Vec<AntennaRange> {
     let mut usable: Vec<AntennaRange> = ranges.to_vec();
     while usable.len() > 2 {
         let violations: Vec<usize> = usable
@@ -135,10 +135,13 @@ pub fn locate(
         }
         usable.remove(worst_idx);
     }
+    usable
+}
 
-    // Seeds: both intersection candidates of the two widest-separated
-    // antennas.
-    let (i, j) = widest_pair(&usable);
+/// Gauss–Newton fits from both mirror seeds; returns the distinct
+/// converged candidates sorted best-residual first.
+fn fit_candidates(usable: &[AntennaRange]) -> Vec<Position> {
+    let (i, j) = widest_pair(usable);
     let seeds = {
         let mut s = circle_intersection(
             usable[i].antenna,
@@ -152,31 +155,97 @@ pub fn locate(
         s
     };
 
-    let gn = GaussNewton { max_iters: 200, ..Default::default() };
-    let problem = CircleResiduals { ranges: &usable };
-    let mut best: Option<Position> = None;
+    let gn = GaussNewton {
+        max_iters: 200,
+        ..Default::default()
+    };
+    let problem = CircleResiduals { ranges: usable };
+    let mut cands: Vec<Position> = Vec::with_capacity(seeds.len());
     for seed in seeds {
         let fit = gn.minimize(&problem, &[seed.x, seed.y]);
+        let p = Point::new(fit.params[0], fit.params[1]);
+        if !p.x.is_finite() || !p.y.is_finite() {
+            continue;
+        }
         let rms = (fit.cost / usable.len() as f64).sqrt();
-        let cand = Position {
-            point: Point::new(fit.params[0], fit.params[1]),
+        // With a well-conditioned (3+ antenna) set both seeds converge to
+        // the same minimum; keep only genuinely distinct solutions.
+        if cands.iter().any(|c| c.point.dist(p) < 0.05) {
+            continue;
+        }
+        cands.push(Position {
+            point: p,
             residual_m: rms,
             n_used: usable.len(),
-        };
-        let better = match &best {
-            None => true,
-            Some(b) => cand.residual_m < b.residual_m - 1e-12,
-        };
-        if better {
-            best = Some(cand);
-        }
+        });
     }
-    let best = best.ok_or(ChronosError::NoConsistentPosition)?;
-    if !best.point.x.is_finite() || !best.point.y.is_finite() || best.residual_m > cfg.max_residual_m
-    {
+    // Stable sort: ties (the exact two-range mirror pair) keep seed order,
+    // i.e. the positive-y candidate first.
+    cands.sort_by(|a, b| a.residual_m.partial_cmp(&b.residual_m).unwrap());
+    cands
+}
+
+/// Locates the transmitter from per-antenna ranges, returning *every*
+/// consistent candidate, best residual first.
+///
+/// With three or more well-conditioned ranges this is a single point;
+/// with two ranges (or a near-degenerate third) it is the mirror pair
+/// across the antenna baseline, which callers disambiguate with a motion
+/// prior (§8's mobility heuristic — see
+/// [`crate::tracker::PositionTracker::resolve`]) or
+/// [`disambiguate_by_motion`].
+///
+/// NLOS handling is two-staged: ranges violating the triangle inequality
+/// against the rest of the set are rejected outright, and when the
+/// surviving set still fits worse than `max_residual_m` (a biased but
+/// geometrically consistent through-wall ToF), the antenna with the
+/// largest circle residual at the best fit is dropped and the remainder
+/// refit — the paper's "discard estimates that do not fit the geometry"
+/// (§12.2) extended to soft NLOS bias.
+pub fn locate_all(
+    ranges: &[AntennaRange],
+    cfg: &LocalizerConfig,
+) -> Result<Vec<Position>, ChronosError> {
+    if ranges.len() < 2 {
         return Err(ChronosError::NoConsistentPosition);
     }
-    Ok(best)
+    let mut usable = triangle_filter(ranges, cfg);
+    let mut cands = fit_candidates(&usable);
+
+    // Residual-based NLOS rejection: while the best fit is inconsistent
+    // and we can spare an antenna, drop the worst-fitting range.
+    while cands
+        .first()
+        .is_none_or(|c| c.residual_m > cfg.max_residual_m)
+        && usable.len() > 3
+    {
+        let best = match cands.first() {
+            Some(b) => *b,
+            None => break,
+        };
+        let worst = usable
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                let ra = (best.point.dist(a.antenna) - a.distance_m).abs();
+                let rb = (best.point.dist(b.antenna) - b.distance_m).abs();
+                ra.partial_cmp(&rb).unwrap()
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        usable.remove(worst);
+        let refit = fit_candidates(&usable);
+        if refit.is_empty() {
+            break;
+        }
+        cands = refit;
+    }
+
+    cands.retain(|c| c.residual_m <= cfg.max_residual_m);
+    if cands.is_empty() {
+        return Err(ChronosError::NoConsistentPosition);
+    }
+    Ok(cands)
 }
 
 /// Picks the pair of ranges with the widest antenna separation (best
@@ -296,8 +365,14 @@ mod tests {
         let b = Point::new(0.5, 0.0);
         let tx = Point::new(0.3, 2.0);
         let ranges = vec![
-            AntennaRange { antenna: a, distance_m: a.dist(tx) },
-            AntennaRange { antenna: b, distance_m: b.dist(tx) },
+            AntennaRange {
+                antenna: a,
+                distance_m: a.dist(tx),
+            },
+            AntennaRange {
+                antenna: b,
+                distance_m: b.dist(tx),
+            },
         ];
         let pos = locate(&ranges, &LocalizerConfig::default()).unwrap();
         // Either tx or its mirror across the baseline.
@@ -318,8 +393,9 @@ mod tests {
         let pts = circle_intersection(Point::new(0.0, 0.0), 1.0, Point::new(10.0, 0.0), 1.0);
         assert_eq!(pts.len(), 1);
         // Concentric: empty.
-        assert!(circle_intersection(Point::new(0.0, 0.0), 1.0, Point::new(0.0, 0.0), 2.0)
-            .is_empty());
+        assert!(
+            circle_intersection(Point::new(0.0, 0.0), 1.0, Point::new(0.0, 0.0), 2.0).is_empty()
+        );
     }
 
     #[test]
@@ -339,8 +415,70 @@ mod tests {
     }
 
     #[test]
+    fn locate_all_returns_mirror_pair_for_two_antennas() {
+        let a = Point::new(-0.5, 0.0);
+        let b = Point::new(0.5, 0.0);
+        let tx = Point::new(0.4, 1.8);
+        let ranges = vec![
+            AntennaRange {
+                antenna: a,
+                distance_m: a.dist(tx),
+            },
+            AntennaRange {
+                antenna: b,
+                distance_m: b.dist(tx),
+            },
+        ];
+        let cands = locate_all(&ranges, &LocalizerConfig::default()).unwrap();
+        assert_eq!(cands.len(), 2, "two-antenna fix must expose both mirrors");
+        let mirror = Point::new(tx.x, -tx.y);
+        // Positive-y candidate first (documented tie-break), mirror second.
+        assert!(cands[0].point.dist(tx) < 1e-3, "{:?}", cands[0].point);
+        assert!(cands[1].point.dist(mirror) < 1e-3, "{:?}", cands[1].point);
+    }
+
+    #[test]
+    fn locate_all_collapses_to_one_candidate_with_third_antenna() {
+        let array = AntennaArray::access_point();
+        let tx = Point::new(1.0, 4.0);
+        let ranges = ranges_for(tx, &array, &[]);
+        let cands = locate_all(&ranges, &LocalizerConfig::default()).unwrap();
+        assert_eq!(cands.len(), 1, "third antenna must disambiguate");
+        assert!(cands[0].point.dist(tx) < 1e-3);
+    }
+
+    #[test]
+    fn soft_nlos_bias_rejected_by_residual_with_four_antennas() {
+        // Four antennas; one carries a through-wall bias small enough to
+        // survive the triangle test but large enough to wreck the fit.
+        let array = AntennaArray::custom(vec![
+            Point::new(-0.6, 0.0),
+            Point::new(0.6, 0.0),
+            Point::new(0.0, 0.8),
+            Point::new(0.0, -0.6),
+        ]);
+        let tx = Point::new(1.5, 3.0);
+        let mut ranges = ranges_for(tx, &array, &[0.01, -0.01, 0.0, 0.0]);
+        ranges[3].distance_m += 0.9;
+        let cfg = LocalizerConfig {
+            consistency_tol_m: 1.5,
+            max_residual_m: 0.3,
+        };
+        let cands = locate_all(&ranges, &cfg).unwrap();
+        assert!(cands[0].n_used < 4, "biased antenna not dropped");
+        assert!(
+            cands[0].point.dist(tx) < 0.3,
+            "err {}",
+            cands[0].point.dist(tx)
+        );
+    }
+
+    #[test]
     fn single_antenna_cannot_locate() {
-        let ranges = vec![AntennaRange { antenna: Point::new(0.0, 0.0), distance_m: 3.0 }];
+        let ranges = vec![AntennaRange {
+            antenna: Point::new(0.0, 0.0),
+            distance_m: 3.0,
+        }];
         assert!(locate(&ranges, &LocalizerConfig::default()).is_err());
     }
 
@@ -348,11 +486,23 @@ mod tests {
     fn absurd_residual_rejected() {
         // Mutually impossible distances with a tight residual cap.
         let ranges = vec![
-            AntennaRange { antenna: Point::new(-0.5, 0.0), distance_m: 1.0 },
-            AntennaRange { antenna: Point::new(0.5, 0.0), distance_m: 9.0 },
-            AntennaRange { antenna: Point::new(0.0, 0.4), distance_m: 4.0 },
+            AntennaRange {
+                antenna: Point::new(-0.5, 0.0),
+                distance_m: 1.0,
+            },
+            AntennaRange {
+                antenna: Point::new(0.5, 0.0),
+                distance_m: 9.0,
+            },
+            AntennaRange {
+                antenna: Point::new(0.0, 0.4),
+                distance_m: 4.0,
+            },
         ];
-        let cfg = LocalizerConfig { consistency_tol_m: 100.0, max_residual_m: 0.05 };
+        let cfg = LocalizerConfig {
+            consistency_tol_m: 100.0,
+            max_residual_m: 0.05,
+        };
         assert!(locate(&ranges, &cfg).is_err());
     }
 }

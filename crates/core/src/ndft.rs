@@ -28,7 +28,11 @@ impl TauGrid {
     /// Grid covering `[0, span)` with the given step.
     pub fn span(span_ns: f64, step_ns: f64) -> Self {
         assert!(span_ns > 0.0 && step_ns > 0.0, "grid must be positive");
-        TauGrid { start_ns: 0.0, step_ns, len: (span_ns / step_ns).ceil() as usize }
+        TauGrid {
+            start_ns: 0.0,
+            step_ns,
+            len: (span_ns / step_ns).ceil() as usize,
+        }
     }
 
     /// The delay at grid index `k`, ns.
@@ -74,7 +78,11 @@ impl Ndft {
                 mat.push(Complex64::cis(-2.0 * PI * f * tau_s));
             }
         }
-        Ndft { freqs_hz: freqs_hz.to_vec(), grid, mat }
+        Ndft {
+            freqs_hz: freqs_hz.to_vec(),
+            grid,
+            mat,
+        }
     }
 
     /// Number of measurement frequencies (rows).
@@ -114,7 +122,11 @@ impl Ndft {
 
     /// Adjoint transform: `p = F* h` (measurements -> profile domain).
     pub fn adjoint(&self, h: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(h.len(), self.freqs_hz.len(), "adjoint: measurement length mismatch");
+        assert_eq!(
+            h.len(),
+            self.freqs_hz.len(),
+            "adjoint: measurement length mismatch"
+        );
         let mut out = vec![Complex64::ZERO; self.grid.len];
         for (row, hi) in self.mat.chunks_exact(self.grid.len).zip(h.iter()) {
             for (o, a) in out.iter_mut().zip(row.iter()) {
@@ -128,7 +140,11 @@ impl Ndft {
     /// `|sum_i h_i e^{+j 2 pi f_i tau}|`. Used for sub-grid peak
     /// refinement.
     pub fn matched_filter(&self, h: &[Complex64], tau_ns: f64) -> f64 {
-        assert_eq!(h.len(), self.freqs_hz.len(), "matched_filter: length mismatch");
+        assert_eq!(
+            h.len(),
+            self.freqs_hz.len(),
+            "matched_filter: length mismatch"
+        );
         let tau_s = tau_ns * 1e-9;
         let mut acc = Complex64::ZERO;
         for (f, hi) in self.freqs_hz.iter().zip(h.iter()) {
@@ -199,10 +215,12 @@ mod tests {
         let f = vec![2.4e9, 5.18e9, 5.32e9, 5.825e9];
         let grid = TauGrid::span(20.0, 1.0);
         let ndft = Ndft::new(&f, grid);
-        let p: Vec<Complex64> =
-            (0..grid.len).map(|k| Complex64::from_polar(1.0 / (k + 1) as f64, k as f64)).collect();
-        let h: Vec<Complex64> =
-            (0..f.len()).map(|i| Complex64::from_polar(1.0, -0.4 * i as f64)).collect();
+        let p: Vec<Complex64> = (0..grid.len)
+            .map(|k| Complex64::from_polar(1.0 / (k + 1) as f64, k as f64))
+            .collect();
+        let h: Vec<Complex64> = (0..f.len())
+            .map(|i| Complex64::from_polar(1.0, -0.4 * i as f64))
+            .collect();
         let lhs = cvec::dot(&ndft.forward(&p), &h);
         let rhs = cvec::dot(&p, &ndft.adjoint(&h));
         assert!(lhs.approx_eq(rhs, 1e-9), "{lhs} vs {rhs}");
@@ -214,8 +232,10 @@ mod tests {
         let grid = TauGrid::span(50.0, 0.25);
         let ndft = Ndft::new(&f, grid);
         let tau_true = 13.37;
-        let h: Vec<Complex64> =
-            f.iter().map(|fi| Complex64::cis(-2.0 * PI * fi * tau_true * 1e-9)).collect();
+        let h: Vec<Complex64> = f
+            .iter()
+            .map(|fi| Complex64::cis(-2.0 * PI * fi * tau_true * 1e-9))
+            .collect();
         let at_true = ndft.matched_filter(&h, tau_true);
         assert!((at_true - f.len() as f64).abs() < 1e-9, "{at_true}");
         // Strictly smaller a little away.
@@ -240,8 +260,9 @@ mod tests {
         let ndft = Ndft::new(&f, grid);
         let norm = ndft.op_norm(60);
         // Gain on a specific vector never exceeds the norm.
-        let p: Vec<Complex64> =
-            (0..grid.len).map(|k| Complex64::cis(1.1 * k as f64)).collect();
+        let p: Vec<Complex64> = (0..grid.len)
+            .map(|k| Complex64::cis(1.1 * k as f64))
+            .collect();
         let gain = cvec::norm2(&ndft.forward(&p)) / cvec::norm2(&p);
         assert!(gain <= norm * (1.0 + 1e-6), "gain {gain} norm {norm}");
         // And the norm is within the trivial bound sqrt(n * m).

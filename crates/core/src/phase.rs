@@ -143,7 +143,8 @@ mod tests {
         ctx.snr.snr_at_1m_db = 300.0; // noiseless
         let band = band_by_channel(channel).unwrap();
         let layout = SubcarrierLayout::intel5300();
-        ctx.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0).forward
+        ctx.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0)
+            .forward
     }
 
     #[test]
@@ -213,8 +214,7 @@ mod tests {
     fn magnitude_interpolation_positive_and_sane() {
         let cap = capture_with(7.0, 177.0, 149, false);
         let h0 = interpolate_h0(&cap, Interpolation::CubicSpline, false).unwrap();
-        let mean_mag =
-            cap.csi.iter().map(|z| z.abs()).sum::<f64>() / cap.csi.len() as f64;
+        let mean_mag = cap.csi.iter().map(|z| z.abs()).sum::<f64>() / cap.csi.len() as f64;
         assert!(h0.abs() > 0.0);
         assert!((h0.abs() - mean_mag).abs() < 0.5 * mean_mag);
     }
@@ -226,15 +226,13 @@ mod tests {
         let plan = SplinePlan::new(&xs).unwrap();
         let direct = interpolate_h0(&cap, Interpolation::CubicSpline, false).unwrap();
         let planned =
-            interpolate_h0_planned(&cap, Interpolation::CubicSpline, false, Some(&plan))
-                .unwrap();
+            interpolate_h0_planned(&cap, Interpolation::CubicSpline, false, Some(&plan)).unwrap();
         assert_eq!(direct.re.to_bits(), planned.re.to_bits());
         assert_eq!(direct.im.to_bits(), planned.im.to_bits());
         // A plan for the wrong knots is ignored, not misapplied.
         let wrong = SplinePlan::new(&[0.0, 1.0, 2.0, 3.0]).unwrap();
         let guarded =
-            interpolate_h0_planned(&cap, Interpolation::CubicSpline, false, Some(&wrong))
-                .unwrap();
+            interpolate_h0_planned(&cap, Interpolation::CubicSpline, false, Some(&wrong)).unwrap();
         assert_eq!(direct.re.to_bits(), guarded.re.to_bits());
     }
 

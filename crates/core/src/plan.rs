@@ -71,7 +71,11 @@ impl NdftPlan {
         let op_norm = ndft.op_norm(OP_NORM_ITERS);
         let lobe_offsets =
             crate::profile::strong_lobe_offsets(freqs_hz, LOBE_THRESHOLD, lobe_span_ns);
-        NdftPlan { ndft, op_norm, lobe_offsets }
+        NdftPlan {
+            ndft,
+            op_norm,
+            lobe_offsets,
+        }
     }
 }
 
@@ -198,7 +202,9 @@ impl PlanCache {
     /// Returns the shared spline plan for the knot abscissae `xs`
     /// (typically a subcarrier layout), building it on first use.
     pub fn spline_plan(&self, xs: &[f64]) -> Result<Arc<SplinePlan>, SplineError> {
-        let key = SplineKey { x_bits: xs.iter().map(|x| x.to_bits()).collect() };
+        let key = SplineKey {
+            x_bits: xs.iter().map(|x| x.to_bits()).collect(),
+        };
         if let Some(plan) = self.spline.read().expect("plan cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(plan));
@@ -246,7 +252,10 @@ mod tests {
         let grid = TauGrid::span(200.0, 0.25);
         let plan = NdftPlan::new(&f, grid, 200.0);
         let direct = Ndft::new(&f, grid);
-        assert_eq!(plan.op_norm.to_bits(), direct.op_norm(OP_NORM_ITERS).to_bits());
+        assert_eq!(
+            plan.op_norm.to_bits(),
+            direct.op_norm(OP_NORM_ITERS).to_bits()
+        );
         let lobes = crate::profile::strong_lobe_offsets(&f, LOBE_THRESHOLD, 200.0);
         assert_eq!(plan.lobe_offsets, lobes);
     }
@@ -272,7 +281,10 @@ mod tests {
     #[test]
     fn spline_plans_shared_and_validated() {
         let cache = PlanCache::new();
-        let xs: Vec<f64> = (-28i32..=28).filter(|k| *k != 0).map(|k| k as f64).collect();
+        let xs: Vec<f64> = (-28i32..=28)
+            .filter(|k| *k != 0)
+            .map(|k| k as f64)
+            .collect();
         let a = cache.spline_plan(&xs).unwrap();
         let b = cache.spline_plan(&xs).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
@@ -293,7 +305,10 @@ mod tests {
                     scope.spawn(move || cache.ndft_plan(&f, grid, 50.0))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("thread")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("thread"))
+                .collect()
         });
         // Double-checked locking: exactly one plan is ever built, and
         // every racer holds it.

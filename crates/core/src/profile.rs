@@ -59,7 +59,10 @@ impl MultipathProfile {
             &self.magnitudes,
             self.start_ns,
             self.step_ns,
-            &PeakConfig { dominance, min_separation: min_sep_bins.max(1) },
+            &PeakConfig {
+                dominance,
+                min_separation: min_sep_bins.max(1),
+            },
         )
     }
 
@@ -71,11 +74,7 @@ impl MultipathProfile {
 
     /// First dominant peak in profile-domain delay, or an error if the
     /// profile has no energy above the dominance threshold.
-    pub fn first_peak(
-        &self,
-        dominance: f64,
-        min_sep_bins: usize,
-    ) -> Result<Peak, ChronosError> {
+    pub fn first_peak(&self, dominance: f64, min_sep_bins: usize) -> Result<Peak, ChronosError> {
         self.dominant_peaks(dominance, min_sep_bins)
             .into_iter()
             .next()
@@ -172,8 +171,11 @@ pub fn refine_first_peak_clean(
         *z = Complex64::ZERO;
     }
     let predicted = ndft.forward(&others);
-    let residual: Vec<Complex64> =
-        h.iter().zip(predicted.iter()).map(|(a, b)| *a - *b).collect();
+    let residual: Vec<Complex64> = h
+        .iter()
+        .zip(predicted.iter())
+        .map(|(a, b)| *a - *b)
+        .collect();
     let half_window = (0.5 * resolution_ns).max(ndft.grid().step_ns);
     golden_max(
         |tau| ndft.matched_filter(&residual, tau),
@@ -328,7 +330,11 @@ mod tests {
 
     #[test]
     fn profile_from_solution_magnitudes() {
-        let p = vec![Complex64::from_polar(2.0, 1.0), Complex64::ZERO, Complex64::from_polar(0.5, -2.0)];
+        let p = vec![
+            Complex64::from_polar(2.0, 1.0),
+            Complex64::ZERO,
+            Complex64::from_polar(0.5, -2.0),
+        ];
         let prof = MultipathProfile::from_solution(&p, 0.0, 0.5, 2.0);
         assert_eq!(prof.magnitudes.len(), 3);
         assert!((prof.magnitudes[0] - 2.0).abs() < 1e-12);
@@ -358,7 +364,14 @@ mod tests {
         let grid = TauGrid::span(100.0, 0.25);
         let ndft = Ndft::new(&f, grid);
         let h = squared_channel(&[(8.0, 0.5), (15.0, 1.0)], &f);
-        let sol = solve(&ndft, &h, &IstaConfig { alpha_rel: 0.06, ..Default::default() });
+        let sol = solve(
+            &ndft,
+            &h,
+            &IstaConfig {
+                alpha_rel: 0.06,
+                ..Default::default()
+            },
+        );
         let prof = MultipathProfile::from_solution(&sol.p, 0.0, 0.25, 2.0);
         // The estimator's flow: detect, then CLEAN-refine so the stronger
         // reflection does not bias the direct path's vertex.
@@ -378,9 +391,18 @@ mod tests {
         let grid = TauGrid::span(100.0, 0.25);
         let ndft = Ndft::new(&f, grid);
         let h = squared_channel(&[(6.0, 1.0), (9.0, 0.8), (14.0, 0.5)], &f);
-        let sol = solve(&ndft, &h, &IstaConfig { alpha_rel: 0.08, ..Default::default() });
+        let sol = solve(
+            &ndft,
+            &h,
+            &IstaConfig {
+                alpha_rel: 0.08,
+                ..Default::default()
+            },
+        );
         let prof = MultipathProfile::from_solution(&sol.p, 0.0, 0.25, 2.0);
-        let first = prof.first_peak(0.15, prof.min_sep_bins(resolution_ns(&f))).unwrap();
+        let first = prof
+            .first_peak(0.15, prof.min_sep_bins(resolution_ns(&f)))
+            .unwrap();
         assert!(first.x >= 2.0 * 6.0 - 0.5, "premature peak at {}", first.x);
         assert!(first.x <= 2.0 * 6.0 + 0.5, "first peak late at {}", first.x);
     }
@@ -391,7 +413,14 @@ mod tests {
         let grid = TauGrid::span(100.0, 0.25);
         let ndft = Ndft::new(&f, grid);
         let h = squared_channel(&[(5.0, 1.0), (9.0, 0.7), (13.0, 0.5)], &f);
-        let sol = solve(&ndft, &h, &IstaConfig { alpha_rel: 0.08, ..Default::default() });
+        let sol = solve(
+            &ndft,
+            &h,
+            &IstaConfig {
+                alpha_rel: 0.08,
+                ..Default::default()
+            },
+        );
         let prof = MultipathProfile::from_solution(&sol.p, 0.0, 0.25, 2.0);
         let count = prof.peak_count(0.15);
         // 3 paths -> up to 6 squared-channel terms, at least 3 visible.
@@ -406,7 +435,10 @@ mod tests {
             magnitudes: vec![0.0; 100],
             delay_scale: 2.0,
         };
-        assert_eq!(prof.first_peak(0.1, 3).unwrap_err(), ChronosError::NoDominantPath);
+        assert_eq!(
+            prof.first_peak(0.1, 3).unwrap_err(),
+            ChronosError::NoDominantPath
+        );
     }
 
     #[test]
@@ -471,15 +503,24 @@ mod tests {
         let mut mags = vec![0.0; 200];
         mags[40] = 0.3; // candidate sidelobe at x = 10 (step 0.25)
         mags[56] = 1.0; // strong peak at x = 14
-        let prof = MultipathProfile { start_ns: 0.0, step_ns: 0.25, magnitudes: mags, delay_scale: 2.0 };
+        let prof = MultipathProfile {
+            start_ns: 0.0,
+            step_ns: 0.25,
+            magnitudes: mags,
+            delay_scale: 2.0,
+        };
         let p = prof.first_path_peak(0.1, 3, 5.0, 0.5).unwrap();
         assert_eq!(p.index, 56);
         // But a strong-enough early peak survives.
         let mut mags2 = vec![0.0; 200];
         mags2[40] = 0.7;
         mags2[56] = 1.0;
-        let prof2 =
-            MultipathProfile { start_ns: 0.0, step_ns: 0.25, magnitudes: mags2, delay_scale: 2.0 };
+        let prof2 = MultipathProfile {
+            start_ns: 0.0,
+            step_ns: 0.25,
+            magnitudes: mags2,
+            delay_scale: 2.0,
+        };
         let p2 = prof2.first_path_peak(0.1, 3, 5.0, 0.5).unwrap();
         assert_eq!(p2.index, 40);
     }

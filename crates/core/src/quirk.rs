@@ -114,9 +114,17 @@ mod tests {
 
     #[test]
     fn alias_limit_scales() {
-        let g = BandGroupSamples { freqs_hz: vec![2.4e9], values: vec![Complex64::ONE], delay_scale: 8.0 };
+        let g = BandGroupSamples {
+            freqs_hz: vec![2.4e9],
+            values: vec![Complex64::ONE],
+            delay_scale: 8.0,
+        };
         assert!((g.alias_limit_ns(200.0) - 25.0).abs() < 1e-12);
-        let g2 = BandGroupSamples { freqs_hz: vec![5.5e9], values: vec![Complex64::ONE], delay_scale: 2.0 };
+        let g2 = BandGroupSamples {
+            freqs_hz: vec![5.5e9],
+            values: vec![Complex64::ONE],
+            delay_scale: 2.0,
+        };
         assert!((g2.alias_limit_ns(200.0) - 100.0).abs() < 1e-12);
     }
 

@@ -24,7 +24,10 @@ pub struct RangeEstimate {
 impl RangeEstimate {
     /// Builds a range estimate from a calibrated ToF.
     pub fn from_tof_ns(tof_ns: f64) -> Self {
-        RangeEstimate { distance_m: ns_to_m(tof_ns), tof_ns }
+        RangeEstimate {
+            distance_m: ns_to_m(tof_ns),
+            tof_ns,
+        }
     }
 }
 
@@ -127,12 +130,17 @@ mod tests {
 
     #[test]
     fn outlier_rejection_drops_far_points() {
-        let mut ests: Vec<RangeEstimate> =
-            [3.0, 3.02, 2.98, 3.01, 2.99].iter().map(|d| RangeEstimate {
+        let mut ests: Vec<RangeEstimate> = [3.0, 3.02, 2.98, 3.01, 2.99]
+            .iter()
+            .map(|d| RangeEstimate {
                 distance_m: *d,
                 tof_ns: m_to_ns(*d),
-            }).collect();
-        ests.push(RangeEstimate { distance_m: 7.5, tof_ns: m_to_ns(7.5) });
+            })
+            .collect();
+        ests.push(RangeEstimate {
+            distance_m: 7.5,
+            tof_ns: m_to_ns(7.5),
+        });
         let kept = reject_outliers(&ests, 3.0);
         assert_eq!(kept.len(), 5);
         assert!(kept.iter().all(|e| e.distance_m < 4.0));
@@ -141,8 +149,14 @@ mod tests {
     #[test]
     fn small_sets_passed_through() {
         let ests = vec![
-            RangeEstimate { distance_m: 1.0, tof_ns: 3.3 },
-            RangeEstimate { distance_m: 9.0, tof_ns: 30.0 },
+            RangeEstimate {
+                distance_m: 1.0,
+                tof_ns: 3.3,
+            },
+            RangeEstimate {
+                distance_m: 9.0,
+                tof_ns: 30.0,
+            },
         ];
         assert_eq!(reject_outliers(&ests, 3.0).len(), 2);
     }
@@ -151,7 +165,10 @@ mod tests {
     fn combine_ranges_denoises() {
         let ests: Vec<RangeEstimate> = [1.40, 1.41, 1.39, 1.40, 2.9]
             .iter()
-            .map(|d| RangeEstimate { distance_m: *d, tof_ns: m_to_ns(*d) })
+            .map(|d| RangeEstimate {
+                distance_m: *d,
+                tof_ns: m_to_ns(*d),
+            })
             .collect();
         let d = combine_ranges(&ests, 3.0).unwrap();
         assert!((d - 1.40).abs() < 0.01, "combined {d}");
@@ -161,7 +178,13 @@ mod tests {
     #[test]
     fn identical_estimates_survive_mad() {
         // MAD = 0 must not reject everything.
-        let ests = vec![RangeEstimate { distance_m: 2.0, tof_ns: 6.7 }; 5];
+        let ests = vec![
+            RangeEstimate {
+                distance_m: 2.0,
+                tof_ns: 6.7
+            };
+            5
+        ];
         let kept = reject_outliers(&ests, 3.0);
         assert_eq!(kept.len(), 5);
     }

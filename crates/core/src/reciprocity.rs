@@ -63,7 +63,9 @@ pub fn combine_band_planned(
     mode: QuirkMode,
     spline_plan: Option<&SplinePlan>,
 ) -> Result<BandProduct, ChronosError> {
-    let first = measurements.first().ok_or(ChronosError::TooFewBands { got: 0, need: 1 })?;
+    let first = measurements
+        .first()
+        .ok_or(ChronosError::TooFewBands { got: 0, need: 1 })?;
     let band = first.forward.band;
     let quirked = mode == QuirkMode::Intel5300 && band.group.is_2g4();
 
@@ -120,12 +122,7 @@ mod tests {
         c
     }
 
-    fn exchanges(
-        ctx: &MeasurementContext,
-        channel: u16,
-        n: usize,
-        seed: u64,
-    ) -> Vec<Measurement> {
+    fn exchanges(ctx: &MeasurementContext, channel: u16, n: usize, seed: u64) -> Vec<Measurement> {
         let mut rng = StdRng::seed_from_u64(seed);
         let band = band_by_channel(channel).unwrap();
         let layout = SubcarrierLayout::intel5300();
@@ -159,9 +156,12 @@ mod tests {
         let d = 2.5;
         let with = make_ctx(d, true);
         let without = make_ctx(d, false);
-        let bp_with =
-            combine_band(&exchanges(&with, 64, 3, 2), Interpolation::CubicSpline, QuirkMode::Ideal)
-                .unwrap();
+        let bp_with = combine_band(
+            &exchanges(&with, 64, 3, 2),
+            Interpolation::CubicSpline,
+            QuirkMode::Ideal,
+        )
+        .unwrap();
         let bp_without = combine_band(
             &exchanges(&without, 64, 3, 3),
             Interpolation::CubicSpline,
@@ -222,15 +222,17 @@ mod tests {
             let mut phases = Vec::new();
             for trial in 0..30 {
                 let ms = exchanges(&ctx, 52, n, seed + trial);
-                let bp =
-                    combine_band(&ms, Interpolation::CubicSpline, QuirkMode::Ideal).unwrap();
+                let bp = combine_band(&ms, Interpolation::CubicSpline, QuirkMode::Ideal).unwrap();
                 phases.push(bp.value.arg());
             }
             chronos_math::stats::std_dev(&phases)
         };
         let one = spread(1, 100);
         let five = spread(5, 200);
-        assert!(five < one, "averaging did not help: 1 -> {one}, 5 -> {five}");
+        assert!(
+            five < one,
+            "averaging did not help: 1 -> {one}, 5 -> {five}"
+        );
     }
 
     #[test]
@@ -253,15 +255,21 @@ mod tests {
         let clean = make_ctx(d, false);
         let mut diffs = Vec::new();
         for ch in [36u16, 64, 100, 140, 165] {
-            let a = combine_band(&exchanges(&ctx, ch, 2, 7), Interpolation::CubicSpline, QuirkMode::Ideal)
-                .unwrap();
+            let a = combine_band(
+                &exchanges(&ctx, ch, 2, 7),
+                Interpolation::CubicSpline,
+                QuirkMode::Ideal,
+            )
+            .unwrap();
             let b = combine_band(
                 &exchanges(&clean, ch, 2, 8),
                 Interpolation::CubicSpline,
                 QuirkMode::Ideal,
             )
             .unwrap();
-            diffs.push(chronos_math::unwrap::wrap_to_pi(a.value.arg() - b.value.arg()));
+            diffs.push(chronos_math::unwrap::wrap_to_pi(
+                a.value.arg() - b.value.arg(),
+            ));
         }
         let first = diffs[0];
         for d in &diffs {
@@ -271,6 +279,9 @@ mod tests {
             );
         }
         // And it equals the sum of the two kappa phases.
-        assert!(chronos_math::unwrap::angular_distance(first, 0.5) < 2e-2, "{first}");
+        assert!(
+            chronos_math::unwrap::angular_distance(first, 0.5) < 2e-2,
+            "{first}"
+        );
     }
 }

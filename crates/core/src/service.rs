@@ -28,12 +28,13 @@
 use crate::config::ChronosConfig;
 use crate::plan::{CacheStats, PlanCache};
 use crate::session::ChronosSession;
-use crate::tracker::{ClientTracker, TrackMode, TrackerConfig};
+use crate::tracker::{ClientTracker, PositionTracker, TrackMode, TrackerConfig};
 use chronos_link::arbiter::{ArbiterConfig, MediumArbiter, SweepGrant};
 use chronos_link::sweep::SweepConfig;
 use chronos_link::time::{Duration, Instant};
 use chronos_rf::bands::Band;
 use chronos_rf::csi::MeasurementContext;
+use chronos_rf::geometry::Point;
 use chronos_rf::subset::select_subset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,6 +46,21 @@ use std::sync::Arc;
 /// (scale ≥ 2), so 100 ns of physical delay covers the whole
 /// unambiguous range a subset must keep ghost-free.
 const SUBSET_AMBIGUITY_SPAN_NS: f64 = 100.0;
+
+/// What the service reports per client: a scalar distance (the paper's
+/// §3–§7 pipeline) or a full 2-D position fix (§8's multi-antenna
+/// localization, served online).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocalizationMode {
+    /// Track the scalar transmitter–receiver distance (mean over
+    /// antennas). The seed behavior.
+    #[default]
+    Distance,
+    /// Fuse per-antenna ToF circles into a 2-D position in the AP's
+    /// frame ([`crate::localization`]) and track it with a
+    /// [`PositionTracker`].
+    Position,
+}
 
 /// Service-level policy.
 #[derive(Debug, Clone)]
@@ -67,6 +83,13 @@ pub struct ServiceConfig {
     /// TRACK-mode band subsets from its state. `None` preserves the
     /// legacy behavior (full sweep, every client, every epoch).
     pub adaptive: Option<TrackerConfig>,
+    /// What the service tracks per client: scalar distance (default) or
+    /// 2-D position. In [`LocalizationMode::Position`] every client gets
+    /// a [`PositionTracker`] (configured from `adaptive`, or defaults
+    /// when the scheduler is non-adaptive) and the epoch report carries
+    /// per-client position fixes, tracked positions and
+    /// [`EpochReport::pos_rmse_m`].
+    pub localization: LocalizationMode,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +101,7 @@ impl Default for ServiceConfig {
             threads: 0,
             epoch_gap: Duration::from_millis(5),
             adaptive: None,
+            localization: LocalizationMode::Distance,
         }
     }
 }
@@ -85,7 +109,21 @@ impl Default for ServiceConfig {
 impl ServiceConfig {
     /// The default policy with adaptive tracking enabled.
     pub fn adaptive(tracker: TrackerConfig) -> Self {
-        ServiceConfig { adaptive: Some(tracker), ..Default::default() }
+        ServiceConfig {
+            adaptive: Some(tracker),
+            ..Default::default()
+        }
+    }
+
+    /// The default policy in position mode with adaptive scheduling: full
+    /// ACQUIRE sweeps until each client's position filter converges, then
+    /// band-subset TRACK sweeps fused into 2-D fixes.
+    pub fn position(tracker: TrackerConfig) -> Self {
+        ServiceConfig {
+            adaptive: Some(tracker),
+            localization: LocalizationMode::Position,
+            ..Default::default()
+        }
     }
 }
 
@@ -128,6 +166,26 @@ pub struct ClientOutcome {
     /// Innovation of this epoch's fix in standard deviations (adaptive
     /// services; `None` when no fix was fused).
     pub innovation_sigmas: Option<f64>,
+    /// Raw 2-D position fix in the AP's frame, after mirror-candidate
+    /// resolution against the motion prior (position mode only).
+    pub position: Option<Point>,
+    /// RMS circle residual of the fix, meters (position mode only).
+    pub pos_residual_m: Option<f64>,
+    /// Antennas the fix used after NLOS/outlier rejection (position mode
+    /// only).
+    pub pos_antennas: Option<usize>,
+    /// Ground-truth client position in the AP's frame.
+    pub truth_pos: Point,
+    /// Absolute 2-D error of the raw fix, meters.
+    pub pos_error_m: Option<f64>,
+    /// Position-tracker output after fusing this epoch's fix — the
+    /// position a deployment would report (position mode only).
+    pub tracked_pos: Option<Point>,
+    /// Absolute 2-D error of `tracked_pos` against ground truth, meters.
+    pub tracked_pos_error_m: Option<f64>,
+    /// Innovation of this epoch's position fix in (Mahalanobis) standard
+    /// deviations (position mode; `None` when no fix was fused).
+    pub pos_innovation_sigmas: Option<f64>,
 }
 
 /// The result of one service round.
@@ -167,7 +225,10 @@ pub struct ModeOccupancy {
 impl EpochReport {
     /// Clients whose sweep produced a distance estimate.
     pub fn completed(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.distance_m.is_some()).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.distance_m.is_some())
+            .count()
     }
 
     /// Mean absolute ranging error over completed clients, meters.
@@ -210,11 +271,33 @@ impl EpochReport {
     /// ground truth, meters. `None` for non-adaptive services or before
     /// any filter is seeded.
     pub fn track_rmse_m(&self) -> Option<f64> {
-        let errs: Vec<f64> = self.outcomes.iter().filter_map(|o| o.tracked_error_m).collect();
+        Self::rmse(self.outcomes.iter().filter_map(|o| o.tracked_error_m))
+    }
+
+    /// Root-mean-square 2-D error of the position tracker's fused outputs
+    /// against ground truth, meters. `None` outside position mode or
+    /// before any filter is seeded.
+    pub fn pos_rmse_m(&self) -> Option<f64> {
+        Self::rmse(self.outcomes.iter().filter_map(|o| o.tracked_pos_error_m))
+    }
+
+    /// Median 2-D error of the *raw* position fixes against ground truth,
+    /// meters — the paper's §12.2 localization observable, per epoch.
+    pub fn median_pos_error_m(&self) -> Option<f64> {
+        let errs: Vec<f64> = self.outcomes.iter().filter_map(|o| o.pos_error_m).collect();
         if errs.is_empty() {
             None
         } else {
-            Some((errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt())
+            Some(chronos_math::stats::median(&errs))
+        }
+    }
+
+    fn rmse(errs: impl Iterator<Item = f64>) -> Option<f64> {
+        let errs: Vec<f64> = errs.collect();
+        if errs.is_empty() {
+            None
+        } else {
+            Some(chronos_math::stats::rms(&errs))
         }
     }
 
@@ -239,6 +322,7 @@ pub struct RangingService {
     plans: Arc<PlanCache>,
     clients: Vec<ChronosSession>,
     trackers: Vec<Option<ClientTracker>>,
+    pos_trackers: Vec<Option<PositionTracker>>,
     /// TRACK subsets, memoized per (full-plan channels, subset size) —
     /// [`select_subset`] is pure, so every client on the standard plan
     /// shares one entry (and hence one cached NDFT plan downstream).
@@ -263,6 +347,7 @@ impl RangingService {
             plans,
             clients: Vec::new(),
             trackers: Vec::new(),
+            pos_trackers: Vec::new(),
             subsets: HashMap::new(),
             arbiter,
             clock: Instant::ZERO,
@@ -273,6 +358,11 @@ impl RangingService {
     /// The shared plan cache.
     pub fn plans(&self) -> &Arc<PlanCache> {
         &self.plans
+    }
+
+    /// The service's policy.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
     }
 
     /// Adds a client from its physical measurement context; returns its
@@ -287,13 +377,33 @@ impl RangingService {
     pub fn add_session(&mut self, mut session: ChronosSession) -> usize {
         session.plans = Some(Arc::clone(&self.plans));
         self.clients.push(session);
-        self.trackers.push(self.cfg.adaptive.map(ClientTracker::new));
+        match self.cfg.localization {
+            LocalizationMode::Distance => {
+                self.trackers
+                    .push(self.cfg.adaptive.map(ClientTracker::new));
+                self.pos_trackers.push(None);
+            }
+            LocalizationMode::Position => {
+                // Position mode always fuses through a tracker; `adaptive`
+                // only decides whether its mode machine drives band-subset
+                // scheduling.
+                self.trackers.push(None);
+                self.pos_trackers.push(Some(PositionTracker::new(
+                    self.cfg.adaptive.unwrap_or_default(),
+                )));
+            }
+        }
         self.clients.len() - 1
     }
 
-    /// A client's tracker (adaptive services only).
+    /// A client's tracker (adaptive distance-mode services only).
     pub fn tracker(&self, idx: usize) -> Option<&ClientTracker> {
         self.trackers.get(idx).and_then(|t| t.as_ref())
+    }
+
+    /// A client's position tracker (position-mode services only).
+    pub fn position_tracker(&self, idx: usize) -> Option<&PositionTracker> {
+        self.pos_trackers.get(idx).and_then(|t| t.as_ref())
     }
 
     /// Number of clients.
@@ -327,7 +437,9 @@ impl RangingService {
         if self.cfg.threads > 0 {
             self.cfg.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         }
         .max(1)
     }
@@ -346,7 +458,11 @@ impl RangingService {
             return Arc::clone(s);
         }
         let pool: Vec<Band> = full.iter().filter(|b| !b.group.is_2g4()).cloned().collect();
-        let pool = if pool.len() >= k.max(5) { pool } else { full.clone() };
+        let pool = if pool.len() >= k.max(5) {
+            pool
+        } else {
+            full.clone()
+        };
         let sub = Arc::new(select_subset(&pool, k, SUBSET_AMBIGUITY_SPAN_NS));
         self.subsets.insert(key, Arc::clone(&sub));
         sub
@@ -377,19 +493,30 @@ impl RangingService {
         for i in 0..self.clients.len() {
             let mut sweep_cfg = self.clients[i].sweep_cfg.clone();
             bands_full_sweep += sweep_cfg.plan.len();
-            let (mode, requested) = match &self.trackers[i] {
-                Some(t) => (t.mode(), t.requested_bands()),
-                None => (TrackMode::Acquire, None),
+            let (mode, requested) = if let Some(t) = &self.pos_trackers[i] {
+                // A non-adaptive position service still fuses fixes, but
+                // always sweeps the full plan — and reports the sweep it
+                // actually issues (ACQUIRE-class), not the fusion
+                // machine's internal mode.
+                if self.cfg.adaptive.is_some() {
+                    (t.mode(), t.requested_bands())
+                } else {
+                    (TrackMode::Acquire, None)
+                }
+            } else if let Some(t) = &self.trackers[i] {
+                (t.mode(), t.requested_bands())
+            } else {
+                (TrackMode::Acquire, None)
             };
             if let Some(k) = requested {
                 sweep_cfg.plan = self.track_subset(i, k).as_ref().clone();
             }
             bands_planned += sweep_cfg.plan.len();
-            let expected =
-                sweep_cfg.expected_duration().mul_f64(self.cfg.admission_headroom.max(1.0));
+            let expected = sweep_cfg
+                .expected_duration()
+                .mul_f64(self.cfg.admission_headroom.max(1.0));
             let grant = self.arbiter.admit(epoch_start, expected);
-            sweep_cfg.medium.loss_prob =
-                (sweep_cfg.medium.loss_prob + grant.extra_loss).min(0.9);
+            sweep_cfg.medium.loss_prob = (sweep_cfg.medium.loss_prob + grant.extra_loss).min(0.9);
             jobs.push(Job {
                 client: i,
                 grant,
@@ -443,14 +570,37 @@ impl RangingService {
             let truth_m = self.clients[*client].truth_distance_m();
             let distance_m = out.mean_distance_m();
             let job = &jobs[*client];
-            let (predicted_m, tracked_m, innovation_sigmas) = match &mut self.trackers[*client]
-            {
+            let (predicted_m, tracked_m, innovation_sigmas) = match &mut self.trackers[*client] {
                 Some(tracker) => {
                     let upd = tracker.observe(out.link.started, distance_m, out.link.complete);
-                    (upd.predicted_m, upd.fused_m, upd.innovation.map(|i| i.sigmas()))
+                    (
+                        upd.predicted_m,
+                        upd.fused_m,
+                        upd.innovation.map(|i| i.sigmas()),
+                    )
                 }
                 None => (None, None, None),
             };
+            let truth_pos = {
+                let ctx = &self.clients[*client].ctx;
+                ctx.initiator_pos.sub(ctx.responder_pos)
+            };
+            let (position, pos_residual_m, pos_antennas, tracked_pos, pos_innovation_sigmas) =
+                match &mut self.pos_trackers[*client] {
+                    Some(tracker) => {
+                        let resolved = tracker.resolve(&out.position_candidates);
+                        let fix = resolved.map(|p| p.point);
+                        let upd = tracker.observe(out.link.started, fix, out.link.complete);
+                        (
+                            fix,
+                            resolved.map(|p| p.residual_m),
+                            resolved.map(|p| p.n_used),
+                            upd.fused,
+                            upd.innovation.map(|i| i.sigmas()),
+                        )
+                    }
+                    None => (None, None, None, None, None),
+                };
             outcomes.push(ClientOutcome {
                 client: *client,
                 started: out.link.started,
@@ -467,6 +617,14 @@ impl RangingService {
                 tracked_m,
                 tracked_error_m: tracked_m.map(|d| (d - truth_m).abs()),
                 innovation_sigmas,
+                position,
+                pos_residual_m,
+                pos_antennas,
+                truth_pos,
+                pos_error_m: position.map(|p| p.dist(truth_pos)),
+                tracked_pos,
+                tracked_pos_error_m: tracked_pos.map(|p| p.dist(truth_pos)),
+                pos_innovation_sigmas,
             });
         }
 
@@ -548,18 +706,26 @@ mod tests {
         // plan, so exactly one is ever built (plus one spline plan).
         assert_eq!(report.cache.ndft_entries, 1);
         assert_eq!(report.cache.spline_entries, 1);
-        assert!(report.cache.hits > report.cache.misses, "{:?}", report.cache);
+        assert!(
+            report.cache.hits > report.cache.misses,
+            "{:?}",
+            report.cache
+        );
     }
 
     #[test]
     fn results_independent_of_thread_count() {
         let run = |threads: usize| {
             let mut svc = service_with(4);
-            let mut cfg = ServiceConfig::default();
-            cfg.threads = threads;
-            svc.cfg = cfg;
+            svc.cfg = ServiceConfig {
+                threads,
+                ..Default::default()
+            };
             let r = svc.run_epoch(3);
-            r.outcomes.iter().map(|o| o.distance_m.unwrap().to_bits()).collect::<Vec<_>>()
+            r.outcomes
+                .iter()
+                .map(|o| o.distance_m.unwrap().to_bits())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(4));
     }
@@ -581,6 +747,70 @@ mod tests {
                 y.distance_m.map(f64::to_bits)
             );
         }
+    }
+
+    fn position_ctx(p: Point) -> MeasurementContext {
+        let mut ctx = MeasurementContext::new(
+            Environment::free_space(),
+            ideal_device(AntennaArray::single()),
+            p,
+            ideal_device(AntennaArray::access_point()),
+            Point::new(0.0, 0.0),
+        );
+        ctx.snr.snr_at_1m_db = 60.0;
+        ctx
+    }
+
+    #[test]
+    fn position_mode_reports_submeter_fixes_and_promotes_to_track() {
+        let mut svc = RangingService::new(ServiceConfig::position(TrackerConfig::default()));
+        let id = svc.add_client(position_ctx(Point::new(1.5, 4.0)), ChronosConfig::ideal());
+        svc.client_mut(id).sweep_cfg.medium.loss_prob = 0.0;
+        let mut reports = Vec::new();
+        for e in 0..4 {
+            reports.push(svc.run_epoch(100 + e));
+        }
+        let last = reports.last().unwrap();
+        let o = &last.outcomes[0];
+        assert!(o.truth_pos.dist(Point::new(1.5, 4.0)) < 1e-12);
+        let err = o.pos_error_m.expect("raw fix");
+        assert!(err < 1.0, "raw position error {err}");
+        let rmse = last.pos_rmse_m().expect("tracked position");
+        assert!(rmse < 1.0, "tracked RMSE {rmse}");
+        // The position tracker's mode machine drives subset scheduling.
+        assert_eq!(o.mode, TrackMode::Track);
+        assert!(o.bands_planned < 35, "subset sweep expected");
+        assert!(last.median_pos_error_m().is_some());
+        // Distance-tracking fields stay unpopulated in position mode.
+        assert!(o.tracked_m.is_none());
+    }
+
+    #[test]
+    fn non_adaptive_position_mode_full_sweeps_still_fuse() {
+        let cfg = ServiceConfig {
+            localization: LocalizationMode::Position,
+            ..ServiceConfig::default()
+        };
+        let mut svc = RangingService::new(cfg);
+        let id = svc.add_client(position_ctx(Point::new(-2.0, 3.0)), ChronosConfig::ideal());
+        svc.client_mut(id).sweep_cfg.medium.loss_prob = 0.0;
+        for e in 0..3 {
+            let r = svc.run_epoch(7 + e);
+            let o = &r.outcomes[0];
+            assert_eq!(
+                o.bands_planned, 35,
+                "non-adaptive service must sweep the full plan"
+            );
+            assert_eq!(
+                o.mode,
+                TrackMode::Acquire,
+                "reported mode must match the sweep actually issued"
+            );
+            assert!(o.tracked_pos.is_some());
+        }
+        assert_eq!(svc.run_epoch(99).mode_occupancy().track, 0);
+        assert!(svc.position_tracker(id).is_some());
+        assert!(svc.tracker(id).is_none());
     }
 
     #[test]

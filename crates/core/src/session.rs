@@ -14,7 +14,7 @@
 
 use crate::config::ChronosConfig;
 use crate::error::ChronosError;
-use crate::localization::{locate, AntennaRange, LocalizerConfig, Position};
+use crate::localization::{locate_all, AntennaRange, LocalizerConfig, Position};
 use crate::plan::PlanCache;
 use crate::tof::{BandSample, TofEstimate, TofEstimator};
 use chronos_link::sweep::{run_sweep, SweepConfig, SweepResult};
@@ -32,6 +32,13 @@ pub struct SweepOutput {
     /// The estimated transmitter position in the receiver's frame, when at
     /// least two antennas produced usable distances.
     pub position: Result<Position, ChronosError>,
+    /// Every consistent localization candidate, best residual first. One
+    /// entry for a well-conditioned 3+-antenna fix; the mirror pair when
+    /// only two antennas produced usable ranges (callers with a motion
+    /// prior disambiguate — see
+    /// [`crate::tracker::PositionTracker::resolve`]). Empty when
+    /// localization failed.
+    pub position_candidates: Vec<Position>,
     /// Link-layer result (duration, loss counters, busy intervals).
     pub link: SweepResult,
 }
@@ -39,13 +46,17 @@ pub struct SweepOutput {
 impl SweepOutput {
     /// Distance estimate of antenna `idx`, if it succeeded, meters.
     pub fn distance_m(&self, idx: usize) -> Option<f64> {
-        self.tofs.get(idx).and_then(|r| r.as_ref().ok()).map(|t| t.distance_m)
+        self.tofs
+            .get(idx)
+            .and_then(|r| r.as_ref().ok())
+            .map(|t| t.distance_m)
     }
 
     /// Mean distance across successful antennas, meters.
     pub fn mean_distance_m(&self) -> Option<f64> {
-        let ds: Vec<f64> =
-            (0..self.tofs.len()).filter_map(|i| self.distance_m(i)).collect();
+        let ds: Vec<f64> = (0..self.tofs.len())
+            .filter_map(|i| self.distance_m(i))
+            .collect();
         if ds.is_empty() {
             None
         } else {
@@ -129,7 +140,13 @@ impl ChronosSession {
         // Collect per-antenna, per-band measurement sets. The ACK antenna
         // rotates per exchange within each band.
         let mut per_antenna: Vec<Vec<BandSample>> = (0..n_rx)
-            .map(|_| (0..plan.len()).map(|_| BandSample { measurements: Vec::new() }).collect())
+            .map(|_| {
+                (0..plan.len())
+                    .map(|_| BandSample {
+                        measurements: Vec::new(),
+                    })
+                    .collect()
+            })
             .collect();
 
         let mut exchange_idx_per_band = vec![0usize; plan.len()];
@@ -155,8 +172,11 @@ impl ChronosSession {
         let tofs: Vec<Result<TofEstimate, ChronosError>> = per_antenna
             .iter()
             .map(|bands| {
-                let non_empty: Vec<BandSample> =
-                    bands.iter().filter(|b| !b.measurements.is_empty()).cloned().collect();
+                let non_empty: Vec<BandSample> = bands
+                    .iter()
+                    .filter(|b| !b.measurements.is_empty())
+                    .cloned()
+                    .collect();
                 if !link.complete && non_empty.len() < 5 {
                     return Err(ChronosError::SweepIncomplete {
                         measured: non_empty.len(),
@@ -179,13 +199,22 @@ impl ChronosSession {
                 })
             })
             .collect();
-        let position = if ranges.len() >= 2 {
-            locate(&ranges, &self.localizer)
+        let candidates = if ranges.len() >= 2 {
+            locate_all(&ranges, &self.localizer)
         } else {
             Err(ChronosError::NoConsistentPosition)
         };
+        let (position, position_candidates) = match candidates {
+            Ok(c) => (Ok(c[0]), c),
+            Err(e) => (Err(e), Vec::new()),
+        };
 
-        SweepOutput { tofs, position, link }
+        SweepOutput {
+            tofs,
+            position,
+            position_candidates,
+            link,
+        }
     }
 
     /// One-time constant calibration (paper §7 obs. 2): runs `n` sweeps at
@@ -261,7 +290,11 @@ mod tests {
         for (i, tof) in out.tofs.iter().enumerate() {
             let tof = tof.as_ref().expect("estimate");
             // True distance differs per antenna by the array offsets.
-            let ant = s.ctx.responder.antennas.world_positions(s.ctx.responder_pos)[i];
+            let ant = s
+                .ctx
+                .responder
+                .antennas
+                .world_positions(s.ctx.responder_pos)[i];
             let truth = ant.dist(s.ctx.initiator_pos);
             assert!(
                 (tof.distance_m - truth).abs() < 0.15,
@@ -282,13 +315,22 @@ mod tests {
         // geometry for lateral resolution, so the tolerance reflects the
         // paper's sub-meter (58 cm median) regime rather than cm-level.
         let truth = s.ctx.initiator_pos.sub(s.ctx.responder_pos);
-        assert!(pos.point.dist(truth) < 1.2, "pos {:?} truth {:?}", pos.point, truth);
+        assert!(
+            pos.point.dist(truth) < 1.2,
+            "pos {:?} truth {:?}",
+            pos.point,
+            truth
+        );
         // The raw per-antenna distances are tight even when lateral GDOP
         // smears the position; the position's radial component inherits a
         // little of that smear through the nonlinear fit.
         let md = out.mean_distance_m().unwrap();
         assert!((md - 3.0).abs() < 0.1, "mean distance {md}");
-        assert!((pos.point.norm() - 3.0).abs() < 0.4, "range {}", pos.point.norm());
+        assert!(
+            (pos.point.norm() - 3.0).abs() < 0.4,
+            "range {}",
+            pos.point.norm()
+        );
     }
 
     #[test]
@@ -300,7 +342,10 @@ mod tests {
         let before = s.sweep(&mut rng, Instant::ZERO);
         let d_before = before.mean_distance_m().expect("estimate");
         let bias_before = (d_before - 5.0).abs();
-        assert!(bias_before > 0.5, "expected hardware bias, got {bias_before}");
+        assert!(
+            bias_before > 0.5,
+            "expected hardware bias, got {bias_before}"
+        );
 
         let offset = s.calibrate(&mut rng, 3);
         assert!(offset > 0.0, "offset {offset}");

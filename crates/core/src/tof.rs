@@ -83,12 +83,20 @@ impl TofEstimator {
     /// cubic-spline interpolation. Plans are rebuilt per call; use
     /// [`TofEstimator::with_cache`] to share them.
     pub fn new(config: ChronosConfig) -> Self {
-        TofEstimator { config, interpolation: Interpolation::CubicSpline, plans: None }
+        TofEstimator {
+            config,
+            interpolation: Interpolation::CubicSpline,
+            plans: None,
+        }
     }
 
     /// Creates an estimator that reuses plans from a shared [`PlanCache`].
     pub fn with_cache(config: ChronosConfig, plans: Arc<PlanCache>) -> Self {
-        TofEstimator { config, interpolation: Interpolation::CubicSpline, plans: Some(plans) }
+        TofEstimator {
+            config,
+            interpolation: Interpolation::CubicSpline,
+            plans: Some(plans),
+        }
     }
 
     /// The NDFT plan for one band group: from the shared cache when
@@ -108,8 +116,13 @@ impl TofEstimator {
     fn spline_plan_for(&self, bands: &[BandSample]) -> Option<Arc<SplinePlan>> {
         let cache = self.plans.as_ref()?;
         let first = bands.iter().find_map(|b| b.measurements.first())?;
-        let xs: Vec<f64> =
-            first.forward.layout.indices().iter().map(|k| *k as f64).collect();
+        let xs: Vec<f64> = first
+            .forward
+            .layout
+            .indices()
+            .iter()
+            .map(|k| *k as f64)
+            .collect();
         cache.spline_plan(&xs).ok()
     }
 
@@ -152,7 +165,10 @@ impl TofEstimator {
             .map(|(i, _)| i)
             .ok_or(ChronosError::TooFewBands { got: 0, need: 5 })?;
         if groups[primary_idx].len() < 5 {
-            return Err(ChronosError::TooFewBands { got: groups[primary_idx].len(), need: 5 });
+            return Err(ChronosError::TooFewBands {
+                got: groups[primary_idx].len(),
+                need: 5,
+            });
         }
 
         let primary_bands = groups[primary_idx].len();
@@ -239,7 +255,7 @@ impl TofEstimator {
         }
 
         // Primary: most bands.
-        estimates.sort_by(|a, b| b.n_bands.cmp(&a.n_bands));
+        estimates.sort_by_key(|e| std::cmp::Reverse(e.n_bands));
         let primary = &estimates[0];
         let mut cross_check_ok = true;
         if self.config.use_24ghz_check && estimates.len() > 1 {
@@ -291,7 +307,10 @@ fn select_first_path(
 ) -> Result<chronos_math::peaks::Peak, ChronosError> {
     let resid_sq = |p: &[Complex64]| -> f64 {
         let fit = ndft.forward(p);
-        fit.iter().zip(h.iter()).map(|(a, b)| (*a - *b).norm_sq()).sum::<f64>()
+        fit.iter()
+            .zip(h.iter())
+            .map(|(a, b)| (*a - *b).norm_sq())
+            .sum::<f64>()
     };
     let r_with = resid_sq(p_final);
 
@@ -314,8 +333,11 @@ fn select_first_path(
             *z = Complex64::ZERO;
         }
         let predicted = ndft.forward(&p_others);
-        let residual: Vec<Complex64> =
-            h.iter().zip(predicted.iter()).map(|(a, b)| *a - *b).collect();
+        let residual: Vec<Complex64> = h
+            .iter()
+            .zip(predicted.iter())
+            .map(|(a, b)| *a - *b)
+            .collect();
         let mf_at = ndft.matched_filter(&residual, cand.x);
         (residual, mf_at)
     };
@@ -364,7 +386,10 @@ fn select_first_path(
         // after the candidate: if one of those explains the data, the
         // candidate was the ghost.
         let _ = (veto_window_ns, r_with);
-        let suspicious = peaks.iter().skip(i + 1).any(|later| later.magnitude > cand.magnitude);
+        let suspicious = peaks
+            .iter()
+            .skip(i + 1)
+            .any(|later| later.magnitude > cand.magnitude);
         if suspicious {
             // Ghost-source hypotheses: a grating ghost has exactly ONE
             // source, one lobe offset away. Each hypothesis gets the
@@ -447,7 +472,12 @@ pub fn genie_product(freq_hz: f64, paths: &[(f64, f64)], delay_scale: f64) -> Ba
         8 => (h * h).powi(4),
         _ => h,
     };
-    BandProduct { freq_hz, value, exchanges: 1, delay_scale }
+    BandProduct {
+        freq_hz,
+        value,
+        exchanges: 1,
+        delay_scale,
+    }
 }
 
 #[cfg(test)]
@@ -466,7 +496,9 @@ mod tests {
     fn single_path_estimate_subnanosecond() {
         let est = TofEstimator::new(ChronosConfig::ideal());
         let tau = 17.3;
-        let r = est.estimate_from_products(&genie_products_5g(&[(tau, 1.0)])).unwrap();
+        let r = est
+            .estimate_from_products(&genie_products_5g(&[(tau, 1.0)]))
+            .unwrap();
         assert!((r.tof_ns - tau).abs() < 0.05, "tof {}", r.tof_ns);
         assert!((r.distance_m - chronos_math::constants::ns_to_m(tau)).abs() < 0.02);
     }
@@ -475,7 +507,9 @@ mod tests {
     fn multipath_first_peak_wins() {
         let est = TofEstimator::new(ChronosConfig::ideal());
         let paths = [(10.0, 0.8), (14.0, 1.0), (21.0, 0.6)];
-        let r = est.estimate_from_products(&genie_products_5g(&paths)).unwrap();
+        let r = est
+            .estimate_from_products(&genie_products_5g(&paths))
+            .unwrap();
         assert!((r.tof_ns - 10.0).abs() < 0.25, "tof {}", r.tof_ns);
     }
 
@@ -484,7 +518,9 @@ mod tests {
         let mut cfg = ChronosConfig::ideal();
         cfg.calibration_ns = 6.0;
         let est = TofEstimator::new(cfg);
-        let r = est.estimate_from_products(&genie_products_5g(&[(16.0, 1.0)])).unwrap();
+        let r = est
+            .estimate_from_products(&genie_products_5g(&[(16.0, 1.0)]))
+            .unwrap();
         assert!((r.tof_ns - 10.0).abs() < 0.05, "tof {}", r.tof_ns);
     }
 
@@ -513,7 +549,11 @@ mod tests {
         }
         let est = TofEstimator::new(ChronosConfig::default());
         let r = est.estimate_from_products(&products).unwrap();
-        assert!((r.tof_ns - 9.4).abs() < 0.2, "primary unaffected: {}", r.tof_ns);
+        assert!(
+            (r.tof_ns - 9.4).abs() < 0.2,
+            "primary unaffected: {}",
+            r.tof_ns
+        );
         assert!(!r.cross_check_ok, "cross-check should flag inconsistency");
     }
 
@@ -535,7 +575,9 @@ mod tests {
     fn profile_has_sparse_dominant_peaks() {
         let est = TofEstimator::new(ChronosConfig::ideal());
         let paths = [(8.0, 1.0), (12.5, 0.7), (18.0, 0.5), (26.0, 0.35)];
-        let r = est.estimate_from_products(&genie_products_5g(&paths)).unwrap();
+        let r = est
+            .estimate_from_products(&genie_products_5g(&paths))
+            .unwrap();
         let count = r.groups[0].profile.peak_count(0.15);
         // 4 paths -> up to 10 squared-channel terms; a split atom may add
         // one more. Must stay sparse regardless.
@@ -547,7 +589,9 @@ mod tests {
         // The paper's running example: 0.6 m, tau = 2 ns.
         let est = TofEstimator::new(ChronosConfig::ideal());
         let tau = chronos_math::constants::m_to_ns(0.6);
-        let r = est.estimate_from_products(&genie_products_5g(&[(tau, 1.0)])).unwrap();
+        let r = est
+            .estimate_from_products(&genie_products_5g(&[(tau, 1.0)]))
+            .unwrap();
         assert!((r.tof_ns - tau).abs() < 0.05, "tof {}", r.tof_ns);
     }
 

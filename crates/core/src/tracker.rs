@@ -28,7 +28,9 @@
 //! Tuning guidance — what the knobs trade off and how to pick them —
 //! lives in `docs/TRACKING.md`.
 
+use crate::localization::Position;
 use chronos_link::time::Instant;
+use chronos_rf::geometry::Point;
 
 /// Which sweep the scheduler should issue for a client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,7 +168,10 @@ impl DistanceFilter {
     /// whether to call [`DistanceFilter::update`].
     pub fn innovation(&self, z_m: f64) -> Option<Innovation> {
         let x = self.state.as_ref()?;
-        Some(Innovation { nu_m: z_m - x[0], s_m2: self.p[0] + self.r * self.r })
+        Some(Innovation {
+            nu_m: z_m - x[0],
+            s_m2: self.p[0] + self.r * self.r,
+        })
     }
 
     /// Fuses a distance measurement. The first call seeds the state at
@@ -179,7 +184,10 @@ impl DistanceFilter {
                 self.state = Some([z_m, 0.0]);
                 // Confident in position (one fix), agnostic in velocity.
                 self.p = [self.r * self.r, 0.0, 4.0];
-                Innovation { nu_m: 0.0, s_m2: self.r * self.r }
+                Innovation {
+                    nu_m: 0.0,
+                    s_m2: self.r * self.r,
+                }
             }
             Some(x) => {
                 let [p00, p01, p11] = self.p;
@@ -322,8 +330,7 @@ impl ClientTracker {
                     innovation = Some(self.filter.update(z));
                     self.missed = 0;
                     self.good_streak += 1;
-                    if self.mode == TrackMode::Acquire
-                        && self.good_streak >= self.cfg.acquire_fixes
+                    if self.mode == TrackMode::Acquire && self.good_streak >= self.cfg.acquire_fixes
                     {
                         self.mode = TrackMode::Track;
                         self.missed = 0;
@@ -350,6 +357,295 @@ impl ClientTracker {
             next_mode: self.mode,
             predicted_m,
             fused_m: self.filter.predicted_distance(),
+            innovation,
+            gated,
+        }
+    }
+}
+
+/// One 2-D position measurement's innovation statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct PositionInnovation {
+    /// Measurement minus predicted position, meters.
+    pub nu: Point,
+    /// Innovation variance of the x axis, meters².
+    pub s_x_m2: f64,
+    /// Innovation variance of the y axis, meters².
+    pub s_y_m2: f64,
+}
+
+impl PositionInnovation {
+    /// The innovation's Mahalanobis distance in standard deviations,
+    /// `√(νₓ²/Sₓ + ν_y²/S_y)` — the position-space generalization of
+    /// [`Innovation::sigmas`].
+    pub fn sigmas(&self) -> f64 {
+        let sx = self.s_x_m2.max(1e-12);
+        let sy = self.s_y_m2.max(1e-12);
+        (self.nu.x * self.nu.x / sx + self.nu.y * self.nu.y / sy).sqrt()
+    }
+}
+
+/// A 4-state (x, y, vx, vy) constant-velocity Kalman filter over 2-D
+/// position — the planar generalization of [`DistanceFilter`].
+///
+/// Under a white-acceleration process model with isotropic noise and
+/// per-axis position measurements, the 4×4 covariance stays block
+/// diagonal per axis, so the filter decomposes exactly into two
+/// independent [`DistanceFilter`]s sharing their scalar update math.
+///
+/// ```
+/// use chronos_core::tracker::PositionFilter;
+/// use chronos_rf::geometry::Point;
+///
+/// let mut f = PositionFilter::new(2.0, 0.2);
+/// f.update(Point::new(3.0, 4.0));          // seed at the first fix
+/// for _ in 0..20 {
+///     f.predict(0.1);                      // 100 ms between fixes...
+///     f.update(Point::new(3.0, 4.05));     // ...all near (3, 4.05)
+/// }
+/// let p = f.predicted_position().unwrap();
+/// assert!(p.dist(Point::new(3.0, 4.05)) < 0.05, "converged to {p:?}");
+/// assert!(f.velocity().unwrap().norm() < 0.3, "static client");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PositionFilter {
+    x: DistanceFilter,
+    y: DistanceFilter,
+}
+
+impl PositionFilter {
+    /// Creates an empty filter with the given noise standard deviations
+    /// (process noise in m/s² per axis, measurement noise in meters per
+    /// axis).
+    pub fn new(process_noise_mps2: f64, measurement_noise_m: f64) -> Self {
+        PositionFilter {
+            x: DistanceFilter::new(process_noise_mps2, measurement_noise_m),
+            y: DistanceFilter::new(process_noise_mps2, measurement_noise_m),
+        }
+    }
+
+    /// Whether the filter holds a state (a first fix has been fused).
+    pub fn is_initialized(&self) -> bool {
+        self.x.is_initialized()
+    }
+
+    /// Propagates the state `dt_s` seconds forward under the constant-
+    /// velocity model. No-op before initialization.
+    pub fn predict(&mut self, dt_s: f64) {
+        self.x.predict(dt_s);
+        self.y.predict(dt_s);
+    }
+
+    /// The innovation a position measurement *would* produce right now,
+    /// without fusing it — the outlier gate reads this first.
+    pub fn innovation(&self, z: Point) -> Option<PositionInnovation> {
+        let ix = self.x.innovation(z.x)?;
+        let iy = self.y.innovation(z.y)?;
+        Some(PositionInnovation {
+            nu: Point::new(ix.nu_m, iy.nu_m),
+            s_x_m2: ix.s_m2,
+            s_y_m2: iy.s_m2,
+        })
+    }
+
+    /// Fuses a position measurement; the first call seeds the state at
+    /// the measurement with zero velocity. Returns the innovation.
+    pub fn update(&mut self, z: Point) -> PositionInnovation {
+        let ix = self.x.update(z.x);
+        let iy = self.y.update(z.y);
+        PositionInnovation {
+            nu: Point::new(ix.nu_m, iy.nu_m),
+            s_x_m2: ix.s_m2,
+            s_y_m2: iy.s_m2,
+        }
+    }
+
+    /// Current (post-predict) position estimate, meters.
+    pub fn predicted_position(&self) -> Option<Point> {
+        Some(Point::new(
+            self.x.predicted_distance()?,
+            self.y.predicted_distance()?,
+        ))
+    }
+
+    /// Current velocity estimate, m/s.
+    pub fn velocity(&self) -> Option<Point> {
+        Some(Point::new(self.x.velocity()?, self.y.velocity()?))
+    }
+
+    /// Position-estimate standard deviation, meters (RSS of the two axis
+    /// sigmas).
+    pub fn sigma_m(&self) -> Option<f64> {
+        let sx = self.x.sigma_m()?;
+        let sy = self.y.sigma_m()?;
+        Some(sx.hypot(sy))
+    }
+
+    /// Drops the state (track break): the next update re-seeds.
+    pub fn reset(&mut self) {
+        self.x.reset();
+        self.y.reset();
+    }
+}
+
+/// What one epoch's position fix did to a client's track.
+#[derive(Debug, Clone, Copy)]
+pub struct PositionTrackUpdate {
+    /// Mode the sweep was issued under.
+    pub mode: TrackMode,
+    /// Mode for the *next* epoch, after this fix was absorbed.
+    pub next_mode: TrackMode,
+    /// Filter prediction for this epoch, before fusing the fix.
+    pub predicted: Option<Point>,
+    /// Fused (post-update) position — the tracker's output.
+    pub fused: Option<Point>,
+    /// Innovation of the fix, when one was fused or gated.
+    pub innovation: Option<PositionInnovation>,
+    /// Whether the fix was rejected by the innovation gate (track break).
+    pub gated: bool,
+}
+
+/// Per-client 2-D position tracking state machine: a [`PositionFilter`]
+/// plus the same ACQUIRE ⇄ TRACK mode logic as [`ClientTracker`], with
+/// innovation gating in position space and mirror-ambiguity resolution
+/// against the motion prior (paper §8's mobility heuristic).
+#[derive(Debug, Clone)]
+pub struct PositionTracker {
+    cfg: TrackerConfig,
+    filter: PositionFilter,
+    mode: TrackMode,
+    good_streak: usize,
+    missed: usize,
+    last_t: Option<Instant>,
+}
+
+impl PositionTracker {
+    /// A fresh tracker in ACQUIRE mode. The [`TrackerConfig`] noise knobs
+    /// are interpreted per axis; `gate_sigma` gates the 2-D Mahalanobis
+    /// innovation distance.
+    pub fn new(cfg: TrackerConfig) -> Self {
+        PositionTracker {
+            filter: PositionFilter::new(cfg.process_noise_mps2, cfg.measurement_noise_m),
+            cfg,
+            mode: TrackMode::Acquire,
+            good_streak: 0,
+            missed: 0,
+            last_t: None,
+        }
+    }
+
+    /// The mode the next sweep should be issued under.
+    pub fn mode(&self) -> TrackMode {
+        self.mode
+    }
+
+    /// Bands the next sweep should cover: `None` = the full plan
+    /// (ACQUIRE), `Some(k)` = a k-band subset (TRACK).
+    pub fn requested_bands(&self) -> Option<usize> {
+        match self.mode {
+            TrackMode::Acquire => None,
+            TrackMode::Track => Some(self.cfg.track_bands),
+        }
+    }
+
+    /// Read access to the underlying filter.
+    pub fn filter(&self) -> &PositionFilter {
+        &self.filter
+    }
+
+    /// Picks the localization candidate to fuse from a best-first list
+    /// (see [`crate::localization::locate_all`]).
+    ///
+    /// A two-antenna fix is ambiguous between a point and its mirror
+    /// across the antenna baseline; once the filter holds a motion prior,
+    /// the candidate nearest the predicted position wins (§8's mobility
+    /// disambiguation — the true point moves consistently with the prior,
+    /// the mirror jumps). Cold trackers fall back to the solver's
+    /// best-residual ordering.
+    pub fn resolve(&self, candidates: &[Position]) -> Option<Position> {
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.filter.predicted_position() {
+            None => Some(candidates[0]),
+            Some(prior) => candidates
+                .iter()
+                .min_by(|a, b| {
+                    a.point
+                        .dist(prior)
+                        .partial_cmp(&b.point.dist(prior))
+                        .unwrap()
+                })
+                .copied(),
+        }
+    }
+
+    /// Absorbs one epoch's position fix at simulated time `t`: advances
+    /// the filter by the elapsed time, applies the innovation gate in
+    /// position space, fuses or rejects the measurement, and steps the
+    /// mode machine. Semantics mirror [`ClientTracker::observe`].
+    pub fn observe(
+        &mut self,
+        t: Instant,
+        fix: Option<Point>,
+        link_complete: bool,
+    ) -> PositionTrackUpdate {
+        let mode = self.mode;
+        let dt_s = self
+            .last_t
+            .map(|prev| t.saturating_since(prev).as_secs_f64())
+            .unwrap_or(0.0);
+        self.last_t = Some(t);
+        self.filter.predict(dt_s);
+        let predicted = self.filter.predicted_position();
+
+        let mut gated = false;
+        let mut innovation = None;
+        match fix {
+            Some(z) if link_complete => {
+                let pre = self.filter.innovation(z);
+                if let Some(inn) = pre {
+                    if inn.sigmas() > self.cfg.gate_sigma {
+                        // Track break: re-seed at the new fix so the next
+                        // ACQUIRE stint converges there.
+                        gated = true;
+                        innovation = Some(inn);
+                        self.filter.reset();
+                        self.filter.update(z);
+                        self.good_streak = 0;
+                        self.missed = 0;
+                        self.mode = TrackMode::Acquire;
+                    }
+                }
+                if !gated {
+                    innovation = Some(self.filter.update(z));
+                    self.missed = 0;
+                    self.good_streak += 1;
+                    if self.mode == TrackMode::Acquire && self.good_streak >= self.cfg.acquire_fixes
+                    {
+                        self.mode = TrackMode::Track;
+                        self.missed = 0;
+                    }
+                }
+            }
+            _ => {
+                // No fix (localization failed, e.g. NLOS antennas
+                // rejected below the two-range floor) or an incomplete
+                // sweep: a miss. Degraded fixes are not fused.
+                self.good_streak = 0;
+                self.missed += 1;
+                if self.mode == TrackMode::Track && self.missed >= self.cfg.max_missed {
+                    self.mode = TrackMode::Acquire;
+                    self.missed = 0;
+                }
+            }
+        }
+
+        PositionTrackUpdate {
+            mode,
+            next_mode: self.mode,
+            predicted,
+            fused: self.filter.predicted_position(),
             innovation,
             gated,
         }
@@ -418,7 +714,10 @@ mod tests {
         assert_eq!(u0.next_mode, TrackMode::Acquire, "one fix is not a streak");
         let u1 = t.observe(at(1), Some(4.01), true);
         assert_eq!(u1.next_mode, TrackMode::Track);
-        assert_eq!(t.requested_bands(), Some(TrackerConfig::default().track_bands));
+        assert_eq!(
+            t.requested_bands(),
+            Some(TrackerConfig::default().track_bands)
+        );
     }
 
     #[test]
@@ -442,7 +741,10 @@ mod tests {
 
     #[test]
     fn repeated_misses_force_reacquire() {
-        let cfg = TrackerConfig { max_missed: 2, ..Default::default() };
+        let cfg = TrackerConfig {
+            max_missed: 2,
+            ..Default::default()
+        };
         let mut t = ClientTracker::new(cfg);
         t.observe(at(0), Some(6.0), true);
         t.observe(at(1), Some(6.0), true);
@@ -458,7 +760,10 @@ mod tests {
         // A chronically lossy medium: subset sweeps keep producing
         // estimates from partial band coverage. Those degraded fixes
         // must not be fused, and repeated incomplete sweeps re-ACQUIRE.
-        let cfg = TrackerConfig { max_missed: 2, ..Default::default() };
+        let cfg = TrackerConfig {
+            max_missed: 2,
+            ..Default::default()
+        };
         let mut t = ClientTracker::new(cfg);
         t.observe(at(0), Some(6.0), true);
         t.observe(at(1), Some(6.0), true);
@@ -466,9 +771,16 @@ mod tests {
         let before = t.filter().predicted_distance().unwrap();
         let u = t.observe(at(2), Some(6.4), false);
         assert!(u.innovation.is_none(), "degraded fix must not be fused");
-        assert_eq!(t.filter().predicted_distance().unwrap().to_bits(), before.to_bits());
+        assert_eq!(
+            t.filter().predicted_distance().unwrap().to_bits(),
+            before.to_bits()
+        );
         let u = t.observe(at(3), Some(6.4), false);
-        assert_eq!(u.next_mode, TrackMode::Acquire, "repeated incomplete sweeps re-acquire");
+        assert_eq!(
+            u.next_mode,
+            TrackMode::Acquire,
+            "repeated incomplete sweeps re-acquire"
+        );
     }
 
     #[test]
@@ -481,6 +793,95 @@ mod tests {
         t.observe(at(2), Some(5.0), true);
         let u = t.observe(at(3), Some(5.0), true);
         assert_eq!(u.next_mode, TrackMode::Track);
+    }
+
+    #[test]
+    fn position_filter_learns_planar_velocity() {
+        let mut f = PositionFilter::new(2.0, 0.1);
+        // Walker moving at (0.8, -0.6) m/s, fixed 100 ms cadence.
+        for i in 0..40 {
+            f.predict(if i == 0 { 0.0 } else { 0.1 });
+            let t = 0.1 * i as f64;
+            f.update(Point::new(1.0 + 0.8 * t, 5.0 - 0.6 * t));
+        }
+        let v = f.velocity().unwrap();
+        assert!((v.x - 0.8).abs() < 0.2, "vx {}", v.x);
+        assert!((v.y + 0.6).abs() < 0.2, "vy {}", v.y);
+        assert!(f.sigma_m().unwrap() < 0.2);
+    }
+
+    #[test]
+    fn position_innovation_is_mahalanobis() {
+        let mut f = PositionFilter::new(1.0, 0.1);
+        f.update(Point::new(2.0, 2.0));
+        f.predict(0.1);
+        let small = f.innovation(Point::new(2.02, 1.99)).unwrap();
+        let large = f.innovation(Point::new(6.0, -1.0)).unwrap();
+        assert!(small.sigmas() < 1.0);
+        assert!(large.sigmas() > 10.0);
+        // Moving on one axis only still registers.
+        let one_axis = f.innovation(Point::new(2.0, 5.0)).unwrap();
+        assert!(one_axis.sigmas() > 10.0);
+    }
+
+    #[test]
+    fn position_tracker_promotes_gates_and_reacquires() {
+        let mut t = PositionTracker::new(TrackerConfig::default());
+        assert_eq!(t.mode(), TrackMode::Acquire);
+        assert_eq!(t.requested_bands(), None);
+        t.observe(at(0), Some(Point::new(3.0, 1.0)), true);
+        let u = t.observe(at(1), Some(Point::new(3.01, 1.0)), true);
+        assert_eq!(u.next_mode, TrackMode::Track);
+        assert_eq!(
+            t.requested_bands(),
+            Some(TrackerConfig::default().track_bands)
+        );
+        // Teleport across the room: gate trips, filter re-seeds.
+        let u = t.observe(at(2), Some(Point::new(-5.0, 8.0)), true);
+        assert!(u.gated);
+        assert_eq!(u.next_mode, TrackMode::Acquire);
+        let p = t.filter().predicted_position().unwrap();
+        assert!(p.dist(Point::new(-5.0, 8.0)) < 1e-9);
+    }
+
+    #[test]
+    fn position_tracker_misses_demote() {
+        let cfg = TrackerConfig {
+            max_missed: 2,
+            ..Default::default()
+        };
+        let mut t = PositionTracker::new(cfg);
+        t.observe(at(0), Some(Point::new(1.0, 1.0)), true);
+        t.observe(at(1), Some(Point::new(1.0, 1.0)), true);
+        assert_eq!(t.mode(), TrackMode::Track);
+        t.observe(at(2), None, true);
+        let u = t.observe(at(3), None, true);
+        assert_eq!(u.next_mode, TrackMode::Acquire);
+    }
+
+    #[test]
+    fn resolve_prefers_candidate_near_motion_prior() {
+        use crate::localization::Position;
+        let mk = |x: f64, y: f64, r: f64| Position {
+            point: Point::new(x, y),
+            residual_m: r,
+            n_used: 2,
+        };
+        let mut t = PositionTracker::new(TrackerConfig::default());
+        // Cold tracker: best residual wins regardless of geometry.
+        let cold = t
+            .resolve(&[mk(1.0, 2.0, 0.01), mk(1.0, -2.0, 0.02)])
+            .unwrap();
+        assert!(cold.point.dist(Point::new(1.0, 2.0)) < 1e-9);
+        assert!(t.resolve(&[]).is_none());
+        // Warm tracker near (1, -2): the mirror pair resolves to the
+        // candidate consistent with the prior even when its residual ties.
+        t.observe(at(0), Some(Point::new(1.0, -2.0)), true);
+        t.observe(at(1), Some(Point::new(1.0, -2.0)), true);
+        let warm = t
+            .resolve(&[mk(1.0, 2.0, 0.01), mk(1.0, -2.0, 0.01)])
+            .unwrap();
+        assert!(warm.point.dist(Point::new(1.0, -2.0)) < 1e-9);
     }
 
     #[test]

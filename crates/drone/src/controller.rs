@@ -67,6 +67,9 @@ pub struct DistanceController {
     /// Tuning parameters.
     pub config: ControllerConfig,
     history: VecDeque<RangeEstimate>,
+    /// Latest pre-filtered distance, when an upstream tracker (not the
+    /// raw sweep) feeds the loop. Takes priority over the window.
+    filtered_m: Option<f64>,
     integral_m: f64,
     last_error_m: Option<f64>,
 }
@@ -74,15 +77,25 @@ pub struct DistanceController {
 impl DistanceController {
     /// Creates a controller.
     pub fn new(config: ControllerConfig) -> Self {
-        DistanceController { config, history: VecDeque::new(), integral_m: 0.0, last_error_m: None }
+        DistanceController {
+            config,
+            history: VecDeque::new(),
+            filtered_m: None,
+            integral_m: 0.0,
+            last_error_m: None,
+        }
     }
 
     /// Feeds one raw distance measurement (meters). Non-finite inputs are
-    /// ignored (a failed sweep contributes nothing).
+    /// ignored (a failed sweep contributes nothing). Raw measurements go
+    /// through the sliding window + MAD outlier rejection; feeding one
+    /// also switches the controller back to the raw pipeline (clears any
+    /// [`DistanceController::observe_filtered`] value).
     pub fn observe(&mut self, distance_m: f64) {
         if !distance_m.is_finite() || distance_m < 0.0 {
             return;
         }
+        self.filtered_m = None;
         self.history.push_back(RangeEstimate {
             distance_m,
             tof_ns: chronos_math::constants::m_to_ns(distance_m),
@@ -92,8 +105,30 @@ impl DistanceController {
         }
     }
 
-    /// The de-noised current distance estimate, if any measurements exist.
+    /// Feeds one *already filtered* distance (meters) — the output of a
+    /// [`chronos_core::tracker`] Kalman filter, which has its own
+    /// innovation gate and smoothing.
+    ///
+    /// The §9 window/MAD pipeline exists to de-noise raw sweep estimates;
+    /// running tracker output through it as well would double-smooth (two
+    /// cascaded low-pass stages), adding lag against a walking user for
+    /// no noise benefit. Filtered inputs therefore bypass the window:
+    /// [`DistanceController::smoothed_distance`] reports them as-is until
+    /// a raw [`DistanceController::observe`] switches the pipeline back.
+    pub fn observe_filtered(&mut self, distance_m: f64) {
+        if !distance_m.is_finite() || distance_m < 0.0 {
+            return;
+        }
+        self.filtered_m = Some(distance_m);
+    }
+
+    /// The de-noised current distance estimate, if any measurements
+    /// exist: the latest tracker-filtered value when one is being fed,
+    /// otherwise the MAD-gated window mean of raw measurements.
     pub fn smoothed_distance(&self) -> Option<f64> {
+        if let Some(d) = self.filtered_m {
+            return Some(d);
+        }
         let v: Vec<RangeEstimate> = self.history.iter().cloned().collect();
         combine_ranges(&v, self.config.outlier_k)
     }
@@ -112,8 +147,7 @@ impl DistanceController {
         self.last_error_m = Some(err);
         self.integral_m = (self.integral_m + err)
             .clamp(-self.config.integral_clamp_m, self.config.integral_clamp_m);
-        if err.abs() < self.config.deadband_m && self.integral_m.abs() < self.config.deadband_m
-        {
+        if err.abs() < self.config.deadband_m && self.integral_m.abs() < self.config.deadband_m {
             return 0.0;
         }
         // Move along the user-drone axis: if too far (err > 0) the drone
@@ -132,6 +166,7 @@ impl DistanceController {
     /// Clears all controller state (e.g., after losing the user).
     pub fn reset(&mut self) {
         self.history.clear();
+        self.filtered_m = None;
         self.integral_m = 0.0;
         self.last_error_m = None;
     }
@@ -219,6 +254,48 @@ mod tests {
     }
 
     #[test]
+    fn filtered_input_bypasses_the_window() {
+        // A tracker-filtered value must be used verbatim — not averaged
+        // with (or MAD-gated against) stale raw window content, which
+        // would double-smooth.
+        let mut c = ctl();
+        for _ in 0..5 {
+            c.observe(3.0); // stale raw history
+        }
+        c.observe_filtered(1.45);
+        assert_eq!(c.smoothed_distance(), Some(1.45));
+        // Each tick's filtered value replaces the last.
+        c.observe_filtered(1.50);
+        assert_eq!(c.smoothed_distance(), Some(1.50));
+        // Garbage filtered inputs are ignored, keeping the previous feed.
+        c.observe_filtered(f64::NAN);
+        c.observe_filtered(-2.0);
+        assert_eq!(c.smoothed_distance(), Some(1.50));
+    }
+
+    #[test]
+    fn raw_observe_switches_back_to_window_pipeline() {
+        let mut c = ctl();
+        c.observe_filtered(9.0);
+        for _ in 0..5 {
+            c.observe(1.40);
+        }
+        let d = c.smoothed_distance().unwrap();
+        assert!(
+            (d - 1.40).abs() < 1e-9,
+            "window should win after raw feed, got {d}"
+        );
+    }
+
+    #[test]
+    fn reset_clears_filtered_feed() {
+        let mut c = ctl();
+        c.observe_filtered(2.0);
+        c.reset();
+        assert!(c.smoothed_distance().is_none());
+    }
+
+    #[test]
     fn reset_clears_history() {
         let mut c = ctl();
         c.observe(1.0);
@@ -243,7 +320,10 @@ mod tests {
         }
         c.observe(1.45);
         let later = c.correction();
-        assert!(later.abs() > first.abs(), "integral not building: {first} vs {later}");
+        assert!(
+            later.abs() > first.abs(),
+            "integral not building: {first} vs {later}"
+        );
     }
 
     #[test]

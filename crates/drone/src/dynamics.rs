@@ -24,7 +24,11 @@ pub struct Quadrotor {
 impl Quadrotor {
     /// A hovering quadrotor at `position` with Hummingbird-like limits.
     pub fn new(position: Point) -> Self {
-        Quadrotor { position, max_speed: 2.0, actuation_noise: 0.03 }
+        Quadrotor {
+            position,
+            max_speed: 2.0,
+            actuation_noise: 0.03,
+        }
     }
 
     /// Executes a commanded displacement over `dt` seconds: the step is

@@ -14,12 +14,32 @@ use crate::dynamics::Quadrotor;
 use crate::trajectory::WalkTrajectory;
 use chronos_core::config::ChronosConfig;
 use chronos_core::session::ChronosSession;
+use chronos_core::tracker::{ClientTracker, PositionTracker, TrackerConfig};
 use chronos_link::time::Instant;
 use chronos_rf::csi::MeasurementContext;
 use chronos_rf::environment::Environment;
 use chronos_rf::geometry::Point;
 use chronos_rf::hardware::{AntennaArray, Intel5300};
 use rand::Rng;
+
+/// What distance estimate feeds the drone's control loop each tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FollowSource {
+    /// The paper's §9 pipeline: raw sweep distances through the
+    /// controller's sliding window + MAD outlier rejection.
+    #[default]
+    RawDistance,
+    /// Raw distances fused by a [`ClientTracker`] Kalman filter; the
+    /// controller consumes the filtered output directly
+    /// ([`DistanceController::observe_filtered`]) so the window does not
+    /// double-smooth.
+    TrackedDistance,
+    /// Full 2-D position fixes from the drone's 3-antenna array
+    /// (mirror-resolved and fused by a [`PositionTracker`]); the
+    /// controller holds the *range to the fix*. Opens §8's localization
+    /// as the control observable (§12.4's endgame).
+    Position,
+}
 
 /// Follow-simulation settings.
 #[derive(Debug, Clone)]
@@ -34,20 +54,43 @@ pub struct FollowConfig {
     pub chronos: ChronosConfig,
     /// Number of calibration sweeps before the run.
     pub calibration_sweeps: usize,
+    /// What estimate drives the controller (see [`FollowSource`]).
+    pub source: FollowSource,
+    /// Tracker tuning for the non-raw sources.
+    pub tracker: TrackerConfig,
 }
 
 impl Default for FollowConfig {
     fn default() -> Self {
-        let mut chronos = ChronosConfig::default();
         // Close-range room: a shorter grid keeps per-tick cost low without
         // touching accuracy (paths < 40 ns round the room).
-        chronos.grid_span_ns = 100.0;
+        let chronos = ChronosConfig {
+            grid_span_ns: 100.0,
+            ..ChronosConfig::default()
+        };
         FollowConfig {
             controller: ControllerConfig::default(),
             tick_s: 0.084,
             ticks: 240,
             chronos,
             calibration_sweeps: 2,
+            source: FollowSource::RawDistance,
+            // Close range, ~10 Hz fixes: trust the fixes, allow maneuvers.
+            tracker: TrackerConfig {
+                process_noise_mps2: 3.0,
+                measurement_noise_m: 0.1,
+                ..TrackerConfig::default()
+            },
+        }
+    }
+}
+
+impl FollowConfig {
+    /// The default configuration with the given control source.
+    pub fn with_source(source: FollowSource) -> Self {
+        FollowConfig {
+            source,
+            ..Default::default()
         }
     }
 }
@@ -67,6 +110,12 @@ pub struct FollowRecord {
     pub measured_distance_m: Option<f64>,
     /// The controller's smoothed distance after this tick.
     pub smoothed_distance_m: Option<f64>,
+    /// Tracker-fused distance fed to the controller this tick (non-raw
+    /// sources only).
+    pub tracked_distance_m: Option<f64>,
+    /// Mirror-resolved 2-D position fix of the user in the drone's frame
+    /// ([`FollowSource::Position`] only).
+    pub position_fix: Option<Point>,
 }
 
 /// The closed-loop simulation.
@@ -77,6 +126,8 @@ pub struct FollowSim {
     drone: Quadrotor,
     user: WalkTrajectory,
     controller: DistanceController,
+    dist_tracker: Option<ClientTracker>,
+    pos_tracker: Option<PositionTracker>,
 }
 
 impl FollowSim {
@@ -101,12 +152,18 @@ impl FollowSim {
         let mut session = ChronosSession::new(ctx, cfg.chronos.clone());
         session.sweep_cfg.medium.loss_prob = 0.005;
         let controller = DistanceController::new(cfg.controller);
+        let dist_tracker =
+            (cfg.source == FollowSource::TrackedDistance).then(|| ClientTracker::new(cfg.tracker));
+        let pos_tracker =
+            (cfg.source == FollowSource::Position).then(|| PositionTracker::new(cfg.tracker));
         FollowSim {
             cfg,
             session,
             drone: Quadrotor::new(drone_pos),
             user,
             controller,
+            dist_tracker,
+            pos_tracker,
         }
     }
 
@@ -132,8 +189,48 @@ impl FollowSim {
             self.session.ctx.responder_pos = self.drone.position;
             let out = self.session.sweep(rng, Instant::from_secs_f64(t_s));
             let measured = out.mean_distance_m();
-            if let Some(d) = measured {
-                self.controller.observe(d);
+            let mut tracked = None;
+            let mut position_fix = None;
+            match self.cfg.source {
+                FollowSource::RawDistance => {
+                    if let Some(d) = measured {
+                        self.controller.observe(d);
+                    }
+                }
+                FollowSource::TrackedDistance => {
+                    let tracker = self.dist_tracker.as_mut().expect("tracked source");
+                    let upd =
+                        tracker.observe(Instant::from_secs_f64(t_s), measured, out.link.complete);
+                    tracked = upd.fused_m;
+                }
+                FollowSource::Position => {
+                    // The user's position in the drone's frame: per-antenna
+                    // ToF circles intersected, mirror resolved against the
+                    // tracker's motion prior. The controller holds the
+                    // range to the fused fix.
+                    let tracker = self.pos_tracker.as_mut().expect("position source");
+                    let resolved = tracker.resolve(&out.position_candidates);
+                    position_fix = resolved.map(|p| p.point);
+                    let upd = tracker.observe(
+                        Instant::from_secs_f64(t_s),
+                        position_fix,
+                        out.link.complete,
+                    );
+                    tracked = upd.fused.map(Point::norm);
+                }
+            }
+            match (self.cfg.source, tracked) {
+                (FollowSource::RawDistance, _) => {}
+                // Tracker output is already filtered: bypass the §9
+                // window so the loop does not smooth twice.
+                (_, Some(d)) => self.controller.observe_filtered(d),
+                // Tracker not seeded yet (no usable fix so far): fall
+                // back to the raw pipeline rather than flying blind.
+                (_, None) => {
+                    if let Some(d) = measured {
+                        self.controller.observe(d);
+                    }
+                }
             }
 
             // Control step along the true bearing (compass stand-in).
@@ -149,6 +246,8 @@ impl FollowSim {
                 true_distance_m: self.drone.position.dist(user_pos),
                 measured_distance_m: measured,
                 smoothed_distance_m: self.controller.smoothed_distance(),
+                tracked_distance_m: tracked,
+                position_fix,
             });
         }
         records
@@ -172,8 +271,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn quick_cfg(ticks: usize) -> FollowConfig {
-        let mut cfg = FollowConfig::default();
-        cfg.ticks = ticks;
+        let mut cfg = FollowConfig {
+            ticks,
+            ..Default::default()
+        };
         // Keep unit tests fast.
         cfg.chronos.max_iters = 150;
         cfg.chronos.grid_step_ns = 0.5;
@@ -188,7 +289,10 @@ mod tests {
         assert_eq!(records.len(), 20);
         assert!(records.iter().all(|r| r.true_distance_m > 0.0));
         // Most ticks produced a measurement.
-        let measured = records.iter().filter(|r| r.measured_distance_m.is_some()).count();
+        let measured = records
+            .iter()
+            .filter(|r| r.measured_distance_m.is_some())
+            .count();
         assert!(measured >= 15, "only {measured} measured ticks");
     }
 
@@ -207,6 +311,45 @@ mod tests {
         );
         // Steady state holds within tens of centimeters at worst.
         assert!(late_med < 0.30, "late deviation {late_med}");
+    }
+
+    #[test]
+    fn tracked_source_feeds_filtered_distance_and_converges() {
+        let mut cfg = quick_cfg(80);
+        cfg.source = FollowSource::TrackedDistance;
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut sim = FollowSim::new(&mut rng, cfg, 2);
+        let records = sim.run(&mut rng);
+        // Once the tracker seeds, the controller consumes its output
+        // verbatim — no second pass through the averaging window.
+        let fed: Vec<&FollowRecord> = records
+            .iter()
+            .filter(|r| r.tracked_distance_m.is_some())
+            .collect();
+        assert!(fed.len() > 60, "tracker fed only {} ticks", fed.len());
+        for r in &fed {
+            assert_eq!(r.smoothed_distance_m, r.tracked_distance_m);
+        }
+        let late = FollowSim::deviations(&records, 1.4, 50);
+        let late_med = chronos_math::stats::median(&late);
+        assert!(late_med < 0.30, "late deviation {late_med}");
+    }
+
+    #[test]
+    fn position_source_holds_target_from_2d_fixes() {
+        let mut cfg = quick_cfg(80);
+        cfg.source = FollowSource::Position;
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut sim = FollowSim::new(&mut rng, cfg, 3);
+        let records = sim.run(&mut rng);
+        let fixes = records.iter().filter(|r| r.position_fix.is_some()).count();
+        assert!(fixes > 40, "only {fixes} position fixes");
+        // The fused fix's range must agree with true distance once
+        // converged (position error folds antenna geometry in, so the
+        // tolerance is looser than scalar ranging).
+        let late = FollowSim::deviations(&records, 1.4, 50);
+        let late_med = chronos_math::stats::median(&late);
+        assert!(late_med < 0.40, "late deviation {late_med}");
     }
 
     #[test]
@@ -229,6 +372,8 @@ mod tests {
                 true_distance_m: 3.0,
                 measured_distance_m: None,
                 smoothed_distance_m: None,
+                tracked_distance_m: None,
+                position_fix: None,
             },
             FollowRecord {
                 t_s: 0.1,
@@ -237,6 +382,8 @@ mod tests {
                 true_distance_m: 1.5,
                 measured_distance_m: None,
                 smoothed_distance_m: None,
+                tracked_distance_m: None,
+                position_fix: None,
             },
         ];
         let d = FollowSim::deviations(&records, 1.4, 1);

@@ -43,7 +43,15 @@ impl WalkTrajectory {
             rng.gen_range(margin..room_w - margin),
             rng.gen_range(margin..room_h - margin),
         );
-        WalkTrajectory { rng, room_w, room_h, margin, speed: 0.7, position, target }
+        WalkTrajectory {
+            rng,
+            room_w,
+            room_h,
+            margin,
+            speed: 0.7,
+            position,
+            target,
+        }
     }
 
     /// Current position.

@@ -93,12 +93,19 @@ pub struct MediumArbiter {
 impl MediumArbiter {
     /// Creates an arbiter with the given policy.
     pub fn new(cfg: ArbiterConfig) -> Self {
-        MediumArbiter { cfg, windows: Vec::new(), next_token: 0 }
+        MediumArbiter {
+            cfg,
+            windows: Vec::new(),
+            next_token: 0,
+        }
     }
 
     /// Number of tracked windows overlapping the interval `[start, end)`.
     fn overlaps(&self, start: Instant, end: Instant) -> usize {
-        self.windows.iter().filter(|w| w.start < end && start < w.end).count()
+        self.windows
+            .iter()
+            .filter(|w| w.start < end && start < w.end)
+            .count()
     }
 
     /// Whether `t` keeps the start-stagger guard against every tracked
@@ -151,12 +158,22 @@ impl MediumArbiter {
         }
         let end = t + expected;
         let concurrent = self.overlaps(t, end);
-        let extra_loss = (self.cfg.collision_loss_per_peer * concurrent as f64)
-            .min(self.cfg.max_extra_loss);
+        let extra_loss =
+            (self.cfg.collision_loss_per_peer * concurrent as f64).min(self.cfg.max_extra_loss);
         let token = self.next_token;
         self.next_token += 1;
-        self.windows.push(Window { token, start: t, end });
-        SweepGrant { token, start: t, expected_end: end, concurrent, extra_loss }
+        self.windows.push(Window {
+            token,
+            start: t,
+            end,
+        });
+        SweepGrant {
+            token,
+            start: t,
+            expected_end: end,
+            concurrent,
+            extra_loss,
+        }
     }
 
     /// Reports the actual finish time of a granted sweep so the
@@ -174,7 +191,10 @@ impl MediumArbiter {
 
     /// Number of windows overlapping instant `t`.
     pub fn active_at(&self, t: Instant) -> usize {
-        self.windows.iter().filter(|w| w.start <= t && t < w.end).count()
+        self.windows
+            .iter()
+            .filter(|w| w.start <= t && t < w.end)
+            .count()
     }
 
     /// Fraction of `[from, to)` covered by at least one tracked window.
@@ -209,7 +229,11 @@ impl MediumArbiter {
 
     /// The latest projected end among tracked windows (epoch horizon).
     pub fn horizon(&self) -> Instant {
-        self.windows.iter().map(|w| w.end).max().unwrap_or(Instant::ZERO)
+        self.windows
+            .iter()
+            .map(|w| w.end)
+            .max()
+            .unwrap_or(Instant::ZERO)
     }
 
     /// Total airtime currently charged across tracked windows — the sum
@@ -222,9 +246,9 @@ impl MediumArbiter {
     /// window, so no sweep is ever double-counted (asserted by tests and
     /// `tests/tracking.rs`).
     pub fn total_tracked_airtime(&self) -> Duration {
-        self.windows
-            .iter()
-            .fold(Duration::ZERO, |acc, w| acc + w.end.saturating_since(w.start))
+        self.windows.iter().fold(Duration::ZERO, |acc, w| {
+            acc + w.end.saturating_since(w.start)
+        })
     }
 }
 
@@ -263,7 +287,10 @@ mod tests {
 
     #[test]
     fn concurrency_cap_defers_admission() {
-        let cfg = ArbiterConfig { max_concurrent: 2, ..Default::default() };
+        let cfg = ArbiterConfig {
+            max_concurrent: 2,
+            ..Default::default()
+        };
         let mut arb = MediumArbiter::new(cfg);
         let d = Duration::from_millis(80);
         let a = arb.admit(ms(0), d);
@@ -294,7 +321,10 @@ mod tests {
 
     #[test]
     fn completion_tightens_projection() {
-        let cfg = ArbiterConfig { max_concurrent: 1, ..Default::default() };
+        let cfg = ArbiterConfig {
+            max_concurrent: 1,
+            ..Default::default()
+        };
         let mut arb = MediumArbiter::new(cfg);
         let a = arb.admit(ms(0), Duration::from_millis(100));
         // The sweep actually finished early; the next admission may start
@@ -339,10 +369,16 @@ mod tests {
         arb.complete(a.token, a.start + Duration::from_millis(90));
         arb.complete(b.token, b.start + Duration::from_millis(25));
         arb.complete(c.token, c.start + Duration::from_millis(12));
-        assert_eq!(arb.total_tracked_airtime(), Duration::from_millis(90 + 25 + 12));
+        assert_eq!(
+            arb.total_tracked_airtime(),
+            Duration::from_millis(90 + 25 + 12)
+        );
         // Completing twice is idempotent.
         arb.complete(c.token, c.start + Duration::from_millis(12));
-        assert_eq!(arb.total_tracked_airtime(), Duration::from_millis(90 + 25 + 12));
+        assert_eq!(
+            arb.total_tracked_airtime(),
+            Duration::from_millis(90 + 25 + 12)
+        );
     }
 
     #[test]

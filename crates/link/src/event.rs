@@ -48,7 +48,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Instant::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Instant::ZERO,
+        }
     }
 
     /// Schedules `event` at absolute time `at`.

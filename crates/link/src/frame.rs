@@ -86,7 +86,11 @@ impl Frame {
         let mut b = BytesMut::with_capacity(12);
         b.put_u8(MAGIC);
         match self {
-            Frame::HopAdvert { seq, next_channel, dwell_us } => {
+            Frame::HopAdvert {
+                seq,
+                next_channel,
+                dwell_us,
+            } => {
                 b.put_u8(T_ADVERT);
                 b.put_u16(*seq);
                 b.put_u16(*next_channel);
@@ -127,7 +131,11 @@ impl Frame {
                 let seq = buf.get_u16();
                 let next_channel = buf.get_u16();
                 let dwell_us = buf.get_u32();
-                Ok(Frame::HopAdvert { seq, next_channel, dwell_us })
+                Ok(Frame::HopAdvert {
+                    seq,
+                    next_channel,
+                    dwell_us,
+                })
             }
             T_ACK => {
                 if buf.remaining() < 2 {
@@ -171,7 +179,11 @@ mod tests {
     #[test]
     fn round_trip_all_variants() {
         let frames = [
-            Frame::HopAdvert { seq: 7, next_channel: 157, dwell_us: 2200 },
+            Frame::HopAdvert {
+                seq: 7,
+                next_channel: 157,
+                dwell_us: 2200,
+            },
             Frame::Ack { seq: 7 },
             Frame::Measure { seq: 1234 },
             Frame::Data { len: 1460 },
@@ -192,7 +204,12 @@ mod tests {
 
     #[test]
     fn rejects_truncation_everywhere() {
-        let enc = Frame::HopAdvert { seq: 9, next_channel: 36, dwell_us: 2500 }.encode();
+        let enc = Frame::HopAdvert {
+            seq: 9,
+            next_channel: 36,
+            dwell_us: 2500,
+        }
+        .encode();
         for cut in 0..enc.len() {
             let r = Frame::parse(&enc[..cut]);
             assert!(r.is_err(), "accepted a {cut}-byte prefix");
@@ -221,7 +238,11 @@ mod tests {
     #[test]
     fn air_bytes_ordering() {
         // Data frames dominate; control frames are tiny.
-        let advert = Frame::HopAdvert { seq: 0, next_channel: 1, dwell_us: 0 };
+        let advert = Frame::HopAdvert {
+            seq: 0,
+            next_channel: 1,
+            dwell_us: 0,
+        };
         let data = Frame::Data { len: 1460 };
         assert!(advert.air_bytes() < data.air_bytes());
         assert!(Frame::Ack { seq: 0 }.air_bytes() <= advert.air_bytes());

@@ -176,8 +176,14 @@ impl Initiator {
         self.last_measure_sent = now + delay;
         let token = self.next_token();
         vec![
-            Action::Send { frame: Frame::Measure { seq: self.seq }, delay },
-            Action::ArmTimer { at: now + delay + self.cfg.rto, token },
+            Action::Send {
+                frame: Frame::Measure { seq: self.seq },
+                delay,
+            },
+            Action::ArmTimer {
+                at: now + delay + self.cfg.rto,
+                token,
+            },
         ]
     }
 
@@ -194,7 +200,10 @@ impl Initiator {
                 },
                 delay,
             },
-            Action::ArmTimer { at: now + delay + self.cfg.rto, token },
+            Action::ArmTimer {
+                at: now + delay + self.cfg.rto,
+                token,
+            },
         ]
     }
 
@@ -245,7 +254,9 @@ impl Initiator {
                     self.band_index += 1;
                 }
                 self.state = InitState::AwaitMeasureAck(0);
-                let mut out = vec![Action::Retune { band_index: self.band_index }];
+                let mut out = vec![Action::Retune {
+                    band_index: self.band_index,
+                }];
                 out.extend(self.send_measure(t_rx, Duration::from_micros(200)));
                 out
             }
@@ -284,7 +295,9 @@ impl Initiator {
                         return vec![Action::Failsafe];
                     }
                     self.state = InitState::Probing;
-                    let mut out = vec![Action::Retune { band_index: self.band_index }];
+                    let mut out = vec![Action::Retune {
+                        band_index: self.band_index,
+                    }];
                     out.extend(self.send_measure(now, Duration::from_micros(200)));
                     out
                 } else {
@@ -309,10 +322,17 @@ impl Initiator {
         let token = self.next_token();
         vec![
             Action::Send {
-                frame: Frame::HopAdvert { seq: self.seq, next_channel: 0, dwell_us: 0 },
+                frame: Frame::HopAdvert {
+                    seq: self.seq,
+                    next_channel: 0,
+                    dwell_us: 0,
+                },
                 delay: Duration::ZERO,
             },
-            Action::ArmTimer { at: now + self.cfg.rto, token },
+            Action::ArmTimer {
+                at: now + self.cfg.rto,
+                token,
+            },
         ]
     }
 
@@ -352,7 +372,12 @@ pub enum ResponderAction {
 impl Responder {
     /// Creates a responder.
     pub fn new(cfg: ProtocolConfig) -> Self {
-        Responder { cfg, band_index: 0, last_heard: Instant::ZERO, reverted: false }
+        Responder {
+            cfg,
+            band_index: 0,
+            last_heard: Instant::ZERO,
+            reverted: false,
+        }
     }
 
     /// Current band index (driver-maintained mirror; see
@@ -376,9 +401,13 @@ impl Responder {
         self.last_heard = now;
         match frame {
             Frame::Measure { seq } => vec![ResponderAction::SendAck { seq: *seq }],
-            Frame::HopAdvert { seq, next_channel, .. } => vec![
+            Frame::HopAdvert {
+                seq, next_channel, ..
+            } => vec![
                 ResponderAction::SendAck { seq: *seq },
-                ResponderAction::RetuneToChannel { channel: *next_channel },
+                ResponderAction::RetuneToChannel {
+                    channel: *next_channel,
+                },
             ],
             // Data and stray acks need no protocol response.
             _ => Vec::new(),
@@ -405,19 +434,47 @@ mod tests {
 
     #[test]
     fn happy_path_single_band_completes() {
-        let cfg = ProtocolConfig { measures_per_band: 2, ..Default::default() };
+        let cfg = ProtocolConfig {
+            measures_per_band: 2,
+            ..Default::default()
+        };
         let mut init = Initiator::new(cfg, 1);
         let t0 = Instant::from_millis(1);
         let a = init.start(t0);
-        assert!(matches!(a[0], Action::Send { frame: Frame::Measure { .. }, .. }));
+        assert!(matches!(
+            a[0],
+            Action::Send {
+                frame: Frame::Measure { .. },
+                ..
+            }
+        ));
 
         // Ack exchange 0 -> expect MeasurementDone + next measure.
-        let a = init.on_ack(t0 + Duration::from_micros(100), 1, t0 + Duration::from_micros(50), &chan_of);
-        assert!(matches!(a[0], Action::MeasurementDone { band_index: 0, .. }));
-        assert!(matches!(a[1], Action::Send { frame: Frame::Measure { .. }, .. }));
+        let a = init.on_ack(
+            t0 + Duration::from_micros(100),
+            1,
+            t0 + Duration::from_micros(50),
+            &chan_of,
+        );
+        assert!(matches!(
+            a[0],
+            Action::MeasurementDone { band_index: 0, .. }
+        ));
+        assert!(matches!(
+            a[1],
+            Action::Send {
+                frame: Frame::Measure { .. },
+                ..
+            }
+        ));
 
         // Ack exchange 1 -> last band, so SweepComplete.
-        let a = init.on_ack(t0 + Duration::from_micros(900), 2, t0 + Duration::from_micros(850), &chan_of);
+        let a = init.on_ack(
+            t0 + Duration::from_micros(900),
+            2,
+            t0 + Duration::from_micros(850),
+            &chan_of,
+        );
         assert!(matches!(a[0], Action::MeasurementDone { .. }));
         assert!(a.contains(&Action::SweepComplete));
         assert!(init.is_done());
@@ -425,17 +482,38 @@ mod tests {
 
     #[test]
     fn advert_sent_between_bands() {
-        let cfg = ProtocolConfig { measures_per_band: 1, ..Default::default() };
+        let cfg = ProtocolConfig {
+            measures_per_band: 1,
+            ..Default::default()
+        };
         let mut init = Initiator::new(cfg, 2);
         let t0 = Instant::ZERO;
         init.start(t0);
-        let a = init.on_ack(t0 + Duration::from_micros(100), 1, t0 + Duration::from_micros(50), &chan_of);
+        let a = init.on_ack(
+            t0 + Duration::from_micros(100),
+            1,
+            t0 + Duration::from_micros(50),
+            &chan_of,
+        );
         // One measurement done, then the hop advert.
         assert!(matches!(a[0], Action::MeasurementDone { .. }));
-        let has_advert = a.iter().any(|x| matches!(x, Action::Send { frame: Frame::HopAdvert { .. }, .. }));
+        let has_advert = a.iter().any(|x| {
+            matches!(
+                x,
+                Action::Send {
+                    frame: Frame::HopAdvert { .. },
+                    ..
+                }
+            )
+        });
         assert!(has_advert, "{a:?}");
         // Advert ack -> retune + first measure on the new band.
-        let a = init.on_ack(t0 + Duration::from_millis(1), 2, t0 + Duration::from_micros(950), &chan_of);
+        let a = init.on_ack(
+            t0 + Duration::from_millis(1),
+            2,
+            t0 + Duration::from_micros(950),
+            &chan_of,
+        );
         assert_eq!(a[0], Action::Retune { band_index: 1 });
         assert_eq!(init.band_index(), 1);
     }
@@ -450,7 +528,11 @@ mod tests {
 
     #[test]
     fn measure_timeout_retransmits_then_failsafe() {
-        let cfg = ProtocolConfig { max_retries: 2, failsafe: Duration::from_millis(500), ..Default::default() };
+        let cfg = ProtocolConfig {
+            max_retries: 2,
+            failsafe: Duration::from_millis(500),
+            ..Default::default()
+        };
         let mut init = Initiator::new(cfg, 1);
         let mut now = Instant::ZERO;
         let a = init.start(now);
@@ -462,7 +544,16 @@ mod tests {
         for _ in 0..2 {
             now += cfg.rto;
             let a = init.on_timer(now, token);
-            assert!(matches!(a[0], Action::Send { frame: Frame::Measure { .. }, .. }), "{a:?}");
+            assert!(
+                matches!(
+                    a[0],
+                    Action::Send {
+                        frame: Frame::Measure { .. },
+                        ..
+                    }
+                ),
+                "{a:?}"
+            );
             token = match a[1] {
                 Action::ArmTimer { token, .. } => token,
                 _ => panic!("expected timer"),
@@ -484,12 +575,21 @@ mod tests {
 
     #[test]
     fn advert_timeout_hops_optimistically() {
-        let cfg = ProtocolConfig { measures_per_band: 1, max_retries: 1, ..Default::default() };
+        let cfg = ProtocolConfig {
+            measures_per_band: 1,
+            max_retries: 1,
+            ..Default::default()
+        };
         let mut init = Initiator::new(cfg, 3);
         let t0 = Instant::ZERO;
         init.start(t0);
         // Finish measuring band 0 -> advert in flight.
-        let a = init.on_ack(t0 + Duration::from_micros(100), 1, t0 + Duration::from_micros(50), &chan_of);
+        let a = init.on_ack(
+            t0 + Duration::from_micros(100),
+            1,
+            t0 + Duration::from_micros(50),
+            &chan_of,
+        );
         let token = a
             .iter()
             .find_map(|x| match x {
@@ -500,7 +600,13 @@ mod tests {
         // First timeout: retransmit advert.
         let now = t0 + Duration::from_millis(1);
         let a = init.on_timer(now, token);
-        assert!(a.iter().any(|x| matches!(x, Action::Send { frame: Frame::HopAdvert { .. }, .. })));
+        assert!(a.iter().any(|x| matches!(
+            x,
+            Action::Send {
+                frame: Frame::HopAdvert { .. },
+                ..
+            }
+        )));
         let token = a
             .iter()
             .find_map(|x| match x {
@@ -511,14 +617,23 @@ mod tests {
         // Second timeout: optimistic hop to band 1 + probe.
         let a = init.on_timer(now + cfg.rto, token);
         assert_eq!(a[0], Action::Retune { band_index: 1 });
-        assert!(matches!(a[1], Action::Send { frame: Frame::Measure { .. }, .. }));
+        assert!(matches!(
+            a[1],
+            Action::Send {
+                frame: Frame::Measure { .. },
+                ..
+            }
+        ));
         assert_eq!(init.band_index(), 1);
         assert!(!init.is_reverted());
     }
 
     #[test]
     fn failsafe_on_long_silence() {
-        let cfg = ProtocolConfig { failsafe: Duration::from_millis(5), ..Default::default() };
+        let cfg = ProtocolConfig {
+            failsafe: Duration::from_millis(5),
+            ..Default::default()
+        };
         let mut init = Initiator::new(cfg, 4);
         init.start(Instant::ZERO);
         let token = init.timer_token;
@@ -533,7 +648,11 @@ mod tests {
         assert_eq!(a, vec![ResponderAction::SendAck { seq: 5 }]);
         let a = resp.on_frame(
             Instant::from_millis(2),
-            &Frame::HopAdvert { seq: 6, next_channel: 149, dwell_us: 2000 },
+            &Frame::HopAdvert {
+                seq: 6,
+                next_channel: 149,
+                dwell_us: 2000,
+            },
         );
         assert_eq!(
             a,
@@ -546,7 +665,10 @@ mod tests {
 
     #[test]
     fn responder_failsafe_after_silence() {
-        let cfg = ProtocolConfig { failsafe: Duration::from_millis(5), ..Default::default() };
+        let cfg = ProtocolConfig {
+            failsafe: Duration::from_millis(5),
+            ..Default::default()
+        };
         let mut resp = Responder::new(cfg);
         resp.on_frame(Instant::from_millis(1), &Frame::Measure { seq: 1 });
         assert!(resp.on_failsafe_check(Instant::from_millis(3)).is_empty());
@@ -560,7 +682,11 @@ mod tests {
     #[test]
     fn responder_ignores_data_frames() {
         let mut resp = Responder::new(ProtocolConfig::default());
-        assert!(resp.on_frame(Instant::ZERO, &Frame::Data { len: 100 }).is_empty());
-        assert!(resp.on_frame(Instant::ZERO, &Frame::Ack { seq: 0 }).is_empty());
+        assert!(resp
+            .on_frame(Instant::ZERO, &Frame::Data { len: 100 })
+            .is_empty());
+        assert!(resp
+            .on_frame(Instant::ZERO, &Frame::Ack { seq: 0 })
+            .is_empty());
     }
 }

@@ -72,7 +72,11 @@ mod tests {
     fn control_exchange_fits_in_dwell() {
         // advert + sifs + ack must take well under the 2-3 ms dwell.
         let m = MediumConfig::default();
-        let advert = m.airtime(&Frame::HopAdvert { seq: 0, next_channel: 1, dwell_us: 0 });
+        let advert = m.airtime(&Frame::HopAdvert {
+            seq: 0,
+            next_channel: 1,
+            dwell_us: 0,
+        });
         let ack = m.airtime(&Frame::Ack { seq: 0 });
         let total = advert + m.sifs + ack;
         assert!(total < Duration::from_micros(200), "exchange {total}");
@@ -80,7 +84,10 @@ mod tests {
 
     #[test]
     fn loss_rate_respected() {
-        let m = MediumConfig { loss_prob: 0.2, ..Default::default() };
+        let m = MediumConfig {
+            loss_prob: 0.2,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(11);
         let n = 50_000;
         let lost = (0..n).filter(|_| m.is_lost(&mut rng)).count();
@@ -90,7 +97,10 @@ mod tests {
 
     #[test]
     fn zero_loss_never_drops() {
-        let m = MediumConfig { loss_prob: 0.0, ..Default::default() };
+        let m = MediumConfig {
+            loss_prob: 0.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(12);
         assert!((0..1000).all(|_| !m.is_lost(&mut rng)));
     }

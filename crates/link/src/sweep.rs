@@ -39,7 +39,11 @@ impl SweepConfig {
     /// sweeps. The protocol machinery is plan-length agnostic; only the
     /// airtime scales.
     pub fn with_plan(plan: Vec<Band>) -> Self {
-        SweepConfig { plan, protocol: ProtocolConfig::default(), medium: MediumConfig::default() }
+        SweepConfig {
+            plan,
+            protocol: ProtocolConfig::default(),
+            medium: MediumConfig::default(),
+        }
     }
 
     /// Loss-free airtime this plan needs, from the protocol and medium
@@ -56,8 +60,11 @@ impl SweepConfig {
     pub fn expected_duration(&self) -> Duration {
         let measure = self.medium.airtime(&Frame::Measure { seq: 0 });
         let ack = self.medium.airtime(&Frame::Ack { seq: 0 });
-        let advert =
-            self.medium.airtime(&Frame::HopAdvert { seq: 0, next_channel: 0, dwell_us: 0 });
+        let advert = self.medium.airtime(&Frame::HopAdvert {
+            seq: 0,
+            next_channel: 0,
+            dwell_us: 0,
+        });
         let exchange = measure + self.medium.sifs + ack + self.protocol.measure_gap;
         let hop = advert + self.medium.sifs + ack + self.medium.channel_switch;
         let per_band = exchange.mul_f64(self.protocol.measures_per_band as f64) + hop;
@@ -187,7 +194,11 @@ pub fn run_sweep<R: Rng + ?Sized>(cfg: &SweepConfig, start: Instant, rng: &mut R
                             Ev::InitRetuned(band_index),
                         );
                     }
-                    Action::MeasurementDone { band_index, t_forward, t_reverse } => {
+                    Action::MeasurementDone {
+                        band_index,
+                        t_forward,
+                        t_reverse,
+                    } => {
                         result.measurements.push(MeasurementOp {
                             band_index,
                             t_forward,
@@ -248,13 +259,15 @@ pub fn run_sweep<R: Rng + ?Sized>(cfg: &SweepConfig, start: Instant, rng: &mut R
                                     .unwrap_or(now);
                                 q.schedule(
                                     t_tx + air,
-                                    Ev::DeliverToInitiator { frame: ack, t_forward },
+                                    Ev::DeliverToInitiator {
+                                        frame: ack,
+                                        t_forward,
+                                    },
                                 );
                             }
                         }
                         ResponderAction::RetuneToChannel { channel } => {
-                            if let Some(idx) = cfg.plan.iter().position(|b| b.channel == channel)
-                            {
+                            if let Some(idx) = cfg.plan.iter().position(|b| b.channel == channel) {
                                 // Retune after the ack leaves the air.
                                 let t_done = now
                                     + cfg.medium.sifs
@@ -282,7 +295,12 @@ pub fn run_sweep<R: Rng + ?Sized>(cfg: &SweepConfig, start: Instant, rng: &mut R
                     .into_iter()
                     .map(|a| match a {
                         Action::Send {
-                            frame: Frame::HopAdvert { seq, next_channel: 0, dwell_us },
+                            frame:
+                                Frame::HopAdvert {
+                                    seq,
+                                    next_channel: 0,
+                                    dwell_us,
+                                },
                             delay,
                         } => Action::Send {
                             frame: Frame::HopAdvert {
@@ -468,7 +486,10 @@ mod tests {
             "predicted {predicted} ms vs simulated {actual} ms"
         );
         // And near the paper's 84 ms figure for the standard plan.
-        assert!((75.0..95.0).contains(&predicted), "predicted {predicted} ms");
+        assert!(
+            (75.0..95.0).contains(&predicted),
+            "predicted {predicted} ms"
+        );
     }
 
     #[test]
@@ -486,8 +507,13 @@ mod tests {
         assert!(r.complete);
         assert_eq!(r.bands_measured(sub.plan.len()), 12);
         let sim_ratio = r.duration().as_secs_f64()
-            / run_sweep(&full, Instant::ZERO, &mut rng).duration().as_secs_f64();
-        assert!((0.25..0.45).contains(&sim_ratio), "simulated ratio {sim_ratio}");
+            / run_sweep(&full, Instant::ZERO, &mut rng)
+                .duration()
+                .as_secs_f64();
+        assert!(
+            (0.25..0.45).contains(&sim_ratio),
+            "simulated ratio {sim_ratio}"
+        );
     }
 
     #[test]

@@ -218,7 +218,10 @@ mod tests {
 
     #[test]
     fn mul_f64() {
-        assert_eq!(Duration::from_millis(10).mul_f64(0.5), Duration::from_millis(5));
+        assert_eq!(
+            Duration::from_millis(10).mul_f64(0.5),
+            Duration::from_millis(5)
+        );
         assert_eq!(Duration::from_millis(10).mul_f64(-1.0), Duration::ZERO);
     }
 

@@ -56,7 +56,11 @@ impl Default for VideoModel {
     fn default() -> Self {
         // A 2 Mbps VLC-over-RTP stream served at 2.5 Mbps: the buffer grows
         // slowly, as in the paper's trace.
-        VideoModel { bitrate_kbps: 2_000.0, download_kbps: 2_500.0, startup_buffer_kb: 500.0 }
+        VideoModel {
+            bitrate_kbps: 2_000.0,
+            download_kbps: 2_500.0,
+            startup_buffer_kb: 500.0,
+        }
     }
 }
 
@@ -90,7 +94,12 @@ impl VideoModel {
                     stalled = true;
                 }
             }
-            samples.push(VideoSample { t, downloaded_kb: downloaded, played_kb: played, stalled });
+            samples.push(VideoSample {
+                t,
+                downloaded_kb: downloaded,
+                played_kb: played,
+                stalled,
+            });
             t += step;
         }
         samples
@@ -128,7 +137,10 @@ pub struct TcpModel {
 
 impl Default for TcpModel {
     fn default() -> Self {
-        TcpModel { capacity_mbps: 2.8, recovery: Duration::from_millis(120) }
+        TcpModel {
+            capacity_mbps: 2.8,
+            recovery: Duration::from_millis(120),
+        }
     }
 }
 
@@ -204,8 +216,14 @@ mod tests {
         );
         assert!(!VideoModel::has_stall(&samples));
         // Download stops during the outage...
-        let before = samples.iter().find(|s| s.t == Instant::from_millis(5_990)).unwrap();
-        let during = samples.iter().find(|s| s.t == Instant::from_millis(6_080)).unwrap();
+        let before = samples
+            .iter()
+            .find(|s| s.t == Instant::from_millis(5_990))
+            .unwrap();
+        let during = samples
+            .iter()
+            .find(|s| s.t == Instant::from_millis(6_080))
+            .unwrap();
         assert!((during.downloaded_kb - before.downloaded_kb) < 25.0 * 0.8);
         // ...but playback keeps going (blue and red lines do not cross).
         assert!(during.played_kb > before.played_kb);
@@ -227,8 +245,11 @@ mod tests {
             start: Instant::from_millis(5_000),
             end: Instant::from_millis(8_000),
         }];
-        let samples =
-            model.run(Duration::from_millis(10_000), Duration::from_millis(10), &outage);
+        let samples = model.run(
+            Duration::from_millis(10_000),
+            Duration::from_millis(10),
+            &outage,
+        );
         assert!(VideoModel::has_stall(&samples));
     }
 
@@ -238,7 +259,11 @@ mod tests {
         let samples = model.run(Duration::from_millis(2_000), Duration::from_millis(10), &[]);
         let first_play = samples.iter().find(|s| s.played_kb > 0.0).unwrap();
         // 500 kb at 2500 kbps = 200 ms of buffering.
-        assert!(first_play.t >= Instant::from_millis(190), "{}", first_play.t);
+        assert!(
+            first_play.t >= Instant::from_millis(190),
+            "{}",
+            first_play.t
+        );
     }
 
     #[test]
@@ -284,18 +309,27 @@ mod tests {
             start: Instant::from_millis(1_000),
             end: Instant::from_millis(3_000),
         }];
-        let samples =
-            model.run(Duration::from_millis(4_000), Duration::from_millis(1_000), &outage);
+        let samples = model.run(
+            Duration::from_millis(4_000),
+            Duration::from_millis(1_000),
+            &outage,
+        );
         // The window ending at 3 s sits fully inside the outage.
-        let mid = samples.iter().find(|s| s.t == Instant::from_millis(3_000)).unwrap();
+        let mid = samples
+            .iter()
+            .find(|s| s.t == Instant::from_millis(3_000))
+            .unwrap();
         assert!(mid.throughput_mbps < 0.01, "{}", mid.throughput_mbps);
     }
 
     #[test]
     fn no_outage_means_flat_capacity() {
         let model = TcpModel::default();
-        let samples =
-            model.run(Duration::from_millis(5_000), Duration::from_millis(1_000), &[]);
+        let samples = model.run(
+            Duration::from_millis(5_000),
+            Duration::from_millis(1_000),
+            &[],
+        );
         for s in &samples {
             assert!((s.throughput_mbps - model.capacity_mbps).abs() < 1e-6);
         }
@@ -303,7 +337,10 @@ mod tests {
 
     #[test]
     fn outage_contains_boundaries() {
-        let o = Outage { start: Instant::from_millis(1), end: Instant::from_millis(2) };
+        let o = Outage {
+            start: Instant::from_millis(1),
+            end: Instant::from_millis(2),
+        };
         assert!(o.contains(Instant::from_millis(1)));
         assert!(!o.contains(Instant::from_millis(2)));
         assert!(!o.contains(Instant::from_micros(999)));

@@ -37,7 +37,11 @@ impl std::error::Error for CMatError {}
 impl CMat {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CMat { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
+        CMat {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
     }
 
     /// Number of rows.
@@ -69,7 +73,10 @@ impl CMat {
     pub fn from_cols(cols: &[Vec<Complex64>]) -> Self {
         assert!(!cols.is_empty(), "from_cols: need at least one column");
         let rows = cols[0].len();
-        assert!(cols.iter().all(|c| c.len() == rows), "from_cols: ragged columns");
+        assert!(
+            cols.iter().all(|c| c.len() == rows),
+            "from_cols: ragged columns"
+        );
         let mut m = CMat::zeros(rows, cols.len());
         for (j, col) in cols.iter().enumerate() {
             for (i, v) in col.iter().enumerate() {
@@ -83,9 +90,9 @@ impl CMat {
     pub fn hermitian_mul_vec(&self, b: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(b.len(), self.rows, "hermitian_mul_vec: dimension mismatch");
         let mut out = vec![Complex64::ZERO; self.cols];
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[j] += self.get(i, j).conj() * b[i];
+        for (i, bi) in b.iter().enumerate() {
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += self.get(i, j).conj() * *bi;
             }
         }
         out
@@ -111,12 +118,12 @@ impl CMat {
     pub fn mul_vec(&self, x: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
         let mut out = vec![Complex64::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let mut acc = Complex64::ZERO;
-            for j in 0..self.cols {
-                acc += self.get(i, j) * x[j];
+            for (j, xj) in x.iter().enumerate() {
+                acc += self.get(i, j) * *xj;
             }
-            out[i] = acc;
+            *o = acc;
         }
         out
     }
@@ -235,7 +242,10 @@ mod tests {
         a.set(0, 1, c(2.0, 2.0));
         a.set(1, 0, c(0.5, 0.5));
         a.set(1, 1, c(1.0, 1.0));
-        assert_eq!(a.solve(&[Complex64::ONE, Complex64::ONE]), Err(CMatError::Singular));
+        assert_eq!(
+            a.solve(&[Complex64::ONE, Complex64::ONE]),
+            Err(CMatError::Singular)
+        );
     }
 
     #[test]
@@ -257,7 +267,10 @@ mod tests {
         use std::f64::consts::PI;
         let freqs: Vec<f64> = (0..8).map(|i| 5.0e9 + i as f64 * 40e6).collect();
         let atom = |tau_ns: f64| -> Vec<Complex64> {
-            freqs.iter().map(|f| Complex64::cis(-2.0 * PI * f * tau_ns * 1e-9)).collect()
+            freqs
+                .iter()
+                .map(|f| Complex64::cis(-2.0 * PI * f * tau_ns * 1e-9))
+                .collect()
         };
         let a = CMat::from_cols(&[atom(5.0), atom(13.0)]);
         let w_true = vec![c(0.8, 0.1), c(0.0, -0.5)];
@@ -304,7 +317,13 @@ mod tests {
     #[test]
     fn dimension_errors() {
         let a = CMat::zeros(2, 3);
-        assert_eq!(a.solve(&[Complex64::ZERO; 2]), Err(CMatError::DimensionMismatch));
-        assert_eq!(a.lstsq(&[Complex64::ZERO; 5]), Err(CMatError::DimensionMismatch));
+        assert_eq!(
+            a.solve(&[Complex64::ZERO; 2]),
+            Err(CMatError::DimensionMismatch)
+        );
+        assert_eq!(
+            a.lstsq(&[Complex64::ZERO; 5]),
+            Err(CMatError::DimensionMismatch)
+        );
     }
 }

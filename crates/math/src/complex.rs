@@ -188,6 +188,9 @@ impl Mul for Complex64 {
 
 impl Div for Complex64 {
     type Output = Complex64;
+    // Division *is* multiplication by the inverse here; clippy's
+    // wrong-operator heuristic doesn't apply.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()

@@ -56,7 +56,10 @@ impl Congruence {
     /// Creates a congruence, normalizing the remainder into `[0, modulus)`.
     pub fn new(remainder: f64, modulus: f64) -> Self {
         assert!(modulus > 0.0, "Congruence: modulus must be positive");
-        Congruence { remainder: remainder.rem_euclid(modulus), modulus }
+        Congruence {
+            remainder: remainder.rem_euclid(modulus),
+            modulus,
+        }
     }
 
     /// Distance from `x` to the nearest solution of this congruence.
@@ -116,12 +119,14 @@ pub fn solve_by_voting(
         let mean_residual = residual_sum / votes as f64;
         let better = match &best {
             None => true,
-            Some(b) => {
-                votes > b.votes || (votes == b.votes && mean_residual < b.mean_residual)
-            }
+            Some(b) => votes > b.votes || (votes == b.votes && mean_residual < b.mean_residual),
         };
         if better {
-            best = Some(VoteSolution { value: x, votes, mean_residual });
+            best = Some(VoteSolution {
+                value: x,
+                votes,
+                mean_residual,
+            });
         }
     }
     let mut sol = best?;
@@ -142,9 +147,11 @@ pub fn solve_by_voting(
     }
     if cnt > 0 {
         sol.value = acc / cnt as f64;
-        sol.mean_residual =
-            congruences.iter().map(|c| c.distance(sol.value)).sum::<f64>()
-                / congruences.len() as f64;
+        sol.mean_residual = congruences
+            .iter()
+            .map(|c| c.distance(sol.value))
+            .sum::<f64>()
+            / congruences.len() as f64;
     }
     Some(sol)
 }

@@ -45,7 +45,10 @@ pub fn norm_inf(v: &[Complex64]) -> f64 {
 /// # Panics
 /// Panics if lengths differ.
 pub fn sub_into(a: &[Complex64], b: &[Complex64], out: &mut [Complex64]) {
-    assert!(a.len() == b.len() && a.len() == out.len(), "sub_into: length mismatch");
+    assert!(
+        a.len() == b.len() && a.len() == out.len(),
+        "sub_into: length mismatch"
+    );
     for i in 0..a.len() {
         out[i] = a[i] - b[i];
     }
@@ -87,7 +90,10 @@ pub fn dist2(a: &[Complex64], b: &[Complex64]) -> f64 {
 /// # Panics
 /// Panics if lengths differ.
 pub fn hadamard_into(a: &[Complex64], b: &[Complex64], out: &mut [Complex64]) {
-    assert!(a.len() == b.len() && a.len() == out.len(), "hadamard_into: length mismatch");
+    assert!(
+        a.len() == b.len() && a.len() == out.len(),
+        "hadamard_into: length mismatch"
+    );
     for i in 0..a.len() {
         out[i] = a[i] * b[i];
     }
@@ -175,7 +181,10 @@ mod tests {
 
     #[test]
     fn magnitude_phase_extraction() {
-        let v = vec![Complex64::from_polar(2.0, 0.3), Complex64::from_polar(0.5, -1.2)];
+        let v = vec![
+            Complex64::from_polar(2.0, 0.3),
+            Complex64::from_polar(0.5, -1.2),
+        ];
         let m = magnitudes(&v);
         let p = phases(&v);
         assert!((m[0] - 2.0).abs() < 1e-12 && (m[1] - 0.5).abs() < 1e-12);

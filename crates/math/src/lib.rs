@@ -60,4 +60,4 @@ pub mod stats;
 pub mod unwrap;
 
 pub use complex::Complex64;
-pub use constants::{C_M_PER_NS, METERS_PER_NS, ns_to_m, m_to_ns};
+pub use constants::{m_to_ns, ns_to_m, C_M_PER_NS, METERS_PER_NS};

@@ -77,7 +77,12 @@ pub struct GaussNewton {
 
 impl Default for GaussNewton {
     fn default() -> Self {
-        GaussNewton { max_iters: 100, step_tol: 1e-10, fd_step: 1e-6, lambda0: 1e-3 }
+        GaussNewton {
+            max_iters: 100,
+            step_tol: 1e-10,
+            fd_step: 1e-6,
+            lambda0: 1e-3,
+        }
     }
 }
 
@@ -126,8 +131,7 @@ impl GaussNewton {
                     lambda *= 10.0;
                     continue;
                 };
-                let trial: Vec<f64> =
-                    params.iter().zip(dx.iter()).map(|(p, d)| p + d).collect();
+                let trial: Vec<f64> = params.iter().zip(dx.iter()).map(|(p, d)| p + d).collect();
                 residuals.eval(&trial, &mut r_trial);
                 let trial_cost: f64 = r_trial.iter().map(|v| v * v).sum();
                 if trial_cost < cost {
@@ -153,7 +157,12 @@ impl GaussNewton {
             }
         }
 
-        FitResult { params, cost, iterations, converged }
+        FitResult {
+            params,
+            cost,
+            iterations,
+            converged,
+        }
     }
 }
 
@@ -179,7 +188,14 @@ mod tests {
     #[test]
     fn linear_fit_overdetermined_noisy() {
         // y = -0.5x + 4 with symmetric noise: LS recovers exact slope.
-        let pts = [(0.0, 4.1), (1.0, 3.4), (2.0, 3.1), (3.0, 2.4), (4.0, 2.1), (5.0, 1.4)];
+        let pts = [
+            (0.0, 4.1),
+            (1.0, 3.4),
+            (2.0, 3.1),
+            (3.0, 2.4),
+            (4.0, 2.1),
+            (5.0, 1.4),
+        ];
         let mut a = Mat::zeros(pts.len(), 2);
         let mut b = vec![0.0; pts.len()];
         for (i, (x, y)) in pts.iter().enumerate() {
@@ -236,8 +252,11 @@ mod tests {
 
     #[test]
     fn gauss_newton_rosenbrock() {
-        let fit = GaussNewton { max_iters: 500, ..Default::default() }
-            .minimize(&Rosenbrock, &[-1.2, 1.0]);
+        let fit = GaussNewton {
+            max_iters: 500,
+            ..Default::default()
+        }
+        .minimize(&Rosenbrock, &[-1.2, 1.0]);
         assert!((fit.params[0] - 1.0).abs() < 1e-4, "{:?}", fit.params);
         assert!((fit.params[1] - 1.0).abs() < 1e-4);
     }

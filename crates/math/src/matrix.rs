@@ -40,7 +40,11 @@ impl std::error::Error for MatError {}
 impl Mat {
     /// Creates a zero-filled `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -64,7 +68,11 @@ impl Mat {
             assert_eq!(row.len(), c, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Mat { rows: r, cols: c, data }
+        Mat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -84,9 +92,9 @@ impl Mat {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -98,10 +106,10 @@ impl Mat {
     pub fn mul_vec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "mul_vec_t: dimension mismatch");
         let mut y = vec![0.0; self.cols];
-        for i in 0..self.rows {
+        for (i, xi) in x.iter().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             for (j, a) in row.iter().enumerate() {
-                y[j] += a * x[i];
+                y[j] += a * xi;
             }
         }
         y
@@ -178,7 +186,9 @@ impl Mat {
         // Scale factor per row for pivot quality checks.
         let mut scale = vec![0.0f64; n];
         for i in 0..n {
-            let s = a[i * n..(i + 1) * n].iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let s = a[i * n..(i + 1) * n]
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()));
             if s == 0.0 {
                 return Err(MatError::Singular);
             }

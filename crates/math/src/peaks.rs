@@ -33,7 +33,10 @@ pub struct PeakConfig {
 
 impl Default for PeakConfig {
     fn default() -> Self {
-        PeakConfig { dominance: 0.1, min_separation: 2 }
+        PeakConfig {
+            dominance: 0.1,
+            min_separation: 2,
+        }
     }
 }
 
@@ -45,8 +48,9 @@ pub fn find_peaks(profile: &[f64], x0: f64, dx: f64, cfg: &PeakConfig) -> Vec<Pe
     if profile.is_empty() {
         return Vec::new();
     }
+    // `f64::max` ignores NaN inputs, so the fold is NaN-free.
     let global_max = profile.iter().cloned().fold(f64::MIN, f64::max);
-    if !(global_max > 0.0) {
+    if global_max <= 0.0 {
         return Vec::new();
     }
     let threshold = global_max * cfg.dominance;
@@ -64,7 +68,11 @@ pub fn find_peaks(profile: &[f64], x0: f64, dx: f64, cfg: &PeakConfig) -> Vec<Pe
         // right: reports the left edge of plateaus exactly once.
         if v > left && v >= right {
             let (x, magnitude) = refine_quadratic(profile, i, x0, dx);
-            candidates.push(Peak { index: i, x, magnitude });
+            candidates.push(Peak {
+                index: i,
+                x,
+                magnitude,
+            });
         }
     }
 
@@ -130,8 +138,7 @@ mod tests {
     #[test]
     fn finds_three_paper_peaks() {
         // Fig. 4: paths at 5.2, 10 and 16 ns with decreasing magnitudes.
-        let profile =
-            gaussian_profile(&[(5.2, 1.0), (10.0, 0.7), (16.0, 0.4)], 250, 0.1, 0.4);
+        let profile = gaussian_profile(&[(5.2, 1.0), (10.0, 0.7), (16.0, 0.4)], 250, 0.1, 0.4);
         let peaks = find_peaks(&profile, 0.0, 0.1, &PeakConfig::default());
         assert_eq!(peaks.len(), 3, "{peaks:?}");
         assert!((peaks[0].x - 5.2).abs() < 0.05);
@@ -142,8 +149,7 @@ mod tests {
     #[test]
     fn first_peak_is_earliest_not_strongest() {
         // Attenuated direct path before a strong reflection.
-        let profile =
-            gaussian_profile(&[(3.0, 0.5), (8.0, 1.0)], 200, 0.1, 0.3);
+        let profile = gaussian_profile(&[(3.0, 0.5), (8.0, 1.0)], 200, 0.1, 0.3);
         let p = first_peak(&profile, 0.0, 0.1, &PeakConfig::default()).unwrap();
         assert!((p.x - 3.0).abs() < 0.05, "{p:?}");
     }

@@ -83,9 +83,7 @@ impl CubicSpline {
         let h = x1 - x0;
         let a = (x1 - x) / h;
         let b = (x - x0) / h;
-        a * y0
-            + b * y1
-            + ((a.powi(3) - a) * m0 + (b.powi(3) - b) * m1) * h * h / 6.0
+        a * y0 + b * y1 + ((a.powi(3) - a) * m0 + (b.powi(3) - b) * m1) * h * h / 6.0
     }
 
     /// Evaluates the first derivative at `x`.
@@ -103,8 +101,7 @@ impl CubicSpline {
         let h = x1 - x0;
         let a = (x1 - x) / h;
         let b = (x - x0) / h;
-        (y1 - y0) / h
-            + ((1.0 - 3.0 * a * a) * m0 + (3.0 * b * b - 1.0) * m1) * h / 6.0
+        (y1 - y0) / h + ((1.0 - 3.0 * a * a) * m0 + (3.0 * b * b - 1.0) * m1) * h / 6.0
     }
 }
 
@@ -169,7 +166,13 @@ impl SplinePlan {
                 diag[i] -= w[i] * upper[i - 1];
             }
         }
-        Ok(SplinePlan { xs: xs.to_vec(), h, upper, w, diag })
+        Ok(SplinePlan {
+            xs: xs.to_vec(),
+            h,
+            upper,
+            w,
+            diag,
+        })
     }
 
     /// The knot abscissae this plan was built for.
@@ -213,7 +216,11 @@ impl SplinePlan {
             }
             m[1..=k].copy_from_slice(&sol);
         }
-        Ok(CubicSpline { xs: self.xs.clone(), ys: ys.to_vec(), m })
+        Ok(CubicSpline {
+            xs: self.xs.clone(),
+            ys: ys.to_vec(),
+            m,
+        })
     }
 }
 
@@ -295,7 +302,10 @@ mod tests {
 
     #[test]
     fn errors_reported() {
-        assert_eq!(CubicSpline::fit(&[1.0], &[1.0]).unwrap_err(), SplineError::TooFewKnots);
+        assert_eq!(
+            CubicSpline::fit(&[1.0], &[1.0]).unwrap_err(),
+            SplineError::TooFewKnots
+        );
         assert_eq!(
             CubicSpline::fit(&[1.0, 1.0], &[1.0, 2.0]).unwrap_err(),
             SplineError::NotStrictlyIncreasing
@@ -349,13 +359,19 @@ mod tests {
 
     #[test]
     fn plan_rejects_bad_inputs() {
-        assert_eq!(SplinePlan::new(&[1.0]).unwrap_err(), SplineError::TooFewKnots);
+        assert_eq!(
+            SplinePlan::new(&[1.0]).unwrap_err(),
+            SplineError::TooFewKnots
+        );
         assert_eq!(
             SplinePlan::new(&[1.0, 1.0]).unwrap_err(),
             SplineError::NotStrictlyIncreasing
         );
         let plan = SplinePlan::new(&[0.0, 1.0, 2.0]).unwrap();
-        assert_eq!(plan.fit(&[1.0, 2.0]).unwrap_err(), SplineError::LengthMismatch);
+        assert_eq!(
+            plan.fit(&[1.0, 2.0]).unwrap_err(),
+            SplineError::LengthMismatch
+        );
         assert_eq!(plan.len(), 3);
         assert!(!plan.is_empty());
     }

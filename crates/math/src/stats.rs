@@ -129,7 +129,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "Histogram: need at least one bin");
         assert!(hi > lo, "Histogram: hi must exceed lo");
-        Histogram { lo, hi, counts: vec![0; bins], out_of_range: 0, total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            out_of_range: 0,
+            total: 0,
+        }
     }
 
     /// Adds a sample.
@@ -195,7 +201,10 @@ impl Buckets {
             edges.windows(2).all(|w| w[1] > w[0]),
             "Buckets: edges must be strictly increasing"
         );
-        Buckets { edges: edges.to_vec(), samples: vec![Vec::new(); edges.len() - 1] }
+        Buckets {
+            edges: edges.to_vec(),
+            samples: vec![Vec::new(); edges.len() - 1],
+        }
     }
 
     /// Adds a `(key, value)` sample; ignored when `key` is out of range.

@@ -125,8 +125,7 @@ mod tests {
         // -2 pi * 312.5 kHz * 40 ns = -0.0785 rad per subcarrier; with a big
         // detection delay of 300 ns the slope wraps: -0.668 rad/subcarrier.
         let slope = -2.0 * PI * 312.5e3 * 340e-9;
-        let phases: Vec<f64> =
-            (0..57).map(|i| wrap_to_pi(slope * i as f64)).collect();
+        let phases: Vec<f64> = (0..57).map(|i| wrap_to_pi(slope * i as f64)).collect();
         let un = unwrapped(&phases);
         let est_slope = (un[56] - un[0]) / 56.0;
         assert!((est_slope - slope).abs() < 1e-9);

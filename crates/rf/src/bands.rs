@@ -82,35 +82,61 @@ pub fn band_plan() -> Vec<Band> {
     let mut bands = Vec::with_capacity(35);
     // 2.4 GHz: channels 1..=11.
     for ch in 1..=11u16 {
-        bands.push(Band { channel: ch, center_hz: center_24(ch), group: BandGroup::Ism24 });
+        bands.push(Band {
+            channel: ch,
+            center_hz: center_24(ch),
+            group: BandGroup::Ism24,
+        });
     }
     // U-NII-1: 36, 40, 44, 48.
     for ch in [36u16, 40, 44, 48] {
-        bands.push(Band { channel: ch, center_hz: center_5(ch), group: BandGroup::Unii1 });
+        bands.push(Band {
+            channel: ch,
+            center_hz: center_5(ch),
+            group: BandGroup::Unii1,
+        });
     }
     // U-NII-2: 52, 56, 60, 64 (DFS).
     for ch in [52u16, 56, 60, 64] {
-        bands.push(Band { channel: ch, center_hz: center_5(ch), group: BandGroup::Unii2 });
+        bands.push(Band {
+            channel: ch,
+            center_hz: center_5(ch),
+            group: BandGroup::Unii2,
+        });
     }
     // U-NII-2e: 100..=140 step 4 (DFS).
     for ch in (100..=140u16).step_by(4) {
-        bands.push(Band { channel: ch, center_hz: center_5(ch), group: BandGroup::Unii2e });
+        bands.push(Band {
+            channel: ch,
+            center_hz: center_5(ch),
+            group: BandGroup::Unii2e,
+        });
     }
     // U-NII-3: 149, 153, 157, 161, 165.
     for ch in [149u16, 153, 157, 161, 165] {
-        bands.push(Band { channel: ch, center_hz: center_5(ch), group: BandGroup::Unii3 });
+        bands.push(Band {
+            channel: ch,
+            center_hz: center_5(ch),
+            group: BandGroup::Unii3,
+        });
     }
     bands
 }
 
 /// Only the 5 GHz members of the plan (24 bands).
 pub fn band_plan_5ghz() -> Vec<Band> {
-    band_plan().into_iter().filter(|b| !b.group.is_2g4()).collect()
+    band_plan()
+        .into_iter()
+        .filter(|b| !b.group.is_2g4())
+        .collect()
 }
 
 /// Only the 2.4 GHz members of the plan (11 bands).
 pub fn band_plan_24ghz() -> Vec<Band> {
-    band_plan().into_iter().filter(|b| b.group.is_2g4()).collect()
+    band_plan()
+        .into_iter()
+        .filter(|b| b.group.is_2g4())
+        .collect()
 }
 
 /// Looks up a band by channel number in the standard plan.
@@ -206,7 +232,10 @@ mod tests {
         // The gap between 64 and 100 (180 MHz) differs from the in-group
         // 20 MHz raster — the non-uniformity Chronos exploits.
         let plan = band_plan_5ghz();
-        let mut gaps: Vec<f64> = plan.windows(2).map(|w| w[1].center_hz - w[0].center_hz).collect();
+        let mut gaps: Vec<f64> = plan
+            .windows(2)
+            .map(|w| w[1].center_hz - w[0].center_hz)
+            .collect();
         gaps.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!(gaps.first().unwrap() < gaps.last().unwrap());
     }

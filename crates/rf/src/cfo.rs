@@ -47,7 +47,10 @@ pub struct CfoPair {
 impl CfoPair {
     /// Creates the pair.
     pub fn new(tx_ppm: f64, rx_ppm: f64) -> Self {
-        CfoPair { tx: Oscillator::new(tx_ppm), rx: Oscillator::new(rx_ppm) }
+        CfoPair {
+            tx: Oscillator::new(tx_ppm),
+            rx: Oscillator::new(rx_ppm),
+        }
     }
 
     /// Carrier frequency offset *as observed at the receiver* for a packet
@@ -147,6 +150,8 @@ mod tests {
     fn zero_ppm_pair_is_transparent() {
         let pair = CfoPair::new(0.0, 0.0);
         assert_eq!(pair.offset_at_rx(5e9), 0.0);
-        assert!(pair.rotation_at_rx(5e9, 123.0).approx_eq(Complex64::ONE, 1e-12));
+        assert!(pair
+            .rotation_at_rx(5e9, 123.0)
+            .approx_eq(Complex64::ONE, 1e-12));
     }
 }

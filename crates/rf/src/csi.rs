@@ -127,7 +127,8 @@ impl MeasurementContext {
 
     /// Whether the direct path between array origins is unobstructed.
     pub fn is_los(&self) -> bool {
-        self.environment.is_los(self.initiator_pos, self.responder_pos)
+        self.environment
+            .is_los(self.initiator_pos, self.responder_pos)
     }
 
     /// Synthesizes the forward/reverse CSI pair for one packet exchange on
@@ -303,13 +304,18 @@ mod tests {
         assert!((m.truth_tof_ns - m_to_ns(0.6)).abs() < 1e-9);
         // With an ideal device at t=0, the subcarrier-0-adjacent phase
         // should be close to -2 pi f tau (modulo 2 pi). Use subcarrier -1.
-        let k = m.forward.layout.indices().iter().position(|i| *i == -1).unwrap();
+        let k = m
+            .forward
+            .layout
+            .indices()
+            .iter()
+            .position(|i| *i == -1)
+            .unwrap();
         let f = layout.freq_of(band.center_hz, -1);
-        let expected = -2.0 * PI * f * (m.truth_tof_ns * 1e-9
-            + m.forward.truth_detection_delay_ns * 0.0);
+        let expected =
+            -2.0 * PI * f * (m.truth_tof_ns * 1e-9 + m.forward.truth_detection_delay_ns * 0.0);
         let got = m.forward.csi[k].arg();
-        let want = chronos_math::unwrap::wrap_to_pi(expected
-            + 2.0 * PI * 312_500.0 * 0.0);
+        let want = chronos_math::unwrap::wrap_to_pi(expected + 2.0 * PI * 312_500.0 * 0.0);
         assert!(
             chronos_math::unwrap::angular_distance(got, want) < 1e-6,
             "got {got} want {want}"
@@ -327,12 +333,30 @@ mod tests {
         let layout = SubcarrierLayout::intel5300();
         let paths = ctx.paths_between(0, 0);
         let clean = synthesize_capture(
-            &mut rng, &band, &layout, &paths, 0.0, 0.0, Complex64::ONE, Complex64::ONE,
-            0.0, crate::hardware::PhaseQuirk::None, 0.0,
+            &mut rng,
+            &band,
+            &layout,
+            &paths,
+            0.0,
+            0.0,
+            Complex64::ONE,
+            Complex64::ONE,
+            0.0,
+            crate::hardware::PhaseQuirk::None,
+            0.0,
         );
         let delayed = synthesize_capture(
-            &mut rng, &band, &layout, &paths, 0.0, 200.0, Complex64::ONE, Complex64::ONE,
-            0.0, crate::hardware::PhaseQuirk::None, 0.0,
+            &mut rng,
+            &band,
+            &layout,
+            &paths,
+            0.0,
+            200.0,
+            Complex64::ONE,
+            Complex64::ONE,
+            0.0,
+            crate::hardware::PhaseQuirk::None,
+            0.0,
         );
         let i_m1 = layout.indices().iter().position(|i| *i == -1).unwrap();
         let i_p1 = layout.indices().iter().position(|i| *i == 1).unwrap();
@@ -364,12 +388,30 @@ mod tests {
         let paths = ctx.paths_between(0, 0);
         let delta_ns = 150.0;
         let clean = synthesize_capture(
-            &mut rng, &band, &layout, &paths, 0.0, 0.0, Complex64::ONE, Complex64::ONE,
-            0.0, crate::hardware::PhaseQuirk::None, 0.0,
+            &mut rng,
+            &band,
+            &layout,
+            &paths,
+            0.0,
+            0.0,
+            Complex64::ONE,
+            Complex64::ONE,
+            0.0,
+            crate::hardware::PhaseQuirk::None,
+            0.0,
         );
         let delayed = synthesize_capture(
-            &mut rng, &band, &layout, &paths, 0.0, delta_ns, Complex64::ONE, Complex64::ONE,
-            0.0, crate::hardware::PhaseQuirk::None, 0.0,
+            &mut rng,
+            &band,
+            &layout,
+            &paths,
+            0.0,
+            delta_ns,
+            Complex64::ONE,
+            Complex64::ONE,
+            0.0,
+            crate::hardware::PhaseQuirk::None,
+            0.0,
         );
         // Phase difference per subcarrier index step of 1:
         let diffs: Vec<f64> = clean
@@ -383,7 +425,10 @@ mod tests {
         let slope = (un.last().unwrap() - un.first().unwrap())
             / (layout.indices().last().unwrap() - layout.indices().first().unwrap()) as f64;
         let expected = -2.0 * PI * 312_500.0 * delta_ns * 1e-9;
-        assert!((slope - expected).abs() < 1e-6, "slope {slope} expected {expected}");
+        assert!(
+            (slope - expected).abs() < 1e-6,
+            "slope {slope} expected {expected}"
+        );
     }
 
     #[test]
@@ -428,7 +473,10 @@ mod tests {
         // All reported 2.4 GHz phases land in [0, pi/2).
         for z in &m24.forward.csi {
             let a = z.arg();
-            assert!((0.0..std::f64::consts::FRAC_PI_2 + 1e-9).contains(&a), "phase {a}");
+            assert!(
+                (0.0..std::f64::consts::FRAC_PI_2 + 1e-9).contains(&a),
+                "phase {a}"
+            );
         }
         // 5 GHz phases span the full circle.
         let any_negative = m5.forward.csi.iter().any(|z| z.arg() < 0.0);
@@ -451,11 +499,13 @@ mod tests {
             }
             let mean = vals.iter().fold(Complex64::ZERO, |a, b| a + *b) / vals.len() as f64;
             // Relative spread: absolute noise is constant, signal shrinks.
-            (vals.iter().map(|v| (*v - mean).norm_sq()).sum::<f64>() / vals.len() as f64)
-                .sqrt()
+            (vals.iter().map(|v| (*v - mean).norm_sq()).sum::<f64>() / vals.len() as f64).sqrt()
                 / mean.abs()
         };
-        assert!(spread(12.0) > spread(1.0), "noise did not grow with distance");
+        assert!(
+            spread(12.0) > spread(1.0),
+            "noise did not grow with distance"
+        );
     }
 
     #[test]
@@ -512,6 +562,9 @@ mod tests {
         let slope = (un.last().unwrap() - un.first().unwrap()) / (56.0 * df);
         let tau_apparent_ns = -slope / (2.0 * PI) * 1e9;
         let expected = m.truth_tof_ns + 6.0;
-        assert!((tau_apparent_ns - expected).abs() < 0.2, "{tau_apparent_ns} vs {expected}");
+        assert!(
+            (tau_apparent_ns - expected).abs() < 0.2,
+            "{tau_apparent_ns} vs {expected}"
+        );
     }
 }

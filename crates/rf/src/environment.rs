@@ -151,6 +151,14 @@ impl Environment {
         self.walls.iter().all(|w| !w.segment.blocks(p, q, 1e-9))
     }
 
+    /// Line-of-sight mask from `p` to each point of `qs` — one flag per
+    /// receive antenna when `qs` are array positions. Localization
+    /// scenarios use this to count how many of an AP's antennas a walker
+    /// is obstructed from (the NLOS degradation observable).
+    pub fn los_mask(&self, p: Point, qs: &[Point]) -> Vec<bool> {
+        qs.iter().map(|q| self.is_los(p, *q)).collect()
+    }
+
     /// Enumerates propagation paths from `tx` to `rx`.
     ///
     /// Amplitudes follow a free-space 1/d law scaled by reflection and
@@ -280,7 +288,11 @@ mod tests {
     #[test]
     fn free_space_single_path() {
         let env = Environment::free_space();
-        let ps = env.paths(Point::new(0.0, 0.0), Point::new(0.6, 0.0), &PathEnumConfig::default());
+        let ps = env.paths(
+            Point::new(0.0, 0.0),
+            Point::new(0.6, 0.0),
+            &PathEnumConfig::default(),
+        );
         assert_eq!(ps.paths().len(), 1);
         let p = ps.paths()[0];
         // 0.6 m ~ 2 ns, the paper's §4 example.
@@ -297,7 +309,14 @@ mod tests {
         );
         let tx = Point::new(-1.0, 0.0);
         let rx = Point::new(1.0, 0.0);
-        let ps = env.paths(tx, rx, &PathEnumConfig { second_order: false, ..Default::default() });
+        let ps = env.paths(
+            tx,
+            rx,
+            &PathEnumConfig {
+                second_order: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(ps.paths().len(), 2);
         // Direct: 2 m. Reflected: via y=2 -> image at (-1,4), length sqrt(4+16).
         let direct = ps.paths()[0];
@@ -312,10 +331,16 @@ mod tests {
     fn direct_path_always_first() {
         let mut env = Environment::free_space();
         env.add_room(0.0, 0.0, 20.0, 20.0, Material::Concrete);
-        let ps = env.paths(Point::new(3.0, 3.0), Point::new(17.0, 12.0), &PathEnumConfig::default());
+        let ps = env.paths(
+            Point::new(3.0, 3.0),
+            Point::new(17.0, 12.0),
+            &PathEnumConfig::default(),
+        );
         let delays: Vec<f64> = ps.paths().iter().map(|p| p.delay_ns).collect();
         assert!(delays.windows(2).all(|w| w[0] <= w[1]));
-        assert!((delays[0] - m_to_ns(Point::new(3.0, 3.0).dist(Point::new(17.0, 12.0)))).abs() < 1e-9);
+        assert!(
+            (delays[0] - m_to_ns(Point::new(3.0, 3.0).dist(Point::new(17.0, 12.0)))).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -347,6 +372,23 @@ mod tests {
     }
 
     #[test]
+    fn los_mask_flags_blocked_antennas() {
+        let mut env = Environment::free_space();
+        // A short wall shadowing only the leftmost antenna.
+        env.add_wall(
+            Segment::new(Point::new(-1.0, 1.0), Point::new(-0.3, 1.0)),
+            Material::Concrete,
+        );
+        let antennas = [
+            Point::new(-0.6, 0.0),
+            Point::new(0.6, 0.0),
+            Point::new(0.0, 0.8),
+        ];
+        let mask = env.los_mask(Point::new(-0.6, 3.0), &antennas);
+        assert_eq!(mask, vec![false, true, true]);
+    }
+
+    #[test]
     fn metal_blocks_near_everything() {
         let mut env = Environment::free_space();
         env.add_wall(
@@ -363,13 +405,31 @@ mod tests {
         env.add_room(0.0, 0.0, 10.0, 10.0, Material::Metal);
         let tx = Point::new(2.0, 5.0);
         let rx = Point::new(8.0, 5.0);
-        let first =
-            env.paths(tx, rx, &PathEnumConfig { second_order: false, max_paths: 32, ..Default::default() });
-        let second =
-            env.paths(tx, rx, &PathEnumConfig { second_order: true, max_paths: 32, ..Default::default() });
+        let first = env.paths(
+            tx,
+            rx,
+            &PathEnumConfig {
+                second_order: false,
+                max_paths: 32,
+                ..Default::default()
+            },
+        );
+        let second = env.paths(
+            tx,
+            rx,
+            &PathEnumConfig {
+                second_order: true,
+                max_paths: 32,
+                ..Default::default()
+            },
+        );
         assert!(second.paths().len() > first.paths().len());
         let max_first = first.paths().iter().map(|p| p.delay_ns).fold(0.0, f64::max);
-        let max_second = second.paths().iter().map(|p| p.delay_ns).fold(0.0, f64::max);
+        let max_second = second
+            .paths()
+            .iter()
+            .map(|p| p.delay_ns)
+            .fold(0.0, f64::max);
         assert!(max_second > max_first);
     }
 
@@ -377,7 +437,12 @@ mod tests {
     fn amplitude_floor_and_cap_respected() {
         let mut env = Environment::free_space();
         env.add_room(0.0, 0.0, 20.0, 20.0, Material::Concrete);
-        let cfg = PathEnumConfig { second_order: true, amplitude_floor: 1e-4, max_paths: 5, ..Default::default() };
+        let cfg = PathEnumConfig {
+            second_order: true,
+            amplitude_floor: 1e-4,
+            max_paths: 5,
+            ..Default::default()
+        };
         let ps = env.paths(Point::new(1.0, 1.0), Point::new(19.0, 19.0), &cfg);
         assert!(ps.paths().len() <= 5);
         assert!(ps.paths().iter().all(|p| p.amplitude >= 1e-4));
@@ -392,7 +457,11 @@ mod tests {
             Segment::new(Point::new(100.0, 2.0), Point::new(101.0, 2.0)),
             Material::Metal,
         );
-        let ps = env.paths(Point::new(0.0, 0.0), Point::new(1.0, 0.0), &PathEnumConfig::default());
+        let ps = env.paths(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            &PathEnumConfig::default(),
+        );
         assert_eq!(ps.paths().len(), 1);
     }
 }

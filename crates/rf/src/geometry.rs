@@ -27,11 +27,15 @@ impl Point {
     }
 
     /// Vector addition.
+    // Named methods (not `ops` traits) keep call sites chainable without
+    // importing `std::ops::Add`/`Sub` everywhere the geometry is used.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Point) -> Point {
         Point::new(self.x + other.x, self.y + other.y)
     }
 
     /// Vector subtraction (`self - other`).
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Point) -> Point {
         Point::new(self.x - other.x, self.y - other.y)
     }
@@ -70,6 +74,14 @@ impl Point {
     /// Midpoint with another point.
     pub fn midpoint(self, other: Point) -> Point {
         Point::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+
+    /// Linear interpolation toward `other`: `t = 0` is `self`, `t = 1` is
+    /// `other`. `t` is not clamped, so values outside `[0, 1]`
+    /// extrapolate along the line — handy for straight-line walker
+    /// trajectories in scenarios.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        self.add(other.sub(self).scale(t))
     }
 }
 
@@ -165,6 +177,16 @@ mod tests {
         assert!((a.cross(b) - (1.0 * 0.5 - 2.0 * -3.0)).abs() < 1e-12);
         assert!((a.normalized().norm() - 1.0).abs() < 1e-12);
         assert_eq!(Point::default().normalized(), Point::default());
+    }
+
+    #[test]
+    fn lerp_interpolates_and_extrapolates() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(5.0, -2.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), a.midpoint(b));
+        assert_eq!(a.lerp(b, 2.0), Point::new(9.0, -6.0));
     }
 
     #[test]

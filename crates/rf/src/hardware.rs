@@ -32,7 +32,10 @@ pub struct DetectionDelayModel {
 
 impl Default for DetectionDelayModel {
     fn default() -> Self {
-        DetectionDelayModel { median_ns: 177.0, std_ns: 24.76 }
+        DetectionDelayModel {
+            median_ns: 177.0,
+            std_ns: 24.76,
+        }
     }
 }
 
@@ -81,7 +84,9 @@ pub struct AntennaArray {
 impl AntennaArray {
     /// Single antenna at the device origin.
     pub fn single() -> Self {
-        AntennaArray { positions: vec![Point::new(0.0, 0.0)] }
+        AntennaArray {
+            positions: vec![Point::new(0.0, 0.0)],
+        }
     }
 
     /// The 3-antenna laptop array used in §12.2's "small separation"
@@ -231,7 +236,10 @@ impl Intel5300 {
 pub fn ideal_device(antennas: AntennaArray) -> DeviceModel {
     DeviceModel {
         name: "ideal",
-        detection_delay: DetectionDelayModel { median_ns: 0.0, std_ns: 0.0 },
+        detection_delay: DetectionDelayModel {
+            median_ns: 0.0,
+            std_ns: 0.0,
+        },
         kappa: Complex64::ONE,
         hw_delay_ns: 0.0,
         oscillator_ppm: 0.0,
@@ -265,8 +273,7 @@ mod tests {
         // the paper's testbed scale).
         let mut rng = StdRng::seed_from_u64(4);
         let model = DetectionDelayModel::default();
-        let mean_delay: f64 =
-            (0..1000).map(|_| model.sample(&mut rng)).sum::<f64>() / 1000.0;
+        let mean_delay: f64 = (0..1000).map(|_| model.sample(&mut rng)).sum::<f64>() / 1000.0;
         let typical_tof_ns = 22.0; // ~6.6 m link
         assert!(mean_delay / typical_tof_ns > 6.0);
     }
@@ -314,8 +321,16 @@ mod tests {
         assert_eq!(laptop.len(), 3);
         assert_eq!(ap.len(), 3);
         // Paper: "mean antenna separation of 30 cm" and "100 cm".
-        assert!((laptop.mean_separation() - 0.30).abs() < 0.05, "{}", laptop.mean_separation());
-        assert!((ap.mean_separation() - 1.00).abs() < 0.25, "{}", ap.mean_separation());
+        assert!(
+            (laptop.mean_separation() - 0.30).abs() < 0.05,
+            "{}",
+            laptop.mean_separation()
+        );
+        assert!(
+            (ap.mean_separation() - 1.00).abs() < 0.25,
+            "{}",
+            ap.mean_separation()
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ impl Default for SnrModel {
     fn default() -> Self {
         // Calibrated so links at 15 m retain enough SNR for CSI, matching
         // the paper's ability to range up to 15 m with ~25 cm error.
-        SnrModel { snr_at_1m_db: 38.0, path_loss_exp: 2.4, floor_db: -5.0 }
+        SnrModel {
+            snr_at_1m_db: 38.0,
+            path_loss_exp: 2.4,
+            floor_db: -5.0,
+        }
     }
 }
 
@@ -110,13 +114,21 @@ mod tests {
 
     #[test]
     fn snr_floor_applies() {
-        let m = SnrModel { snr_at_1m_db: 10.0, path_loss_exp: 3.0, floor_db: -5.0 };
+        let m = SnrModel {
+            snr_at_1m_db: 10.0,
+            path_loss_exp: 3.0,
+            floor_db: -5.0,
+        };
         assert!((m.snr_db(1e6) + 5.0).abs() < 1e-12);
     }
 
     #[test]
     fn ten_x_distance_costs_exponent_times_ten_db() {
-        let m = SnrModel { snr_at_1m_db: 30.0, path_loss_exp: 2.0, floor_db: -100.0 };
+        let m = SnrModel {
+            snr_at_1m_db: 30.0,
+            path_loss_exp: 2.0,
+            floor_db: -100.0,
+        };
         assert!((m.snr_db(1.0) - m.snr_db(10.0) - 20.0).abs() < 1e-9);
     }
 

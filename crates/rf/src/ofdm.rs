@@ -16,8 +16,8 @@ pub const SUBCARRIER_SPACING_HZ: f64 = 312_500.0;
 /// The 30 subcarrier indices reported by the Intel 5300 CSI Tool for a
 /// 20 MHz channel (Ng = 2 grouping). Note the index 0 (DC) is absent.
 pub const INTEL5300_SUBCARRIERS: [i32; 30] = [
-    -28, -26, -24, -22, -20, -18, -16, -14, -12, -10, -8, -6, -4, -2, -1, 1, 3, 5, 7, 9, 11,
-    13, 15, 17, 19, 21, 23, 25, 27, 28,
+    -28, -26, -24, -22, -20, -18, -16, -14, -12, -10, -8, -6, -4, -2, -1, 1, 3, 5, 7, 9, 11, 13,
+    15, 17, 19, 21, 23, 25, 27, 28,
 ];
 
 /// All 56 populated (data + pilot) subcarrier indices of 20 MHz 802.11n.
@@ -35,12 +35,16 @@ pub struct SubcarrierLayout {
 impl SubcarrierLayout {
     /// The Intel 5300 CSI Tool layout (30 subcarriers).
     pub fn intel5300() -> Self {
-        SubcarrierLayout { indices: INTEL5300_SUBCARRIERS.to_vec() }
+        SubcarrierLayout {
+            indices: INTEL5300_SUBCARRIERS.to_vec(),
+        }
     }
 
     /// The full populated layout (56 subcarriers), for idealized studies.
     pub fn full() -> Self {
-        SubcarrierLayout { indices: populated_subcarriers() }
+        SubcarrierLayout {
+            indices: populated_subcarriers(),
+        }
     }
 
     /// A custom layout. Indices must be non-zero (DC is unmeasurable) and
@@ -50,7 +54,10 @@ impl SubcarrierLayout {
     /// Panics if the invariant is violated.
     pub fn custom(indices: Vec<i32>) -> Self {
         assert!(!indices.is_empty(), "layout must be non-empty");
-        assert!(indices.iter().all(|k| *k != 0), "DC subcarrier is unmeasurable");
+        assert!(
+            indices.iter().all(|k| *k != 0),
+            "DC subcarrier is unmeasurable"
+        );
         assert!(
             indices.windows(2).all(|w| w[1] > w[0]),
             "indices must be strictly increasing"
@@ -80,13 +87,19 @@ impl SubcarrierLayout {
 
     /// Absolute frequencies of every measured subcarrier.
     pub fn freqs(&self, center_hz: f64) -> Vec<f64> {
-        self.indices.iter().map(|k| self.freq_of(center_hz, *k)).collect()
+        self.indices
+            .iter()
+            .map(|k| self.freq_of(center_hz, *k))
+            .collect()
     }
 
     /// Baseband offsets (`f_{i,k} − f_{i,0}` in the paper's §5 notation) of
     /// every measured subcarrier, in Hz.
     pub fn baseband_offsets(&self) -> Vec<f64> {
-        self.indices.iter().map(|k| *k as f64 * SUBCARRIER_SPACING_HZ).collect()
+        self.indices
+            .iter()
+            .map(|k| *k as f64 * SUBCARRIER_SPACING_HZ)
+            .collect()
     }
 }
 

@@ -28,12 +28,18 @@ pub struct Path {
 impl Path {
     /// Creates a path directly from delay and amplitude.
     pub fn new(delay_ns: f64, amplitude: f64) -> Self {
-        Path { delay_ns, amplitude }
+        Path {
+            delay_ns,
+            amplitude,
+        }
     }
 
     /// Creates a path from a geometric length in meters.
     pub fn from_length(length_m: f64, amplitude: f64) -> Self {
-        Path { delay_ns: m_to_ns(length_m), amplitude }
+        Path {
+            delay_ns: m_to_ns(length_m),
+            amplitude,
+        }
     }
 
     /// The path's geometric length in meters.
@@ -57,7 +63,9 @@ impl PathSet {
 
     /// A single-path (pure line-of-sight) set — the §4 idealization.
     pub fn single(delay_ns: f64, amplitude: f64) -> Self {
-        PathSet { paths: vec![Path::new(delay_ns, amplitude)] }
+        PathSet {
+            paths: vec![Path::new(delay_ns, amplitude)],
+        }
     }
 
     /// The paths, ascending by delay.
@@ -109,7 +117,10 @@ impl PathSet {
         if total == 0.0 {
             return 0.0;
         }
-        self.paths.first().map(|p| p.amplitude * p.amplitude / total).unwrap_or(0.0)
+        self.paths
+            .first()
+            .map(|p| p.amplitude * p.amplitude / total)
+            .unwrap_or(0.0)
     }
 }
 
@@ -163,7 +174,11 @@ mod tests {
 
     #[test]
     fn sorted_by_delay_and_true_tof() {
-        let ps = PathSet::new(vec![Path::new(16.0, 0.2), Path::new(5.2, 1.0), Path::new(10.0, 0.5)]);
+        let ps = PathSet::new(vec![
+            Path::new(16.0, 0.2),
+            Path::new(5.2, 1.0),
+            Path::new(10.0, 0.5),
+        ]);
         assert_eq!(ps.true_tof_ns(), Some(5.2));
         let d: Vec<f64> = ps.paths().iter().map(|p| p.delay_ns).collect();
         assert_eq!(d, vec![5.2, 10.0, 16.0]);

@@ -209,7 +209,12 @@ mod tests {
         let plan = band_plan_5ghz();
         let k = 10;
         let greedy = subset_quality(&select_subset(&plan, k, 100.0), 100.0);
-        let stride: Vec<Band> = plan.iter().step_by(plan.len() / k).cloned().take(k).collect();
+        let stride: Vec<Band> = plan
+            .iter()
+            .step_by(plan.len() / k)
+            .cloned()
+            .take(k)
+            .collect();
         let strided = subset_quality(&stride, 100.0);
         assert!(
             greedy.peak_sidelobe < strided.peak_sidelobe,

@@ -95,14 +95,25 @@ impl Testbed {
         let mut guard = 0;
         while locations.len() < 30 && guard < 100_000 {
             guard += 1;
-            let p = Point::new(rng.gen_range(1.0..size - 1.0), rng.gen_range(1.0..size - 1.0));
+            let p = Point::new(
+                rng.gen_range(1.0..size - 1.0),
+                rng.gen_range(1.0..size - 1.0),
+            );
             if locations.iter().all(|q| q.dist(p) > 2.2) {
                 locations.push(p);
             }
         }
-        assert_eq!(locations.len(), 30, "failed to place 30 candidate locations");
+        assert_eq!(
+            locations.len(),
+            30,
+            "failed to place 30 candidate locations"
+        );
 
-        Testbed { environment: env, locations, size }
+        Testbed {
+            environment: env,
+            locations,
+            size,
+        }
     }
 
     /// All location pairs with ground distance at most `max_dist` meters
@@ -206,8 +217,7 @@ mod tests {
             assert!(ps.len() >= 2, "pair too clean: {} paths", ps.len());
             // Direct path delay matches geometry.
             assert!(
-                (ps.true_tof_ns().unwrap() - chronos_math::constants::m_to_ns(p.distance_m))
-                    .abs()
+                (ps.true_tof_ns().unwrap() - chronos_math::constants::m_to_ns(p.distance_m)).abs()
                     < 1e-9
             );
         }

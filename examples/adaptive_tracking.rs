@@ -74,7 +74,9 @@ fn main() {
             r.airtime_span.as_millis_f64(),
             100.0 * r.airtime_saved(),
             r.sweeps_per_sec_airtime(),
-            r.track_rmse_m().map(|x| format!("{x:.3} m")).unwrap_or_else(|| "-".into()),
+            r.track_rmse_m()
+                .map(|x| format!("{x:.3} m"))
+                .unwrap_or_else(|| "-".into()),
         );
         for o in &r.outcomes {
             let gate = o

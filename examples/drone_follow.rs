@@ -11,13 +11,19 @@ use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(5);
-    let mut cfg = FollowConfig::default();
-    cfg.ticks = 180; // ~15 s of flight at 84 ms per sweep
+    // ~15 s of flight at 84 ms per sweep.
+    let cfg = FollowConfig {
+        ticks: 180,
+        ..Default::default()
+    };
 
     let mut sim = FollowSim::new(&mut rng, cfg, 5);
     let records = sim.run(&mut rng);
 
-    println!("{:>6} {:>18} {:>18} {:>9} {:>9}", "t(s)", "user(x,y)", "drone(x,y)", "true(m)", "est(m)");
+    println!(
+        "{:>6} {:>18} {:>18} {:>9} {:>9}",
+        "t(s)", "user(x,y)", "drone(x,y)", "true(m)", "est(m)"
+    );
     for r in records.iter().step_by(12) {
         println!(
             "{:>6.2} {:>18} {:>18} {:>9.3} {:>9}",

@@ -17,20 +17,34 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(3);
 
     // The localization request arrives at t = 6 s.
-    let sweep = run_sweep(&SweepConfig::standard(), Instant::from_millis(6000), &mut rng);
+    let sweep = run_sweep(
+        &SweepConfig::standard(),
+        Instant::from_millis(6000),
+        &mut rng,
+    );
     println!(
         "sweep: {:.1} ms over 35 bands, {} frames ({} lost)",
         sweep.duration().as_millis_f64(),
         sweep.frames_sent,
         sweep.frames_lost
     );
-    let outage = Outage { start: sweep.started, end: sweep.finished };
+    let outage = Outage {
+        start: sweep.started,
+        end: sweep.finished,
+    };
 
     // Video: the playback buffer must absorb the outage.
     let video = VideoModel::default();
-    let samples = video.run(Duration::from_millis(10_000), Duration::from_millis(50), &[outage]);
+    let samples = video.run(
+        Duration::from_millis(10_000),
+        Duration::from_millis(50),
+        &[outage],
+    );
     let stalled = VideoModel::has_stall(&samples);
-    let at6 = samples.iter().find(|s| s.t >= Instant::from_millis(6_100)).unwrap();
+    let at6 = samples
+        .iter()
+        .find(|s| s.t >= Instant::from_millis(6_100))
+        .unwrap();
     println!(
         "video @6.1s: downloaded {:.0} kb, played {:.0} kb, buffer {:.0} kb, stalls: {}",
         at6.downloaded_kb,
@@ -41,14 +55,29 @@ fn main() {
 
     // TCP: expect a modest dip in the second containing the sweep.
     let tcp = TcpModel::default();
-    let tput = tcp.run(Duration::from_millis(12_000), Duration::from_millis(1_000), &[outage]);
+    let tput = tcp.run(
+        Duration::from_millis(12_000),
+        Duration::from_millis(1_000),
+        &[outage],
+    );
     println!("\n{:>5} {:>12}", "t(s)", "Mbit/s");
     for s in &tput {
-        let marker = if (s.t.as_secs_f64() - 7.0).abs() < 0.01 { "  <- sweep window" } else { "" };
-        println!("{:>5.0} {:>12.3}{marker}", s.t.as_secs_f64(), s.throughput_mbps);
+        let marker = if (s.t.as_secs_f64() - 7.0).abs() < 0.01 {
+            "  <- sweep window"
+        } else {
+            ""
+        };
+        println!(
+            "{:>5.0} {:>12.3}{marker}",
+            s.t.as_secs_f64(),
+            s.throughput_mbps
+        );
     }
     let steady = tput[3].throughput_mbps;
-    let dip = tput.iter().find(|s| (s.t.as_secs_f64() - 7.0).abs() < 0.01).unwrap();
+    let dip = tput
+        .iter()
+        .find(|s| (s.t.as_secs_f64() - 7.0).abs() < 0.01)
+        .unwrap();
     println!(
         "\nthroughput dip: {:.1}% (paper: ~6.5%)",
         (steady - dip.throughput_mbps) / steady * 100.0

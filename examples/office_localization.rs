@@ -23,8 +23,14 @@ fn main() {
     let testbed = Testbed::office(42);
     let pairs = testbed.pairs_within(12.0);
 
-    println!("office testbed: {} candidate placements within 12 m", pairs.len());
-    println!("{:<10} {:>8} {:>6} {:>10} {:>10}", "placement", "dist(m)", "LOS", "est(m)", "locerr(m)");
+    println!(
+        "office testbed: {} candidate placements within 12 m",
+        pairs.len()
+    );
+    println!(
+        "{:<10} {:>8} {:>6} {:>10} {:>10}",
+        "placement", "dist(m)", "LOS", "est(m)", "locerr(m)"
+    );
 
     // One calibrated device pair reused across placements, as in the paper.
     let ctx = MeasurementContext::new(
@@ -55,7 +61,9 @@ fn main() {
             pair.distance_m,
             if pair.los { "yes" } else { "no" },
             est.map(|d| format!("{d:.2}")).unwrap_or_else(|| "-".into()),
-            loc_err.map(|e| format!("{e:.2}")).unwrap_or_else(|| "-".into()),
+            loc_err
+                .map(|e| format!("{e:.2}"))
+                .unwrap_or_else(|| "-".into()),
         );
         if let Some(e) = loc_err {
             errors.push(e);

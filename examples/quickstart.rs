@@ -21,9 +21,9 @@ fn main() {
     // Two commodity Wi-Fi devices, 4.2 m apart, free space.
     let ctx = MeasurementContext::new(
         Environment::free_space(),
-        Intel5300::mobile(&mut rng),   // single-antenna user device
+        Intel5300::mobile(&mut rng), // single-antenna user device
         Point::new(0.0, 0.0),
-        Intel5300::laptop(&mut rng),   // 3-antenna laptop (the locator)
+        Intel5300::laptop(&mut rng), // 3-antenna laptop (the locator)
         Point::new(4.2, 0.0),
     );
     let mut session = ChronosSession::new(ctx, ChronosConfig::default());
@@ -56,7 +56,9 @@ fn main() {
         }
     }
 
-    let d = out.mean_distance_m().expect("at least one antenna estimated");
+    let d = out
+        .mean_distance_m()
+        .expect("at least one antenna estimated");
     println!("estimated distance: {d:.2} m (truth: 4.20 m)");
 
     match out.position {

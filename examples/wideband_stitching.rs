@@ -52,8 +52,10 @@ fn main() {
 
     // Why unequal spacing helps: the 2.4 GHz bands alone already give a
     // 200 ns unambiguous range because their moduli share few factors.
-    let moduli: Vec<f64> =
-        band_plan_24ghz().iter().map(|b| 1e9 / b.center_hz).collect();
+    let moduli: Vec<f64> = band_plan_24ghz()
+        .iter()
+        .map(|b| 1e9 / b.center_hz)
+        .collect();
     let lcm = chronos_suite::math::crt::real_lcm(&moduli, 1e-4);
     println!(
         "\nLCM of the 2.4 GHz band periods: {:.0} ns (~{:.0} m unambiguous), \

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Benchmark-regression gate: rerun the quick position-tracking scenarios
+# and fail when any metric regresses >20% against the checked-in
+# BENCH_position.json baseline.
+#
+# The scenarios are fully deterministic (seeded), so the comparison gates
+# on real algorithmic drift, not run-to-run noise. On an *intentional*
+# change, regenerate and commit the baseline:
+#
+#   cargo run --release -p chronos-bench --bin bench_position -- --quick
+#
+# Usage: scripts/check-bench-regression.sh [baseline.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+baseline="${1:-BENCH_position.json}"
+
+if [[ ! -f "$baseline" ]]; then
+    echo "missing baseline $baseline (generate with: cargo run --release -p chronos-bench --bin bench_position -- --quick)" >&2
+    exit 1
+fi
+
+exec cargo run --release -p chronos-bench --bin bench_position -- \
+    --quick --check "$baseline" --tolerance 0.20

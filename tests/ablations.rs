@@ -20,7 +20,13 @@ use rand::SeedableRng;
 fn ablation_spline_vs_linear_under_multipath() {
     let mut rng = StdRng::seed_from_u64(42);
     let mut env = Environment::free_space();
-    env.add_room(0.0, 0.0, 12.0, 12.0, chronos_suite::rf::environment::Material::Concrete);
+    env.add_room(
+        0.0,
+        0.0,
+        12.0,
+        12.0,
+        chronos_suite::rf::environment::Material::Concrete,
+    );
     let mut ctx = MeasurementContext::new(
         env,
         ideal_device(AntennaArray::single()),
@@ -56,7 +62,10 @@ fn ablation_spline_vs_linear_under_multipath() {
     // absolute terms.
     assert!(es < 0.08, "spline error {es} rad");
     assert!(el < 0.08, "linear error {el} rad");
-    assert!(es <= el * 1.6 && el <= es * 1.6, "spline {es} vs linear {el}");
+    assert!(
+        es <= el * 1.6 && el <= es * 1.6,
+        "spline {es} vs linear {el}"
+    );
 }
 
 /// DESIGN.md §4.1: the sparsity weight trades resolution against noise
@@ -149,7 +158,10 @@ fn ablation_packets_per_band_averaging() {
     };
     let one = spread(1, 7);
     let four = spread(4, 8);
-    assert!(four < one, "averaging 4 exchanges ({four}) should beat 1 ({one})");
+    assert!(
+        four < one,
+        "averaging 4 exchanges ({four}) should beat 1 ({one})"
+    );
 }
 
 /// The 2.4 GHz quirk handling (DESIGN.md §4.2): an estimator in ideal mode
@@ -201,9 +213,15 @@ fn ablation_antenna_separation_geometry() {
             .positions()
             .iter()
             .enumerate()
-            .map(|(i, a)| AntennaRange { antenna: *a, distance_m: a.dist(tx) + noise[i] })
+            .map(|(i, a)| AntennaRange {
+                antenna: *a,
+                distance_m: a.dist(tx) + noise[i],
+            })
             .collect();
-        locate(&ranges, &LocalizerConfig::default()).unwrap().point.dist(tx)
+        locate(&ranges, &LocalizerConfig::default())
+            .unwrap()
+            .point
+            .dist(tx)
     };
     let small = err_for(AntennaArray::laptop());
     let large = err_for(AntennaArray::access_point());

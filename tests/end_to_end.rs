@@ -121,9 +121,7 @@ fn intel_mode_splits_band_groups() {
 #[test]
 fn localization_error_improves_with_ap_array() {
     let mut rng = StdRng::seed_from_u64(8);
-    let run = |array: chronos_suite::rf::hardware::AntennaArray,
-               rng: &mut StdRng|
-     -> f64 {
+    let run = |array: chronos_suite::rf::hardware::AntennaArray, rng: &mut StdRng| -> f64 {
         let mut ctx = MeasurementContext::new(
             Environment::free_space(),
             Intel5300::mobile(rng),
@@ -146,8 +144,14 @@ fn localization_error_improves_with_ap_array() {
         }
         chronos_suite::math::stats::median(&errs)
     };
-    let small = run(chronos_suite::rf::hardware::AntennaArray::laptop(), &mut rng);
-    let large = run(chronos_suite::rf::hardware::AntennaArray::access_point(), &mut rng);
+    let small = run(
+        chronos_suite::rf::hardware::AntennaArray::laptop(),
+        &mut rng,
+    );
+    let large = run(
+        chronos_suite::rf::hardware::AntennaArray::access_point(),
+        &mut rng,
+    );
     // §10/§12.2: wider antenna separation -> better positioning. A single
     // pair of medians is noisy, so allow a little slack in the comparison;
     // the full Fig. 8b/8c experiment quantifies the gap properly.

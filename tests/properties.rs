@@ -3,8 +3,10 @@
 
 use chronos_suite::core::crt::{tof_from_channels, CrtConfig};
 use chronos_suite::core::ista::{solve, sparsify, IstaConfig};
-use chronos_suite::core::localization::{locate, AntennaRange, LocalizerConfig};
+use chronos_suite::core::localization::{locate, locate_all, AntennaRange, LocalizerConfig};
 use chronos_suite::core::ndft::{Ndft, TauGrid};
+use chronos_suite::core::tracker::{PositionTracker, TrackerConfig};
+use chronos_suite::link::time::{Duration, Instant};
 use chronos_suite::math::crt::Congruence;
 use chronos_suite::math::spline::CubicSpline;
 use chronos_suite::math::stats::{median, percentile};
@@ -148,6 +150,87 @@ proptest! {
             .collect();
         let pos = locate(&ranges, &LocalizerConfig::default()).unwrap();
         prop_assert!(pos.point.dist(tx) < 1e-3, "err {}", pos.point.dist(tx));
+    }
+
+    /// A two-antenna fix is mirror-ambiguous; the ambiguity is resolved
+    /// by a third non-collinear antenna, or by a position tracker's
+    /// motion prior (paper §8's mobility heuristic).
+    #[test]
+    fn mirror_ambiguity_resolved(
+        x in -3.0f64..3.0,
+        y in 0.4f64..6.0,
+        half in 0.3f64..0.8,
+    ) {
+        let a = Point::new(-half, 0.0);
+        let b = Point::new(half, 0.0);
+        let tx = Point::new(x, y);
+        let mirror = Point::new(x, -y);
+        let two = vec![
+            AntennaRange { antenna: a, distance_m: a.dist(tx) },
+            AntennaRange { antenna: b, distance_m: b.dist(tx) },
+        ];
+        let cfg = LocalizerConfig::default();
+        let cands = locate_all(&two, &cfg).unwrap();
+        prop_assert_eq!(cands.len(), 2, "two antennas must yield the mirror pair");
+        for target in [tx, mirror] {
+            prop_assert!(
+                cands.iter().any(|c| c.point.dist(target) < 0.05),
+                "missing candidate near {target:?}: {cands:?}"
+            );
+        }
+
+        // Third non-collinear antenna: the best fit lands on the truth.
+        let c = Point::new(0.0, 0.5);
+        let mut three = two.clone();
+        three.push(AntennaRange { antenna: c, distance_m: c.dist(tx) });
+        let best = locate(&three, &cfg).unwrap();
+        prop_assert!(best.point.dist(tx) < 0.05, "err {}", best.point.dist(tx));
+
+        // Motion prior: a tracker warmed on the true side resolves the
+        // *tied-residual* mirror pair to the prior-consistent candidate.
+        let mut tracker = PositionTracker::new(TrackerConfig::default());
+        for i in 0..2u64 {
+            tracker.observe(
+                Instant::ZERO + Duration::from_millis(100 * i),
+                Some(tx),
+                true,
+            );
+        }
+        let picked = tracker.resolve(&cands).unwrap();
+        prop_assert!(picked.point.dist(tx) < 0.05, "prior picked {:?}", picked.point);
+    }
+
+    /// The triangle-inequality consistency filter never rejects an
+    /// antenna from a geometrically consistent LOS range set — exact
+    /// distances (plus noise well under the tolerance) always use every
+    /// antenna.
+    #[test]
+    fn triangle_filter_keeps_consistent_los_sets(
+        x in -6.0f64..6.0,
+        y in 0.6f64..8.0,
+        n1 in -0.1f64..0.1,
+        n2 in -0.1f64..0.1,
+        n3 in -0.1f64..0.1,
+        wide in 0usize..2,
+    ) {
+        let tx = Point::new(x, y);
+        let antennas = if wide == 1 {
+            [Point::new(-0.6, 0.0), Point::new(0.6, 0.0), Point::new(0.0, 0.8)]
+        } else {
+            [Point::new(-0.18, 0.0), Point::new(0.18, 0.0), Point::new(0.0, 0.24)]
+        };
+        let noise = [n1, n2, n3];
+        let ranges: Vec<AntennaRange> = antennas
+            .iter()
+            .zip(noise.iter())
+            .map(|(a, n)| AntennaRange { antenna: *a, distance_m: a.dist(tx) + n })
+            .collect();
+        // A generous residual cap isolates the triangle filter: the fit
+        // itself may be loose at bad geometry, but no antenna may be
+        // dropped.
+        let cfg = LocalizerConfig { max_residual_m: 10.0, ..LocalizerConfig::default() };
+        let pos = locate(&ranges, &cfg).unwrap();
+        prop_assert_eq!(pos.n_used, 3, "consistent LOS antenna rejected");
     }
 
     /// Median and percentiles are order statistics: bounded by min/max and

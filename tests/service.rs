@@ -41,7 +41,10 @@ fn n_client_throughput_matches_single_session_accuracy() {
         let mut s = ChronosSession::new(ideal_ctx(*d), ChronosConfig::ideal());
         s.sweep_cfg.medium.loss_prob = 0.0;
         let mut rng = StdRng::seed_from_u64(500 + i as u64);
-        let est = s.sweep(&mut rng, Instant::ZERO).mean_distance_m().expect("baseline");
+        let est = s
+            .sweep(&mut rng, Instant::ZERO)
+            .mean_distance_m()
+            .expect("baseline");
         baseline_errs.push((est - d).abs());
     }
 
@@ -53,7 +56,11 @@ fn n_client_throughput_matches_single_session_accuracy() {
     }
     let report = svc.run_epoch(321);
 
-    assert_eq!(report.completed(), distances.len(), "all clients must estimate");
+    assert_eq!(
+        report.completed(),
+        distances.len(),
+        "all clients must estimate"
+    );
     for (o, baseline) in report.outcomes.iter().zip(baseline_errs.iter()) {
         let err = o.error_m.expect("service estimate");
         // Service error stays in the same regime as the lone-session
@@ -68,7 +75,11 @@ fn n_client_throughput_matches_single_session_accuracy() {
 
     // Throughput accounting is sane: simulated airtime covers the epoch
     // and at least the single-sweep rate is sustained.
-    assert!(report.sweeps_per_sec_airtime() >= 10.0, "{}", report.sweeps_per_sec_airtime());
+    assert!(
+        report.sweeps_per_sec_airtime() >= 10.0,
+        "{}",
+        report.sweeps_per_sec_airtime()
+    );
     assert!(report.utilization > 0.5);
 }
 
@@ -80,18 +91,26 @@ fn n_client_throughput_matches_single_session_accuracy() {
 fn plan_cache_estimates_are_equivalent() {
     let freqs = band_plan_5ghz();
     let paths = [(9.4, 1.0), (14.1, 0.7), (22.0, 0.4)];
-    let products: Vec<_> =
-        freqs.iter().map(|b| genie_product(b.center_hz, &paths, 2.0)).collect();
+    let products: Vec<_> = freqs
+        .iter()
+        .map(|b| genie_product(b.center_hz, &paths, 2.0))
+        .collect();
 
     let cold = TofEstimator::new(ChronosConfig::ideal());
     let cache = Arc::new(PlanCache::new());
     let cached = TofEstimator::with_cache(ChronosConfig::ideal(), Arc::clone(&cache));
 
-    let a = cold.estimate_from_products(&products).expect("cold estimate");
+    let a = cold
+        .estimate_from_products(&products)
+        .expect("cold estimate");
     // Run the cached estimator twice: the second call exercises the
     // cache-hit path.
-    let b1 = cached.estimate_from_products(&products).expect("cached estimate");
-    let b2 = cached.estimate_from_products(&products).expect("cached estimate (hit)");
+    let b1 = cached
+        .estimate_from_products(&products)
+        .expect("cached estimate");
+    let b2 = cached
+        .estimate_from_products(&products)
+        .expect("cached estimate (hit)");
 
     for b in [&b1, &b2] {
         assert!(
@@ -104,13 +123,21 @@ fn plan_cache_estimates_are_equivalent() {
         assert_eq!(a.groups.len(), b.groups.len());
         for (ga, gb) in a.groups.iter().zip(b.groups.iter()) {
             assert!((ga.raw_tof_ns - gb.raw_tof_ns).abs() <= 1e-9);
-            for (ma, mb) in ga.profile.magnitudes.iter().zip(gb.profile.magnitudes.iter()) {
+            for (ma, mb) in ga
+                .profile
+                .magnitudes
+                .iter()
+                .zip(gb.profile.magnitudes.iter())
+            {
                 assert!((ma - mb).abs() <= 1e-9, "profile magnitude diverged");
             }
         }
     }
     let stats = cache.stats();
-    assert!(stats.hits >= 1, "second estimate must hit the cache: {stats:?}");
+    assert!(
+        stats.hits >= 1,
+        "second estimate must hit the cache: {stats:?}"
+    );
 }
 
 /// End-to-end session equivalence: a cached session must reproduce the

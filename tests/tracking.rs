@@ -68,10 +68,17 @@ fn adaptive_static_error_bounded_and_throughput_doubles() {
         if occ.acquire == 0 && occ.track == distances.len() {
             track_errs.extend(r.outcomes.iter().filter_map(|o| o.error_m));
             track_tp.push(r.sweeps_per_sec_airtime());
-            assert!(r.airtime_saved() > 0.5, "airtime saved {}", r.airtime_saved());
+            assert!(
+                r.airtime_saved() > 0.5,
+                "airtime saved {}",
+                r.airtime_saved()
+            );
         }
     }
-    assert!(track_tp.len() >= epochs as usize - 3, "too few steady epochs");
+    assert!(
+        track_tp.len() >= epochs as usize - 3,
+        "too few steady epochs"
+    );
     let track_mae = track_errs.iter().sum::<f64>() / track_errs.len() as f64;
     let track_rate = track_tp.iter().sum::<f64>() / track_tp.len() as f64;
 
@@ -110,7 +117,10 @@ fn adaptive_moving_client_stays_tracked() {
         }
     }
     assert!(track_epochs >= 10, "only {track_epochs} TRACK epochs");
-    assert!(worst_tracked_err < 0.5, "worst tracked error {worst_tracked_err}");
+    assert!(
+        worst_tracked_err < 0.5,
+        "worst tracked error {worst_tracked_err}"
+    );
     let v = svc.tracker(0).unwrap().filter().velocity().unwrap();
     assert!((v - 1.2).abs() < 0.4, "velocity estimate {v}");
 }
@@ -135,7 +145,11 @@ fn teleport_forces_reacquire_then_repromotes() {
         "teleport must exceed the gate: {:?}",
         o.innovation_sigmas
     );
-    assert_eq!(svc.tracker(0).unwrap().mode(), TrackMode::Acquire, "gate must demote");
+    assert_eq!(
+        svc.tracker(0).unwrap().mode(),
+        TrackMode::Acquire,
+        "gate must demote"
+    );
 
     // Full-sweep re-acquisition at the new spot, then back to TRACK.
     let mut modes = Vec::new();
@@ -144,9 +158,21 @@ fn teleport_forces_reacquire_then_repromotes() {
         modes.push(r.outcomes[0].mode);
     }
     assert_eq!(modes[0], TrackMode::Acquire);
-    assert_eq!(svc.tracker(0).unwrap().mode(), TrackMode::Track, "re-promotion after streak");
-    let tracked = svc.tracker(0).unwrap().filter().predicted_distance().unwrap();
-    assert!((tracked - 3.0).abs() < 0.3, "re-converged at {tracked}, truth 3.0");
+    assert_eq!(
+        svc.tracker(0).unwrap().mode(),
+        TrackMode::Track,
+        "re-promotion after streak"
+    );
+    let tracked = svc
+        .tracker(0)
+        .unwrap()
+        .filter()
+        .predicted_distance()
+        .unwrap();
+    assert!(
+        (tracked - 3.0).abs() < 0.3,
+        "re-converged at {tracked}, truth 3.0"
+    );
 }
 
 /// Variable-length subset plans must be charged their own airtime,
@@ -183,7 +209,10 @@ fn subset_plans_never_double_count_airtime() {
         span < Duration::from_millis(45),
         "steady-state span {span} should be subset-sized (full sweep is ~84 ms)"
     );
-    assert!(span > Duration::from_millis(15), "span {span} suspiciously small");
+    assert!(
+        span > Duration::from_millis(15),
+        "span {span} suspiciously small"
+    );
 }
 
 /// The adaptive service remains deterministic: same seeds, same mode

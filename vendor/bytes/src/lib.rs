@@ -17,7 +17,9 @@ pub struct Bytes {
 impl Bytes {
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.to_vec() }
+        Bytes {
+            data: data.to_vec(),
+        }
     }
 
     /// Length in bytes.
@@ -64,7 +66,9 @@ pub struct BytesMut {
 impl BytesMut {
     /// Creates an empty buffer with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Creates an empty buffer.

@@ -36,12 +36,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// Builds a bare parameterless id.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -90,7 +94,8 @@ impl Bencher {
             for _ in 0..per_sample {
                 std::hint::black_box(f());
             }
-            self.samples_ns.push(t0.elapsed().as_nanos() as f64 / per_sample as f64);
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / per_sample as f64);
         }
     }
 
@@ -187,7 +192,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20, measurement_time: Duration::from_secs(2) }
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
     }
 }
 

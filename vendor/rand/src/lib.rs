@@ -86,7 +86,10 @@ macro_rules! float_range {
                 let v = self.start + (self.end - self.start) * u;
                 // Floating rounding can land exactly on `end`; nudge back in.
                 if v >= self.end {
-                    <$t>::max(self.start, self.end - (self.end - self.start) * <$t>::EPSILON)
+                    <$t>::max(
+                        self.start,
+                        self.end - (self.end - self.start) * <$t>::EPSILON,
+                    )
                 } else {
                     v
                 }
