@@ -21,8 +21,16 @@
 //! simulated sweeps per second of airtime, full-sweep vs adaptive — that
 //! README's "Adaptive tracking" section quotes. Airtime, not host CPU,
 //! is what caps clients-per-AP, so that table is the headline.
+//!
+//! Finally the bench prints the **epoch-vs-event table**: the lock-step
+//! `run_epoch` barrier against the continuous `run_until` engine on a
+//! mixed ACQUIRE/TRACK population (half the clients pinned cold), at
+//! N ∈ {4, 8, 16}. The barrier makes every TRACK client idle until the
+//! slowest ACQUIRE sweep of the round lands; the event engine re-admits
+//! them as soon as their subset airtime allows. README's "Continuous
+//! sweep engine" section quotes this table.
 
-use chronos_bench::tracking::capacity_table;
+use chronos_bench::tracking::{capacity_table, mixed_capacity_table, mixed_table};
 use chronos_core::config::ChronosConfig;
 use chronos_core::service::{RangingService, ServiceConfig};
 use chronos_core::session::ChronosSession;
@@ -153,6 +161,14 @@ fn bench_service(c: &mut Criterion) {
             row.adaptive_mae_m,
         );
     }
+
+    // Epoch barrier vs continuous event engine on a mixed population
+    // (half pinned ACQUIRE, half TRACK; 8 interleaved hoppers allowed).
+    println!("\n  epoch barrier vs event engine (mixed ACQUIRE/TRACK, sweeps/s of simulated time)");
+    println!(
+        "{}",
+        mixed_table(&mixed_capacity_table(&[4, 8, 16], 42)).render()
+    );
 }
 
 criterion_group! {

@@ -8,8 +8,10 @@
 
 use crate::report::Table;
 use chronos_core::config::ChronosConfig;
+use chronos_core::engine::WindowReport;
 use chronos_core::service::{EpochReport, RangingService, ServiceConfig};
 use chronos_core::tracker::TrackerConfig;
+use chronos_link::time::Duration;
 use chronos_rf::csi::MeasurementContext;
 use chronos_rf::environment::{Environment, Material};
 use chronos_rf::geometry::{Point, Segment};
@@ -209,6 +211,79 @@ pub fn run_position(cfg: &PositionScenarioConfig) -> PositionRun {
         truth,
         los_antennas,
     }
+}
+
+/// One continuous-engine position run: per-window reports plus the
+/// walker's true position at each window boundary.
+#[derive(Debug, Clone)]
+pub struct PositionWindowRun {
+    /// Per-window service reports, in order (one client: the walker).
+    pub windows: Vec<WindowReport>,
+    /// Walker ground-truth position at each window's start, AP frame.
+    pub truth: Vec<Point>,
+}
+
+impl PositionWindowRun {
+    /// All completed sweeps across the run.
+    pub fn sweeps(&self) -> usize {
+        self.windows.iter().map(|w| w.outcomes.len()).sum()
+    }
+
+    /// Raw-fix 2-D errors across all windows, meters.
+    pub fn raw_errors_m(&self) -> Vec<f64> {
+        self.windows
+            .iter()
+            .flat_map(|w| w.outcomes.iter().filter_map(|o| o.pos_error_m))
+            .collect()
+    }
+
+    /// Median raw-fix error, meters.
+    pub fn median_err_m(&self) -> f64 {
+        let e = self.raw_errors_m();
+        if e.is_empty() {
+            f64::NAN
+        } else {
+            chronos_math::stats::median(&e)
+        }
+    }
+}
+
+/// Runs a position scenario through the **continuous engine**: the same
+/// walker and geometry as [`run_position`], but instead of one lock-step
+/// sweep per epoch the service plays `run_until` windows of `window`
+/// simulated time — once the position tracker promotes to TRACK, subset
+/// sweeps deliver several fixes per window. The walker moves at each
+/// window boundary (cfg.epochs boundaries span the whole path).
+pub fn run_position_continuous(
+    cfg: &PositionScenarioConfig,
+    window: Duration,
+) -> PositionWindowRun {
+    let mut env = Environment::free_space();
+    for (seg, mat) in &cfg.walls {
+        env.add_wall(*seg, *mat);
+    }
+    let mut ctx = MeasurementContext::new(
+        env,
+        ideal_device(AntennaArray::single()),
+        walker_at(cfg, 0),
+        ideal_device(AntennaArray::access_point()),
+        Point::new(0.0, 0.0),
+    );
+    ctx.snr.snr_at_1m_db = cfg.snr_at_1m_db;
+
+    let mut svc = RangingService::new(ServiceConfig::position(cfg.tracker));
+    let id = svc.add_client(ctx, ChronosConfig::ideal());
+    svc.client_mut(id).sweep_cfg.medium.loss_prob = 0.0;
+
+    let mut windows = Vec::with_capacity(cfg.epochs);
+    let mut truth = Vec::with_capacity(cfg.epochs);
+    for e in 0..cfg.epochs {
+        let pos = walker_at(cfg, e);
+        svc.client_mut(id).ctx.initiator_pos = pos;
+        truth.push(pos);
+        windows.push(svc.run_until(cfg.seed.wrapping_mul(1000), svc.clock() + window));
+    }
+    PositionWindowRun { windows, truth }
 }
 
 /// Headers of the `BENCH_position` table, in column order.

@@ -5,9 +5,11 @@
 //! `bench_service` capacity comparison and the numbers quoted in
 //! `docs/TRACKING.md`. Everything is deterministic given a seed.
 
+use crate::report::Table;
 use chronos_core::config::ChronosConfig;
-use chronos_core::service::{EpochReport, RangingService, ServiceConfig};
+use chronos_core::service::{ClientOutcome, EpochReport, RangingService, ServiceConfig};
 use chronos_core::tracker::{TrackMode, TrackerConfig};
+use chronos_link::time::Duration;
 use chronos_rf::csi::MeasurementContext;
 use chronos_rf::environment::Environment;
 use chronos_rf::geometry::Point;
@@ -221,6 +223,178 @@ pub fn capacity_table(client_counts: &[usize], epochs: usize, seed: u64) -> Vec<
             }
         })
         .collect()
+}
+
+/// One row of the epoch-barrier vs continuous-engine comparison on a
+/// **mixed** ACQUIRE/TRACK population (half the clients pinned in
+/// ACQUIRE — cold joiners, broken tracks — half tracking with subset
+/// sweeps). The epoch barrier makes every TRACK client idle until the
+/// slowest ACQUIRE sweep of the round finishes; the event engine lets
+/// them re-sweep as soon as their subset airtime allows.
+#[derive(Debug, Clone)]
+pub struct MixedComparison {
+    /// Client count (half pinned ACQUIRE, half free to TRACK).
+    pub n_clients: usize,
+    /// Lock-step `run_epoch` throughput, sweeps/s of simulated time.
+    pub epoch_sweeps_per_sec: f64,
+    /// Fraction of the epoch phase's simulated time with a sweep on the
+    /// air.
+    pub epoch_utilization: f64,
+    /// Mean absolute TRACK-fix error under the epoch barrier, meters.
+    pub epoch_track_mae_m: f64,
+    /// Continuous `run_until` throughput, sweeps/s of simulated time.
+    pub event_sweeps_per_sec: f64,
+    /// Fraction of the continuous window with a sweep on the air.
+    pub event_utilization: f64,
+    /// Mean absolute TRACK-fix error under the continuous engine, meters.
+    pub event_track_mae_m: f64,
+}
+
+impl MixedComparison {
+    /// Event-engine throughput gain over the epoch barrier.
+    pub fn gain(&self) -> f64 {
+        self.event_sweeps_per_sec / self.epoch_sweeps_per_sec.max(1e-9)
+    }
+}
+
+/// Builds the mixed-population service: even-indexed clients pinned in
+/// ACQUIRE (per-client tracker override, `acquire_fixes: usize::MAX`),
+/// odd-indexed clients free to promote to TRACK. Eight interleaved
+/// hoppers are allowed: with the default cap of 4 both schedulers
+/// saturate the medium at N ≥ 8 and the comparison would only measure
+/// the barrier tail, not the idle-while-waiting cost.
+fn mixed_service(n: usize) -> RangingService {
+    let mut cfg = ServiceConfig::adaptive(TrackerConfig::default());
+    cfg.arbiter.max_concurrent = 8;
+    let mut svc = RangingService::new(cfg);
+    for i in 0..n {
+        let d = 2.0 + 7.0 * i as f64 / n.max(1) as f64;
+        let ctx = tracking_ctx(d);
+        let id = if i % 2 == 0 {
+            svc.add_client_with_tracker(
+                ctx,
+                ChronosConfig::ideal(),
+                TrackerConfig {
+                    acquire_fixes: usize::MAX,
+                    ..TrackerConfig::default()
+                },
+            )
+        } else {
+            svc.add_client(ctx, ChronosConfig::ideal())
+        };
+        svc.client_mut(id).sweep_cfg.medium.loss_prob = 0.0;
+    }
+    svc
+}
+
+/// Mean absolute raw-fix error over complete TRACK-mode sweeps, meters.
+/// Incomplete sweeps are excluded on both sides of the comparison: their
+/// degraded fixes carry elevated ghost-peak risk and the mode machine
+/// never fuses them (see `ClientTracker::observe`), so they are misses,
+/// not estimates a deployment would report.
+fn track_mae_m(outcomes: &[ClientOutcome]) -> f64 {
+    let errs: Vec<f64> = outcomes
+        .iter()
+        .filter(|o| o.mode == TrackMode::Track && o.link_complete)
+        .filter_map(|o| o.error_m)
+        .collect();
+    if errs.is_empty() {
+        f64::NAN
+    } else {
+        errs.iter().sum::<f64>() / errs.len() as f64
+    }
+}
+
+/// Runs the epoch-vs-event comparison at one client count. Both
+/// variants share the scenario, the warm-up (three epochs, promoting the
+/// free half into TRACK) and the arbiter policy; only the scheduler
+/// differs. Deterministic given the seed.
+pub fn mixed_comparison(
+    n_clients: usize,
+    seed: u64,
+    epochs: usize,
+    window: Duration,
+) -> MixedComparison {
+    const WARM: usize = 3;
+
+    // Epoch barrier: one sweep per client per round.
+    let mut svc = mixed_service(n_clients);
+    for e in 0..WARM {
+        svc.run_epoch(seed.wrapping_add(e as u64));
+    }
+    let t0 = svc.clock();
+    let mut end = t0;
+    let mut completed = 0usize;
+    let mut busy_s = 0.0;
+    let mut outcomes = Vec::new();
+    for e in 0..epochs {
+        let r = svc.run_epoch(seed.wrapping_add((WARM + e) as u64));
+        completed += r.completed();
+        busy_s += r.utilization * r.airtime_span.as_secs_f64();
+        end = r.started + r.airtime_span;
+        outcomes.extend(r.outcomes);
+    }
+    let total_s = end.saturating_since(t0).as_secs_f64().max(1e-9);
+    let epoch_sweeps_per_sec = completed as f64 / total_s;
+    let epoch_utilization = busy_s / total_s;
+    let epoch_track_mae_m = track_mae_m(&outcomes);
+
+    // Continuous engine: identical service and warm-up, then one window.
+    let mut svc = mixed_service(n_clients);
+    for e in 0..WARM {
+        svc.run_epoch(seed.wrapping_add(e as u64));
+    }
+    let w = svc.run_until(seed ^ 0xE7E7_E7E7, svc.clock() + window);
+
+    MixedComparison {
+        n_clients,
+        epoch_sweeps_per_sec,
+        epoch_utilization,
+        epoch_track_mae_m,
+        event_sweeps_per_sec: w.sweeps_per_sec(),
+        event_utilization: w.utilization,
+        event_track_mae_m: track_mae_m(&w.outcomes),
+    }
+}
+
+/// The epoch-vs-event table README quotes: mixed populations at several
+/// client counts, one simulated second of continuous operation each.
+pub fn mixed_capacity_table(client_counts: &[usize], seed: u64) -> Vec<MixedComparison> {
+    client_counts
+        .iter()
+        .map(|&n| mixed_comparison(n, seed, 8, Duration::from_millis(1000)))
+        .collect()
+}
+
+/// Tabulates [`MixedComparison`] rows for console/CSV reporting — the
+/// window-report plumbing `bench_service` renders.
+pub fn mixed_table(rows: &[MixedComparison]) -> Table {
+    let mut table = Table::new(
+        "epoch_vs_event",
+        &[
+            "clients",
+            "epoch_sweeps_s",
+            "event_sweeps_s",
+            "gain",
+            "epoch_util",
+            "event_util",
+            "epoch_track_mae_m",
+            "event_track_mae_m",
+        ],
+    );
+    for r in rows {
+        table.row_display(&[
+            &r.n_clients,
+            &format!("{:.1}", r.epoch_sweeps_per_sec),
+            &format!("{:.1}", r.event_sweeps_per_sec),
+            &format!("{:.1}x", r.gain()),
+            &format!("{:.0}%", 100.0 * r.epoch_utilization),
+            &format!("{:.0}%", 100.0 * r.event_utilization),
+            &format!("{:.3}", r.epoch_track_mae_m),
+            &format!("{:.3}", r.event_track_mae_m),
+        ]);
+    }
+    table
 }
 
 /// Convenience: whether a run ever fell back to ACQUIRE after reaching

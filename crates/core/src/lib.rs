@@ -60,6 +60,15 @@
 //! realistically, and runs per-client inversion on scoped worker
 //! threads with schedule-independent results.
 //!
+//! [`engine`] is the continuous scheduler underneath the service: a
+//! discrete-event [`ServiceEngine`] over virtual time in which every
+//! client re-sweeps at its own tracker-derived cadence (`SweepDue` →
+//! arbiter admission → worker-pool execution → `SweepComplete` → tracker
+//! fusion → reschedule), with client join/leave as first-class events.
+//! `RangingService::run_until` exposes it directly; `run_epoch` is a
+//! compatibility wrapper reproducing the legacy lock-step rounds (see
+//! `docs/SCHEDULING.md`).
+//!
 //! [`tracker`] closes the loop *across* epochs: a per-client
 //! constant-velocity Kalman filter ([`tracker::DistanceFilter`]) fuses
 //! each fix, and a mode machine ([`tracker::ClientTracker`]) switches
@@ -80,6 +89,7 @@
 pub mod config;
 pub mod crt;
 pub mod delay;
+pub mod engine;
 pub mod error;
 pub mod ista;
 pub mod localization;
@@ -96,10 +106,11 @@ pub mod tof;
 pub mod tracker;
 
 pub use config::{ChronosConfig, QuirkMode};
+pub use engine::{ServiceEngine, WindowReport};
 pub use error::ChronosError;
 pub use plan::{CacheStats, NdftPlan, PlanCache};
 pub use profile::MultipathProfile;
-pub use service::{EpochReport, RangingService, ServiceConfig};
+pub use service::{CadenceConfig, EpochReport, RangingService, ServiceConfig};
 pub use session::{ChronosSession, SweepOutput};
 pub use tof::{BandSample, TofEstimate, TofEstimator};
 pub use tracker::{ClientTracker, DistanceFilter, TrackMode, TrackerConfig};

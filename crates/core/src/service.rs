@@ -15,37 +15,30 @@
 //!   concurrently, and charges each overlapping sweep a collision loss —
 //!   so N clients contend for the medium the way real hoppers would,
 //!   and reported throughput includes the protocol cost of contention.
+//! * **Continuous scheduling.** Sweeps are driven by the event-based
+//!   [`ServiceEngine`] (see [`crate::engine`]): each client re-sweeps at
+//!   its own cadence instead of marching through a lock-step epoch
+//!   barrier. [`RangingService::run_until`] plays an arbitrary window of
+//!   continuous operation; [`RangingService::run_epoch`] remains as a
+//!   compatibility wrapper that reproduces the legacy one-sweep-per-
+//!   client rounds exactly (admission order, RNG seeds and all).
 //! * **Parallel inversion.** Per-client profile inversion (the CPU-bound
 //!   part: ISTA over the shared NDFT plan) runs on scoped worker
-//!   threads; simulation determinism is preserved by giving every
-//!   (client, epoch) its own seeded generator, so results are
-//!   independent of the thread schedule.
-//!
-//! A [`RangingService::run_epoch`] call plays one round: every client is
-//! admitted, sweeps, and is estimated; the [`EpochReport`] carries
-//! per-client outcomes plus medium utilization and cache statistics.
+//!   threads; simulation determinism is preserved by giving every sweep
+//!   its own seeded generator keyed by the client's monotonic sweep
+//!   counter, so results are independent of the thread schedule *and*
+//!   the sweep cadence (the seeding contract in [`crate::engine`]).
 
 use crate::config::ChronosConfig;
+use crate::engine::{ServiceEngine, WindowReport};
 use crate::plan::{CacheStats, PlanCache};
 use crate::session::ChronosSession;
 use crate::tracker::{ClientTracker, PositionTracker, TrackMode, TrackerConfig};
-use chronos_link::arbiter::{ArbiterConfig, MediumArbiter, SweepGrant};
-use chronos_link::sweep::SweepConfig;
+use chronos_link::arbiter::{ArbiterConfig, MediumArbiter};
 use chronos_link::time::{Duration, Instant};
-use chronos_rf::bands::Band;
 use chronos_rf::csi::MeasurementContext;
 use chronos_rf::geometry::Point;
-use chronos_rf::subset::select_subset;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::HashMap;
 use std::sync::Arc;
-
-/// Delay span scanned when scoring TRACK-subset grating ambiguity. Half
-/// the default 200 ns profile span: profiles carry *scaled* delays
-/// (scale ≥ 2), so 100 ns of physical delay covers the whole
-/// unambiguous range a subset must keep ghost-free.
-const SUBSET_AMBIGUITY_SPAN_NS: f64 = 100.0;
 
 /// What the service reports per client: a scalar distance (the paper's
 /// §3–§7 pipeline) or a full 2-D position fix (§8's multi-antenna
@@ -62,26 +55,56 @@ pub enum LocalizationMode {
     Position,
 }
 
+/// Per-client rescheduling policy of the continuous engine: how soon a
+/// client is due again after a sweep completes, derived from its tracker
+/// mode, and whether cold clients jump the admission queue.
+#[derive(Debug, Clone, Copy)]
+pub struct CadenceConfig {
+    /// Idle gap between a TRACK client's sweep completion and its next
+    /// due. Kept near zero so TRACK clients re-sweep as soon as their
+    /// subset airtime allows — the arbiter, not a barrier, paces them.
+    pub track_gap: Duration,
+    /// Idle gap for ACQUIRE clients (cold or re-acquiring tracks).
+    pub acquire_gap: Duration,
+    /// When several clients fall due at the same instant, admit ACQUIRE
+    /// clients first: a cold or broken track benefits most from the
+    /// earliest slot the arbiter can grant.
+    pub acquire_priority: bool,
+}
+
+impl Default for CadenceConfig {
+    fn default() -> Self {
+        CadenceConfig {
+            // A scheduling turnaround, not a pause: one guard interval
+            // below the arbiter's stagger so cadence never outruns it.
+            track_gap: Duration::from_millis(2),
+            acquire_gap: Duration::from_millis(2),
+            acquire_priority: true,
+        }
+    }
+}
+
 /// Service-level policy.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Airtime arbitration policy.
     pub arbiter: ArbiterConfig,
     /// Multiplier on a plan's loss-free airtime
-    /// ([`SweepConfig::expected_duration`]) when projecting its admission
-    /// window — headroom for retransmissions. With variable-length plans
-    /// a fixed projection would overcharge subset sweeps, so admission
-    /// scales with each client's actual plan.
+    /// ([`chronos_link::sweep::SweepConfig::expected_duration`]) when
+    /// projecting its admission window — headroom for retransmissions.
+    /// With variable-length plans a fixed projection would overcharge
+    /// subset sweeps, so admission scales with each client's actual plan.
     pub admission_headroom: f64,
     /// Worker threads for per-client estimation; 0 = one per available
     /// core.
     pub threads: usize,
-    /// Idle gap inserted between epochs.
+    /// Idle gap inserted between epochs (the `run_epoch` compatibility
+    /// path only; continuous windows use [`CadenceConfig`]).
     pub epoch_gap: Duration,
     /// Adaptive sweep scheduling: when set, every client gets a
     /// [`ClientTracker`] and the service schedules full ACQUIRE sweeps or
     /// TRACK-mode band subsets from its state. `None` preserves the
-    /// legacy behavior (full sweep, every client, every epoch).
+    /// legacy behavior (full sweep, every client, every round).
     pub adaptive: Option<TrackerConfig>,
     /// What the service tracks per client: scalar distance (default) or
     /// 2-D position. In [`LocalizationMode::Position`] every client gets
@@ -90,6 +113,8 @@ pub struct ServiceConfig {
     /// per-client position fixes, tracked positions and
     /// [`EpochReport::pos_rmse_m`].
     pub localization: LocalizationMode,
+    /// Continuous-mode rescheduling policy (see [`CadenceConfig`]).
+    pub cadence: CadenceConfig,
 }
 
 impl Default for ServiceConfig {
@@ -102,6 +127,7 @@ impl Default for ServiceConfig {
             epoch_gap: Duration::from_millis(5),
             adaptive: None,
             localization: LocalizationMode::Distance,
+            cadence: CadenceConfig::default(),
         }
     }
 }
@@ -127,11 +153,15 @@ impl ServiceConfig {
     }
 }
 
-/// One client's result within an epoch.
+/// One client's result within an epoch or continuous window.
 #[derive(Debug, Clone)]
 pub struct ClientOutcome {
     /// Client index within the service.
     pub client: usize,
+    /// The client's monotonic sweep ordinal (0 for its first sweep) —
+    /// also the key of the sweep's RNG stream, see the seeding contract
+    /// in [`crate::engine`].
+    pub sweep: u64,
     /// Admitted sweep start.
     pub started: Instant,
     /// Link-layer finish time.
@@ -155,15 +185,15 @@ pub struct ClientOutcome {
     /// Bands in the scheduled plan (35 for a full sweep, the subset size
     /// in TRACK mode).
     pub bands_planned: usize,
-    /// Tracker prediction for this epoch before the fix was fused,
+    /// Tracker prediction for this sweep before the fix was fused,
     /// meters (adaptive services, once the filter is seeded).
     pub predicted_m: Option<f64>,
-    /// Tracker output after fusing this epoch's fix, meters — the
+    /// Tracker output after fusing this sweep's fix, meters — the
     /// distance an adaptive deployment would report.
     pub tracked_m: Option<f64>,
     /// Absolute error of `tracked_m` against ground truth, meters.
     pub tracked_error_m: Option<f64>,
-    /// Innovation of this epoch's fix in standard deviations (adaptive
+    /// Innovation of this sweep's fix in standard deviations (adaptive
     /// services; `None` when no fix was fused).
     pub innovation_sigmas: Option<f64>,
     /// Raw 2-D position fix in the AP's frame, after mirror-candidate
@@ -178,12 +208,12 @@ pub struct ClientOutcome {
     pub truth_pos: Point,
     /// Absolute 2-D error of the raw fix, meters.
     pub pos_error_m: Option<f64>,
-    /// Position-tracker output after fusing this epoch's fix — the
+    /// Position-tracker output after fusing this sweep's fix — the
     /// position a deployment would report (position mode only).
     pub tracked_pos: Option<Point>,
     /// Absolute 2-D error of `tracked_pos` against ground truth, meters.
     pub tracked_pos_error_m: Option<f64>,
-    /// Innovation of this epoch's position fix in (Mahalanobis) standard
+    /// Innovation of this sweep's position fix in (Mahalanobis) standard
     /// deviations (position mode; `None` when no fix was fused).
     pub pos_innovation_sigmas: Option<f64>,
 }
@@ -222,18 +252,17 @@ pub struct ModeOccupancy {
     pub track: usize,
 }
 
-impl EpochReport {
-    /// Clients whose sweep produced a distance estimate.
-    pub fn completed(&self) -> usize {
-        self.outcomes
-            .iter()
-            .filter(|o| o.distance_m.is_some())
-            .count()
+/// Shared statistics over outcome slices — one implementation behind
+/// both [`EpochReport`] and [`WindowReport`].
+pub(crate) mod outcome_stats {
+    use super::{ClientOutcome, ModeOccupancy, TrackMode};
+
+    pub fn completed(outcomes: &[ClientOutcome]) -> usize {
+        outcomes.iter().filter(|o| o.distance_m.is_some()).count()
     }
 
-    /// Mean absolute ranging error over completed clients, meters.
-    pub fn mean_abs_error_m(&self) -> Option<f64> {
-        let errs: Vec<f64> = self.outcomes.iter().filter_map(|o| o.error_m).collect();
+    pub fn mean_abs_error_m(outcomes: &[ClientOutcome]) -> Option<f64> {
+        let errs: Vec<f64> = outcomes.iter().filter_map(|o| o.error_m).collect();
         if errs.is_empty() {
             None
         } else {
@@ -241,24 +270,17 @@ impl EpochReport {
         }
     }
 
-    /// Fraction of per-fix airtime the adaptive scheduler saved this
-    /// epoch versus sweeping every client's full plan: `1 −
-    /// bands_planned / bands_full_sweep` (band count is an airtime proxy
-    /// — dwell cost per band is constant, see
-    /// [`SweepConfig::expected_duration`]). Zero for a non-adaptive
-    /// service.
-    pub fn airtime_saved(&self) -> f64 {
-        if self.bands_full_sweep == 0 {
+    pub fn airtime_saved(bands_planned: usize, bands_full_sweep: usize) -> f64 {
+        if bands_full_sweep == 0 {
             0.0
         } else {
-            1.0 - self.bands_planned as f64 / self.bands_full_sweep as f64
+            1.0 - bands_planned as f64 / bands_full_sweep as f64
         }
     }
 
-    /// Clients per mode this epoch.
-    pub fn mode_occupancy(&self) -> ModeOccupancy {
+    pub fn mode_occupancy(outcomes: &[ClientOutcome]) -> ModeOccupancy {
         let mut occ = ModeOccupancy::default();
-        for o in &self.outcomes {
+        for o in outcomes {
             match o.mode {
                 TrackMode::Acquire => occ.acquire += 1,
                 TrackMode::Track => occ.track += 1,
@@ -267,24 +289,16 @@ impl EpochReport {
         occ
     }
 
-    /// Root-mean-square error of the tracker's fused outputs against
-    /// ground truth, meters. `None` for non-adaptive services or before
-    /// any filter is seeded.
-    pub fn track_rmse_m(&self) -> Option<f64> {
-        Self::rmse(self.outcomes.iter().filter_map(|o| o.tracked_error_m))
+    pub fn track_rmse_m(outcomes: &[ClientOutcome]) -> Option<f64> {
+        rmse(outcomes.iter().filter_map(|o| o.tracked_error_m))
     }
 
-    /// Root-mean-square 2-D error of the position tracker's fused outputs
-    /// against ground truth, meters. `None` outside position mode or
-    /// before any filter is seeded.
-    pub fn pos_rmse_m(&self) -> Option<f64> {
-        Self::rmse(self.outcomes.iter().filter_map(|o| o.tracked_pos_error_m))
+    pub fn pos_rmse_m(outcomes: &[ClientOutcome]) -> Option<f64> {
+        rmse(outcomes.iter().filter_map(|o| o.tracked_pos_error_m))
     }
 
-    /// Median 2-D error of the *raw* position fixes against ground truth,
-    /// meters — the paper's §12.2 localization observable, per epoch.
-    pub fn median_pos_error_m(&self) -> Option<f64> {
-        let errs: Vec<f64> = self.outcomes.iter().filter_map(|o| o.pos_error_m).collect();
+    pub fn median_pos_error_m(outcomes: &[ClientOutcome]) -> Option<f64> {
+        let errs: Vec<f64> = outcomes.iter().filter_map(|o| o.pos_error_m).collect();
         if errs.is_empty() {
             None
         } else {
@@ -299,6 +313,53 @@ impl EpochReport {
         } else {
             Some(chronos_math::stats::rms(&errs))
         }
+    }
+}
+
+impl EpochReport {
+    /// Clients whose sweep produced a distance estimate.
+    pub fn completed(&self) -> usize {
+        outcome_stats::completed(&self.outcomes)
+    }
+
+    /// Mean absolute ranging error over completed clients, meters.
+    pub fn mean_abs_error_m(&self) -> Option<f64> {
+        outcome_stats::mean_abs_error_m(&self.outcomes)
+    }
+
+    /// Fraction of per-fix airtime the adaptive scheduler saved this
+    /// epoch versus sweeping every client's full plan: `1 −
+    /// bands_planned / bands_full_sweep` (band count is an airtime proxy
+    /// — dwell cost per band is constant, see
+    /// [`chronos_link::sweep::SweepConfig::expected_duration`]). Zero
+    /// for a non-adaptive service.
+    pub fn airtime_saved(&self) -> f64 {
+        outcome_stats::airtime_saved(self.bands_planned, self.bands_full_sweep)
+    }
+
+    /// Clients per mode this epoch.
+    pub fn mode_occupancy(&self) -> ModeOccupancy {
+        outcome_stats::mode_occupancy(&self.outcomes)
+    }
+
+    /// Root-mean-square error of the tracker's fused outputs against
+    /// ground truth, meters. `None` for non-adaptive services or before
+    /// any filter is seeded.
+    pub fn track_rmse_m(&self) -> Option<f64> {
+        outcome_stats::track_rmse_m(&self.outcomes)
+    }
+
+    /// Root-mean-square 2-D error of the position tracker's fused outputs
+    /// against ground truth, meters. `None` outside position mode or
+    /// before any filter is seeded.
+    pub fn pos_rmse_m(&self) -> Option<f64> {
+        outcome_stats::pos_rmse_m(&self.outcomes)
+    }
+
+    /// Median 2-D error of the *raw* position fixes against ground truth,
+    /// meters — the paper's §12.2 localization observable, per epoch.
+    pub fn median_pos_error_m(&self) -> Option<f64> {
+        outcome_stats::median_pos_error_m(&self.outcomes)
     }
 
     /// Localization throughput over simulated airtime: completed sweeps
@@ -315,20 +376,17 @@ impl EpochReport {
 }
 
 /// A pool of [`ChronosSession`]s sharing one [`PlanCache`] and one
-/// arbitrated medium.
+/// arbitrated medium — the public facade over the event-driven
+/// [`ServiceEngine`].
+///
+/// [`RangingService::run_epoch`] plays one legacy lock-step round (every
+/// client sweeps exactly once); [`RangingService::run_until`] runs the
+/// continuous engine to a deadline, letting every client advance at its
+/// own cadence. Both may be mixed on one service instance: the engine's
+/// clock and the per-client trackers are shared.
 #[derive(Debug)]
 pub struct RangingService {
-    cfg: ServiceConfig,
-    plans: Arc<PlanCache>,
-    clients: Vec<ChronosSession>,
-    trackers: Vec<Option<ClientTracker>>,
-    pos_trackers: Vec<Option<PositionTracker>>,
-    /// TRACK subsets, memoized per (full-plan channels, subset size) —
-    /// [`select_subset`] is pure, so every client on the standard plan
-    /// shares one entry (and hence one cached NDFT plan downstream).
-    subsets: HashMap<(Vec<u16>, usize), Arc<Vec<Band>>>,
-    arbiter: MediumArbiter,
-    clock: Instant,
+    engine: ServiceEngine,
     epoch: u64,
 }
 
@@ -341,319 +399,138 @@ impl RangingService {
     /// Creates a service that shares an existing plan cache (e.g. one
     /// warmed by another service instance or process stage).
     pub fn with_cache(cfg: ServiceConfig, plans: Arc<PlanCache>) -> Self {
-        let arbiter = MediumArbiter::new(cfg.arbiter);
         RangingService {
-            cfg,
-            plans,
-            clients: Vec::new(),
-            trackers: Vec::new(),
-            pos_trackers: Vec::new(),
-            subsets: HashMap::new(),
-            arbiter,
-            clock: Instant::ZERO,
+            engine: ServiceEngine::with_cache(cfg, plans),
             epoch: 0,
         }
     }
 
+    /// The underlying continuous engine.
+    pub fn engine(&self) -> &ServiceEngine {
+        &self.engine
+    }
+
     /// The shared plan cache.
     pub fn plans(&self) -> &Arc<PlanCache> {
-        &self.plans
+        self.engine.plans()
     }
 
     /// The service's policy.
     pub fn config(&self) -> &ServiceConfig {
-        &self.cfg
+        self.engine.config()
+    }
+
+    /// The airtime arbiter (admission windows and the single-charge
+    /// `total_tracked_airtime` accounting).
+    pub fn arbiter(&self) -> &MediumArbiter {
+        self.engine.arbiter()
+    }
+
+    /// The service's virtual clock.
+    pub fn clock(&self) -> Instant {
+        self.engine.clock()
     }
 
     /// Adds a client from its physical measurement context; returns its
     /// index. The client's session borrows the service's plan cache.
     pub fn add_client(&mut self, ctx: MeasurementContext, config: ChronosConfig) -> usize {
-        let session = ChronosSession::with_cache(ctx, config, Arc::clone(&self.plans));
-        self.add_session(session)
+        self.engine.join(ctx, config)
+    }
+
+    /// Adds a client with a per-client tracker policy overriding the
+    /// service-wide [`ServiceConfig::adaptive`] setting (e.g. pin a
+    /// client in ACQUIRE with `acquire_fixes: usize::MAX`).
+    pub fn add_client_with_tracker(
+        &mut self,
+        ctx: MeasurementContext,
+        config: ChronosConfig,
+        tracker: TrackerConfig,
+    ) -> usize {
+        self.engine.join_with_tracker(ctx, config, tracker)
     }
 
     /// Adopts an existing session as a client (its plan cache is replaced
     /// by the service's shared one).
-    pub fn add_session(&mut self, mut session: ChronosSession) -> usize {
-        session.plans = Some(Arc::clone(&self.plans));
-        self.clients.push(session);
-        match self.cfg.localization {
-            LocalizationMode::Distance => {
-                self.trackers
-                    .push(self.cfg.adaptive.map(ClientTracker::new));
-                self.pos_trackers.push(None);
-            }
-            LocalizationMode::Position => {
-                // Position mode always fuses through a tracker; `adaptive`
-                // only decides whether its mode machine drives band-subset
-                // scheduling.
-                self.trackers.push(None);
-                self.pos_trackers.push(Some(PositionTracker::new(
-                    self.cfg.adaptive.unwrap_or_default(),
-                )));
-            }
-        }
-        self.clients.len() - 1
+    pub fn add_session(&mut self, session: ChronosSession) -> usize {
+        self.engine.join_session(session)
+    }
+
+    /// Deactivates a client. Its index stays valid (never reused); a
+    /// sweep already in the air completes and is reported, but nothing
+    /// further is scheduled for it. Returns whether the client was
+    /// active.
+    pub fn remove_client(&mut self, idx: usize) -> bool {
+        self.engine.leave(idx)
+    }
+
+    /// Whether a client currently participates in scheduling.
+    pub fn is_active(&self, idx: usize) -> bool {
+        self.engine.is_active(idx)
     }
 
     /// A client's tracker (adaptive distance-mode services only).
     pub fn tracker(&self, idx: usize) -> Option<&ClientTracker> {
-        self.trackers.get(idx).and_then(|t| t.as_ref())
+        self.engine.tracker(idx)
     }
 
     /// A client's position tracker (position-mode services only).
     pub fn position_tracker(&self, idx: usize) -> Option<&PositionTracker> {
-        self.pos_trackers.get(idx).and_then(|t| t.as_ref())
+        self.engine.position_tracker(idx)
     }
 
-    /// Number of clients.
+    /// Number of client slots ever created (indices run
+    /// `0..n_clients()`; departed clients keep their slot).
     pub fn n_clients(&self) -> usize {
-        self.clients.len()
+        self.engine.n_slots()
+    }
+
+    /// Currently active clients.
+    pub fn n_active(&self) -> usize {
+        self.engine.n_active()
     }
 
     /// Immutable access to a client session.
     pub fn client(&self, idx: usize) -> &ChronosSession {
-        &self.clients[idx]
+        self.engine.session(idx)
     }
 
     /// Mutable access to a client session (geometry updates, config
-    /// tweaks between epochs).
+    /// tweaks between rounds).
     pub fn client_mut(&mut self, idx: usize) -> &mut ChronosSession {
-        &mut self.clients[idx]
+        self.engine.session_mut(idx)
     }
 
     /// Calibrates every client at its current (known) geometry with `n`
     /// sweeps each (paper §7 obs. 2). Sequential: calibration is a
     /// one-time setup step.
     pub fn calibrate_all(&mut self, seed: u64, n: usize) {
-        for (i, session) in self.clients.iter_mut().enumerate() {
-            let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0, i));
-            session.calibrate(&mut rng, n);
-        }
+        self.engine.calibrate_all(seed, n);
     }
 
-    /// Worker-thread count for this run.
-    fn thread_count(&self) -> usize {
-        if self.cfg.threads > 0 {
-            self.cfg.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        }
-        .max(1)
-    }
-
-    /// The TRACK-mode subset for one client's full plan, memoized.
+    /// Runs one legacy epoch round on the engine: every active client is
+    /// scheduled once at the current clock (admission in client order),
+    /// sweeps run on the worker pool, fixes fuse into the trackers, and
+    /// the clock advances past the round's horizon plus the epoch gap.
     ///
-    /// Subsets are drawn from the plan's 5 GHz members: they share one
-    /// delay scale (so the estimator inverts a single coherent group)
-    /// and avoid the 2.4 ↔ 5 GHz gap, whose extreme spacing contributes
-    /// ambiguity rather than aperture. Plans without enough 5 GHz bands
-    /// fall back to selecting over the whole plan.
-    fn track_subset(&mut self, client: usize, k: usize) -> Arc<Vec<Band>> {
-        let full = &self.clients[client].sweep_cfg.plan;
-        let key: (Vec<u16>, usize) = (full.iter().map(|b| b.channel).collect(), k);
-        if let Some(s) = self.subsets.get(&key) {
-            return Arc::clone(s);
-        }
-        let pool: Vec<Band> = full.iter().filter(|b| !b.group.is_2g4()).cloned().collect();
-        let pool = if pool.len() >= k.max(5) {
-            pool
-        } else {
-            full.clone()
-        };
-        let sub = Arc::new(select_subset(&pool, k, SUBSET_AMBIGUITY_SPAN_NS));
-        self.subsets.insert(key, Arc::clone(&sub));
-        sub
-    }
-
-    /// Runs one epoch: schedule each client's plan from its tracker
-    /// state (full plan when non-adaptive or ACQUIREing, a band subset
-    /// in TRACK), admit the sweeps through the arbiter with
-    /// plan-proportional airtime projections, run them (estimation
-    /// parallelized across worker threads), fuse the fixes into the
-    /// trackers, then advance the service clock past the epoch horizon.
+    /// This is a thin compatibility wrapper over the continuous engine —
+    /// because every client sweeps exactly once per round, the per-client
+    /// sweep ordinals coincide with the legacy global epoch index and the
+    /// wrapper reproduces pre-engine outcomes exactly (asserted by
+    /// `tests/engine.rs`).
     pub fn run_epoch(&mut self, seed: u64) -> EpochReport {
-        let epoch_start = self.clock;
         let epoch = self.epoch;
         self.epoch += 1;
-
-        // Scheduling + admission (deterministic order = client order).
-        struct Job {
-            client: usize,
-            grant: SweepGrant,
-            sweep_cfg: SweepConfig,
-            rng_seed: u64,
-            mode: TrackMode,
-        }
-        let mut jobs: Vec<Job> = Vec::with_capacity(self.clients.len());
-        let mut bands_planned = 0usize;
-        let mut bands_full_sweep = 0usize;
-        for i in 0..self.clients.len() {
-            let mut sweep_cfg = self.clients[i].sweep_cfg.clone();
-            bands_full_sweep += sweep_cfg.plan.len();
-            let (mode, requested) = if let Some(t) = &self.pos_trackers[i] {
-                // A non-adaptive position service still fuses fixes, but
-                // always sweeps the full plan — and reports the sweep it
-                // actually issues (ACQUIRE-class), not the fusion
-                // machine's internal mode.
-                if self.cfg.adaptive.is_some() {
-                    (t.mode(), t.requested_bands())
-                } else {
-                    (TrackMode::Acquire, None)
-                }
-            } else if let Some(t) = &self.trackers[i] {
-                (t.mode(), t.requested_bands())
-            } else {
-                (TrackMode::Acquire, None)
-            };
-            if let Some(k) = requested {
-                sweep_cfg.plan = self.track_subset(i, k).as_ref().clone();
-            }
-            bands_planned += sweep_cfg.plan.len();
-            let expected = sweep_cfg
-                .expected_duration()
-                .mul_f64(self.cfg.admission_headroom.max(1.0));
-            let grant = self.arbiter.admit(epoch_start, expected);
-            sweep_cfg.medium.loss_prob = (sweep_cfg.medium.loss_prob + grant.extra_loss).min(0.9);
-            jobs.push(Job {
-                client: i,
-                grant,
-                sweep_cfg,
-                rng_seed: mix_seed(seed, epoch + 1, i),
-                mode,
-            });
-        }
-
-        // Parallel sweep + estimation. Each job owns its RNG; the thread
-        // schedule cannot change any result.
-        let wall_start = std::time::Instant::now();
-        let n_threads = self.thread_count();
-        let chunk = jobs.len().div_ceil(n_threads).max(1);
-        let clients = &self.clients;
-        let mut results: Vec<(usize, SweepGrant, crate::session::SweepOutput)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = jobs
-                    .chunks(chunk)
-                    .map(|slice| {
-                        scope.spawn(move || {
-                            slice
-                                .iter()
-                                .map(|job| {
-                                    let mut rng = StdRng::seed_from_u64(job.rng_seed);
-                                    let out = clients[job.client].sweep_with(
-                                        &job.sweep_cfg,
-                                        &mut rng,
-                                        job.grant.start,
-                                    );
-                                    (job.client, job.grant, out)
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("service worker panicked"))
-                    .collect()
-            });
-        let wall = wall_start.elapsed();
-        results.sort_by_key(|(client, _, _)| *client);
-
-        // Feed actual finish times back into the arbiter, fuse fixes
-        // into the trackers (sequentially, in client order — tracker
-        // state stays schedule-independent), then build the report.
-        let mut outcomes = Vec::with_capacity(results.len());
-        for (client, grant, out) in &results {
-            self.arbiter.complete(grant.token, out.link.finished);
-            let truth_m = self.clients[*client].truth_distance_m();
-            let distance_m = out.mean_distance_m();
-            let job = &jobs[*client];
-            let (predicted_m, tracked_m, innovation_sigmas) = match &mut self.trackers[*client] {
-                Some(tracker) => {
-                    let upd = tracker.observe(out.link.started, distance_m, out.link.complete);
-                    (
-                        upd.predicted_m,
-                        upd.fused_m,
-                        upd.innovation.map(|i| i.sigmas()),
-                    )
-                }
-                None => (None, None, None),
-            };
-            let truth_pos = {
-                let ctx = &self.clients[*client].ctx;
-                ctx.initiator_pos.sub(ctx.responder_pos)
-            };
-            let (position, pos_residual_m, pos_antennas, tracked_pos, pos_innovation_sigmas) =
-                match &mut self.pos_trackers[*client] {
-                    Some(tracker) => {
-                        let resolved = tracker.resolve(&out.position_candidates);
-                        let fix = resolved.map(|p| p.point);
-                        let upd = tracker.observe(out.link.started, fix, out.link.complete);
-                        (
-                            fix,
-                            resolved.map(|p| p.residual_m),
-                            resolved.map(|p| p.n_used),
-                            upd.fused,
-                            upd.innovation.map(|i| i.sigmas()),
-                        )
-                    }
-                    None => (None, None, None, None, None),
-                };
-            outcomes.push(ClientOutcome {
-                client: *client,
-                started: out.link.started,
-                finished: out.link.finished,
-                concurrent: grant.concurrent,
-                extra_loss: grant.extra_loss,
-                link_complete: out.link.complete,
-                distance_m,
-                truth_m,
-                error_m: distance_m.map(|d| (d - truth_m).abs()),
-                mode: job.mode,
-                bands_planned: job.sweep_cfg.plan.len(),
-                predicted_m,
-                tracked_m,
-                tracked_error_m: tracked_m.map(|d| (d - truth_m).abs()),
-                innovation_sigmas,
-                position,
-                pos_residual_m,
-                pos_antennas,
-                truth_pos,
-                pos_error_m: position.map(|p| p.dist(truth_pos)),
-                tracked_pos,
-                tracked_pos_error_m: tracked_pos.map(|p| p.dist(truth_pos)),
-                pos_innovation_sigmas,
-            });
-        }
-
-        let horizon = self.arbiter.horizon().max(epoch_start);
-        let airtime_span = horizon.saturating_since(epoch_start);
-        let utilization = self.arbiter.utilization(epoch_start, horizon);
-        self.clock = horizon + self.cfg.epoch_gap;
-        self.arbiter.release_before(self.clock);
-
-        EpochReport {
-            epoch,
-            started: epoch_start,
-            airtime_span,
-            utilization,
-            outcomes,
-            wall,
-            cache: self.plans.stats(),
-            bands_planned,
-            bands_full_sweep,
-        }
+        self.engine.run_epoch_window(seed, epoch)
     }
-}
 
-/// Mixes (seed, epoch, client) into an independent RNG stream.
-fn mix_seed(seed: u64, epoch: u64, client: usize) -> u64 {
-    let mut x = seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    x ^= (client as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
+    /// Runs the continuous engine until `deadline`: every client
+    /// re-sweeps at its own tracker-derived cadence (TRACK clients as
+    /// soon as their subset airtime allows, ACQUIRE clients with
+    /// priority admission) and the window's completed sweeps are
+    /// reported. See [`crate::engine`] for the event lifecycle.
+    pub fn run_until(&mut self, seed: u64, deadline: Instant) -> WindowReport {
+        self.engine.run_until(seed, deadline)
+    }
 }
 
 #[cfg(test)]
@@ -675,13 +552,17 @@ mod tests {
         ctx
     }
 
-    fn service_with(n: usize) -> RangingService {
-        let mut svc = RangingService::new(ServiceConfig::default());
+    fn service_with_cfg(n: usize, cfg: ServiceConfig) -> RangingService {
+        let mut svc = RangingService::new(cfg);
         for i in 0..n {
             let id = svc.add_client(ideal_ctx(2.0 + i as f64), ChronosConfig::ideal());
             svc.client_mut(id).sweep_cfg.medium.loss_prob = 0.0;
         }
         svc
+    }
+
+    fn service_with(n: usize) -> RangingService {
+        service_with_cfg(n, ServiceConfig::default())
     }
 
     #[test]
@@ -691,6 +572,7 @@ mod tests {
         assert_eq!(report.outcomes.len(), 3);
         for (i, o) in report.outcomes.iter().enumerate() {
             assert_eq!(o.client, i);
+            assert_eq!(o.sweep, 0, "first sweep ordinal");
             let err = o.error_m.expect("estimate");
             assert!(err < 0.3, "client {i} error {err}");
         }
@@ -716,11 +598,11 @@ mod tests {
     #[test]
     fn results_independent_of_thread_count() {
         let run = |threads: usize| {
-            let mut svc = service_with(4);
-            svc.cfg = ServiceConfig {
+            let cfg = ServiceConfig {
                 threads,
                 ..Default::default()
             };
+            let mut svc = service_with_cfg(4, cfg);
             let r = svc.run_epoch(3);
             r.outcomes
                 .iter()
@@ -822,5 +704,22 @@ mod tests {
         assert!(report.outcomes.iter().any(|o| o.concurrent > 0));
         assert!(report.outcomes.iter().any(|o| o.extra_loss > 0.0));
         assert!(report.airtime_span > Duration::from_millis(80));
+    }
+
+    #[test]
+    fn removed_client_skips_later_epochs() {
+        let mut svc = service_with(3);
+        let first = svc.run_epoch(21);
+        assert_eq!(first.outcomes.len(), 3);
+        assert!(svc.remove_client(1));
+        assert!(!svc.remove_client(1), "double-remove reports inactive");
+        assert!(!svc.is_active(1));
+        assert_eq!(svc.n_clients(), 3, "slot indices stay valid");
+        assert_eq!(svc.n_active(), 2);
+        let second = svc.run_epoch(22);
+        let clients: Vec<usize> = second.outcomes.iter().map(|o| o.client).collect();
+        assert_eq!(clients, vec![0, 2]);
+        // Remaining clients' sweep ordinals keep advancing.
+        assert!(second.outcomes.iter().all(|o| o.sweep == 1));
     }
 }

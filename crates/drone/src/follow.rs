@@ -13,6 +13,7 @@ use crate::controller::{ControllerConfig, DistanceController};
 use crate::dynamics::Quadrotor;
 use crate::trajectory::WalkTrajectory;
 use chronos_core::config::ChronosConfig;
+use chronos_core::service::{RangingService, ServiceConfig};
 use chronos_core::session::ChronosSession;
 use chronos_core::tracker::{ClientTracker, PositionTracker, TrackerConfig};
 use chronos_link::time::Instant;
@@ -39,6 +40,14 @@ pub enum FollowSource {
     /// controller holds the *range to the fix*. Opens §8's localization
     /// as the control observable (§12.4's endgame).
     Position,
+    /// Distances come from the **continuous event-driven engine**
+    /// ([`RangingService::run_until`]): the drone-side radio ranges the
+    /// user at the engine's own tracker-derived cadence — a full
+    /// ACQUIRE sweep to converge, then TRACK-mode subset sweeps that
+    /// deliver 2–3 fixes per 84 ms control tick instead of one — and
+    /// each tick the controller consumes the tracker's latest fused
+    /// distance.
+    Continuous,
 }
 
 /// Follow-simulation settings.
@@ -116,6 +125,10 @@ pub struct FollowRecord {
     /// Mirror-resolved 2-D position fix of the user in the drone's frame
     /// ([`FollowSource::Position`] only).
     pub position_fix: Option<Point>,
+    /// Completed ranging sweeps during this control tick: one for the
+    /// tick-locked sources, 2–3 in steady state for
+    /// [`FollowSource::Continuous`] (subset sweeps outpace the tick).
+    pub sweeps_in_tick: usize,
 }
 
 /// The closed-loop simulation.
@@ -128,6 +141,12 @@ pub struct FollowSim {
     controller: DistanceController,
     dist_tracker: Option<ClientTracker>,
     pos_tracker: Option<PositionTracker>,
+    /// One-client continuous ranging service
+    /// ([`FollowSource::Continuous`] only; built in `run()` after
+    /// calibration so the engine adopts the calibrated session).
+    service: Option<RangingService>,
+    /// Seed for the engine's per-sweep RNG streams.
+    seed: u64,
 }
 
 impl FollowSim {
@@ -164,6 +183,8 @@ impl FollowSim {
             controller,
             dist_tracker,
             pos_tracker,
+            service: None,
+            seed,
         }
     }
 
@@ -177,6 +198,14 @@ impl FollowSim {
             self.session.ctx.responder_pos = self.drone.position;
             self.session.calibrate(rng, self.cfg.calibration_sweeps);
         }
+        if self.cfg.source == FollowSource::Continuous {
+            // The continuous engine adopts the calibrated session; the
+            // drone-side radio then sweeps at the engine's own cadence
+            // rather than once per control tick.
+            let mut svc = RangingService::new(ServiceConfig::adaptive(self.cfg.tracker));
+            svc.add_session(self.session.clone());
+            self.service = Some(svc);
+        }
 
         let mut records = Vec::with_capacity(self.cfg.ticks);
         for tick in 0..self.cfg.ticks {
@@ -184,39 +213,65 @@ impl FollowSim {
             // User walks during the tick.
             let user_pos = self.user.step(self.cfg.tick_s);
 
-            // Geometry update, then one Chronos sweep.
-            self.session.ctx.initiator_pos = user_pos;
-            self.session.ctx.responder_pos = self.drone.position;
-            let out = self.session.sweep(rng, Instant::from_secs_f64(t_s));
-            let measured = out.mean_distance_m();
+            let measured;
+            let sweeps_in_tick;
             let mut tracked = None;
             let mut position_fix = None;
-            match self.cfg.source {
-                FollowSource::RawDistance => {
-                    if let Some(d) = measured {
-                        self.controller.observe(d);
+            if self.cfg.source == FollowSource::Continuous {
+                // Geometry update, then run the engine through the tick:
+                // it admits as many sweeps as the airtime allows (one
+                // ACQUIRE, or 2–3 TRACK subsets) and fuses every fix.
+                let svc = self.service.as_mut().expect("continuous service");
+                {
+                    let s = svc.client_mut(0);
+                    s.ctx.initiator_pos = user_pos;
+                    s.ctx.responder_pos = self.drone.position;
+                }
+                let w = svc.run_until(
+                    self.seed ^ 0xD05E_F011,
+                    Instant::from_secs_f64(t_s + self.cfg.tick_s),
+                );
+                sweeps_in_tick = w.completed();
+                measured = w.outcomes.iter().rev().find_map(|o| o.distance_m);
+                tracked = svc.tracker(0).and_then(|t| t.filter().predicted_distance());
+            } else {
+                // Geometry update, then one tick-locked Chronos sweep.
+                self.session.ctx.initiator_pos = user_pos;
+                self.session.ctx.responder_pos = self.drone.position;
+                let out = self.session.sweep(rng, Instant::from_secs_f64(t_s));
+                measured = out.mean_distance_m();
+                sweeps_in_tick = usize::from(measured.is_some());
+                match self.cfg.source {
+                    FollowSource::RawDistance => {
+                        if let Some(d) = measured {
+                            self.controller.observe(d);
+                        }
                     }
-                }
-                FollowSource::TrackedDistance => {
-                    let tracker = self.dist_tracker.as_mut().expect("tracked source");
-                    let upd =
-                        tracker.observe(Instant::from_secs_f64(t_s), measured, out.link.complete);
-                    tracked = upd.fused_m;
-                }
-                FollowSource::Position => {
-                    // The user's position in the drone's frame: per-antenna
-                    // ToF circles intersected, mirror resolved against the
-                    // tracker's motion prior. The controller holds the
-                    // range to the fused fix.
-                    let tracker = self.pos_tracker.as_mut().expect("position source");
-                    let resolved = tracker.resolve(&out.position_candidates);
-                    position_fix = resolved.map(|p| p.point);
-                    let upd = tracker.observe(
-                        Instant::from_secs_f64(t_s),
-                        position_fix,
-                        out.link.complete,
-                    );
-                    tracked = upd.fused.map(Point::norm);
+                    FollowSource::TrackedDistance => {
+                        let tracker = self.dist_tracker.as_mut().expect("tracked source");
+                        let upd = tracker.observe(
+                            Instant::from_secs_f64(t_s),
+                            measured,
+                            out.link.complete,
+                        );
+                        tracked = upd.fused_m;
+                    }
+                    FollowSource::Position => {
+                        // The user's position in the drone's frame:
+                        // per-antenna ToF circles intersected, mirror
+                        // resolved against the tracker's motion prior.
+                        // The controller holds the range to the fused fix.
+                        let tracker = self.pos_tracker.as_mut().expect("position source");
+                        let resolved = tracker.resolve(&out.position_candidates);
+                        position_fix = resolved.map(|p| p.point);
+                        let upd = tracker.observe(
+                            Instant::from_secs_f64(t_s),
+                            position_fix,
+                            out.link.complete,
+                        );
+                        tracked = upd.fused.map(Point::norm);
+                    }
+                    FollowSource::Continuous => unreachable!("handled above"),
                 }
             }
             match (self.cfg.source, tracked) {
@@ -248,6 +303,7 @@ impl FollowSim {
                 smoothed_distance_m: self.controller.smoothed_distance(),
                 tracked_distance_m: tracked,
                 position_fix,
+                sweeps_in_tick,
             });
         }
         records
@@ -353,6 +409,27 @@ mod tests {
     }
 
     #[test]
+    fn continuous_source_outpaces_the_tick_and_converges() {
+        let mut cfg = quick_cfg(60);
+        cfg.source = FollowSource::Continuous;
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut sim = FollowSim::new(&mut rng, cfg, 4);
+        let records = sim.run(&mut rng);
+        // Once the engine's tracker promotes to TRACK, subset sweeps
+        // outpace the 84 ms control tick: several fixes per tick.
+        let busy_ticks = records.iter().filter(|r| r.sweeps_in_tick >= 2).count();
+        assert!(busy_ticks >= 20, "only {busy_ticks} multi-sweep ticks");
+        let fed = records
+            .iter()
+            .filter(|r| r.tracked_distance_m.is_some())
+            .count();
+        assert!(fed > 40, "engine tracker fed only {fed} ticks");
+        let late = FollowSim::deviations(&records, 1.4, 40);
+        let late_med = chronos_math::stats::median(&late);
+        assert!(late_med < 0.35, "late deviation {late_med}");
+    }
+
+    #[test]
     fn records_have_consistent_truth() {
         let mut rng = StdRng::seed_from_u64(12);
         let mut sim = FollowSim::new(&mut rng, quick_cfg(10), 3);
@@ -374,6 +451,7 @@ mod tests {
                 smoothed_distance_m: None,
                 tracked_distance_m: None,
                 position_fix: None,
+                sweeps_in_tick: 0,
             },
             FollowRecord {
                 t_s: 0.1,
@@ -384,6 +462,7 @@ mod tests {
                 smoothed_distance_m: None,
                 tracked_distance_m: None,
                 position_fix: None,
+                sweeps_in_tick: 0,
             },
         ];
         let d = FollowSim::deviations(&records, 1.4, 1);

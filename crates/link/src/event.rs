@@ -89,7 +89,9 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Fire time of the next event, if any.
+    /// Fire time of the next event, if any — lets callers batch
+    /// consecutive same-instant events (e.g. simultaneous sweep
+    /// admissions) without popping blind.
     pub fn peek_time(&self) -> Option<Instant> {
         self.heap.peek().map(|Reverse(e)| e.at)
     }
@@ -151,6 +153,8 @@ mod tests {
         q.schedule(Instant::from_millis(1), 1);
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(Instant::from_millis(1)));
+        // Peeking does not consume.
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

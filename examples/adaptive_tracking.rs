@@ -17,10 +17,16 @@
 //! subset ratio, which is capacity the AP can spend on more clients
 //! (see `docs/TRACKING.md` and `cargo bench -p chronos-bench --bench
 //! bench_service`).
+//!
+//! The demo finishes with a window of **continuous** operation
+//! (`run_until`, see `docs/SCHEDULING.md`): the epoch barrier is gone,
+//! every TRACK client re-sweeps as soon as its subset airtime allows,
+//! and the same half second of airtime yields several fixes per client.
 
 use chronos_suite::core::config::ChronosConfig;
 use chronos_suite::core::service::{RangingService, ServiceConfig};
 use chronos_suite::core::tracker::{TrackMode, TrackerConfig};
+use chronos_suite::link::time::Duration;
 use chronos_suite::rf::csi::MeasurementContext;
 use chronos_suite::rf::environment::Environment;
 use chronos_suite::rf::geometry::Point;
@@ -103,4 +109,34 @@ fn main() {
     let mode = service.tracker(jumper).map(|t| t.mode());
     println!("jumper: back in {mode:?} after re-acquisition");
     assert_eq!(mode, Some(TrackMode::Track));
+
+    // Continuous mode: half a second of event-driven operation. Every
+    // client is in TRACK by now, so subset sweeps pack the medium
+    // back-to-back — no barrier, no idling.
+    let window = service.run_until(9000, service.clock() + Duration::from_millis(500));
+    println!(
+        "\ncontinuous window ({}): {} sweeps ({:.1}/s, utilization {:.0}%), airtime saved {:.0}%",
+        window.span(),
+        window.completed(),
+        window.sweeps_per_sec(),
+        100.0 * window.utilization,
+        100.0 * window.airtime_saved(),
+    );
+    for c in 0..service.n_clients() {
+        let n = window.outcomes.iter().filter(|o| o.client == c).count();
+        let err = service
+            .tracker(c)
+            .and_then(|t| t.filter().predicted_distance())
+            .map(|d| (d - service.client(c).truth_distance_m()).abs());
+        println!(
+            "  client {c}: {n} sweeps this window, tracked error {}",
+            err.map(|e| format!("{e:.3} m"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    let per_client = window.completed() / service.n_clients();
+    assert!(
+        per_client >= 3,
+        "continuous engine should fit several subset sweeps per client, got {per_client}"
+    );
 }

@@ -11,9 +11,13 @@
 //! first sweep, and reused by everyone) and contend for airtime through
 //! the `MediumArbiter` (staggered starts, bounded concurrency, collision
 //! loss). Estimation runs on scoped worker threads — one per core.
+//! After the epoch rounds, the demo plays a window of **continuous**
+//! event-driven operation (`run_until`, `docs/SCHEDULING.md`) with a
+//! client leaving mid-run.
 
 use chronos_suite::core::config::ChronosConfig;
 use chronos_suite::core::service::{RangingService, ServiceConfig};
+use chronos_suite::link::time::Duration;
 use chronos_suite::rf::csi::MeasurementContext;
 use chronos_suite::rf::environment::Environment;
 use chronos_suite::rf::geometry::Point;
@@ -82,4 +86,19 @@ fn main() {
         stats.spline_entries,
         100.0 * stats.hit_rate(),
     );
+
+    // Continuous operation: no epoch barrier — every client re-sweeps as
+    // soon as the arbiter grants airtime, and churn is an ordinary event.
+    service.remove_client(0);
+    let window = service.run_until(2000, service.clock() + Duration::from_millis(300));
+    println!(
+        "continuous window ({}): {} sweeps from {} active clients \
+         ({:.1} sweeps/s, medium {:.0}% utilized; client 0 left mid-run)",
+        window.span(),
+        window.completed(),
+        service.n_active(),
+        window.sweeps_per_sec(),
+        100.0 * window.utilization,
+    );
+    assert!(window.outcomes.iter().all(|o| o.client != 0));
 }

@@ -3,7 +3,9 @@
 //! gracefully (bounded, reported), and the whole pipeline must be
 //! deterministic epoch over epoch.
 
-use chronos_bench::position::{run_position, PositionRun, PositionScenarioConfig};
+use chronos_bench::position::{
+    run_position, run_position_continuous, PositionRun, PositionScenarioConfig,
+};
 use chronos_suite::core::config::ChronosConfig;
 use chronos_suite::core::service::{LocalizationMode, RangingService, ServiceConfig};
 use chronos_suite::core::tracker::{PositionTracker, TrackerConfig};
@@ -43,6 +45,23 @@ fn nlos_walker_degrades_gracefully() {
         "NLOS median {} m",
         run.median_err_m()
     );
+}
+
+#[test]
+fn continuous_engine_serves_more_position_fixes_at_same_accuracy() {
+    // The same LOS walk driven by run_until windows instead of epoch
+    // rounds: once the tracker promotes, subset sweeps deliver several
+    // fixes per ~100 ms window, and fix quality stays sub-meter.
+    let cfg = PositionScenarioConfig::los(61, 8);
+    let run = run_position_continuous(&cfg, Duration::from_millis(100));
+    assert!(
+        run.sweeps() > cfg.epochs + 4,
+        "continuous run produced only {} sweeps over {} windows",
+        run.sweeps(),
+        cfg.epochs
+    );
+    let median = run.median_err_m();
+    assert!(median < 1.0, "continuous LOS median 2-D error {median} m");
 }
 
 #[test]

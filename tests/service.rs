@@ -178,6 +178,36 @@ fn cached_session_sweep_is_bitwise_identical() {
     }
 }
 
+/// Continuous windows go through the same shared-plan hot path as epoch
+/// rounds: accuracy per sweep stays in the lone-session regime and the
+/// plan cache stays warm across windows (no plans are ever rebuilt).
+#[test]
+fn continuous_windows_reuse_plans_and_preserve_accuracy() {
+    use chronos_suite::link::time::Duration;
+    let mut svc = RangingService::new(ServiceConfig::default());
+    for d in [3.0, 5.5] {
+        let id = svc.add_client(ideal_ctx(d), ChronosConfig::ideal());
+        svc.client_mut(id).sweep_cfg.medium.loss_prob = 0.0;
+    }
+    let first = svc.run_until(51, svc.clock() + Duration::from_millis(250));
+    assert!(first.completed() >= 4, "only {} sweeps", first.completed());
+    let second = svc.run_until(51, svc.clock() + Duration::from_millis(250));
+    assert_eq!(
+        second.cache.misses, first.cache.misses,
+        "cache went cold across windows"
+    );
+    assert!(second.cache.hits > first.cache.hits);
+    for o in first.outcomes.iter().chain(second.outcomes.iter()) {
+        let err = o.error_m.expect("estimate");
+        assert!(
+            err < 0.15,
+            "client {} sweep {} error {err}",
+            o.client,
+            o.sweep
+        );
+    }
+}
+
 /// The service's per-epoch results are reproducible and improve in cache
 /// hit rate as epochs accumulate.
 #[test]
