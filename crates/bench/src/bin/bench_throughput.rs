@@ -1,35 +1,36 @@
-//! The position-tracking benchmark and its CI regression gate.
+//! The sweep-pipeline throughput benchmark and its CI regression gate.
 //!
 //! ```sh
 //! # Regenerate the checked-in baseline (CI gates a --quick run, so the
-//! # baseline must be a --quick run too — epoch-count mismatches fail
-//! # the gate explicitly):
-//! cargo run --release -p chronos-bench --bin bench_position -- --quick
+//! # baseline must be a --quick run too — parameter mismatches fail the
+//! # gate explicitly):
+//! cargo run --release -p chronos-bench --bin bench_throughput -- --quick
 //!
 //! # Gate mode (what scripts/check-bench-regression.sh runs in CI):
-//! cargo run --release -p chronos-bench --bin bench_position -- \
-//!     --quick --check BENCH_position.json --tolerance 0.20
+//! cargo run --release -p chronos-bench --bin bench_throughput -- \
+//!     --quick --check BENCH_throughput.json --tolerance 0.20
 //! ```
 //!
-//! Flags: `--quick` (fewer epochs — the CI setting), `--out <path>`
-//! (where to write the JSON; default `BENCH_position.json` in the
-//! current directory), `--check <baseline>` (compare against a
-//! checked-in baseline instead of overwriting it; exits 1 on any metric
-//! regressed past the tolerance), `--tolerance <frac>` (default 0.20) —
-//! the shared flag set parsed by [`chronos_bench::cli::BenchArgs`].
-//!
-//! The run is fully deterministic, so the comparison gates on real
-//! algorithmic drift, not noise.
+//! Shared flags (`--quick/--out/--check/--tolerance`) are parsed by
+//! [`chronos_bench::cli::BenchArgs`]. The gate covers the portable
+//! metrics only: `speedup_x` (pipeline vs the transcribed pre-refactor
+//! solver; >20% regression or falling below the absolute 1.2× floor
+//! fails) and `allocs_per_sweep` (any increase fails). Absolute
+//! sweeps/s columns are informational — they depend on the host.
 
+use chronos_bench::alloc_count::CountingAlloc;
 use chronos_bench::cli::BenchArgs;
-use chronos_bench::position::{check_regression, position_table};
 use chronos_bench::report::{write_json, Table};
+use chronos_bench::throughput::{check_throughput_regression, throughput_table};
 use std::process::ExitCode;
 
-const SEED: u64 = 61;
+// The allocs/sweep column counts real allocation events only because the
+// benchmark binary routes every allocation through the counter.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 fn main() -> ExitCode {
-    let args = match BenchArgs::parse("BENCH_position.json") {
+    let args = match BenchArgs::parse("BENCH_throughput.json") {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
@@ -37,16 +38,14 @@ fn main() -> ExitCode {
         }
     };
 
-    let epochs = if args.quick { 10 } else { 24 };
-    let table = position_table(SEED, epochs);
+    let rounds = if args.quick { 4 } else { 12 };
+    let table = throughput_table(rounds);
     println!("{}", table.render());
 
-    let tolerance = args.tolerance;
     match args.check {
         None => {
-            let out = args.out;
-            write_json(&table, &out).expect("write BENCH_position.json");
-            println!("wrote {}", out.display());
+            write_json(&table, &args.out).expect("write BENCH_throughput.json");
+            println!("wrote {}", args.out.display());
             ExitCode::SUCCESS
         }
         Some(baseline_path) => {
@@ -55,11 +54,11 @@ fn main() -> ExitCode {
             });
             let baseline = Table::from_json(&baseline_src)
                 .unwrap_or_else(|e| panic!("malformed baseline: {e}"));
-            match check_regression(&table, &baseline, tolerance) {
+            match check_throughput_regression(&table, &baseline, args.tolerance) {
                 Ok(()) => {
                     println!(
                         "bench-regression gate: OK (within {:.0}% of {})",
-                        tolerance * 100.0,
+                        args.tolerance * 100.0,
                         baseline_path.display()
                     );
                     ExitCode::SUCCESS

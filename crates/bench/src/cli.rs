@@ -1,0 +1,115 @@
+//! Shared flag parsing for the benchmark binaries.
+//!
+//! Every gated bench binary (`bench_position`, `bench_throughput`)
+//! understands the same four flags:
+//!
+//! * `--quick` — fewer epochs/rounds (the CI setting; baselines must be
+//!   generated with the same flag CI checks with);
+//! * `--out <path>` — where to write the JSON baseline (default is the
+//!   binary's checked-in baseline name);
+//! * `--check <baseline>` — compare against a checked-in baseline
+//!   instead of overwriting it (exit 1 on regression);
+//! * `--tolerance <frac>` — relative regression tolerance (default 0.20).
+//!
+//! Parsing lives here so the binaries cannot drift apart.
+
+use std::path::PathBuf;
+
+/// The parsed common flags.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Run the reduced CI-sized workload.
+    pub quick: bool,
+    /// Output path for baseline (re)generation.
+    pub out: PathBuf,
+    /// Baseline to gate against, if any.
+    pub check: Option<PathBuf>,
+    /// Relative regression tolerance.
+    pub tolerance: f64,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args` with the given default `--out` path.
+    /// Returns a usage message on an unknown flag or a missing value.
+    pub fn parse(default_out: &str) -> Result<BenchArgs, String> {
+        Self::parse_from(std::env::args().skip(1), default_out)
+    }
+
+    /// [`BenchArgs::parse`] over an explicit argument iterator (tests).
+    pub fn parse_from(
+        args: impl IntoIterator<Item = String>,
+        default_out: &str,
+    ) -> Result<BenchArgs, String> {
+        let mut parsed = BenchArgs {
+            quick: false,
+            out: PathBuf::from(default_out),
+            check: None,
+            tolerance: 0.20,
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => parsed.quick = true,
+                "--out" => {
+                    parsed.out = PathBuf::from(args.next().ok_or("--out needs a path".to_string())?)
+                }
+                "--check" => {
+                    parsed.check = Some(PathBuf::from(
+                        args.next().ok_or("--check needs a path".to_string())?,
+                    ))
+                }
+                "--tolerance" => {
+                    parsed.tolerance = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--tolerance needs a fraction, e.g. 0.20".to_string())?
+                }
+                other => {
+                    return Err(format!("unknown flag {other}; see the crate docs"));
+                }
+            }
+        }
+        Ok(parsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::parse_from(args.iter().map(|s| s.to_string()), "BENCH_default.json")
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let a = v(&[]).unwrap();
+        assert!(!a.quick);
+        assert_eq!(a.out, PathBuf::from("BENCH_default.json"));
+        assert!(a.check.is_none());
+        assert!((a.tolerance - 0.20).abs() < 1e-12);
+
+        let a = v(&[
+            "--quick",
+            "--out",
+            "x.json",
+            "--check",
+            "b.json",
+            "--tolerance",
+            "0.1",
+        ])
+        .unwrap();
+        assert!(a.quick);
+        assert_eq!(a.out, PathBuf::from("x.json"));
+        assert_eq!(a.check, Some(PathBuf::from("b.json")));
+        assert!((a.tolerance - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(v(&["--frobnicate"]).is_err());
+        assert!(v(&["--out"]).is_err());
+        assert!(v(&["--check"]).is_err());
+        assert!(v(&["--tolerance", "abc"]).is_err());
+    }
+}

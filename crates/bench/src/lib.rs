@@ -8,10 +8,13 @@
 //! and writes `EXPERIMENTS-data/*.csv`. Criterion performance benches live
 //! in `benches/`.
 
+pub mod alloc_count;
+pub mod cli;
 pub mod figures;
 pub mod position;
 pub mod report;
 pub mod scenarios;
+pub mod throughput;
 pub mod tracking;
 
 pub use report::{write_csv, write_json, Table};

@@ -67,6 +67,7 @@
 //!   wrapper reproduces pre-engine outcomes bit for bit.
 
 use crate::config::ChronosConfig;
+use crate::pipeline::{BatchSweep, SweepPipeline};
 use crate::plan::{CacheStats, PlanCache};
 use crate::service::{
     outcome_stats, ClientOutcome, EpochReport, LocalizationMode, ModeOccupancy, ServiceConfig,
@@ -291,6 +292,10 @@ pub struct ServiceEngine {
     /// of their virtual time.
     pending_ops: usize,
     clock: Instant,
+    /// Per-worker scratch pipelines (index 0 doubles as the inline-batch
+    /// pipeline). Allocated lazily, reused for every subsequent batch —
+    /// this is what makes steady-state estimation allocation-free.
+    pipelines: Vec<SweepPipeline>,
 }
 
 impl fmt::Debug for ServiceEngine {
@@ -322,6 +327,7 @@ impl ServiceEngine {
             queue: EventQueue::new(),
             pending_ops: 0,
             clock: Instant::ZERO,
+            pipelines: Vec::new(),
         }
     }
 
@@ -566,42 +572,48 @@ impl ServiceEngine {
         }
     }
 
-    /// Runs a batch of admitted sweeps on the worker pool. Each job owns
-    /// its RNG; the thread schedule cannot change any result.
-    fn execute(&self, jobs: &[Job]) -> Vec<SweepOutput> {
+    /// Runs a batch of admitted sweeps on the worker pool, each worker
+    /// owning a persistent [`SweepPipeline`] whose scratch arena is
+    /// reused across every batch of the engine's lifetime
+    /// ([`SweepPipeline::run_batch`] amortizes plan lookups and all
+    /// estimation buffers across the same-instant dues). Each job owns
+    /// its RNG; neither the thread schedule nor the batching can change
+    /// any result.
+    fn execute(&mut self, jobs: &[Job]) -> Vec<SweepOutput> {
+        fn batch_of<'a>(slots: &'a [Slot], slice: &'a [Job]) -> Vec<BatchSweep<'a>> {
+            slice
+                .iter()
+                .map(|job| BatchSweep {
+                    session: &slots[job.client].session,
+                    sweep_cfg: &job.sweep_cfg,
+                    rng_seed: job.rng_seed,
+                    start: job.grant.start,
+                })
+                .collect()
+        }
         let n_threads = self.thread_count();
-        let slots = &self.slots;
+        let slots = self.slots.as_slice();
+        let pipelines = &mut self.pipelines;
         // Continuous-cadence batches are usually a single sweep: run
         // those inline rather than paying a thread spawn per sweep.
         if jobs.len() <= 1 || n_threads == 1 {
-            return jobs
-                .iter()
-                .map(|job| {
-                    let mut rng = StdRng::seed_from_u64(job.rng_seed);
-                    slots[job.client]
-                        .session
-                        .sweep_with(&job.sweep_cfg, &mut rng, job.grant.start)
-                })
-                .collect();
+            if pipelines.is_empty() {
+                pipelines.push(SweepPipeline::new());
+            }
+            return pipelines[0].run_batch(&batch_of(slots, jobs));
         }
         let chunk = jobs.len().div_ceil(n_threads).max(1);
+        let n_chunks = jobs.len().div_ceil(chunk);
+        while pipelines.len() < n_chunks {
+            pipelines.push(SweepPipeline::new());
+        }
         std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move || {
-                        slice
-                            .iter()
-                            .map(|job| {
-                                let mut rng = StdRng::seed_from_u64(job.rng_seed);
-                                slots[job.client].session.sweep_with(
-                                    &job.sweep_cfg,
-                                    &mut rng,
-                                    job.grant.start,
-                                )
-                            })
-                            .collect::<Vec<_>>()
-                    })
+                .zip(pipelines.iter_mut())
+                .map(|(slice, pipeline)| {
+                    let batch = batch_of(slots, slice);
+                    scope.spawn(move || pipeline.run_batch(&batch))
                 })
                 .collect();
             handles

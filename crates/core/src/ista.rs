@@ -76,6 +76,51 @@ pub fn sparsify(p: &mut [Complex64], t: f64) {
     }
 }
 
+/// Reusable solver buffers: the iterates, extrapolation point and
+/// forward/adjoint images [`solve_planned_into`] ping-pongs between.
+///
+/// Allocated once (typically per engine worker, inside a
+/// [`crate::pipeline::SweepPipeline`]); every later solve of any size up
+/// to the largest seen reuses the capacity, so steady-state inversions
+/// perform **zero heap allocations**.
+#[derive(Debug, Clone, Default)]
+pub struct IstaScratch {
+    /// Current iterate; holds the solution after a solve.
+    p: Vec<Complex64>,
+    /// FISTA extrapolation point.
+    y: Vec<Complex64>,
+    /// Gradient-step target, swapped with `p` each iteration.
+    next: Vec<Complex64>,
+    /// Forward image / residual buffer (measurement length).
+    fy: Vec<Complex64>,
+    /// Adjoint image / gradient buffer (grid length).
+    grad: Vec<Complex64>,
+}
+
+impl IstaScratch {
+    /// Fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The sparse profile produced by the most recent
+    /// [`solve_planned_into`] call.
+    pub fn solution(&self) -> &[Complex64] {
+        &self.p
+    }
+}
+
+/// Scalar outcome of a scratch solve; the profile stays in the scratch.
+#[derive(Debug, Clone, Copy)]
+pub struct IstaStats {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the epsilon criterion was met before the cap.
+    pub converged: bool,
+    /// Final data-fit residual `||h - F p||_2`.
+    pub residual: f64,
+}
+
 /// Runs the sparse inversion of `h` under the operator `ndft`.
 ///
 /// Computes the operator norm by power iteration on every call; when the
@@ -97,9 +142,43 @@ pub fn solve_planned(
     solve_with_norm(&plan.ndft, h, cfg, plan.op_norm)
 }
 
+/// [`solve_planned`] into a reusable scratch arena: identical arithmetic
+/// (bit for bit — pinned by a proptest in `tests/alloc.rs`), zero heap
+/// allocations once the scratch has seen the problem size. The solution
+/// is read from [`IstaScratch::solution`].
+pub fn solve_planned_into(
+    plan: &crate::plan::NdftPlan,
+    h: &[Complex64],
+    cfg: &IstaConfig,
+    scratch: &mut IstaScratch,
+) -> IstaStats {
+    solve_with_norm_into(&plan.ndft, h, cfg, plan.op_norm, scratch)
+}
+
 /// The shared solver body: proximal gradient with the step size derived
 /// from the supplied spectral norm.
 fn solve_with_norm(ndft: &Ndft, h: &[Complex64], cfg: &IstaConfig, op_norm: f64) -> IstaSolution {
+    let mut scratch = IstaScratch::new();
+    let stats = solve_with_norm_into(ndft, h, cfg, op_norm, &mut scratch);
+    IstaSolution {
+        p: scratch.p,
+        iterations: stats.iterations,
+        converged: stats.converged,
+        residual: stats.residual,
+    }
+}
+
+/// The solver body over caller-provided buffers. The FISTA extrapolation
+/// ping-pongs `p`/`next` (a pointer swap) instead of cloning the iterate
+/// every step; all arithmetic — order included — matches the historical
+/// per-iteration-allocating loop exactly.
+fn solve_with_norm_into(
+    ndft: &Ndft,
+    h: &[Complex64],
+    cfg: &IstaConfig,
+    op_norm: f64,
+    scratch: &mut IstaScratch,
+) -> IstaStats {
     let m = ndft.n_taus();
     assert_eq!(
         h.len(),
@@ -114,12 +193,23 @@ fn solve_with_norm(ndft: &Ndft, h: &[Complex64], cfg: &IstaConfig, op_norm: f64)
 
     // Threshold from the adjoint image of the data: alpha_rel = 1 would
     // zero the first iterate entirely.
-    let atb = ndft.adjoint(h);
-    let alpha = cfg.alpha_rel * cvec::norm_inf(&atb) * 2.0; // matches L scaling
+    ndft.adjoint_into(h, &mut scratch.grad);
+    let alpha = cfg.alpha_rel * cvec::norm_inf(&scratch.grad) * 2.0; // matches L scaling
     let thresh = gamma * alpha;
 
-    let mut p = vec![Complex64::ZERO; m];
-    let mut y = p.clone(); // FISTA extrapolation point
+    let IstaScratch {
+        p,
+        y,
+        next,
+        fy,
+        grad,
+    } = scratch;
+    p.clear();
+    p.resize(m, Complex64::ZERO);
+    y.clear();
+    y.resize(m, Complex64::ZERO); // FISTA extrapolation point
+    next.clear();
+    next.resize(m, Complex64::ZERO);
     let mut t_momentum = 1.0f64;
     let mut iterations = 0;
     let mut converged = false;
@@ -127,35 +217,32 @@ fn solve_with_norm(ndft: &Ndft, h: &[Complex64], cfg: &IstaConfig, op_norm: f64)
     for _ in 0..cfg.max_iters {
         iterations += 1;
         // Gradient step at y: y - gamma * 2 F*(F y - h).
-        let fy = ndft.forward(&y);
-        let mut resid = fy;
-        for (r, hi) in resid.iter_mut().zip(h.iter()) {
+        ndft.forward_into(y, fy);
+        for (r, hi) in fy.iter_mut().zip(h.iter()) {
             *r -= *hi;
         }
-        let grad = ndft.adjoint(&resid);
-        let mut next: Vec<Complex64> = y
-            .iter()
-            .zip(grad.iter())
-            .map(|(yi, gi)| *yi - gi.scale(2.0 * gamma))
-            .collect();
-        sparsify(&mut next, thresh);
+        ndft.adjoint_into(fy, grad);
+        for ((n, yi), gi) in next.iter_mut().zip(y.iter()).zip(grad.iter()) {
+            *n = *yi - gi.scale(2.0 * gamma);
+        }
+        sparsify(next, thresh);
 
-        let delta = cvec::dist2(&next, &p);
-        let scale = cvec::norm2(&p) + 1.0;
+        let delta = cvec::dist2(next, p);
+        let scale = cvec::norm2(p) + 1.0;
 
         if cfg.accelerated {
             let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t_momentum * t_momentum).sqrt());
             let beta = (t_momentum - 1.0) / t_next;
-            y = next
-                .iter()
-                .zip(p.iter())
-                .map(|(n, o)| *n + (*n - *o).scale(beta))
-                .collect();
+            for ((yi, n), o) in y.iter_mut().zip(next.iter()).zip(p.iter()) {
+                *yi = *n + (*n - *o).scale(beta);
+            }
             t_momentum = t_next;
         } else {
-            y = next.clone();
+            y.copy_from_slice(next);
         }
-        p = next;
+        // `p <- next`; the old iterate's buffer becomes the next target
+        // (fully overwritten before it is read again).
+        std::mem::swap(p, next);
 
         if delta < cfg.epsilon * scale {
             converged = true;
@@ -163,15 +250,13 @@ fn solve_with_norm(ndft: &Ndft, h: &[Complex64], cfg: &IstaConfig, op_norm: f64)
         }
     }
 
-    let fit = ndft.forward(&p);
-    let mut resid = fit;
-    for (r, hi) in resid.iter_mut().zip(h.iter()) {
+    ndft.forward_into(p, fy);
+    for (r, hi) in fy.iter_mut().zip(h.iter()) {
         *r -= *hi;
     }
-    let residual = cvec::norm2(&resid);
+    let residual = cvec::norm2(fy);
 
-    IstaSolution {
-        p,
+    IstaStats {
         iterations,
         converged,
         residual,
@@ -198,12 +283,50 @@ pub fn debias(
     max_atoms: usize,
     min_sep: usize,
 ) -> Vec<Complex64> {
+    let mut ws = DebiasScratch::default();
+    let mut out = Vec::new();
+    debias_into(ndft, h, p, max_atoms, min_sep, &mut ws, &mut out);
+    out
+}
+
+/// Reusable working storage for [`debias_into`]: support ranking, the
+/// atom matrix and the least-squares workspace.
+#[derive(Debug, Clone, Default)]
+pub struct DebiasScratch {
+    idx: Vec<usize>,
+    chosen: Vec<usize>,
+    atoms: CMat,
+    lstsq: chronos_math::cmatrix::CLstsqScratch,
+    w: Vec<Complex64>,
+}
+
+/// [`debias`] into a reusable workspace and output buffer — identical
+/// results, zero heap allocations once the buffers have seen the problem
+/// size.
+pub fn debias_into(
+    ndft: &Ndft,
+    h: &[Complex64],
+    p: &[Complex64],
+    max_atoms: usize,
+    min_sep: usize,
+    ws: &mut DebiasScratch,
+    out: &mut Vec<Complex64>,
+) {
     assert_eq!(p.len(), ndft.n_taus(), "debias: profile length mismatch");
-    // Rank support by magnitude.
-    let mut idx: Vec<usize> = (0..p.len()).filter(|k| p[*k].abs() > 1e-12).collect();
-    idx.sort_by(|a, b| p[*b].abs().partial_cmp(&p[*a].abs()).unwrap());
-    let mut chosen: Vec<usize> = Vec::new();
-    for k in idx {
+    // Rank support by magnitude (ties broken by grid index, which the
+    // filter produced in ascending order — the stable-sort order).
+    ws.idx.clear();
+    ws.idx.extend((0..p.len()).filter(|k| p[*k].abs() > 1e-12));
+    ws.idx.sort_unstable_by(|a, b| {
+        p[*b]
+            .abs()
+            .partial_cmp(&p[*a].abs())
+            .unwrap()
+            .then(a.cmp(b))
+    });
+    let chosen = &mut ws.chosen;
+    chosen.clear();
+    for k in ws.idx.iter().copied() {
         if chosen.len() >= max_atoms {
             break;
         }
@@ -212,35 +335,40 @@ pub fn debias(
         }
     }
     if chosen.is_empty() {
-        return vec![Complex64::ZERO; p.len()];
+        out.clear();
+        out.resize(p.len(), Complex64::ZERO);
+        return;
     }
     chosen.sort_unstable();
 
     // Build the atom matrix: columns are steering vectors at the chosen
     // grid delays.
     let grid = ndft.grid();
-    let cols: Vec<Vec<Complex64>> = chosen
-        .iter()
-        .map(|k| {
-            let tau_s = grid.tau_at(*k) * 1e-9;
-            ndft.freqs_hz()
-                .iter()
-                .map(|f| Complex64::cis(-2.0 * std::f64::consts::PI * f * tau_s))
-                .collect()
-        })
-        .collect();
-    let a = CMat::from_cols(&cols);
-    let mut out = vec![Complex64::ZERO; p.len()];
-    match a.lstsq(h) {
-        Ok(w) => {
-            for (k, wi) in chosen.iter().zip(w.iter()) {
+    ws.atoms.reset(ndft.n_freqs(), chosen.len());
+    for (j, k) in chosen.iter().enumerate() {
+        let tau_s = grid.tau_at(*k) * 1e-9;
+        for (i, f) in ndft.freqs_hz().iter().enumerate() {
+            ws.atoms.set(
+                i,
+                j,
+                Complex64::cis(-2.0 * std::f64::consts::PI * f * tau_s),
+            );
+        }
+    }
+    match ws.atoms.lstsq_into(h, &mut ws.lstsq, &mut ws.w) {
+        Ok(()) => {
+            out.clear();
+            out.resize(p.len(), Complex64::ZERO);
+            for (k, wi) in chosen.iter().zip(ws.w.iter()) {
                 out[*k] = *wi;
             }
-            out
         }
         // Refit can fail for pathological supports; fall back to the
         // biased estimate rather than nothing.
-        Err(_) => p.to_vec(),
+        Err(_) => {
+            out.clear();
+            out.extend_from_slice(p);
+        }
     }
 }
 
@@ -450,6 +578,128 @@ mod tests {
         // All-zero input: all-zero output, converged.
         assert!(sol.p.iter().all(|z| *z == Complex64::ZERO));
         assert!(sol.converged);
+    }
+
+    /// A literal transcription of the pre-refactor solver loop (fresh
+    /// `Vec` per iteration, `clone()`-based FISTA extrapolation), kept
+    /// only to pin the ping-pong rewrite bit for bit.
+    fn reference_solve(
+        ndft: &Ndft,
+        h: &[Complex64],
+        cfg: &IstaConfig,
+        op_norm: f64,
+    ) -> IstaSolution {
+        let m = ndft.n_taus();
+        let op_norm = op_norm.max(1e-12);
+        let gamma = 1.0 / (2.0 * op_norm * op_norm);
+        let atb = ndft.adjoint(h);
+        let alpha = cfg.alpha_rel * chronos_math::cvec::norm_inf(&atb) * 2.0;
+        let thresh = gamma * alpha;
+        let mut p = vec![Complex64::ZERO; m];
+        let mut y = p.clone();
+        let mut t_momentum = 1.0f64;
+        let mut iterations = 0;
+        let mut converged = false;
+        for _ in 0..cfg.max_iters {
+            iterations += 1;
+            let fy = ndft.forward(&y);
+            let mut resid = fy;
+            for (r, hi) in resid.iter_mut().zip(h.iter()) {
+                *r -= *hi;
+            }
+            let grad = ndft.adjoint(&resid);
+            let mut next: Vec<Complex64> = y
+                .iter()
+                .zip(grad.iter())
+                .map(|(yi, gi)| *yi - gi.scale(2.0 * gamma))
+                .collect();
+            sparsify(&mut next, thresh);
+            let delta = chronos_math::cvec::dist2(&next, &p);
+            let scale = chronos_math::cvec::norm2(&p) + 1.0;
+            if cfg.accelerated {
+                let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t_momentum * t_momentum).sqrt());
+                let beta = (t_momentum - 1.0) / t_next;
+                y = next
+                    .iter()
+                    .zip(p.iter())
+                    .map(|(n, o)| *n + (*n - *o).scale(beta))
+                    .collect();
+                t_momentum = t_next;
+            } else {
+                y = next.clone();
+            }
+            p = next;
+            if delta < cfg.epsilon * scale {
+                converged = true;
+                break;
+            }
+        }
+        let fit = ndft.forward(&p);
+        let mut resid = fit;
+        for (r, hi) in resid.iter_mut().zip(h.iter()) {
+            *r -= *hi;
+        }
+        let residual = chronos_math::cvec::norm2(&resid);
+        IstaSolution {
+            p,
+            iterations,
+            converged,
+            residual,
+        }
+    }
+
+    #[test]
+    fn ping_pong_buffers_pin_reference_convergence() {
+        // Satellite contract: the two-buffer FISTA extrapolation must
+        // reproduce the clone-per-iteration reference exactly — same
+        // iterates, same iteration count, same residual — for both the
+        // accelerated and plain solvers, including a reused scratch.
+        let f = freqs();
+        let grid = TauGrid::span(60.0, 0.5);
+        let plan = crate::plan::NdftPlan::new(&f, grid, 60.0);
+        let mut scratch = IstaScratch::new();
+        for accelerated in [true, false] {
+            let cfg = IstaConfig {
+                accelerated,
+                ..Default::default()
+            };
+            for paths in [
+                vec![(9.0, 1.0), (14.0, 0.5)],
+                vec![(5.5, 0.4), (21.0, 1.0), (33.0, 0.3)],
+            ] {
+                let h = channel_for(&paths, &f);
+                let want = reference_solve(&plan.ndft, &h, &cfg, plan.op_norm);
+                let stats = solve_planned_into(&plan, &h, &cfg, &mut scratch);
+                assert_eq!(stats.iterations, want.iterations, "acc={accelerated}");
+                assert_eq!(stats.converged, want.converged);
+                assert_eq!(stats.residual.to_bits(), want.residual.to_bits());
+                assert_eq!(scratch.solution().len(), want.p.len());
+                for (a, b) in scratch.solution().iter().zip(want.p.iter()) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits());
+                    assert_eq!(a.im.to_bits(), b.im.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn debias_into_matches_debias_with_warm_scratch() {
+        let f = freqs();
+        let grid = TauGrid::span(60.0, 0.5);
+        let ndft = Ndft::new(&f, grid);
+        let h = channel_for(&[(10.0, 1.0), (20.0, 0.4)], &f);
+        let sol = solve(&ndft, &h, &IstaConfig::default());
+        let fresh = debias(&ndft, &h, &sol.p, 6, 3);
+        let mut ws = DebiasScratch::default();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            debias_into(&ndft, &h, &sol.p, 6, 3, &mut ws, &mut out);
+            assert_eq!(out.len(), fresh.len());
+            for (a, b) in out.iter().zip(fresh.iter()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -77,6 +77,13 @@
 //! repeated misses. The service schedules per-client plans from tracker
 //! state and reports the airtime saved (see `docs/TRACKING.md`).
 //!
+//! [`pipeline`] is the zero-allocation hot path underneath all of it: a
+//! per-worker [`pipeline::EstimatorScratch`] arena (ISTA iterates, NDFT
+//! images, debias/Gauss–Newton workspaces, peak and group buffers) wrapped
+//! by a [`pipeline::SweepPipeline`], so steady-state TRACK estimation
+//! performs zero heap allocations while staying bitwise identical to the
+//! allocating path (see `docs/PIPELINE.md`).
+//!
 //! ## Support modules
 //!
 //! [`crt`] implements the Chinese-remainder view of §4 (the Fig. 3
@@ -95,6 +102,7 @@ pub mod ista;
 pub mod localization;
 pub mod ndft;
 pub mod phase;
+pub mod pipeline;
 pub mod plan;
 pub mod profile;
 pub mod quirk;
@@ -108,9 +116,10 @@ pub mod tracker;
 pub use config::{ChronosConfig, QuirkMode};
 pub use engine::{ServiceEngine, WindowReport};
 pub use error::ChronosError;
+pub use pipeline::{EstimatorScratch, SweepPipeline};
 pub use plan::{CacheStats, NdftPlan, PlanCache};
 pub use profile::MultipathProfile;
 pub use service::{CadenceConfig, EpochReport, RangingService, ServiceConfig};
 pub use session::{ChronosSession, SweepOutput};
-pub use tof::{BandSample, TofEstimate, TofEstimator};
+pub use tof::{BandSample, TofEstimate, TofEstimator, TofFix};
 pub use tracker::{ClientTracker, DistanceFilter, TrackMode, TrackerConfig};

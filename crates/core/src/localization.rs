@@ -13,7 +13,7 @@
 //! fit the geometry of the relative antenna placements").
 
 use crate::error::ChronosError;
-use chronos_math::lstsq::{GaussNewton, Residuals};
+use chronos_math::lstsq::{GaussNewton, GnWorkspace, Residuals};
 use chronos_rf::geometry::Point;
 
 /// One antenna's distance observation.
@@ -78,9 +78,17 @@ impl Default for LocalizerConfig {
 /// Intersects the two circles centered at `a` and `b`; returns 0, 1 or 2
 /// candidate points. Degenerate (concentric) inputs return an empty set.
 pub fn circle_intersection(a: Point, ra: f64, b: Point, rb: f64) -> Vec<Point> {
+    let mut out = Vec::new();
+    circle_intersection_into(a, ra, b, rb, &mut out);
+    out
+}
+
+/// [`circle_intersection`] into a caller-provided buffer.
+pub fn circle_intersection_into(a: Point, ra: f64, b: Point, rb: f64, out: &mut Vec<Point>) {
+    out.clear();
     let d = a.dist(b);
     if d < 1e-9 {
-        return Vec::new();
+        return;
     }
     // No intersection: circles too far apart or nested. Fall back to the
     // nearest-approach point (useful as a least-squares seed).
@@ -89,11 +97,13 @@ pub fn circle_intersection(a: Point, ra: f64, b: Point, rb: f64) -> Vec<Point> {
     let ex = b.sub(a).scale(1.0 / d);
     let base = a.add(ex.scale(x));
     if h2 <= 0.0 {
-        return vec![base];
+        out.push(base);
+        return;
     }
     let h = h2.sqrt();
     let ey = Point::new(-ex.y, ex.x);
-    vec![base.add(ey.scale(h)), base.sub(ey.scale(h))]
+    out.push(base.add(ey.scale(h)));
+    out.push(base.sub(ey.scale(h)));
 }
 
 /// Locates the transmitter from per-antenna ranges.
@@ -108,81 +118,86 @@ pub fn locate(ranges: &[AntennaRange], cfg: &LocalizerConfig) -> Result<Position
 
 /// Drops ranges that violate the triangle inequality against the rest of
 /// the set (a bad ToF differs from another antenna's by more than their
-/// separation allows), iteratively removing the worst offender.
-fn triangle_filter(ranges: &[AntennaRange], cfg: &LocalizerConfig) -> Vec<AntennaRange> {
-    let mut usable: Vec<AntennaRange> = ranges.to_vec();
+/// separation allows), iteratively removing the worst offender (ties keep
+/// the highest index, matching the historical `max_by_key`).
+fn triangle_filter_into(
+    ranges: &[AntennaRange],
+    cfg: &LocalizerConfig,
+    usable: &mut Vec<AntennaRange>,
+) {
+    usable.clear();
+    usable.extend_from_slice(ranges);
     while usable.len() > 2 {
-        let violations: Vec<usize> = usable
-            .iter()
-            .map(|ri| {
-                usable
-                    .iter()
-                    .filter(|rj| {
-                        let sep = ri.antenna.dist(rj.antenna);
-                        (ri.distance_m - rj.distance_m).abs() > sep + cfg.consistency_tol_m
-                    })
-                    .count()
-            })
-            .collect();
-        let (worst_idx, worst) = violations
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, v)| **v)
-            .map(|(i, v)| (i, *v))
-            .unwrap_or((0, 0));
+        let mut worst_idx = 0usize;
+        let mut worst = 0usize;
+        for (i, ri) in usable.iter().enumerate() {
+            let count = usable
+                .iter()
+                .filter(|rj| {
+                    let sep = ri.antenna.dist(rj.antenna);
+                    (ri.distance_m - rj.distance_m).abs() > sep + cfg.consistency_tol_m
+                })
+                .count();
+            if count >= worst {
+                worst = count;
+                worst_idx = i;
+            }
+        }
         if worst == 0 {
             break;
         }
         usable.remove(worst_idx);
     }
-    usable
 }
 
-/// Gauss–Newton fits from both mirror seeds; returns the distinct
+/// Gauss–Newton fits from both mirror seeds into `out`: the distinct
 /// converged candidates sorted best-residual first.
-fn fit_candidates(usable: &[AntennaRange]) -> Vec<Position> {
+fn fit_candidates_into(
+    usable: &[AntennaRange],
+    seeds: &mut Vec<Point>,
+    gn_ws: &mut GnWorkspace,
+    out: &mut Vec<Position>,
+) {
+    out.clear();
     let (i, j) = widest_pair(usable);
-    let seeds = {
-        let mut s = circle_intersection(
-            usable[i].antenna,
-            usable[i].distance_m,
-            usable[j].antenna,
-            usable[j].distance_m,
-        );
-        if s.is_empty() {
-            s.push(Point::new(0.0, usable[0].distance_m));
-        }
-        s
-    };
+    circle_intersection_into(
+        usable[i].antenna,
+        usable[i].distance_m,
+        usable[j].antenna,
+        usable[j].distance_m,
+        seeds,
+    );
+    if seeds.is_empty() {
+        seeds.push(Point::new(0.0, usable[0].distance_m));
+    }
 
     let gn = GaussNewton {
         max_iters: 200,
         ..Default::default()
     };
     let problem = CircleResiduals { ranges: usable };
-    let mut cands: Vec<Position> = Vec::with_capacity(seeds.len());
-    for seed in seeds {
-        let fit = gn.minimize(&problem, &[seed.x, seed.y]);
-        let p = Point::new(fit.params[0], fit.params[1]);
+    for seed in seeds.iter() {
+        let fit = gn.minimize_with(&problem, &[seed.x, seed.y], gn_ws);
+        let p = Point::new(gn_ws.params[0], gn_ws.params[1]);
         if !p.x.is_finite() || !p.y.is_finite() {
             continue;
         }
         let rms = (fit.cost / usable.len() as f64).sqrt();
         // With a well-conditioned (3+ antenna) set both seeds converge to
         // the same minimum; keep only genuinely distinct solutions.
-        if cands.iter().any(|c| c.point.dist(p) < 0.05) {
+        if out.iter().any(|c| c.point.dist(p) < 0.05) {
             continue;
         }
-        cands.push(Position {
+        out.push(Position {
             point: p,
             residual_m: rms,
             n_used: usable.len(),
         });
     }
     // Stable sort: ties (the exact two-range mirror pair) keep seed order,
-    // i.e. the positive-y candidate first.
-    cands.sort_by(|a, b| a.residual_m.partial_cmp(&b.residual_m).unwrap());
-    cands
+    // i.e. the positive-y candidate first. (At most two candidates — the
+    // sort never leaves its allocation-free insertion regime.)
+    out.sort_by(|a, b| a.residual_m.partial_cmp(&b.residual_m).unwrap());
 }
 
 /// Locates the transmitter from per-antenna ranges, returning *every*
@@ -206,11 +221,45 @@ pub fn locate_all(
     ranges: &[AntennaRange],
     cfg: &LocalizerConfig,
 ) -> Result<Vec<Position>, ChronosError> {
+    let mut ws = LocateScratch::default();
+    let mut out = Vec::new();
+    locate_all_into(ranges, cfg, &mut ws, &mut out)?;
+    Ok(out)
+}
+
+/// Reusable working storage for [`locate_all_into`]: the filtered range
+/// set, candidate buffers, seed points and the Gauss–Newton workspace.
+#[derive(Debug, Clone, Default)]
+pub struct LocateScratch {
+    usable: Vec<AntennaRange>,
+    cands: Vec<Position>,
+    refit: Vec<Position>,
+    seeds: Vec<Point>,
+    gn: GnWorkspace,
+}
+
+/// [`locate_all`] into a reusable workspace and output buffer — identical
+/// results (bit for bit), zero heap allocations once the workspace has
+/// seen the antenna count.
+pub fn locate_all_into(
+    ranges: &[AntennaRange],
+    cfg: &LocalizerConfig,
+    ws: &mut LocateScratch,
+    out: &mut Vec<Position>,
+) -> Result<(), ChronosError> {
+    out.clear();
     if ranges.len() < 2 {
         return Err(ChronosError::NoConsistentPosition);
     }
-    let mut usable = triangle_filter(ranges, cfg);
-    let mut cands = fit_candidates(&usable);
+    let LocateScratch {
+        usable,
+        cands,
+        refit,
+        seeds,
+        gn,
+    } = ws;
+    triangle_filter_into(ranges, cfg, usable);
+    fit_candidates_into(usable, seeds, gn, cands);
 
     // Residual-based NLOS rejection: while the best fit is inconsistent
     // and we can spare an antenna, drop the worst-fitting range.
@@ -234,18 +283,19 @@ pub fn locate_all(
             .map(|(i, _)| i)
             .unwrap_or(0);
         usable.remove(worst);
-        let refit = fit_candidates(&usable);
+        fit_candidates_into(usable, seeds, gn, refit);
         if refit.is_empty() {
             break;
         }
-        cands = refit;
+        std::mem::swap(cands, refit);
     }
 
     cands.retain(|c| c.residual_m <= cfg.max_residual_m);
     if cands.is_empty() {
         return Err(ChronosError::NoConsistentPosition);
     }
-    Ok(cands)
+    out.extend_from_slice(cands);
+    Ok(())
 }
 
 /// Picks the pair of ranges with the widest antenna separation (best

@@ -1,0 +1,226 @@
+//! The zero-allocation sweep pipeline: a per-worker scratch arena for the
+//! estimation hot path.
+//!
+//! PR 4's event engine issues sweeps continuously, which made per-sweep
+//! allocation the dominant self-inflicted cost of the estimator: every
+//! call re-allocated its way through splice → NDFT/ISTA → profile →
+//! first-peak → localization (fresh `Vec`s per FISTA iteration, per-call
+//! buffers in `tof`/`profile`, a fresh Gauss–Newton workspace per fix).
+//! [`EstimatorScratch`] owns every one of those intermediates; a
+//! [`SweepPipeline`] wraps the scratch and is allocated **once per engine
+//! worker**, so steady-state TRACK estimation performs **zero heap
+//! allocations** (asserted by the counting-allocator test in
+//! `tests/alloc.rs`) and outputs stay **bitwise identical** to the
+//! allocating path (the golden capture in `tests/engine.rs` and a
+//! proptest pin this).
+//!
+//! The scratch also memoizes the `Arc`s of the shared NDFT/spline plans
+//! it has used, so the per-sweep [`crate::plan::PlanCache`] lookup (which
+//! must build a hashing key) is amortized away entirely: a worker
+//! serving clients on one band plan touches the cache once, ever.
+//!
+//! See `docs/PIPELINE.md` for the scratch lifecycle, the batching story
+//! and the exact boundary of the zero-alloc contract.
+
+use crate::error::ChronosError;
+use crate::ista::{DebiasScratch, IstaScratch};
+use crate::localization::{AntennaRange, LocalizerConfig, LocateScratch, Position};
+use crate::ndft::TauGrid;
+use crate::plan::NdftPlan;
+use crate::profile::RefineScratch;
+use crate::quirk::BandGroupSamples;
+use crate::reciprocity::BandProduct;
+use crate::session::{ChronosSession, SweepOutput};
+use crate::tof::{BandSample, GroupEstimate, GroupFix, TofEstimate, TofEstimator, TofFix};
+use chronos_link::sweep::SweepConfig;
+use chronos_link::time::Instant;
+use chronos_math::peaks::Peak;
+use chronos_math::spline::SplinePlan;
+use chronos_math::Complex64;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Ceiling on the per-worker plan memos (NDFT and spline): a worker
+/// serving more distinct (bands, grid) combinations than this falls
+/// back to the shared [`crate::plan::PlanCache`] instead of growing —
+/// and linearly scanning — its memo forever. Generous relative to real
+/// deployments (full plan + a few subset sizes per worker).
+pub(crate) const PLAN_MEMO_CAP: usize = 32;
+
+/// One memoized NDFT plan: the key parts the estimator looks plans up
+/// by, plus the shared plan itself.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanMemo {
+    pub(crate) freqs: Vec<f64>,
+    pub(crate) grid: TauGrid,
+    pub(crate) lobe_span: f64,
+    pub(crate) plan: Arc<NdftPlan>,
+}
+
+/// Working buffers of the first-path selector (`tof::select_first_path`):
+/// the CLEANed models, ghost hypotheses, matched-filter residuals and
+/// peak lists.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SelectScratch {
+    /// Forward-image buffer for residual-energy evaluations.
+    pub(crate) fit: Vec<Complex64>,
+    /// Masked model (candidate neighborhood zeroed).
+    pub(crate) model: Vec<Complex64>,
+    /// Ghost-source hypothesis model.
+    pub(crate) hyp: Vec<Complex64>,
+    /// CLEANed measurement residual.
+    pub(crate) residual: Vec<Complex64>,
+    /// Quiet-zone matched-filter samples.
+    pub(crate) quiet: Vec<f64>,
+    /// Clustered grating-lobe offsets.
+    pub(crate) clusters: Vec<f64>,
+    /// Debias output buffer for the model-comparison refits.
+    pub(crate) debias_out: Vec<Complex64>,
+    /// Peak-finder candidate working storage.
+    pub(crate) peak_cands: Vec<Peak>,
+    /// All dominant peaks of the profile.
+    pub(crate) peaks_all: Vec<Peak>,
+    /// Dominant peaks past the physical-prior cutoff.
+    pub(crate) peaks: Vec<Peak>,
+}
+
+/// Every intermediate buffer of the estimation hot path — unwrap/splice
+/// products, NDFT/ISTA iterates, profile magnitudes and peaks,
+/// first-path selection models, CLEAN refinement, Gauss–Newton
+/// localization workspaces — allocated once and reused across sweeps.
+///
+/// Buffers grow to the largest problem seen (an ACQUIRE full-plan sweep)
+/// and then stop allocating; TRACK-mode subset sweeps always fit inside
+/// warm ACQUIRE capacity.
+#[derive(Debug, Default)]
+pub struct EstimatorScratch {
+    pub(crate) ista: IstaScratch,
+    pub(crate) debias: DebiasScratch,
+    pub(crate) p_final: Vec<Complex64>,
+    pub(crate) mags: Vec<f64>,
+    pub(crate) refine: RefineScratch,
+    pub(crate) select: SelectScratch,
+    pub(crate) groups: Vec<BandGroupSamples>,
+    pub(crate) group_pool: Vec<BandGroupSamples>,
+    pub(crate) order: Vec<usize>,
+    pub(crate) fixes: Vec<GroupFix>,
+    pub(crate) profiles: Vec<GroupEstimate>,
+    pub(crate) products: Vec<BandProduct>,
+    pub(crate) xs: Vec<f64>,
+    pub(crate) plan_memo: Vec<PlanMemo>,
+    pub(crate) spline_memo: Vec<(Vec<f64>, Arc<SplinePlan>)>,
+    pub(crate) locate: LocateScratch,
+}
+
+impl EstimatorScratch {
+    /// Fresh, empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One sweep of a batch handed to [`SweepPipeline::run_batch`].
+#[derive(Debug)]
+pub struct BatchSweep<'a> {
+    /// The client session to sweep.
+    pub session: &'a ChronosSession,
+    /// The (possibly contention-adjusted) link configuration.
+    pub sweep_cfg: &'a SweepConfig,
+    /// Seed of the sweep's own RNG stream (see the engine's seeding
+    /// contract).
+    pub rng_seed: u64,
+    /// Admitted start instant.
+    pub start: Instant,
+}
+
+/// A reusable estimation pipeline: one scratch arena driving the full
+/// products → ToF → localization path.
+///
+/// Allocate one per worker (the engine keeps one per worker thread) and
+/// feed it sweeps forever; results are bitwise identical to the
+/// allocating [`TofEstimator`]/[`crate::localization::locate_all`] path.
+#[derive(Debug, Default)]
+pub struct SweepPipeline {
+    scratch: EstimatorScratch,
+}
+
+impl SweepPipeline {
+    /// Creates an empty pipeline; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying scratch arena (for direct use of the `_into`
+    /// estimator entry points).
+    pub fn scratch_mut(&mut self) -> &mut EstimatorScratch {
+        &mut self.scratch
+    }
+
+    /// Zero-allocation estimation: products in, a compact [`TofFix`] out.
+    ///
+    /// This is the steady-state TRACK entry point — after warm-up it
+    /// performs no heap allocations at all (pinned by `tests/alloc.rs`).
+    pub fn estimate_fix(
+        &mut self,
+        estimator: &TofEstimator,
+        products: &[BandProduct],
+    ) -> Result<TofFix, ChronosError> {
+        estimator.estimate_fix_with(products, &mut self.scratch)
+    }
+
+    /// Scratch-accelerated [`TofEstimator::estimate_from_products`]: the
+    /// solver runs allocation-free, only the returned [`TofEstimate`]
+    /// (profiles included) is freshly allocated.
+    pub fn estimate_from_products(
+        &mut self,
+        estimator: &TofEstimator,
+        products: &[BandProduct],
+    ) -> Result<TofEstimate, ChronosError> {
+        estimator.estimate_from_products_with(products, &mut self.scratch)
+    }
+
+    /// Scratch-accelerated [`TofEstimator::estimate`] from raw band
+    /// samples (splice → products → inversion).
+    pub fn estimate(
+        &mut self,
+        estimator: &TofEstimator,
+        bands: &[BandSample],
+    ) -> Result<TofEstimate, ChronosError> {
+        let mut products = std::mem::take(&mut self.scratch.products);
+        let combined = estimator.products_into(bands, &mut self.scratch, &mut products);
+        let result = match combined {
+            Ok(()) => estimator.estimate_from_products_with(&products, &mut self.scratch),
+            Err(e) => Err(e),
+        };
+        self.scratch.products = products;
+        result
+    }
+
+    /// Zero-allocation localization: ranges in, candidates appended to
+    /// `out` (cleared first), best residual first.
+    pub fn locate_all(
+        &mut self,
+        ranges: &[AntennaRange],
+        cfg: &LocalizerConfig,
+        out: &mut Vec<Position>,
+    ) -> Result<(), ChronosError> {
+        crate::localization::locate_all_into(ranges, cfg, &mut self.scratch.locate, out)
+    }
+
+    /// Runs a batch of admitted sweeps back-to-back over this pipeline's
+    /// scratch — the engine's same-instant dues path. Plan lookups and
+    /// every estimation buffer are amortized across the whole batch; each
+    /// sweep still owns its seeded RNG, so results are independent of how
+    /// sweeps are grouped into batches (and bitwise identical to
+    /// [`ChronosSession::sweep_with`]).
+    pub fn run_batch(&mut self, jobs: &[BatchSweep<'_>]) -> Vec<SweepOutput> {
+        jobs.iter()
+            .map(|job| {
+                let mut rng = StdRng::seed_from_u64(job.rng_seed);
+                job.session
+                    .sweep_with_pipeline(job.sweep_cfg, &mut rng, job.start, self)
+            })
+            .collect()
+    }
+}

@@ -322,6 +322,15 @@ mod tests {
     }
 
     #[test]
+    fn hit_rate_zero_lookups_is_zero_not_nan() {
+        // A never-queried cache must report 0.0, not 0/0 = NaN.
+        let empty = PlanCache::new().stats();
+        assert_eq!(empty.hits + empty.misses, 0);
+        assert_eq!(empty.hit_rate(), 0.0);
+        assert!(!empty.hit_rate().is_nan());
+    }
+
+    #[test]
     fn clear_empties_tables() {
         let cache = PlanCache::new();
         cache.ndft_plan(&freqs(), TauGrid::span(10.0, 1.0), 10.0);

@@ -49,7 +49,7 @@ impl MultipathProfile {
     /// paths — they are the main lobe and its shoulder/sidelobe — so the
     /// peak finder merges them into the stronger one.
     pub fn min_sep_bins(&self, resolution_ns: f64) -> usize {
-        ((resolution_ns / self.step_ns).ceil() as usize).max(3)
+        min_sep_bins(resolution_ns, self.step_ns)
     }
 
     /// Dominant peaks in *profile-domain* delays (not descaled). Peaks
@@ -163,26 +163,58 @@ pub fn refine_first_peak_clean(
     min_sep_bins: usize,
     resolution_ns: f64,
 ) -> f64 {
+    let mut ws = RefineScratch::default();
+    refine_first_peak_clean_into(ndft, h, p, peak, min_sep_bins, resolution_ns, &mut ws)
+}
+
+/// Reusable buffers for [`refine_first_peak_clean_into`]: the masked
+/// model, its forward image, and the CLEANed residual.
+#[derive(Debug, Clone, Default)]
+pub struct RefineScratch {
+    others: Vec<Complex64>,
+    predicted: Vec<Complex64>,
+    residual: Vec<Complex64>,
+}
+
+/// [`refine_first_peak_clean`] over a reusable workspace — identical
+/// result, zero heap allocations once the buffers have capacity.
+pub fn refine_first_peak_clean_into(
+    ndft: &Ndft,
+    h: &[Complex64],
+    p: &[Complex64],
+    peak: &Peak,
+    min_sep_bins: usize,
+    resolution_ns: f64,
+    ws: &mut RefineScratch,
+) -> f64 {
     // Model of everything except the first peak's neighborhood.
-    let mut others = p.to_vec();
+    ws.others.clear();
+    ws.others.extend_from_slice(p);
     let lo = peak.index.saturating_sub(min_sep_bins);
     let hi = (peak.index + min_sep_bins).min(p.len().saturating_sub(1));
-    for z in others.iter_mut().take(hi + 1).skip(lo) {
+    for z in ws.others.iter_mut().take(hi + 1).skip(lo) {
         *z = Complex64::ZERO;
     }
-    let predicted = ndft.forward(&others);
-    let residual: Vec<Complex64> = h
-        .iter()
-        .zip(predicted.iter())
-        .map(|(a, b)| *a - *b)
-        .collect();
+    ndft.forward_into(&ws.others, &mut ws.predicted);
+    ws.residual.clear();
+    ws.residual
+        .extend(h.iter().zip(ws.predicted.iter()).map(|(a, b)| *a - *b));
     let half_window = (0.5 * resolution_ns).max(ndft.grid().step_ns);
+    let residual = &ws.residual;
     golden_max(
-        |tau| ndft.matched_filter(&residual, tau),
+        |tau| ndft.matched_filter(residual, tau),
         peak.x - half_window,
         peak.x + half_window,
         1e-4,
     )
+}
+
+/// The minimum peak separation (grid bins) for a Rayleigh resolution
+/// width over a grid step — the single implementation behind
+/// [`MultipathProfile::min_sep_bins`] and the scratch pipeline's inlined
+/// profile handling (they must agree bit for bit).
+pub fn min_sep_bins(resolution_ns: f64, step_ns: f64) -> usize {
+    ((resolution_ns / step_ns).ceil() as usize).max(3)
 }
 
 /// Rayleigh resolution of an aperture spanning `freqs_hz`, in nanoseconds:
@@ -255,6 +287,14 @@ pub fn strong_lobe_offsets(freqs_hz: &[f64], threshold: f64, max_offset_ns: f64)
 pub fn cluster_resolution_ns(freqs_hz: &[f64], gap_hz: f64) -> f64 {
     let mut sorted = freqs_hz.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cluster_resolution_ns_sorted(&sorted, gap_hz)
+}
+
+/// [`cluster_resolution_ns`] for frequencies already in ascending order
+/// (band groups keep theirs sorted) — the allocation-free hot-path
+/// variant. Identical result; sorting sorted input is the identity.
+pub fn cluster_resolution_ns_sorted(sorted: &[f64], gap_hz: f64) -> f64 {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
     let mut best_span = 0.0f64;
     let mut start = match sorted.first() {
         Some(f) => *f,

@@ -51,25 +51,64 @@ impl BandGroupSamples {
 
 /// Splits band products into delay-scale groups, each sorted by frequency.
 pub fn group_by_scale(products: &[BandProduct]) -> Vec<BandGroupSamples> {
-    let mut groups: Vec<BandGroupSamples> = Vec::new();
-    let mut sorted: Vec<&BandProduct> = products.iter().collect();
-    sorted.sort_by(|a, b| a.freq_hz.partial_cmp(&b.freq_hz).unwrap());
-    for p in sorted {
+    let mut groups = Vec::new();
+    let mut pool = Vec::new();
+    let mut order = Vec::new();
+    group_by_scale_into(products, &mut groups, &mut pool, &mut order);
+    groups
+}
+
+/// [`group_by_scale`] into reusable buffers: `groups` receives the
+/// result, `pool` recycles emptied groups between calls (their inner
+/// vectors keep capacity), `order` is index-sort working storage.
+/// Identical output; zero heap allocations once the buffers have seen
+/// the plan size.
+pub fn group_by_scale_into(
+    products: &[BandProduct],
+    groups: &mut Vec<BandGroupSamples>,
+    pool: &mut Vec<BandGroupSamples>,
+    order: &mut Vec<usize>,
+) {
+    pool.extend(groups.drain(..).map(|mut g| {
+        g.freqs_hz.clear();
+        g.values.clear();
+        g
+    }));
+    order.clear();
+    order.extend(0..products.len());
+    // Frequencies tie-break on the product index, reproducing the stable
+    // sort's order without its merge buffer.
+    order.sort_unstable_by(|a, b| {
+        products[*a]
+            .freq_hz
+            .partial_cmp(&products[*b].freq_hz)
+            .unwrap()
+            .then(a.cmp(b))
+    });
+    for &i in order.iter() {
+        let p = &products[i];
         match groups.iter_mut().find(|g| g.delay_scale == p.delay_scale) {
             Some(g) => {
                 g.freqs_hz.push(p.freq_hz);
                 g.values.push(p.value);
             }
-            None => groups.push(BandGroupSamples {
-                freqs_hz: vec![p.freq_hz],
-                values: vec![p.value],
-                delay_scale: p.delay_scale,
-            }),
+            None => {
+                let mut g = pool.pop().unwrap_or_else(|| BandGroupSamples {
+                    freqs_hz: Vec::new(),
+                    values: Vec::new(),
+                    delay_scale: 0.0,
+                });
+                g.delay_scale = p.delay_scale;
+                g.freqs_hz.push(p.freq_hz);
+                g.values.push(p.value);
+                groups.push(g);
+            }
         }
     }
-    // Deterministic order: smallest scale (finest ToF range) first.
+    // Deterministic order: smallest scale (finest ToF range) first. (A
+    // handful of groups at most — the stable sort stays in its
+    // insertion-sort regime.)
     groups.sort_by(|a, b| a.delay_scale.partial_cmp(&b.delay_scale).unwrap());
-    groups
 }
 
 #[cfg(test)]

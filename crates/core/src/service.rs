@@ -585,14 +585,14 @@ mod tests {
         let mut svc = service_with(4);
         let report = svc.run_epoch(1);
         // Ideal mode, identical grids: every client needs the same NDFT
-        // plan, so exactly one is ever built (plus one spline plan).
+        // plan, so exactly one is ever built (plus one spline plan). The
+        // worker pipelines memoize the plan `Arc`s after the first
+        // lookup, so the shared cache sees at most a handful of queries
+        // — the sharing contract is "built exactly once", not a hit
+        // count.
         assert_eq!(report.cache.ndft_entries, 1);
         assert_eq!(report.cache.spline_entries, 1);
-        assert!(
-            report.cache.hits > report.cache.misses,
-            "{:?}",
-            report.cache
-        );
+        assert_eq!(report.cache.misses, 2, "{:?}", report.cache);
     }
 
     #[test]
@@ -693,6 +693,38 @@ mod tests {
         assert_eq!(svc.run_epoch(99).mode_occupancy().track, 0);
         assert!(svc.position_tracker(id).is_some());
         assert!(svc.tracker(id).is_none());
+    }
+
+    #[test]
+    fn ratio_reporters_are_zero_not_nan_on_empty_input() {
+        // Every ratio must degrade to 0.0 (never 0/0 = NaN) when its
+        // denominator is empty: an empty service round, a zero-length
+        // window, a never-queried cache.
+        assert_eq!(outcome_stats::airtime_saved(0, 0), 0.0);
+        assert!(!outcome_stats::airtime_saved(0, 0).is_nan());
+        assert_eq!(outcome_stats::completed(&[]), 0);
+        assert!(outcome_stats::mean_abs_error_m(&[]).is_none());
+        assert!(outcome_stats::track_rmse_m(&[]).is_none());
+        assert!(outcome_stats::pos_rmse_m(&[]).is_none());
+        assert!(outcome_stats::median_pos_error_m(&[]).is_none());
+        assert_eq!(outcome_stats::mode_occupancy(&[]), ModeOccupancy::default());
+
+        let mut svc = RangingService::new(ServiceConfig::default());
+        // Zero-length window on an empty service: every report ratio is a
+        // finite zero.
+        let w = svc.run_until(1, Instant::ZERO);
+        assert_eq!(w.sweeps_per_sec(), 0.0);
+        assert_eq!(w.airtime_saved(), 0.0);
+        assert_eq!(w.utilization, 0.0);
+        assert_eq!(w.cache.hit_rate(), 0.0);
+        assert!(w.mean_abs_error_m().is_none());
+        // An epoch round with no clients: same contract.
+        let e = svc.run_epoch(1);
+        assert_eq!(e.sweeps_per_sec_airtime(), 0.0);
+        assert!(!e.sweeps_per_sec_airtime().is_nan());
+        assert_eq!(e.airtime_saved(), 0.0);
+        assert_eq!(e.utilization, 0.0);
+        assert_eq!(e.cache.hit_rate(), 0.0);
     }
 
     #[test]

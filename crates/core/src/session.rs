@@ -14,7 +14,7 @@
 
 use crate::config::ChronosConfig;
 use crate::error::ChronosError;
-use crate::localization::{locate_all, AntennaRange, LocalizerConfig, Position};
+use crate::localization::{AntennaRange, LocalizerConfig, Position};
 use crate::plan::PlanCache;
 use crate::tof::{BandSample, TofEstimate, TofEstimator};
 use chronos_link::sweep::{run_sweep, SweepConfig, SweepResult};
@@ -133,6 +133,26 @@ impl ChronosSession {
         rng: &mut R,
         t: Instant,
     ) -> SweepOutput {
+        let mut pipeline = crate::pipeline::SweepPipeline::new();
+        self.sweep_with_pipeline(sweep_cfg, rng, t, &mut pipeline)
+    }
+
+    /// [`ChronosSession::sweep_with`] over a reusable
+    /// [`SweepPipeline`](crate::pipeline::SweepPipeline):
+    /// the estimation hot path (splice → NDFT/ISTA → profile → first
+    /// path → localization) borrows every intermediate from the
+    /// pipeline's scratch arena instead of allocating per sweep. Results
+    /// are bitwise identical to the scratch-free path — this *is* the
+    /// implementation behind [`ChronosSession::sweep_with`], which merely
+    /// hands in a throwaway pipeline. The engine keeps one pipeline per
+    /// worker and feeds it every sweep (see [`crate::pipeline`]).
+    pub fn sweep_with_pipeline<R: Rng + ?Sized>(
+        &self,
+        sweep_cfg: &SweepConfig,
+        rng: &mut R,
+        t: Instant,
+        pipeline: &mut crate::pipeline::SweepPipeline,
+    ) -> SweepOutput {
         let link = run_sweep(sweep_cfg, t, rng);
         let n_rx = self.ctx.responder.antennas.len();
         let plan = &sweep_cfg.plan;
@@ -167,7 +187,7 @@ impl ChronosSession {
             per_antenna[antenna][op.band_index].measurements.push(m);
         }
 
-        // Estimate per antenna.
+        // Estimate per antenna, over the pipeline's scratch arena.
         let estimator = self.estimator();
         let tofs: Vec<Result<TofEstimate, ChronosError>> = per_antenna
             .iter()
@@ -183,7 +203,7 @@ impl ChronosSession {
                         planned: plan.len(),
                     });
                 }
-                estimator.estimate(&non_empty)
+                pipeline.estimate(&estimator, &non_empty)
             })
             .collect();
 
@@ -199,14 +219,18 @@ impl ChronosSession {
                 })
             })
             .collect();
-        let candidates = if ranges.len() >= 2 {
-            locate_all(&ranges, &self.localizer)
+        let mut position_candidates = Vec::new();
+        let located = if ranges.len() >= 2 {
+            pipeline.locate_all(&ranges, &self.localizer, &mut position_candidates)
         } else {
             Err(ChronosError::NoConsistentPosition)
         };
-        let (position, position_candidates) = match candidates {
-            Ok(c) => (Ok(c[0]), c),
-            Err(e) => (Err(e), Vec::new()),
+        let position = match located {
+            Ok(()) => Ok(position_candidates[0]),
+            Err(e) => {
+                position_candidates.clear();
+                Err(e)
+            }
         };
 
         SweepOutput {

@@ -17,13 +17,15 @@
 
 use crate::config::ChronosConfig;
 use crate::error::ChronosError;
-use crate::ista::{solve_planned, IstaConfig};
+use crate::ista::{debias_into, solve_planned_into, DebiasScratch, IstaConfig};
 use crate::ndft::{Ndft, TauGrid};
 use crate::phase::Interpolation;
+use crate::pipeline::{EstimatorScratch, PlanMemo, SelectScratch};
 use crate::plan::{NdftPlan, PlanCache};
 use crate::profile::MultipathProfile;
-use crate::quirk::group_by_scale;
+use crate::quirk::{group_by_scale_into, BandGroupSamples};
 use crate::reciprocity::{combine_band_planned, BandProduct};
+use chronos_math::peaks::PeakConfig;
 use chronos_math::spline::SplinePlan;
 use chronos_math::Complex64;
 use chronos_rf::csi::Measurement;
@@ -61,6 +63,35 @@ pub struct TofEstimate {
     /// Whether the coarse 2.4 GHz check (if run) agreed with the primary
     /// estimate.
     pub cross_check_ok: bool,
+}
+
+/// The compact, allocation-free estimator result: everything a tracking
+/// service needs from a sweep, without the profile payload of
+/// [`TofEstimate`]. Produced by
+/// [`crate::pipeline::SweepPipeline::estimate_fix`]; scalar fields agree
+/// bit for bit with the full estimate's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TofFix {
+    /// Calibrated time-of-flight, ns.
+    pub tof_ns: f64,
+    /// Equivalent distance, meters.
+    pub distance_m: f64,
+    /// Whether the coarse 2.4 GHz check (if run) agreed with the primary
+    /// estimate.
+    pub cross_check_ok: bool,
+    /// Delay-scale groups that produced a candidate.
+    pub n_groups: usize,
+    /// Bands in the primary (winning) group.
+    pub primary_bands: usize,
+}
+
+/// One group's scalar outcome inside the scratch pipeline (the
+/// profile-free core of [`GroupEstimate`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GroupFix {
+    pub(crate) delay_scale: f64,
+    pub(crate) n_bands: usize,
+    pub(crate) raw_tof_ns: f64,
 }
 
 /// The configured estimator.
@@ -111,36 +142,102 @@ impl TofEstimator {
         }
     }
 
-    /// The spline plan for the capture layout the band samples use, when a
-    /// cache is attached (per-call fitting stays exact without one).
-    fn spline_plan_for(&self, bands: &[BandSample]) -> Option<Arc<SplinePlan>> {
+    /// The spline plan for the capture layout the band samples use, via
+    /// the scratch memo (the cache lookup — which builds a hashing key —
+    /// is paid once per layout per scratch, not per sweep). Per-call
+    /// fitting stays exact without a cache.
+    fn spline_plan_memo(
+        &self,
+        bands: &[BandSample],
+        scratch: &mut EstimatorScratch,
+    ) -> Option<Arc<SplinePlan>> {
         let cache = self.plans.as_ref()?;
         let first = bands.iter().find_map(|b| b.measurements.first())?;
-        let xs: Vec<f64> = first
-            .forward
-            .layout
-            .indices()
+        scratch.xs.clear();
+        scratch
+            .xs
+            .extend(first.forward.layout.indices().iter().map(|k| *k as f64));
+        if let Some((_, plan)) = scratch
+            .spline_memo
             .iter()
-            .map(|k| *k as f64)
-            .collect();
-        cache.spline_plan(&xs).ok()
+            .find(|(xs, _)| xs.as_slice() == scratch.xs.as_slice())
+        {
+            return Some(Arc::clone(plan));
+        }
+        let plan = cache.spline_plan(&scratch.xs).ok()?;
+        // Bound the memo: a worker serving unboundedly many distinct
+        // layouts falls back to the shared cache instead of growing (and
+        // linearly scanning) forever. Real deployments use a handful of
+        // layouts, so the cap is never reached.
+        if scratch.spline_memo.len() >= crate::pipeline::PLAN_MEMO_CAP {
+            scratch.spline_memo.clear();
+        }
+        scratch
+            .spline_memo
+            .push((scratch.xs.clone(), Arc::clone(&plan)));
+        Some(plan)
+    }
+
+    /// The NDFT plan for one band group via the scratch memo: the shared
+    /// cache (or a fresh build) is consulted once per distinct
+    /// `(bands, grid)`; every later sweep through the same scratch reuses
+    /// the memoized `Arc` without constructing a cache key.
+    fn plan_for_memo(
+        &self,
+        freqs_hz: &[f64],
+        grid: TauGrid,
+        memo: &mut Vec<PlanMemo>,
+    ) -> Arc<NdftPlan> {
+        let lobe_span = self.config.grid_span_ns;
+        if let Some(e) = memo.iter().find(|e| {
+            e.grid == grid
+                && e.lobe_span.to_bits() == lobe_span.to_bits()
+                && e.freqs.as_slice() == freqs_hz
+        }) {
+            return Arc::clone(&e.plan);
+        }
+        let plan = self.plan_for(freqs_hz, grid);
+        // Bound the memo (see `spline_plan_memo`): beyond the cap a
+        // worker leans on the shared cache rather than growing forever.
+        if memo.len() >= crate::pipeline::PLAN_MEMO_CAP {
+            memo.clear();
+        }
+        memo.push(PlanMemo {
+            freqs: freqs_hz.to_vec(),
+            grid,
+            lobe_span,
+            plan: Arc::clone(&plan),
+        });
+        plan
     }
 
     /// Combines raw band samples into CFO-free products.
     pub fn products(&self, bands: &[BandSample]) -> Result<Vec<BandProduct>, ChronosError> {
-        let spline_plan = self.spline_plan_for(bands);
-        bands
-            .iter()
-            .filter(|b| !b.measurements.is_empty())
-            .map(|b| {
-                combine_band_planned(
-                    &b.measurements,
-                    self.interpolation,
-                    self.config.mode,
-                    spline_plan.as_deref(),
-                )
-            })
-            .collect()
+        let mut scratch = EstimatorScratch::new();
+        let mut out = Vec::new();
+        self.products_into(bands, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`TofEstimator::products`] into a reusable output buffer, with
+    /// spline plans served from the scratch memo. Identical results.
+    pub(crate) fn products_into(
+        &self,
+        bands: &[BandSample],
+        scratch: &mut EstimatorScratch,
+        out: &mut Vec<BandProduct>,
+    ) -> Result<(), ChronosError> {
+        let spline_plan = self.spline_plan_memo(bands, scratch);
+        out.clear();
+        for b in bands.iter().filter(|b| !b.measurements.is_empty()) {
+            out.push(combine_band_planned(
+                &b.measurements,
+                self.interpolation,
+                self.config.mode,
+                spline_plan.as_deref(),
+            )?);
+        }
+        Ok(())
     }
 
     /// Runs the full estimation pipeline.
@@ -155,7 +252,73 @@ impl TofEstimator {
         &self,
         products: &[BandProduct],
     ) -> Result<TofEstimate, ChronosError> {
-        let groups = group_by_scale(products);
+        let mut scratch = EstimatorScratch::new();
+        self.estimate_from_products_with(products, &mut scratch)
+    }
+
+    /// [`TofEstimator::estimate_from_products`] over a reusable scratch
+    /// arena: the whole solver path (ISTA, debias, peak selection, CLEAN
+    /// refinement) runs allocation-free; only the returned
+    /// [`TofEstimate`] — profiles included — is freshly allocated.
+    /// Results are bitwise identical to the scratch-free path.
+    pub fn estimate_from_products_with(
+        &self,
+        products: &[BandProduct],
+        scratch: &mut EstimatorScratch,
+    ) -> Result<TofEstimate, ChronosError> {
+        let fix = self.estimate_scaled(products, scratch, true)?;
+        Ok(TofEstimate {
+            tof_ns: fix.tof_ns,
+            distance_m: fix.distance_m,
+            groups: std::mem::take(&mut scratch.profiles),
+            cross_check_ok: fix.cross_check_ok,
+        })
+    }
+
+    /// The zero-allocation estimation entry point: products in, a compact
+    /// [`TofFix`] out, every intermediate borrowed from the scratch.
+    /// Scalars agree bit for bit with
+    /// [`TofEstimator::estimate_from_products`].
+    pub fn estimate_fix_with(
+        &self,
+        products: &[BandProduct],
+        scratch: &mut EstimatorScratch,
+    ) -> Result<TofFix, ChronosError> {
+        self.estimate_scaled(products, scratch, false)
+    }
+
+    /// The shared estimation body behind both the allocating and the
+    /// zero-alloc entry points. Groups products by delay scale, inverts
+    /// each group through the scratch solver, selects and refines the
+    /// first physical path, and fuses the group candidates. When
+    /// `want_profiles` is set, `scratch.profiles` additionally receives
+    /// the per-group [`GroupEstimate`]s (primary first) for
+    /// [`TofEstimate`] assembly.
+    fn estimate_scaled(
+        &self,
+        products: &[BandProduct],
+        scratch: &mut EstimatorScratch,
+        want_profiles: bool,
+    ) -> Result<TofFix, ChronosError> {
+        let mut groups = std::mem::take(&mut scratch.groups);
+        let result = self.estimate_scaled_inner(products, &mut groups, scratch, want_profiles);
+        scratch.groups = groups;
+        result
+    }
+
+    fn estimate_scaled_inner(
+        &self,
+        products: &[BandProduct],
+        groups: &mut Vec<BandGroupSamples>,
+        scratch: &mut EstimatorScratch,
+        want_profiles: bool,
+    ) -> Result<TofFix, ChronosError> {
+        group_by_scale_into(
+            products,
+            groups,
+            &mut scratch.group_pool,
+            &mut scratch.order,
+        );
         // Primary group: the one with the most bands (ties: finest scale,
         // which sorts first).
         let primary_idx = groups
@@ -172,14 +335,15 @@ impl TofEstimator {
         }
 
         let primary_bands = groups[primary_idx].len();
-        let mut estimates: Vec<GroupEstimate> = Vec::new();
+        scratch.fixes.clear();
+        scratch.profiles.clear();
         let mut primary_error: Option<ChronosError> = None;
-        for g in &groups {
+        for g in groups.iter() {
             if g.len() < 5 {
                 continue; // not enough bands to invert meaningfully
             }
             let grid = TauGrid::span(self.config.grid_span_ns, self.config.grid_step_ns);
-            let plan = self.plan_for(&g.freqs_hz, grid);
+            let plan = self.plan_for_memo(&g.freqs_hz, grid, &mut scratch.plan_memo);
             let ndft = &plan.ndft;
             let ista_cfg = IstaConfig {
                 alpha_rel: self.config.alpha_rel,
@@ -187,23 +351,28 @@ impl TofEstimator {
                 epsilon: self.config.epsilon,
                 accelerated: self.config.accelerated,
             };
-            let sol = solve_planned(&plan, &g.values, &ista_cfg);
-            let p_final = if self.config.debias {
+            solve_planned_into(&plan, &g.values, &ista_cfg, &mut scratch.ista);
+            if self.config.debias {
                 // Overdetermined refit: at most half as many atoms as bands.
                 let max_atoms = (g.len() / 2).max(3);
-                crate::ista::debias(ndft, &g.values, &sol.p, max_atoms, 3)
+                debias_into(
+                    ndft,
+                    &g.values,
+                    scratch.ista.solution(),
+                    max_atoms,
+                    3,
+                    &mut scratch.debias,
+                    &mut scratch.p_final,
+                );
             } else {
-                sol.p
-            };
-            let profile = MultipathProfile::from_solution(
-                &p_final,
-                grid.start_ns,
-                grid.step_ns,
-                g.delay_scale,
-            );
+                scratch.p_final.clear();
+                scratch.p_final.extend_from_slice(scratch.ista.solution());
+            }
+            chronos_math::cvec::magnitudes_into(&scratch.p_final, &mut scratch.mags);
             let res_ns = crate::profile::resolution_ns(&g.freqs_hz);
-            let veto_ns = crate::profile::cluster_resolution_ns(&g.freqs_hz, 150e6);
-            let min_sep = profile.min_sep_bins(res_ns);
+            // Group frequencies are kept ascending by `group_by_scale`.
+            let veto_ns = crate::profile::cluster_resolution_ns_sorted(&g.freqs_hz, 150e6);
+            let min_sep = crate::profile::min_sep_bins(res_ns, grid.step_ns);
             // Physical prior: a genuine first peak cannot descale below the
             // calibration constant — that would mean negative distance.
             // (2 ns of margin tolerates calibration error.)
@@ -218,8 +387,8 @@ impl TofEstimator {
             let peak = match select_first_path(
                 ndft,
                 &g.values,
-                &profile,
-                &p_final,
+                &scratch.p_final,
+                &scratch.mags,
                 self.config.peak_dominance,
                 min_sep,
                 veto_ns,
@@ -227,6 +396,8 @@ impl TofEstimator {
                 min_profile_x,
                 self.config.atom_snr_min,
                 lobes,
+                &mut scratch.select,
+                &mut scratch.debias,
             ) {
                 Ok(p) => p,
                 Err(e) => {
@@ -236,32 +407,56 @@ impl TofEstimator {
                     continue;
                 }
             };
-            let refined = crate::profile::refine_first_peak_clean(
-                ndft, &g.values, &p_final, &peak, min_sep, res_ns,
+            let refined = crate::profile::refine_first_peak_clean_into(
+                ndft,
+                &g.values,
+                &scratch.p_final,
+                &peak,
+                min_sep,
+                res_ns,
+                &mut scratch.refine,
             );
             let raw_tof_ns = refined / g.delay_scale;
-            estimates.push(GroupEstimate {
+            scratch.fixes.push(GroupFix {
                 delay_scale: g.delay_scale,
                 n_bands: g.len(),
-                profile,
                 raw_tof_ns,
             });
+            if want_profiles {
+                scratch.profiles.push(GroupEstimate {
+                    delay_scale: g.delay_scale,
+                    n_bands: g.len(),
+                    profile: MultipathProfile {
+                        start_ns: grid.start_ns,
+                        step_ns: grid.step_ns,
+                        magnitudes: scratch.mags.clone(),
+                        delay_scale: g.delay_scale,
+                    },
+                    raw_tof_ns,
+                });
+            }
         }
         if let Some(e) = primary_error {
             return Err(e);
         }
-        if estimates.is_empty() {
+        if scratch.fixes.is_empty() {
             return Err(ChronosError::NoDominantPath);
         }
 
-        // Primary: most bands.
-        estimates.sort_by_key(|e| std::cmp::Reverse(e.n_bands));
-        let primary = &estimates[0];
+        // Primary: most bands. (A couple of groups at most — the stable
+        // sorts stay in their allocation-free insertion regime.)
+        scratch.fixes.sort_by_key(|e| std::cmp::Reverse(e.n_bands));
+        if want_profiles {
+            scratch
+                .profiles
+                .sort_by_key(|e| std::cmp::Reverse(e.n_bands));
+        }
+        let primary = scratch.fixes[0];
         let mut cross_check_ok = true;
-        if self.config.use_24ghz_check && estimates.len() > 1 {
+        if self.config.use_24ghz_check && scratch.fixes.len() > 1 {
             // The coarse group agrees if some alias of its estimate is
             // within tolerance of the primary.
-            let coarse = &estimates[1];
+            let coarse = scratch.fixes[1];
             let alias_period = self.config.grid_span_ns / coarse.delay_scale;
             let diff = (primary.raw_tof_ns - coarse.raw_tof_ns).rem_euclid(alias_period);
             let dist = diff.min(alias_period - diff);
@@ -269,11 +464,12 @@ impl TofEstimator {
         }
 
         let tof_ns = primary.raw_tof_ns - self.config.calibration_ns;
-        Ok(TofEstimate {
+        Ok(TofFix {
             tof_ns,
             distance_m: chronos_math::constants::ns_to_m(tof_ns),
-            groups: estimates,
             cross_check_ok,
+            n_groups: scratch.fixes.len(),
+            primary_bands: primary.n_bands,
         })
     }
 }
@@ -291,12 +487,29 @@ impl TofEstimator {
 /// re-absorbed by the neighboring atoms. `energy_factor` (0..1) scales the
 /// acceptance threshold — higher demands more unexplained energy, i.e.
 /// vetoes more aggressively.
+/// Whether `CHRONOS_DEBUG_PEAKS` diagnostics are enabled. Read once: an
+/// environment lookup allocates on most platforms, which would break the
+/// hot path's zero-alloc contract if checked per candidate.
+fn debug_peaks() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("CHRONOS_DEBUG_PEAKS").is_some())
+}
+
+/// `||h - F p||^2` with the forward image staged in `fit`.
+fn resid_sq(ndft: &Ndft, h: &[Complex64], p: &[Complex64], fit: &mut Vec<Complex64>) -> f64 {
+    ndft.forward_into(p, fit);
+    fit.iter()
+        .zip(h.iter())
+        .map(|(a, b)| (*a - *b).norm_sq())
+        .sum::<f64>()
+}
+
 #[allow(clippy::too_many_arguments)]
 fn select_first_path(
     ndft: &Ndft,
     h: &[Complex64],
-    profile: &MultipathProfile,
     p_final: &[Complex64],
+    mags: &[f64],
     dominance: f64,
     min_sep: usize,
     veto_window_ns: f64,
@@ -304,64 +517,72 @@ fn select_first_path(
     min_profile_x_ns: f64,
     atom_snr_min: f64,
     lobe_offsets_ns: &[f64],
+    sel: &mut SelectScratch,
+    debias_ws: &mut DebiasScratch,
 ) -> Result<chronos_math::peaks::Peak, ChronosError> {
-    let resid_sq = |p: &[Complex64]| -> f64 {
-        let fit = ndft.forward(p);
-        fit.iter()
-            .zip(h.iter())
-            .map(|(a, b)| (*a - *b).norm_sq())
-            .sum::<f64>()
-    };
-    let r_with = resid_sq(p_final);
+    // The one grid every delay index and x-coordinate below refers to —
+    // taken from the operator itself so a mismatch is unrepresentable.
+    let grid = ndft.grid();
+    let r_with = resid_sq(ndft, h, p_final, &mut sel.fit);
 
-    let peaks: Vec<chronos_math::peaks::Peak> = profile
-        .dominant_peaks(dominance, min_sep)
-        .into_iter()
-        .filter(|p| p.x >= min_profile_x_ns)
-        .collect();
-    if peaks.is_empty() {
+    // Dominant peaks past the physical-prior cutoff (the profile's
+    // `dominant_peaks` + filter, over the scratch magnitude buffer).
+    chronos_math::peaks::find_peaks_into(
+        mags,
+        grid.start_ns,
+        grid.step_ns,
+        &PeakConfig {
+            dominance,
+            min_separation: min_sep.max(1),
+        },
+        &mut sel.peak_cands,
+        &mut sel.peaks_all,
+    );
+    sel.peaks.clear();
+    sel.peaks.extend(
+        sel.peaks_all
+            .iter()
+            .filter(|p| p.x >= min_profile_x_ns)
+            .copied(),
+    );
+    if sel.peaks.is_empty() {
         return Err(ChronosError::NoDominantPath);
     }
 
-    // CLEANed matched-filter response with the candidate's neighborhood
-    // removed from the model.
-    let cleaned_mf = |cand: &chronos_math::peaks::Peak| -> (Vec<Complex64>, f64) {
-        let mut p_others = p_final.to_vec();
+    'candidates: for i in 0..sel.peaks.len() {
+        let cand = sel.peaks[i];
+        // CLEANed matched-filter response with the candidate's
+        // neighborhood removed from the model.
+        sel.model.clear();
+        sel.model.extend_from_slice(p_final);
         let lo = cand.index.saturating_sub(min_sep);
-        let hi = (cand.index + min_sep).min(p_others.len().saturating_sub(1));
-        for z in p_others.iter_mut().take(hi + 1).skip(lo) {
+        let hi = (cand.index + min_sep).min(sel.model.len().saturating_sub(1));
+        for z in sel.model.iter_mut().take(hi + 1).skip(lo) {
             *z = Complex64::ZERO;
         }
-        let predicted = ndft.forward(&p_others);
-        let residual: Vec<Complex64> = h
-            .iter()
-            .zip(predicted.iter())
-            .map(|(a, b)| *a - *b)
-            .collect();
-        let mf_at = ndft.matched_filter(&residual, cand.x);
-        (residual, mf_at)
-    };
-
-    'candidates: for (i, cand) in peaks.iter().enumerate() {
-        let (residual, mf_at) = cleaned_mf(cand);
+        ndft.forward_into(&sel.model, &mut sel.fit);
+        sel.residual.clear();
+        sel.residual
+            .extend(h.iter().zip(sel.fit.iter()).map(|(a, b)| *a - *b));
+        let mf_at = ndft.matched_filter(&sel.residual, cand.x);
 
         // Quiet-zone significance test: every genuine squared-channel term
         // lies at/after the direct term, so the profile *before* the first
         // real path holds only noise, aliases and solver leakage. The
         // candidate's cleaned matched-filter response must stand well above
         // the median response of the region before it.
-        let zone_hi = cand.x - 2.0 * profile.step_ns * min_sep as f64;
-        if zone_hi > 4.0 * profile.step_ns {
-            let step = (zone_hi / 24.0).max(profile.step_ns);
-            let mut quiet: Vec<f64> = Vec::new();
+        let zone_hi = cand.x - 2.0 * grid.step_ns * min_sep as f64;
+        if zone_hi > 4.0 * grid.step_ns {
+            let step = (zone_hi / 24.0).max(grid.step_ns);
+            sel.quiet.clear();
             let mut x = 0.0;
             while x < zone_hi {
-                quiet.push(ndft.matched_filter(&residual, x));
+                sel.quiet.push(ndft.matched_filter(&sel.residual, x));
                 x += step;
             }
-            if quiet.len() >= 6 {
-                let floor = chronos_math::stats::median(&quiet);
-                if std::env::var_os("CHRONOS_DEBUG_PEAKS").is_some() {
+            if sel.quiet.len() >= 6 {
+                let floor = chronos_math::stats::median_inplace(&mut sel.quiet);
+                if debug_peaks() {
                     eprintln!(
                         "[peaks] cand x={:.2} mag={:.4} mf={:.4} quiet_floor={:.4}",
                         cand.x, cand.magnitude, mf_at, floor
@@ -386,7 +607,8 @@ fn select_first_path(
         // after the candidate: if one of those explains the data, the
         // candidate was the ghost.
         let _ = (veto_window_ns, r_with);
-        let suspicious = peaks
+        let suspicious = sel
+            .peaks
             .iter()
             .skip(i + 1)
             .any(|later| later.magnitude > cand.magnitude);
@@ -398,37 +620,43 @@ fn select_first_path(
             // budget everywhere, so the comparison is fair). Seeding all
             // offsets at once would hand the alternative an overcomplete
             // basis that can explain *any* atom — hence one at a time.
-            let grid = ndft.grid();
-            let r_a = resid_sq(&crate::ista::debias(ndft, h, p_final, 18, 3));
+            debias_into(ndft, h, p_final, 18, 3, debias_ws, &mut sel.debias_out);
+            let r_a = resid_sq(ndft, h, &sel.debias_out, &mut sel.fit);
 
             // Cluster lobe offsets within 4 ns (fringes of one envelope).
-            let mut clusters: Vec<f64> = Vec::new();
+            sel.clusters.clear();
             for d in lobe_offsets_ns {
-                if clusters.last().map(|c| (d - c).abs() > 4.0).unwrap_or(true) {
-                    clusters.push(*d);
+                if sel
+                    .clusters
+                    .last()
+                    .map(|c| (d - c).abs() > 4.0)
+                    .unwrap_or(true)
+                {
+                    sel.clusters.push(*d);
                 }
             }
 
-            let mut p_base = p_final.to_vec();
-            let lo = cand.index.saturating_sub(min_sep);
-            let hi = (cand.index + min_sep).min(p_base.len().saturating_sub(1));
-            for z in p_base.iter_mut().take(hi + 1).skip(lo) {
-                *z = Complex64::ZERO;
-            }
+            // `sel.model` already holds the support minus the candidate's
+            // neighborhood (built for the CLEANed matched filter above).
 
             // Hypotheses: no alternative source, or one seed per cluster.
-            let mut r_b_best = resid_sq(&crate::ista::debias(ndft, h, &p_base, 18, 3));
-            for d in &clusters {
+            debias_into(ndft, h, &sel.model, 18, 3, debias_ws, &mut sel.debias_out);
+            let mut r_b_best = resid_sq(ndft, h, &sel.debias_out, &mut sel.fit);
+            for ci in 0..sel.clusters.len() {
+                let d = sel.clusters[ci];
                 let x_img = cand.x + d;
                 let idx = ((x_img - grid.start_ns) / grid.step_ns).round() as isize;
-                if idx < 0 || (idx as usize) >= p_base.len() {
+                if idx < 0 || (idx as usize) >= sel.model.len() {
                     continue;
                 }
-                let mut p_hyp = p_base.clone();
-                if p_hyp[idx as usize].abs() < 1e-12 {
-                    p_hyp[idx as usize] = Complex64::from_re(cand.magnitude);
+                sel.hyp.clear();
+                let model = &sel.model;
+                sel.hyp.extend_from_slice(model);
+                if sel.hyp[idx as usize].abs() < 1e-12 {
+                    sel.hyp[idx as usize] = Complex64::from_re(cand.magnitude);
                 }
-                let r = resid_sq(&crate::ista::debias(ndft, h, &p_hyp, 18, 3));
+                debias_into(ndft, h, &sel.hyp, 18, 3, debias_ws, &mut sel.debias_out);
+                let r = resid_sq(ndft, h, &sel.debias_out, &mut sel.fit);
                 r_b_best = r_b_best.min(r);
             }
             // Accept only when removing the candidate hurts the fit in
@@ -439,7 +667,7 @@ fn select_first_path(
             // any atom's footprint, too lax against noise atoms whose
             // removal always costs their own (noise) energy.
             let relative_ok = r_a > 0.0 && r_b_best >= (1.0 + energy_factor) * r_a;
-            if std::env::var_os("CHRONOS_DEBUG_PEAKS").is_some() {
+            if debug_peaks() {
                 eprintln!(
                     "[veto] cand x={:.2} mag={:.4} r_a={:.4} r_b={:.4} rel={}",
                     cand.x, cand.magnitude, r_a, r_b_best, relative_ok
@@ -449,12 +677,13 @@ fn select_first_path(
                 continue 'candidates; // artifact: an alternative explains it
             }
         }
-        return Ok(*cand);
+        return Ok(cand);
     }
     // Every candidate vetoed: fall back to the strongest peak (a safe,
     // always-physical choice).
-    peaks
-        .into_iter()
+    sel.peaks
+        .iter()
+        .copied()
         .max_by(|a, b| a.magnitude.partial_cmp(&b.magnitude).unwrap())
         .ok_or(ChronosError::NoDominantPath)
 }

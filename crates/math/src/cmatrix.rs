@@ -7,7 +7,7 @@
 use crate::complex::Complex64;
 
 /// A dense, row-major complex matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CMat {
     rows: usize,
     cols: usize,
@@ -66,6 +66,17 @@ impl CMat {
         self.data[i * self.cols + j] = v;
     }
 
+    /// Reshapes this matrix in place to `rows x cols`, zero-filled.
+    ///
+    /// Retains the data buffer's capacity, so a matrix reused across a
+    /// hot loop stops allocating once it has seen its largest shape.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, Complex64::ZERO);
+    }
+
     /// Builds a matrix from column vectors.
     ///
     /// # Panics
@@ -88,19 +99,35 @@ impl CMat {
 
     /// Conjugate-transpose product `A^H b` for a vector `b`.
     pub fn hermitian_mul_vec(&self, b: &[Complex64]) -> Vec<Complex64> {
+        let mut out = Vec::new();
+        self.hermitian_mul_vec_into(b, &mut out);
+        out
+    }
+
+    /// [`CMat::hermitian_mul_vec`] into a caller-provided buffer
+    /// (identical arithmetic, no allocation once `out` has capacity).
+    pub fn hermitian_mul_vec_into(&self, b: &[Complex64], out: &mut Vec<Complex64>) {
         assert_eq!(b.len(), self.rows, "hermitian_mul_vec: dimension mismatch");
-        let mut out = vec![Complex64::ZERO; self.cols];
+        out.clear();
+        out.resize(self.cols, Complex64::ZERO);
         for (i, bi) in b.iter().enumerate() {
             for (j, o) in out.iter_mut().enumerate() {
                 *o += self.get(i, j).conj() * *bi;
             }
         }
-        out
     }
 
     /// Gram matrix `A^H A` (Hermitian, positive semi-definite).
     pub fn gram(&self) -> CMat {
         let mut g = CMat::zeros(self.cols, self.cols);
+        self.gram_into(&mut g);
+        g
+    }
+
+    /// [`CMat::gram`] into a caller-provided matrix (identical
+    /// arithmetic, no allocation once `g` has capacity).
+    pub fn gram_into(&self, g: &mut CMat) {
+        g.reset(self.cols, self.cols);
         for j in 0..self.cols {
             for k in j..self.cols {
                 let mut acc = Complex64::ZERO;
@@ -111,7 +138,6 @@ impl CMat {
                 g.set(k, j, acc.conj());
             }
         }
-        g
     }
 
     /// Matrix-vector product `A x`.
@@ -131,12 +157,31 @@ impl CMat {
     /// Solves the square system `A x = b` by Gaussian elimination with
     /// partial pivoting (on magnitudes).
     pub fn solve(&self, b: &[Complex64]) -> Result<Vec<Complex64>, CMatError> {
+        let mut work = Vec::new();
+        let mut x = Vec::new();
+        self.solve_into(b, &mut work, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`CMat::solve`] with caller-provided working storage: `work`
+    /// receives the eliminated copy of the matrix, `x` the solution.
+    /// Identical arithmetic; no allocation once the buffers have
+    /// capacity.
+    pub fn solve_into(
+        &self,
+        b: &[Complex64],
+        work: &mut Vec<Complex64>,
+        x: &mut Vec<Complex64>,
+    ) -> Result<(), CMatError> {
         if self.rows != self.cols || b.len() != self.rows {
             return Err(CMatError::DimensionMismatch);
         }
         let n = self.rows;
-        let mut a = self.data.clone();
-        let mut x: Vec<Complex64> = b.to_vec();
+        work.clear();
+        work.extend_from_slice(&self.data);
+        let a = work;
+        x.clear();
+        x.extend_from_slice(b);
         for col in 0..n {
             // Pivot on the largest magnitude.
             let mut p = col;
@@ -178,17 +223,33 @@ impl CMat {
             }
             x[col] = sum / a[col * n + col];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Least squares `min ||A x - b||_2` via the (ridged) normal equations
     /// `A^H A x = A^H b`. Suitable for the small, well-separated atom sets
     /// the debias step produces.
     pub fn lstsq(&self, b: &[Complex64]) -> Result<Vec<Complex64>, CMatError> {
+        let mut ws = CLstsqScratch::default();
+        let mut x = Vec::new();
+        self.lstsq_into(b, &mut ws, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`CMat::lstsq`] with a reusable workspace — identical arithmetic,
+    /// no allocation once the workspace has seen the problem size.
+    pub fn lstsq_into(
+        &self,
+        b: &[Complex64],
+        ws: &mut CLstsqScratch,
+        x: &mut Vec<Complex64>,
+    ) -> Result<(), CMatError> {
         if b.len() != self.rows {
             return Err(CMatError::DimensionMismatch);
         }
-        let mut g = self.gram();
+        let CLstsqScratch { gram, rhs, work } = ws;
+        self.gram_into(gram);
+        let g = gram;
         // Small ridge keeps nearly-coherent atom pairs solvable.
         let trace: f64 = (0..g.rows()).map(|i| g.get(i, i).re).sum();
         let ridge = 1e-9 * (trace / g.rows() as f64).max(1e-12);
@@ -196,9 +257,17 @@ impl CMat {
             let d = g.get(i, i);
             g.set(i, i, d + Complex64::from_re(ridge));
         }
-        let rhs = self.hermitian_mul_vec(b);
-        g.solve(&rhs)
+        self.hermitian_mul_vec_into(b, rhs);
+        g.solve_into(rhs, work, x)
     }
+}
+
+/// Reusable working storage for [`CMat::lstsq_into`].
+#[derive(Debug, Clone, Default)]
+pub struct CLstsqScratch {
+    gram: CMat,
+    rhs: Vec<Complex64>,
+    work: Vec<Complex64>,
 }
 
 #[cfg(test)]
@@ -311,6 +380,40 @@ mod tests {
             }
             assert!(g.get(i, i).im.abs() < 1e-12);
             assert!(g.get(i, i).re >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lstsq_into_is_bitwise_identical_and_reusable() {
+        let mut a = CMat::zeros(6, 2);
+        for i in 0..6 {
+            a.set(i, 0, Complex64::cis(0.3 * i as f64));
+            a.set(i, 1, Complex64::cis(-0.9 * i as f64));
+        }
+        let b: Vec<Complex64> = (0..6).map(|i| Complex64::cis(0.11 * i as f64)).collect();
+        let fresh = a.lstsq(&b).unwrap();
+        let mut ws = CLstsqScratch::default();
+        let mut x = Vec::new();
+        // A warm (already-sized) workspace must produce the same bits.
+        for _ in 0..3 {
+            a.lstsq_into(&b, &mut ws, &mut x).unwrap();
+            for (u, v) in x.iter().zip(fresh.iter()) {
+                assert_eq!(u.re.to_bits(), v.re.to_bits());
+                assert_eq!(u.im.to_bits(), v.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn reset_reshapes_and_zeroes() {
+        let mut m = CMat::zeros(2, 2);
+        m.set(1, 1, c(3.0, -1.0));
+        m.reset(3, 2);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(m.get(i, j), Complex64::ZERO);
+            }
         }
     }
 

@@ -101,7 +101,16 @@ pub fn hadamard_into(a: &[Complex64], b: &[Complex64], out: &mut [Complex64]) {
 
 /// Extracts magnitudes into a fresh `Vec<f64>`.
 pub fn magnitudes(v: &[Complex64]) -> Vec<f64> {
-    v.iter().map(|z| z.abs()).collect()
+    let mut out = Vec::new();
+    magnitudes_into(v, &mut out);
+    out
+}
+
+/// [`magnitudes`] into a caller-provided buffer (no allocation once `out`
+/// has capacity).
+pub fn magnitudes_into(v: &[Complex64], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(v.iter().map(|z| z.abs()));
 }
 
 /// Extracts phases (radians, `(-pi, pi]`) into a fresh `Vec<f64>`.

@@ -86,16 +86,75 @@ impl Default for GaussNewton {
     }
 }
 
+/// Reusable working storage for [`GaussNewton::minimize_with`]: every
+/// intermediate the solver needs (Jacobian, normal equations, damping
+/// copies, trial vectors) lives here, so repeated fits stop allocating
+/// once the workspace has seen the largest problem size.
+///
+/// After a fit, [`GnWorkspace::params`] holds the optimized parameters.
+#[derive(Debug, Clone, Default)]
+pub struct GnWorkspace {
+    /// Optimized parameters of the most recent fit.
+    pub params: Vec<f64>,
+    r: Vec<f64>,
+    r_trial: Vec<f64>,
+    r_pert: Vec<f64>,
+    perturbed: Vec<f64>,
+    trial: Vec<f64>,
+    jac: Mat,
+    jtj: Mat,
+    damped: Mat,
+    jtr: Vec<f64>,
+    rhs: Vec<f64>,
+    dx: Vec<f64>,
+    solve_work: Vec<f64>,
+    solve_scale: Vec<f64>,
+}
+
+/// Scalar outcome of a [`GaussNewton::minimize_with`] run; the parameters
+/// stay in the workspace.
+#[derive(Debug, Clone, Copy)]
+pub struct FitStats {
+    /// Final sum of squared residuals.
+    pub cost: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the convergence tolerance was reached (vs. iteration cap).
+    pub converged: bool,
+}
+
 impl GaussNewton {
     /// Minimizes `||r(params)||^2` starting from `x0`.
     pub fn minimize<R: Residuals>(&self, residuals: &R, x0: &[f64]) -> FitResult {
+        let mut ws = GnWorkspace::default();
+        let stats = self.minimize_with(residuals, x0, &mut ws);
+        FitResult {
+            params: ws.params,
+            cost: stats.cost,
+            iterations: stats.iterations,
+            converged: stats.converged,
+        }
+    }
+
+    /// [`GaussNewton::minimize`] with a reusable workspace — identical
+    /// arithmetic (bit for bit), no allocation once `ws` has seen the
+    /// problem size. The optimized parameters land in `ws.params`.
+    pub fn minimize_with<R: Residuals>(
+        &self,
+        residuals: &R,
+        x0: &[f64],
+        ws: &mut GnWorkspace,
+    ) -> FitStats {
         let n = x0.len();
         let m = residuals.len();
-        let mut params = x0.to_vec();
-        let mut r = vec![0.0; m];
-        let mut r_trial = vec![0.0; m];
-        residuals.eval(&params, &mut r);
-        let mut cost: f64 = r.iter().map(|v| v * v).sum();
+        ws.params.clear();
+        ws.params.extend_from_slice(x0);
+        ws.r.clear();
+        ws.r.resize(m, 0.0);
+        ws.r_trial.clear();
+        ws.r_trial.resize(m, 0.0);
+        residuals.eval(&ws.params, &mut ws.r);
+        let mut cost: f64 = ws.r.iter().map(|v| v * v).sum();
         let mut lambda = self.lambda0;
 
         let mut iterations = 0;
@@ -104,40 +163,49 @@ impl GaussNewton {
         for _ in 0..self.max_iters {
             iterations += 1;
             // Finite-difference Jacobian, m x n.
-            let mut jac = Mat::zeros(m, n);
-            let mut perturbed = params.clone();
-            let mut r_pert = vec![0.0; m];
+            ws.jac.reset(m, n);
+            ws.perturbed.clear();
+            ws.perturbed.extend_from_slice(&ws.params);
+            ws.r_pert.clear();
+            ws.r_pert.resize(m, 0.0);
             for j in 0..n {
-                let h = self.fd_step * params[j].abs().max(1.0);
-                perturbed[j] = params[j] + h;
-                residuals.eval(&perturbed, &mut r_pert);
+                let h = self.fd_step * ws.params[j].abs().max(1.0);
+                ws.perturbed[j] = ws.params[j] + h;
+                residuals.eval(&ws.perturbed, &mut ws.r_pert);
                 for i in 0..m {
-                    jac[(i, j)] = (r_pert[i] - r[i]) / h;
+                    ws.jac[(i, j)] = (ws.r_pert[i] - ws.r[i]) / h;
                 }
-                perturbed[j] = params[j];
+                ws.perturbed[j] = ws.params[j];
             }
 
             // Solve (J^T J + lambda I) dx = -J^T r.
-            let mut jtj = jac.gram();
-            let jtr = jac.mul_vec_t(&r);
+            ws.jac.gram_into(&mut ws.jtj);
+            ws.jac.mul_vec_t_into(&ws.r, &mut ws.jtr);
             let mut improved = false;
             for _ in 0..8 {
-                let mut damped = jtj.clone();
+                ws.damped.copy_from(&ws.jtj);
                 for d in 0..n {
-                    damped[(d, d)] += lambda;
+                    ws.damped[(d, d)] += lambda;
                 }
-                let rhs: Vec<f64> = jtr.iter().map(|v| -v).collect();
-                let Ok(dx) = damped.solve(&rhs) else {
+                ws.rhs.clear();
+                ws.rhs.extend(ws.jtr.iter().map(|v| -v));
+                if ws
+                    .damped
+                    .solve_into(&ws.rhs, &mut ws.solve_work, &mut ws.solve_scale, &mut ws.dx)
+                    .is_err()
+                {
                     lambda *= 10.0;
                     continue;
-                };
-                let trial: Vec<f64> = params.iter().zip(dx.iter()).map(|(p, d)| p + d).collect();
-                residuals.eval(&trial, &mut r_trial);
-                let trial_cost: f64 = r_trial.iter().map(|v| v * v).sum();
+                }
+                ws.trial.clear();
+                ws.trial
+                    .extend(ws.params.iter().zip(ws.dx.iter()).map(|(p, d)| p + d));
+                residuals.eval(&ws.trial, &mut ws.r_trial);
+                let trial_cost: f64 = ws.r_trial.iter().map(|v| v * v).sum();
                 if trial_cost < cost {
-                    let step_norm = dx.iter().map(|v| v * v).sum::<f64>().sqrt();
-                    params = trial;
-                    std::mem::swap(&mut r, &mut r_trial);
+                    let step_norm = ws.dx.iter().map(|v| v * v).sum::<f64>().sqrt();
+                    std::mem::swap(&mut ws.params, &mut ws.trial);
+                    std::mem::swap(&mut ws.r, &mut ws.r_trial);
                     cost = trial_cost;
                     lambda = (lambda * 0.5).max(1e-12);
                     improved = true;
@@ -148,17 +216,13 @@ impl GaussNewton {
                 }
                 lambda *= 10.0;
             }
-            // Keep jtj alive for the borrow checker's sake; it is rebuilt next
-            // iteration.
-            jtj[(0, 0)] += 0.0;
             if converged || !improved {
                 converged = converged || !improved && cost.is_finite();
                 break;
             }
         }
 
-        FitResult {
-            params,
+        FitStats {
             cost,
             iterations,
             converged,
@@ -259,6 +323,29 @@ mod tests {
         .minimize(&Rosenbrock, &[-1.2, 1.0]);
         assert!((fit.params[0] - 1.0).abs() < 1e-4, "{:?}", fit.params);
         assert!((fit.params[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn minimize_with_is_bitwise_identical_and_reusable() {
+        let mut pts = Vec::new();
+        for k in 0..12 {
+            let t = 2.0 * std::f64::consts::PI * k as f64 / 12.0;
+            pts.push((1.0 + 3.0 * t.cos(), -2.0 + 3.0 * t.sin()));
+        }
+        let problem = CircleFit { pts };
+        let gn = GaussNewton::default();
+        let fresh = gn.minimize(&problem, &[0.0, 0.0, 1.0]);
+        let mut ws = GnWorkspace::default();
+        // A warm workspace (dirtied by a different fit) must reproduce the
+        // fresh run bit for bit.
+        gn.minimize_with(&Rosenbrock, &[-1.2, 1.0], &mut ws);
+        let stats = gn.minimize_with(&problem, &[0.0, 0.0, 1.0], &mut ws);
+        assert_eq!(stats.cost.to_bits(), fresh.cost.to_bits());
+        assert_eq!(stats.iterations, fresh.iterations);
+        assert_eq!(stats.converged, fresh.converged);
+        for (a, b) in ws.params.iter().zip(fresh.params.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

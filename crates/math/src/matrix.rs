@@ -10,7 +10,7 @@ use std::fmt;
 use std::ops::{Index, IndexMut};
 
 /// A dense, row-major `rows x cols` matrix of `f64`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Mat {
     rows: usize,
     cols: usize,
@@ -104,15 +104,41 @@ impl Mat {
     /// # Panics
     /// Panics if `x.len() != self.rows()`.
     pub fn mul_vec_t(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = Vec::new();
+        self.mul_vec_t_into(x, &mut y);
+        y
+    }
+
+    /// [`Mat::mul_vec_t`] into a caller-provided buffer (identical
+    /// arithmetic, no allocation once `y` has capacity).
+    pub fn mul_vec_t_into(&self, x: &[f64], y: &mut Vec<f64>) {
         assert_eq!(x.len(), self.rows, "mul_vec_t: dimension mismatch");
-        let mut y = vec![0.0; self.cols];
+        y.clear();
+        y.resize(self.cols, 0.0);
         for (i, xi) in x.iter().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             for (j, a) in row.iter().enumerate() {
                 y[j] += a * xi;
             }
         }
-        y
+    }
+
+    /// Reshapes this matrix in place to `rows x cols`, zero-filled,
+    /// retaining the buffer's capacity.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies another matrix's shape and contents into this one without
+    /// reallocating when capacity suffices.
+    pub fn copy_from(&mut self, other: &Mat) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
     }
 
     /// Matrix product `A B`.
@@ -149,6 +175,14 @@ impl Mat {
     /// Gram matrix `A^T A` (used to form normal equations).
     pub fn gram(&self) -> Mat {
         let mut g = Mat::zeros(self.cols, self.cols);
+        self.gram_into(&mut g);
+        g
+    }
+
+    /// [`Mat::gram`] into a caller-provided matrix (identical arithmetic,
+    /// no allocation once `g` has capacity).
+    pub fn gram_into(&self, g: &mut Mat) {
+        g.reset(self.cols, self.cols);
         for i in 0..self.rows {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             for j in 0..self.cols {
@@ -165,7 +199,6 @@ impl Mat {
                 g[(j, k)] = g[(k, j)];
             }
         }
-        g
     }
 
     /// Solves `A x = b` by LU decomposition with partial pivoting.
@@ -173,6 +206,24 @@ impl Mat {
     /// Requires a square matrix; returns [`MatError::Singular`] when a pivot
     /// collapses below `1e-12` times the largest row scale.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MatError> {
+        let mut work = Vec::new();
+        let mut scale = Vec::new();
+        let mut x = Vec::new();
+        self.solve_into(b, &mut work, &mut scale, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`Mat::solve`] with caller-provided working storage: `work`
+    /// receives the eliminated copy of the matrix, `scale` the per-row
+    /// pivot scales, `x` the solution. Identical arithmetic; no
+    /// allocation once the buffers have capacity.
+    pub fn solve_into(
+        &self,
+        b: &[f64],
+        work: &mut Vec<f64>,
+        scale: &mut Vec<f64>,
+        x: &mut Vec<f64>,
+    ) -> Result<(), MatError> {
         if self.rows != self.cols {
             return Err(MatError::DimensionMismatch);
         }
@@ -180,11 +231,15 @@ impl Mat {
             return Err(MatError::DimensionMismatch);
         }
         let n = self.rows;
-        let mut a = self.data.clone();
-        let mut x: Vec<f64> = b.to_vec();
+        work.clear();
+        work.extend_from_slice(&self.data);
+        let a = work;
+        x.clear();
+        x.extend_from_slice(b);
 
         // Scale factor per row for pivot quality checks.
-        let mut scale = vec![0.0f64; n];
+        scale.clear();
+        scale.resize(n, 0.0);
         for i in 0..n {
             let s = a[i * n..(i + 1) * n]
                 .iter()
@@ -238,7 +293,7 @@ impl Mat {
             }
             x[col] = sum / a[col * n + col];
         }
-        Ok(x)
+        Ok(())
     }
 }
 

@@ -45,17 +45,35 @@ impl Default for PeakConfig {
 ///
 /// Returns peaks sorted by ascending `x`. Plateaus report their left edge.
 pub fn find_peaks(profile: &[f64], x0: f64, dx: f64, cfg: &PeakConfig) -> Vec<Peak> {
+    let mut candidates = Vec::new();
+    let mut out = Vec::new();
+    find_peaks_into(profile, x0, dx, cfg, &mut candidates, &mut out);
+    out
+}
+
+/// [`find_peaks`] into caller-provided buffers (`candidates` is working
+/// storage, `out` receives the result). Identical output; no allocation
+/// once the buffers have capacity.
+pub fn find_peaks_into(
+    profile: &[f64],
+    x0: f64,
+    dx: f64,
+    cfg: &PeakConfig,
+    candidates: &mut Vec<Peak>,
+    out: &mut Vec<Peak>,
+) {
+    candidates.clear();
+    out.clear();
     if profile.is_empty() {
-        return Vec::new();
+        return;
     }
     // `f64::max` ignores NaN inputs, so the fold is NaN-free.
     let global_max = profile.iter().cloned().fold(f64::MIN, f64::max);
     if global_max <= 0.0 {
-        return Vec::new();
+        return;
     }
     let threshold = global_max * cfg.dominance;
 
-    let mut candidates: Vec<Peak> = Vec::new();
     let n = profile.len();
     for i in 0..n {
         let v = profile[i];
@@ -76,19 +94,30 @@ pub fn find_peaks(profile: &[f64], x0: f64, dx: f64, cfg: &PeakConfig) -> Vec<Pe
         }
     }
 
-    // Enforce minimum separation, keeping the larger magnitude.
-    candidates.sort_by(|a, b| b.magnitude.partial_cmp(&a.magnitude).unwrap());
-    let mut kept: Vec<Peak> = Vec::new();
-    for c in candidates {
-        if kept
+    // Enforce minimum separation, keeping the larger magnitude. The
+    // unstable sorts break magnitude/x ties on the candidate index (which
+    // the scan produced in ascending order), reproducing the stable-sort
+    // order without its merge buffer.
+    candidates.sort_unstable_by(|a, b| {
+        b.magnitude
+            .partial_cmp(&a.magnitude)
+            .unwrap()
+            .then(a.index.cmp(&b.index))
+    });
+    for c in candidates.iter() {
+        if out
             .iter()
             .all(|k| k.index.abs_diff(c.index) >= cfg.min_separation)
         {
-            kept.push(c);
+            out.push(*c);
         }
     }
-    kept.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
-    kept
+    out.sort_unstable_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(b.magnitude.partial_cmp(&a.magnitude).unwrap())
+            .then(a.index.cmp(&b.index))
+    });
 }
 
 /// The first (smallest-x) dominant peak — Chronos's time-of-flight rule.

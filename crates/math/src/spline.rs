@@ -13,7 +13,7 @@
 /// "Natural" boundary conditions (second derivative zero at both ends) match
 /// the behaviour of MATLAB's `spline` in the interior and are well-behaved
 /// for the mildly-curved phase profiles CSI produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct CubicSpline {
     xs: Vec<f64>,
     ys: Vec<f64>,
@@ -194,14 +194,32 @@ impl SplinePlan {
     /// factorization. Produces bitwise-identical results to
     /// [`CubicSpline::fit`] on the same knots.
     pub fn fit(&self, ys: &[f64]) -> Result<CubicSpline, SplineError> {
+        let mut ws = SplineScratch::default();
+        let mut out = CubicSpline::default();
+        self.fit_into(ys, &mut ws, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`SplinePlan::fit`] into a caller-provided spline and workspace —
+    /// identical arithmetic, no allocation once the buffers have seen the
+    /// knot count. The hot-path variant for per-capture interpolation.
+    pub fn fit_into(
+        &self,
+        ys: &[f64],
+        ws: &mut SplineScratch,
+        out: &mut CubicSpline,
+    ) -> Result<(), SplineError> {
         let n = self.xs.len();
         if ys.len() != n {
             return Err(SplineError::LengthMismatch);
         }
-        let mut m = vec![0.0; n];
+        out.m.clear();
+        out.m.resize(n, 0.0);
         if n > 2 {
             let k = n - 2;
-            let mut rhs = vec![0.0; k];
+            let rhs = &mut ws.rhs;
+            rhs.clear();
+            rhs.resize(k, 0.0);
             for i in 1..=k {
                 rhs[i - 1] =
                     6.0 * ((ys[i + 1] - ys[i]) / self.h[i] - (ys[i] - ys[i - 1]) / self.h[i - 1]);
@@ -209,19 +227,27 @@ impl SplinePlan {
             for i in 1..k {
                 rhs[i] -= self.w[i] * rhs[i - 1];
             }
-            let mut sol = vec![0.0; k];
+            let sol = &mut ws.sol;
+            sol.clear();
+            sol.resize(k, 0.0);
             sol[k - 1] = rhs[k - 1] / self.diag[k - 1];
             for i in (0..k - 1).rev() {
                 sol[i] = (rhs[i] - self.upper[i] * sol[i + 1]) / self.diag[i];
             }
-            m[1..=k].copy_from_slice(&sol);
+            out.m[1..=k].copy_from_slice(sol);
         }
-        Ok(CubicSpline {
-            xs: self.xs.clone(),
-            ys: ys.to_vec(),
-            m,
-        })
+        out.xs.clone_from(&self.xs);
+        out.ys.clear();
+        out.ys.extend_from_slice(ys);
+        Ok(())
     }
+}
+
+/// Reusable working storage for [`SplinePlan::fit_into`].
+#[derive(Debug, Clone, Default)]
+pub struct SplineScratch {
+    rhs: Vec<f64>,
+    sol: Vec<f64>,
 }
 
 /// Piecewise-linear interpolation at `x` over strictly-increasing knots.

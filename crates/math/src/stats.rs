@@ -26,6 +26,12 @@ pub fn median(xs: &[f64]) -> f64 {
     percentile(xs, 50.0)
 }
 
+/// [`median`] that sorts the slice in place instead of cloning it — the
+/// hot-path variant for callers that own a scratch buffer.
+pub fn median_inplace(xs: &mut [f64]) -> f64 {
+    percentile_inplace(xs, 50.0)
+}
+
 /// Root mean squared value (e.g. RMSE when `xs` are errors).
 pub fn rms(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -38,20 +44,29 @@ pub fn rms(xs: &[f64]) -> f64 {
 /// (the same convention as `numpy.percentile`). Returns `NaN` for empty
 /// input.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    percentile_inplace(&mut sorted, p)
+}
+
+/// [`percentile`] that sorts the slice in place instead of cloning it —
+/// the single rank-interpolation implementation behind [`percentile`],
+/// [`median`] and [`median_inplace`]. Values are plain `f64`s, so the
+/// unstable sort produces the same order statistics as a stable one and
+/// the result is identical.
+pub fn percentile_inplace(xs: &mut [f64], p: f64) -> f64 {
     if xs.is_empty() {
         return f64::NAN;
     }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
     let p = p.clamp(0.0, 100.0);
-    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let rank = p / 100.0 * (xs.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     if lo == hi {
-        sorted[lo]
+        xs[lo]
     } else {
         let t = rank - lo as f64;
-        sorted[lo] * (1.0 - t) + sorted[hi] * t
+        xs[lo] * (1.0 - t) + xs[hi] * t
     }
 }
 
@@ -238,6 +253,22 @@ impl Buckets {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn median_inplace_matches_median() {
+        for n in 1..12 {
+            let xs: Vec<f64> = (0..n)
+                .map(|i| ((i * 7919) % 13) as f64 * 0.37 - 1.0)
+                .collect();
+            let mut scratch = xs.clone();
+            assert_eq!(
+                median(&xs).to_bits(),
+                median_inplace(&mut scratch).to_bits(),
+                "n={n}"
+            );
+        }
+        assert!(median_inplace(&mut []).is_nan());
+    }
 
     #[test]
     fn mean_std_median_known() {

@@ -1,24 +1,38 @@
 #!/usr/bin/env bash
-# Benchmark-regression gate: rerun the quick position-tracking scenarios
-# and fail when any metric regresses >20% against the checked-in
-# BENCH_position.json baseline.
+# Benchmark-regression gates:
 #
-# The scenarios are fully deterministic (seeded), so the comparison gates
-# on real algorithmic drift, not run-to-run noise. On an *intentional*
-# change, regenerate and commit the baseline:
+#  1. Position tracking: rerun the quick position scenarios and fail when
+#     any metric regresses >20% against the checked-in
+#     BENCH_position.json baseline. Fully deterministic (seeded).
+#  2. Sweep-pipeline throughput: rerun the quick N=8 estimation
+#     benchmark and fail when the pipeline's speedup over the
+#     pre-refactor reference solver regresses >20% (or drops below the
+#     absolute 1.2x floor), or when allocs/sweep increases AT ALL —
+#     the zero-allocation contract gates exactly, not within a
+#     tolerance. Wall-clock sweeps/s columns are informational (they
+#     depend on the host); only the portable ratio/alloc metrics gate.
+#
+# On an *intentional* change, regenerate and commit the baselines:
 #
 #   cargo run --release -p chronos-bench --bin bench_position -- --quick
+#   cargo run --release -p chronos-bench --bin bench_throughput -- --quick
 #
-# Usage: scripts/check-bench-regression.sh [baseline.json]
+# Usage: scripts/check-bench-regression.sh [position-baseline.json [throughput-baseline.json]]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-baseline="${1:-BENCH_position.json}"
+position_baseline="${1:-BENCH_position.json}"
+throughput_baseline="${2:-BENCH_throughput.json}"
 
-if [[ ! -f "$baseline" ]]; then
-    echo "missing baseline $baseline (generate with: cargo run --release -p chronos-bench --bin bench_position -- --quick)" >&2
-    exit 1
-fi
+for baseline in "$position_baseline" "$throughput_baseline"; do
+    if [[ ! -f "$baseline" ]]; then
+        echo "missing baseline $baseline (generate with the commands in this script's header)" >&2
+        exit 1
+    fi
+done
 
-exec cargo run --release -p chronos-bench --bin bench_position -- \
-    --quick --check "$baseline" --tolerance 0.20
+cargo run --release -p chronos-bench --bin bench_position -- \
+    --quick --check "$position_baseline" --tolerance 0.20
+
+exec cargo run --release -p chronos-bench --bin bench_throughput -- \
+    --quick --check "$throughput_baseline" --tolerance 0.20

@@ -1,0 +1,249 @@
+//! Allocation-budget tests for the sweep pipeline: the zero-alloc
+//! contract of `docs/PIPELINE.md`, enforced with a counting global
+//! allocator, plus the bitwise-equivalence proptest between the scratch
+//! solver and the allocating solver.
+//!
+//! The contract under test: once a [`SweepPipeline`]'s scratch arena is
+//! warm, the estimation path — products → NDFT/ISTA → profile →
+//! first-path selection → CLEAN refinement → fusion, and per-antenna
+//! localization — performs **zero heap allocations** for steady-state
+//! TRACK subset sweeps, and stays allocation-free (after its own
+//! warm-up) for full-plan ACQUIRE sweeps too.
+
+use chronos_bench::alloc_count::{thread_allocations, CountingAlloc};
+use chronos_suite::core::config::ChronosConfig;
+use chronos_suite::core::ista::{solve_planned, solve_planned_into, IstaConfig, IstaScratch};
+use chronos_suite::core::localization::{AntennaRange, LocalizerConfig, Position};
+use chronos_suite::core::ndft::TauGrid;
+use chronos_suite::core::plan::{NdftPlan, PlanCache};
+use chronos_suite::core::reciprocity::BandProduct;
+use chronos_suite::core::tof::{genie_product, TofEstimator};
+use chronos_suite::core::SweepPipeline;
+use chronos_suite::math::constants::m_to_ns;
+use chronos_suite::math::Complex64;
+use chronos_suite::rf::bands::{band_plan, band_plan_5ghz};
+use chronos_suite::rf::geometry::Point;
+use chronos_suite::rf::hardware::AntennaArray;
+use chronos_suite::rf::subset::select_subset;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn track_products(client: usize) -> Vec<BandProduct> {
+    let subset = select_subset(&band_plan_5ghz(), 12, 100.0);
+    let tau = m_to_ns(2.0 + 0.75 * client as f64);
+    subset
+        .iter()
+        .map(|b| genie_product(b.center_hz, &[(tau, 1.0), (tau + 5.0, 0.4)], 2.0))
+        .collect()
+}
+
+fn acquire_products(client: usize) -> Vec<BandProduct> {
+    // The full Intel-style plan: 5 GHz squared channels at scale 2 plus
+    // the quirked 2.4 GHz group at scale 8 — two delay-scale groups, so
+    // the ACQUIRE path exercises grouping, both inversions and the
+    // cross-check.
+    let tau = m_to_ns(2.0 + 0.75 * client as f64);
+    band_plan()
+        .iter()
+        .map(|b| {
+            let scale = if b.group.is_2g4() { 8.0 } else { 2.0 };
+            genie_product(b.center_hz, &[(tau, 1.0), (tau + 5.0, 0.4)], scale)
+        })
+        .collect()
+}
+
+/// Steady-state TRACK estimation must perform zero heap allocations once
+/// the pipeline's scratch arena is warm.
+#[test]
+fn steady_state_track_estimation_is_allocation_free() {
+    let estimator = TofEstimator::with_cache(ChronosConfig::ideal(), Arc::new(PlanCache::new()));
+    let products: Vec<Vec<BandProduct>> = (0..8).map(track_products).collect();
+    let mut pipeline = SweepPipeline::new();
+    // Warm-up: grow every buffer and memoize the plans.
+    for _ in 0..2 {
+        for ps in &products {
+            pipeline.estimate_fix(&estimator, ps).expect("warmup fix");
+        }
+    }
+    let before = thread_allocations();
+    let mut distance = 0.0;
+    for _ in 0..5 {
+        for ps in &products {
+            let fix = pipeline.estimate_fix(&estimator, ps).expect("fix");
+            distance += fix.distance_m;
+        }
+    }
+    let allocs = thread_allocations() - before;
+    assert_eq!(
+        allocs, 0,
+        "steady-state TRACK estimation allocated {allocs} times over 40 sweeps"
+    );
+    assert!(distance > 0.0);
+}
+
+/// ACQUIRE (full-plan, two delay-scale groups) sweeps must be bounded:
+/// after their own warm-up they are allocation-free as well — the arena
+/// simply grows once to the full-plan size.
+#[test]
+fn acquire_estimation_is_allocation_free_after_warmup() {
+    let estimator = TofEstimator::with_cache(ChronosConfig::default(), Arc::new(PlanCache::new()));
+    let products: Vec<Vec<BandProduct>> = (0..4).map(acquire_products).collect();
+    let mut pipeline = SweepPipeline::new();
+    for _ in 0..2 {
+        for ps in &products {
+            pipeline.estimate_fix(&estimator, ps).expect("warmup fix");
+        }
+    }
+    let before = thread_allocations();
+    for _ in 0..3 {
+        for ps in &products {
+            pipeline.estimate_fix(&estimator, ps).expect("fix");
+        }
+    }
+    let allocs = thread_allocations() - before;
+    assert_eq!(
+        allocs, 0,
+        "warm ACQUIRE estimation allocated {allocs} times over 12 sweeps"
+    );
+}
+
+/// A warm pipeline's localization (the Gauss–Newton circle fit) is
+/// allocation-free into a reused candidate buffer.
+#[test]
+fn localization_is_allocation_free_with_warm_scratch() {
+    let array = AntennaArray::access_point();
+    let tx = Point::new(1.5, 3.0);
+    let ranges: Vec<AntennaRange> = array
+        .positions()
+        .iter()
+        .map(|a| AntennaRange {
+            antenna: *a,
+            distance_m: a.dist(tx),
+        })
+        .collect();
+    let cfg = LocalizerConfig::default();
+    let mut pipeline = SweepPipeline::new();
+    let mut out: Vec<Position> = Vec::new();
+    for _ in 0..2 {
+        pipeline
+            .locate_all(&ranges, &cfg, &mut out)
+            .expect("warmup");
+    }
+    let before = thread_allocations();
+    for _ in 0..20 {
+        pipeline
+            .locate_all(&ranges, &cfg, &mut out)
+            .expect("locate");
+    }
+    let allocs = thread_allocations() - before;
+    assert_eq!(allocs, 0, "warm localization allocated {allocs} times");
+    assert!(out[0].point.dist(tx) < 1e-3);
+}
+
+/// The engine path built on the pipeline: a steady-state continuous
+/// window's allocations per sweep stay bounded. (CSI synthesis, the link
+/// simulation and report assembly still allocate — the estimator no
+/// longer does; this pins the integration at a coarse level so a
+/// per-iteration regression anywhere in the sweep path is caught.)
+#[test]
+fn engine_window_allocations_per_sweep_bounded() {
+    use chronos_suite::core::service::{RangingService, ServiceConfig};
+    use chronos_suite::core::tracker::TrackerConfig;
+    use chronos_suite::link::time::Instant;
+    use chronos_suite::rf::csi::MeasurementContext;
+    use chronos_suite::rf::environment::Environment;
+    use chronos_suite::rf::hardware::ideal_device;
+
+    let mut ctx = MeasurementContext::new(
+        Environment::free_space(),
+        ideal_device(AntennaArray::single()),
+        Point::new(0.0, 0.0),
+        ideal_device(AntennaArray::laptop()),
+        Point::new(3.0, 0.0),
+    );
+    ctx.snr.snr_at_1m_db = 60.0;
+    let mut svc = RangingService::new(ServiceConfig::adaptive(TrackerConfig::default()));
+    let coarse = ChronosConfig {
+        max_iters: 120,
+        grid_step_ns: 0.5,
+        ..ChronosConfig::ideal()
+    };
+    let id = svc.add_client(ctx, coarse);
+    svc.client_mut(id).sweep_cfg.medium.loss_prob = 0.0;
+    // Warm window: promote to TRACK, grow the worker pipeline's arena.
+    svc.run_until(3, Instant::from_millis(500));
+    let before = thread_allocations();
+    let w = svc.run_until(3, Instant::from_millis(1500));
+    let allocs = thread_allocations() - before;
+    assert!(w.completed() >= 10, "window too quiet: {}", w.completed());
+    let per_sweep = allocs as f64 / w.completed() as f64;
+    assert!(
+        per_sweep < 2000.0,
+        "{per_sweep:.0} allocs/sweep — the sweep path regressed badly"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `solve_planned_into` must equal `solve_planned` bit for bit —
+    /// solution, iteration count, convergence flag and residual — across
+    /// random band plans, grids and channels, including a *reused*
+    /// (dirty) scratch.
+    #[test]
+    fn solve_planned_into_is_bitwise_solve_planned(
+        n_freqs in 5usize..12,
+        span_ns in 20.0f64..60.0,
+        step_x2 in 1usize..3,
+        tau_list in proptest::collection::vec(1.0f64..18.0, 1..4),
+        amp_list in proptest::collection::vec(0.1f64..1.0, 3..4),
+        accel_bit in 0usize..2,
+    ) {
+        let taus: Vec<(f64, f64)> = tau_list
+            .iter()
+            .zip(amp_list.iter().cycle())
+            .map(|(t, a)| (*t, *a))
+            .collect();
+        let accelerated = accel_bit == 1;
+        let freqs: Vec<f64> = (0..n_freqs)
+            .map(|i| 5.18e9 + i as f64 * 37.3e6 + (i * i) as f64 * 1.1e6)
+            .collect();
+        let grid = TauGrid::span(span_ns, 0.5 * step_x2 as f64);
+        let plan = NdftPlan::new(&freqs, grid, span_ns);
+        let h: Vec<Complex64> = freqs
+            .iter()
+            .map(|f| {
+                let mut acc = Complex64::ZERO;
+                for (tau, a) in &taus {
+                    acc += Complex64::from_polar(
+                        *a,
+                        -2.0 * std::f64::consts::PI * f * tau * 1e-9,
+                    );
+                }
+                acc
+            })
+            .collect();
+        let cfg = IstaConfig { accelerated, max_iters: 150, ..IstaConfig::default() };
+
+        let reference = solve_planned(&plan, &h, &cfg);
+        let mut scratch = IstaScratch::new();
+        // Dirty the scratch with a different problem first: reuse must
+        // not leak state.
+        let other = TauGrid::span(10.0, 1.0);
+        let other_plan = NdftPlan::new(&freqs[..5], other, 10.0);
+        solve_planned_into(&other_plan, &h[..5], &cfg, &mut scratch);
+
+        let stats = solve_planned_into(&plan, &h, &cfg, &mut scratch);
+        prop_assert_eq!(stats.iterations, reference.iterations);
+        prop_assert_eq!(stats.converged, reference.converged);
+        prop_assert_eq!(stats.residual.to_bits(), reference.residual.to_bits());
+        prop_assert_eq!(scratch.solution().len(), reference.p.len());
+        for (a, b) in scratch.solution().iter().zip(reference.p.iter()) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+}

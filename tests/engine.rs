@@ -454,6 +454,64 @@ fn run_epoch_wrapper_reproduces_pre_refactor_outcomes() {
     }
 }
 
+/// The golden capture above pins the engine's *outcomes*; this pins the
+/// mechanism that produces them: a **warm, reused** scratch pipeline
+/// (the engine's per-worker arena) must emit sweeps bitwise identical to
+/// a fresh throwaway pipeline per sweep — no state may leak between
+/// sweeps through the arena, across clients, modes or sweep ordinals.
+#[test]
+fn warm_pipeline_sweeps_match_fresh_scratch_bitwise() {
+    use chronos_suite::core::SweepPipeline;
+    use chronos_suite::link::time::Instant;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let svc = adaptive_service_with(&[2.0, 4.5], 0, ChronosConfig::ideal());
+    let mut warm = SweepPipeline::new();
+    for sweep in 0..3u64 {
+        for client in 0..2usize {
+            let session = svc.client(client);
+            let t = Instant::from_millis(100 * sweep + client as u64);
+            let fresh_out = {
+                let mut rng = StdRng::seed_from_u64(1000 + 10 * sweep + client as u64);
+                session.sweep_with(&session.sweep_cfg, &mut rng, t)
+            };
+            let warm_out = {
+                let mut rng = StdRng::seed_from_u64(1000 + 10 * sweep + client as u64);
+                session.sweep_with_pipeline(&session.sweep_cfg, &mut rng, t, &mut warm)
+            };
+            assert_eq!(fresh_out.tofs.len(), warm_out.tofs.len());
+            for (a, b) in fresh_out.tofs.iter().zip(warm_out.tofs.iter()) {
+                match (a, b) {
+                    (Ok(ta), Ok(tb)) => {
+                        assert_eq!(ta.tof_ns.to_bits(), tb.tof_ns.to_bits());
+                        assert_eq!(ta.distance_m.to_bits(), tb.distance_m.to_bits());
+                    }
+                    (Err(ea), Err(eb)) => assert_eq!(format!("{ea}"), format!("{eb}")),
+                    other => panic!("fresh/warm disagreement: {other:?}"),
+                }
+            }
+            assert_eq!(
+                fresh_out.position_candidates.len(),
+                warm_out.position_candidates.len()
+            );
+            for (a, b) in fresh_out
+                .position_candidates
+                .iter()
+                .zip(warm_out.position_candidates.iter())
+            {
+                assert_eq!(a.point.x.to_bits(), b.point.x.to_bits());
+                assert_eq!(a.point.y.to_bits(), b.point.y.to_bits());
+                assert_eq!(a.residual_m.to_bits(), b.residual_m.to_bits());
+            }
+        }
+    }
+
+    // And the engine's own execution (one shared worker pipeline) still
+    // reproduces per-session sweeps: covered by the golden capture test
+    // above, whose distances come through the warm engine pipelines.
+}
+
 #[test]
 fn window_reports_bitwise_identical_across_thread_counts() {
     let fingerprint = |threads: usize| {

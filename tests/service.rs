@@ -196,7 +196,14 @@ fn continuous_windows_reuse_plans_and_preserve_accuracy() {
         second.cache.misses, first.cache.misses,
         "cache went cold across windows"
     );
-    assert!(second.cache.hits > first.cache.hits);
+    // The worker pipelines memoize the plan `Arc`s they hand out, so
+    // after warm-up the shared cache is not even *consulted* per sweep —
+    // hit counters may freeze entirely. What must hold: no rebuilds
+    // (misses frozen above) and exactly one resident plan per
+    // (bands, grid) — one NDFT plan and one spline plan here.
+    assert!(second.cache.hits >= first.cache.hits);
+    assert_eq!(second.cache.ndft_entries, 1);
+    assert_eq!(second.cache.spline_entries, 1);
     for o in first.outcomes.iter().chain(second.outcomes.iter()) {
         let err = o.error_m.expect("estimate");
         assert!(
@@ -220,8 +227,13 @@ fn service_epochs_reuse_plans_across_rounds() {
     let first = svc.run_epoch(9);
     let misses_after_first = first.cache.misses;
     let second = svc.run_epoch(10);
-    // Warm cache: no new plans are ever built after round one.
+    // Warm cache: no new plans are ever built after round one. The
+    // worker pipelines memoize plan `Arc`s, so the shared cache need not
+    // be consulted again at all (hits may freeze); the reuse contract is
+    // frozen misses plus a single resident plan per (bands, grid).
     assert_eq!(second.cache.misses, misses_after_first, "cache went cold");
-    assert!(second.cache.hits > first.cache.hits);
+    assert!(second.cache.hits >= first.cache.hits);
+    assert_eq!(second.cache.ndft_entries, 1);
+    assert_eq!(second.cache.spline_entries, 1);
     assert_eq!(second.completed(), 3);
 }
