@@ -1,0 +1,82 @@
+//! The adversarial-ranging benchmark and its CI regression gate:
+//! detection latency versus attack strength for the replay / CSI-inject
+//! / band-jam attacker matrix (see `docs/ADVERSARIAL.md`).
+//!
+//! ```sh
+//! # Regenerate the checked-in baseline (CI gates a --quick run, so the
+//! # baseline must be a --quick run too — epoch-count mismatches fail
+//! # the gate explicitly):
+//! cargo run --release -p chronos-bench --bin bench_adversarial -- --quick
+//!
+//! # Gate mode (what scripts/check-bench-regression.sh runs in CI):
+//! cargo run --release -p chronos-bench --bin bench_adversarial -- \
+//!     --quick --check BENCH_adversarial.json --tolerance 0.20
+//! ```
+//!
+//! Flags are the shared set parsed by [`chronos_bench::cli::BenchArgs`]
+//! (`--quick`, `--out`, `--check`, `--tolerance`). The run is fully
+//! deterministic, so the gate trips on real detection-latency drift, not
+//! noise. Weak attacks deliberately sit under the innovation gate and
+//! report the `999` undetected sentinel — the table documents the
+//! detectability gradient, and the gate keeps it from silently eroding.
+
+use chronos_bench::adversarial::adversarial_table;
+use chronos_bench::cli::BenchArgs;
+use chronos_bench::position::check_regression;
+use chronos_bench::report::{write_json, Table};
+use std::process::ExitCode;
+
+const SEED: u64 = 73;
+
+fn main() -> ExitCode {
+    let args = match BenchArgs::parse("BENCH_adversarial.json") {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (epochs, onset) = if args.quick { (17, 5) } else { (28, 8) };
+    let table = adversarial_table(SEED, epochs, onset);
+    println!("{}", table.render());
+
+    let tolerance = args.tolerance;
+    match args.check {
+        None => {
+            let out = args.out;
+            write_json(&table, &out).expect("write BENCH_adversarial.json");
+            println!("wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Some(baseline_path) => {
+            let baseline_src = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+                panic!("cannot read baseline {}: {e}", baseline_path.display())
+            });
+            let baseline = Table::from_json(&baseline_src)
+                .unwrap_or_else(|e| panic!("malformed baseline: {e}"));
+            match check_regression(&table, &baseline, tolerance) {
+                Ok(()) => {
+                    println!(
+                        "bench-regression gate: OK (within {:.0}% of {})",
+                        tolerance * 100.0,
+                        baseline_path.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(failures) => {
+                    eprintln!("bench-regression gate: FAILED");
+                    for f in &failures {
+                        eprintln!("  {f}");
+                    }
+                    eprintln!(
+                        "(baseline {}; intentional changes: re-run without --check and \
+                         commit the new baseline)",
+                        baseline_path.display()
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}

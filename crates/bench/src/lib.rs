@@ -8,6 +8,7 @@
 //! and writes `EXPERIMENTS-data/*.csv`. Criterion performance benches live
 //! in `benches/`.
 
+pub mod adversarial;
 pub mod alloc_count;
 pub mod cli;
 pub mod figures;

@@ -344,7 +344,10 @@ pub fn check_regression(current: &Table, baseline: &Table, tol: f64) -> Result<(
             else {
                 continue;
             };
-            let lower_better = header.contains("err") || header.contains("rmse");
+            let lower_better = header.contains("err")
+                || header.contains("rmse")
+                || header.contains("detect")
+                || header.contains("latency");
             let higher_better = header.contains("rate");
             if !lower_better && !higher_better {
                 if (cur - base).abs() > 1e-9 {
@@ -450,5 +453,25 @@ mod tests {
         let mut better = base.clone();
         better.rows[0][3] = "0.100".into();
         assert!(check_regression(&better, &base, 0.2).is_ok());
+    }
+
+    #[test]
+    fn regression_checker_gates_detection_latency() {
+        // Latency columns (BENCH_adversarial) are lower-is-better: a
+        // slower detection fails, a faster one passes.
+        let headers = ["scenario", "detect_latency_sweeps"];
+        let mut base = Table::new("BENCH_adversarial", &headers);
+        base.row(&["replay_strong".into(), "2".into()]);
+        assert!(check_regression(&base.clone(), &base, 0.2).is_ok());
+        let mut slower = base.clone();
+        slower.rows[0][1] = "5".into();
+        let errs = check_regression(&slower, &base, 0.2).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("detect_latency_sweeps")),
+            "{errs:?}"
+        );
+        let mut faster = base.clone();
+        faster.rows[0][1] = "1".into();
+        assert!(check_regression(&faster, &base, 0.2).is_ok());
     }
 }

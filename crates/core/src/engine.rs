@@ -191,6 +191,12 @@ impl WindowReport {
     pub fn median_pos_error_m(&self) -> Option<f64> {
         outcome_stats::median_pos_error_m(&self.outcomes)
     }
+
+    /// Outcomes reported under QUARANTINE this window (estimates
+    /// withheld; see [`crate::service::QuarantineConfig`]).
+    pub fn quarantined(&self) -> usize {
+        outcome_stats::quarantined(&self.outcomes)
+    }
 }
 
 /// Events driving the engine's virtual time.
@@ -246,6 +252,13 @@ struct Slot {
     /// Whether a `SweepDue` or `SweepComplete` event for this client is
     /// currently queued (at most one sweep per client is ever pending).
     scheduled: bool,
+    /// Whether the client is under service-level QUARANTINE: sweeps keep
+    /// running (evidence keeps accumulating) but estimates are withheld
+    /// from reports (see [`crate::service::QuarantineConfig`]).
+    quarantined: bool,
+    /// Consecutive completed sweeps with the anomaly score at or below
+    /// the release threshold — the hysteresis dwell counter.
+    clean_run: usize,
 }
 
 /// Continuous windows periodically release arbiter windows that have
@@ -415,6 +428,8 @@ impl ServiceEngine {
             sweeps: 0,
             active: true,
             scheduled: false,
+            quarantined: false,
+            clean_run: 0,
         });
         self.slots.len() - 1
     }
@@ -474,6 +489,24 @@ impl ServiceEngine {
     /// A client's position tracker (position-mode only).
     pub fn position_tracker(&self, idx: usize) -> Option<&PositionTracker> {
         self.slots.get(idx).and_then(|s| s.pos_tracker.as_ref())
+    }
+
+    /// Whether a client is currently under QUARANTINE (see
+    /// [`crate::service::QuarantineConfig`]). Always `false` when the
+    /// policy is off.
+    pub fn is_quarantined(&self, idx: usize) -> bool {
+        self.slots.get(idx).map(|s| s.quarantined).unwrap_or(false)
+    }
+
+    /// A client's current anomaly score (whichever tracker the slot
+    /// runs; `None` for non-adaptive distance clients).
+    pub fn anomaly_score(&self, idx: usize) -> Option<f64> {
+        self.slots.get(idx).and_then(|s| {
+            s.tracker
+                .as_ref()
+                .map(|t| t.anomaly_score())
+                .or_else(|| s.pos_tracker.as_ref().map(|t| t.anomaly_score()))
+        })
     }
 
     /// Calibrates every client at its current (known) geometry with `n`
@@ -554,6 +587,15 @@ impl ServiceEngine {
             sweep_cfg.plan = self.track_subset(client, k).as_ref().clone();
         }
         acc.bands_planned += sweep_cfg.plan.len();
+        // A jamming attacker degrades the link itself: project its jammed
+        // channels onto the *final* (possibly subset) plan as per-band
+        // frame loss. Honest clients keep the empty vector, which draws
+        // no extra randomness in the link layer.
+        if let Some(attacker) = &self.slots[client].session.ctx.attacker {
+            if let Some(loss) = attacker.band_loss(&sweep_cfg.plan) {
+                sweep_cfg.band_loss = loss;
+            }
+        }
         let expected = sweep_cfg
             .expected_duration()
             .mul_f64(self.cfg.admission_headroom.max(1.0));
@@ -646,10 +688,12 @@ impl ServiceEngine {
         let slot = &mut self.slots[client];
         let distance_m = out.mean_distance_m();
         let mut next_mode = TrackMode::Acquire;
+        let mut anomaly_score = None;
         let (predicted_m, tracked_m, innovation_sigmas) = match &mut slot.tracker {
             Some(tracker) => {
                 let upd = tracker.observe(out.link.started, distance_m, out.link.complete);
                 next_mode = upd.next_mode;
+                anomaly_score = Some(upd.anomaly_score);
                 (
                     upd.predicted_m,
                     upd.fused_m,
@@ -667,6 +711,7 @@ impl ServiceEngine {
                     if slot.adaptive {
                         next_mode = upd.next_mode;
                     }
+                    anomaly_score = Some(upd.anomaly_score);
                     (
                         fix,
                         resolved.map(|p| p.residual_m),
@@ -677,6 +722,35 @@ impl ServiceEngine {
                 }
                 None => (None, None, None, None, None),
             };
+        // Quarantine hysteresis: entering is immediate (this outcome is
+        // already withheld), release requires the score to sit at or
+        // below the release threshold for `release_dwell` consecutive
+        // sweeps. The sweep itself still ran and its fix still fed the
+        // tracker — quarantine withholds the *report*, not the evidence.
+        if let (Some(q), Some(score)) = (&self.cfg.quarantine, anomaly_score) {
+            if slot.quarantined {
+                if score <= q.release {
+                    slot.clean_run += 1;
+                    if slot.clean_run >= q.release_dwell {
+                        slot.quarantined = false;
+                        slot.clean_run = 0;
+                    }
+                } else {
+                    slot.clean_run = 0;
+                }
+            } else if score >= q.threshold && sweep_index + 1 >= q.min_sweeps {
+                slot.quarantined = true;
+                slot.clean_run = 0;
+            }
+        }
+        let quarantined = slot.quarantined;
+        fn serve<T>(quarantined: bool, v: Option<T>) -> Option<T> {
+            if quarantined {
+                None
+            } else {
+                v
+            }
+        }
         acc.outcomes.push(ClientOutcome {
             client,
             sweep: sweep_index,
@@ -685,23 +759,25 @@ impl ServiceEngine {
             concurrent: grant.concurrent,
             extra_loss: grant.extra_loss,
             link_complete: out.link.complete,
-            distance_m,
+            distance_m: serve(quarantined, distance_m),
             truth_m,
-            error_m: distance_m.map(|d| (d - truth_m).abs()),
+            error_m: serve(quarantined, distance_m).map(|d| (d - truth_m).abs()),
             mode,
             bands_planned,
-            predicted_m,
-            tracked_m,
-            tracked_error_m: tracked_m.map(|d| (d - truth_m).abs()),
+            predicted_m: serve(quarantined, predicted_m),
+            tracked_m: serve(quarantined, tracked_m),
+            tracked_error_m: serve(quarantined, tracked_m).map(|d| (d - truth_m).abs()),
             innovation_sigmas,
-            position,
-            pos_residual_m,
-            pos_antennas,
+            position: serve(quarantined, position),
+            pos_residual_m: serve(quarantined, pos_residual_m),
+            pos_antennas: serve(quarantined, pos_antennas),
             truth_pos,
-            pos_error_m: position.map(|p| p.dist(truth_pos)),
-            tracked_pos,
-            tracked_pos_error_m: tracked_pos.map(|p| p.dist(truth_pos)),
+            pos_error_m: serve(quarantined, position).map(|p| p.dist(truth_pos)),
+            tracked_pos: serve(quarantined, tracked_pos),
+            tracked_pos_error_m: serve(quarantined, tracked_pos).map(|p| p.dist(truth_pos)),
             pos_innovation_sigmas,
+            anomaly_score,
+            quarantined,
         });
         if auto_resweep && slot.active {
             let gap = match next_mode {

@@ -119,7 +119,9 @@ pub use error::ChronosError;
 pub use pipeline::{EstimatorScratch, SweepPipeline};
 pub use plan::{CacheStats, NdftPlan, PlanCache};
 pub use profile::MultipathProfile;
-pub use service::{CadenceConfig, EpochReport, RangingService, ServiceConfig};
+pub use service::{CadenceConfig, EpochReport, QuarantineConfig, RangingService, ServiceConfig};
 pub use session::{ChronosSession, SweepOutput};
 pub use tof::{BandSample, TofEstimate, TofEstimator, TofFix};
-pub use tracker::{ClientTracker, DistanceFilter, TrackMode, TrackerConfig};
+pub use tracker::{
+    AnomalyConfig, AnomalyScore, ClientTracker, DistanceFilter, TrackMode, TrackerConfig,
+};

@@ -115,6 +115,57 @@ pub struct ServiceConfig {
     pub localization: LocalizationMode,
     /// Continuous-mode rescheduling policy (see [`CadenceConfig`]).
     pub cadence: CadenceConfig,
+    /// Service-level exclusion policy for anomalous clients. When set,
+    /// each client's [`crate::tracker::AnomalyScore`] is compared against
+    /// the thresholds after every completed sweep: a client whose score
+    /// crosses [`QuarantineConfig::threshold`] is demoted to QUARANTINE —
+    /// its sweeps keep running (so evidence keeps accumulating) but its
+    /// distance/position estimates are withheld from reports until the
+    /// score decays below [`QuarantineConfig::release`] for
+    /// [`QuarantineConfig::release_dwell`] consecutive sweeps. `None`
+    /// (the default) disables the policy entirely. See
+    /// `docs/ADVERSARIAL.md`.
+    pub quarantine: Option<QuarantineConfig>,
+}
+
+/// Thresholds of the quarantine hysteresis loop (see
+/// `docs/ADVERSARIAL.md` for tuning guidance).
+#[derive(Debug, Clone, Copy)]
+pub struct QuarantineConfig {
+    /// Anomaly score at or above which a client enters QUARANTINE.
+    pub threshold: f64,
+    /// Score at or below which a quarantined client becomes eligible for
+    /// release. Kept well below `threshold` so a client oscillating near
+    /// the trip point doesn't flap between states.
+    pub release: f64,
+    /// Consecutive sweeps the score must stay at or below `release`
+    /// before the client is re-trusted. Raising this lengthens the
+    /// shadow a detected attack casts; see the re-seed caveat in
+    /// `docs/ADVERSARIAL.md`.
+    pub release_dwell: usize,
+    /// Sweeps a fresh client must complete before it can be quarantined
+    /// — the first innovations of a cold filter are not evidence.
+    pub min_sweeps: u64,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            // One hard-gated sweep (sigma_clamp-clipped EWMA step plus a
+            // one-miss run) lands around 5.8 with the default
+            // AnomalyConfig; 4.0 trips on that first clear violation
+            // while staying above anything a converged clean client
+            // produces.
+            threshold: 4.0,
+            release: 1.5,
+            release_dwell: 6,
+            // The first fixes of a zero-velocity-seeded filter chasing a
+            // coarse ACQUIRE estimate run several sigma hot; clean
+            // clients settle well under the threshold by their sixth
+            // sweep (`tests/adversarial.rs` pins the control run).
+            min_sweeps: 6,
+        }
+    }
 }
 
 impl Default for ServiceConfig {
@@ -128,6 +179,7 @@ impl Default for ServiceConfig {
             adaptive: None,
             localization: LocalizationMode::Distance,
             cadence: CadenceConfig::default(),
+            quarantine: None,
         }
     }
 }
@@ -216,6 +268,15 @@ pub struct ClientOutcome {
     /// Innovation of this sweep's position fix in (Mahalanobis) standard
     /// deviations (position mode; `None` when no fix was fused).
     pub pos_innovation_sigmas: Option<f64>,
+    /// The client's anomaly score after this sweep (adaptive services;
+    /// see [`crate::tracker::AnomalyScore`]). Reported even while the
+    /// client is quarantined — the score is the evidence trail.
+    pub anomaly_score: Option<f64>,
+    /// Whether the client was under QUARANTINE when this sweep was
+    /// reported. Quarantined outcomes carry link/truth/innovation fields
+    /// but have their estimate fields (`distance_m`, `tracked_m`,
+    /// `position`, `tracked_pos`, ...) withheld as `None`.
+    pub quarantined: bool,
 }
 
 /// The result of one service round.
@@ -259,6 +320,10 @@ pub(crate) mod outcome_stats {
 
     pub fn completed(outcomes: &[ClientOutcome]) -> usize {
         outcomes.iter().filter(|o| o.distance_m.is_some()).count()
+    }
+
+    pub fn quarantined(outcomes: &[ClientOutcome]) -> usize {
+        outcomes.iter().filter(|o| o.quarantined).count()
     }
 
     pub fn mean_abs_error_m(outcomes: &[ClientOutcome]) -> Option<f64> {
@@ -320,6 +385,12 @@ impl EpochReport {
     /// Clients whose sweep produced a distance estimate.
     pub fn completed(&self) -> usize {
         outcome_stats::completed(&self.outcomes)
+    }
+
+    /// Outcomes reported under QUARANTINE this epoch (estimates
+    /// withheld; see [`QuarantineConfig`]).
+    pub fn quarantined(&self) -> usize {
+        outcome_stats::quarantined(&self.outcomes)
     }
 
     /// Mean absolute ranging error over completed clients, meters.
@@ -476,6 +547,18 @@ impl RangingService {
     /// A client's position tracker (position-mode services only).
     pub fn position_tracker(&self, idx: usize) -> Option<&PositionTracker> {
         self.engine.position_tracker(idx)
+    }
+
+    /// Whether a client is currently under QUARANTINE (see
+    /// [`QuarantineConfig`]). Always `false` when the policy is off.
+    pub fn is_quarantined(&self, idx: usize) -> bool {
+        self.engine.is_quarantined(idx)
+    }
+
+    /// A client's current anomaly score (adaptive services; `None` when
+    /// the service schedules non-adaptively).
+    pub fn anomaly_score(&self, idx: usize) -> Option<f64> {
+        self.engine.anomaly_score(idx)
     }
 
     /// Number of client slots ever created (indices run
@@ -703,6 +786,7 @@ mod tests {
         assert_eq!(outcome_stats::airtime_saved(0, 0), 0.0);
         assert!(!outcome_stats::airtime_saved(0, 0).is_nan());
         assert_eq!(outcome_stats::completed(&[]), 0);
+        assert_eq!(outcome_stats::quarantined(&[]), 0);
         assert!(outcome_stats::mean_abs_error_m(&[]).is_none());
         assert!(outcome_stats::track_rmse_m(&[]).is_none());
         assert!(outcome_stats::pos_rmse_m(&[]).is_none());

@@ -68,6 +68,9 @@ pub struct TrackerConfig {
     /// steeply rising grating-lobe ambiguity for little extra airtime —
     /// see the subset-selection rationale in `docs/TRACKING.md`.
     pub track_bands: usize,
+    /// Per-client anomaly-score accumulation knobs (see
+    /// `docs/ADVERSARIAL.md`).
+    pub anomaly: AnomalyConfig,
 }
 
 impl Default for TrackerConfig {
@@ -79,7 +82,95 @@ impl Default for TrackerConfig {
             acquire_fixes: 2,
             max_missed: 2,
             track_bands: 12,
+            anomaly: AnomalyConfig::default(),
         }
+    }
+}
+
+/// Knobs for the per-client anomaly score: an EWMA of normalized
+/// innovation magnitudes plus a run counter of consecutive gated or
+/// missed sweeps. The score is what the service-level quarantine policy
+/// thresholds (see `chronos_core::service::QuarantineConfig` and the
+/// math in `docs/ADVERSARIAL.md`).
+#[derive(Debug, Clone, Copy)]
+pub struct AnomalyConfig {
+    /// EWMA smoothing factor in `(0, 1]`: the weight of the newest
+    /// normalized innovation. Higher reacts faster, lower holds evidence
+    /// longer.
+    pub ewma_alpha: f64,
+    /// Clamp on any single observation's contribution, in sigmas. A
+    /// teleport-grade innovation is astronomical in sigma units; the
+    /// clamp keeps one sample from saturating the score forever.
+    pub sigma_clamp: f64,
+    /// Score contribution per element of the current gate-miss run. Each
+    /// consecutive gated or missed sweep adds this much on top of the
+    /// EWMA term.
+    pub miss_weight: f64,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            ewma_alpha: 0.3,
+            sigma_clamp: 16.0,
+            miss_weight: 1.0,
+        }
+    }
+}
+
+/// Per-client anomaly evidence: the state behind the scalar score.
+///
+/// Deliberately *not* cleared on re-ACQUIRE: the gate re-seeds the filter
+/// at a spoofed fix within one sweep, so any evidence tied to mode
+/// transitions would vanish as fast as the attack creates it. Recovery is
+/// instead governed by the EWMA decay under clean fixes plus the
+/// service's quarantine hysteresis. A client that leaves and rejoins gets
+/// a fresh tracker and therefore a zeroed score (tested in
+/// `tests/engine.rs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyScore {
+    /// EWMA of clamped normalized innovations, sigmas.
+    pub ewma_sigmas: f64,
+    /// Consecutive gated-or-missed sweeps ending now.
+    pub run: usize,
+}
+
+impl AnomalyScore {
+    fn fresh() -> Self {
+        AnomalyScore {
+            ewma_sigmas: 0.0,
+            run: 0,
+        }
+    }
+
+    /// The scalar score the quarantine policy thresholds:
+    /// `ewma + miss_weight · run`.
+    pub fn value(&self, cfg: &AnomalyConfig) -> f64 {
+        self.ewma_sigmas + cfg.miss_weight * self.run as f64
+    }
+
+    fn absorb_sigmas(&mut self, cfg: &AnomalyConfig, sigmas: f64) {
+        let clamped = sigmas.min(cfg.sigma_clamp);
+        self.ewma_sigmas += cfg.ewma_alpha * (clamped - self.ewma_sigmas);
+    }
+
+    /// A fix passed the gate and was fused: absorb its (small) innovation
+    /// and break any miss run.
+    fn observe_fused(&mut self, cfg: &AnomalyConfig, sigmas: f64) {
+        self.absorb_sigmas(cfg, sigmas);
+        self.run = 0;
+    }
+
+    /// A fix tripped the gate: absorb the (clamped) spike and extend the
+    /// run.
+    fn observe_gated(&mut self, cfg: &AnomalyConfig, sigmas: f64) {
+        self.absorb_sigmas(cfg, sigmas);
+        self.run += 1;
+    }
+
+    /// The sweep produced no fusable fix: extend the run.
+    fn observe_miss(&mut self) {
+        self.run += 1;
     }
 }
 
@@ -241,6 +332,8 @@ pub struct TrackUpdate {
     pub innovation: Option<Innovation>,
     /// Whether the fix was rejected by the innovation gate (track break).
     pub gated: bool,
+    /// The client's anomaly score after absorbing this sweep.
+    pub anomaly_score: f64,
 }
 
 /// Per-client tracking state machine: a [`DistanceFilter`] plus the
@@ -256,6 +349,8 @@ pub struct ClientTracker {
     missed: usize,
     /// Simulated time of the last absorbed epoch.
     last_t: Option<Instant>,
+    /// Accumulated anomaly evidence (survives re-ACQUIRE by design).
+    anomaly: AnomalyScore,
 }
 
 impl ClientTracker {
@@ -268,12 +363,43 @@ impl ClientTracker {
             good_streak: 0,
             missed: 0,
             last_t: None,
+            anomaly: AnomalyScore::fresh(),
         }
     }
 
     /// The mode the next sweep should be issued under.
     pub fn mode(&self) -> TrackMode {
         self.mode
+    }
+
+    /// Consecutive missed fixes in the current TRACK stint.
+    pub fn missed(&self) -> usize {
+        self.missed
+    }
+
+    /// Consecutive successful fixes in the current ACQUIRE stint.
+    pub fn good_streak(&self) -> usize {
+        self.good_streak
+    }
+
+    /// The accumulated anomaly evidence.
+    pub fn anomaly(&self) -> AnomalyScore {
+        self.anomaly
+    }
+
+    /// The scalar anomaly score the quarantine policy thresholds.
+    pub fn anomaly_score(&self) -> f64 {
+        self.anomaly.value(&self.cfg.anomaly)
+    }
+
+    /// Drops back to ACQUIRE, explicitly clearing the mode machine's
+    /// transient counters (`good_streak`, `missed`) so they cannot leak
+    /// into the next stint. The anomaly evidence is deliberately *not*
+    /// cleared here — see [`AnomalyScore`].
+    fn reacquire(&mut self) {
+        self.mode = TrackMode::Acquire;
+        self.good_streak = 0;
+        self.missed = 0;
     }
 
     /// Bands the next sweep should cover: `None` = the full plan
@@ -319,15 +445,16 @@ impl ClientTracker {
                         // next ACQUIRE stint converges there.
                         gated = true;
                         innovation = Some(inn);
+                        self.anomaly.observe_gated(&self.cfg.anomaly, inn.sigmas());
                         self.filter.reset();
                         self.filter.update(z);
-                        self.good_streak = 0;
-                        self.missed = 0;
-                        self.mode = TrackMode::Acquire;
+                        self.reacquire();
                     }
                 }
                 if !gated {
-                    innovation = Some(self.filter.update(z));
+                    let inn = self.filter.update(z);
+                    self.anomaly.observe_fused(&self.cfg.anomaly, inn.sigmas());
+                    innovation = Some(inn);
                     self.missed = 0;
                     self.good_streak += 1;
                     if self.mode == TrackMode::Acquire && self.good_streak >= self.cfg.acquire_fixes
@@ -343,11 +470,11 @@ impl ClientTracker {
                 // bands that survived, but those degraded fixes carry
                 // elevated ghost-peak risk, so they are not fused —
                 // repeated incomplete sweeps re-ACQUIRE instead.
+                self.anomaly.observe_miss();
                 self.good_streak = 0;
                 self.missed += 1;
                 if self.mode == TrackMode::Track && self.missed >= self.cfg.max_missed {
-                    self.mode = TrackMode::Acquire;
-                    self.missed = 0;
+                    self.reacquire();
                 }
             }
         }
@@ -359,6 +486,7 @@ impl ClientTracker {
             fused_m: self.filter.predicted_distance(),
             innovation,
             gated,
+            anomaly_score: self.anomaly_score(),
         }
     }
 }
@@ -503,6 +631,8 @@ pub struct PositionTrackUpdate {
     pub innovation: Option<PositionInnovation>,
     /// Whether the fix was rejected by the innovation gate (track break).
     pub gated: bool,
+    /// The client's anomaly score after absorbing this sweep.
+    pub anomaly_score: f64,
 }
 
 /// Per-client 2-D position tracking state machine: a [`PositionFilter`]
@@ -517,6 +647,8 @@ pub struct PositionTracker {
     good_streak: usize,
     missed: usize,
     last_t: Option<Instant>,
+    /// Accumulated anomaly evidence (survives re-ACQUIRE by design).
+    anomaly: AnomalyScore,
 }
 
 impl PositionTracker {
@@ -531,12 +663,42 @@ impl PositionTracker {
             good_streak: 0,
             missed: 0,
             last_t: None,
+            anomaly: AnomalyScore::fresh(),
         }
     }
 
     /// The mode the next sweep should be issued under.
     pub fn mode(&self) -> TrackMode {
         self.mode
+    }
+
+    /// Consecutive missed fixes in the current TRACK stint.
+    pub fn missed(&self) -> usize {
+        self.missed
+    }
+
+    /// Consecutive successful fixes in the current ACQUIRE stint.
+    pub fn good_streak(&self) -> usize {
+        self.good_streak
+    }
+
+    /// The accumulated anomaly evidence.
+    pub fn anomaly(&self) -> AnomalyScore {
+        self.anomaly
+    }
+
+    /// The scalar anomaly score the quarantine policy thresholds.
+    pub fn anomaly_score(&self) -> f64 {
+        self.anomaly.value(&self.cfg.anomaly)
+    }
+
+    /// Drops back to ACQUIRE, explicitly clearing the mode machine's
+    /// transient counters — see [`ClientTracker::reacquire`]; the anomaly
+    /// evidence survives.
+    fn reacquire(&mut self) {
+        self.mode = TrackMode::Acquire;
+        self.good_streak = 0;
+        self.missed = 0;
     }
 
     /// Bands the next sweep should cover: `None` = the full plan
@@ -610,15 +772,16 @@ impl PositionTracker {
                         // ACQUIRE stint converges there.
                         gated = true;
                         innovation = Some(inn);
+                        self.anomaly.observe_gated(&self.cfg.anomaly, inn.sigmas());
                         self.filter.reset();
                         self.filter.update(z);
-                        self.good_streak = 0;
-                        self.missed = 0;
-                        self.mode = TrackMode::Acquire;
+                        self.reacquire();
                     }
                 }
                 if !gated {
-                    innovation = Some(self.filter.update(z));
+                    let inn = self.filter.update(z);
+                    self.anomaly.observe_fused(&self.cfg.anomaly, inn.sigmas());
+                    innovation = Some(inn);
                     self.missed = 0;
                     self.good_streak += 1;
                     if self.mode == TrackMode::Acquire && self.good_streak >= self.cfg.acquire_fixes
@@ -632,11 +795,11 @@ impl PositionTracker {
                 // No fix (localization failed, e.g. NLOS antennas
                 // rejected below the two-range floor) or an incomplete
                 // sweep: a miss. Degraded fixes are not fused.
+                self.anomaly.observe_miss();
                 self.good_streak = 0;
                 self.missed += 1;
                 if self.mode == TrackMode::Track && self.missed >= self.cfg.max_missed {
-                    self.mode = TrackMode::Acquire;
-                    self.missed = 0;
+                    self.reacquire();
                 }
             }
         }
@@ -648,6 +811,7 @@ impl PositionTracker {
             fused: self.filter.predicted_position(),
             innovation,
             gated,
+            anomaly_score: self.anomaly_score(),
         }
     }
 }
@@ -882,6 +1046,120 @@ mod tests {
             .resolve(&[mk(1.0, 2.0, 0.01), mk(1.0, -2.0, 0.01)])
             .unwrap();
         assert!(warm.point.dist(Point::new(1.0, -2.0)) < 1e-9);
+    }
+
+    #[test]
+    fn reacquire_clears_transient_counters_on_gate() {
+        // Satellite: the gated path's counter reset is explicit
+        // (`reacquire`) and observable — no stale miss/streak state can
+        // leak into the next ACQUIRE stint.
+        let mut t = ClientTracker::new(TrackerConfig::default());
+        for i in 0..4 {
+            t.observe(at(i), Some(4.0), true);
+        }
+        assert_eq!(t.mode(), TrackMode::Track);
+        t.observe(at(4), None, false); // bank one miss in TRACK
+        assert_eq!(t.missed(), 1);
+        let u = t.observe(at(5), Some(12.0), true); // gate trips
+        assert!(u.gated);
+        assert_eq!(t.missed(), 0, "gate must clear the miss counter");
+        assert_eq!(t.good_streak(), 0, "gate must clear the streak");
+        // The cleared miss counter means a single TRACK-stint miss from a
+        // past life cannot combine with one fresh miss to demote early.
+        t.observe(at(6), Some(12.0), true);
+        t.observe(at(7), Some(12.0), true);
+        assert_eq!(t.mode(), TrackMode::Track);
+        let u = t.observe(at(8), None, false);
+        assert_eq!(u.next_mode, TrackMode::Track, "fresh stint, fresh budget");
+    }
+
+    #[test]
+    fn reacquire_clears_counters_on_miss_demotion() {
+        let cfg = TrackerConfig {
+            max_missed: 2,
+            ..Default::default()
+        };
+        let mut t = ClientTracker::new(cfg);
+        t.observe(at(0), Some(6.0), true);
+        t.observe(at(1), Some(6.0), true);
+        assert_eq!(t.mode(), TrackMode::Track);
+        t.observe(at(2), None, false);
+        t.observe(at(3), None, false);
+        assert_eq!(t.mode(), TrackMode::Acquire);
+        assert_eq!(t.missed(), 0, "demotion must reset the miss counter");
+        assert_eq!(t.good_streak(), 0);
+
+        // Position tracker mirrors the contract.
+        let mut p = PositionTracker::new(cfg);
+        p.observe(at(0), Some(Point::new(1.0, 1.0)), true);
+        p.observe(at(1), Some(Point::new(1.0, 1.0)), true);
+        assert_eq!(p.mode(), TrackMode::Track);
+        p.observe(at(2), None, true);
+        p.observe(at(3), None, true);
+        assert_eq!(p.mode(), TrackMode::Acquire);
+        assert_eq!(p.missed(), 0);
+        assert_eq!(p.good_streak(), 0);
+    }
+
+    #[test]
+    fn anomaly_score_survives_reacquire_and_decays_clean() {
+        let mut t = ClientTracker::new(TrackerConfig::default());
+        for i in 0..4 {
+            t.observe(at(i), Some(4.0), true);
+        }
+        let baseline = t.anomaly_score();
+        assert!(baseline < 1.0, "clean track must score low: {baseline}");
+        // A teleport trips the gate: score jumps and survives the mode
+        // drop (the transient counters reset, the evidence does not).
+        let u = t.observe(at(4), Some(12.0), true);
+        assert!(u.gated);
+        assert_eq!(u.next_mode, TrackMode::Acquire);
+        let spiked = t.anomaly_score();
+        assert!(spiked > 3.0, "gate spike must register: {spiked}");
+        assert_eq!(t.anomaly().run, 1);
+        assert_eq!(t.missed(), 0, "counters reset, score kept");
+        // Clean fixes at the new location decay the EWMA and break the run.
+        let mut prev = spiked;
+        for i in 5..15 {
+            t.observe(at(i), Some(12.0), true);
+            assert!(t.anomaly_score() <= prev + 1e-12);
+            prev = t.anomaly_score();
+        }
+        assert_eq!(t.anomaly().run, 0);
+        assert!(t.anomaly_score() < 1.0, "score must decay: {}", prev);
+    }
+
+    #[test]
+    fn anomaly_run_accumulates_misses() {
+        let cfg = TrackerConfig::default();
+        let mut t = ClientTracker::new(cfg);
+        t.observe(at(0), Some(5.0), true);
+        for i in 1..=4 {
+            t.observe(at(i), None, false);
+            assert_eq!(t.anomaly().run, i as usize);
+        }
+        // Each miss adds miss_weight to the score.
+        assert!(t.anomaly_score() >= 4.0 * cfg.anomaly.miss_weight);
+        // One clean fix breaks the run.
+        t.observe(at(5), Some(5.0), true);
+        assert_eq!(t.anomaly().run, 0);
+    }
+
+    #[test]
+    fn position_anomaly_mirrors_distance_semantics() {
+        let mut t = PositionTracker::new(TrackerConfig::default());
+        for i in 0..4 {
+            t.observe(at(i), Some(Point::new(2.0, 3.0)), true);
+        }
+        assert!(t.anomaly_score() < 1.0);
+        let u = t.observe(at(4), Some(Point::new(-6.0, 9.0)), true);
+        assert!(u.gated);
+        assert!(u.anomaly_score > 3.0);
+        assert!(t.anomaly_score() > 3.0);
+        // Score is clamped: even an absurd teleport cannot exceed
+        // clamp + run contribution.
+        let cfg = TrackerConfig::default();
+        assert!(t.anomaly_score() <= cfg.anomaly.sigma_clamp + cfg.anomaly.miss_weight);
     }
 
     #[test]

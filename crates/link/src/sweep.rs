@@ -26,6 +26,12 @@ pub struct SweepConfig {
     pub protocol: ProtocolConfig,
     /// Medium model.
     pub medium: MediumConfig,
+    /// Extra per-band frame-loss probability, indexed by plan position —
+    /// how selective jamming reaches the link layer (see
+    /// `chronos_rf::environment::Attacker::band_loss`). Empty (the
+    /// default) means no extra loss anywhere and, critically, draws no
+    /// additional randomness: honest sweeps keep their exact RNG stream.
+    pub band_loss: Vec<f64>,
 }
 
 impl SweepConfig {
@@ -43,6 +49,7 @@ impl SweepConfig {
             plan,
             protocol: ProtocolConfig::default(),
             medium: MediumConfig::default(),
+            band_loss: Vec::new(),
         }
     }
 
@@ -178,7 +185,10 @@ pub fn run_sweep<R: Rng + ?Sized>(cfg: &SweepConfig, start: Instant, rng: &mut R
                         let air = cfg.medium.airtime(&frame);
                         result.frames_sent += 1;
                         result.busy.push((t_tx, t_tx + air));
-                        let lost = cfg.medium.is_lost(rng) || init_band != resp_band;
+                        let jam = cfg.band_loss.get(init_band).copied().unwrap_or(0.0);
+                        let lost = cfg.medium.is_lost(rng)
+                            || init_band != resp_band
+                            || (jam > 0.0 && rng.gen::<f64>() < jam);
                         if lost {
                             result.frames_lost += 1;
                         } else {
@@ -249,7 +259,10 @@ pub fn run_sweep<R: Rng + ?Sized>(cfg: &SweepConfig, start: Instant, rng: &mut R
                             let air = cfg.medium.airtime(&ack);
                             result.frames_sent += 1;
                             result.busy.push((t_tx, t_tx + air));
-                            let lost = cfg.medium.is_lost(rng) || init_band != resp_band;
+                            let jam = cfg.band_loss.get(init_band).copied().unwrap_or(0.0);
+                            let lost = cfg.medium.is_lost(rng)
+                                || init_band != resp_band
+                                || (jam > 0.0 && rng.gen::<f64>() < jam);
                             if lost {
                                 result.frames_lost += 1;
                             } else {
@@ -513,6 +526,53 @@ mod tests {
         assert!(
             (0.25..0.45).contains(&sim_ratio),
             "simulated ratio {sim_ratio}"
+        );
+    }
+
+    #[test]
+    fn zero_band_loss_vector_is_draw_free_identical() {
+        // A band_loss vector of zeros must not perturb the RNG stream:
+        // sweeps are bitwise identical to the empty-vector default.
+        let base = SweepConfig::standard();
+        let mut zeroed = SweepConfig::standard();
+        zeroed.band_loss = vec![0.0; zeroed.plan.len()];
+        let r1 = run_sweep(&base, Instant::ZERO, &mut StdRng::seed_from_u64(33));
+        let r2 = run_sweep(&zeroed, Instant::ZERO, &mut StdRng::seed_from_u64(33));
+        assert_eq!(r1.duration(), r2.duration());
+        assert_eq!(r1.frames_lost, r2.frames_lost);
+        assert_eq!(r1.measurements.len(), r2.measurements.len());
+        for (a, b) in r1.measurements.iter().zip(r2.measurements.iter()) {
+            assert_eq!(a.band_index, b.band_index);
+            assert_eq!(a.t_forward, b.t_forward);
+            assert_eq!(a.t_reverse, b.t_reverse);
+        }
+    }
+
+    #[test]
+    fn fully_jammed_plan_triggers_failsafe() {
+        let mut cfg = lossless_cfg();
+        cfg.band_loss = vec![0.95; cfg.plan.len()];
+        let mut rng = StdRng::seed_from_u64(34);
+        let r = run_sweep(&cfg, Instant::ZERO, &mut rng);
+        assert!(!r.complete, "95% jam on every band still completed");
+        assert!(r.frames_lost > 0);
+        assert!(r.duration() < Duration::from_millis(2_100));
+    }
+
+    #[test]
+    fn selective_jam_costs_frames_only_on_targeted_band() {
+        // Jam only the final band: everything before it completes cleanly.
+        let mut cfg = lossless_cfg();
+        cfg.plan.truncate(8);
+        cfg.band_loss = vec![0.0; 8];
+        cfg.band_loss[7] = 0.95;
+        let mut rng = StdRng::seed_from_u64(35);
+        let r = run_sweep(&cfg, Instant::ZERO, &mut rng);
+        assert!(r.frames_lost > 0, "jammed band lost nothing");
+        assert!(
+            r.bands_measured(cfg.plan.len()) >= 7,
+            "clean bands were disrupted: {}",
+            r.bands_measured(cfg.plan.len())
         );
     }
 

@@ -21,7 +21,7 @@
 
 use crate::bands::Band;
 use crate::cfo::CfoPair;
-use crate::environment::{Environment, PathEnumConfig};
+use crate::environment::{Attacker, Environment, PathEnumConfig};
 use crate::geometry::Point;
 use crate::hardware::{apply_quirk, DeviceModel};
 use crate::noise::{complex_gaussian, SnrModel};
@@ -89,6 +89,10 @@ pub struct MeasurementContext {
     pub turnaround_s: f64,
     /// Jitter on the turnaround, seconds (uniform +-).
     pub turnaround_jitter_s: f64,
+    /// Adversary attached to this link, if any. `None` (the default)
+    /// leaves the honest synthesis bit-identical: ground truth is always
+    /// computed from the clean path set before corruption applies.
+    pub attacker: Option<Attacker>,
 }
 
 impl MeasurementContext {
@@ -110,6 +114,7 @@ impl MeasurementContext {
             responder_pos,
             turnaround_s: 40e-6,
             turnaround_jitter_s: 5e-6,
+            attacker: None,
         }
     }
 
@@ -167,8 +172,24 @@ impl MeasurementContext {
         t_reverse_s: f64,
     ) -> Measurement {
         let t_s = t_forward_s;
-        let paths = self.paths_between(tx_antenna, rx_antenna);
-        let truth_tof_ns = paths.true_tof_ns().unwrap_or(f64::NAN);
+        let clean_paths = self.paths_between(tx_antenna, rx_antenna);
+        // Ground truth always comes from the clean geometry; an attacker
+        // corrupts only what the receivers *measure*.
+        let truth_tof_ns = clean_paths.true_tof_ns().unwrap_or(f64::NAN);
+        let corrupted = self
+            .attacker
+            .as_ref()
+            .and_then(|a| a.corrupt_paths(&clean_paths));
+        let paths = corrupted.as_ref().unwrap_or(&clean_paths);
+        // Jamming floors the effective SNR on targeted channels.
+        let mut noise_sigma = self.snr.floor_sigma();
+        if let Some(jam) = self
+            .attacker
+            .as_ref()
+            .and_then(|a| a.jam_sigma(band.channel))
+        {
+            noise_sigma = noise_sigma.max(jam);
+        }
         let cfo = self.cfo();
 
         // Hardware group delay: both chains contribute on both directions.
@@ -182,12 +203,12 @@ impl MeasurementContext {
             rng,
             band,
             layout,
-            &paths,
+            paths,
             hw_delay_ns,
             delta_fwd,
             cfo.rotation_at_rx(band.center_hz, t_s),
             kappa_fwd,
-            self.snr.floor_sigma(),
+            noise_sigma,
             quirk_fwd,
             t_s,
         );
@@ -202,12 +223,12 @@ impl MeasurementContext {
             rng,
             band,
             layout,
-            &paths,
+            paths,
             hw_delay_ns,
             delta_rev,
             cfo.rotation_at_tx(band.center_hz, t_rev),
             kappa_rev,
-            self.snr.floor_sigma(),
+            noise_sigma,
             quirk_rev,
             t_rev,
         );
@@ -541,6 +562,84 @@ mod tests {
         let layout = SubcarrierLayout::intel5300();
         let m = ctx.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0);
         assert!(!m.truth_los);
+    }
+
+    #[test]
+    fn replay_attacker_spoofs_apparent_tof_but_not_truth() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut ctx = ideal_ctx(3.0);
+        ctx.attacker = Some(crate::environment::Attacker::ReplayOffset {
+            extra_delay_ns: 10.0,
+        });
+        let band = band_by_channel(48).unwrap();
+        let layout = SubcarrierLayout::full();
+        let m = ctx.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0);
+        // Ground truth is the clean geometry...
+        assert!((m.truth_tof_ns - m_to_ns(3.0)).abs() < 1e-9);
+        // ...but the measured phase slope encodes truth + 10 ns.
+        let phases: Vec<f64> = m.forward.csi.iter().map(|z| z.arg()).collect();
+        let mut un = phases.clone();
+        chronos_math::unwrap::unwrap_in_place(&mut un);
+        let slope = (un.last().unwrap() - un.first().unwrap()) / (56.0 * 312_500.0);
+        let tau_apparent_ns = -slope / (2.0 * PI) * 1e9;
+        assert!(
+            (tau_apparent_ns - (m.truth_tof_ns + 10.0)).abs() < 0.2,
+            "{tau_apparent_ns} vs {}",
+            m.truth_tof_ns + 10.0
+        );
+    }
+
+    #[test]
+    fn jam_corrupts_only_targeted_bands() {
+        let clean_ctx = ideal_ctx(2.0);
+        let mut jam_ctx = ideal_ctx(2.0);
+        jam_ctx.attacker = Some(crate::environment::Attacker::BandJam {
+            bands: vec![36],
+            snr_floor_db: 5.0,
+        });
+        let layout = SubcarrierLayout::intel5300();
+        let capture = |ctx: &MeasurementContext, ch: u16| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let band = band_by_channel(ch).unwrap();
+            ctx.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0)
+        };
+        // The jammed band is noisy even though the context is noiseless.
+        let bits = |m: &Measurement| -> Vec<(u64, u64)> {
+            m.forward
+                .csi
+                .iter()
+                .chain(m.reverse.csi.iter())
+                .map(|z| (z.re.to_bits(), z.im.to_bits()))
+                .collect()
+        };
+        assert_ne!(bits(&capture(&jam_ctx, 36)), bits(&capture(&clean_ctx, 36)));
+        // An untargeted band is bit-identical to the honest context: the
+        // attacker machinery draws no extra randomness off-target.
+        assert_eq!(bits(&capture(&jam_ctx, 44)), bits(&capture(&clean_ctx, 44)));
+    }
+
+    #[test]
+    fn inject_attacker_plants_phantom_early_path() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut ctx = ideal_ctx(6.0); // truth ~20 ns
+        ctx.attacker = Some(crate::environment::Attacker::CsiInject {
+            forged_profile: crate::propagation::PathSet::single(5.0, 3.0),
+        });
+        let band = band_by_channel(100).unwrap();
+        let layout = SubcarrierLayout::full();
+        let m = ctx.measure_pair(&mut rng, &band, &layout, 0, 0, 0.0);
+        assert!((m.truth_tof_ns - m_to_ns(6.0)).abs() < 1e-9);
+        // The forged 5 ns path dominates: the apparent slope tracks it,
+        // not the 20 ns truth.
+        let phases: Vec<f64> = m.forward.csi.iter().map(|z| z.arg()).collect();
+        let mut un = phases.clone();
+        chronos_math::unwrap::unwrap_in_place(&mut un);
+        let slope = (un.last().unwrap() - un.first().unwrap()) / (56.0 * 312_500.0);
+        let tau_apparent_ns = -slope / (2.0 * PI) * 1e9;
+        assert!(
+            (tau_apparent_ns - 5.0).abs() < 2.0,
+            "apparent {tau_apparent_ns} should hug the forged 5 ns path"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! Each path carries a geometric length and a cumulative amplitude factor;
 //! [`crate::propagation`] turns them into delays and channel responses.
 
+use crate::bands::Band;
 use crate::geometry::{Point, Segment};
 use crate::propagation::{Path, PathSet};
 
@@ -280,6 +281,124 @@ impl Environment {
     }
 }
 
+/// An adversary attached to a measurement link.
+///
+/// Chronos-style ToF ranging faces three classic RF attacks (see
+/// `docs/ADVERSARIAL.md`): distance spoofing via delayed replay, CSI
+/// injection, and selective jamming. An `Attacker` composes with the
+/// honest channel synthesis in [`crate::csi::MeasurementContext`]: replay
+/// and injection corrupt the *measured* path set (ground truth stays
+/// clean), jamming raises the receiver noise floor on the targeted
+/// channels and costs frames at the link layer. A context with
+/// `attacker: None` performs bit-identical computation — the adversarial
+/// machinery is strictly opt-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Attacker {
+    /// Delayed replay: the adversary captures and retransmits the ranging
+    /// exchange through a delay line, shifting every apparent path by
+    /// `extra_delay_ns` and spoofing a longer distance (~0.3 m per ns).
+    ReplayOffset {
+        /// Extra delay injected into every path, nanoseconds.
+        extra_delay_ns: f64,
+    },
+    /// CSI injection: the adversary superimposes a forged multipath
+    /// profile onto the genuine channel, steering the sparse recovery
+    /// toward phantom paths.
+    CsiInject {
+        /// The forged paths added on top of the real channel.
+        forged_profile: PathSet,
+    },
+    /// Selective jamming: a noise emitter parked on specific Wi-Fi
+    /// channels. Jammed bands see their effective SNR floored at
+    /// `snr_floor_db` (raising CSI noise) and lose frames outright when
+    /// the floor drops low enough to break packet detection.
+    BandJam {
+        /// Jammed channel numbers (matching [`Band::channel`]).
+        bands: Vec<u16>,
+        /// Effective SNR on jammed bands, dB. Lower = stronger jamming.
+        snr_floor_db: f64,
+    },
+}
+
+impl Attacker {
+    /// The path set the *measurement* sees under this attack, or `None`
+    /// when the attack leaves paths untouched (jamming corrupts noise and
+    /// frames, not geometry). Ground truth must always be computed from
+    /// the clean set before calling this.
+    pub fn corrupt_paths(&self, clean: &PathSet) -> Option<PathSet> {
+        match self {
+            Attacker::ReplayOffset { extra_delay_ns } => {
+                let shifted: Vec<Path> = clean
+                    .paths()
+                    .iter()
+                    .map(|p| Path::new(p.delay_ns + extra_delay_ns, p.amplitude))
+                    .collect();
+                Some(PathSet::new(shifted))
+            }
+            Attacker::CsiInject { forged_profile } => {
+                let mut all: Vec<Path> = clean.paths().to_vec();
+                all.extend_from_slice(forged_profile.paths());
+                Some(PathSet::new(all))
+            }
+            Attacker::BandJam { .. } => None,
+        }
+    }
+
+    /// Whether this attack jams the given channel.
+    pub fn jams(&self, channel: u16) -> bool {
+        match self {
+            Attacker::BandJam { bands, .. } => bands.contains(&channel),
+            _ => false,
+        }
+    }
+
+    /// Per-component noise sigma the jammer imposes on `channel`, if this
+    /// attack jams it: the sigma at which a unit-amplitude signal sees
+    /// exactly `snr_floor_db`.
+    pub fn jam_sigma(&self, channel: u16) -> Option<f64> {
+        match self {
+            Attacker::BandJam {
+                bands,
+                snr_floor_db,
+            } if bands.contains(&channel) => Some(crate::noise::sigma_for_snr_db(*snr_floor_db)),
+            _ => None,
+        }
+    }
+
+    /// Extra frame-loss probability a jammed band suffers at the link
+    /// layer: packet detection starts failing as the SNR floor drops
+    /// through ~15 dB and is nearly certain to fail below 0 dB. Weak
+    /// jamming (high floor) costs no frames — it only dirties CSI.
+    pub fn jam_frame_loss(&self) -> f64 {
+        match self {
+            Attacker::BandJam { snr_floor_db, .. } => {
+                ((15.0 - snr_floor_db) / 20.0).clamp(0.0, 0.95)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Per-plan-index extra frame-loss vector for a sweep over `plan`, or
+    /// `None` when this attack costs no frames on any planned band. The
+    /// link layer ORs this loss into its erasure model (see
+    /// `SweepConfig::band_loss`).
+    pub fn band_loss(&self, plan: &[Band]) -> Option<Vec<f64>> {
+        let loss = self.jam_frame_loss();
+        if loss <= 0.0 {
+            return None;
+        }
+        let v: Vec<f64> = plan
+            .iter()
+            .map(|b| if self.jams(b.channel) { loss } else { 0.0 })
+            .collect();
+        if v.iter().all(|l| *l <= 0.0) {
+            None
+        } else {
+            Some(v)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,5 +582,93 @@ mod tests {
             &PathEnumConfig::default(),
         );
         assert_eq!(ps.paths().len(), 1);
+    }
+
+    #[test]
+    fn replay_shifts_every_path_uniformly() {
+        let clean = PathSet::new(vec![Path::new(5.0, 1.0), Path::new(12.0, 0.4)]);
+        let atk = Attacker::ReplayOffset {
+            extra_delay_ns: 7.5,
+        };
+        let dirty = atk.corrupt_paths(&clean).unwrap();
+        assert_eq!(dirty.len(), clean.len());
+        for (c, d) in clean.paths().iter().zip(dirty.paths()) {
+            assert!((d.delay_ns - c.delay_ns - 7.5).abs() < 1e-12);
+            assert_eq!(d.amplitude, c.amplitude);
+        }
+        // Truth must come from the clean set; the spoofed ToF moved.
+        assert!((dirty.true_tof_ns().unwrap() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inject_superimposes_forged_paths_sorted() {
+        let clean = PathSet::new(vec![Path::new(10.0, 1.0)]);
+        let atk = Attacker::CsiInject {
+            forged_profile: PathSet::new(vec![Path::new(4.0, 2.0), Path::new(30.0, 0.5)]),
+        };
+        let dirty = atk.corrupt_paths(&clean).unwrap();
+        let delays: Vec<f64> = dirty.paths().iter().map(|p| p.delay_ns).collect();
+        assert_eq!(delays, vec![4.0, 10.0, 30.0]);
+        // A strong forged early path hijacks the apparent direct path.
+        assert_eq!(dirty.true_tof_ns(), Some(4.0));
+        assert_eq!(clean.true_tof_ns(), Some(10.0));
+    }
+
+    #[test]
+    fn jam_targets_only_listed_channels() {
+        let atk = Attacker::BandJam {
+            bands: vec![36, 40],
+            snr_floor_db: 5.0,
+        };
+        assert!(atk.jams(36) && atk.jams(40));
+        assert!(!atk.jams(44) && !atk.jams(1));
+        assert!(atk.jam_sigma(36).unwrap() > 0.0);
+        assert!(atk.jam_sigma(44).is_none());
+        assert!(atk.corrupt_paths(&PathSet::single(5.0, 1.0)).is_none());
+        // Replay/inject never jam.
+        let replay = Attacker::ReplayOffset {
+            extra_delay_ns: 3.0,
+        };
+        assert!(!replay.jams(36));
+        assert_eq!(replay.jam_frame_loss(), 0.0);
+    }
+
+    #[test]
+    fn jam_frame_loss_grows_as_floor_drops() {
+        let loss_at = |db: f64| {
+            Attacker::BandJam {
+                bands: vec![36],
+                snr_floor_db: db,
+            }
+            .jam_frame_loss()
+        };
+        assert_eq!(loss_at(20.0), 0.0); // weak: CSI noise only
+        assert!((loss_at(5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(loss_at(-10.0), 0.95); // clamped
+        assert!(loss_at(0.0) < loss_at(-5.0));
+    }
+
+    #[test]
+    fn band_loss_maps_plan_indices() {
+        let plan = crate::bands::band_plan_5ghz();
+        let atk = Attacker::BandJam {
+            bands: vec![plan[0].channel, plan[3].channel],
+            snr_floor_db: -5.0,
+        };
+        let loss = atk.band_loss(&plan).unwrap();
+        assert_eq!(loss.len(), plan.len());
+        assert!(loss[0] > 0.9 && loss[3] > 0.9);
+        assert!(loss[1] == 0.0 && loss[2] == 0.0);
+        // Weak jamming (no frame loss) and off-plan channels yield None.
+        let weak = Attacker::BandJam {
+            bands: vec![plan[0].channel],
+            snr_floor_db: 20.0,
+        };
+        assert!(weak.band_loss(&plan).is_none());
+        let off_plan = Attacker::BandJam {
+            bands: vec![1],
+            snr_floor_db: -5.0,
+        };
+        assert!(off_plan.band_loss(&plan).is_none());
     }
 }

@@ -38,7 +38,7 @@ pub mod testbed;
 
 pub use bands::{band_plan, Band, BandGroup};
 pub use csi::{CsiCapture, Measurement, MeasurementContext};
-pub use environment::Environment;
+pub use environment::{Attacker, Environment};
 pub use geometry::Point;
 pub use hardware::{DeviceModel, Intel5300};
 pub use propagation::{Path, PathSet};

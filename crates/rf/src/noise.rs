@@ -62,9 +62,17 @@ impl SnrModel {
     /// the *effective* SNR of an obstructed link correctly drops below the
     /// pure log-distance prediction.
     pub fn floor_sigma(&self) -> f64 {
-        let snr = 10f64.powf(self.snr_at_1m_db / 10.0);
-        (1.0 / snr / 2.0).sqrt()
+        sigma_for_snr_db(self.snr_at_1m_db)
     }
+}
+
+/// Per-component noise sigma at which a unit-amplitude signal sees exactly
+/// `snr_db`: noise power `1/SNR`, split across the two components. Used by
+/// the receiver noise floor and by jamming attackers that force an
+/// effective SNR on targeted bands.
+pub fn sigma_for_snr_db(snr_db: f64) -> f64 {
+    let snr = 10f64.powf(snr_db / 10.0);
+    (1.0 / snr / 2.0).sqrt()
 }
 
 /// Draws one sample of circular complex Gaussian noise with per-component
@@ -130,6 +138,16 @@ mod tests {
             floor_db: -100.0,
         };
         assert!((m.snr_db(1.0) - m.snr_db(10.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigma_for_snr_matches_floor_sigma() {
+        let m = SnrModel::default();
+        assert!((sigma_for_snr_db(m.snr_at_1m_db) - m.floor_sigma()).abs() < 1e-15);
+        // 0 dB: noise power 1 split over two components.
+        assert!((sigma_for_snr_db(0.0) - (0.5f64).sqrt()).abs() < 1e-12);
+        // Lower SNR -> more noise.
+        assert!(sigma_for_snr_db(-5.0) > sigma_for_snr_db(5.0));
     }
 
     #[test]

@@ -11,20 +11,28 @@
 #     the zero-allocation contract gates exactly, not within a
 #     tolerance. Wall-clock sweeps/s columns are informational (they
 #     depend on the host); only the portable ratio/alloc metrics gate.
+#  3. Adversarial detection: rerun the quick replay/inject/jam attack
+#     matrix and fail when detection latency (or honest-client error)
+#     regresses >20%, or the quarantined rate drops >20%, against the
+#     checked-in BENCH_adversarial.json baseline. Fully deterministic
+#     (seeded), so the gate trips on real drift, not noise.
 #
 # On an *intentional* change, regenerate and commit the baselines:
 #
 #   cargo run --release -p chronos-bench --bin bench_position -- --quick
 #   cargo run --release -p chronos-bench --bin bench_throughput -- --quick
+#   cargo run --release -p chronos-bench --bin bench_adversarial -- --quick
 #
-# Usage: scripts/check-bench-regression.sh [position-baseline.json [throughput-baseline.json]]
+# Usage: scripts/check-bench-regression.sh \
+#            [position-baseline.json [throughput-baseline.json [adversarial-baseline.json]]]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 position_baseline="${1:-BENCH_position.json}"
 throughput_baseline="${2:-BENCH_throughput.json}"
+adversarial_baseline="${3:-BENCH_adversarial.json}"
 
-for baseline in "$position_baseline" "$throughput_baseline"; do
+for baseline in "$position_baseline" "$throughput_baseline" "$adversarial_baseline"; do
     if [[ ! -f "$baseline" ]]; then
         echo "missing baseline $baseline (generate with the commands in this script's header)" >&2
         exit 1
@@ -34,5 +42,8 @@ done
 cargo run --release -p chronos-bench --bin bench_position -- \
     --quick --check "$position_baseline" --tolerance 0.20
 
-exec cargo run --release -p chronos-bench --bin bench_throughput -- \
+cargo run --release -p chronos-bench --bin bench_throughput -- \
     --quick --check "$throughput_baseline" --tolerance 0.20
+
+exec cargo run --release -p chronos-bench --bin bench_adversarial -- \
+    --quick --check "$adversarial_baseline" --tolerance 0.20

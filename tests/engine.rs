@@ -591,6 +591,90 @@ fn churn_keeps_airtime_accounting_single_charge() {
     );
 }
 
+/// Churn under attack: a quarantined client that leaves and rejoins
+/// gets a fresh slot with a zeroed anomaly score (identity is the slot,
+/// not the radio — a re-associating device starts from scratch), the old
+/// slot keeps its verdict, and the arbiter's single-charge airtime
+/// accounting survives the whole episode.
+#[test]
+fn quarantined_client_rejoins_with_fresh_slot_and_clean_score() {
+    use chronos_bench::adversarial::{
+        adversarial_chronos, adversarial_service, replay_attacker, Strength, ATTACKER,
+        CLIENT_POSITIONS,
+    };
+
+    let mut svc = adversarial_service(0);
+    let charge = |r: &chronos_suite::core::EpochReport| {
+        r.outcomes.iter().fold(Duration::ZERO, |acc, o| {
+            acc + o.finished.saturating_since(o.started)
+        })
+    };
+    // The single-charge invariant, checked after every round: the epoch
+    // driver drops the previous rounds' arbiter windows at each round
+    // start, so what the arbiter tracks afterwards must equal exactly
+    // this round's reported sweep durations — every sweep charged one
+    // window, completion replacing projection, attacker included.
+    let assert_single_charge = |svc: &RangingService, r: &chronos_suite::core::EpochReport| {
+        assert_eq!(
+            svc.arbiter().total_tracked_airtime(),
+            charge(r),
+            "epoch {}: arbiter charge diverged from reported sweeps",
+            r.epoch
+        );
+    };
+    // Clean warm-up, then a blatant replay attack.
+    for e in 0..7u64 {
+        let r = svc.run_epoch(500 + e);
+        assert_single_charge(&svc, &r);
+    }
+    svc.client_mut(ATTACKER).ctx.attacker = Some(replay_attacker(Strength::Strong));
+    let mut detected = false;
+    for e in 7..10u64 {
+        let r = svc.run_epoch(500 + e);
+        detected |= r
+            .outcomes
+            .iter()
+            .any(|o| o.client == ATTACKER && o.quarantined);
+        assert_single_charge(&svc, &r);
+    }
+    assert!(detected, "strong replay must be quarantined");
+    assert!(svc.is_quarantined(ATTACKER));
+    assert!(svc.anomaly_score(ATTACKER).expect("adaptive client") > 0.0);
+
+    // The attacker leaves; its slot keeps the verdict but is never
+    // scheduled again.
+    assert!(svc.remove_client(ATTACKER));
+    let r = svc.run_epoch(600);
+    assert!(r.outcomes.iter().all(|o| o.client != ATTACKER));
+    assert!(svc.is_quarantined(ATTACKER), "verdict outlives the leave");
+    assert_single_charge(&svc, &r);
+
+    // It rejoins (now honest): a fresh slot, a fresh tracker, a zeroed
+    // anomaly score — and no inherited quarantine.
+    let mut ctx = MeasurementContext::new(
+        Environment::free_space(),
+        ideal_device(AntennaArray::single()),
+        CLIENT_POSITIONS[ATTACKER],
+        ideal_device(AntennaArray::access_point()),
+        Point::new(0.0, 0.0),
+    );
+    ctx.snr.snr_at_1m_db = 36.0;
+    let id = svc.add_client(ctx, adversarial_chronos());
+    svc.client_mut(id).sweep_cfg.medium.loss_prob = 0.0;
+    assert_eq!(id, 3, "slot indices are never reused");
+    assert!(!svc.is_quarantined(id));
+    assert_eq!(svc.anomaly_score(id), Some(0.0), "score starts clean");
+
+    for e in 0..3u64 {
+        let r = svc.run_epoch(700 + e);
+        for o in r.outcomes.iter().filter(|o| o.client == id) {
+            assert!(!o.quarantined, "fresh slot must not inherit quarantine");
+            assert!(o.tracked_pos.is_some(), "estimates served again");
+        }
+        assert_single_charge(&svc, &r);
+    }
+}
+
 /// A removed client stops being scheduled across window boundaries (the
 /// facade path; the engine-level mid-window `leave_at` event is covered
 /// by the engine's own unit tests).
