@@ -1,0 +1,84 @@
+//! The overload-soak benchmark and its CI regression gate: admission,
+//! shedding, fairness and honest accuracy at 1x–5x offered load through
+//! the bounded ingestion front-end (see `docs/INGESTION.md`).
+//!
+//! ```sh
+//! # Regenerate the checked-in baseline (CI gates a --quick run, so the
+//! # baseline must be a --quick run too — window-count mismatches fail
+//! # the gate explicitly):
+//! cargo run --release -p chronos-bench --bin bench_soak -- --quick
+//!
+//! # Gate mode (what scripts/check-bench-regression.sh runs in CI):
+//! cargo run --release -p chronos-bench --bin bench_soak -- \
+//!     --quick --check BENCH_soak.json --tolerance 0.20
+//! ```
+//!
+//! Flags are the shared set parsed by [`chronos_bench::cli::BenchArgs`]
+//! (`--quick`, `--out`, `--check`, `--tolerance`). The run is fully
+//! deterministic — the queue sheds as a pure function of the arrival
+//! sequence — so the gate trips on real scheduling drift, not noise.
+//! The load-shedding contract the table pins down: ACQUIRE sheds stay
+//! at zero at every load, BACKGROUND absorbs the drops, TRACK absorbs
+//! deferrals, and the honest walkers' error grows gracefully rather
+//! than collapsing.
+
+use chronos_bench::cli::BenchArgs;
+use chronos_bench::position::check_regression;
+use chronos_bench::report::{write_json, Table};
+use chronos_bench::soak::soak_table;
+use std::process::ExitCode;
+
+const SEED: u64 = 41;
+
+fn main() -> ExitCode {
+    let args = match BenchArgs::parse("BENCH_soak.json") {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (windows, window_ms) = if args.quick { (4, 250) } else { (8, 250) };
+    let table = soak_table(SEED, windows, window_ms);
+    println!("{}", table.render());
+
+    let tolerance = args.tolerance;
+    match args.check {
+        None => {
+            let out = args.out;
+            write_json(&table, &out).expect("write BENCH_soak.json");
+            println!("wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Some(baseline_path) => {
+            let baseline_src = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+                panic!("cannot read baseline {}: {e}", baseline_path.display())
+            });
+            let baseline = Table::from_json(&baseline_src)
+                .unwrap_or_else(|e| panic!("malformed baseline: {e}"));
+            match check_regression(&table, &baseline, tolerance) {
+                Ok(()) => {
+                    println!(
+                        "bench-regression gate: OK (within {:.0}% of {})",
+                        tolerance * 100.0,
+                        baseline_path.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(failures) => {
+                    eprintln!("bench-regression gate: FAILED");
+                    for f in &failures {
+                        eprintln!("  {f}");
+                    }
+                    eprintln!(
+                        "(baseline {}; intentional changes: re-run without --check and \
+                         commit the new baseline)",
+                        baseline_path.display()
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}

@@ -15,6 +15,7 @@ pub mod figures;
 pub mod position;
 pub mod report;
 pub mod scenarios;
+pub mod soak;
 pub mod throughput;
 pub mod tracking;
 

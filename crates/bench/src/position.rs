@@ -347,7 +347,10 @@ pub fn check_regression(current: &Table, baseline: &Table, tol: f64) -> Result<(
             let lower_better = header.contains("err")
                 || header.contains("rmse")
                 || header.contains("detect")
-                || header.contains("latency");
+                || header.contains("latency")
+                || header.contains("shed")
+                || header.contains("fairness")
+                || header.contains("deferred");
             let higher_better = header.contains("rate");
             if !lower_better && !higher_better {
                 if (cur - base).abs() > 1e-9 {
@@ -473,5 +476,48 @@ mod tests {
         let mut faster = base.clone();
         faster.rows[0][1] = "1".into();
         assert!(check_regression(&faster, &base, 0.2).is_ok());
+    }
+
+    #[test]
+    fn regression_checker_gates_shedding_metrics() {
+        // Soak-bench columns: shed counts, deferral counts and the
+        // fairness ratio are lower-is-better; admitted-fix rate keeps
+        // the higher-is-better `rate` rule.
+        let headers = [
+            "scenario",
+            "shed_acquire",
+            "deferred_track",
+            "fairness_ratio",
+            "admitted_fix_rate",
+        ];
+        let mut base = Table::new("BENCH_soak", &headers);
+        base.row(&[
+            "load_3x".into(),
+            "0".into(),
+            "40".into(),
+            "1.300".into(),
+            "0.800".into(),
+        ]);
+        assert!(check_regression(&base.clone(), &base, 0.2).is_ok());
+        for (col, worse_val, metric) in [
+            (1usize, "5", "shed_acquire"),
+            (2, "80", "deferred_track"),
+            (3, "2.500", "fairness_ratio"),
+            (4, "0.400", "admitted_fix_rate"),
+        ] {
+            let mut worse = base.clone();
+            worse.rows[0][col] = worse_val.into();
+            let errs = check_regression(&worse, &base, 0.2).unwrap_err();
+            assert!(
+                errs.iter().any(|e| e.contains(metric)),
+                "{metric}: {errs:?}"
+            );
+        }
+        // Improvements in every direction pass.
+        let mut better = base.clone();
+        better.rows[0][2] = "10".into();
+        better.rows[0][3] = "1.000".into();
+        better.rows[0][4] = "0.950".into();
+        assert!(check_regression(&better, &base, 0.2).is_ok());
     }
 }

@@ -1,4 +1,56 @@
-//! Estimator configuration.
+//! Estimator configuration, plus the ingestion front-end policy
+//! ([`IngestionConfig`]) shared by service and engine.
+
+use chronos_link::admission::AdmissionConfig;
+use chronos_link::time::Duration;
+
+/// Policy of the overload-safe ingestion front-end (see
+/// `docs/INGESTION.md`).
+///
+/// When set on [`crate::service::ServiceConfig::ingestion`], sweep-due
+/// events stop booking the [`chronos_link::arbiter::MediumArbiter`]
+/// directly and instead pass through a bounded
+/// [`chronos_link::admission::AdmissionQueue`]: requests are classed
+/// (ACQUIRE > TRACK > BACKGROUND), queued within per-class and global
+/// depth bounds, and drained in priority order only while the arbiter's
+/// booking horizon stays within [`IngestionConfig::backlog_limit`].
+/// Under pressure the engine degrades deliberately — the shedding
+/// ladder stretches TRACK cadence first, drops BACKGROUND next, and
+/// rejects ACQUIRE only when nothing else is left to give.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestionConfig {
+    /// Depth bounds of the admission queue (per class and global).
+    pub queue: AdmissionConfig,
+    /// How far ahead of "now" the arbiter may be booked before the
+    /// engine stops draining the queue. This is the knob that separates
+    /// "bounded queue" from "unbounded promise backlog": without it,
+    /// every admitted request books medium time arbitrarily far into
+    /// the future and the queue never fills. Sized in units of sweep
+    /// airtime (~84 ms full / ~30 ms subset): 250 ms keeps roughly a
+    /// handful of sweeps in flight per concurrency lane.
+    pub backlog_limit: Duration,
+    /// Ceiling on the TRACK cadence stretch factor. The engine scales
+    /// `track_gap` by `1 + fill * (track_stretch_max - 1)` where `fill`
+    /// is the queue's global occupancy fraction, so a full queue spaces
+    /// TRACK sweeps at `track_stretch_max *` the configured gap. The
+    /// ladder's "TRACK slack is exhausted" point.
+    pub track_stretch_max: f64,
+    /// Delay before a deferred or shed request is offered again. Short
+    /// enough that freed capacity is reclaimed promptly, long enough
+    /// that a saturated queue is not hammered every event-loop instant.
+    pub retry_gap: Duration,
+}
+
+impl Default for IngestionConfig {
+    fn default() -> Self {
+        IngestionConfig {
+            queue: AdmissionConfig::default(),
+            backlog_limit: Duration::from_millis(250),
+            track_stretch_max: 8.0,
+            retry_gap: Duration::from_millis(25),
+        }
+    }
+}
 
 /// How the estimator treats the Intel 5300's 2.4 GHz phase quirk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,5 +176,17 @@ mod tests {
     #[test]
     fn ideal_constructor() {
         assert_eq!(ChronosConfig::ideal().mode, QuirkMode::Ideal);
+    }
+
+    #[test]
+    fn ingestion_defaults_are_sane() {
+        let c = IngestionConfig::default();
+        assert!(c.track_stretch_max >= 1.0);
+        assert!(c.backlog_limit > Duration::ZERO);
+        assert!(c.retry_gap > Duration::ZERO);
+        // Per-class depths must sum above the global bound so the global
+        // bound binds first under mixed load.
+        let q = c.queue;
+        assert!(q.acquire_depth + q.track_depth + q.background_depth > q.global_depth);
     }
 }

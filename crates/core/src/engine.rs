@@ -66,7 +66,7 @@
 //!   so ordinals coincide with the legacy global epoch index and the
 //!   wrapper reproduces pre-engine outcomes bit for bit.
 
-use crate::config::ChronosConfig;
+use crate::config::{ChronosConfig, IngestionConfig};
 use crate::pipeline::{BatchSweep, SweepPipeline};
 use crate::plan::{CacheStats, PlanCache};
 use crate::service::{
@@ -74,10 +74,12 @@ use crate::service::{
 };
 use crate::session::{ChronosSession, SweepOutput};
 use crate::tracker::{ClientTracker, PositionTracker, TrackMode, TrackerConfig};
+use chronos_link::admission::{AdmissionQueue, IngestionStats, Offer};
 use chronos_link::arbiter::{MediumArbiter, SweepGrant};
 use chronos_link::event::EventQueue;
 use chronos_link::sweep::SweepConfig;
 use chronos_link::time::{Duration, Instant};
+use chronos_link::traffic::TrafficClass;
 use chronos_rf::bands::Band;
 use chronos_rf::csi::MeasurementContext;
 use chronos_rf::geometry::Point;
@@ -132,6 +134,11 @@ pub struct WindowReport {
     /// Bands the same sweeps would have cost as full plans — the
     /// denominator of [`WindowReport::airtime_saved`].
     pub bands_full_sweep: usize,
+    /// Ingestion-layer accounting for this window: offered vs. admitted
+    /// load, shed/deferral counts per class, queue high-water marks and
+    /// the peak TRACK stretch. All-zero (default) when
+    /// [`ServiceConfig::ingestion`] is off.
+    pub ingestion: IngestionStats,
 }
 
 impl WindowReport {
@@ -214,6 +221,8 @@ struct CompletedSweep {
     client: usize,
     grant: SweepGrant,
     mode: TrackMode,
+    class: TrafficClass,
+    deferrals: u32,
     bands_planned: usize,
     sweep_index: u64,
     /// Ground truth captured when the sweep *executed* — a caller may
@@ -231,6 +240,9 @@ struct Job {
     sweep_cfg: SweepConfig,
     rng_seed: u64,
     mode: TrackMode,
+    class: TrafficClass,
+    /// Times the request was pushed back before this admission.
+    deferrals: u32,
     sweep_index: u64,
 }
 
@@ -259,6 +271,13 @@ struct Slot {
     /// Consecutive completed sweeps with the anomaly score at or below
     /// the release threshold — the hysteresis dwell counter.
     clean_run: usize,
+    /// Whether the client is flagged as BACKGROUND traffic (lowest
+    /// admission class; first to be shed under overload).
+    background: bool,
+    /// Deferrals accumulated by the client's *next* sweep request
+    /// (retries after a queue rejection or displacement); consumed at
+    /// admission into [`Job::deferrals`].
+    pending_deferrals: u32,
 }
 
 /// Continuous windows periodically release arbiter windows that have
@@ -280,6 +299,44 @@ struct WindowAcc {
     flushed_to: Instant,
     /// Completions since the last airtime flush.
     since_flush: usize,
+}
+
+/// Runtime state of the ingestion front-end (present only when
+/// [`ServiceConfig::ingestion`] is set).
+struct IngestState {
+    cfg: IngestionConfig,
+    /// The bounded front door; holds client indices whose `SweepDue`
+    /// fired but whose admission is pending capacity.
+    queue: AdmissionQueue<usize>,
+    /// Cumulative counters since engine creation (peak fields hold
+    /// all-time maxima, folded in at window boundaries).
+    stats: IngestionStats,
+    /// Counter snapshot at the start of the current window.
+    window_start: IngestionStats,
+    /// Peak TRACK stretch factor observed in the current window.
+    window_stretch_peak: f64,
+}
+
+impl IngestState {
+    fn new(cfg: IngestionConfig) -> Self {
+        IngestState {
+            queue: AdmissionQueue::new(cfg.queue),
+            cfg,
+            stats: IngestionStats::default(),
+            window_start: IngestionStats::default(),
+            window_stretch_peak: 1.0,
+        }
+    }
+
+    /// Current TRACK cadence stretch: 1 at an empty queue (the front
+    /// end is transparent under light load), rising linearly with the
+    /// queue's global occupancy to [`IngestionConfig::track_stretch_max`]
+    /// when full.
+    fn stretch(&self) -> f64 {
+        let cap = self.cfg.queue.global_depth.max(1) as f64;
+        let fill = (self.queue.len() as f64 / cap).min(1.0);
+        1.0 + fill * (self.cfg.track_stretch_max.max(1.0) - 1.0)
+    }
 }
 
 /// The continuous virtual-time sweep engine: a pool of
@@ -304,6 +361,14 @@ pub struct ServiceEngine {
     /// stops there instead of pulling far-future `leave_at` events out
     /// of their virtual time.
     pending_ops: usize,
+    /// `SweepComplete` events currently queued — sweeps on the air. The
+    /// ingestion drain uses this for work conservation: with nothing in
+    /// flight and nothing admitted this instant, at least one queued
+    /// request is always released regardless of the backlog limit.
+    in_flight: usize,
+    /// Ingestion front-end state (`None`: dues book the arbiter
+    /// directly, pre-ingestion behavior bit for bit).
+    ingest: Option<IngestState>,
     clock: Instant,
     /// Per-worker scratch pipelines (index 0 doubles as the inline-batch
     /// pipeline). Allocated lazily, reused for every subsequent batch —
@@ -331,6 +396,7 @@ impl ServiceEngine {
     /// Creates an engine that shares an existing plan cache.
     pub fn with_cache(cfg: ServiceConfig, plans: Arc<PlanCache>) -> Self {
         let arbiter = MediumArbiter::new(cfg.arbiter);
+        let ingest = cfg.ingestion.map(IngestState::new);
         ServiceEngine {
             cfg,
             plans,
@@ -339,6 +405,8 @@ impl ServiceEngine {
             arbiter,
             queue: EventQueue::new(),
             pending_ops: 0,
+            in_flight: 0,
+            ingest,
             clock: Instant::ZERO,
             pipelines: Vec::new(),
         }
@@ -430,6 +498,8 @@ impl ServiceEngine {
             scheduled: false,
             quarantined: false,
             clean_run: 0,
+            background: false,
+            pending_deferrals: 0,
         });
         self.slots.len() - 1
     }
@@ -507,6 +577,49 @@ impl ServiceEngine {
                 .map(|t| t.anomaly_score())
                 .or_else(|| s.pos_tracker.as_ref().map(|t| t.anomaly_score()))
         })
+    }
+
+    /// Flags a client as BACKGROUND traffic: its sweep requests are
+    /// offered to the admission queue in the lowest class. With
+    /// ingestion disabled the flag only annotates
+    /// [`ClientOutcome::class`].
+    pub fn set_background(&mut self, idx: usize, background: bool) {
+        if let Some(s) = self.slots.get_mut(idx) {
+            s.background = background;
+        }
+    }
+
+    /// Whether a client is flagged as BACKGROUND traffic.
+    pub fn is_background(&self, idx: usize) -> bool {
+        self.slots.get(idx).map(|s| s.background).unwrap_or(false)
+    }
+
+    /// Cumulative ingestion accounting since engine creation (`None`
+    /// when the front-end is off). Peak fields report all-time maxima
+    /// including the in-progress window.
+    pub fn ingestion_stats(&self) -> Option<IngestionStats> {
+        self.ingest.as_ref().map(|ing| {
+            let mut s = ing.stats;
+            let hw = ing.queue.high_water();
+            s.queue_peak.acquire = s.queue_peak.acquire.max(hw.acquire);
+            s.queue_peak.track = s.queue_peak.track.max(hw.track);
+            s.queue_peak.background = s.queue_peak.background.max(hw.background);
+            s.queue_peak_total = s.queue_peak_total.max(ing.queue.high_water_total() as u64);
+            s.stretch_peak = s.stretch_peak.max(ing.window_stretch_peak);
+            s
+        })
+    }
+
+    /// The admission class of a client's next sweep request.
+    fn class_of(&self, client: usize) -> TrafficClass {
+        if self.slots[client].background {
+            TrafficClass::Background
+        } else {
+            match self.sched_mode(client).0 {
+                TrackMode::Acquire => TrafficClass::Acquire,
+                TrackMode::Track => TrafficClass::Track,
+            }
+        }
     }
 
     /// Calibrates every client at its current (known) geometry with `n`
@@ -601,6 +714,14 @@ impl ServiceEngine {
             .mul_f64(self.cfg.admission_headroom.max(1.0));
         let grant = self.arbiter.admit(now, expected);
         sweep_cfg.medium.loss_prob = (sweep_cfg.medium.loss_prob + grant.extra_loss).min(0.9);
+        let class = if self.slots[client].background {
+            TrafficClass::Background
+        } else {
+            match mode {
+                TrackMode::Acquire => TrafficClass::Acquire,
+                TrackMode::Track => TrafficClass::Track,
+            }
+        };
         let slot = &mut self.slots[client];
         let sweep_index = slot.sweeps;
         slot.sweeps += 1;
@@ -610,6 +731,8 @@ impl ServiceEngine {
             sweep_cfg,
             rng_seed: mix_seed(seed, sweep_index + 1, client),
             mode,
+            class,
+            deferrals: std::mem::take(&mut slot.pending_deferrals),
             sweep_index,
         }
     }
@@ -673,12 +796,15 @@ impl ServiceEngine {
         done: CompletedSweep,
         now: Instant,
         auto_resweep: bool,
+        track_stretch: f64,
         acc: &mut WindowAcc,
     ) {
         let CompletedSweep {
             client,
             grant,
             mode,
+            class,
+            deferrals,
             bands_planned,
             sweep_index,
             truth_m,
@@ -778,9 +904,18 @@ impl ServiceEngine {
             pos_innovation_sigmas,
             anomaly_score,
             quarantined,
+            class,
+            deferrals,
         });
         if auto_resweep && slot.active {
             let gap = match next_mode {
+                // Cadence degradation: under queue pressure TRACK gaps
+                // stretch (the first rung of the shedding ladder).
+                // `track_stretch` is exactly 1.0 whenever ingestion is
+                // off, keeping the legacy path bit-for-bit intact.
+                TrackMode::Track if track_stretch > 1.0 => {
+                    self.cfg.cadence.track_gap.mul_f64(track_stretch)
+                }
                 TrackMode::Track => self.cfg.cadence.track_gap,
                 TrackMode::Acquire => self.cfg.cadence.acquire_gap,
             };
@@ -820,6 +955,16 @@ impl ServiceEngine {
         acc.since_flush = 0;
     }
 
+    /// Reschedules a pushed-back request (deferred, displaced, or shed)
+    /// after the ingestion retry gap. The slot's `scheduled` claim
+    /// stays held by the retry event.
+    fn retry_later(&mut self, client: usize, now: Instant, gap: Duration) {
+        self.slots[client].pending_deferrals += 1;
+        self.pending_ops += 1;
+        self.queue
+            .schedule(now + gap, EngineEvent::SweepDue(client));
+    }
+
     /// The event loop: processes queued events in virtual-time order
     /// until the queue drains (`deadline: None`) or the next event would
     /// fire past the deadline.
@@ -829,6 +974,16 @@ impl ServiceEngine {
     /// batch — completions before admissions so same-instant grants see
     /// actual sweep ends, dues last so the ACQUIRE-priority ordering
     /// spans every due of the instant.
+    ///
+    /// With the ingestion front-end active (continuous windows only),
+    /// dues no longer book the arbiter directly: they are *offered* to
+    /// the bounded [`AdmissionQueue`] (sheds and deferrals decided
+    /// here), and the queue is drained in class-priority order only
+    /// while the arbiter's booking horizon stays inside
+    /// [`IngestionConfig::backlog_limit`] — with a work-conservation
+    /// escape: if nothing is in flight and nothing was admitted this
+    /// instant, one request is always released, so a non-empty queue
+    /// always implies a pending completion and hence a future drain.
     fn pump(
         &mut self,
         seed: u64,
@@ -837,6 +992,14 @@ impl ServiceEngine {
         auto_resweep: bool,
         acc: &mut WindowAcc,
     ) {
+        // The front end applies to continuous windows only; the epoch
+        // compatibility path keeps its legacy semantics. Taking the
+        // state out of `self` lets the loop borrow both freely.
+        let mut ingest = if auto_resweep {
+            self.ingest.take()
+        } else {
+            None
+        };
         while let Some(now) = self.queue.peek_time() {
             match deadline {
                 Some(d) if now > d => break,
@@ -849,8 +1012,8 @@ impl ServiceEngine {
             // Drain the whole instant (pop order is deterministic).
             let mut completes: Vec<Box<CompletedSweep>> = Vec::new();
             let mut due: Vec<usize> = Vec::new();
-            while self.queue.peek_time() == Some(now) {
-                match self.queue.pop().expect("peeked event").1 {
+            while let Some(event) = self.queue.pop_if_at(now) {
+                match event {
                     EngineEvent::Leave(c) => {
                         if let Some(s) = self.slots.get_mut(c) {
                             s.active = false;
@@ -858,6 +1021,7 @@ impl ServiceEngine {
                     }
                     EngineEvent::SweepComplete(done) => {
                         self.pending_ops -= 1;
+                        self.in_flight -= 1;
                         completes.push(done);
                     }
                     EngineEvent::SweepDue(c) => {
@@ -866,15 +1030,22 @@ impl ServiceEngine {
                     }
                 }
             }
+            // TRACK reschedules of this instant's completions see the
+            // queue pressure as it stands *before* this instant's
+            // arrivals — the pressure those sweeps actually ran under.
+            let track_stretch = match &ingest {
+                Some(ing) => ing.stretch(),
+                None => 1.0,
+            };
+            if let Some(ing) = ingest.as_mut() {
+                ing.window_stretch_peak = ing.window_stretch_peak.max(track_stretch);
+            }
             acc.since_flush += completes.len();
             for done in completes {
-                self.finish_sweep(*done, now, auto_resweep, acc);
+                self.finish_sweep(*done, now, auto_resweep, track_stretch, acc);
             }
             if auto_resweep && acc.since_flush >= AIRTIME_FLUSH_EVERY {
                 self.flush_airtime(now, acc);
-            }
-            if due.is_empty() {
-                continue;
             }
             // Departed clients' dues dissolve.
             for &c in &due {
@@ -883,27 +1054,86 @@ impl ServiceEngine {
                 }
             }
             due.retain(|&c| self.slots[c].active);
-            if acquire_priority {
-                // ACQUIRE clients are admitted first (stable: ties keep
-                // due order) — a cold or broken track gets the earliest
-                // slot the arbiter can grant.
-                due.sort_by_key(|&c| self.sched_mode(c).0 == TrackMode::Track);
-            }
             let mut jobs = Vec::with_capacity(due.len());
-            for &c in &due {
-                jobs.push(self.admit(c, now, seed, acc));
+            if let Some(ing) = ingest.as_mut() {
+                // Offer this instant's fresh dues to the bounded queue,
+                // in due order. The ladder: TRACK rejections defer
+                // (cadence keeps degrading), BACKGROUND rejections and
+                // displacement victims are shed, ACQUIRE rejections —
+                // possible only once displacement finds no background
+                // victim — are shed as the last resort.
+                for &c in &due {
+                    let class = self.class_of(c);
+                    ing.stats.offered.add(class, 1);
+                    match ing.queue.offer(class, c) {
+                        Offer::Enqueued => {}
+                        Offer::Displaced(victim) => {
+                            ing.stats.shed.add(TrafficClass::Background, 1);
+                            self.retry_later(victim, now, ing.cfg.retry_gap);
+                        }
+                        Offer::Rejected(c) => {
+                            if class == TrafficClass::Track {
+                                ing.stats.deferred.add(class, 1);
+                            } else {
+                                ing.stats.shed.add(class, 1);
+                            }
+                            self.retry_later(c, now, ing.cfg.retry_gap);
+                        }
+                    }
+                }
+                // Drain in class-priority order while the arbiter's
+                // booking horizon stays inside the backlog limit (each
+                // admission pushes the horizon out, tightening the
+                // check), with the work-conservation escape described
+                // above.
+                while let Some(class) = ing.queue.peek_class() {
+                    let backlog = self.arbiter.horizon().saturating_since(now);
+                    let has_capacity = backlog < ing.cfg.backlog_limit;
+                    let work_conserving = self.in_flight == 0 && jobs.is_empty();
+                    if !has_capacity && !work_conserving {
+                        break;
+                    }
+                    let (_, c) = ing.queue.pop().expect("peeked class");
+                    if !self.slots[c].active {
+                        // Departed while queued: the claim dissolves.
+                        self.slots[c].scheduled = false;
+                        continue;
+                    }
+                    ing.stats.admitted.add(class, 1);
+                    jobs.push(self.admit(c, now, seed, acc));
+                }
+                // Pressure is what *survives* the drain: requests parked
+                // behind the backlog limit, not the transient occupancy
+                // of same-instant offer-then-admit churn.
+                ing.window_stretch_peak = ing.window_stretch_peak.max(ing.stretch());
+            } else {
+                if acquire_priority {
+                    // ACQUIRE clients are admitted first (stable: ties
+                    // keep due order) — a cold or broken track gets the
+                    // earliest slot the arbiter can grant.
+                    due.sort_by_key(|&c| self.sched_mode(c).0 == TrackMode::Track);
+                }
+                for &c in &due {
+                    jobs.push(self.admit(c, now, seed, acc));
+                }
+            }
+            if jobs.is_empty() {
+                continue;
             }
             let results = self.execute(&jobs);
             for (job, out) in jobs.into_iter().zip(results) {
                 self.arbiter.complete(job.grant.token, out.link.finished);
                 let ctx = &self.slots[job.client].session.ctx;
                 self.pending_ops += 1;
+                self.in_flight += 1;
                 self.queue.schedule(
                     out.link.finished,
                     EngineEvent::SweepComplete(Box::new(CompletedSweep {
                         client: job.client,
                         grant: job.grant,
                         mode: job.mode,
+                        class: job.class,
+                        deferrals: job.deferrals,
                         bands_planned: job.sweep_cfg.plan.len(),
                         sweep_index: job.sweep_index,
                         truth_m: ctx.initiator_pos.dist(ctx.responder_pos),
@@ -911,6 +1141,55 @@ impl ServiceEngine {
                         out,
                     })),
                 );
+            }
+        }
+        if let Some(ing) = ingest {
+            self.ingest = Some(ing);
+        }
+    }
+
+    /// Snapshots the ingestion counters and resets the per-window peak
+    /// trackers at a window's start. No-op with the front-end off.
+    fn begin_ingest_window(&mut self) {
+        if let Some(ing) = self.ingest.as_mut() {
+            ing.window_start = ing.stats;
+            ing.queue.reset_high_water();
+            ing.window_stretch_peak = ing.stretch();
+        }
+    }
+
+    /// The window's ingestion delta (counters since
+    /// [`ServiceEngine::begin_ingest_window`], peaks over the window),
+    /// folding the window's peaks into the cumulative all-time maxima.
+    /// All-zero with the front-end off.
+    fn end_ingest_window(&mut self) -> IngestionStats {
+        let Some(ing) = self.ingest.as_mut() else {
+            return IngestionStats::default();
+        };
+        let hw = ing.queue.high_water();
+        let hw_total = ing.queue.high_water_total() as u64;
+        ing.stats.queue_peak.acquire = ing.stats.queue_peak.acquire.max(hw.acquire);
+        ing.stats.queue_peak.track = ing.stats.queue_peak.track.max(hw.track);
+        ing.stats.queue_peak.background = ing.stats.queue_peak.background.max(hw.background);
+        ing.stats.queue_peak_total = ing.stats.queue_peak_total.max(hw_total);
+        ing.stats.stretch_peak = ing.stats.stretch_peak.max(ing.window_stretch_peak);
+        let mut w = ing.stats.counters_since(&ing.window_start);
+        w.queue_peak = hw;
+        w.queue_peak_total = hw_total;
+        w.stretch_peak = ing.window_stretch_peak;
+        w
+    }
+
+    /// Releases everything still waiting in the admission queue as
+    /// immediate dues at `at`. Epoch rounds bypass the front door
+    /// entirely (legacy semantics), so mixed window/epoch use must not
+    /// strand a queued client behind a door nobody is draining.
+    fn flush_ingest_to_dues(&mut self, at: Instant) {
+        if let Some(ing) = self.ingest.as_mut() {
+            while let Some((class, c)) = ing.queue.pop() {
+                ing.stats.admitted.add(class, 1);
+                self.pending_ops += 1;
+                self.queue.schedule(at, EngineEvent::SweepDue(c));
             }
         }
     }
@@ -936,6 +1215,7 @@ impl ServiceEngine {
                 cache: self.plans.stats(),
                 bands_planned: 0,
                 bands_full_sweep: 0,
+                ingestion: IngestionStats::default(),
             };
         }
         let mut acc = WindowAcc {
@@ -945,9 +1225,11 @@ impl ServiceEngine {
         // Windows fully behind the last report can no longer overlap any
         // admission; dropping them keeps the arbiter scan bounded.
         self.arbiter.release_before(started);
+        self.begin_ingest_window();
         self.schedule_idle_clients(started);
         let priority = self.cfg.cadence.acquire_priority;
         self.pump(seed, Some(ended), priority, true, &mut acc);
+        let ingestion = self.end_ingest_window();
         // Utilization = periodically flushed coverage plus the tail the
         // arbiter still tracks (the segments are disjoint by
         // construction).
@@ -974,6 +1256,7 @@ impl ServiceEngine {
             cache: self.plans.stats(),
             bands_planned: acc.bands_planned,
             bands_full_sweep: acc.bands_full_sweep,
+            ingestion,
         }
     }
 
@@ -995,6 +1278,7 @@ impl ServiceEngine {
         let wall_start = std::time::Instant::now();
         let mut acc = WindowAcc::default();
         self.arbiter.release_before(started);
+        self.flush_ingest_to_dues(started);
         self.pump(seed, None, false, false, &mut acc);
         self.schedule_idle_clients(started);
         self.pump(seed, None, false, false, &mut acc);
@@ -1212,6 +1496,81 @@ mod tests {
         assert_eq!(w.completed(), 0);
         assert_eq!(w.outcomes.len(), 0);
         assert_eq!(w.utilization, 0.0);
+        assert_eq!(w.ingestion, IngestionStats::default());
         assert_eq!(eng.pending_events(), 0);
+    }
+
+    #[test]
+    fn ingestion_under_light_load_is_transparent() {
+        // With the queue never filling (few clients, generous backlog),
+        // the front door must change nothing: same admissions, same
+        // order, same RNG streams, bit-for-bit the same estimates.
+        let run = |ingestion: Option<IngestionConfig>| {
+            let cfg = ServiceConfig {
+                ingestion,
+                ..ServiceConfig::adaptive(TrackerConfig::default())
+            };
+            let mut eng = engine_with(3, cfg);
+            let w = eng.run_until(11, Instant::from_millis(600));
+            assert!(w.completed() > 3);
+            w.outcomes
+                .iter()
+                .map(|o| {
+                    (
+                        o.client,
+                        o.sweep,
+                        o.started,
+                        o.finished,
+                        o.distance_m.map(f64::to_bits),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(None), run(Some(IngestionConfig::default())));
+    }
+
+    #[test]
+    fn light_load_ingestion_stats_balance_and_never_shed() {
+        let cfg = ServiceConfig {
+            ingestion: Some(IngestionConfig::default()),
+            ..ServiceConfig::adaptive(TrackerConfig::default())
+        };
+        let mut eng = engine_with(2, cfg);
+        let w = eng.run_until(5, Instant::from_millis(500));
+        let s = w.ingestion;
+        assert!(s.offered.total() > 0);
+        assert_eq!(s.shed.total(), 0);
+        assert_eq!(s.deferred.total(), 0);
+        assert!((s.stretch_peak - 1.0).abs() < 1e-12, "{}", s.stretch_peak);
+        // Everything offered is either admitted or still on the air /
+        // in the queue at the deadline.
+        assert!(s.admitted.total() <= s.offered.total());
+        assert!(s.offered.total() - s.admitted.total() <= 2);
+        let cum = eng.ingestion_stats().expect("front-end on");
+        assert!(cum.offered.total() >= s.offered.total());
+    }
+
+    #[test]
+    fn outcome_class_annotates_background_without_ingestion() {
+        let mut eng = engine_with(2, ServiceConfig::adaptive(TrackerConfig::default()));
+        eng.set_background(1, true);
+        assert!(eng.is_background(1));
+        assert!(!eng.is_background(0));
+        assert!(eng.ingestion_stats().is_none(), "front-end off");
+        let w = eng.run_until(3, Instant::from_millis(300));
+        for o in &w.outcomes {
+            assert_eq!(o.deferrals, 0);
+            if o.client == 1 {
+                assert_eq!(o.class, TrafficClass::Background);
+            } else {
+                // Honest foreground clients map ACQUIRE/TRACK modes to
+                // the matching classes.
+                let expect = match o.mode {
+                    TrackMode::Acquire => TrafficClass::Acquire,
+                    TrackMode::Track => TrafficClass::Track,
+                };
+                assert_eq!(o.class, expect);
+            }
+        }
     }
 }

@@ -113,7 +113,7 @@ pub mod session;
 pub mod tof;
 pub mod tracker;
 
-pub use config::{ChronosConfig, QuirkMode};
+pub use config::{ChronosConfig, IngestionConfig, QuirkMode};
 pub use engine::{ServiceEngine, WindowReport};
 pub use error::ChronosError;
 pub use pipeline::{EstimatorScratch, SweepPipeline};

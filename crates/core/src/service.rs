@@ -29,13 +29,15 @@
 //!   counter, so results are independent of the thread schedule *and*
 //!   the sweep cadence (the seeding contract in [`crate::engine`]).
 
-use crate::config::ChronosConfig;
+use crate::config::{ChronosConfig, IngestionConfig};
 use crate::engine::{ServiceEngine, WindowReport};
 use crate::plan::{CacheStats, PlanCache};
 use crate::session::ChronosSession;
 use crate::tracker::{ClientTracker, PositionTracker, TrackMode, TrackerConfig};
+use chronos_link::admission::IngestionStats;
 use chronos_link::arbiter::{ArbiterConfig, MediumArbiter};
 use chronos_link::time::{Duration, Instant};
+use chronos_link::traffic::TrafficClass;
 use chronos_rf::csi::MeasurementContext;
 use chronos_rf::geometry::Point;
 use std::sync::Arc;
@@ -126,6 +128,14 @@ pub struct ServiceConfig {
     /// (the default) disables the policy entirely. See
     /// `docs/ADVERSARIAL.md`.
     pub quarantine: Option<QuarantineConfig>,
+    /// Overload-safe ingestion front-end. When set, continuous-window
+    /// sweep dues pass through a bounded class-aware admission queue
+    /// with the TRACK-stretch → BACKGROUND-drop → ACQUIRE-reject
+    /// shedding ladder (see [`IngestionConfig`] and
+    /// `docs/INGESTION.md`). `None` (the default) preserves the
+    /// pre-ingestion behavior bit-for-bit: every due books the arbiter
+    /// immediately, however far ahead that booking lands.
+    pub ingestion: Option<IngestionConfig>,
 }
 
 /// Thresholds of the quarantine hysteresis loop (see
@@ -180,6 +190,7 @@ impl Default for ServiceConfig {
             localization: LocalizationMode::Distance,
             cadence: CadenceConfig::default(),
             quarantine: None,
+            ingestion: None,
         }
     }
 }
@@ -277,6 +288,16 @@ pub struct ClientOutcome {
     /// but have their estimate fields (`distance_m`, `tracked_m`,
     /// `position`, `tracked_pos`, ...) withheld as `None`.
     pub quarantined: bool,
+    /// The admission class this sweep was offered under: BACKGROUND for
+    /// clients flagged via [`RangingService::set_background`], otherwise
+    /// derived from the scheduling mode (ACQUIRE/TRACK). Populated
+    /// whether or not the ingestion front-end is enabled.
+    pub class: TrafficClass,
+    /// Times this request was pushed back (deferred, retried after a
+    /// displacement, or re-offered after a shed) before the sweep that
+    /// produced this outcome was finally admitted. Always 0 with
+    /// ingestion disabled.
+    pub deferrals: u32,
 }
 
 /// The result of one service round.
@@ -559,6 +580,26 @@ impl RangingService {
     /// the service schedules non-adaptively).
     pub fn anomaly_score(&self, idx: usize) -> Option<f64> {
         self.engine.anomaly_score(idx)
+    }
+
+    /// Flags a client as BACKGROUND traffic: its sweeps are offered to
+    /// the admission queue in the lowest class — first to be shed under
+    /// overload, displaceable by a full-queue ACQUIRE. With ingestion
+    /// disabled the flag only annotates [`ClientOutcome::class`].
+    pub fn set_background(&mut self, idx: usize, background: bool) {
+        self.engine.set_background(idx, background);
+    }
+
+    /// Whether a client is flagged as BACKGROUND traffic.
+    pub fn is_background(&self, idx: usize) -> bool {
+        self.engine.is_background(idx)
+    }
+
+    /// Cumulative ingestion-layer accounting since service creation
+    /// (`None` when [`ServiceConfig::ingestion`] is off). Per-window
+    /// deltas live on [`WindowReport::ingestion`].
+    pub fn ingestion_stats(&self) -> Option<IngestionStats> {
+        self.engine.ingestion_stats()
     }
 
     /// Number of client slots ever created (indices run

@@ -1,0 +1,426 @@
+//! Bounded, class-aware admission queue for the service's front door.
+//!
+//! Under overload the [`MediumArbiter`](crate::arbiter::MediumArbiter)
+//! cannot grant airtime as fast as sweep requests arrive. Without a
+//! bounded front door, requests either book the medium arbitrarily far
+//! into the future (unbounded latency) or pile up in an unbounded
+//! queue. [`AdmissionQueue`] gives the engine a third option: hold a
+//! *bounded* number of pending requests per [`TrafficClass`], shed
+//! deliberately when the bound is hit, and always release the
+//! highest-priority waiter first.
+//!
+//! The queue itself is a pure, deterministic data structure — no clock,
+//! no RNG. Every shed/displace decision is a function of the arrival
+//! sequence alone, which is what makes the engine's overload behavior
+//! reproducible under the seeding contract: identical offered sequences
+//! produce identical admissions, deferrals, and sheds.
+//!
+//! The shedding ladder (who suffers first as pressure rises) is policy
+//! that lives in the engine, not here; the queue only enforces bounds
+//! and priority order. The one piece of class-aware policy baked in is
+//! *displacement*: when the global bound is hit, a newly offered
+//! ACQUIRE may evict the newest waiting BACKGROUND entry rather than be
+//! rejected. TRACK never displaces anyone — deferring TRACK is cadence
+//! degradation, which the ladder spends *before* background drops.
+
+use crate::traffic::TrafficClass;
+use std::collections::VecDeque;
+
+/// Depth limits for an [`AdmissionQueue`].
+///
+/// Each class has its own bound, plus a global bound across classes.
+/// The defaults deliberately sum above `global_depth` so the global
+/// bound binds first under mixed load — per-class bounds then only
+/// prevent one class from monopolizing the whole queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Max waiting ACQUIRE requests.
+    pub acquire_depth: usize,
+    /// Max waiting TRACK requests.
+    pub track_depth: usize,
+    /// Max waiting BACKGROUND requests.
+    pub background_depth: usize,
+    /// Max waiting requests across all classes.
+    pub global_depth: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            acquire_depth: 64,
+            track_depth: 128,
+            background_depth: 32,
+            global_depth: 192,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Depth limit for one class.
+    pub fn depth(&self, class: TrafficClass) -> usize {
+        match class {
+            TrafficClass::Acquire => self.acquire_depth,
+            TrafficClass::Track => self.track_depth,
+            TrafficClass::Background => self.background_depth,
+        }
+    }
+}
+
+/// Outcome of [`AdmissionQueue::offer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer<T> {
+    /// The item was enqueued.
+    Enqueued,
+    /// The item was enqueued, and the contained BACKGROUND item was
+    /// evicted to make room (only an ACQUIRE offer can displace).
+    Displaced(T),
+    /// The queue is full for this item; the item is handed back.
+    Rejected(T),
+}
+
+/// A bounded multi-class FIFO: per-class queues drained in strict
+/// priority order (ACQUIRE > TRACK > BACKGROUND), FIFO within a class.
+///
+/// Tracks per-class and global high-water marks so a window report can
+/// prove "the queue stayed bounded" rather than assert it.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue<T> {
+    cfg: AdmissionConfig,
+    lanes: [VecDeque<T>; 3],
+    high_water: [usize; 3],
+    high_water_total: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        AdmissionQueue {
+            cfg,
+            lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            high_water: [0; 3],
+            high_water_total: 0,
+        }
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Waiting requests in one class.
+    pub fn len_class(&self, class: TrafficClass) -> usize {
+        self.lanes[class.rank()].len()
+    }
+
+    /// Waiting requests across all classes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(|l| l.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(|l| l.is_empty())
+    }
+
+    /// Class of the request `pop` would return next, if any.
+    pub fn peek_class(&self) -> Option<TrafficClass> {
+        TrafficClass::ALL
+            .into_iter()
+            .find(|c| !self.lanes[c.rank()].is_empty())
+    }
+
+    /// Offer a request. Bounds are enforced here; see [`Offer`] for the
+    /// possible outcomes. Deterministic: the result depends only on the
+    /// current queue contents and the offered class.
+    pub fn offer(&mut self, class: TrafficClass, item: T) -> Offer<T> {
+        let lane = class.rank();
+        if self.lanes[lane].len() >= self.cfg.depth(class) {
+            return Offer::Rejected(item);
+        }
+        if self.len() >= self.cfg.global_depth {
+            // Globally full. An ACQUIRE may evict the *newest* waiting
+            // BACKGROUND entry (newest, so the oldest background waiter
+            // — closest to service — keeps its place). TRACK never
+            // displaces: deferring TRACK is the cheaper ladder rung.
+            let bg = TrafficClass::Background.rank();
+            if class == TrafficClass::Acquire && !self.lanes[bg].is_empty() {
+                let victim = self.lanes[bg].pop_back().expect("non-empty");
+                self.push(lane, item);
+                return Offer::Displaced(victim);
+            }
+            return Offer::Rejected(item);
+        }
+        self.push(lane, item);
+        Offer::Enqueued
+    }
+
+    fn push(&mut self, lane: usize, item: T) {
+        self.lanes[lane].push_back(item);
+        self.high_water[lane] = self.high_water[lane].max(self.lanes[lane].len());
+        self.high_water_total = self.high_water_total.max(self.len());
+    }
+
+    /// Release the next request: highest-priority non-empty class,
+    /// FIFO within the class.
+    pub fn pop(&mut self) -> Option<(TrafficClass, T)> {
+        let class = self.peek_class()?;
+        let item = self.lanes[class.rank()].pop_front().expect("non-empty");
+        Some((class, item))
+    }
+
+    /// Per-class high-water marks since the last reset.
+    pub fn high_water(&self) -> ClassCounts {
+        ClassCounts {
+            acquire: self.high_water[0] as u64,
+            track: self.high_water[1] as u64,
+            background: self.high_water[2] as u64,
+        }
+    }
+
+    /// Global high-water mark since the last reset.
+    pub fn high_water_total(&self) -> usize {
+        self.high_water_total
+    }
+
+    /// Reset high-water marks to the *current* depths (so a fresh
+    /// window starts from what it inherited, not from zero).
+    pub fn reset_high_water(&mut self) {
+        for (hw, lane) in self.high_water.iter_mut().zip(&self.lanes) {
+            *hw = lane.len();
+        }
+        self.high_water_total = self.len();
+    }
+}
+
+/// One counter per traffic class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    pub acquire: u64,
+    pub track: u64,
+    pub background: u64,
+}
+
+impl ClassCounts {
+    pub fn get(&self, class: TrafficClass) -> u64 {
+        match class {
+            TrafficClass::Acquire => self.acquire,
+            TrafficClass::Track => self.track,
+            TrafficClass::Background => self.background,
+        }
+    }
+
+    pub fn add(&mut self, class: TrafficClass, n: u64) {
+        match class {
+            TrafficClass::Acquire => self.acquire += n,
+            TrafficClass::Track => self.track += n,
+            TrafficClass::Background => self.background += n,
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.acquire + self.track + self.background
+    }
+
+    /// Component-wise difference (`self - earlier`), for deriving
+    /// per-window deltas from cumulative counters.
+    pub fn since(&self, earlier: &ClassCounts) -> ClassCounts {
+        ClassCounts {
+            acquire: self.acquire - earlier.acquire,
+            track: self.track - earlier.track,
+            background: self.background - earlier.background,
+        }
+    }
+}
+
+/// Ingestion-layer accounting, aggregated per window (or cumulatively
+/// by the engine). All counters count *sweep requests*.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IngestionStats {
+    /// Requests that arrived at the front door.
+    pub offered: ClassCounts,
+    /// Requests granted airtime (handed to the arbiter).
+    pub admitted: ClassCounts,
+    /// Requests pushed back for a later retry (cadence degradation).
+    pub deferred: ClassCounts,
+    /// Requests dropped outright.
+    pub shed: ClassCounts,
+    /// Per-class queue high-water marks over the window.
+    pub queue_peak: ClassCounts,
+    /// Global queue high-water mark over the window.
+    pub queue_peak_total: u64,
+    /// Largest TRACK cadence stretch factor applied during the window
+    /// (1.0 = no stretch).
+    pub stretch_peak: f64,
+}
+
+impl IngestionStats {
+    /// Counter delta (`self - earlier`); peak fields are copied from
+    /// `self` (the caller resets peaks at window boundaries).
+    pub fn counters_since(&self, earlier: &IngestionStats) -> IngestionStats {
+        IngestionStats {
+            offered: self.offered.since(&earlier.offered),
+            admitted: self.admitted.since(&earlier.admitted),
+            deferred: self.deferred.since(&earlier.deferred),
+            shed: self.shed.since(&earlier.shed),
+            queue_peak: self.queue_peak,
+            queue_peak_total: self.queue_peak_total,
+            stretch_peak: self.stretch_peak,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TrafficClass::*;
+
+    fn small() -> AdmissionConfig {
+        AdmissionConfig {
+            acquire_depth: 2,
+            track_depth: 3,
+            background_depth: 2,
+            global_depth: 5,
+        }
+    }
+
+    #[test]
+    fn fifo_within_class_priority_across_classes() {
+        let mut q = AdmissionQueue::new(small());
+        assert_eq!(q.offer(Track, 10), Offer::Enqueued);
+        assert_eq!(q.offer(Background, 20), Offer::Enqueued);
+        assert_eq!(q.offer(Acquire, 30), Offer::Enqueued);
+        assert_eq!(q.offer(Track, 11), Offer::Enqueued);
+        assert_eq!(q.pop(), Some((Acquire, 30)));
+        assert_eq!(q.pop(), Some((Track, 10)));
+        assert_eq!(q.pop(), Some((Track, 11)));
+        assert_eq!(q.pop(), Some((Background, 20)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn per_class_bound_rejects() {
+        let mut q = AdmissionQueue::new(small());
+        assert_eq!(q.offer(Background, 1), Offer::Enqueued);
+        assert_eq!(q.offer(Background, 2), Offer::Enqueued);
+        assert_eq!(q.offer(Background, 3), Offer::Rejected(3));
+        assert_eq!(q.len_class(Background), 2);
+    }
+
+    #[test]
+    fn global_bound_rejects_track() {
+        let mut q = AdmissionQueue::new(small());
+        assert_eq!(q.offer(Track, 0), Offer::Enqueued);
+        assert_eq!(q.offer(Track, 1), Offer::Enqueued);
+        assert_eq!(q.offer(Background, 90), Offer::Enqueued);
+        assert_eq!(q.offer(Background, 91), Offer::Enqueued);
+        assert_eq!(q.offer(Acquire, 50), Offer::Enqueued);
+        assert_eq!(q.len(), 5);
+        // Track lane has room (2/3) but global is full: rejected — TRACK
+        // never displaces background even when background waiters exist.
+        assert_eq!(q.offer(Track, 99), Offer::Rejected(99));
+        assert_eq!(q.len_class(Background), 2);
+    }
+
+    #[test]
+    fn acquire_displaces_newest_background_when_global_full() {
+        let mut q = AdmissionQueue::new(small());
+        assert_eq!(q.offer(Background, 20), Offer::Enqueued);
+        assert_eq!(q.offer(Background, 21), Offer::Enqueued);
+        for i in 0..3 {
+            assert_eq!(q.offer(Track, i), Offer::Enqueued);
+        }
+        assert_eq!(q.len(), 5);
+        // Newest background (21) is evicted; oldest (20) keeps its place.
+        assert_eq!(q.offer(Acquire, 50), Offer::Displaced(21));
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.len_class(Background), 1);
+        assert_eq!(q.pop(), Some((Acquire, 50)));
+    }
+
+    #[test]
+    fn acquire_rejected_when_global_full_and_no_background() {
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            acquire_depth: 8,
+            track_depth: 8,
+            background_depth: 8,
+            global_depth: 3,
+        });
+        for i in 0..3 {
+            assert_eq!(q.offer(Track, i), Offer::Enqueued);
+        }
+        assert_eq!(q.offer(Acquire, 50), Offer::Rejected(50));
+    }
+
+    #[test]
+    fn per_class_bound_applies_even_with_global_room() {
+        let mut q = AdmissionQueue::new(small());
+        assert_eq!(q.offer(Acquire, 1), Offer::Enqueued);
+        assert_eq!(q.offer(Acquire, 2), Offer::Enqueued);
+        // Acquire lane full: rejected before displacement is considered.
+        assert_eq!(q.offer(Background, 9), Offer::Enqueued);
+        assert_eq!(q.offer(Acquire, 3), Offer::Rejected(3));
+    }
+
+    #[test]
+    fn high_water_marks_track_and_reset() {
+        let mut q = AdmissionQueue::new(small());
+        q.offer(Track, 1);
+        q.offer(Track, 2);
+        q.offer(Acquire, 3);
+        assert_eq!(q.high_water().track, 2);
+        assert_eq!(q.high_water().acquire, 1);
+        assert_eq!(q.high_water_total(), 3);
+        q.pop();
+        q.pop();
+        q.reset_high_water();
+        assert_eq!(q.high_water().track, 1);
+        assert_eq!(q.high_water().acquire, 0);
+        assert_eq!(q.high_water_total(), 1);
+    }
+
+    #[test]
+    fn peek_class_matches_pop() {
+        let mut q = AdmissionQueue::new(small());
+        assert_eq!(q.peek_class(), None);
+        q.offer(Background, 1);
+        assert_eq!(q.peek_class(), Some(Background));
+        q.offer(Track, 2);
+        assert_eq!(q.peek_class(), Some(Track));
+        q.offer(Acquire, 3);
+        assert_eq!(q.peek_class(), Some(Acquire));
+        let (c, _) = q.pop().unwrap();
+        assert_eq!(c, Acquire);
+    }
+
+    #[test]
+    fn class_counts_arithmetic() {
+        let mut a = ClassCounts::default();
+        a.add(Acquire, 3);
+        a.add(Track, 5);
+        a.add(Background, 1);
+        assert_eq!(a.total(), 9);
+        assert_eq!(a.get(Track), 5);
+        let mut b = a;
+        b.add(Track, 2);
+        let d = b.since(&a);
+        assert_eq!(
+            d,
+            ClassCounts {
+                acquire: 0,
+                track: 2,
+                background: 0
+            }
+        );
+    }
+
+    #[test]
+    fn stats_counters_since_keeps_peaks() {
+        let mut start = IngestionStats::default();
+        start.offered.add(Track, 4);
+        let mut now = start;
+        now.offered.add(Track, 6);
+        now.queue_peak_total = 7;
+        now.stretch_peak = 3.5;
+        let d = now.counters_since(&start);
+        assert_eq!(d.offered.track, 6);
+        assert_eq!(d.queue_peak_total, 7);
+        assert!((d.stretch_peak - 3.5).abs() < 1e-12);
+    }
+}

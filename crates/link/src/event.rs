@@ -95,6 +95,19 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<Instant> {
         self.heap.peek().map(|Reverse(e)| e.at)
     }
+
+    /// Pops the next event only if it fires exactly at `t`.
+    ///
+    /// The batching primitive for draining every event of one instant:
+    /// `while let Some(e) = q.pop_if_at(now) { ... }` collects all
+    /// simultaneous events without disturbing later ones.
+    pub fn pop_if_at(&mut self, t: Instant) -> Option<E> {
+        if self.peek_time() == Some(t) {
+            self.pop().map(|(_, e)| e)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +168,23 @@ mod tests {
         assert_eq!(q.peek_time(), Some(Instant::from_millis(1)));
         // Peeking does not consume.
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_if_at_drains_one_instant_only() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_millis(2);
+        q.schedule(t, "a");
+        q.schedule(t, "b");
+        q.schedule(Instant::from_millis(3), "later");
+        assert_eq!(q.pop_if_at(Instant::from_millis(1)), None);
+        let mut batch = Vec::new();
+        while let Some(e) = q.pop_if_at(t) {
+            batch.push(e);
+        }
+        assert_eq!(batch, vec!["a", "b"]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(Instant::from_millis(3)));
     }
 
     #[test]

@@ -44,8 +44,16 @@
 //!
 //! [`traffic`] models the §12.3 co-existence workloads: a buffered video
 //! client and a Reno-style TCP flow sharing the access point with
-//! localization sweeps (Fig. 9b, 9c).
+//! localization sweeps (Fig. 9b, 9c) — and defines the
+//! [`traffic::TrafficClass`] priority lattice the admission layer
+//! schedules by.
+//!
+//! [`admission`] is the service's bounded front door: per-class FIFO
+//! queues with depth limits, strict priority release, and deterministic
+//! displacement — the data structure behind the engine's load-shedding
+//! policy under overload.
 
+pub mod admission;
 pub mod arbiter;
 pub mod event;
 pub mod frame;
@@ -55,7 +63,9 @@ pub mod sweep;
 pub mod time;
 pub mod traffic;
 
+pub use admission::{AdmissionConfig, AdmissionQueue, ClassCounts, IngestionStats, Offer};
 pub use arbiter::{ArbiterConfig, MediumArbiter, SweepGrant};
 pub use frame::Frame;
 pub use sweep::{run_sweep, SweepConfig, SweepResult};
 pub use time::{Duration, Instant};
+pub use traffic::TrafficClass;

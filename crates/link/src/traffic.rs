@@ -9,6 +9,62 @@
 //! same outage windows the sweep simulator produces.
 
 use crate::time::{Duration, Instant};
+use std::fmt;
+
+/// Admission-priority class of one sweep request at the service's front
+/// door (see [`crate::admission::AdmissionQueue`]).
+///
+/// Declaration order **is** priority order: `Acquire` outranks `Track`
+/// outranks `Background`, and the derived `Ord` sorts the highest
+/// priority first (`Acquire < Track < Background`, i.e. "smaller sorts
+/// earlier"). The shedding ladder under overload runs the other way:
+/// TRACK cadence is stretched first, BACKGROUND is dropped next, and
+/// ACQUIRE is rejected only as a last resort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrafficClass {
+    /// Cold or re-acquiring clients sweeping the full band plan. Highest
+    /// priority: a broken track benefits most from the earliest slot.
+    Acquire,
+    /// Converged clients on cheap band-subset sweeps. Deferrable: their
+    /// filter coasts, so cadence can stretch under pressure.
+    Track,
+    /// Opportunistic monitoring traffic (site surveys, diagnostics).
+    /// First to be shed — by definition it has no latency contract.
+    Background,
+}
+
+impl TrafficClass {
+    /// Every class, in priority order (highest first).
+    pub const ALL: [TrafficClass; 3] = [
+        TrafficClass::Acquire,
+        TrafficClass::Track,
+        TrafficClass::Background,
+    ];
+
+    /// Numeric rank, 0 = highest priority.
+    pub fn rank(self) -> usize {
+        match self {
+            TrafficClass::Acquire => 0,
+            TrafficClass::Track => 1,
+            TrafficClass::Background => 2,
+        }
+    }
+
+    /// Whether this class outranks (is admitted ahead of) `other`.
+    pub fn outranks(self, other: TrafficClass) -> bool {
+        self.rank() < other.rank()
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficClass::Acquire => write!(f, "ACQUIRE"),
+            TrafficClass::Track => write!(f, "TRACK"),
+            TrafficClass::Background => write!(f, "BACKGROUND"),
+        }
+    }
+}
 
 /// An interval during which the AP is away from its serving channel.
 #[derive(Debug, Clone, Copy)]
@@ -197,6 +253,40 @@ impl TcpModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn traffic_class_declaration_order_is_priority_order() {
+        use TrafficClass::*;
+        assert!(Acquire < Track);
+        assert!(Track < Background);
+        assert!(Acquire < Background);
+        let mut classes = vec![Background, Acquire, Track];
+        classes.sort();
+        assert_eq!(classes, vec![Acquire, Track, Background]);
+        assert_eq!(TrafficClass::ALL.to_vec(), classes);
+    }
+
+    #[test]
+    fn traffic_class_rank_and_outranks_agree_with_ord() {
+        use TrafficClass::*;
+        for a in TrafficClass::ALL {
+            for b in TrafficClass::ALL {
+                assert_eq!(a.outranks(b), a < b, "{a} vs {b}");
+                assert_eq!(a.rank() < b.rank(), a < b);
+            }
+        }
+        assert_eq!(Acquire.rank(), 0);
+        assert_eq!(Track.rank(), 1);
+        assert_eq!(Background.rank(), 2);
+        assert!(!Acquire.outranks(Acquire));
+    }
+
+    #[test]
+    fn traffic_class_display_names() {
+        assert_eq!(TrafficClass::Acquire.to_string(), "ACQUIRE");
+        assert_eq!(TrafficClass::Track.to_string(), "TRACK");
+        assert_eq!(TrafficClass::Background.to_string(), "BACKGROUND");
+    }
 
     fn one_outage_at_6s() -> Vec<Outage> {
         vec![Outage {

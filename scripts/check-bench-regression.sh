@@ -16,23 +16,34 @@
 #     regresses >20%, or the quarantined rate drops >20%, against the
 #     checked-in BENCH_adversarial.json baseline. Fully deterministic
 #     (seeded), so the gate trips on real drift, not noise.
+#  4. Overload soak: rerun the quick 1x-5x load matrix through the
+#     bounded ingestion front-end and fail when the admitted-fix rate
+#     drops >20%, shedding/deferrals or honest-client error grow >20%,
+#     or any exact column (offered sweeps, queue peaks) drifts at all,
+#     against the checked-in BENCH_soak.json baseline. The queue sheds
+#     as a pure function of the arrival sequence, so drift is a real
+#     scheduling change, never noise.
 #
 # On an *intentional* change, regenerate and commit the baselines:
 #
 #   cargo run --release -p chronos-bench --bin bench_position -- --quick
 #   cargo run --release -p chronos-bench --bin bench_throughput -- --quick
 #   cargo run --release -p chronos-bench --bin bench_adversarial -- --quick
+#   cargo run --release -p chronos-bench --bin bench_soak -- --quick
 #
 # Usage: scripts/check-bench-regression.sh \
-#            [position-baseline.json [throughput-baseline.json [adversarial-baseline.json]]]
+#            [position-baseline.json [throughput-baseline.json \
+#            [adversarial-baseline.json [soak-baseline.json]]]]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 position_baseline="${1:-BENCH_position.json}"
 throughput_baseline="${2:-BENCH_throughput.json}"
 adversarial_baseline="${3:-BENCH_adversarial.json}"
+soak_baseline="${4:-BENCH_soak.json}"
 
-for baseline in "$position_baseline" "$throughput_baseline" "$adversarial_baseline"; do
+for baseline in "$position_baseline" "$throughput_baseline" \
+        "$adversarial_baseline" "$soak_baseline"; do
     if [[ ! -f "$baseline" ]]; then
         echo "missing baseline $baseline (generate with the commands in this script's header)" >&2
         exit 1
@@ -45,5 +56,8 @@ cargo run --release -p chronos-bench --bin bench_position -- \
 cargo run --release -p chronos-bench --bin bench_throughput -- \
     --quick --check "$throughput_baseline" --tolerance 0.20
 
-exec cargo run --release -p chronos-bench --bin bench_adversarial -- \
+cargo run --release -p chronos-bench --bin bench_adversarial -- \
     --quick --check "$adversarial_baseline" --tolerance 0.20
+
+exec cargo run --release -p chronos-bench --bin bench_soak -- \
+    --quick --check "$soak_baseline" --tolerance 0.20

@@ -2,8 +2,11 @@
 //! the `run_epoch` compatibility wrapper must reproduce the pre-engine
 //! epoch-barrier outcomes, `WindowReport`s must be bitwise identical
 //! across worker-thread counts, client churn must never corrupt the
-//! arbiter's single-charge airtime accounting, and the engine must beat
-//! the epoch barrier's throughput on a mixed ACQUIRE/TRACK population.
+//! arbiter's single-charge airtime accounting, the engine must beat
+//! the epoch barrier's throughput on a mixed ACQUIRE/TRACK population,
+//! and with the ingestion front-end shedding at 3x overload, admitted
+//! service must stay fair across clients and window reports bitwise
+//! identical across worker-thread counts.
 
 use chronos_bench::tracking::mixed_comparison;
 use chronos_suite::core::config::ChronosConfig;
@@ -763,4 +766,76 @@ fn epochs_and_windows_compose() {
         let expect: Vec<u64> = (0..ords.len() as u64).collect();
         assert_eq!(ords, expect, "client {c} ordinals must be contiguous");
     }
+}
+
+/// Under 3x overload through the ingestion front-end, the admission
+/// queue's per-class FIFO keeps service even: the max/min ratio of
+/// admitted sweeps across the honest walkers stays within 2. Shedding
+/// concentrates on the BACKGROUND class, not on unlucky individuals.
+#[test]
+fn overload_admission_is_fair_across_clients() {
+    use chronos_bench::soak::{run_soak, SoakScenarioConfig};
+    let run = run_soak(&SoakScenarioConfig::at_load(41, 3, 4, 250));
+    let counts = run.walker_sweeps();
+    let max = *counts.iter().max().unwrap();
+    let min = *counts.iter().min().unwrap();
+    assert!(min > 0, "a walker was starved outright: {counts:?}");
+    assert!(
+        max as f64 / min as f64 <= 2.0,
+        "admitted-sweep spread {counts:?} exceeds 2x"
+    );
+    // The run must actually be in overload for the bound to mean much.
+    let shed: u64 = run.reports.iter().map(|r| r.ingestion.shed.total()).sum();
+    assert!(shed > 0, "3x run shed nothing — not an overload test");
+}
+
+/// The engine's thread-count determinism contract survives the
+/// ingestion path: with the queue actively shedding and stretching at
+/// 3x overload, `WindowReport`s — outcomes with their class/deferral
+/// annotations plus the per-window ingestion counters — are bitwise
+/// identical across worker-thread counts {1, 2, 8}.
+#[test]
+fn window_reports_identical_across_threads_with_shedding() {
+    use chronos_bench::soak::{run_soak, SoakScenarioConfig};
+    let fingerprint = |threads: usize| {
+        let cfg = SoakScenarioConfig {
+            threads,
+            ..SoakScenarioConfig::at_load(41, 3, 3, 250)
+        };
+        let run = run_soak(&cfg);
+        let mut fp = Vec::new();
+        let mut shed_total = 0;
+        for r in &run.reports {
+            let ing = &r.ingestion;
+            shed_total += ing.shed.total();
+            fp.push(format!(
+                "W {:?} {:?} {:?} {:?} {} {} {}",
+                ing.offered,
+                ing.admitted,
+                ing.deferred,
+                ing.shed,
+                ing.queue_peak_total,
+                ing.stretch_peak.to_bits(),
+                r.bands_planned
+            ));
+            for o in &r.outcomes {
+                fp.push(format!(
+                    "O {} {} {} {} {} {} {:?} {:?}",
+                    o.client,
+                    o.sweep,
+                    o.class,
+                    o.deferrals,
+                    o.started.as_nanos(),
+                    o.finished.as_nanos(),
+                    o.distance_m.map(f64::to_bits),
+                    o.tracked_m.map(f64::to_bits),
+                ));
+            }
+        }
+        (fp, shed_total)
+    };
+    let (one, shed) = fingerprint(1);
+    assert!(shed > 0, "3x run shed nothing — contract untested");
+    assert_eq!(one, fingerprint(2).0, "threads=2 diverged");
+    assert_eq!(one, fingerprint(8).0, "threads=8 diverged");
 }

@@ -339,3 +339,217 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Admission-queue properties (PR 7): a reference model of the bounded
+// multi-class queue is replayed against the real `AdmissionQueue` over
+// arbitrary offer/pop interleavings. The model is written straight from
+// the documented contract (strict priority, FIFO within class, per-class
+// then global bounds, ACQUIRE-displaces-newest-BACKGROUND), so any
+// divergence is a bug in one of the two — and shedding being a pure
+// function of the arrival sequence falls out as replay determinism.
+
+/// One step of an interleaving: offer a request of a class, or pop.
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    Offer(chronos_suite::link::traffic::TrafficClass),
+    Pop,
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    use chronos_suite::link::traffic::TrafficClass;
+    prop_oneof![
+        Just(QueueOp::Offer(TrafficClass::Acquire)),
+        Just(QueueOp::Offer(TrafficClass::Track)),
+        Just(QueueOp::Offer(TrafficClass::Background)),
+        Just(QueueOp::Pop),
+        Just(QueueOp::Pop),
+    ]
+}
+
+fn admission_cfg() -> impl Strategy<Value = chronos_suite::link::admission::AdmissionConfig> {
+    (1usize..6, 1usize..6, 1usize..6, 1usize..12).prop_map(|(a, t, b, g)| {
+        chronos_suite::link::admission::AdmissionConfig {
+            acquire_depth: a,
+            track_depth: t,
+            background_depth: b,
+            global_depth: g,
+        }
+    })
+}
+
+/// The reference model: three FIFO lanes and the documented bounds.
+struct ModelQueue {
+    cfg: chronos_suite::link::admission::AdmissionConfig,
+    lanes: [std::collections::VecDeque<u32>; 3],
+}
+
+impl ModelQueue {
+    fn new(cfg: chronos_suite::link::admission::AdmissionConfig) -> Self {
+        ModelQueue {
+            cfg,
+            lanes: Default::default(),
+        }
+    }
+
+    fn total(&self) -> usize {
+        self.lanes.iter().map(|l| l.len()).sum()
+    }
+
+    fn offer(
+        &mut self,
+        class: chronos_suite::link::traffic::TrafficClass,
+        item: u32,
+    ) -> chronos_suite::link::admission::Offer<u32> {
+        use chronos_suite::link::admission::Offer;
+        use chronos_suite::link::traffic::TrafficClass;
+        let lane = class.rank();
+        if self.lanes[lane].len() >= self.cfg.depth(class) {
+            return Offer::Rejected(item);
+        }
+        if self.total() >= self.cfg.global_depth {
+            let bg = TrafficClass::Background.rank();
+            if class == TrafficClass::Acquire && !self.lanes[bg].is_empty() {
+                let victim = self.lanes[bg].pop_back().unwrap();
+                self.lanes[lane].push_back(item);
+                return Offer::Displaced(victim);
+            }
+            return Offer::Rejected(item);
+        }
+        self.lanes[lane].push_back(item);
+        Offer::Enqueued
+    }
+
+    fn pop(&mut self) -> Option<(chronos_suite::link::traffic::TrafficClass, u32)> {
+        use chronos_suite::link::traffic::TrafficClass;
+        TrafficClass::ALL
+            .into_iter()
+            .find(|c| !self.lanes[c.rank()].is_empty())
+            .map(|c| (c, self.lanes[c.rank()].pop_front().unwrap()))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The real queue agrees with the reference model step for step —
+    /// offer outcomes (including which BACKGROUND victim a full queue
+    /// displaces), pop order (strict priority, FIFO within class) and
+    /// occupancy — and never exceeds a bound at any intermediate state.
+    #[test]
+    fn admission_queue_matches_reference_model(
+        cfg in admission_cfg(),
+        ops in proptest::collection::vec(queue_op(), 1..200),
+    ) {
+        use chronos_suite::link::admission::AdmissionQueue;
+        use chronos_suite::link::traffic::TrafficClass;
+        let mut real = AdmissionQueue::new(cfg);
+        let mut model = ModelQueue::new(cfg);
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                QueueOp::Offer(class) => {
+                    let got = real.offer(*class, i as u32);
+                    let want = model.offer(*class, i as u32);
+                    prop_assert_eq!(got, want, "offer {} diverged", i);
+                }
+                QueueOp::Pop => {
+                    prop_assert_eq!(real.pop(), model.pop(), "pop {} diverged", i);
+                }
+            }
+            // Bounds hold at every intermediate state, not just at the end.
+            for c in TrafficClass::ALL {
+                prop_assert!(real.len_class(c) <= cfg.depth(c));
+                prop_assert_eq!(real.len_class(c), model.lanes[c.rank()].len());
+            }
+            prop_assert!(real.len() <= cfg.global_depth);
+            prop_assert_eq!(real.peek_class(), TrafficClass::ALL.into_iter()
+                .find(|c| real.len_class(*c) > 0));
+        }
+        // High-water marks are consistent: each per-class mark is within
+        // its bound, and the global mark is within the global bound.
+        for c in TrafficClass::ALL {
+            prop_assert!(real.high_water().get(c) <= cfg.depth(c) as u64);
+        }
+        prop_assert!(real.high_water_total() <= cfg.global_depth);
+    }
+
+    /// Replaying an interleaving yields bitwise-identical outcomes:
+    /// shedding is a deterministic function of the arrival sequence.
+    #[test]
+    fn admission_queue_replays_deterministically(
+        cfg in admission_cfg(),
+        ops in proptest::collection::vec(queue_op(), 1..200),
+    ) {
+        use chronos_suite::link::admission::AdmissionQueue;
+        let replay = || {
+            let mut q = AdmissionQueue::new(cfg);
+            let mut trace = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    QueueOp::Offer(class) => {
+                        trace.push(format!("{:?}", q.offer(*class, i as u32)));
+                    }
+                    QueueOp::Pop => trace.push(format!("{:?}", q.pop())),
+                }
+            }
+            (trace, q.high_water(), q.high_water_total())
+        };
+        prop_assert_eq!(replay(), replay());
+    }
+
+    /// Strict priority across any interleaving: a pop never returns a
+    /// class while a higher-priority lane has a waiter, and an ACQUIRE
+    /// offer is only ever *rejected* when its own lane is at depth or
+    /// the queue is globally full with nothing left to displace.
+    #[test]
+    fn admission_queue_priority_and_acquire_last(
+        cfg in admission_cfg(),
+        ops in proptest::collection::vec(queue_op(), 1..200),
+    ) {
+        use chronos_suite::link::admission::{AdmissionQueue, Offer};
+        use chronos_suite::link::traffic::TrafficClass;
+        let mut q = AdmissionQueue::new(cfg);
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                QueueOp::Offer(class) => {
+                    let before_class = q.len_class(*class);
+                    let before_total = q.len();
+                    let before_bg = q.len_class(TrafficClass::Background);
+                    match q.offer(*class, i as u32) {
+                        Offer::Rejected(item) => {
+                            prop_assert_eq!(item, i as u32, "wrong item handed back");
+                            let class_full = before_class >= cfg.depth(*class);
+                            let global_full = before_total >= cfg.global_depth;
+                            prop_assert!(class_full || global_full);
+                            if *class == TrafficClass::Acquire && !class_full {
+                                // ACQUIRE sheds *last*: only a globally
+                                // full queue with no background left.
+                                prop_assert!(global_full && before_bg == 0);
+                            }
+                        }
+                        Offer::Displaced(_) => {
+                            prop_assert_eq!(*class, TrafficClass::Acquire,
+                                "only ACQUIRE may displace");
+                            prop_assert!(before_total >= cfg.global_depth);
+                            prop_assert!(before_bg > 0);
+                        }
+                        Offer::Enqueued => {
+                            prop_assert!(before_class < cfg.depth(*class));
+                            prop_assert!(before_total < cfg.global_depth);
+                        }
+                    }
+                }
+                QueueOp::Pop => {
+                    if let Some((class, _)) = q.pop() {
+                        for higher in TrafficClass::ALL {
+                            if higher.outranks(class) {
+                                prop_assert_eq!(q.len_class(higher), 0,
+                                    "popped past a waiting higher class");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The overload soak tier: the bounded ingestion front-end driven at
+//! 2x/3x/5x of medium capacity (see `docs/INGESTION.md` and
+//! `crates/bench/src/soak.rs` for the shared scenario builders).
+//!
+//! Contracts pinned here:
+//!
+//! * **Bounded queueing**: at every load, every window's queue
+//!   high-water marks respect the configured per-class and global
+//!   depths — overload never grows memory or backlog without bound.
+//! * **Shedding ladder**: ACQUIRE requests are never shed at any load
+//!   in the matrix; BACKGROUND absorbs the drops and TRACK absorbs
+//!   deferrals first, exactly as the priority ladder promises.
+//! * **Accounting**: offered = admitted + deferred + shed + a residue
+//!   bounded by the client count (requests still queued or dissolved
+//!   at the window boundary) — no request is double-counted or lost.
+//! * **Graceful degradation**: the honest walkers' tracked-distance
+//!   MAE under overload stays bounded and no better than the 1x run —
+//!   accuracy decays smoothly with load, it does not collapse.
+//! * **Determinism**: identical seeds replay identical shedding,
+//!   stretch and outcome sequences — the queue sheds as a pure
+//!   function of the arrival sequence.
+
+use chronos_bench::soak::{run_soak, soak_ingestion, SoakRun, SoakScenarioConfig};
+use chronos_suite::link::traffic::TrafficClass;
+use std::sync::OnceLock;
+
+const SEED: u64 = 41;
+const WINDOWS: usize = 4;
+const WINDOW_MS: u64 = 250;
+
+fn run_at(load: usize) -> SoakRun {
+    run_soak(&SoakScenarioConfig::at_load(SEED, load, WINDOWS, WINDOW_MS))
+}
+
+/// The 1x near-saturation control run, shared by the per-load tests.
+fn baseline() -> &'static SoakRun {
+    static BASELINE: OnceLock<SoakRun> = OnceLock::new();
+    BASELINE.get_or_init(|| run_at(1))
+}
+
+/// Asserts the tier's per-load contracts against the 1x control.
+fn assert_overload_contracts(run: &SoakRun) {
+    let load = run.cfg.load;
+    let q = soak_ingestion().queue;
+
+    // Bounded queueing, checked window by window.
+    for (w, r) in run.reports.iter().enumerate() {
+        let peak = &r.ingestion.queue_peak;
+        assert!(
+            peak.acquire <= q.acquire_depth as u64,
+            "{load}x window {w}: acquire peak {} > bound {}",
+            peak.acquire,
+            q.acquire_depth
+        );
+        assert!(
+            peak.track <= q.track_depth as u64,
+            "{load}x window {w}: track peak {} > bound {}",
+            peak.track,
+            q.track_depth
+        );
+        assert!(
+            peak.background <= q.background_depth as u64,
+            "{load}x window {w}: background peak {} > bound {}",
+            peak.background,
+            q.background_depth
+        );
+        assert!(
+            r.ingestion.queue_peak_total <= q.global_depth as u64,
+            "{load}x window {w}: global peak {} > bound {}",
+            r.ingestion.queue_peak_total,
+            q.global_depth
+        );
+    }
+
+    // The ladder's top rung never gives: no ACQUIRE request is shed.
+    assert_eq!(
+        run.shed(TrafficClass::Acquire),
+        0,
+        "{load}x shed ACQUIRE requests"
+    );
+
+    // Request accounting: everything offered is admitted, deferred,
+    // shed, or still in flight at the end (bounded by one op/client).
+    let offered = run.offered();
+    let accounted: u64 = run
+        .reports
+        .iter()
+        .map(|r| {
+            r.ingestion.admitted.total() + r.ingestion.deferred.total() + r.ingestion.shed.total()
+        })
+        .sum();
+    assert!(
+        accounted <= offered,
+        "{load}x accounted {accounted} > offered {offered}"
+    );
+    assert!(
+        offered - accounted <= run.cfg.clients() as u64,
+        "{load}x lost {} requests (offered {offered}, accounted {accounted})",
+        offered - accounted
+    );
+
+    // Graceful degradation: bounded error, no better than the 1x run.
+    let err = run.honest_err_m();
+    let base_err = baseline().honest_err_m();
+    assert!(
+        err.is_finite() && err < 0.5,
+        "{load}x honest MAE {err} not bounded"
+    );
+    assert!(
+        err + 0.02 >= base_err,
+        "{load}x honest MAE {err} beats the 1x control {base_err} — \
+         overload accounting is lying somewhere"
+    );
+}
+
+#[test]
+fn soak_1x_control_is_clean() {
+    let run = baseline();
+    // Near saturation but under it: nothing shed, nothing deferred, no
+    // cadence stretch beyond transparency.
+    assert_eq!(run.shed(TrafficClass::Acquire), 0);
+    assert_eq!(run.shed(TrafficClass::Background), 0);
+    assert_eq!(run.deferred_track(), 0);
+    let err = run.honest_err_m();
+    assert!(err.is_finite() && err < 0.2, "1x MAE {err}");
+    assert!(
+        run.fairness_ratio() <= 2.0,
+        "1x fairness {}",
+        run.fairness_ratio()
+    );
+}
+
+#[test]
+fn soak_2x_overload_contracts() {
+    assert_overload_contracts(&run_at(2));
+}
+
+#[test]
+fn soak_3x_overload_contracts() {
+    let run = run_at(3);
+    assert_overload_contracts(&run);
+    // 3x is the tier's shedding showcase: the ladder's lower rungs are
+    // genuinely exercised (BACKGROUND drops, TRACK deferrals) while
+    // ACQUIRE stays clean — shedding is happening, not just bounded.
+    assert!(
+        run.shed(TrafficClass::Background) > 0,
+        "3x did not shed background"
+    );
+    assert!(run.deferred_track() > 0, "3x did not defer track");
+    assert!(
+        run.stretch_peak() > 1.0,
+        "3x never stretched the TRACK cadence"
+    );
+}
+
+#[test]
+fn soak_5x_overload_contracts() {
+    assert_overload_contracts(&run_at(5));
+}
+
+#[test]
+fn soak_replays_bit_identically() {
+    let fingerprint = |run: &SoakRun| {
+        let mut fp = Vec::new();
+        for r in &run.reports {
+            fp.push((
+                r.ingestion.offered.total(),
+                r.ingestion.admitted.total(),
+                r.ingestion.deferred.total(),
+                r.ingestion.shed.total(),
+                r.ingestion.queue_peak_total,
+                r.ingestion.stretch_peak.to_bits(),
+            ));
+            for o in &r.outcomes {
+                fp.push((
+                    o.client as u64,
+                    o.sweep,
+                    o.deferrals as u64,
+                    o.started.as_nanos(),
+                    o.finished.as_nanos(),
+                    o.distance_m.map(f64::to_bits).unwrap_or(0),
+                ));
+            }
+        }
+        fp
+    };
+    let a = run_at(3);
+    let b = run_at(3);
+    assert!(a.reports.iter().any(|r| r.ingestion.shed.total() > 0));
+    assert_eq!(fingerprint(&a), fingerprint(&b), "3x soak replay diverged");
+}

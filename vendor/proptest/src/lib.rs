@@ -27,7 +27,91 @@ pub mod strategy {
         type Value;
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps drawn values through `f` (`proptest`'s combinator of the
+        /// same name).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
     }
+
+    /// A strategy whose values are mapped through a function.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// The constant strategy: always yields a clone of its value.
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (the expansion of
+    /// [`prop_oneof!`](crate::prop_oneof); the real crate's arm weights
+    /// are approximated by repeating an arm).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `arms`; drawing picks one arm uniformly.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "empty strategy union");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let n = self.arms.len() as u128;
+            let i = ((rng.next_u64() as u128 * n) >> 64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    /// Boxes a strategy for storage in a [`Union`] (helper behind
+    /// [`prop_oneof!`](crate::prop_oneof), where a cast to
+    /// `Box<dyn Strategy<Value = _>>` could not infer the value type).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.sample(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(S0 / s0, S1 / s1);
+    tuple_strategy!(S0 / s0, S1 / s1, S2 / s2);
+    tuple_strategy!(S0 / s0, S1 / s1, S2 / s2, S3 / s3);
+    tuple_strategy!(S0 / s0, S1 / s1, S2 / s2, S3 / s3, S4 / s4);
+    tuple_strategy!(S0 / s0, S1 / s1, S2 / s2, S3 / s3, S4 / s4, S5 / s5);
 
     impl Strategy for core::ops::Range<f64> {
         type Value = f64;
@@ -152,9 +236,9 @@ pub mod test_runner {
 /// The things property tests import.
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Asserts a condition inside a property (shim: plain `assert!`).
@@ -176,6 +260,15 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($a:expr, $b:expr) => { assert_ne!($a, $b) };
     ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies yielding the same value type
+/// (shim: no weight syntax — repeat an arm to weight it).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
 }
 
 /// Declares deterministic property tests.
@@ -242,6 +335,20 @@ mod tests {
             for x in &v {
                 prop_assert!((0.0..1.0).contains(x));
             }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Tuples, `prop_map`, `Just` and `prop_oneof!` compose.
+        #[test]
+        fn combinators_compose(
+            pair in (0usize..5, 10usize..20).prop_map(|(a, b)| a + b),
+            pick in prop_oneof![Just(1u8), Just(2u8), 3u8..5],
+        ) {
+            prop_assert!((10..25).contains(&pair));
+            prop_assert!((1..5).contains(&pick));
         }
     }
 
