@@ -1,0 +1,267 @@
+//! Fleet capacity benchmark: synchronized one-way TDoA versus per-AP
+//! round-trip sweeps at 16 APs with a roaming population.
+//!
+//! Backs `bin/bench_fleet`, the checked-in `BENCH_fleet.json` baseline
+//! (fifth gate in `scripts/check-bench-regression.sh`) and the capacity
+//! table in the README. The scenario: a 4×4 AP grid (20 m cells, one
+//! `MediumArbiter` each), a population of deterministic walkers
+//! bouncing across cells, and the *same* population run twice — once in
+//! [`FleetRangingMode::RoundTrip`] (every fix is a per-AP band sweep),
+//! once in [`FleetRangingMode::Tdoa`] (every fix is one blast
+//! timestamped fleet-wide). The `ratio_tdoa_over_roundtrip` row records
+//! the headline claim the ISSUE pins: ≥ 2× fixes/s per client at
+//! ≤ 1.5× the cross-AP position error. [`fleet_table`] asserts both, so
+//! a committed baseline always satisfies them.
+//!
+//! Determinism: walkers move as a pure function of (index, window);
+//! both fleet modes inherit the engine seeding contract, so identical
+//! seeds replay identical tables and the regression gate trips on real
+//! drift, not noise.
+
+use crate::report::Table;
+use chronos_core::config::ChronosConfig;
+use chronos_core::fleet::{FleetConfig, FleetEngine, FleetRangingMode, FleetWindowReport};
+use chronos_core::tracker::TrackerConfig;
+use chronos_link::time::Duration;
+use chronos_rf::environment::Environment;
+use chronos_rf::geometry::Point;
+use chronos_rf::testbed::ap_grid;
+
+/// APs on the grid (4×4).
+pub const FLEET_APS: usize = 16;
+
+/// Grid cell pitch, meters.
+pub const AP_SPACING_M: f64 = 20.0;
+
+/// Roaming clients (12 per AP).
+pub const FLEET_CLIENTS: usize = 192;
+
+/// Walker ground speed, m/s. High for a pedestrian on purpose: windows
+/// are short, and the bench needs cell crossings (handoffs) within a
+/// few seconds of simulated time.
+pub const WALKER_SPEED_MPS: f64 = 6.0;
+
+/// Table headers; first column is the regression-gate row key.
+/// Direction rules (`check_regression`): `fix_rate_per_client` is
+/// higher-better, `median_err_m`/`p90_err_m` and `handoff_gap_sweeps`
+/// are lower-better, everything else must match the baseline exactly.
+pub const FLEET_HEADERS: [&str; 9] = [
+    "scenario",
+    "aps",
+    "clients",
+    "windows",
+    "fix_rate_per_client",
+    "median_err_m",
+    "p90_err_m",
+    "handoffs",
+    "handoff_gap_sweeps",
+];
+
+/// The estimator settings fleet round-trip sweeps use: the coarse grid
+/// shared with `tests/engine.rs` and the soak bench, so the debug-mode
+/// test tier stays fast while release benches measure the same
+/// pipeline.
+pub fn fleet_chronos() -> ChronosConfig {
+    ChronosConfig {
+        max_iters: 120,
+        grid_step_ns: 0.5,
+        ..ChronosConfig::ideal()
+    }
+}
+
+/// Walker `i`'s position after `windows` completed windows of length
+/// `window_s`: a constant-velocity bounce inside the fleet's bounding
+/// box. Pure function — both fleet modes see the identical trajectory.
+pub fn walker_at(i: usize, windows: usize, window_s: f64) -> Point {
+    let extent = ((FLEET_APS as f64).sqrt().ceil() - 1.0) * AP_SPACING_M;
+    // Start scattered over the grid, headings spread over the circle.
+    let fx = (i as f64 * 0.537_228).fract();
+    let fy = (i as f64 * 0.754_878).fract();
+    let heading = i as f64 * 2.399_963; // golden-angle spread
+    let t = windows as f64 * window_s;
+    let bounce = |x0: f64, v: f64| {
+        // Reflective boundary on [0, extent] via the triangle wave of
+        // the unfolded coordinate.
+        let period = 2.0 * extent;
+        let u = (x0 + v * t).rem_euclid(period);
+        if u <= extent {
+            u
+        } else {
+            period - u
+        }
+    };
+    Point::new(
+        bounce(fx * extent, WALKER_SPEED_MPS * heading.cos()),
+        bounce(fy * extent, WALKER_SPEED_MPS * heading.sin()),
+    )
+}
+
+/// Parameters of one fleet comparison run.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetScenarioConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Continuous windows to run.
+    pub windows: usize,
+    /// Length of each window, seconds.
+    pub window_s: f64,
+}
+
+impl FleetScenarioConfig {
+    /// The gate scenario: `--quick` runs 3×200 ms windows, the full
+    /// bench 8×250 ms.
+    pub fn standard(seed: u64, quick: bool) -> Self {
+        if quick {
+            FleetScenarioConfig {
+                seed,
+                windows: 3,
+                window_s: 0.2,
+            }
+        } else {
+            FleetScenarioConfig {
+                seed,
+                windows: 8,
+                window_s: 0.25,
+            }
+        }
+    }
+}
+
+/// Accumulated metrics of one mode's run.
+#[derive(Debug, Clone)]
+pub struct FleetRunStats {
+    /// Successful raw fixes across all windows.
+    pub fixes: usize,
+    /// Fixes per second per client over the whole run.
+    pub fix_rate_per_client: f64,
+    /// Median raw-fix error, meters.
+    pub median_err_m: f64,
+    /// 90th-percentile raw-fix error, meters.
+    pub p90_err_m: f64,
+    /// Total handoffs.
+    pub handoffs: usize,
+    /// Total post-handoff re-ACQUIRE sweeps.
+    pub handoff_gap_sweeps: usize,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Runs one mode over the standard roaming population and folds the
+/// per-window reports into run-level stats.
+pub fn run_fleet_mode(cfg: &FleetScenarioConfig, mode: FleetRangingMode) -> FleetRunStats {
+    let mut fleet_cfg = FleetConfig::position(TrackerConfig::default(), mode);
+    fleet_cfg.chronos = fleet_chronos();
+    let mut fleet = FleetEngine::new(
+        fleet_cfg,
+        Environment::free_space(),
+        ap_grid(FLEET_APS, AP_SPACING_M),
+    );
+    for i in 0..FLEET_CLIENTS {
+        fleet.add_client(walker_at(i, 0, cfg.window_s));
+    }
+    let mut reports: Vec<FleetWindowReport> = Vec::with_capacity(cfg.windows);
+    for w in 0..cfg.windows {
+        for i in 0..FLEET_CLIENTS {
+            fleet.set_client_pos(i, walker_at(i, w, cfg.window_s));
+        }
+        reports.push(fleet.run_window(cfg.seed, Duration::from_secs_f64(cfg.window_s)));
+    }
+    let fixes: usize = reports.iter().map(|r| r.fixes()).sum();
+    let mut errs: Vec<f64> = reports.iter().flat_map(|r| r.pos_errors_m()).collect();
+    errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert!(!errs.is_empty(), "fleet run produced no fixes");
+    let span_s = cfg.windows as f64 * cfg.window_s;
+    FleetRunStats {
+        fixes,
+        fix_rate_per_client: fixes as f64 / span_s / FLEET_CLIENTS as f64,
+        median_err_m: percentile(&errs, 0.50),
+        p90_err_m: percentile(&errs, 0.90),
+        handoffs: reports.iter().map(|r| r.handoffs).sum(),
+        handoff_gap_sweeps: reports.iter().map(|r| r.handoff_gap_sweeps).sum(),
+    }
+}
+
+/// Builds the `BENCH_fleet` table: one row per mode plus the ratio row,
+/// asserting the capacity claim (TDoA ≥ 2× fixes/s per client at
+/// ≤ 1.5× the position error) so a generated baseline always embodies
+/// it.
+pub fn fleet_table(seed: u64, quick: bool) -> Table {
+    let cfg = FleetScenarioConfig::standard(seed, quick);
+    let rt = run_fleet_mode(&cfg, FleetRangingMode::RoundTrip);
+    let td = run_fleet_mode(&cfg, FleetRangingMode::Tdoa);
+    let rate_ratio = td.fix_rate_per_client / rt.fix_rate_per_client;
+    let err_ratio = td.median_err_m / rt.median_err_m;
+    assert!(
+        rate_ratio >= 2.0,
+        "TDoA fix-rate advantage collapsed: {rate_ratio:.2}x"
+    );
+    assert!(
+        err_ratio <= 1.5,
+        "TDoA error exceeded 1.5x round-trip: {err_ratio:.2}x"
+    );
+    let mut table = Table::new("BENCH_fleet", &FLEET_HEADERS);
+    let mut row = |name: &str, s: &FleetRunStats| {
+        table.row(&[
+            name.into(),
+            format!("{FLEET_APS}"),
+            format!("{FLEET_CLIENTS}"),
+            format!("{}", cfg.windows),
+            format!("{:.3}", s.fix_rate_per_client),
+            format!("{:.3}", s.median_err_m),
+            format!("{:.3}", s.p90_err_m),
+            format!("{}", s.handoffs),
+            format!("{}", s.handoff_gap_sweeps),
+        ]);
+    };
+    row("roundtrip", &rt);
+    row("tdoa", &td);
+    table.row(&[
+        "ratio_tdoa_over_roundtrip".into(),
+        format!("{FLEET_APS}"),
+        format!("{FLEET_CLIENTS}"),
+        format!("{}", cfg.windows),
+        format!("{rate_ratio:.3}"),
+        format!("{err_ratio:.3}"),
+        format!("{:.3}", td.p90_err_m / rt.p90_err_m),
+        "0".into(),
+        "0".into(),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walkers_stay_inside_the_grid_and_actually_roam() {
+        let extent = 3.0 * AP_SPACING_M;
+        let mut moved = 0;
+        for i in (0..FLEET_CLIENTS).step_by(17) {
+            let a = walker_at(i, 0, 0.25);
+            let b = walker_at(i, 8, 0.25);
+            for p in [a, b] {
+                assert!(p.x >= 0.0 && p.x <= extent && p.y >= 0.0 && p.y <= extent);
+            }
+            if a.dist(b) > 1.0 {
+                moved += 1;
+            }
+        }
+        assert!(moved >= 10, "walkers must cover ground: {moved}");
+    }
+
+    #[test]
+    fn walker_trajectory_is_window_consistent() {
+        // The position after w windows equals the closed-form point —
+        // both modes replay the identical trajectory.
+        let a = walker_at(7, 4, 0.2);
+        let b = walker_at(7, 4, 0.2);
+        assert_eq!(
+            (a.x.to_bits(), a.y.to_bits()),
+            (b.x.to_bits(), b.y.to_bits())
+        );
+    }
+}

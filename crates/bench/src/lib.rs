@@ -12,6 +12,7 @@ pub mod adversarial;
 pub mod alloc_count;
 pub mod cli;
 pub mod figures;
+pub mod fleet;
 pub mod position;
 pub mod report;
 pub mod scenarios;

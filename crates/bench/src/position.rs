@@ -350,7 +350,8 @@ pub fn check_regression(current: &Table, baseline: &Table, tol: f64) -> Result<(
                 || header.contains("latency")
                 || header.contains("shed")
                 || header.contains("fairness")
-                || header.contains("deferred");
+                || header.contains("deferred")
+                || header.contains("gap");
             let higher_better = header.contains("rate");
             if !lower_better && !higher_better {
                 if (cur - base).abs() > 1e-9 {
@@ -456,6 +457,32 @@ mod tests {
         let mut better = base.clone();
         better.rows[0][3] = "0.100".into();
         assert!(check_regression(&better, &base, 0.2).is_ok());
+    }
+
+    #[test]
+    fn regression_checker_gates_handoff_gap() {
+        // Fleet-bench columns: `handoff_gap_sweeps` is lower-is-better
+        // (re-ACQUIRE sweeps after a handoff are the cost migration is
+        // supposed to eliminate); `handoffs` itself is a deterministic
+        // scenario parameter and must match exactly.
+        let headers = ["scenario", "handoffs", "handoff_gap_sweeps"];
+        let mut base = Table::new("BENCH_fleet", &headers);
+        base.row(&["roundtrip".into(), "12".into(), "3".into()]);
+        assert!(check_regression(&base.clone(), &base, 0.2).is_ok());
+        let mut gappier = base.clone();
+        gappier.rows[0][2] = "9".into();
+        let errs = check_regression(&gappier, &base, 0.2).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("handoff_gap_sweeps")),
+            "{errs:?}"
+        );
+        let mut tighter = base.clone();
+        tighter.rows[0][2] = "0".into();
+        assert!(check_regression(&tighter, &base, 0.2).is_ok());
+        let mut drifted = base.clone();
+        drifted.rows[0][1] = "13".into();
+        let errs = check_regression(&drifted, &base, 0.2).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("handoffs")), "{errs:?}");
     }
 
     #[test]

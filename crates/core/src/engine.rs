@@ -115,6 +115,41 @@ pub(crate) fn mix_seed(seed: u64, ordinal: u64, client: usize) -> u64 {
 /// sweeps per client (TRACK clients re-sweep as soon as their subset
 /// airtime allows) and need not contain every client (a sweep still in
 /// the air at the deadline lands in the next window).
+///
+/// **Scope: one engine = one AP.** Every field is **per-shard**: in a
+/// multi-AP fleet ([`crate::fleet::FleetEngine`]) each AP's engine
+/// emits its own `WindowReport`, where `outcomes[i].client` indexes
+/// *that shard's* slots (map to fleet client ids via
+/// [`crate::fleet::FleetEngine::client_of_slot`]) and `utilization`
+/// covers that AP's medium only — including sync-beacon and TDoA-blast
+/// airtime the fleet layer charges to the shard's arbiter, which by
+/// design appears here as busy air but never as an outcome.
+/// **Fleet-aggregated** quantities — TDoA fixes, handoff and
+/// handoff-gap counters, sync rounds — never appear in this report;
+/// they live on [`crate::fleet::FleetWindowReport`] alongside the
+/// per-shard reports it wraps.
+///
+/// # Examples
+///
+/// ```
+/// use chronos_core::engine::WindowReport;
+/// use chronos_core::plan::CacheStats;
+/// use chronos_link::time::{Duration, Instant};
+///
+/// let report = WindowReport {
+///     started: Instant::from_millis(100),
+///     ended: Instant::from_millis(350),
+///     outcomes: Vec::new(),
+///     utilization: 0.42,
+///     wall: std::time::Duration::ZERO,
+///     cache: CacheStats { hits: 0, misses: 0, ndft_entries: 0, spline_entries: 0 },
+///     bands_planned: 24,
+///     bands_full_sweep: 70,
+///     ingestion: Default::default(),
+/// };
+/// assert_eq!(report.span(), Duration::from_millis(250));
+/// assert!((report.airtime_saved() - (1.0 - 24.0 / 70.0)).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone)]
 pub struct WindowReport {
     /// Window start on the simulated clock.
@@ -278,6 +313,72 @@ struct Slot {
     /// (retries after a queue rejection or displacement); consumed at
     /// admission into [`Job::deferrals`].
     pending_deferrals: u32,
+}
+
+/// A client's portable tracking state, extracted at handoff and
+/// implanted into another [`ServiceEngine`] — the fleet layer's
+/// mechanism for moving a client between APs **without re-ACQUIRE**.
+///
+/// What travels: the Kalman tracker (whichever flavor the slot ran),
+/// the quarantine verdict with its hysteresis dwell counter, the
+/// BACKGROUND flag, and the per-client adaptive override. What does
+/// *not* travel: the sweep ordinal — the destination engine issues the
+/// client a fresh slot whose ordinal restarts at zero, preserving the
+/// seeding contract (a shard's RNG streams are a pure function of its
+/// own admission history, never of another shard's).
+///
+/// Position trackers hold state in the *serving AP's local frame*;
+/// call [`MigratedClient::translate`] with `old_ap − new_ap` (world
+/// coordinates) before implanting so the estimate lands in the new
+/// frame. Distance trackers cannot be re-expressed this way (range to
+/// the old AP says nothing about range to the new one), so fleet
+/// handoff is a position-mode feature; migrating a distance tracker
+/// carries the anomaly evidence but the filter re-seeds on its first
+/// fix at the new AP.
+#[derive(Debug, Clone)]
+pub struct MigratedClient {
+    tracker: Option<ClientTracker>,
+    pos_tracker: Option<PositionTracker>,
+    adaptive: bool,
+    quarantined: bool,
+    clean_run: usize,
+    background: bool,
+}
+
+impl MigratedClient {
+    /// Re-expresses the position track in the destination AP's frame:
+    /// `delta` is `old_ap − new_ap` in world coordinates. No-op for
+    /// distance trackers and uninitialized filters.
+    pub fn translate(&mut self, delta: Point) {
+        if let Some(t) = self.pos_tracker.as_mut() {
+            t.translate(delta);
+        }
+    }
+
+    /// Whether the client was under QUARANTINE at extraction (the
+    /// verdict travels with the client — see
+    /// [`crate::service::QuarantineConfig`]).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// The anomaly score carried across the handoff, if the client ran
+    /// a tracker.
+    pub fn anomaly_score(&self) -> Option<f64> {
+        self.tracker
+            .as_ref()
+            .map(|t| t.anomaly_score())
+            .or_else(|| self.pos_tracker.as_ref().map(|t| t.anomaly_score()))
+    }
+
+    /// The mode the client's next sweep would run under (TRACK survives
+    /// the handoff; that is the point).
+    pub fn mode(&self) -> Option<TrackMode> {
+        self.tracker
+            .as_ref()
+            .map(|t| t.mode())
+            .or_else(|| self.pos_tracker.as_ref().map(|t| t.mode()))
+    }
 }
 
 /// Continuous windows periodically release arbiter windows that have
@@ -523,6 +624,74 @@ impl ServiceEngine {
     pub fn leave_at(&mut self, idx: usize, t: Instant) {
         self.queue
             .schedule(t.max(self.clock), EngineEvent::Leave(idx));
+    }
+
+    /// Extracts a client's portable tracking state and deactivates the
+    /// slot — the departure half of a fleet handoff. Returns `None` if
+    /// the slot is missing or already inactive. A sweep still in the
+    /// air completes and is reported here (its outcome belongs to the
+    /// old AP); the extracted state is the tracker as of the sweeps
+    /// already absorbed.
+    pub fn extract_client(&mut self, idx: usize) -> Option<MigratedClient> {
+        let slot = self.slots.get(idx)?;
+        if !slot.active {
+            return None;
+        }
+        let state = MigratedClient {
+            tracker: slot.tracker.clone(),
+            pos_tracker: slot.pos_tracker.clone(),
+            adaptive: slot.adaptive,
+            quarantined: slot.quarantined,
+            clean_run: slot.clean_run,
+            background: slot.background,
+        };
+        self.leave(idx);
+        Some(state)
+    }
+
+    /// The arrival half of a fleet handoff: adds a client whose tracker,
+    /// quarantine verdict and flags come from
+    /// [`ServiceEngine::extract_client`] on another engine (after
+    /// [`MigratedClient::translate`] re-framed a position track). The
+    /// new slot's sweep ordinal starts at zero like any other join —
+    /// see [`MigratedClient`] for why. The client's first sweep here
+    /// runs under the migrated mode: a TRACK arrival schedules a
+    /// band-subset sweep immediately, no re-ACQUIRE.
+    pub fn join_migrated(
+        &mut self,
+        ctx: MeasurementContext,
+        config: ChronosConfig,
+        state: MigratedClient,
+    ) -> usize {
+        let session = ChronosSession::with_cache(ctx, config, Arc::clone(&self.plans));
+        self.slots.push(Slot {
+            session,
+            tracker: state.tracker,
+            pos_tracker: state.pos_tracker,
+            adaptive: state.adaptive,
+            sweeps: 0,
+            active: true,
+            scheduled: false,
+            quarantined: state.quarantined,
+            clean_run: state.clean_run,
+            background: state.background,
+            pending_deferrals: 0,
+        });
+        self.slots.len() - 1
+    }
+
+    /// Books an externally-timed transmission on this AP's medium — the
+    /// fleet layer charges inter-AP sync beacons and TDoA blasts here so
+    /// they contend with (and are counted against) the shard's regular
+    /// sweep airtime. The transmission is admitted at `not_before` under
+    /// the normal arbiter rules (guard bands, concurrency stagger) and
+    /// completed immediately at its granted start plus `airtime`.
+    /// Returns the granted start.
+    pub fn charge_airtime(&mut self, not_before: Instant, airtime: Duration) -> Instant {
+        let grant = self.arbiter.admit(not_before, airtime);
+        let start = grant.start;
+        self.arbiter.complete(grant.token, start + airtime);
+        start
     }
 
     /// Whether a slot currently participates in scheduling.

@@ -98,6 +98,7 @@ pub mod crt;
 pub mod delay;
 pub mod engine;
 pub mod error;
+pub mod fleet;
 pub mod ista;
 pub mod localization;
 pub mod ndft;

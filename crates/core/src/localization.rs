@@ -16,6 +16,8 @@ use crate::error::ChronosError;
 use chronos_math::lstsq::{GaussNewton, GnWorkspace, Residuals};
 use chronos_rf::geometry::Point;
 
+pub mod tdoa;
+
 /// One antenna's distance observation.
 #[derive(Debug, Clone, Copy)]
 pub struct AntennaRange {

@@ -1,0 +1,319 @@
+//! Hyperbolic (TDoA) localization across synchronized access points.
+//!
+//! The paper's pipeline is round-trip: one AP measures a client's full
+//! time-of-flight, so every fix costs that AP an entire band sweep. Once
+//! a *fleet* of APs shares a clock (see [`crate::fleet::ClockSync`]),
+//! a single client transmission timestamped at N ≥ 3 APs yields N − 1
+//! **range differences** — each pair of APs constrains the client to a
+//! hyperbola branch, and the branches intersect at the client. No
+//! round-trip, no per-AP sweep: the whole fleet localizes the client off
+//! one cheap blast.
+//!
+//! The solver mirrors [`crate::localization`]'s circle-intersection
+//! design: a damped Gauss–Newton least squares over a [`Residuals`]
+//! problem, reusing the allocation-free [`GnWorkspace`]. Residual `i` is
+//!
+//! ```text
+//!   r_i(p) = (|p − a_i| − |p − a_ref|) − Δd_i
+//! ```
+//!
+//! where `a_ref` is the reference (serving) AP and `Δd_i` the measured
+//! range difference `c · (t_i − t_ref)`. Clock residual between an AP
+//! pair enters `Δd_i` directly as `c · δ_pair` — which is why the fleet
+//! gates TDoA on the pair's synchronization residual bound.
+//!
+//! Hyperbolic cost surfaces are flatter than circles (the gradient along
+//! a branch is weak far from the anchors), so the solver fits from two
+//! seeds — the caller's prior (a tracker prediction, when warm) and the
+//! anchor centroid — and keeps the lower-cost converged fit.
+
+use crate::error::ChronosError;
+use chronos_math::lstsq::{GaussNewton, GnWorkspace, Residuals};
+use chronos_rf::geometry::Point;
+
+/// One anchor's range-difference observation against the reference AP.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeDiff {
+    /// Anchor (AP) position, world frame, meters.
+    pub anchor: Point,
+    /// Measured range difference `|p − anchor| − |p − reference|`,
+    /// meters (i.e. `c ·` the arrival-timestamp difference).
+    pub diff_m: f64,
+}
+
+/// A hyperbolic position fix.
+#[derive(Debug, Clone, Copy)]
+pub struct TdoaFix {
+    /// Estimated transmitter position, world frame.
+    pub point: Point,
+    /// Root-mean-square range-difference residual at the solution,
+    /// meters.
+    pub residual_m: f64,
+    /// Anchors the fix used, including the reference.
+    pub n_anchors: usize,
+}
+
+/// Solver knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TdoaSolverConfig {
+    /// Maximum acceptable RMS range-difference residual before declaring
+    /// no consistent position, meters.
+    pub max_residual_m: f64,
+    /// Gauss–Newton iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for TdoaSolverConfig {
+    fn default() -> Self {
+        TdoaSolverConfig {
+            max_residual_m: 2.0,
+            max_iters: 200,
+        }
+    }
+}
+
+struct HyperbolaResiduals<'a> {
+    reference: Point,
+    diffs: &'a [RangeDiff],
+}
+
+impl Residuals for HyperbolaResiduals<'_> {
+    fn len(&self) -> usize {
+        self.diffs.len()
+    }
+    fn eval(&self, p: &[f64], out: &mut [f64]) {
+        let pt = Point::new(p[0], p[1]);
+        let d_ref = pt.dist(self.reference);
+        for (i, rd) in self.diffs.iter().enumerate() {
+            out[i] = (pt.dist(rd.anchor) - d_ref) - rd.diff_m;
+        }
+    }
+}
+
+/// Solves the hyperbolic fix from range differences against `reference`.
+///
+/// Needs at least two range differences (three APs total): two unknowns,
+/// two hyperbolae. `seed` is the caller's prior — a position-tracker
+/// prediction when warm, or any point near the anchors when cold; the
+/// anchor centroid is always tried as a second seed and the lower-cost
+/// converged fit wins.
+///
+/// Allocation note: repeated calls with the same `ws` are free of heap
+/// allocations once the workspace has seen the largest anchor count
+/// (the same contract as [`crate::localization::locate_all_into`]).
+pub fn solve_tdoa(
+    reference: Point,
+    diffs: &[RangeDiff],
+    seed: Point,
+    cfg: &TdoaSolverConfig,
+    ws: &mut GnWorkspace,
+) -> Result<TdoaFix, ChronosError> {
+    if diffs.len() < 2 {
+        return Err(ChronosError::NoConsistentPosition);
+    }
+    let gn = GaussNewton {
+        max_iters: cfg.max_iters,
+        ..Default::default()
+    };
+    let problem = HyperbolaResiduals { reference, diffs };
+    let mut centroid = reference;
+    for rd in diffs {
+        centroid = centroid.add(rd.anchor);
+    }
+    centroid = centroid.scale(1.0 / (diffs.len() + 1) as f64);
+    let mut best: Option<TdoaFix> = None;
+    for s in [seed, centroid] {
+        let fit = gn.minimize_with(&problem, &[s.x, s.y], ws);
+        let p = Point::new(ws.params[0], ws.params[1]);
+        if !p.x.is_finite() || !p.y.is_finite() {
+            continue;
+        }
+        let rms = (fit.cost / diffs.len() as f64).sqrt();
+        if best.as_ref().is_none_or(|b| rms < b.residual_m) {
+            best = Some(TdoaFix {
+                point: p,
+                residual_m: rms,
+                n_anchors: diffs.len() + 1,
+            });
+        }
+    }
+    match best {
+        Some(fix) if fix.residual_m <= cfg.max_residual_m => Ok(fix),
+        _ => Err(ChronosError::NoConsistentPosition),
+    }
+}
+
+/// Builds the range-difference set for a known geometry plus per-anchor
+/// range errors (test/model helper): entry `i` is anchor `i`'s true
+/// range difference against `reference`, biased by
+/// `err_m[i] − err_ref_m`.
+pub fn range_diffs_for(
+    tx: Point,
+    reference: Point,
+    err_ref_m: f64,
+    anchors: &[(Point, f64)],
+) -> Vec<RangeDiff> {
+    anchors
+        .iter()
+        .map(|&(a, err_m)| RangeDiff {
+            anchor: a,
+            diff_m: (tx.dist(a) - tx.dist(reference)) + (err_m - err_ref_m),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_aps() -> (Point, Vec<Point>) {
+        // Reference at origin, three more anchors on a 20 m square.
+        (
+            Point::new(0.0, 0.0),
+            vec![
+                Point::new(20.0, 0.0),
+                Point::new(0.0, 20.0),
+                Point::new(20.0, 20.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_fix_from_clean_range_diffs() {
+        let (reference, anchors) = square_aps();
+        let tx = Point::new(7.0, 12.5);
+        let diffs = range_diffs_for(
+            tx,
+            reference,
+            0.0,
+            &anchors.iter().map(|&a| (a, 0.0)).collect::<Vec<_>>(),
+        );
+        let mut ws = GnWorkspace::default();
+        let fix = solve_tdoa(
+            reference,
+            &diffs,
+            Point::new(10.0, 10.0),
+            &TdoaSolverConfig::default(),
+            &mut ws,
+        )
+        .unwrap();
+        assert!(fix.point.dist(tx) < 1e-6, "err {}", fix.point.dist(tx));
+        assert!(fix.residual_m < 1e-8);
+        assert_eq!(fix.n_anchors, 4);
+    }
+
+    #[test]
+    fn noisy_fix_stays_sub_meter_inside_the_hull() {
+        let (reference, anchors) = square_aps();
+        let tx = Point::new(13.0, 6.0);
+        let noise = [0.12, -0.09, 0.07];
+        let diffs = range_diffs_for(
+            tx,
+            reference,
+            -0.05,
+            &anchors
+                .iter()
+                .zip(noise)
+                .map(|(&a, n)| (a, n))
+                .collect::<Vec<_>>(),
+        );
+        let mut ws = GnWorkspace::default();
+        let fix = solve_tdoa(
+            reference,
+            &diffs,
+            Point::new(10.0, 10.0),
+            &TdoaSolverConfig::default(),
+            &mut ws,
+        )
+        .unwrap();
+        assert!(fix.point.dist(tx) < 1.0, "err {}", fix.point.dist(tx));
+    }
+
+    #[test]
+    fn cold_seed_far_away_still_converges_via_centroid() {
+        let (reference, anchors) = square_aps();
+        let tx = Point::new(4.0, 16.0);
+        let diffs = range_diffs_for(
+            tx,
+            reference,
+            0.0,
+            &anchors.iter().map(|&a| (a, 0.0)).collect::<Vec<_>>(),
+        );
+        let mut ws = GnWorkspace::default();
+        let fix = solve_tdoa(
+            reference,
+            &diffs,
+            Point::new(500.0, -800.0),
+            &TdoaSolverConfig::default(),
+            &mut ws,
+        )
+        .unwrap();
+        assert!(fix.point.dist(tx) < 1e-3, "err {}", fix.point.dist(tx));
+    }
+
+    #[test]
+    fn under_determined_and_inconsistent_inputs_rejected() {
+        let (reference, anchors) = square_aps();
+        let mut ws = GnWorkspace::default();
+        // One diff (two APs): under-determined.
+        let one = vec![RangeDiff {
+            anchor: anchors[0],
+            diff_m: 1.0,
+        }];
+        assert!(solve_tdoa(
+            reference,
+            &one,
+            Point::new(5.0, 5.0),
+            &TdoaSolverConfig::default(),
+            &mut ws
+        )
+        .is_err());
+        // Range differences no geometry can satisfy, with a tight cap.
+        let broken: Vec<RangeDiff> = anchors
+            .iter()
+            .map(|&a| RangeDiff {
+                anchor: a,
+                diff_m: 500.0,
+            })
+            .collect();
+        let cfg = TdoaSolverConfig {
+            max_residual_m: 0.05,
+            ..Default::default()
+        };
+        assert!(solve_tdoa(reference, &broken, Point::new(5.0, 5.0), &cfg, &mut ws).is_err());
+    }
+
+    #[test]
+    fn clock_residual_degrades_error_monotonically() {
+        // The fleet's gating rationale in miniature: a shared pair
+        // residual of c·δ meters biases every diff; bigger δ, bigger
+        // position error.
+        let (reference, anchors) = square_aps();
+        let tx = Point::new(9.0, 11.0);
+        let mut ws = GnWorkspace::default();
+        let mut err_at = |bias_m: f64| {
+            let diffs = range_diffs_for(
+                tx,
+                reference,
+                0.0,
+                &anchors
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &a)| (a, bias_m * [1.0, -0.6, 0.8][i]))
+                    .collect::<Vec<_>>(),
+            );
+            solve_tdoa(
+                reference,
+                &diffs,
+                Point::new(10.0, 10.0),
+                &TdoaSolverConfig::default(),
+                &mut ws,
+            )
+            .unwrap()
+            .point
+            .dist(tx)
+        };
+        let (small, large) = (err_at(0.05), err_at(0.8));
+        assert!(small < large, "bias 0.05 m → {small}, bias 0.8 m → {large}");
+    }
+}

@@ -301,6 +301,37 @@ pub struct ClientOutcome {
 }
 
 /// The result of one service round.
+///
+/// **Scope: one service = one AP.** Like
+/// [`crate::engine::WindowReport`], every field is
+/// per-AP: `outcomes[i].client` is a slot index of *this* service,
+/// `utilization` covers this AP's medium, and nothing here aggregates
+/// across a fleet. The epoch driver is single-AP-only by design — the
+/// multi-AP fleet layer ([`crate::fleet`]) runs its shards through
+/// continuous windows (`run_until`), never through epochs, because
+/// handoff and clock-sync events are scheduled at window boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use chronos_core::plan::CacheStats;
+/// use chronos_core::service::EpochReport;
+/// use chronos_link::time::{Duration, Instant};
+///
+/// let report = EpochReport {
+///     epoch: 3,
+///     started: Instant::from_millis(500),
+///     airtime_span: Duration::from_millis(84),
+///     utilization: 1.0,
+///     outcomes: Vec::new(),
+///     wall: std::time::Duration::ZERO,
+///     cache: CacheStats { hits: 2, misses: 1, ndft_entries: 1, spline_entries: 1 },
+///     bands_planned: 35,
+///     bands_full_sweep: 35,
+/// };
+/// assert_eq!(report.airtime_saved(), 0.0); // full sweeps save nothing
+/// assert!((report.cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone)]
 pub struct EpochReport {
     /// Epoch counter.

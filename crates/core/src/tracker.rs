@@ -315,6 +315,16 @@ impl DistanceFilter {
         self.state = None;
         self.p = [0.0; 3];
     }
+
+    /// Shifts the distance estimate by `delta_m` without touching
+    /// velocity or covariance — a coordinate-frame change, not new
+    /// information. No-op before initialization. Used by fleet handoff
+    /// to re-express a migrated track in the new serving AP's frame.
+    pub fn shift(&mut self, delta_m: f64) {
+        if let Some(x) = self.state.as_mut() {
+            x[0] += delta_m;
+        }
+    }
 }
 
 /// What one epoch's fix did to a client's track.
@@ -614,6 +624,15 @@ impl PositionFilter {
         self.x.reset();
         self.y.reset();
     }
+
+    /// Translates the position estimate by `delta` without touching
+    /// velocity or covariance — a pure coordinate-frame change (the
+    /// client did not move; the origin did). No-op before
+    /// initialization.
+    pub fn translate(&mut self, delta: Point) {
+        self.x.shift(delta.x);
+        self.y.shift(delta.y);
+    }
 }
 
 /// What one epoch's position fix did to a client's track.
@@ -713,6 +732,15 @@ impl PositionTracker {
     /// Read access to the underlying filter.
     pub fn filter(&self) -> &PositionFilter {
         &self.filter
+    }
+
+    /// Re-expresses the track in a new local frame: `delta` is
+    /// `old_origin − new_origin` in world coordinates and is added to
+    /// the position estimate. Velocity, covariance, mode machine, and
+    /// anomaly evidence are untouched — a handoff is a coordinate
+    /// change, not a track break.
+    pub fn translate(&mut self, delta: Point) {
+        self.filter.translate(delta);
     }
 
     /// Picks the localization candidate to fuse from a best-first list

@@ -140,6 +140,30 @@ impl Testbed {
     }
 }
 
+/// Lays out `n` access points on the smallest square grid that holds
+/// them, `spacing` meters apart, starting at the origin — the canonical
+/// fleet deployment geometry (e.g. `ap_grid(16, 20.0)` is a 4×4 fleet
+/// of 20 m cells, sixteen office floors side by side).
+///
+/// Grid traversal is row-major, so AP index → position is stable as `n`
+/// grows: the first `k` APs of a larger fleet sit exactly where a
+/// `k`-AP fleet put them.
+///
+/// ```
+/// use chronos_rf::testbed::ap_grid;
+///
+/// let aps = ap_grid(16, 20.0);
+/// assert_eq!(aps.len(), 16);
+/// assert_eq!((aps[0].x, aps[0].y), (0.0, 0.0));
+/// assert_eq!((aps[5].x, aps[5].y), (20.0, 20.0)); // row 1, col 1
+/// ```
+pub fn ap_grid(n: usize, spacing: f64) -> Vec<Point> {
+    let side = (n as f64).sqrt().ceil() as usize;
+    (0..n)
+        .map(|i| Point::new((i % side) as f64 * spacing, (i / side) as f64 * spacing))
+        .collect()
+}
+
 /// One candidate device placement pair.
 #[derive(Debug, Clone, Copy)]
 pub struct TestbedPair {

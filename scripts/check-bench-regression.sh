@@ -23,6 +23,13 @@
 #     against the checked-in BENCH_soak.json baseline. The queue sheds
 #     as a pure function of the arrival sequence, so drift is a real
 #     scheduling change, never noise.
+#  5. Fleet capacity: rerun the quick 16-AP / 192-roaming-client
+#     TDoA-vs-round-trip comparison and fail when per-client fix rate
+#     drops >20%, position error or handoff-gap sweeps grow >20%, or
+#     any exact column (AP/client/window counts, handoffs) drifts at
+#     all, against the checked-in BENCH_fleet.json baseline. The bench
+#     itself also asserts the headline claim (TDoA >= 2x fixes/s per
+#     client at <= 1.5x the error) before writing or checking anything.
 #
 # On an *intentional* change, regenerate and commit the baselines:
 #
@@ -30,10 +37,12 @@
 #   cargo run --release -p chronos-bench --bin bench_throughput -- --quick
 #   cargo run --release -p chronos-bench --bin bench_adversarial -- --quick
 #   cargo run --release -p chronos-bench --bin bench_soak -- --quick
+#   cargo run --release -p chronos-bench --bin bench_fleet -- --quick
 #
 # Usage: scripts/check-bench-regression.sh \
 #            [position-baseline.json [throughput-baseline.json \
-#            [adversarial-baseline.json [soak-baseline.json]]]]
+#            [adversarial-baseline.json [soak-baseline.json \
+#            [fleet-baseline.json]]]]]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,9 +50,10 @@ position_baseline="${1:-BENCH_position.json}"
 throughput_baseline="${2:-BENCH_throughput.json}"
 adversarial_baseline="${3:-BENCH_adversarial.json}"
 soak_baseline="${4:-BENCH_soak.json}"
+fleet_baseline="${5:-BENCH_fleet.json}"
 
 for baseline in "$position_baseline" "$throughput_baseline" \
-        "$adversarial_baseline" "$soak_baseline"; do
+        "$adversarial_baseline" "$soak_baseline" "$fleet_baseline"; do
     if [[ ! -f "$baseline" ]]; then
         echo "missing baseline $baseline (generate with the commands in this script's header)" >&2
         exit 1
@@ -59,5 +69,8 @@ cargo run --release -p chronos-bench --bin bench_throughput -- \
 cargo run --release -p chronos-bench --bin bench_adversarial -- \
     --quick --check "$adversarial_baseline" --tolerance 0.20
 
-exec cargo run --release -p chronos-bench --bin bench_soak -- \
+cargo run --release -p chronos-bench --bin bench_soak -- \
     --quick --check "$soak_baseline" --tolerance 0.20
+
+exec cargo run --release -p chronos-bench --bin bench_fleet -- \
+    --quick --check "$fleet_baseline" --tolerance 0.20

@@ -839,3 +839,164 @@ fn window_reports_identical_across_threads_with_shedding() {
     assert_eq!(one, fingerprint(2).0, "threads=2 diverged");
     assert_eq!(one, fingerprint(8).0, "threads=8 diverged");
 }
+
+/// Handoff state migration, engine level: a client extracted mid-TRACK
+/// carries its Kalman filter and anomaly score into the destination
+/// engine and resumes in TRACK — the first post-migration sweep plans
+/// the TRACK subset, with no re-ACQUIRE (the contract the fleet layer's
+/// `migrate_state` handoff is built on).
+#[test]
+fn migrated_client_resumes_in_track_with_its_anomaly_score() {
+    use chronos_suite::core::engine::ServiceEngine;
+
+    let cfg = ServiceConfig::adaptive(TrackerConfig::default());
+    let mut a = ServiceEngine::new(cfg.clone());
+    let c = a.join(ideal_ctx(3.0), quick_chronos());
+    a.session_mut(c).sweep_cfg.medium.loss_prob = 0.0;
+    a.run_until(21, Instant::from_millis(800));
+    assert_eq!(
+        a.tracker(c).expect("adaptive slot").mode(),
+        TrackMode::Track,
+        "client must be mid-TRACK before the handoff"
+    );
+
+    let state = a.extract_client(c).expect("active client extracts");
+    assert_eq!(state.mode(), Some(TrackMode::Track));
+    let score = state.anomaly_score().expect("tracked client has a score");
+    assert!(score.is_finite());
+    assert!(!a.is_active(c), "extraction vacates the source slot");
+
+    // Same client-AP distance at the destination, so the distance
+    // filter's state stays valid verbatim.
+    let mut b = ServiceEngine::new(cfg);
+    let m = b.join_migrated(ideal_ctx(3.0), quick_chronos(), state);
+    b.session_mut(m).sweep_cfg.medium.loss_prob = 0.0;
+    // The score and verdict are implanted before any sweep runs.
+    assert_eq!(b.anomaly_score(m).map(f64::to_bits), Some(score.to_bits()));
+    assert!(!b.is_quarantined(m));
+
+    let report = b.run_until(22, Instant::from_millis(400));
+    let first = report
+        .outcomes
+        .iter()
+        .find(|o| o.client == m)
+        .expect("migrated client sweeps in the first window");
+    assert_eq!(first.sweep, 0, "destination ordinal restarts at zero");
+    assert_eq!(
+        first.mode,
+        TrackMode::Track,
+        "migrated Kalman state must carry TRACK across the handoff"
+    );
+    // The filter state is genuinely warm: the fused estimate is tight
+    // from the very first destination sweep.
+    let tracked = first.tracked_m.expect("adaptive outcome fuses");
+    assert!((tracked - 3.0).abs() < 0.5, "cold filter: {tracked}");
+}
+
+/// The quarantine verdict travels with the migrated client: a client
+/// quarantined at the source engine is still quarantined at the
+/// destination, its outcomes stay flagged, and estimates stay withheld
+/// (no handoff-laundering of an attacker's reputation).
+#[test]
+fn migrated_client_keeps_quarantine_verdict() {
+    use chronos_suite::core::engine::ServiceEngine;
+    use chronos_suite::core::service::QuarantineConfig;
+
+    // A hair-trigger policy so the mechanism (not the detector) is
+    // under test: any completed sweep trips quarantine, release is
+    // unreachable.
+    let cfg = ServiceConfig {
+        quarantine: Some(QuarantineConfig {
+            threshold: 0.0,
+            release: -1.0,
+            release_dwell: 1_000_000,
+            min_sweeps: 0,
+        }),
+        ..ServiceConfig::adaptive(TrackerConfig::default())
+    };
+    let mut a = ServiceEngine::new(cfg.clone());
+    let c = a.join(ideal_ctx(4.0), quick_chronos());
+    a.run_until(31, Instant::from_millis(300));
+    assert!(a.is_quarantined(c), "hair-trigger policy must have tripped");
+
+    let state = a.extract_client(c).expect("active client extracts");
+    assert!(state.is_quarantined(), "verdict travels with the state");
+
+    let mut b = ServiceEngine::new(cfg);
+    let m = b.join_migrated(ideal_ctx(4.0), quick_chronos(), state);
+    assert!(b.is_quarantined(m), "verdict implanted before any sweep");
+    let report = b.run_until(32, Instant::from_millis(300));
+    let sweeps: Vec<_> = report.outcomes.iter().filter(|o| o.client == m).collect();
+    assert!(!sweeps.is_empty(), "quarantined clients keep sweeping");
+    for o in &sweeps {
+        assert!(o.quarantined, "outcome lost the quarantine flag");
+        assert!(
+            o.tracked_m.is_none(),
+            "quarantined estimates must stay withheld after migration"
+        );
+    }
+}
+
+/// Churn during a handoff: while one client migrates in, another leaves
+/// and a third joins cold at the same boundary. The migrated client
+/// still resumes in TRACK, the leaver gets no post-boundary admissions,
+/// the joiner ACQUIREs from scratch, and slot ordinals stay gapless —
+/// boundary churn cannot corrupt per-slot sweep accounting.
+#[test]
+fn churn_during_handoff_keeps_accounting_and_track_state() {
+    use chronos_suite::core::engine::ServiceEngine;
+
+    let cfg = ServiceConfig::adaptive(TrackerConfig::default());
+    // Source engine: one client converging to TRACK.
+    let mut a = ServiceEngine::new(cfg.clone());
+    let c = a.join(ideal_ctx(3.0), quick_chronos());
+    a.session_mut(c).sweep_cfg.medium.loss_prob = 0.0;
+    a.run_until(41, Instant::from_millis(800));
+    assert_eq!(a.tracker(c).unwrap().mode(), TrackMode::Track);
+
+    // Destination engine: two residents, run to the same boundary.
+    let mut b = ServiceEngine::new(cfg);
+    let r0 = b.join(ideal_ctx(2.0), quick_chronos());
+    let r1 = b.join(ideal_ctx(5.5), quick_chronos());
+    for id in [r0, r1] {
+        b.session_mut(id).sweep_cfg.medium.loss_prob = 0.0;
+    }
+    b.run_until(42, Instant::from_millis(800));
+    let boundary = b.clock();
+
+    // The churn burst: r1 leaves, the TRACK client migrates in, a cold
+    // client joins — all at one boundary.
+    b.leave(r1);
+    let state = a.extract_client(c).unwrap();
+    let m = b.join_migrated(ideal_ctx(3.0), quick_chronos(), state);
+    let fresh = b.join(ideal_ctx(7.0), quick_chronos());
+    for id in [m, fresh] {
+        b.session_mut(id).sweep_cfg.medium.loss_prob = 0.0;
+    }
+    assert_eq!(b.n_slots(), 4, "slots are never reused");
+
+    let report = b.run_until(43, Instant::from_millis(1_600));
+    let of = |id: usize| report.outcomes.iter().filter(move |o| o.client == id);
+    // The leaver: at most an in-flight sweep admitted pre-boundary.
+    assert!(
+        of(r1).all(|o| o.started < boundary),
+        "left client admitted post-boundary"
+    );
+    // The migrant: TRACK from its first destination sweep.
+    assert_eq!(of(m).next().expect("migrant sweeps").mode, TrackMode::Track);
+    // The joiner: a cold filter ACQUIREs first.
+    assert_eq!(
+        of(fresh).next().expect("joiner sweeps").mode,
+        TrackMode::Acquire
+    );
+    // The resident keeps uninterrupted service through the churn.
+    assert!(of(r0).count() >= 5, "resident starved by boundary churn");
+    // Per-slot ordinals are gapless for everyone who swept this window.
+    for id in [r0, m, fresh] {
+        let ords: Vec<u64> = of(id).map(|o| o.sweep).collect();
+        let base = ords.first().copied().unwrap_or(0);
+        for (k, o) in ords.iter().enumerate() {
+            assert_eq!(*o, base + k as u64, "ordinal gap for slot {id}");
+        }
+    }
+}
