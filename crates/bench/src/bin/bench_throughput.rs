@@ -1,22 +1,25 @@
 //! The sweep-pipeline throughput benchmark and its CI regression gate.
 //!
 //! ```sh
-//! # Regenerate the checked-in baseline (CI gates a --quick run, so the
-//! # baseline must be a --quick run too — parameter mismatches fail the
-//! # gate explicitly):
-//! cargo run --release -p chronos-bench --bin bench_throughput -- --quick
+//! # Regenerate the checked-in baseline (CI gates a --quick run with the
+//! # simd feature, so the baseline must match both — parameter
+//! # mismatches fail the gate explicitly):
+//! cargo run --release -p chronos-bench --bin bench_throughput \
+//!     --features chronos-core/simd -- --quick
 //!
 //! # Gate mode (what scripts/check-bench-regression.sh runs in CI):
-//! cargo run --release -p chronos-bench --bin bench_throughput -- \
+//! cargo run --release -p chronos-bench --bin bench_throughput \
+//!     --features chronos-core/simd -- \
 //!     --quick --check BENCH_throughput.json --tolerance 0.20
 //! ```
 //!
 //! Shared flags (`--quick/--out/--check/--tolerance`) are parsed by
 //! [`chronos_bench::cli::BenchArgs`]. The gate covers the portable
 //! metrics only: `speedup_x` (pipeline vs the transcribed pre-refactor
-//! solver; >20% regression or falling below the absolute 1.2× floor
-//! fails) and `allocs_per_sweep` (any increase fails). Absolute
-//! sweeps/s columns are informational — they depend on the host.
+//! solver; >20% regression or falling below the absolute 3.0× floor
+//! fails) and `allocs_per_sweep` (any increase fails — including the
+//! worker-side counters on the persistent-pool rows). Absolute sweeps/s
+//! columns are informational — they depend on the host.
 
 use chronos_bench::alloc_count::CountingAlloc;
 use chronos_bench::cli::BenchArgs;
@@ -37,6 +40,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Let the worker runtime charge job allocations to the per-thread
+    // counting allocator, so the fix_pool rows report true worker-side
+    // allocation events (the 0-allocs/sweep contract).
+    chronos_core::runtime::set_alloc_probe(chronos_bench::alloc_count::thread_allocations);
 
     let rounds = if args.quick { 4 } else { 12 };
     let table = throughput_table(rounds);

@@ -10,13 +10,21 @@
 //!   iteration. This is the recorded pre-refactor baseline the pipeline
 //!   must beat.
 //! * `solver_pipeline` — [`chronos_core::ista::solve_planned_into`] over
-//!   a warm scratch (sparse-aware forward, ping-pong buffers). Its
+//!   a warm scratch (sparse-aware forward, ping-pong buffers; the
+//!   lane-chunked SoA kernels when the `simd` feature is on). Its
 //!   `speedup_x` against the reference is the headline acceptance
-//!   metric (must stay ≥ 1.2×).
+//!   metric (must stay ≥ 3.0×).
 //! * `fix_estimate` / `fix_pipeline` — the end-to-end products → ToF
 //!   path through the allocating API vs a warm
 //!   [`chronos_core::pipeline::SweepPipeline`]; the pipeline row must
 //!   report **0 allocs/sweep**.
+//! * `pool_spinup` / `fix_pool_w{1,2,4}` — the persistent
+//!   [`chronos_core::WorkerRuntime`]: spin-up cost paid **once** (thread
+//!   spawns, ring allocation — reported as its own row, not amortized
+//!   into the sweep rows), then steady-state fix sweeps batched through
+//!   the pool at 1/2/4-way concurrency. The pool rows' alloc column
+//!   counts **worker-side** allocation events (via the
+//!   [`chronos_core::runtime::set_alloc_probe`] hook) and must stay 0.
 //!
 //! Wall-clock rates are hardware-dependent, so the regression gate
 //! ([`check_throughput_regression`]) gates the *ratios* (`speedup_x`)
@@ -35,7 +43,8 @@ use chronos_core::ndft::TauGrid;
 use chronos_core::pipeline::SweepPipeline;
 use chronos_core::plan::{NdftPlan, PlanCache};
 use chronos_core::reciprocity::BandProduct;
-use chronos_core::tof::{genie_product, TofEstimator};
+use chronos_core::runtime::{PoolJob, WorkerRuntime};
+use chronos_core::tof::{genie_product, TofEstimator, TofFix};
 use chronos_math::constants::m_to_ns;
 use chronos_math::cvec;
 use chronos_math::Complex64;
@@ -53,13 +62,17 @@ pub const SUBSET_BANDS: usize = 12;
 
 /// The headline acceptance floor: the scratch solver must deliver at
 /// least this many times the pre-refactor reference's sweeps/s.
-pub const MIN_SOLVER_SPEEDUP: f64 = 1.2;
+/// Re-baselined from 1.2× when the lane-chunked SoA kernels landed
+/// (the gate runs with `--features simd`; the scalar tier keeps the
+/// exact bitwise contract instead of the throughput floor).
+pub const MIN_SOLVER_SPEEDUP: f64 = 3.0;
 
 /// Headers of the `BENCH_throughput` table, in column order.
-pub const THROUGHPUT_HEADERS: [&str; 6] = [
+pub const THROUGHPUT_HEADERS: [&str; 7] = [
     "case",
     "rounds",
     "clients",
+    "workers",
     "sweeps_per_sec",
     "allocs_per_sweep",
     "speedup_x",
@@ -180,13 +193,35 @@ impl DenseReference {
 pub struct ThroughputCase {
     /// Row key.
     pub name: &'static str,
+    /// Total concurrency of the case (1 for the inline rows; worker
+    /// threads + the helping submitter for the pool rows).
+    pub workers: usize,
     /// Completed estimation sweeps per second of wall time.
     pub sweeps_per_sec: f64,
     /// Allocation events per sweep (counting allocator; 0 when the
-    /// binary does not install it).
+    /// binary does not install it). Pool rows count worker-side events
+    /// through the runtime's alloc probe instead.
     pub allocs_per_sweep: f64,
     /// Rate relative to this case's baseline counterpart, if any.
     pub speedup_x: Option<f64>,
+}
+
+/// A steady-state fix estimation submitted to the persistent pool: the
+/// same products → ToF path as `fix_pipeline`, run on whichever worker
+/// claims it (each worker owns its own warm [`SweepPipeline`]).
+struct FixJob<'a> {
+    estimator: &'a TofEstimator,
+    products: &'a [BandProduct],
+}
+
+impl PoolJob for FixJob<'_> {
+    type Output = TofFix;
+
+    fn run(&self, pipeline: &mut SweepPipeline) -> TofFix {
+        pipeline
+            .estimate_fix(self.estimator, self.products)
+            .expect("pool fix")
+    }
 }
 
 /// Times `sweeps` invocations of `body`, returning (sweeps/s,
@@ -235,44 +270,76 @@ pub fn throughput_cases(rounds: usize) -> Vec<ThroughputCase> {
 
     // The reference must agree with the pipeline solver on every client
     // channel — the baseline is only meaningful if it computes the same
-    // solution. (Value equality: the sparse-aware forward skips exact
-    // zeros, which can flip a zero's sign but never a value.)
+    // solution. On the scalar tier this is value equality (the
+    // sparse-aware forward skips exact zeros, which can flip a zero's
+    // sign but never a value); the SIMD tier reassociates lane sums, so
+    // it is held to the tolerance contract instead (see docs/PIPELINE.md).
     for h in &track_channels {
         let want = reference.solve(h, &ista_cfg, plan.op_norm);
         solve_planned_into(&plan, h, &ista_cfg, &mut scratch);
         assert_eq!(want.len(), scratch.solution().len());
+        let peak = want.iter().map(|c| c.abs()).fold(0.0f64, f64::max);
         for (a, b) in want.iter().zip(scratch.solution().iter()) {
-            assert!(
-                a.re == b.re && a.im == b.im,
-                "reference diverged from pipeline solver: {a} vs {b}"
-            );
+            if chronos_core::simd_enabled() {
+                let drift = (*a - *b).abs();
+                assert!(
+                    drift <= 1e-6 * peak.max(1e-12),
+                    "simd solver drifted from reference: {a} vs {b} (drift {drift:.3e})"
+                );
+            } else {
+                assert!(
+                    a.re == b.re && a.im == b.im,
+                    "reference diverged from pipeline solver: {a} vs {b}"
+                );
+            }
         }
     }
 
     let sweeps = rounds * N_CLIENTS;
     let mut cases = Vec::new();
 
-    // 1. Pre-refactor solver baseline: dense operator, per-iteration Vecs.
-    let (ref_rate, ref_allocs) = measure(sweeps, |i| {
-        let h = &track_channels[i % N_CLIENTS];
+    // 1 + 2. Pre-refactor solver baseline (dense operator, per-iteration
+    // Vecs) vs the warm scratch solver, measured *paired*: the two
+    // solvers alternate call-by-call over the same channels, and each
+    // (solver, client) pair keeps its *minimum* time over the rounds.
+    // Pairing puts bursty host contention (shared CI runners, noisy
+    // neighbors) on both sides of the ratio instead of whichever case
+    // happened to be in its timing window; the per-pair minimum then
+    // discards the bursts a single call absorbed outright, since a
+    // burst can't make a deterministic solve *faster*. The headline
+    // `speedup_x` stays stable even when the absolute sweeps/s columns
+    // (also reported from the minima) wobble with load.
+    let mut t_ref_min = [f64::INFINITY; N_CLIENTS];
+    let mut t_pipe_min = [f64::INFINITY; N_CLIENTS];
+    let mut ref_alloc_events = 0u64;
+    let paired_a0 = thread_allocations();
+    for i in 0..sweeps {
+        let c = i % N_CLIENTS;
+        let h = &track_channels[c];
+        let a0 = thread_allocations();
+        let t0 = Instant::now();
         std::hint::black_box(reference.solve(h, &ista_cfg, plan.op_norm));
-    });
+        t_ref_min[c] = t_ref_min[c].min(t0.elapsed().as_secs_f64());
+        ref_alloc_events += thread_allocations() - a0;
+        let t1 = Instant::now();
+        std::hint::black_box(solve_planned_into(&plan, h, &ista_cfg, &mut scratch));
+        t_pipe_min[c] = t_pipe_min[c].min(t1.elapsed().as_secs_f64());
+    }
+    let pipe_alloc_events = thread_allocations() - paired_a0 - ref_alloc_events;
+    let ref_rate = N_CLIENTS as f64 / t_ref_min.iter().sum::<f64>().max(1e-9);
+    let pipe_rate = N_CLIENTS as f64 / t_pipe_min.iter().sum::<f64>().max(1e-9);
     cases.push(ThroughputCase {
         name: "solver_reference",
+        workers: 1,
         sweeps_per_sec: ref_rate,
-        allocs_per_sweep: ref_allocs,
+        allocs_per_sweep: ref_alloc_events as f64 / sweeps as f64,
         speedup_x: None,
-    });
-
-    // 2. Scratch solver (warm); headline speedup vs the reference.
-    let (pipe_rate, pipe_allocs) = measure(sweeps, |i| {
-        let h = &track_channels[i % N_CLIENTS];
-        std::hint::black_box(solve_planned_into(&plan, h, &ista_cfg, &mut scratch));
     });
     cases.push(ThroughputCase {
         name: "solver_pipeline",
+        workers: 1,
         sweeps_per_sec: pipe_rate,
-        allocs_per_sweep: pipe_allocs,
+        allocs_per_sweep: pipe_alloc_events as f64 / sweeps as f64,
         speedup_x: Some(pipe_rate / ref_rate),
     });
 
@@ -284,6 +351,7 @@ pub fn throughput_cases(rounds: usize) -> Vec<ThroughputCase> {
     });
     cases.push(ThroughputCase {
         name: "fix_estimate",
+        workers: 1,
         sweeps_per_sec: est_rate,
         allocs_per_sweep: est_allocs,
         speedup_x: None,
@@ -304,6 +372,7 @@ pub fn throughput_cases(rounds: usize) -> Vec<ThroughputCase> {
     });
     cases.push(ThroughputCase {
         name: "fix_pipeline",
+        workers: 1,
         sweeps_per_sec: fix_rate,
         allocs_per_sweep: fix_allocs,
         speedup_x: None,
@@ -321,10 +390,89 @@ pub fn throughput_cases(rounds: usize) -> Vec<ThroughputCase> {
     });
     cases.push(ThroughputCase {
         name: "acquire_pipeline",
+        workers: 1,
         sweeps_per_sec: acq_rate,
         allocs_per_sweep: acq_allocs,
         speedup_x: None,
     });
+
+    // 6. Persistent worker pool. Spin-up (thread spawns + ring) is paid
+    // once per runtime lifetime, so it gets its own row instead of
+    // being smeared into the per-sweep rates below.
+    let jobs: Vec<FixJob> = track_products
+        .iter()
+        .map(|ps| FixJob {
+            estimator: &estimator,
+            products: ps,
+        })
+        .collect();
+
+    let a0 = thread_allocations();
+    let t0 = Instant::now();
+    let pool_w4 = WorkerRuntime::new(3); // 3 workers + helping submitter
+    let spinup_dt = t0.elapsed().as_secs_f64();
+    cases.push(ThroughputCase {
+        name: "pool_spinup",
+        workers: 4,
+        sweeps_per_sec: 1.0 / spinup_dt.max(1e-9), // spin-ups (not sweeps) per second
+        allocs_per_sweep: (thread_allocations() - a0) as f64,
+        speedup_x: None,
+    });
+    let pool_w2 = WorkerRuntime::new(1); // 1 worker + helping submitter
+
+    // 7. Steady-state fix sweeps through the pool at 1/2/4-way
+    // concurrency (the worker-scaling column). The alloc column reads
+    // the runtime's worker-side probe: after warm-up every worker owns
+    // a grown arena, so the persistent-worker path must report 0. No
+    // gated speedup — wall-clock scaling is hardware-dependent (CI may
+    // pin a single core); the workers column plus sweeps/s documents it.
+    for (name, concurrency, pool) in [
+        ("fix_pool_w1", 1usize, None),
+        ("fix_pool_w2", 2, Some(&pool_w2)),
+        ("fix_pool_w4", 4, Some(&pool_w4)),
+    ] {
+        let mut local = SweepPipeline::new();
+        let (rate, allocs) = match pool {
+            None => {
+                // Inline baseline: the same jobs on the submitter alone.
+                for job in &jobs {
+                    std::hint::black_box(job.run(&mut local));
+                }
+                measure(sweeps, |i| {
+                    std::hint::black_box(jobs[i % N_CLIENTS].run(&mut local));
+                })
+            }
+            Some(pool) => {
+                // Deterministically warm every worker's arena on every
+                // client shape (job→worker assignment in run_batch is
+                // racy, so ordinary warm-up batches could leave some
+                // (worker, client) pair cold — peak/grouping scratch is
+                // data-dependent — and charge its one-time growth to the
+                // timed loop), plus the helping submitter's pipeline.
+                for job in &jobs {
+                    std::hint::black_box(pool.prewarm(job));
+                    std::hint::black_box(job.run(&mut local));
+                }
+                let a0 = pool.worker_allocations();
+                let t0 = Instant::now();
+                for _ in 0..rounds {
+                    std::hint::black_box(pool.run_batch(&jobs, &mut local));
+                }
+                let dt = t0.elapsed().as_secs_f64();
+                (
+                    sweeps as f64 / dt.max(1e-9),
+                    (pool.worker_allocations() - a0) as f64 / sweeps as f64,
+                )
+            }
+        };
+        cases.push(ThroughputCase {
+            name,
+            workers: concurrency,
+            sweeps_per_sec: rate,
+            allocs_per_sweep: allocs,
+            speedup_x: None,
+        });
+    }
 
     cases
 }
@@ -338,6 +486,7 @@ pub fn throughput_table(rounds: usize) -> Table {
             case.name.to_string(),
             format!("{rounds}"),
             format!("{N_CLIENTS}"),
+            format!("{}", case.workers),
             format!("{:.1}", case.sweeps_per_sec),
             format!("{:.1}", case.allocs_per_sweep),
             case.speedup_x
@@ -369,7 +518,7 @@ pub fn check_throughput_regression(
             failures.push(format!("case {key:?} missing from current run"));
             continue;
         };
-        for param in ["rounds", "clients"] {
+        for param in ["rounds", "clients", "workers"] {
             let (base, cur) = (baseline.cell_f64(bi, param), current.cell_f64(ci, param));
             if base != cur {
                 failures.push(format!(
@@ -425,6 +574,7 @@ mod tests {
             "solver_reference".into(),
             "4".into(),
             "8".into(),
+            "1".into(),
             "100.0".into(),
             "1600.0".into(),
             String::new(),
@@ -433,7 +583,8 @@ mod tests {
             "solver_pipeline".into(),
             "4".into(),
             "8".into(),
-            "170.0".into(),
+            "1".into(),
+            "340.0".into(),
             format!("{allocs:.1}"),
             format!("{speedup:.3}"),
         ]);
@@ -442,21 +593,21 @@ mod tests {
 
     #[test]
     fn regression_checker_directions() {
-        let base = sample_table(1.7, 0.0);
+        let base = sample_table(3.4, 0.0);
         // Identical run passes.
         assert!(check_throughput_regression(&base.clone(), &base, 0.2).is_ok());
         // Speedup collapse fails (relative).
-        let errs = check_throughput_regression(&sample_table(1.3, 0.0), &base, 0.2).unwrap_err();
+        let errs = check_throughput_regression(&sample_table(2.0, 0.0), &base, 0.2).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("speedup_x")), "{errs:?}");
         // Any alloc increase fails.
-        let errs = check_throughput_regression(&sample_table(1.7, 2.0), &base, 0.2).unwrap_err();
+        let errs = check_throughput_regression(&sample_table(3.4, 2.0), &base, 0.2).unwrap_err();
         assert!(
             errs.iter().any(|e| e.contains("allocs_per_sweep")),
             "{errs:?}"
         );
         // Below the absolute floor fails even within relative tolerance.
-        let lenient = sample_table(1.21, 0.0);
-        let errs = check_throughput_regression(&sample_table(1.1, 0.0), &lenient, 0.2).unwrap_err();
+        let lenient = sample_table(3.05, 0.0);
+        let errs = check_throughput_regression(&sample_table(2.9, 0.0), &lenient, 0.2).unwrap_err();
         assert!(
             errs.iter().any(|e| e.contains("acceptance floor")),
             "{errs:?}"
@@ -464,11 +615,15 @@ mod tests {
         // Missing case fails.
         let empty = Table::new("BENCH_throughput", &THROUGHPUT_HEADERS);
         assert!(check_throughput_regression(&empty, &base, 0.2).is_err());
-        // Parameter drift fails.
-        let mut drift = sample_table(1.7, 0.0);
+        // Parameter drift fails (rounds and the worker-scaling column).
+        let mut drift = sample_table(3.4, 0.0);
         drift.rows[1][1] = "9".into();
         let errs = check_throughput_regression(&drift, &base, 0.2).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("rounds")), "{errs:?}");
+        let mut drift = sample_table(3.4, 0.0);
+        drift.rows[1][3] = "2".into();
+        let errs = check_throughput_regression(&drift, &base, 0.2).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("workers")), "{errs:?}");
     }
 
     #[test]
@@ -477,8 +632,17 @@ mod tests {
         // test harness does not install the counting allocator — the
         // real assertions live in tests/alloc.rs and the bench binary.)
         let cases = throughput_cases(1);
-        assert_eq!(cases.len(), 5);
+        assert_eq!(cases.len(), 9);
         let solver = cases.iter().find(|c| c.name == "solver_pipeline").unwrap();
         assert!(solver.speedup_x.unwrap() > 1.0, "{:?}", solver);
+        // The worker-scaling rows cover 1/2/4-way concurrency and the
+        // spin-up row is present exactly once.
+        let pool_workers: Vec<usize> = cases
+            .iter()
+            .filter(|c| c.name.starts_with("fix_pool_w"))
+            .map(|c| c.workers)
+            .collect();
+        assert_eq!(pool_workers, vec![1, 2, 4]);
+        assert_eq!(cases.iter().filter(|c| c.name == "pool_spinup").count(), 1);
     }
 }

@@ -67,8 +67,10 @@
 //!   wrapper reproduces pre-engine outcomes bit for bit.
 
 use crate::config::{ChronosConfig, IngestionConfig};
+use crate::ndft::TauGrid;
 use crate::pipeline::{BatchSweep, SweepPipeline};
 use crate::plan::{CacheStats, PlanCache};
+use crate::runtime::{PoolJob, WorkerRuntime};
 use crate::service::{
     outcome_stats, ClientOutcome, EpochReport, LocalizationMode, ModeOccupancy, ServiceConfig,
 };
@@ -471,10 +473,18 @@ pub struct ServiceEngine {
     /// directly, pre-ingestion behavior bit for bit).
     ingest: Option<IngestState>,
     clock: Instant,
-    /// Per-worker scratch pipelines (index 0 doubles as the inline-batch
-    /// pipeline). Allocated lazily, reused for every subsequent batch —
-    /// this is what makes steady-state estimation allocation-free.
+    /// The submitter-side scratch pipeline: runs single-sweep batches
+    /// inline and helps drain the runtime's ring on multi-sweep batches.
+    /// Allocated lazily, reused for every subsequent batch — this is
+    /// what makes steady-state estimation allocation-free. (Worker
+    /// threads own their pipelines inside the [`WorkerRuntime`].)
     pipelines: Vec<SweepPipeline>,
+    /// The persistent worker pool. Created once — lazily on the first
+    /// multi-sweep batch, or installed up front via
+    /// [`ServiceEngine::set_runtime`] so fleet shards share one pool —
+    /// and reused for every batch after; the engine never spawns another
+    /// thread past this point.
+    runtime: Option<Arc<WorkerRuntime>>,
 }
 
 impl fmt::Debug for ServiceEngine {
@@ -510,6 +520,7 @@ impl ServiceEngine {
             ingest,
             clock: Instant::ZERO,
             pipelines: Vec::new(),
+            runtime: None,
         }
     }
 
@@ -802,7 +813,7 @@ impl ServiceEngine {
     }
 
     /// Worker-thread count for this run.
-    fn thread_count(&self) -> usize {
+    pub(crate) fn thread_count(&self) -> usize {
         if self.cfg.threads > 0 {
             self.cfg.threads
         } else {
@@ -906,13 +917,19 @@ impl ServiceEngine {
         }
     }
 
-    /// Runs a batch of admitted sweeps on the worker pool, each worker
-    /// owning a persistent [`SweepPipeline`] whose scratch arena is
-    /// reused across every batch of the engine's lifetime
-    /// ([`SweepPipeline::run_batch`] amortizes plan lookups and all
-    /// estimation buffers across the same-instant dues). Each job owns
-    /// its RNG; neither the thread schedule nor the batching can change
-    /// any result.
+    /// Runs a batch of admitted sweeps on the persistent worker runtime:
+    /// every job is submitted to the pool's lock-free ring and executed
+    /// on a long-lived worker (or the helping submitter), each worker
+    /// owning a [`SweepPipeline`] whose scratch arena survives across
+    /// every batch of the runtime's lifetime. Results come back in
+    /// submission (ordinal) order, and each job owns its seeded RNG, so
+    /// neither the thread schedule nor the batching can change any
+    /// result — the `{1, 2, 8}`-thread bitwise determinism tests pin
+    /// this.
+    ///
+    /// The pool is created exactly once (here, lazily, or installed via
+    /// [`ServiceEngine::set_runtime`]); the engine never spawns a thread
+    /// per batch.
     fn execute(&mut self, jobs: &[Job]) -> Vec<SweepOutput> {
         fn batch_of<'a>(slots: &'a [Slot], slice: &'a [Job]) -> Vec<BatchSweep<'a>> {
             slice
@@ -927,34 +944,117 @@ impl ServiceEngine {
         }
         let n_threads = self.thread_count();
         let slots = self.slots.as_slice();
-        let pipelines = &mut self.pipelines;
+        if self.pipelines.is_empty() {
+            self.pipelines.push(SweepPipeline::new());
+        }
         // Continuous-cadence batches are usually a single sweep: run
-        // those inline rather than paying a thread spawn per sweep.
+        // those inline on the submitter's pipeline rather than paying a
+        // queue round-trip per sweep.
         if jobs.len() <= 1 || n_threads == 1 {
-            if pipelines.is_empty() {
-                pipelines.push(SweepPipeline::new());
+            return self.pipelines[0].run_batch(&batch_of(slots, jobs));
+        }
+        if self.runtime.is_none() {
+            // The submitter helps, so n_threads - 1 pool workers give
+            // the configured concurrency.
+            self.runtime = Some(Arc::new(WorkerRuntime::new(n_threads - 1)));
+        }
+        let runtime = self.runtime.as_ref().expect("runtime just installed");
+        runtime.run_batch(&batch_of(slots, jobs), &mut self.pipelines[0])
+    }
+
+    /// The persistent worker runtime, if one has been created (lazily on
+    /// the first multi-sweep batch of a multi-threaded engine) or
+    /// installed.
+    pub fn runtime(&self) -> Option<&Arc<WorkerRuntime>> {
+        self.runtime.as_ref()
+    }
+
+    /// Installs a (possibly shared) worker runtime. A fleet installs one
+    /// pool across all its shards so N shards don't spawn N pools; a
+    /// bench can install a pre-spun pool to measure spin-up separately
+    /// from throughput.
+    pub fn set_runtime(&mut self, runtime: Arc<WorkerRuntime>) {
+        self.runtime = Some(runtime);
+    }
+
+    /// Pre-builds the NDFT plans every client's ACQUIRE (full-plan)
+    /// sweep will request, routing the expensive constructions — matrix
+    /// materialization plus the operator-norm power iteration — through
+    /// the worker runtime so distinct plans build in parallel. With at
+    /// most one distinct plan, or on a single-threaded engine, the
+    /// builds run inline (a pool would have nothing to overlap).
+    ///
+    /// Purely an opt-in warm-up: the plan cache double-checks under its
+    /// write lock either way, so estimation results and steady-state
+    /// behavior are identical whether or not this runs. Returns the
+    /// number of distinct plans built or found resident.
+    pub fn prewarm_plans(&mut self) -> usize {
+        struct PlanJob<'a> {
+            plans: &'a PlanCache,
+            freqs: Vec<f64>,
+            grid: TauGrid,
+            lobe_span_ns: f64,
+        }
+        impl PoolJob for PlanJob<'_> {
+            type Output = ();
+            fn run(&self, _pipeline: &mut SweepPipeline) {
+                let _ = self
+                    .plans
+                    .ndft_plan(&self.freqs, self.grid, self.lobe_span_ns);
             }
-            return pipelines[0].run_batch(&batch_of(slots, jobs));
         }
-        let chunk = jobs.len().div_ceil(n_threads).max(1);
-        let n_chunks = jobs.len().div_ceil(chunk);
-        while pipelines.len() < n_chunks {
-            pipelines.push(SweepPipeline::new());
+        // One key per (delay-scale group, client config) the estimator
+        // will derive: group frequencies ascending, exactly as
+        // `quirk::group_by_scale` orders them.
+        let mut jobs: Vec<PlanJob<'_>> = Vec::new();
+        for slot in &self.slots {
+            let cfg = &slot.session.config;
+            let grid = TauGrid::span(cfg.grid_span_ns, cfg.grid_step_ns);
+            for quirked in [false, true] {
+                let mut freqs: Vec<f64> = slot
+                    .session
+                    .sweep_cfg
+                    .plan
+                    .iter()
+                    .filter(|b| {
+                        (cfg.mode == crate::config::QuirkMode::Intel5300 && b.group.is_2g4())
+                            == quirked
+                    })
+                    .map(|b| b.center_hz)
+                    .collect();
+                if freqs.len() < 5 {
+                    continue; // the estimator skips groups this small
+                }
+                freqs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                if jobs.iter().any(|j| {
+                    j.freqs == freqs && j.grid == grid && j.lobe_span_ns == cfg.grid_span_ns
+                }) {
+                    continue;
+                }
+                jobs.push(PlanJob {
+                    plans: &self.plans,
+                    freqs,
+                    grid,
+                    lobe_span_ns: cfg.grid_span_ns,
+                });
+            }
         }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .chunks(chunk)
-                .zip(pipelines.iter_mut())
-                .map(|(slice, pipeline)| {
-                    let batch = batch_of(slots, slice);
-                    scope.spawn(move || pipeline.run_batch(&batch))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("engine worker panicked"))
-                .collect()
-        })
+        let n_threads = self.thread_count();
+        if self.pipelines.is_empty() {
+            self.pipelines.push(SweepPipeline::new());
+        }
+        if jobs.len() <= 1 || n_threads == 1 {
+            for job in &jobs {
+                job.run(&mut self.pipelines[0]);
+            }
+            return jobs.len();
+        }
+        if self.runtime.is_none() {
+            self.runtime = Some(Arc::new(WorkerRuntime::new(n_threads - 1)));
+        }
+        let runtime = self.runtime.as_ref().expect("runtime just installed");
+        runtime.run_batch(&jobs, &mut self.pipelines[0]);
+        jobs.len()
     }
 
     /// Processes one `SweepComplete`: feed the actual finish back, fuse

@@ -513,6 +513,17 @@ impl FleetEngine {
                 std::sync::Arc::clone(&plans),
             ));
         }
+        // One persistent worker pool for the whole fleet: shards run
+        // their windows in lockstep (never concurrently), so N shards
+        // sharing one pool is strictly better than N idle pools — and
+        // the fleet never spawns a thread after this constructor.
+        let threads = shards[0].thread_count();
+        if threads > 1 && aps.len() > 1 {
+            let runtime = std::sync::Arc::new(crate::runtime::WorkerRuntime::new(threads - 1));
+            for shard in &mut shards {
+                shard.set_runtime(std::sync::Arc::clone(&runtime));
+            }
+        }
         let sync = cfg.clock.map(|c| ClockSync::new(c, aps.len()));
         FleetEngine {
             shards,

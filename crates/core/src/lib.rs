@@ -109,10 +109,19 @@ pub mod profile;
 pub mod quirk;
 pub mod ranging;
 pub mod reciprocity;
+pub mod runtime;
 pub mod service;
 pub mod session;
 pub mod tof;
 pub mod tracker;
+
+/// Whether this build vectorizes the NDFT/FISTA hot path (the `simd`
+/// cargo feature, tolerance tier). `false` means the scalar exact tier:
+/// bitwise-reproducible against the PR-5 contract. Benches and tests
+/// branch on this instead of re-plumbing the feature flag.
+pub const fn simd_enabled() -> bool {
+    cfg!(feature = "simd")
+}
 
 pub use config::{ChronosConfig, IngestionConfig, QuirkMode};
 pub use engine::{ServiceEngine, WindowReport};
@@ -120,6 +129,7 @@ pub use error::ChronosError;
 pub use pipeline::{EstimatorScratch, SweepPipeline};
 pub use plan::{CacheStats, NdftPlan, PlanCache};
 pub use profile::MultipathProfile;
+pub use runtime::{PoolJob, TokenRing, WorkerRuntime};
 pub use service::{CadenceConfig, EpochReport, QuarantineConfig, RangingService, ServiceConfig};
 pub use session::{ChronosSession, SweepOutput};
 pub use tof::{BandSample, TofEstimate, TofEstimator, TofFix};

@@ -215,12 +215,16 @@ impl SweepPipeline {
     /// sweeps are grouped into batches (and bitwise identical to
     /// [`ChronosSession::sweep_with`]).
     pub fn run_batch(&mut self, jobs: &[BatchSweep<'_>]) -> Vec<SweepOutput> {
-        jobs.iter()
-            .map(|job| {
-                let mut rng = StdRng::seed_from_u64(job.rng_seed);
-                job.session
-                    .sweep_with_pipeline(job.sweep_cfg, &mut rng, job.start, self)
-            })
-            .collect()
+        jobs.iter().map(|job| self.run_sweep(job)).collect()
+    }
+
+    /// Runs one admitted sweep over this pipeline's scratch — the unit of
+    /// work the persistent [`crate::runtime::WorkerRuntime`] dispatches.
+    /// Each sweep owns its seeded RNG, so results are independent of
+    /// which pipeline (or thread) runs it.
+    pub fn run_sweep(&mut self, job: &BatchSweep<'_>) -> SweepOutput {
+        let mut rng = StdRng::seed_from_u64(job.rng_seed);
+        job.session
+            .sweep_with_pipeline(job.sweep_cfg, &mut rng, job.start, self)
     }
 }

@@ -1,0 +1,724 @@
+//! The persistent worker runtime: long-lived estimation threads fed by a
+//! bounded lock-free MPMC ring.
+//!
+//! PR 4's engine spawned a fresh `std::thread::scope` per same-instant
+//! batch — correct, but a thread spawn + join per batch on the hot
+//! scheduling path, and every spawn re-derived its worker/pipeline
+//! pairing. This module replaces that with a [`WorkerRuntime`]: a fixed
+//! pool of threads created **once**, each owning its
+//! [`SweepPipeline`] scratch arena for the lifetime of the pool (so the
+//! PR-5 zero-allocation warmth is never thrown away), pulling work from a
+//! [`TokenRing`] — a Vyukov-style bounded MPMC queue whose slots carry a
+//! sequence token instead of a lock.
+//!
+//! ## Determinism
+//!
+//! Every submitted job writes its result into its own ordinal slot of the
+//! batch's output buffer, so the caller reads results in submission order
+//! no matter which worker ran what, in what order, or how the queue
+//! interleaved producers. Combined with the engine's seeding contract
+//! (each sweep owns an RNG seeded from its client/counter, never from
+//! schedule state), `WindowReport`s remain **bitwise identical across
+//! thread counts** — the `{1, 2, 8}`-worker determinism tests in
+//! `tests/engine.rs` run against this runtime.
+//!
+//! ## Blocking discipline
+//!
+//! Workers spin briefly when the ring runs dry, then park
+//! (`std::thread::park`); submitters unpark the pool once per batch, not
+//! per job. The submitting thread does not idle either: it *helps* — it
+//! drains the ring through its own pipeline until the batch completes, so
+//! a full ring can never deadlock (an un-enqueued job just runs inline)
+//! and a single-core host loses nothing to hand-off latency.
+//!
+//! See `docs/SCHEDULING.md` for startup/shutdown, queue sizing and the
+//! determinism note.
+
+use crate::pipeline::SweepPipeline;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A batch job the pool can run: borrow-only access to its inputs, one
+/// owned output. The runtime guarantees `run` is called at most once per
+/// job and that all jobs of a batch finish before
+/// [`WorkerRuntime::run_batch`] returns, which is what makes the borrowed
+/// inputs sound across the pool's `'static` threads.
+pub trait PoolJob: Sync {
+    /// The per-job result, written into the batch's ordinal output slot.
+    type Output: Send;
+    /// Runs the job on a worker-owned (or the submitter's) pipeline.
+    fn run(&self, pipeline: &mut SweepPipeline) -> Self::Output;
+}
+
+/// The engine's unit of work: one admitted sweep, run on whichever
+/// pipeline the pool hands it.
+impl PoolJob for crate::pipeline::BatchSweep<'_> {
+    type Output = crate::session::SweepOutput;
+    fn run(&self, pipeline: &mut SweepPipeline) -> Self::Output {
+        pipeline.run_sweep(self)
+    }
+}
+
+/// Per-batch completion state, owned by the submitting stack frame.
+struct BatchState {
+    /// Jobs not yet finished (successfully or by panic).
+    remaining: AtomicUsize,
+    /// Set when any job panicked; the submitter re-raises after the
+    /// batch drains (matching the old scoped-join behavior).
+    poisoned: AtomicBool,
+}
+
+/// One type-erased unit of work in the ring: raw pointers into the
+/// submitting frame (job input, output slot, batch state) plus the
+/// monomorphized runner that knows the concrete types.
+///
+/// Soundness: the submitter blocks in [`WorkerRuntime::run_batch`] until
+/// `remaining` hits zero, so every pointer outlives every access.
+struct Task {
+    job: *const (),
+    out: *mut (),
+    state: *const BatchState,
+    run: unsafe fn(*const (), *mut (), &mut SweepPipeline) -> bool,
+}
+
+// SAFETY: the pointers reference the submitter's frame, which outlives
+// the task (the submitter blocks until the batch completes), and `J:
+// Sync` / `J::Output: Send` bound the data actually shared or moved.
+unsafe impl Send for Task {}
+
+/// Runs one job of type `J`, writing the output slot on success.
+/// Returns `false` if the job panicked (the output slot stays
+/// uninitialized and the batch is poisoned by the caller).
+unsafe fn run_erased<J: PoolJob>(
+    job: *const (),
+    out: *mut (),
+    pipeline: &mut SweepPipeline,
+) -> bool {
+    let job = &*(job as *const J);
+    match catch_unwind(AssertUnwindSafe(|| job.run(pipeline))) {
+        Ok(v) => {
+            (out as *mut J::Output).write(v);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// One slot of the [`TokenRing`]: a sequence token plus the payload
+/// cell. The token encodes the slot's turn — see the queue docs.
+struct Slot<T> {
+    seq: AtomicUsize,
+    val: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free MPMC queue (Vyukov's token/slot ring).
+///
+/// Each slot carries a sequence number. A producer claims position `p`
+/// by CAS on the enqueue cursor when `slot.seq == p` (the slot's
+/// "produce" token), writes the value, then publishes `seq = p + 1`. A
+/// consumer claims `p` when `seq == p + 1`, reads, and re-arms the slot
+/// for the next lap with `seq = p + capacity`. No slot is ever accessed
+/// without holding its token, so there are no locks and no ABA window.
+///
+/// `push` returns the value back on a full ring instead of blocking —
+/// callers decide (the runtime's submitter runs the job inline).
+pub struct TokenRing<T> {
+    buf: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue: AtomicUsize,
+    dequeue: AtomicUsize,
+}
+
+// SAFETY: slots hand exclusive access over via the seq token protocol;
+// moving `T` between threads requires `T: Send`.
+unsafe impl<T: Send> Sync for TokenRing<T> {}
+unsafe impl<T: Send> Send for TokenRing<T> {}
+
+impl<T> TokenRing<T> {
+    /// A ring with at least `capacity` slots (rounded up to a power of
+    /// two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let buf: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                val: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        TokenRing {
+            buf,
+            mask: cap - 1,
+            enqueue: AtomicUsize::new(0),
+            dequeue: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Enqueues `v`, or returns it if the ring is full.
+    pub fn push(&self, v: T) -> Result<(), T> {
+        let mut pos = self.enqueue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                // Our turn to produce: claim the position.
+                match self.enqueue.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave us exclusive ownership of
+                        // this slot until we publish seq below.
+                        unsafe { (*slot.val.get()).write(v) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                // The slot still holds last lap's value: full.
+                return Err(v);
+            } else {
+                pos = self.enqueue.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest value, or `None` if the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos.wrapping_add(1) as isize;
+            if dif == 0 {
+                match self.dequeue.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave us exclusive ownership of
+                        // this slot until we re-arm seq below.
+                        let v = unsafe { (*slot.val.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(v);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.dequeue.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Whether the ring currently holds no values (racy, advisory).
+    pub fn is_empty(&self) -> bool {
+        let pos = self.dequeue.load(Ordering::Relaxed);
+        let slot = &self.buf[pos & self.mask];
+        slot.seq.load(Ordering::Acquire) as isize - pos.wrapping_add(1) as isize != 0
+    }
+}
+
+impl<T> Drop for TokenRing<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+/// Shared state between the pool's threads and submitters.
+struct RuntimeShared {
+    ring: TokenRing<Task>,
+    shutdown: AtomicBool,
+    /// Batches completed over the runtime's lifetime (reporting only).
+    batches: AtomicU64,
+    /// Heap allocations performed by worker threads while *running
+    /// jobs*, summed over the pool's lifetime. Only meaningful under the
+    /// counting allocator of `chronos-bench`, where it backs the
+    /// allocs-stay-zero gate on the persistent-worker path; elsewhere
+    /// it stays 0 because the hook is unset.
+    worker_allocs: AtomicU64,
+}
+
+/// A hook letting the bench harness observe per-thread allocation
+/// deltas around each job (see `chronos-bench/src/alloc_count.rs`).
+/// Returns the calling thread's allocation counter.
+pub type AllocProbe = fn() -> u64;
+
+static ALLOC_PROBE: std::sync::OnceLock<AllocProbe> = std::sync::OnceLock::new();
+
+/// Installs the thread-local allocation probe (first caller wins). The
+/// bench harness points this at its counting allocator so
+/// [`WorkerRuntime::worker_allocations`] reports true worker-side
+/// allocations per job.
+pub fn set_alloc_probe(probe: AllocProbe) {
+    let _ = ALLOC_PROBE.set(probe);
+}
+
+/// The persistent worker pool: `workers` long-lived threads, each owning
+/// one [`SweepPipeline`] for its lifetime, plus a submitter that helps.
+///
+/// Created once per engine (or shared by every shard of a fleet) and
+/// reused for every batch until drop; dropping sets the shutdown flag,
+/// unparks and joins the pool.
+pub struct WorkerRuntime {
+    shared: Arc<RuntimeShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerRuntime")
+            .field("workers", &self.handles.len())
+            .field("ring_capacity", &self.shared.ring.capacity())
+            .field("batches", &self.shared.batches.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Ring capacity: generous relative to any same-instant due batch (the
+/// engine batches at most one job per client per instant); overflow is
+/// handled by running the job inline, so this is a throughput knob, not
+/// a correctness bound.
+const RING_CAPACITY: usize = 1024;
+
+/// Dry-ring pops a worker attempts before parking.
+const IDLE_SPINS: u32 = 64;
+
+impl WorkerRuntime {
+    /// Spawns a pool of `workers` threads (clamped to at least 1), each
+    /// allocating its own pipeline up front. This is the *only* moment
+    /// the runtime creates threads — the spin-up cost is paid once, here,
+    /// never per batch.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(RuntimeShared {
+            ring: TokenRing::with_capacity(RING_CAPACITY),
+            shutdown: AtomicBool::new(false),
+            batches: AtomicU64::new(0),
+            worker_allocs: AtomicU64::new(0),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("chronos-worker-{i}"))
+                    .spawn(move || worker_main(&shared))
+                    .expect("spawn chronos worker")
+            })
+            .collect();
+        WorkerRuntime { shared, handles }
+    }
+
+    /// Number of pool threads (excluding the helping submitter).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Batches completed over the runtime's lifetime.
+    pub fn batches_run(&self) -> u64 {
+        self.shared.batches.load(Ordering::Relaxed)
+    }
+
+    /// Heap allocations performed by pool threads while running jobs,
+    /// summed over the runtime's lifetime. Zero unless the bench alloc
+    /// probe is installed ([`set_alloc_probe`]).
+    pub fn worker_allocations(&self) -> u64 {
+        self.shared.worker_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Runs a batch: enqueues every job, wakes the pool, helps drain the
+    /// ring through `local` (the submitter's own pipeline), and returns
+    /// the outputs **in submission order**.
+    ///
+    /// Panics if any job panicked, after the whole batch has drained —
+    /// the same observable contract as the old per-batch scoped join.
+    pub fn run_batch<J: PoolJob>(&self, jobs: &[J], local: &mut SweepPipeline) -> Vec<J::Output> {
+        let n = jobs.len();
+        let mut outs: Vec<MaybeUninit<J::Output>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
+        let state = BatchState {
+            remaining: AtomicUsize::new(n),
+            poisoned: AtomicBool::new(false),
+        };
+        for (job, out) in jobs.iter().zip(outs.iter_mut()) {
+            let task = Task {
+                job: job as *const J as *const (),
+                out: out.as_mut_ptr() as *mut (),
+                state: &state,
+                run: run_erased::<J>,
+            };
+            if let Err(task) = self.shared.ring.push(task) {
+                // Full ring: the submitter is the backpressure valve.
+                execute_task(task, local, Some(&self.shared));
+            }
+        }
+        // One wake per batch: unpark is a no-op permit store for already
+        // running workers.
+        for h in &self.handles {
+            h.thread().unpark();
+        }
+        // Help until the ring is dry, then wait out in-flight stragglers.
+        while let Some(task) = self.shared.ring.pop() {
+            execute_task(task, local, Some(&self.shared));
+        }
+        while state.remaining.load(Ordering::Acquire) > 0 {
+            // A worker still owns a task of ours (or of a sibling shard's
+            // batch); yield rather than burn the core it needs.
+            std::thread::yield_now();
+        }
+        self.shared.batches.fetch_add(1, Ordering::Relaxed);
+        if state.poisoned.load(Ordering::Acquire) {
+            panic!("engine worker panicked");
+        }
+        // SAFETY: remaining == 0 and the batch was not poisoned, so every
+        // slot was written exactly once.
+        outs.into_iter()
+            .map(|o| unsafe { o.assume_init() })
+            .collect()
+    }
+
+    /// Runs `job` exactly once on **every** pool thread, returning the
+    /// per-worker outputs (in no particular order).
+    ///
+    /// Job-to-worker assignment in [`WorkerRuntime::run_batch`] is racy
+    /// by design, so a fixed number of ordinary batches can never
+    /// guarantee a given worker has run anything — a late-waking thread
+    /// can sleep through all of them and pay its one-time scratch-arena
+    /// growth later, on the measured (or latency-sensitive) path. This
+    /// call makes warm-up deterministic: each task holds its worker at a
+    /// barrier until all `workers()` threads have claimed one, so no
+    /// thread can run two, and the submitter does not help. The
+    /// every-worker guarantee assumes no concurrent `run_batch` is
+    /// draining the ring (call it right after construction, or between
+    /// batches); a panicking job still releases the barrier (arrival is
+    /// a drop guard) and poisons the batch like `run_batch`.
+    pub fn prewarm<J: PoolJob>(&self, job: &J) -> Vec<J::Output> {
+        /// Wraps the caller's job with a barrier arrival on completion
+        /// (including unwinds, so a panicking job cannot strand the
+        /// other workers at the barrier).
+        struct Sentinel<'a, J> {
+            inner: &'a J,
+            barrier: &'a std::sync::Barrier,
+        }
+        impl<J: PoolJob> PoolJob for Sentinel<'_, J> {
+            type Output = J::Output;
+            fn run(&self, pipeline: &mut SweepPipeline) -> J::Output {
+                struct Arrive<'b>(&'b std::sync::Barrier);
+                impl Drop for Arrive<'_> {
+                    fn drop(&mut self) {
+                        self.0.wait();
+                    }
+                }
+                let _arrive = Arrive(self.barrier);
+                self.inner.run(pipeline)
+            }
+        }
+
+        let n = self.workers();
+        let barrier = std::sync::Barrier::new(n + 1); // workers + this thread
+        let jobs: Vec<Sentinel<'_, J>> = (0..n)
+            .map(|_| Sentinel {
+                inner: job,
+                barrier: &barrier,
+            })
+            .collect();
+        let mut outs: Vec<MaybeUninit<J::Output>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
+        let state = BatchState {
+            remaining: AtomicUsize::new(n),
+            poisoned: AtomicBool::new(false),
+        };
+        for (j, out) in jobs.iter().zip(outs.iter_mut()) {
+            let mut task = Task {
+                job: j as *const Sentinel<'_, J> as *const (),
+                out: out.as_mut_ptr() as *mut (),
+                state: &state,
+                run: run_erased::<Sentinel<'_, J>>,
+            };
+            // Unlike run_batch, the submitter must not execute these
+            // inline (it would strand a worker without a task), so keep
+            // retrying on a full ring while the pool drains it.
+            loop {
+                match self.shared.ring.push(task) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        task = back;
+                        for h in &self.handles {
+                            h.thread().unpark();
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        for h in &self.handles {
+            h.thread().unpark();
+        }
+        // Arrive as the (n+1)-th participant instead of helping: the
+        // barrier releases only once every worker holds a task.
+        barrier.wait();
+        while state.remaining.load(Ordering::Acquire) > 0 {
+            std::thread::yield_now();
+        }
+        self.shared.batches.fetch_add(1, Ordering::Relaxed);
+        if state.poisoned.load(Ordering::Acquire) {
+            panic!("engine worker panicked");
+        }
+        // SAFETY: remaining == 0 without poisoning, so every slot was
+        // written exactly once.
+        outs.into_iter()
+            .map(|o| unsafe { o.assume_init() })
+            .collect()
+    }
+}
+
+impl Drop for WorkerRuntime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for h in &self.handles {
+            h.thread().unpark();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Runs one task on `pipeline`, updating the batch state (and the
+/// worker-side allocation tally when `shared` is given and the probe is
+/// installed). Returns `false` if the job panicked, so worker threads
+/// can retire a possibly corrupted scratch arena.
+fn execute_task(task: Task, pipeline: &mut SweepPipeline, shared: Option<&RuntimeShared>) -> bool {
+    let probe = shared.and_then(|_| ALLOC_PROBE.get().copied());
+    let before = probe.map(|p| p()).unwrap_or(0);
+    // SAFETY: the submitter keeps job/out/state alive until `remaining`
+    // reaches zero, which happens only after this call finishes.
+    let ok = unsafe { (task.run)(task.job, task.out, pipeline) };
+    if let (Some(p), Some(shared)) = (probe, shared) {
+        shared
+            .worker_allocs
+            .fetch_add(p().saturating_sub(before), Ordering::Relaxed);
+    }
+    let state = unsafe { &*task.state };
+    if !ok {
+        state.poisoned.store(true, Ordering::Release);
+    }
+    state.remaining.fetch_sub(1, Ordering::Release);
+    ok
+}
+
+/// The worker thread body: pop-run until shutdown, with a spin-then-park
+/// idle policy. The pipeline lives here — allocated once at spawn,
+/// warmed by the first batches, reused until the pool drops.
+fn worker_main(shared: &RuntimeShared) {
+    let mut pipeline = SweepPipeline::new();
+    let mut dry: u32 = 0;
+    loop {
+        match shared.ring.pop() {
+            Some(task) => {
+                dry = 0;
+                if !execute_task(task, &mut pipeline, Some(shared)) {
+                    // The job unwound mid-estimation; scratch invariants
+                    // may be broken, so start a fresh arena.
+                    pipeline = SweepPipeline::new();
+                }
+            }
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                dry += 1;
+                if dry < IDLE_SPINS {
+                    std::hint::spin_loop();
+                } else {
+                    // Park consumes a pending unpark permit, so a wake
+                    // issued between our failed pop and this call returns
+                    // immediately — no lost-wakeup window.
+                    std::thread::park();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SquareJob(u64);
+    impl PoolJob for SquareJob {
+        type Output = u64;
+        fn run(&self, _pipeline: &mut SweepPipeline) -> u64 {
+            self.0 * self.0
+        }
+    }
+
+    #[test]
+    fn ring_is_fifo_when_single_threaded() {
+        let ring = TokenRing::with_capacity(8);
+        for i in 0..5 {
+            ring.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn ring_rejects_overflow_and_recovers() {
+        let ring = TokenRing::with_capacity(4);
+        for i in 0..4 {
+            ring.push(i).unwrap();
+        }
+        assert_eq!(ring.push(99), Err(99));
+        assert_eq!(ring.pop(), Some(0));
+        ring.push(99).unwrap();
+        assert_eq!(
+            (0..4).filter_map(|_| ring.pop()).collect::<Vec<_>>(),
+            vec![1, 2, 3, 99]
+        );
+    }
+
+    #[test]
+    fn ring_wraps_many_laps() {
+        let ring = TokenRing::with_capacity(2);
+        for lap in 0..1000u64 {
+            ring.push(lap).unwrap();
+            assert_eq!(ring.pop(), Some(lap));
+        }
+    }
+
+    #[test]
+    fn batch_results_arrive_in_submission_order() {
+        let rt = WorkerRuntime::new(3);
+        let mut local = SweepPipeline::new();
+        let jobs: Vec<SquareJob> = (0..257).map(SquareJob).collect();
+        let outs = rt.run_batch(&jobs, &mut local);
+        let expect: Vec<u64> = (0..257u64).map(|v| v * v).collect();
+        assert_eq!(outs, expect);
+        assert_eq!(rt.batches_run(), 1);
+    }
+
+    #[test]
+    fn pool_survives_many_batches_without_respawn() {
+        let rt = WorkerRuntime::new(2);
+        let mut local = SweepPipeline::new();
+        for round in 0..50u64 {
+            let jobs: Vec<SquareJob> = (round..round + 7).map(SquareJob).collect();
+            let outs = rt.run_batch(&jobs, &mut local);
+            assert_eq!(outs.len(), 7);
+        }
+        assert_eq!(rt.workers(), 2);
+        assert_eq!(rt.batches_run(), 50);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        // Hammer the ring from several real producer threads against one
+        // consuming main thread; every token must arrive exactly once and
+        // each producer's own tokens must stay in its submission order.
+        let ring = Arc::new(TokenRing::with_capacity(16));
+        let producers = 4;
+        let per = 500usize;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let ring = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    let mut v = (p, i);
+                    loop {
+                        match ring.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let mut seen = vec![Vec::new(); producers];
+        let mut got = 0;
+        while got < producers * per {
+            if let Some((p, i)) = ring.pop() {
+                seen[p].push(i);
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.pop(), None);
+        for (p, s) in seen.iter().enumerate() {
+            assert_eq!(s.len(), per, "producer {p} lost tokens");
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "producer {p} reordered");
+        }
+    }
+
+    #[test]
+    fn prewarm_runs_once_on_every_worker() {
+        struct TidJob(std::sync::Mutex<Vec<std::thread::ThreadId>>);
+        impl PoolJob for TidJob {
+            type Output = std::thread::ThreadId;
+            fn run(&self, _pipeline: &mut SweepPipeline) -> std::thread::ThreadId {
+                let tid = std::thread::current().id();
+                self.0.lock().unwrap().push(tid);
+                tid
+            }
+        }
+        let rt = WorkerRuntime::new(3);
+        let job = TidJob(std::sync::Mutex::new(Vec::new()));
+        let outs = rt.prewarm(&job);
+        assert_eq!(outs.len(), 3);
+        let tids = job.0.into_inner().unwrap();
+        assert_eq!(tids.len(), 3, "each worker must run the job exactly once");
+        let distinct: std::collections::HashSet<_> = tids.iter().copied().collect();
+        assert_eq!(distinct.len(), 3, "no worker may claim two prewarm tasks");
+        assert!(
+            !distinct.contains(&std::thread::current().id()),
+            "the submitter must not steal a prewarm task"
+        );
+        // The pool is still serviceable afterwards.
+        let mut local = SweepPipeline::new();
+        assert_eq!(rt.run_batch(&[SquareJob(6)], &mut local), vec![36]);
+    }
+
+    #[test]
+    fn worker_panic_poisons_the_batch() {
+        struct Bomb(bool);
+        impl PoolJob for Bomb {
+            type Output = ();
+            fn run(&self, _pipeline: &mut SweepPipeline) {
+                if self.0 {
+                    panic!("boom");
+                }
+            }
+        }
+        let rt = WorkerRuntime::new(2);
+        let mut local = SweepPipeline::new();
+        let jobs = vec![Bomb(false), Bomb(true), Bomb(false)];
+        let res = catch_unwind(AssertUnwindSafe(|| rt.run_batch(&jobs, &mut local)));
+        assert!(res.is_err(), "poisoned batch must re-raise");
+        // The pool is still serviceable afterwards.
+        let outs = rt.run_batch(&[SquareJob(9)], &mut local);
+        assert_eq!(outs, vec![81]);
+    }
+}

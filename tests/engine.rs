@@ -543,6 +543,52 @@ fn window_reports_bitwise_identical_across_thread_counts() {
     assert_eq!(one, fingerprint(8), "threads=8 diverged");
 }
 
+/// The engine spawns its worker pool exactly once: across consecutive
+/// windows the same `WorkerRuntime` keeps serving (same instance, same
+/// thread count) with its lifetime batch counter growing — scheduling
+/// never spawns a thread per batch or per window.
+#[test]
+fn worker_runtime_persists_across_windows() {
+    use std::sync::Arc;
+    let mut svc = adaptive_service(&[2.0, 3.5, 5.0, 6.5], 4);
+    svc.run_until(4321, Instant::from_millis(400));
+    let (first_ptr, batches_after_first) = {
+        let rt = svc
+            .engine()
+            .runtime()
+            .expect("a multi-threaded engine builds its pool on the first multi-sweep batch");
+        assert_eq!(
+            rt.workers(),
+            3,
+            "4 threads = 3 pool workers + helping submitter"
+        );
+        assert!(rt.batches_run() > 0, "no batch reached the pool");
+        (Arc::as_ptr(rt), rt.batches_run())
+    };
+    // Steady-state TRACK batches are usually single sweeps and run
+    // inline; joining clients all fall due at once, forcing the second
+    // window to batch through the pool again.
+    for d in [3.0, 4.5, 5.5, 7.0] {
+        let id = svc.add_client(ideal_ctx(d), quick_chronos());
+        svc.client_mut(id).sweep_cfg.medium.loss_prob = 0.0;
+    }
+    svc.run_until(4321, Instant::from_millis(900));
+    let rt = svc
+        .engine()
+        .runtime()
+        .expect("the pool outlives its window");
+    assert_eq!(
+        Arc::as_ptr(rt),
+        first_ptr,
+        "the engine must reuse its pool, never respawn it"
+    );
+    assert_eq!(rt.workers(), 3, "worker count must stay fixed for life");
+    assert!(
+        rt.batches_run() > batches_after_first,
+        "the second window must batch through the same pool"
+    );
+}
+
 /// Clients joining and leaving mid-run must never corrupt the arbiter's
 /// airtime accounting: every sweep is charged exactly one window, and
 /// once the engine goes quiescent the tracked airtime equals the sum of

@@ -553,3 +553,339 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Persistent-runtime MPMC token ring (PR 9): model-based and concurrent.
+// ---------------------------------------------------------------------------
+
+/// One step of the single-threaded ring/model comparison.
+#[derive(Debug, Clone)]
+enum RingOp {
+    Push(u32),
+    Pop,
+}
+
+fn ring_op() -> impl Strategy<Value = RingOp> {
+    prop_oneof![(0u32..10_000).prop_map(RingOp::Push), Just(RingOp::Pop)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lock-free token ring agrees with a bounded FIFO reference
+    /// model (a capacity-limited `VecDeque`) over arbitrary push/pop
+    /// interleavings: pushes succeed exactly when the model has room,
+    /// pops return exactly the model's front, emptiness matches at
+    /// every step, and a final drain yields the queued remainder in
+    /// FIFO order — nothing lost, nothing duplicated.
+    #[test]
+    fn token_ring_matches_fifo_model(
+        cap in 1usize..40,
+        ops in proptest::collection::vec(ring_op(), 1..400),
+    ) {
+        use chronos_suite::core::runtime::TokenRing;
+        use std::collections::VecDeque;
+        let ring = TokenRing::with_capacity(cap);
+        let cap = ring.capacity(); // rounded up to a power of two
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in &ops {
+            match op {
+                RingOp::Push(v) => {
+                    if model.len() < cap {
+                        prop_assert_eq!(ring.push(*v), Ok(()), "push rejected with room");
+                        model.push_back(*v);
+                    } else {
+                        prop_assert_eq!(ring.push(*v), Err(*v), "push accepted into a full ring");
+                    }
+                }
+                RingOp::Pop => {
+                    prop_assert_eq!(ring.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(ring.is_empty(), model.is_empty());
+        }
+        while let Some(want) = model.pop_front() {
+            prop_assert_eq!(ring.pop(), Some(want));
+        }
+        prop_assert_eq!(ring.pop(), None);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Real concurrent interleavings: several producer threads and
+    /// several consumer threads hammer one ring. Every token must
+    /// arrive at exactly one consumer (no loss, no duplication), and
+    /// within each consumer's observation sequence any one producer's
+    /// tokens appear in that producer's submission order (each
+    /// consumer's claims are a subsequence of the global FIFO order).
+    #[test]
+    fn token_ring_concurrent_no_loss_no_dup(
+        producers in 1usize..4,
+        consumers in 1usize..3,
+        per in 1usize..300,
+        cap in 2usize..64,
+    ) {
+        use chronos_suite::core::runtime::TokenRing;
+        use std::collections::HashSet;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::{Arc, Mutex};
+        let ring: Arc<TokenRing<(usize, usize)>> = Arc::new(TokenRing::with_capacity(cap));
+        let done = Arc::new(AtomicBool::new(false));
+        type Sink = Arc<Mutex<Vec<Vec<(usize, usize)>>>>;
+        let sink: Sink = Arc::new(Mutex::new(Vec::new()));
+        let consumer_handles: Vec<_> = (0..consumers)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                let done = Arc::clone(&done);
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match ring.pop() {
+                            Some(v) => got.push(v),
+                            // `done` is set only after every producer
+                            // joined, so one last drain observes any
+                            // remainder this consumer is responsible for.
+                            None if done.load(Ordering::Acquire) => {
+                                while let Some(v) = ring.pop() {
+                                    got.push(v);
+                                }
+                                break;
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    sink.lock().unwrap().push(got);
+                })
+            })
+            .collect();
+        let producer_handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        let mut v = (p, i);
+                        loop {
+                            match ring.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in producer_handles {
+            h.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        for h in consumer_handles {
+            h.join().unwrap();
+        }
+        let per_consumer = sink.lock().unwrap();
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        let mut total = 0usize;
+        for got in per_consumer.iter() {
+            total += got.len();
+            let mut last_of: Vec<Option<usize>> = vec![None; producers];
+            for (p, i) in got {
+                prop_assert!(seen.insert((*p, *i)), "token ({}, {}) duplicated", p, i);
+                if let Some(last) = last_of[*p] {
+                    prop_assert!(
+                        *i > last,
+                        "producer {} reordered at consumer: {} after {}",
+                        p, i, last
+                    );
+                }
+                last_of[*p] = Some(*i);
+            }
+        }
+        prop_assert_eq!(total, producers * per, "tokens lost");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tolerance tier (PR 9): the lane-chunked SoA kernels of the `simd`
+// feature against the scalar source of truth. See docs/PIPELINE.md for
+// the exact-vs-tolerance contract boundary.
+// ---------------------------------------------------------------------------
+
+/// Full-sweep golden capture: end-to-end fix distances for the bench
+/// population (12-band 5 GHz subset, two-path genie channels, clients at
+/// `2.0 + 0.75 i` meters), recorded under the scalar (exact-tier) build.
+/// Scalar builds must reproduce the capture bitwise; `simd` builds must
+/// drift less than 1e-9 m. (In practice the tiers agree bitwise here:
+/// the solver tiers differ within 1e-6 relative, but every discrete
+/// downstream choice — support, peak bin — lands identically, and the
+/// sub-grid refinement re-derives the delay from the measurements.)
+#[test]
+fn golden_capture_fix_distance_drift_below_nanometer() {
+    use chronos_suite::core::config::ChronosConfig;
+    use chronos_suite::core::tof::{genie_product, TofEstimator};
+    use chronos_suite::math::constants::m_to_ns;
+    use chronos_suite::rf::bands::band_plan_5ghz;
+    use chronos_suite::rf::subset::select_subset;
+
+    // Full f64 digits on purpose: the assertion below is a sub-nanometer
+    // drift bound, so the recorded capture must not be pre-rounded.
+    #[allow(clippy::excessive_precision)]
+    const GOLDEN_DISTANCE_M: [f64; 8] = [
+        2.019_885_103_586_959_39,
+        2.770_128_207_207_205_32,
+        3.520_355_947_751_145_46,
+        4.270_218_072_061_267_91,
+        5.020_445_812_605_207_61,
+        5.770_664_058_245_819_74,
+        6.520_866_940_810_122_97,
+        7.268_889_247_605_208_05,
+    ];
+    let subset = select_subset(&band_plan_5ghz(), 12, 100.0);
+    let estimator = TofEstimator::new(ChronosConfig::ideal());
+    for (i, golden) in GOLDEN_DISTANCE_M.iter().enumerate() {
+        let tau = m_to_ns(2.0 + 0.75 * i as f64);
+        let paths = [(tau, 1.0), (tau + 5.0, 0.4)];
+        let products: Vec<_> = subset
+            .iter()
+            .map(|b| genie_product(b.center_hz, &paths, 2.0))
+            .collect();
+        let est = estimator
+            .estimate_from_products(&products)
+            .expect("golden capture fix");
+        let drift = (est.distance_m - golden).abs();
+        assert!(
+            drift < 1e-9,
+            "client {i}: fix drifted {drift:.3e} m from the scalar golden capture \
+             ({:.17e} vs {golden:.17e})",
+            est.distance_m
+        );
+    }
+}
+
+#[cfg(feature = "simd")]
+mod simd_tolerance {
+    use super::*;
+    use chronos_suite::core::ista::{solve_planned_into, solve_planned_into_scalar, IstaScratch};
+    use chronos_suite::core::plan::NdftPlan;
+
+    /// A random small NDFT problem: `n` measurement tones between 2 and
+    /// 7 GHz over a grid whose size exercises both the lane-tiled main
+    /// loops and their scalar tails.
+    fn plan_inputs() -> impl Strategy<Value = (Vec<f64>, f64, f64)> {
+        (
+            proptest::collection::vec(2.0f64..7.0, 5..16),
+            20.0f64..80.0, // span_ns
+            0.3f64..1.5,   // step_ns
+        )
+            .prop_map(|(ghz, span, step)| (ghz.iter().map(|g| g * 1e9).collect(), span, step))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The split-plane forward kernel agrees with the scalar
+        /// forward within 1e-12 relative on random plans and random
+        /// (partially sparse) profiles.
+        #[test]
+        fn split_forward_matches_scalar_within_1e12(
+            inputs in plan_inputs(),
+            coeffs in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0, 0u8..4), 1..8),
+        ) {
+            let (freqs, span, step) = inputs;
+            let grid = TauGrid::span(span, step);
+            let ndft = Ndft::new(&freqs, grid);
+            let m = ndft.n_taus();
+            let mut p = vec![Complex64::ZERO; m];
+            for (j, (re, im, stride)) in coeffs.iter().enumerate() {
+                let k = (j * (*stride as usize + 1) * 7) % m;
+                p[k] = Complex64::new(*re, *im);
+            }
+            let p_re: Vec<f64> = p.iter().map(|z| z.re).collect();
+            let p_im: Vec<f64> = p.iter().map(|z| z.im).collect();
+            let mut want = Vec::new();
+            ndft.forward_into(&p, &mut want);
+            let (mut out_re, mut out_im) = (Vec::new(), Vec::new());
+            ndft.forward_split_into(&p_re, &p_im, &mut out_re, &mut out_im);
+            let peak = want.iter().map(|z| z.abs()).fold(1e-30f64, f64::max);
+            for (w, (r, i)) in want.iter().zip(out_re.iter().zip(out_im.iter())) {
+                prop_assert!((w.re - r).abs() <= 1e-12 * peak, "{} vs {}", w.re, r);
+                prop_assert!((w.im - i).abs() <= 1e-12 * peak, "{} vs {}", w.im, i);
+            }
+        }
+
+        /// The split-plane adjoint kernel agrees with the scalar
+        /// adjoint within 1e-12 relative on random plans and random
+        /// measurements.
+        #[test]
+        fn split_adjoint_matches_scalar_within_1e12(
+            inputs in plan_inputs(),
+            hv in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 16..17),
+        ) {
+            let (freqs, span, step) = inputs;
+            let grid = TauGrid::span(span, step);
+            let ndft = Ndft::new(&freqs, grid);
+            let n = ndft.n_freqs();
+            let h: Vec<Complex64> = hv[..n].iter().map(|(r, i)| Complex64::new(*r, *i)).collect();
+            let h_re: Vec<f64> = h.iter().map(|z| z.re).collect();
+            let h_im: Vec<f64> = h.iter().map(|z| z.im).collect();
+            let mut want = Vec::new();
+            ndft.adjoint_into(&h, &mut want);
+            let (mut out_re, mut out_im) = (Vec::new(), Vec::new());
+            ndft.adjoint_split_into(&h_re, &h_im, &mut out_re, &mut out_im);
+            let peak = want.iter().map(|z| z.abs()).fold(1e-30f64, f64::max);
+            for (w, (r, i)) in want.iter().zip(out_re.iter().zip(out_im.iter())) {
+                prop_assert!((w.re - r).abs() <= 1e-12 * peak, "{} vs {}", w.re, r);
+                prop_assert!((w.im - i).abs() <= 1e-12 * peak, "{} vs {}", w.im, i);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Whole-solver agreement: the lane-chunked FISTA body (fused
+        /// prox kernel, support-restricted forward, on-the-fly momentum)
+        /// tracks the scalar reference solver within 1e-6 relative on
+        /// random two-path channels — per-kernel 1e-12 drift compounded
+        /// over hundreds of iterations stays bounded.
+        #[test]
+        fn simd_solver_tracks_scalar_on_random_channels(
+            tau in 5.0f64..60.0,
+            sep in 2.0f64..20.0,
+            amp2 in 0.05f64..0.9,
+        ) {
+            let freqs: Vec<f64> = (0..12).map(|i| 5.18e9 + 20e6 * i as f64).collect();
+            let grid = TauGrid::span(100.0, 0.5);
+            let plan = NdftPlan::new(&freqs, grid, 100.0);
+            let h: Vec<Complex64> = freqs
+                .iter()
+                .map(|f| {
+                    let ph1 = -2.0 * PI * f * tau * 1e-9;
+                    let ph2 = -2.0 * PI * f * (tau + sep) * 1e-9;
+                    Complex64::cis(ph1) + Complex64::cis(ph2) * amp2
+                })
+                .collect();
+            let cfg = IstaConfig::default();
+            let mut scalar = IstaScratch::new();
+            solve_planned_into_scalar(&plan, &h, &cfg, &mut scalar);
+            let mut simd = IstaScratch::new();
+            solve_planned_into(&plan, &h, &cfg, &mut simd);
+            let peak = scalar
+                .solution()
+                .iter()
+                .map(|z| z.abs())
+                .fold(1e-30f64, f64::max);
+            for (a, b) in scalar.solution().iter().zip(simd.solution().iter()) {
+                prop_assert!(
+                    (*a - *b).abs() <= 1e-6 * peak,
+                    "solver tiers diverged: {} vs {}",
+                    a, b
+                );
+            }
+        }
+    }
+}
