@@ -1,6 +1,7 @@
 //! The fleet capacity benchmark and its CI regression gate:
 //! synchronized one-way TDoA versus per-AP round-trip sweeps at 16 APs
-//! with 192 roaming clients (see `docs/FLEET.md`).
+//! with 1000 roaming clients, plus the shard-scaling rows for the
+//! pool-parallel window driver (see `docs/FLEET.md`).
 //!
 //! ```sh
 //! # Regenerate the checked-in baseline (CI gates a --quick run, so the
@@ -20,6 +21,7 @@
 //! before any table is written, so a committed baseline always embodies
 //! it; the gate then holds the margin against drift.
 
+use chronos_bench::alloc_count::CountingAlloc;
 use chronos_bench::cli::BenchArgs;
 use chronos_bench::fleet::fleet_table;
 use chronos_bench::position::check_regression;
@@ -27,6 +29,11 @@ use chronos_bench::report::{write_json, Table};
 use std::process::ExitCode;
 
 const SEED: u64 = 47;
+
+// The worker_allocs column counts real allocation events only because
+// the benchmark binary routes every allocation through the counter.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 fn main() -> ExitCode {
     let args = match BenchArgs::parse("BENCH_fleet.json") {
@@ -36,6 +43,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Let the worker runtime charge fine-task allocations to the
+    // per-thread counting allocator, so the worker_allocs column
+    // reports true worker-side allocation events (the steady-state
+    // 0-allocs contract on the shard path).
+    chronos_core::runtime::set_alloc_probe(chronos_bench::alloc_count::thread_allocations);
 
     let table = fleet_table(SEED, args.quick);
     println!("{}", table.render());

@@ -705,6 +705,20 @@ impl ServiceEngine {
         start
     }
 
+    /// Books an *overheard* transmission on this AP's medium at exactly
+    /// `[at, at + airtime)` — no admission, no deferral, no stagger
+    /// (see [`MediumArbiter::book`]). The fleet layer charges one-way
+    /// TDoA blasts here: the client transmits on its own cadence
+    /// regardless of this AP's schedule, so the air is busy at the
+    /// actual blast instant, and booking is O(1) instead of an
+    /// admission scan — at a thousand roaming clients a shard overhears
+    /// thousands of blasts per window, and routing them through
+    /// [`ServiceEngine::charge_airtime`] made every boundary pump
+    /// quadratic in the blast count.
+    pub fn charge_airtime_at(&mut self, at: Instant, airtime: Duration) {
+        self.arbiter.book(at, airtime);
+    }
+
     /// Whether a slot currently participates in scheduling.
     pub fn is_active(&self, idx: usize) -> bool {
         self.slots.get(idx).map(|s| s.active).unwrap_or(false)
@@ -953,12 +967,7 @@ impl ServiceEngine {
         if jobs.len() <= 1 || n_threads == 1 {
             return self.pipelines[0].run_batch(&batch_of(slots, jobs));
         }
-        if self.runtime.is_none() {
-            // The submitter helps, so n_threads - 1 pool workers give
-            // the configured concurrency.
-            self.runtime = Some(Arc::new(WorkerRuntime::new(n_threads - 1)));
-        }
-        let runtime = self.runtime.as_ref().expect("runtime just installed");
+        let runtime = ensure_runtime(&mut self.runtime, n_threads - 1);
         runtime.run_batch(&batch_of(slots, jobs), &mut self.pipelines[0])
     }
 
@@ -977,6 +986,18 @@ impl ServiceEngine {
         self.runtime = Some(runtime);
     }
 
+    /// Explicitly sizes the engine's worker pool to `workers` pool
+    /// threads (the submitter still helps, so effective concurrency is
+    /// `workers + 1`), resizing a live pool in place or creating one —
+    /// the escape hatch from the lazy `thread_count() - 1` default.
+    /// Call between windows; see [`WorkerRuntime::resize`].
+    pub fn set_pool_workers(&mut self, workers: usize) {
+        match &self.runtime {
+            Some(rt) => rt.resize(workers),
+            None => self.runtime = Some(Arc::new(WorkerRuntime::new(workers))),
+        }
+    }
+
     /// Pre-builds the NDFT plans every client's ACQUIRE (full-plan)
     /// sweep will request, routing the expensive constructions — matrix
     /// materialization plus the operator-norm power iteration — through
@@ -989,72 +1010,29 @@ impl ServiceEngine {
     /// behavior are identical whether or not this runs. Returns the
     /// number of distinct plans built or found resident.
     pub fn prewarm_plans(&mut self) -> usize {
-        struct PlanJob<'a> {
-            plans: &'a PlanCache,
-            freqs: Vec<f64>,
-            grid: TauGrid,
-            lobe_span_ns: f64,
-        }
-        impl PoolJob for PlanJob<'_> {
-            type Output = ();
-            fn run(&self, _pipeline: &mut SweepPipeline) {
-                let _ = self
-                    .plans
-                    .ndft_plan(&self.freqs, self.grid, self.lobe_span_ns);
-            }
-        }
-        // One key per (delay-scale group, client config) the estimator
-        // will derive: group frequencies ascending, exactly as
-        // `quirk::group_by_scale` orders them.
-        let mut jobs: Vec<PlanJob<'_>> = Vec::new();
-        for slot in &self.slots {
-            let cfg = &slot.session.config;
-            let grid = TauGrid::span(cfg.grid_span_ns, cfg.grid_step_ns);
-            for quirked in [false, true] {
-                let mut freqs: Vec<f64> = slot
-                    .session
-                    .sweep_cfg
-                    .plan
-                    .iter()
-                    .filter(|b| {
-                        (cfg.mode == crate::config::QuirkMode::Intel5300 && b.group.is_2g4())
-                            == quirked
-                    })
-                    .map(|b| b.center_hz)
-                    .collect();
-                if freqs.len() < 5 {
-                    continue; // the estimator skips groups this small
-                }
-                freqs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                if jobs.iter().any(|j| {
-                    j.freqs == freqs && j.grid == grid && j.lobe_span_ns == cfg.grid_span_ns
-                }) {
-                    continue;
-                }
-                jobs.push(PlanJob {
-                    plans: &self.plans,
-                    freqs,
-                    grid,
-                    lobe_span_ns: cfg.grid_span_ns,
-                });
-            }
-        }
         let n_threads = self.thread_count();
         if self.pipelines.is_empty() {
             self.pipelines.push(SweepPipeline::new());
         }
+        let mut jobs: Vec<PlanPrewarmJob<'_>> = Vec::new();
+        collect_plan_jobs(&self.slots, &self.plans, &mut jobs);
         if jobs.len() <= 1 || n_threads == 1 {
             for job in &jobs {
                 job.run(&mut self.pipelines[0]);
             }
             return jobs.len();
         }
-        if self.runtime.is_none() {
-            self.runtime = Some(Arc::new(WorkerRuntime::new(n_threads - 1)));
-        }
-        let runtime = self.runtime.as_ref().expect("runtime just installed");
+        let runtime = ensure_runtime(&mut self.runtime, n_threads - 1);
         runtime.run_batch(&jobs, &mut self.pipelines[0]);
         jobs.len()
+    }
+
+    /// Appends this engine's distinct plan-construction jobs to `jobs`,
+    /// deduplicating against entries already present — so a fleet can
+    /// collect one job list across all shards (which share a plan
+    /// cache) and build each distinct plan exactly once, on one pool.
+    pub(crate) fn plan_prewarm_jobs<'a>(&'a self, jobs: &mut Vec<PlanPrewarmJob<'a>>) {
+        collect_plan_jobs(&self.slots, &self.plans, jobs);
     }
 
     /// Processes one `SweepComplete`: feed the actual finish back, fuse
@@ -1566,6 +1544,81 @@ impl ServiceEngine {
             cache: self.plans.stats(),
             bands_planned: acc.bands_planned,
             bands_full_sweep: acc.bands_full_sweep,
+        }
+    }
+}
+
+/// Returns the engine's runtime, creating a pool of `workers` threads on
+/// first use. A free function (not a method) so callers can hold other
+/// `self` field borrows across the call.
+fn ensure_runtime(slot: &mut Option<Arc<WorkerRuntime>>, workers: usize) -> &Arc<WorkerRuntime> {
+    // The submitter helps, so `workers` pool threads give `workers + 1`
+    // effective concurrency.
+    slot.get_or_insert_with(|| Arc::new(WorkerRuntime::new(workers)))
+}
+
+/// One distinct NDFT plan construction (matrix materialization plus the
+/// operator-norm power iteration), shaped as a pool job so prewarm can
+/// build distinct plans in parallel. See
+/// [`ServiceEngine::plan_prewarm_jobs`].
+pub(crate) struct PlanPrewarmJob<'a> {
+    plans: &'a PlanCache,
+    freqs: Vec<f64>,
+    grid: TauGrid,
+    lobe_span_ns: f64,
+}
+
+impl PoolJob for PlanPrewarmJob<'_> {
+    type Output = ();
+    fn run(&self, _pipeline: &mut SweepPipeline) {
+        let _ = self
+            .plans
+            .ndft_plan(&self.freqs, self.grid, self.lobe_span_ns);
+    }
+}
+
+/// The field-level body of [`ServiceEngine::plan_prewarm_jobs`]: a free
+/// function so `prewarm_plans` can keep disjoint `&mut self` field
+/// borrows alive around it.
+///
+/// One key per (delay-scale group, client config) the estimator will
+/// derive: group frequencies ascending, exactly as
+/// `quirk::group_by_scale` orders them.
+fn collect_plan_jobs<'a>(
+    slots: &'a [Slot],
+    plans: &'a PlanCache,
+    jobs: &mut Vec<PlanPrewarmJob<'a>>,
+) {
+    for slot in slots {
+        let cfg = &slot.session.config;
+        let grid = TauGrid::span(cfg.grid_span_ns, cfg.grid_step_ns);
+        for quirked in [false, true] {
+            let mut freqs: Vec<f64> = slot
+                .session
+                .sweep_cfg
+                .plan
+                .iter()
+                .filter(|b| {
+                    (cfg.mode == crate::config::QuirkMode::Intel5300 && b.group.is_2g4()) == quirked
+                })
+                .map(|b| b.center_hz)
+                .collect();
+            if freqs.len() < 5 {
+                continue; // the estimator skips groups this small
+            }
+            freqs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            if jobs
+                .iter()
+                .any(|j| j.freqs == freqs && j.grid == grid && j.lobe_span_ns == cfg.grid_span_ns)
+            {
+                continue;
+            }
+            jobs.push(PlanPrewarmJob {
+                plans,
+                freqs,
+                grid,
+                lobe_span_ns: cfg.grid_span_ns,
+            });
         }
     }
 }

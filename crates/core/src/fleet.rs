@@ -43,6 +43,8 @@
 use crate::config::ChronosConfig;
 use crate::engine::{mix_seed, ServiceEngine, WindowReport};
 use crate::localization::tdoa::{solve_tdoa, RangeDiff, TdoaSolverConfig};
+use crate::pipeline::SweepPipeline;
+use crate::runtime::{PoolJob, WorkerRuntime};
 use crate::service::ServiceConfig;
 use crate::tracker::{PositionTracker, TrackMode, TrackerConfig};
 use chronos_link::event::EventQueue;
@@ -284,6 +286,22 @@ pub struct FleetConfig {
     /// SNR model anchor shared by every client context (see
     /// [`client_context`]).
     pub snr_at_1m_db: f64,
+    /// Worker threads of the fleet's shared pool, and with it the shard
+    /// execution strategy of [`FleetEngine::run_window`]:
+    ///
+    /// - `None` (default): auto — `thread_count() - 1` pool workers
+    ///   (the helping fleet driver is the extra lane), shard windows run
+    ///   **in parallel** when that leaves at least one worker and the
+    ///   fleet has more than one shard.
+    /// - `Some(0)`: the strictly serial shard loop (the pre-parallel
+    ///   comparison path). Shards still share one pool for their own
+    ///   sweep batches when the service is multi-threaded.
+    /// - `Some(n)`: exactly `n` pool workers, shard-parallel windows.
+    ///
+    /// Every strategy produces bitwise-identical [`FleetWindowReport`]s
+    /// — see the `run_window` docs for why — so this knob trades wall
+    /// clock and core count only.
+    pub workers: Option<usize>,
 }
 
 impl FleetConfig {
@@ -298,6 +316,7 @@ impl FleetConfig {
             tdoa: TdoaConfig::default(),
             handoff: HandoffConfig::default(),
             snr_at_1m_db: 60.0,
+            workers: None,
         }
     }
 }
@@ -496,6 +515,14 @@ pub struct FleetEngine {
     blasts: EventQueue<usize>,
     clock: Instant,
     gn_ws: GnWorkspace,
+    /// The fleet-wide worker pool (shard windows *and* every shard's
+    /// sweep batches), when one exists — see [`FleetConfig::workers`].
+    runtime: Option<std::sync::Arc<WorkerRuntime>>,
+    /// Pool workers serving shard-level jobs; 0 = serial shard loop.
+    shard_workers: usize,
+    /// The fleet driver's own helping pipeline for pool submissions
+    /// (shard-window driver batches, plan prewarm).
+    pipeline: SweepPipeline,
 }
 
 impl FleetEngine {
@@ -513,16 +540,33 @@ impl FleetEngine {
                 std::sync::Arc::clone(&plans),
             ));
         }
-        // One persistent worker pool for the whole fleet: shards run
-        // their windows in lockstep (never concurrently), so N shards
-        // sharing one pool is strictly better than N idle pools — and
-        // the fleet never spawns a thread after this constructor.
+        // One persistent worker pool for the whole fleet, sized by
+        // [`FleetConfig::workers`]: with shard-level workers the pool
+        // runs whole shard windows concurrently (the coarse ring) *and*
+        // every shard's sweep batches (the fine ring); with 0 shard
+        // workers the shard loop stays serial but shards still share
+        // one sweep pool when the service is multi-threaded. Either
+        // way, the fleet never spawns a thread after this constructor.
         let threads = shards[0].thread_count();
-        if threads > 1 && aps.len() > 1 {
-            let runtime = std::sync::Arc::new(crate::runtime::WorkerRuntime::new(threads - 1));
+        let shard_workers = if aps.len() > 1 {
+            cfg.workers.unwrap_or_else(|| threads.saturating_sub(1))
+        } else {
+            0
+        };
+        let pool_workers = if shard_workers > 0 {
+            shard_workers
+        } else if threads > 1 && aps.len() > 1 {
+            threads - 1
+        } else {
+            0
+        };
+        let mut runtime = None;
+        if pool_workers > 0 {
+            let rt = std::sync::Arc::new(WorkerRuntime::new(pool_workers));
             for shard in &mut shards {
-                shard.set_runtime(std::sync::Arc::clone(&runtime));
+                shard.set_runtime(std::sync::Arc::clone(&rt));
             }
+            runtime = Some(rt);
         }
         let sync = cfg.clock.map(|c| ClockSync::new(c, aps.len()));
         FleetEngine {
@@ -533,6 +577,9 @@ impl FleetEngine {
             blasts: EventQueue::new(),
             clock: Instant::ZERO,
             gn_ws: GnWorkspace::default(),
+            runtime,
+            shard_workers,
+            pipeline: SweepPipeline::new(),
             cfg,
             env,
             aps,
@@ -562,6 +609,45 @@ impl FleetEngine {
     /// The clock-sync model, when enabled.
     pub fn clock_sync(&self) -> Option<&ClockSync> {
         self.sync.as_ref()
+    }
+
+    /// The fleet's shared worker pool, when one exists (see
+    /// [`FleetConfig::workers`]). Benches read its allocation counter.
+    pub fn runtime(&self) -> Option<&std::sync::Arc<WorkerRuntime>> {
+        self.runtime.as_ref()
+    }
+
+    /// Pool workers serving shard-level window jobs; 0 means
+    /// [`FleetEngine::run_window`] runs its shard loop serially.
+    pub fn shard_workers(&self) -> usize {
+        self.shard_workers
+    }
+
+    /// Pre-builds every distinct NDFT plan the fleet's clients will
+    /// request, **once across the whole fleet**: shards share one plan
+    /// cache, so the job list is deduplicated across shards and each
+    /// distinct plan is built exactly once (in parallel on the shared
+    /// pool when there is one) instead of once per shard. Purely an
+    /// opt-in warm-up with identical steady-state results — see
+    /// [`ServiceEngine::prewarm_plans`], which this supersedes for
+    /// fleets. Call after the population is added. Returns the number
+    /// of distinct plans built or found resident.
+    pub fn prewarm_plans(&mut self) -> usize {
+        let mut jobs = Vec::new();
+        for shard in &self.shards {
+            shard.plan_prewarm_jobs(&mut jobs);
+        }
+        match &self.runtime {
+            Some(rt) if jobs.len() > 1 => {
+                rt.run_batch(&jobs, &mut self.pipeline);
+            }
+            _ => {
+                for job in &jobs {
+                    job.run(&mut self.pipeline);
+                }
+            }
+        }
+        jobs.len()
     }
 
     /// A client's current serving AP.
@@ -789,7 +875,12 @@ impl FleetEngine {
             return out;
         }
         for &(ap, _) in &anchors {
-            self.shards[ap].charge_airtime(t, cfg.blast_airtime);
+            // A blast is overheard, not scheduled: it happens at `t` on
+            // the client's cadence no matter what this AP's arbiter
+            // thinks, so it books the air at its true instant (O(1))
+            // instead of competing for an admission grant it would
+            // ignore anyway.
+            self.shards[ap].charge_airtime_at(t, cfg.blast_airtime);
         }
         out.n_anchors = anchors.len();
         let err_ref = anchors
@@ -833,18 +924,66 @@ impl FleetEngine {
     /// a reproducible run; shard `ap` consumes [`shard_seed`]`(seed,
     /// ap)`, so a `sync_disabled` round-trip fleet is bit-identical to
     /// standalone engines run with those seeds.
+    ///
+    /// ## Two-level parallelism
+    ///
+    /// Everything fleet-wide — handoffs, sync rounds, TDoA blasts,
+    /// airtime pre-charges — runs serially here at the window boundary;
+    /// the shard windows between boundaries share no mutable state
+    /// (each shard owns its clients, events, and RNG stream; the plan
+    /// cache is content-addressed), so with a pool
+    /// ([`FleetConfig::workers`]) they run concurrently as coarse
+    /// driver jobs, each of which may itself fan its multi-client
+    /// sweep batches onto the *same* pool as fine tasks. Results land
+    /// in ordinal slots and each shard is seeded independently, so
+    /// every [`FleetWindowReport`] field is bitwise identical across
+    /// worker counts and vs. the serial loop, except two pieces of
+    /// execution metadata: `shard_reports[..].wall` (host wall clock)
+    /// and `shard_reports[..].cache.hits` — a *lookup* count that
+    /// depends on per-pipeline plan-memo warmth, hence on which worker
+    /// ran which sweep (true for any multi-threaded engine, not just
+    /// fleets). `cache.misses` and the entry counts are invariant.
     pub fn run_window(&mut self, seed: u64, window: Duration) -> FleetWindowReport {
         let started = self.clock;
         let ended = started + window;
         let handoffs = self.run_handoffs();
         let mut tdoa_outcomes = Vec::new();
         let sync_rounds = self.pump_fleet_events(seed, ended, &mut tdoa_outcomes);
-        let shard_reports: Vec<WindowReport> = self
-            .shards
-            .iter_mut()
-            .enumerate()
-            .map(|(ap, shard)| shard.run_until(shard_seed(seed, ap), ended))
-            .collect();
+        let parallel = self.shard_workers > 0 && self.shards.len() > 1;
+        let mut shard_reports: Vec<WindowReport> = if parallel {
+            let jobs: Vec<ShardWindowJob> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(ap, shard)| ShardWindowJob {
+                    shard: std::sync::Mutex::new(Some(shard)),
+                    seed: shard_seed(seed, ap),
+                    ended,
+                })
+                .collect();
+            self.runtime
+                .as_ref()
+                .expect("parallel fleet has a pool")
+                .run_driver_batch(&jobs, &mut self.pipeline)
+        } else {
+            self.shards
+                .iter_mut()
+                .enumerate()
+                .map(|(ap, shard)| shard.run_until(shard_seed(seed, ap), ended))
+                .collect()
+        };
+        // The plan cache is shared, so mid-run per-shard snapshots of
+        // its counters are schedule-dependent. The *post-window* miss
+        // and entry totals are not (each distinct plan is built — and
+        // counts a miss — exactly once), so stamp one boundary snapshot
+        // on every shard report in both execution strategies to keep
+        // reports comparable. The hit total stays execution metadata:
+        // it counts cache *lookups*, which pipeline-local plan memos
+        // absorb at a rate set by sweep-to-worker placement.
+        let cache = self.shards[0].plans().stats();
+        for report in &mut shard_reports {
+            report.cache = cache;
+        }
         // Handoff-gap accounting: post-handoff ACQUIRE sweeps at the
         // new AP, until the first TRACK sweep clears the flag.
         let mut handoff_gap_sweeps = 0;
@@ -873,6 +1012,31 @@ impl FleetEngine {
             sync_rounds,
             n_clients: self.clients.len(),
         }
+    }
+}
+
+/// One shard's `run_until` window as a coarse pool job
+/// ([`WorkerRuntime::run_driver_batch`]). The `Mutex<Option<&mut ..>>`
+/// smuggles the exclusive shard borrow through the `&self` job
+/// interface; each job is executed exactly once, so the `take` never
+/// observes `None`.
+struct ShardWindowJob<'a> {
+    shard: std::sync::Mutex<Option<&'a mut ServiceEngine>>,
+    seed: u64,
+    ended: Instant,
+}
+
+impl PoolJob for ShardWindowJob<'_> {
+    type Output = WindowReport;
+
+    fn run(&self, _pipeline: &mut SweepPipeline) -> WindowReport {
+        let shard = self
+            .shard
+            .lock()
+            .expect("shard job lock")
+            .take()
+            .expect("shard window job runs exactly once");
+        shard.run_until(self.seed, self.ended)
     }
 }
 

@@ -579,7 +579,16 @@ pub fn debias_into(
             );
         }
     }
-    match ws.atoms.lstsq_into(h, &mut ws.lstsq, &mut ws.w) {
+    // Under `simd` the normal-equations build (`A^H A`, `A^H b`) is
+    // lane-chunked; the scalar build stays the exact-tier source of
+    // truth (refit weights agree to ≤ 1e-12 relative — pinned by
+    // `debias_simd_tracks_scalar_reference` and the kernel proptest in
+    // `tests/properties.rs`).
+    #[cfg(feature = "simd")]
+    let refit = ws.atoms.lstsq_into_lanes(h, &mut ws.lstsq, &mut ws.w);
+    #[cfg(not(feature = "simd"))]
+    let refit = ws.atoms.lstsq_into(h, &mut ws.lstsq, &mut ws.w);
+    match refit {
         Ok(()) => {
             out.clear();
             out.resize(p.len(), Complex64::ZERO);
@@ -972,6 +981,44 @@ mod tests {
                 assert_eq!(a.re.to_bits(), b.re.to_bits());
                 assert_eq!(a.im.to_bits(), b.im.to_bits());
             }
+        }
+    }
+
+    /// Under `simd`, `debias_into` lane-chunks the normal-equations
+    /// build. Re-deriving the support from the lanes output and refitting
+    /// it with the scalar `lstsq_into` must reproduce the same weights to
+    /// the tolerance tier (≤ 1e-12 relative).
+    #[cfg(feature = "simd")]
+    #[test]
+    fn debias_simd_tracks_scalar_reference() {
+        let f = freqs();
+        let grid = TauGrid::span(60.0, 0.5);
+        let ndft = Ndft::new(&f, grid);
+        let h = channel_for(&[(10.0, 1.0), (20.0, 0.4), (31.0, 0.25)], &f);
+        let sol = solve(&ndft, &h, &IstaConfig::default());
+        let d = debias(&ndft, &h, &sol.p, 6, 3);
+        let chosen: Vec<usize> = (0..d.len()).filter(|k| d[*k] != Complex64::ZERO).collect();
+        assert!(!chosen.is_empty());
+        let mut atoms = CMat::zeros(ndft.n_freqs(), chosen.len());
+        for (j, k) in chosen.iter().enumerate() {
+            let tau_s = grid.tau_at(*k) * 1e-9;
+            for (i, fc) in ndft.freqs_hz().iter().enumerate() {
+                atoms.set(
+                    i,
+                    j,
+                    Complex64::cis(-2.0 * std::f64::consts::PI * fc * tau_s),
+                );
+            }
+        }
+        let mut ws = chronos_math::cmatrix::CLstsqScratch::default();
+        let mut w = Vec::new();
+        atoms.lstsq_into(&h, &mut ws, &mut w).unwrap();
+        for (k, scalar) in chosen.iter().zip(w.iter()) {
+            let lanes = d[*k];
+            assert!(
+                (lanes - *scalar).abs() <= 1e-12 * scalar.abs().max(1.0),
+                "atom {k}: {lanes} vs {scalar}"
+            );
         }
     }
 

@@ -31,6 +31,22 @@
 //! a full ring can never deadlock (an un-enqueued job just runs inline)
 //! and a single-core host loses nothing to hand-off latency.
 //!
+//! ## Two job tiers
+//!
+//! The runtime carries two rings over one pool of threads. The **fine**
+//! ring holds estimation-sized jobs (per-client sweep batches, plan
+//! builds) submitted by [`WorkerRuntime::run_batch`]. The **coarse**
+//! ring, fed by [`WorkerRuntime::run_driver_batch`], holds *driver*
+//! jobs — a fleet shard's whole scheduling window — which themselves
+//! submit fine batches back into the same pool from inside their `run`.
+//! Workers prefer coarse work (a shard window keeps a core busy for the
+//! whole window) and fall back to fine work, so spare workers drain the
+//! sweep batches the busy shards emit. The wait graph stays acyclic:
+//! coarse jobs wait only on fine tasks, fine tasks never wait on the
+//! pool, and every submitter drains the ring it submitted to — so the
+//! shared rings cannot deadlock (the nested-submission proptest in
+//! `tests/properties.rs` exercises this).
+//!
 //! See `docs/SCHEDULING.md` for startup/shutdown, queue sizing and the
 //! determinism note.
 
@@ -39,7 +55,7 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// A batch job the pool can run: borrow-only access to its inputs, one
@@ -83,6 +99,14 @@ struct Task {
     out: *mut (),
     state: *const BatchState,
     run: unsafe fn(*const (), *mut (), &mut SweepPipeline) -> bool,
+    /// Whether this task's allocations count toward
+    /// [`WorkerRuntime::worker_allocations`]. Fine (estimation) tasks
+    /// are counted — they carry the steady-state zero-allocation
+    /// contract. Coarse driver jobs are not: a shard window allocates
+    /// by design (event queues, report assembly), identically in serial
+    /// and parallel, and probing them would also double-count the fine
+    /// tasks they run inline while helping.
+    counted: bool,
 }
 
 // SAFETY: the pointers reference the submitter's frame, which outlives
@@ -243,8 +267,16 @@ impl<T> Drop for TokenRing<T> {
 
 /// Shared state between the pool's threads and submitters.
 struct RuntimeShared {
+    /// Fine-grained estimation tasks (sweep batches, plan builds).
     ring: TokenRing<Task>,
+    /// Coarse driver jobs (e.g. one fleet shard's whole window), which
+    /// may themselves submit fine batches. Workers drain this ring
+    /// first; see the module docs for the deadlock-freedom argument.
+    coarse: TokenRing<Task>,
     shutdown: AtomicBool,
+    /// Desired worker count; threads with an index at or beyond this
+    /// retire at their next idle check (see [`WorkerRuntime::resize`]).
+    target: AtomicUsize,
     /// Batches completed over the runtime's lifetime (reporting only).
     batches: AtomicU64,
     /// Heap allocations performed by worker threads while *running
@@ -278,13 +310,16 @@ pub fn set_alloc_probe(probe: AllocProbe) {
 /// unparks and joins the pool.
 pub struct WorkerRuntime {
     shared: Arc<RuntimeShared>,
-    handles: Vec<JoinHandle<()>>,
+    /// Live pool threads, index-aligned with their worker indices. The
+    /// mutex serializes [`WorkerRuntime::resize`] against the per-batch
+    /// unpark sweep; batches only ever take it uncontended and briefly.
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for WorkerRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerRuntime")
-            .field("workers", &self.handles.len())
+            .field("workers", &self.workers())
             .field("ring_capacity", &self.shared.ring.capacity())
             .field("batches", &self.shared.batches.load(Ordering::Relaxed))
             .finish()
@@ -306,27 +341,53 @@ impl WorkerRuntime {
     /// the runtime creates threads — the spin-up cost is paid once, here,
     /// never per batch.
     pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
         let shared = Arc::new(RuntimeShared {
             ring: TokenRing::with_capacity(RING_CAPACITY),
+            coarse: TokenRing::with_capacity(RING_CAPACITY),
             shutdown: AtomicBool::new(false),
+            target: AtomicUsize::new(workers),
             batches: AtomicU64::new(0),
             worker_allocs: AtomicU64::new(0),
         });
-        let handles = (0..workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("chronos-worker-{i}"))
-                    .spawn(move || worker_main(&shared))
-                    .expect("spawn chronos worker")
-            })
-            .collect();
-        WorkerRuntime { shared, handles }
+        let handles = (0..workers).map(|i| spawn_worker(&shared, i)).collect();
+        WorkerRuntime {
+            shared,
+            handles: Mutex::new(handles),
+        }
     }
 
     /// Number of pool threads (excluding the helping submitter).
     pub fn workers(&self) -> usize {
-        self.handles.len()
+        self.handles.lock().expect("pool handles").len()
+    }
+
+    /// Resizes the pool to `workers` threads (clamped to at least 1).
+    ///
+    /// Growing spawns fresh threads immediately (each allocating its
+    /// pipeline up front, like [`WorkerRuntime::new`]). Shrinking lowers
+    /// the target and joins the excess threads — each retires at its
+    /// next idle check, so its warm pipeline is dropped; the surviving
+    /// threads keep theirs. Call between batches: resizing concurrently
+    /// with `run_batch`/`run_driver_batch`/`prewarm` blocks those
+    /// submitters on the handle lock and can strand a shrinking join
+    /// behind queued work.
+    pub fn resize(&self, workers: usize) {
+        let workers = workers.max(1);
+        let mut handles = self.handles.lock().expect("pool handles");
+        self.shared.target.store(workers, Ordering::Release);
+        if workers < handles.len() {
+            for h in handles.iter() {
+                h.thread().unpark();
+            }
+            for h in handles.drain(workers..) {
+                let _ = h.join();
+            }
+        } else {
+            for i in handles.len()..workers {
+                handles.push(spawn_worker(&self.shared, i));
+            }
+        }
     }
 
     /// Batches completed over the runtime's lifetime.
@@ -334,16 +395,40 @@ impl WorkerRuntime {
         self.shared.batches.load(Ordering::Relaxed)
     }
 
-    /// Heap allocations performed by pool threads while running jobs,
-    /// summed over the runtime's lifetime. Zero unless the bench alloc
-    /// probe is installed ([`set_alloc_probe`]).
+    /// Heap allocations performed while running **fine** (estimation)
+    /// tasks — [`run_batch`](WorkerRuntime::run_batch) jobs and
+    /// [`prewarm`](WorkerRuntime::prewarm) jobs, wherever they execute
+    /// (pool thread, helping submitter, or a coarse job draining its own
+    /// nested batch) — summed over the runtime's lifetime. Coarse driver
+    /// jobs submitted via
+    /// [`run_driver_batch`](WorkerRuntime::run_driver_batch) are *not*
+    /// probed: a shard window allocates by design (event queues, report
+    /// assembly — engine-side work that is identical in serial and
+    /// parallel), and probing the outer job would double-count the fine
+    /// tasks it helps with. This is the counter behind the
+    /// allocs-stay-zero gates in `BENCH_throughput.json` and
+    /// `BENCH_fleet.json`; zero unless the bench alloc probe is
+    /// installed ([`set_alloc_probe`]).
     pub fn worker_allocations(&self) -> u64 {
         self.shared.worker_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Wakes every pool thread (one permit store per thread; a no-op for
+    /// threads already running).
+    fn unpark_all(&self) {
+        for h in self.handles.lock().expect("pool handles").iter() {
+            h.thread().unpark();
+        }
     }
 
     /// Runs a batch: enqueues every job, wakes the pool, helps drain the
     /// ring through `local` (the submitter's own pipeline), and returns
     /// the outputs **in submission order**.
+    ///
+    /// Safe to call from *inside* a coarse driver job (see
+    /// [`WorkerRuntime::run_driver_batch`]): the nested submitter helps
+    /// drain the fine ring only, so it can never pick up another driver
+    /// job and recurse.
     ///
     /// Panics if any job panicked, after the whole batch has drained —
     /// the same observable contract as the old per-batch scoped join.
@@ -360,6 +445,7 @@ impl WorkerRuntime {
                 out: out.as_mut_ptr() as *mut (),
                 state: &state,
                 run: run_erased::<J>,
+                counted: true,
             };
             if let Err(task) = self.shared.ring.push(task) {
                 // Full ring: the submitter is the backpressure valve.
@@ -368,9 +454,7 @@ impl WorkerRuntime {
         }
         // One wake per batch: unpark is a no-op permit store for already
         // running workers.
-        for h in &self.handles {
-            h.thread().unpark();
-        }
+        self.unpark_all();
         // Help until the ring is dry, then wait out in-flight stragglers.
         while let Some(task) = self.shared.ring.pop() {
             execute_task(task, local, Some(&self.shared));
@@ -378,6 +462,76 @@ impl WorkerRuntime {
         while state.remaining.load(Ordering::Acquire) > 0 {
             // A worker still owns a task of ours (or of a sibling shard's
             // batch); yield rather than burn the core it needs.
+            std::thread::yield_now();
+        }
+        self.shared.batches.fetch_add(1, Ordering::Relaxed);
+        if state.poisoned.load(Ordering::Acquire) {
+            panic!("engine worker panicked");
+        }
+        // SAFETY: remaining == 0 and the batch was not poisoned, so every
+        // slot was written exactly once.
+        outs.into_iter()
+            .map(|o| unsafe { o.assume_init() })
+            .collect()
+    }
+
+    /// Runs a batch of **coarse driver jobs** — units the size of a whole
+    /// fleet-shard window, which may themselves call
+    /// [`WorkerRuntime::run_batch`] on this same runtime from inside
+    /// their `run`. Results return in submission order, so a fleet's
+    /// per-AP reports keep their AP indexing no matter which worker ran
+    /// which shard.
+    ///
+    /// Top-level only: call from the thread that owns the runtime (the
+    /// fleet driver), never from inside a pool job. While waiting, the
+    /// submitter helps with coarse jobs first (it is one more shard-sized
+    /// execution lane) and otherwise drains the fine ring, so the busy
+    /// shards' sweep batches still make progress through it.
+    ///
+    /// Driver jobs are excluded from [`WorkerRuntime::worker_allocations`]
+    /// — see that method's docs for the exact contract.
+    ///
+    /// Panics if any job panicked, after the whole batch has drained.
+    pub fn run_driver_batch<J: PoolJob>(
+        &self,
+        jobs: &[J],
+        local: &mut SweepPipeline,
+    ) -> Vec<J::Output> {
+        let n = jobs.len();
+        let mut outs: Vec<MaybeUninit<J::Output>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
+        let state = BatchState {
+            remaining: AtomicUsize::new(n),
+            poisoned: AtomicBool::new(false),
+        };
+        for (job, out) in jobs.iter().zip(outs.iter_mut()) {
+            let task = Task {
+                job: job as *const J as *const (),
+                out: out.as_mut_ptr() as *mut (),
+                state: &state,
+                run: run_erased::<J>,
+                counted: false,
+            };
+            if let Err(task) = self.shared.coarse.push(task) {
+                execute_task(task, local, Some(&self.shared));
+            }
+        }
+        self.unpark_all();
+        loop {
+            // Coarse first: an idle driver thread is a full extra shard
+            // lane, not just a sweep helper.
+            if let Some(task) = self.shared.coarse.pop() {
+                execute_task(task, local, Some(&self.shared));
+                continue;
+            }
+            if state.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            // Shards still running on workers: drain the fine batches
+            // they emit rather than spinning.
+            if let Some(task) = self.shared.ring.pop() {
+                execute_task(task, local, Some(&self.shared));
+                continue;
+            }
             std::thread::yield_now();
         }
         self.shared.batches.fetch_add(1, Ordering::Relaxed);
@@ -447,6 +601,7 @@ impl WorkerRuntime {
                 out: out.as_mut_ptr() as *mut (),
                 state: &state,
                 run: run_erased::<Sentinel<'_, J>>,
+                counted: true,
             };
             // Unlike run_batch, the submitter must not execute these
             // inline (it would strand a worker without a task), so keep
@@ -456,17 +611,13 @@ impl WorkerRuntime {
                     Ok(()) => break,
                     Err(back) => {
                         task = back;
-                        for h in &self.handles {
-                            h.thread().unpark();
-                        }
+                        self.unpark_all();
                         std::thread::yield_now();
                     }
                 }
             }
         }
-        for h in &self.handles {
-            h.thread().unpark();
-        }
+        self.unpark_all();
         // Arrive as the (n+1)-th participant instead of helping: the
         // barrier releases only once every worker holds a task.
         barrier.wait();
@@ -488,21 +639,35 @@ impl WorkerRuntime {
 impl Drop for WorkerRuntime {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        for h in &self.handles {
+        let handles = self.handles.get_mut().expect("pool handles");
+        for h in handles.iter() {
             h.thread().unpark();
         }
-        for h in self.handles.drain(..) {
+        for h in handles.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-/// Runs one task on `pipeline`, updating the batch state (and the
-/// worker-side allocation tally when `shared` is given and the probe is
-/// installed). Returns `false` if the job panicked, so worker threads
-/// can retire a possibly corrupted scratch arena.
+/// Spawns pool thread `idx`, which retires when the runtime shrinks its
+/// target below `idx` (see [`WorkerRuntime::resize`]).
+fn spawn_worker(shared: &Arc<RuntimeShared>, idx: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("chronos-worker-{idx}"))
+        .spawn(move || worker_main(&shared, idx))
+        .expect("spawn chronos worker")
+}
+
+/// Runs one task on `pipeline`, updating the batch state (and, for
+/// counted tasks, the worker-side allocation tally when `shared` is
+/// given and the probe is installed). Returns `false` if the job
+/// panicked, so worker threads can retire a possibly corrupted scratch
+/// arena.
 fn execute_task(task: Task, pipeline: &mut SweepPipeline, shared: Option<&RuntimeShared>) -> bool {
-    let probe = shared.and_then(|_| ALLOC_PROBE.get().copied());
+    let probe = shared
+        .filter(|_| task.counted)
+        .and_then(|_| ALLOC_PROBE.get().copied());
     let before = probe.map(|p| p()).unwrap_or(0);
     // SAFETY: the submitter keeps job/out/state alive until `remaining`
     // reaches zero, which happens only after this call finishes.
@@ -520,14 +685,18 @@ fn execute_task(task: Task, pipeline: &mut SweepPipeline, shared: Option<&Runtim
     ok
 }
 
-/// The worker thread body: pop-run until shutdown, with a spin-then-park
-/// idle policy. The pipeline lives here — allocated once at spawn,
-/// warmed by the first batches, reused until the pool drops.
-fn worker_main(shared: &RuntimeShared) {
+/// The worker thread body: pop-run until shutdown (or retirement by
+/// [`WorkerRuntime::resize`]), with a spin-then-park idle policy. Coarse
+/// driver jobs are preferred over fine tasks — a shard window keeps the
+/// core busy end-to-end, and the fine batches it emits are drained by
+/// whoever is free. The pipeline lives here — allocated once at spawn,
+/// warmed by the first batches, reused until the pool drops (or the
+/// thread retires).
+fn worker_main(shared: &RuntimeShared, idx: usize) {
     let mut pipeline = SweepPipeline::new();
     let mut dry: u32 = 0;
     loop {
-        match shared.ring.pop() {
+        match shared.coarse.pop().or_else(|| shared.ring.pop()) {
             Some(task) => {
                 dry = 0;
                 if !execute_task(task, &mut pipeline, Some(shared)) {
@@ -538,6 +707,11 @@ fn worker_main(shared: &RuntimeShared) {
             }
             None => {
                 if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Retire only when idle: a shrinking resize never
+                // abandons a task mid-flight.
+                if idx >= shared.target.load(Ordering::Acquire) {
                     return;
                 }
                 dry += 1;
@@ -699,6 +873,90 @@ mod tests {
         // The pool is still serviceable afterwards.
         let mut local = SweepPipeline::new();
         assert_eq!(rt.run_batch(&[SquareJob(6)], &mut local), vec![36]);
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks_and_stays_serviceable() {
+        let rt = WorkerRuntime::new(1);
+        assert_eq!(rt.workers(), 1);
+        let mut local = SweepPipeline::new();
+        let jobs: Vec<SquareJob> = (0..31).map(SquareJob).collect();
+        let expect: Vec<u64> = (0..31u64).map(|v| v * v).collect();
+        assert_eq!(rt.run_batch(&jobs, &mut local), expect);
+        rt.resize(4);
+        assert_eq!(rt.workers(), 4);
+        assert_eq!(rt.run_batch(&jobs, &mut local), expect);
+        // Prewarm after a grow reaches every live worker.
+        assert_eq!(rt.prewarm(&SquareJob(3)).len(), 4);
+        rt.resize(2);
+        assert_eq!(rt.workers(), 2);
+        assert_eq!(rt.run_batch(&jobs, &mut local), expect);
+        // Clamped like the constructor.
+        rt.resize(0);
+        assert_eq!(rt.workers(), 1);
+        assert_eq!(rt.run_batch(&jobs, &mut local), expect);
+    }
+
+    /// A coarse driver job that submits fine batches back into the same
+    /// runtime from inside its `run` — the fleet-shard shape.
+    struct NestedJob<'a> {
+        rt: &'a WorkerRuntime,
+        base: u64,
+        inner: usize,
+    }
+    impl PoolJob for NestedJob<'_> {
+        type Output = u64;
+        fn run(&self, pipeline: &mut SweepPipeline) -> u64 {
+            let jobs: Vec<SquareJob> = (self.base..self.base + self.inner as u64)
+                .map(SquareJob)
+                .collect();
+            self.rt.run_batch(&jobs, pipeline).iter().sum()
+        }
+    }
+
+    #[test]
+    fn driver_batch_runs_jobs_that_submit_nested_fine_batches() {
+        for workers in [1usize, 2, 4] {
+            let rt = WorkerRuntime::new(workers);
+            let mut local = SweepPipeline::new();
+            let jobs: Vec<NestedJob<'_>> = (0..6)
+                .map(|i| NestedJob {
+                    rt: &rt,
+                    base: i * 10,
+                    inner: 7,
+                })
+                .collect();
+            let outs = rt.run_driver_batch(&jobs, &mut local);
+            let expect: Vec<u64> = (0..6u64)
+                .map(|i| (i * 10..i * 10 + 7).map(|v| v * v).sum())
+                .collect();
+            assert_eq!(outs, expect, "workers={workers}");
+            // Ordinary fine batches still work on the same pool.
+            assert_eq!(rt.run_batch(&[SquareJob(5)], &mut local), vec![25]);
+        }
+    }
+
+    #[test]
+    fn driver_batch_survives_coarse_ring_overflow() {
+        // More driver jobs than ring slots would be absurd in practice;
+        // emulate the overflow path with a tiny pool and enough jobs to
+        // lap the submitter several times.
+        let rt = WorkerRuntime::new(1);
+        let mut local = SweepPipeline::new();
+        let jobs: Vec<NestedJob<'_>> = (0..40)
+            .map(|i| NestedJob {
+                rt: &rt,
+                base: i,
+                inner: 3,
+            })
+            .collect();
+        let outs = rt.run_driver_batch(&jobs, &mut local);
+        assert_eq!(outs.len(), 40);
+        for (i, out) in outs.iter().enumerate() {
+            let base = i as u64;
+            let expect: u64 = (base..base + 3).map(|v| v * v).sum();
+            assert_eq!(*out, expect);
+        }
     }
 
     #[test]

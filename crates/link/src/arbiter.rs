@@ -176,6 +176,25 @@ impl MediumArbiter {
         }
     }
 
+    /// Books an overheard transmission at exactly `[at, at + airtime)`,
+    /// bypassing admission entirely — no deferral, no stagger guard, no
+    /// concurrency slot displacement. This models air the AP does not
+    /// schedule but still observes busy (a one-way TDoA blast arrives on
+    /// the *client's* cadence; the AP just timestamps it): the window
+    /// counts toward utilization and overlap queries, but it cannot be
+    /// moved and needs no completion report. O(1) per call, which is
+    /// what keeps a city-scale blast fan-in (thousands of overheard
+    /// transmissions per window per AP) out of the admission scan.
+    pub fn book(&mut self, at: Instant, airtime: Duration) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.windows.push(Window {
+            token,
+            start: at,
+            end: at + airtime,
+        });
+    }
+
     /// Reports the actual finish time of a granted sweep so the
     /// projection reflects reality for later admissions.
     pub fn complete(&mut self, token: usize, actual_end: Instant) {
@@ -317,6 +336,32 @@ mod tests {
         }
         let g = arb.admit(ms(0), d);
         assert!(g.extra_loss <= 0.25 + 1e-12);
+    }
+
+    #[test]
+    fn booked_transmissions_bypass_admission_but_count_as_coverage() {
+        let cfg = ArbiterConfig {
+            max_concurrent: 1,
+            ..Default::default()
+        };
+        let mut arb = MediumArbiter::new(cfg);
+        // Saturate the only concurrency slot.
+        arb.admit(ms(0), Duration::from_millis(100));
+        // An overheard transmission lands at its true instant anyway —
+        // no deferral past the in-flight sweep, no guard bump.
+        arb.book(ms(10), Duration::from_millis(20));
+        assert_eq!(arb.active_at(ms(15)), 2);
+        assert_eq!(
+            arb.total_tracked_airtime(),
+            Duration::from_millis(120),
+            "booked airtime must be charged exactly once"
+        );
+        // Coverage over [0, 100) is still 100%: the booked window lies
+        // inside the admitted one.
+        assert!((arb.utilization(ms(0), ms(100)) - 1.0).abs() < 1e-12);
+        // And it is released like any other elapsed window.
+        arb.release_before(ms(30));
+        assert_eq!(arb.active_at(ms(15)), 1);
     }
 
     #[test]

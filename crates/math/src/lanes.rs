@@ -83,6 +83,42 @@ pub fn dist2_split(a_re: &[f64], a_im: &[f64], b_re: &[f64], b_im: &[f64]) -> f6
     ((acc[0] + acc[1]) + (acc[2] + acc[3]) + tail).sqrt()
 }
 
+/// Conjugated dot product `Σ conj(a_k) · b_k` of two split complex
+/// vectors, returned as `(re, im)` and accumulated over four lanes.
+///
+/// This is the kernel of a Gram-matrix entry `(A^H A)[j,k]` and of the
+/// normal-equations right-hand side `A^H b`:
+/// `re = Σ ar·br + ai·bi`, `im = Σ ar·bi − ai·br`. Tolerance tier —
+/// the four-accumulator fold reassociates the sum relative to the
+/// sequential loop in [`crate::cmatrix::CMat::gram_into`].
+pub fn dot_conj_split(a_re: &[f64], a_im: &[f64], b_re: &[f64], b_im: &[f64]) -> (f64, f64) {
+    assert_eq!(a_re.len(), a_im.len(), "lanes: split length mismatch");
+    assert_eq!(b_re.len(), b_im.len(), "lanes: split length mismatch");
+    assert_eq!(a_re.len(), b_re.len(), "lanes: split length mismatch");
+    let mut acc_re = [0.0f64; LANES];
+    let mut acc_im = [0.0f64; LANES];
+    let main = a_re.len() - a_re.len() % LANES;
+    for c in (0..main).step_by(LANES) {
+        for l in 0..LANES {
+            let (ar, ai) = (a_re[c + l], a_im[c + l]);
+            let (br, bi) = (b_re[c + l], b_im[c + l]);
+            acc_re[l] = fmadd(ar, br, fmadd(ai, bi, acc_re[l]));
+            acc_im[l] = fmadd(ar, bi, fmadd(-ai, br, acc_im[l]));
+        }
+    }
+    let (mut tail_re, mut tail_im) = (0.0f64, 0.0f64);
+    for k in main..a_re.len() {
+        let (ar, ai) = (a_re[k], a_im[k]);
+        let (br, bi) = (b_re[k], b_im[k]);
+        tail_re = fmadd(ar, br, fmadd(ai, bi, tail_re));
+        tail_im = fmadd(ar, bi, fmadd(-ai, br, tail_im));
+    }
+    (
+        (acc_re[0] + acc_re[1]) + (acc_re[2] + acc_re[3]) + tail_re,
+        (acc_im[0] + acc_im[1]) + (acc_im[2] + acc_im[3]) + tail_im,
+    )
+}
+
 /// L∞ norm (largest magnitude) of a split complex vector.
 ///
 /// `max` is order-insensitive for finite inputs, so this reduction is
@@ -144,6 +180,29 @@ mod tests {
             let lane = dist2_split(&ar, &ai, &br, &bi);
             let scalar = cvec::dist2(&a, &b);
             assert!((lane - scalar).abs() <= 1e-12 * scalar.max(1.0), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dot_conj_matches_scalar_within_tolerance() {
+        for n in [1usize, 3, 4, 9, 32, 65] {
+            let a = vecs(n);
+            let b: Vec<Complex64> = vecs(n)
+                .iter()
+                .enumerate()
+                .map(|(k, z)| z.scale(0.7 + 0.01 * k as f64))
+                .collect();
+            let (ar, ai) = split(&a);
+            let (br, bi) = split(&b);
+            let (re, im) = dot_conj_split(&ar, &ai, &br, &bi);
+            let scalar: Complex64 = a
+                .iter()
+                .zip(b.iter())
+                .map(|(x, y)| x.conj() * *y)
+                .fold(Complex64::ZERO, |s, z| s + z);
+            let scale = scalar.abs().max(1.0);
+            assert!((re - scalar.re).abs() <= 1e-12 * scale, "n={n}");
+            assert!((im - scalar.im).abs() <= 1e-12 * scale, "n={n}");
         }
     }
 

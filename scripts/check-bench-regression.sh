@@ -30,13 +30,19 @@
 #     against the checked-in BENCH_soak.json baseline. The queue sheds
 #     as a pure function of the arrival sequence, so drift is a real
 #     scheduling change, never noise.
-#  5. Fleet capacity: rerun the quick 16-AP / 192-roaming-client
-#     TDoA-vs-round-trip comparison and fail when per-client fix rate
-#     drops >20%, position error or handoff-gap sweeps grow >20%, or
-#     any exact column (AP/client/window counts, handoffs) drifts at
-#     all, against the checked-in BENCH_fleet.json baseline. The bench
-#     itself also asserts the headline claim (TDoA >= 2x fixes/s per
-#     client at <= 1.5x the error) before writing or checking anything.
+#  5. Fleet capacity: rerun the quick 16-AP / 1000-roaming-client
+#     TDoA-vs-round-trip comparison plus the shard-scaling rows
+#     (fleet_shard_w1/w2/w4 — serial loop vs pool-parallel shard
+#     windows) and fail when per-client fix rate drops >20%, position
+#     error or handoff-gap sweeps grow >20%, or any exact column
+#     (AP/client/window/worker counts, handoffs, and the steady-state
+#     worker_allocs counter, which gates the shard path at exactly 0)
+#     drifts at all, against the checked-in BENCH_fleet.json baseline.
+#     The speedup_vs_serial column is informational only (CI hosts vary
+#     in core count). The bench itself also asserts the headline claim
+#     (TDoA >= 2x fixes/s per client at <= 1.5x the error) and that
+#     every worker count replays the serial loop's reports
+#     digest-identically, before writing or checking anything.
 #
 # On an *intentional* change, regenerate and commit the baselines:
 #

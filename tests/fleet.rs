@@ -174,6 +174,114 @@ fn fleet_windows_replay_bit_identically_across_thread_counts() {
     }
 }
 
+/// Everything observable about a window except execution metadata —
+/// `shard_reports[..].wall` (host wall clock) and `cache.hits` (a
+/// lookup count that depends on per-pipeline plan-memo warmth, hence
+/// on sweep-to-worker placement) — with floats as bits. Two runs are
+/// "the same" iff these strings match.
+fn report_fingerprint(r: &FleetWindowReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    write!(
+        s,
+        "{}|{}|{}|{}|{}|{}",
+        r.started.as_nanos(),
+        r.ended.as_nanos(),
+        r.handoffs,
+        r.handoff_gap_sweeps,
+        r.sync_rounds,
+        r.n_clients
+    )
+    .unwrap();
+    for sr in &r.shard_reports {
+        write!(
+            s,
+            ";u={:x} misses={} plans={}/{} bp={} bf={} ing={:?}",
+            sr.utilization.to_bits(),
+            sr.cache.misses,
+            sr.cache.ndft_entries,
+            sr.cache.spline_entries,
+            sr.bands_planned,
+            sr.bands_full_sweep,
+            sr.ingestion
+        )
+        .unwrap();
+        for o in &sr.outcomes {
+            write!(s, " {:?}", outcome_key(o)).unwrap();
+        }
+    }
+    for o in &r.tdoa_outcomes {
+        write!(
+            s,
+            "!{} {} {} {:x}",
+            o.client,
+            o.blast,
+            o.at.as_nanos(),
+            o.pos_error_m.unwrap_or(f64::NAN).to_bits()
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// A roaming run with churn landing mid-sequence: a client joins before
+/// window 1 while the walkers keep crossing cell boundaries, so the
+/// windows exercise handoffs and population growth under whatever shard
+/// execution strategy `workers` selects.
+fn run_walkers_with_churn(
+    mode: FleetRangingMode,
+    workers: Option<usize>,
+    windows: usize,
+) -> (Vec<FleetWindowReport>, usize) {
+    let mut cfg = fleet_cfg(mode);
+    cfg.service.threads = 4;
+    cfg.workers = workers;
+    let mut fleet = FleetEngine::new(cfg, Environment::free_space(), ap_grid(9, 20.0));
+    for i in 0..6 {
+        fleet.add_client(walker(i, 0));
+    }
+    let shard_workers = fleet.shard_workers();
+    let reports = (0..windows)
+        .map(|w| {
+            if w == 1 {
+                fleet.add_client(Point::new(1.0, 39.0));
+            }
+            for i in 0..6 {
+                fleet.set_client_pos(i, walker(i, w));
+            }
+            fleet.run_window(9, Duration::from_millis(250))
+        })
+        .collect();
+    (reports, shard_workers)
+}
+
+#[test]
+fn fleet_reports_bitwise_identical_across_worker_counts() {
+    for mode in [FleetRangingMode::RoundTrip, FleetRangingMode::Tdoa] {
+        // Some(0) pins the strictly serial shard loop (the pre-parallel
+        // reference); every pool size must reproduce it bit for bit.
+        let (serial, sw) = run_walkers_with_churn(mode, Some(0), 2);
+        assert_eq!(sw, 0, "Some(0) must run the serial shard loop");
+        assert!(
+            serial.iter().map(|r| r.handoffs).sum::<usize>() >= 1,
+            "scenario must exercise handoffs mid-sequence"
+        );
+        assert_eq!(serial.last().unwrap().n_clients, 7, "churn client joined");
+        let reference: Vec<String> = serial.iter().map(report_fingerprint).collect();
+        for workers in [1usize, 2, 8] {
+            let (parallel, sw) = run_walkers_with_churn(mode, Some(workers), 2);
+            assert_eq!(sw, workers, "explicit worker count honored");
+            let got: Vec<String> = parallel.iter().map(report_fingerprint).collect();
+            assert_eq!(got, reference, "workers={workers} diverged from serial");
+        }
+        // The default (auto) strategy must also match, whatever width
+        // this host picks.
+        let (auto, _) = run_walkers_with_churn(mode, None, 2);
+        let got: Vec<String> = auto.iter().map(report_fingerprint).collect();
+        assert_eq!(got, reference, "auto worker count diverged from serial");
+    }
+}
+
 #[test]
 fn handoff_conserves_sweep_accounting() {
     let mut cfg = fleet_cfg(FleetRangingMode::RoundTrip);

@@ -710,6 +710,161 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Two-tier pool scheduling (PR 10): coarse shard-level driver jobs that
+// submit nested fine batches onto the same shared rings. The invariant
+// under test is submitter-helps: every submitter drains work while it
+// waits, so any mix of driver batches, nested batches, worker counts,
+// and mid-stream resizes completes (no deadlock) with exactly the
+// sequential model's results in ordinal order.
+// ---------------------------------------------------------------------------
+
+/// A fine task standing in for one sweep: a pure function of its token.
+struct FineModelJob(u64);
+
+impl chronos_suite::core::runtime::PoolJob for FineModelJob {
+    type Output = u64;
+    fn run(&self, _p: &mut chronos_suite::core::pipeline::SweepPipeline) -> u64 {
+        self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+    }
+}
+
+/// A coarse job standing in for one shard window: folds its own base
+/// with a nested fine batch it submits to the *same* pool mid-job.
+struct DriverModelJob<'a> {
+    rt: &'a chronos_suite::core::runtime::WorkerRuntime,
+    base: u64,
+    inner: Vec<u64>,
+}
+
+impl chronos_suite::core::runtime::PoolJob for DriverModelJob<'_> {
+    type Output = u64;
+    fn run(&self, p: &mut chronos_suite::core::pipeline::SweepPipeline) -> u64 {
+        let fines: Vec<FineModelJob> = self.inner.iter().map(|v| FineModelJob(*v)).collect();
+        let outs = self.rt.run_batch(&fines, p);
+        outs.iter().enumerate().fold(self.base, |acc, (i, o)| {
+            acc.wrapping_add(o.rotate_left((i % 61) as u32))
+        })
+    }
+}
+
+/// The sequential reference for one driver job.
+fn driver_model(base: u64, inner: &[u64]) -> u64 {
+    inner
+        .iter()
+        .map(|v| v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+        .enumerate()
+        .fold(base, |acc, (i, o)| {
+            acc.wrapping_add(o.rotate_left((i % 61) as u32))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary rounds of coarse driver batches — each job nesting its
+    /// own fine batch into the shared rings — complete without deadlock
+    /// on any pool width, reproduce the sequential model exactly, and
+    /// survive pool resizes between rounds.
+    #[test]
+    fn shard_jobs_sharing_sweep_rings_never_deadlock(
+        workers in 1usize..5,
+        rounds in proptest::collection::vec(
+            (
+                proptest::collection::vec(
+                    (0u64..1_000_000, proptest::collection::vec(0u64..1_000_000, 0..24)),
+                    1..10,
+                ),
+                1usize..5, // resize target applied before the round
+            ),
+            1..4,
+        ),
+    ) {
+        use chronos_suite::core::pipeline::SweepPipeline;
+        use chronos_suite::core::runtime::WorkerRuntime;
+        let rt = WorkerRuntime::new(workers);
+        let mut pipeline = SweepPipeline::new();
+        for (specs, resize_to) in &rounds {
+            rt.resize(*resize_to);
+            prop_assert_eq!(rt.workers(), (*resize_to).max(1));
+            let jobs: Vec<DriverModelJob> = specs
+                .iter()
+                .map(|(base, inner)| DriverModelJob { rt: &rt, base: *base, inner: inner.clone() })
+                .collect();
+            let got = rt.run_driver_batch(&jobs, &mut pipeline);
+            let want: Vec<u64> = specs
+                .iter()
+                .map(|(base, inner)| driver_model(*base, inner))
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tolerance tier (PR 10): the lane-chunked conjugated-dot kernel behind
+// the debias refit's normal equations (`CMat::lstsq_into_lanes`). The
+// helpers are always compiled in `chronos_math`, so this pin runs in
+// every tier; only `debias_into`'s dispatch is `simd`-gated.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `dot_conj_split` — the Gram/normal-equations kernel — agrees
+    /// with sequential conjugated summation within 1e-12 relative on
+    /// random split vectors (lengths straddling the lane width).
+    #[test]
+    fn debias_gram_kernel_matches_scalar_within_1e12(
+        pairs in proptest::collection::vec(
+            ((-2.0f64..2.0, -2.0f64..2.0), (-2.0f64..2.0, -2.0f64..2.0)),
+            1..40,
+        ),
+    ) {
+        use chronos_suite::math::lanes::dot_conj_split;
+        let a: Vec<Complex64> = pairs.iter().map(|((r, i), _)| Complex64::new(*r, *i)).collect();
+        let b: Vec<Complex64> = pairs.iter().map(|(_, (r, i))| Complex64::new(*r, *i)).collect();
+        let (ar, ai): (Vec<f64>, Vec<f64>) = (a.iter().map(|z| z.re).collect(), a.iter().map(|z| z.im).collect());
+        let (br, bi): (Vec<f64>, Vec<f64>) = (b.iter().map(|z| z.re).collect(), b.iter().map(|z| z.im).collect());
+        let (re, im) = dot_conj_split(&ar, &ai, &br, &bi);
+        let want = a.iter().zip(b.iter()).fold(Complex64::ZERO, |s, (x, y)| s + x.conj() * *y);
+        let scale = want.abs().max(1.0);
+        prop_assert!((re - want.re).abs() <= 1e-12 * scale, "{} vs {}", re, want.re);
+        prop_assert!((im - want.im).abs() <= 1e-12 * scale, "{} vs {}", im, want.im);
+    }
+
+    /// The full lanes refit solve agrees with the scalar `lstsq_into`
+    /// source of truth within 1e-12 relative on random well-conditioned
+    /// two-atom systems.
+    #[test]
+    fn lstsq_lanes_matches_scalar_within_1e12(
+        rows in 2usize..24,
+        // Bounded apart so the two atoms stay well-conditioned: near-
+        // collinear columns would amplify the kernels' ~1e-16 Gram
+        // differences past the 1e-12 output bound.
+        ph1 in 0.3f64..1.4,
+        ph2 in -1.4f64..-0.3,
+        bv in (0.2f64..2.0, -3.0f64..3.0),
+    ) {
+        use chronos_suite::math::cmatrix::{CLstsqScratch, CMat};
+        let mut a = CMat::zeros(rows, 2);
+        for i in 0..rows {
+            a.set(i, 0, Complex64::cis(ph1 * i as f64));
+            a.set(i, 1, Complex64::cis(ph2 * i as f64 + 0.3));
+        }
+        let b: Vec<Complex64> = (0..rows)
+            .map(|i| Complex64::from_polar(bv.0 + 0.05 * i as f64, bv.1 + 0.2 * i as f64))
+            .collect();
+        let mut ws = CLstsqScratch::default();
+        let (mut scalar, mut lanes) = (Vec::new(), Vec::new());
+        a.lstsq_into(&b, &mut ws, &mut scalar).unwrap();
+        a.lstsq_into_lanes(&b, &mut ws, &mut lanes).unwrap();
+        for (s, l) in scalar.iter().zip(lanes.iter()) {
+            prop_assert!((*s - *l).abs() <= 1e-12 * s.abs().max(1.0), "{} vs {}", s, l);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Tolerance tier (PR 9): the lane-chunked SoA kernels of the `simd`
 // feature against the scalar source of truth. See docs/PIPELINE.md for
 // the exact-vs-tolerance contract boundary.
